@@ -1,0 +1,85 @@
+//! Criterion micro-benchmarks for the analysis and configuration layer:
+//! Theorem 5 evaluation (with its numeric quadrature), the §4/§5/§6
+//! configurators, and the network estimators.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fd_core::config::{
+    configure_from_moments, configure_known_distribution, configure_nfd_u,
+};
+use fd_core::estimate::{ArrivalTimeEstimator, NetworkBehaviorEstimator};
+use fd_core::NfdSAnalysis;
+use fd_metrics::QosRequirements;
+use fd_stats::dist::Exponential;
+use std::hint::black_box;
+
+fn bench_theorem5(c: &mut Criterion) {
+    let delay = Exponential::with_mean(0.02).expect("valid");
+    c.bench_function("theorem5_mean_recurrence", |b| {
+        b.iter(|| {
+            let a = NfdSAnalysis::new(1.0, black_box(2.5), 0.01, &delay).expect("valid");
+            black_box(a.mean_recurrence())
+        })
+    });
+    c.bench_function("theorem5_mean_duration_quadrature", |b| {
+        b.iter(|| {
+            let a = NfdSAnalysis::new(1.0, black_box(2.5), 0.01, &delay).expect("valid");
+            black_box(a.mean_duration())
+        })
+    });
+}
+
+fn bench_configurators(c: &mut Criterion) {
+    let req = QosRequirements::new(30.0, 2_592_000.0, 60.0).expect("valid");
+    let delay = Exponential::with_mean(0.02).expect("valid");
+    c.bench_function("configure_known_distribution_sec4", |b| {
+        b.iter(|| {
+            black_box(
+                configure_known_distribution(black_box(&req), 0.01, &delay)
+                    .expect("valid")
+                    .expect("achievable"),
+            )
+        })
+    });
+    c.bench_function("configure_from_moments_sec5", |b| {
+        b.iter(|| {
+            black_box(
+                configure_from_moments(black_box(&req), 0.01, 0.02, 0.02)
+                    .expect("valid")
+                    .expect("achievable"),
+            )
+        })
+    });
+    c.bench_function("configure_nfd_u_sec6", |b| {
+        b.iter(|| {
+            black_box(
+                configure_nfd_u(black_box(&req), 0.01, 0.02)
+                    .expect("valid")
+                    .expect("achievable"),
+            )
+        })
+    });
+}
+
+fn bench_estimators(c: &mut Criterion) {
+    c.bench_function("network_estimator_observe", |b| {
+        let mut est = NetworkBehaviorEstimator::new(512);
+        let mut seq = 0u64;
+        b.iter(|| {
+            seq += 1;
+            est.observe(seq, seq as f64, seq as f64 + 0.02);
+            black_box(est.estimate())
+        })
+    });
+    c.bench_function("arrival_estimator_eq63_observe_estimate", |b| {
+        let mut est = ArrivalTimeEstimator::new(1.0, 32);
+        let mut seq = 0u64;
+        b.iter(|| {
+            seq += 1;
+            est.observe(seq as f64 + 0.02, seq);
+            black_box(est.estimate(seq + 1))
+        })
+    });
+}
+
+criterion_group!(benches, bench_theorem5, bench_configurators, bench_estimators);
+criterion_main!(benches);

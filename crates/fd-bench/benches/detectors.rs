@@ -1,0 +1,78 @@
+//! Criterion micro-benchmarks: per-heartbeat processing cost of each
+//! detector implementation — the runtime overhead a deployment pays per
+//! monitored process.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use fd_core::detectors::{NfdE, NfdS, NfdU, SimpleFd};
+use fd_core::{FailureDetector, Heartbeat};
+use std::hint::black_box;
+
+/// Drives `fd` through `n` in-order heartbeats with fixed 20 ms delays.
+fn drive(fd: &mut dyn FailureDetector, n: u64) {
+    for seq in 1..=n {
+        let send = seq as f64;
+        fd.on_heartbeat(send + 0.02, Heartbeat::new(seq, send));
+        black_box(fd.output());
+    }
+}
+
+fn bench_heartbeat_path(c: &mut Criterion) {
+    let mut g = c.benchmark_group("per_heartbeat");
+    const N: u64 = 1024;
+    g.throughput(criterion::Throughput::Elements(N));
+
+    g.bench_function("nfd_s", |b| {
+        b.iter_batched_ref(
+            || NfdS::new(1.0, 1.5).expect("valid"),
+            |fd| drive(fd, N),
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("nfd_u", |b| {
+        b.iter_batched_ref(
+            || NfdU::new(1.0, 1.5, 0.02).expect("valid"),
+            |fd| drive(fd, N),
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("nfd_e_w32", |b| {
+        b.iter_batched_ref(
+            || NfdE::new(1.0, 1.5, 32).expect("valid"),
+            |fd| drive(fd, N),
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("nfd_e_w128", |b| {
+        b.iter_batched_ref(
+            || NfdE::new(1.0, 1.5, 128).expect("valid"),
+            |fd| drive(fd, N),
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("simple_fd", |b| {
+        b.iter_batched_ref(
+            || SimpleFd::with_cutoff(2.34, 0.16).expect("valid"),
+            |fd| drive(fd, N),
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_output_queries(c: &mut Criterion) {
+    // Cost of polling output at a fresh time (the query path of P_A).
+    let mut fd = NfdS::new(1.0, 1.5).expect("valid");
+    for seq in 1..=100u64 {
+        fd.on_heartbeat(seq as f64 + 0.02, Heartbeat::new(seq, seq as f64));
+    }
+    let mut t = 100.5;
+    c.bench_function("nfd_s_output_at", |b| {
+        b.iter(|| {
+            t += 1e-4;
+            black_box(fd.output_at(black_box(t)))
+        })
+    });
+}
+
+criterion_group!(benches, bench_heartbeat_path, bench_output_queries);
+criterion_main!(benches);

@@ -1,0 +1,81 @@
+//! Criterion micro-benchmarks for the discrete-event simulator: events
+//! per second of the run engine, which caps how fast the Fig. 12 sweep
+//! regenerates.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use fd_core::detectors::{NfdS, SimpleFd};
+use fd_sim::{run, Link, RunOptions, StopCondition};
+use fd_stats::dist::Exponential;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn paper_link() -> Link {
+    Link::new(0.01, Box::new(Exponential::with_mean(0.02).expect("valid"))).expect("valid")
+}
+
+fn bench_engine(c: &mut Criterion) {
+    const HEARTBEATS: u64 = 10_000;
+    let link = paper_link();
+    let mut g = c.benchmark_group("sim_engine");
+    g.throughput(Throughput::Elements(HEARTBEATS));
+
+    g.bench_function("nfd_s_10k_heartbeats", |b| {
+        let mut seed = 0;
+        b.iter_batched_ref(
+            || {
+                seed += 1;
+                (NfdS::new(1.0, 1.5).expect("valid"), StdRng::seed_from_u64(seed))
+            },
+            |(fd, rng)| {
+                black_box(run(
+                    fd,
+                    &RunOptions::failure_free(
+                        1.0,
+                        StopCondition::Horizon(HEARTBEATS as f64),
+                    ),
+                    &link,
+                    rng,
+                ))
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    g.bench_function("sfd_cutoff_10k_heartbeats", |b| {
+        let mut seed = 1000;
+        b.iter_batched_ref(
+            || {
+                seed += 1;
+                (
+                    SimpleFd::with_cutoff(2.34, 0.16).expect("valid"),
+                    StdRng::seed_from_u64(seed),
+                )
+            },
+            |(fd, rng)| {
+                black_box(run(
+                    fd,
+                    &RunOptions::failure_free(
+                        1.0,
+                        StopCondition::Horizon(HEARTBEATS as f64),
+                    ),
+                    &link,
+                    rng,
+                ))
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_link_sampling(c: &mut Criterion) {
+    let link = paper_link();
+    let mut rng = StdRng::seed_from_u64(1);
+    c.bench_function("link_sample_fate", |b| {
+        b.iter(|| black_box(link.sample_fate(&mut rng)))
+    });
+}
+
+criterion_group!(benches, bench_engine, bench_link_sampling);
+criterion_main!(benches);

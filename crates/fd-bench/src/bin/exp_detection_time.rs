@@ -1,0 +1,117 @@
+//! E10 — Detection time under crash injection (Theorem 5.1 / Lemma 18
+//! and the §1.2.1 critique of the common algorithm).
+//!
+//! * NFD-S: `T_D ≤ δ + η`, tight — the empirical max approaches the bound
+//!   under random crash phases, and never exceeds it.
+//! * SFD with cutoff: `T_D ≤ c + TO`.
+//! * SFD without cutoff: worst case is the **maximum** delay plus `TO` —
+//!   unbounded under a heavy tail (demonstrated with a Pareto link).
+
+use fd_bench::report::fmt_num;
+use fd_bench::{paper_section7_link, Settings, Table};
+use fd_core::detectors::{NfdE, NfdS, SimpleFd};
+use fd_sim::harness::{measure_detection_times, DetectionRun};
+use fd_sim::Link;
+use fd_stats::dist::Pareto;
+use fd_stats::Histogram;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const ETA: f64 = 1.0;
+
+fn main() {
+    let settings = Settings::from_env();
+    let crashes = if settings.paper { 2000 } else { 400 };
+    let link = paper_section7_link();
+    let mut rng = StdRng::seed_from_u64(settings.seed);
+
+    println!("E10 — detection time under crash injection ({crashes} crashes/detector)\n");
+    let mut t = Table::new(&["detector", "bound", "mean T_D", "max T_D", "undetected"]);
+
+    let run = |make: &mut dyn FnMut() -> Box<dyn fd_core::FailureDetector>,
+               window: f64,
+               rng: &mut StdRng| {
+        measure_detection_times(
+            || make(),
+            &DetectionRun {
+                eta: ETA,
+                crashes,
+                crash_after: 60.0,
+                post_crash_window: window,
+            },
+            &link,
+            rng,
+        )
+    };
+
+    // NFD-S, δ = 1.5 ⇒ bound 2.5.
+    let s = run(&mut || Box::new(NfdS::new(ETA, 1.5).expect("valid")), 6.0, &mut rng);
+    t.row(&[
+        "NFD-S (δ=1.5)".into(),
+        "2.5".into(),
+        fmt_num(s.mean_finite().unwrap_or(f64::NAN)),
+        fmt_num(s.max_finite().unwrap_or(f64::NAN)),
+        s.undetected().to_string(),
+    ]);
+    assert!(s.max_finite().unwrap() <= 2.5 + 1e-9, "Theorem 5.1 violated");
+    let nfd_max = s.max_finite().unwrap();
+
+    // NFD-E, α = 1.48 ⇒ bound ≈ η + E(D) + α = 2.5 (estimate jitter aside).
+    let e = run(&mut || Box::new(NfdE::new(ETA, 1.48, 32).expect("valid")), 8.0, &mut rng);
+    t.row(&[
+        "NFD-E (α=1.48)".into(),
+        "≈2.5".into(),
+        fmt_num(e.mean_finite().unwrap_or(f64::NAN)),
+        fmt_num(e.max_finite().unwrap_or(f64::NAN)),
+        e.undetected().to_string(),
+    ]);
+
+    // SFD with cutoff 0.16, TO = 2.34 ⇒ bound 2.5.
+    let l = run(
+        &mut || Box::new(SimpleFd::with_cutoff(2.34, 0.16).expect("valid")),
+        8.0,
+        &mut rng,
+    );
+    t.row(&[
+        "SFD-L (c=0.16,TO=2.34)".into(),
+        "2.5".into(),
+        fmt_num(l.mean_finite().unwrap_or(f64::NAN)),
+        fmt_num(l.max_finite().unwrap_or(f64::NAN)),
+        l.undetected().to_string(),
+    ]);
+
+    // Plain SFD on a heavy-tailed (Pareto) link: T_D = d_last + TO grows
+    // with the tail — the §1.2.1 problem.
+    let heavy = Link::new(0.0, Box::new(Pareto::with_mean(0.02, 2.05).expect("valid")))
+        .expect("valid link");
+    let p = measure_detection_times(
+        || Box::new(SimpleFd::new(2.5).expect("valid")),
+        &DetectionRun {
+            eta: ETA,
+            crashes,
+            crash_after: 60.0,
+            post_crash_window: 100.0,
+        },
+        &heavy,
+        &mut rng,
+    );
+    t.row(&[
+        "SFD plain, Pareto tail".into(),
+        "unbounded".into(),
+        fmt_num(p.mean_finite().unwrap_or(f64::NAN)),
+        fmt_num(p.max_finite().unwrap_or(f64::NAN)),
+        p.undetected().to_string(),
+    ]);
+
+    t.print();
+
+    // Tightness histogram for NFD-S (Lemma 18: crash phase spreads T_D
+    // over (δ, δ+η] — uniform-ish, hugging the bound from below).
+    println!("\nNFD-S T_D distribution (bound 2.5, tight per Lemma 18):");
+    let mut h = Histogram::new(1.4, 2.6, 12).expect("valid bins");
+    for &x in &s.times {
+        h.record(x);
+    }
+    print!("{}", h.render_ascii(40));
+    println!("\nempirical max {} vs bound 2.5 — the bound is approached.", fmt_num(nfd_max));
+}

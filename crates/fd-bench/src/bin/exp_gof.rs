@@ -1,0 +1,60 @@
+//! E0 — Input validation: the simulator's random inputs really follow
+//! the configured laws. A reproduction of the paper's evaluation is only
+//! as credible as its samplers, so before trusting E5's curves we KS-test
+//! every delay law and binomial-check the loss coin.
+
+use fd_bench::report::fmt_num;
+use fd_bench::{Settings, Table};
+use fd_sim::Link;
+use fd_stats::dist::{Erlang, Exponential, LogNormal, Pareto, Uniform, Weibull};
+use fd_stats::{ks_test, DelayDistribution};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn laws() -> Vec<(&'static str, Box<dyn DelayDistribution>)> {
+    vec![
+        ("exponential(0.02)", Box::new(Exponential::with_mean(0.02).expect("valid"))),
+        ("uniform(0,0.04)", Box::new(Uniform::new(0.0, 0.04).expect("valid"))),
+        ("pareto(mean .02, α=3)", Box::new(Pareto::with_mean(0.02, 3.0).expect("valid"))),
+        ("lognormal(.02,4e-4)", Box::new(LogNormal::with_moments(0.02, 4e-4).expect("valid"))),
+        ("weibull(.02,1.5)", Box::new(Weibull::new(0.02, 1.5).expect("valid"))),
+        ("erlang(3,150)", Box::new(Erlang::new(3, 150.0).expect("valid"))),
+    ]
+}
+
+fn main() {
+    let settings = Settings::from_env();
+    let n = if settings.paper { 200_000 } else { 20_000 };
+    println!("E0 — sampler goodness of fit ({n} draws per law, KS test)\n");
+
+    let mut t = Table::new(&["law", "KS statistic", "p-value", "verdict"]);
+    for (i, (name, law)) in laws().into_iter().enumerate() {
+        let mut rng = StdRng::seed_from_u64(settings.seed + i as u64);
+        let samples: Vec<f64> = (0..n).map(|_| law.sample(&mut rng)).collect();
+        let ks = ks_test(&samples, &law).expect("valid samples");
+        let ok = !ks.rejects_at(0.001);
+        assert!(ok, "{name}: sampler does not match its law: {ks:?}");
+        t.row(&[
+            name.to_string(),
+            fmt_num(ks.statistic),
+            fmt_num(ks.p_value),
+            if ok { "pass".into() } else { "FAIL".into() },
+        ]);
+    }
+    t.print();
+
+    // Loss coin: binomial check at ±4σ.
+    let p_l = 0.01;
+    let link = Link::new(p_l, Box::new(Exponential::with_mean(0.02).expect("valid")))
+        .expect("valid");
+    let mut rng = StdRng::seed_from_u64(settings.seed + 999);
+    let trials = 1_000_000u64;
+    let lost = (0..trials)
+        .filter(|_| link.sample_fate(&mut rng).is_none())
+        .count() as f64;
+    let sigma = (trials as f64 * p_l * (1.0 - p_l)).sqrt();
+    let z = (lost - trials as f64 * p_l) / sigma;
+    println!("\nloss coin: {lost} losses in {trials} trials, z = {z:.2} (|z| < 4 required)");
+    assert!(z.abs() < 4.0, "loss coin biased: z = {z}");
+    println!("all samplers pass ✓");
+}

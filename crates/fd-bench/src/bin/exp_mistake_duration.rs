@@ -1,0 +1,70 @@
+//! E6 — The §7 companion observation to Fig. 12: "the E(T_M) of all the
+//! algorithms were similar and bounded above by approximately η = 1",
+//! which is why the paper shows no E(T_M) plot.
+//!
+//! Same sweep and setting as E5, reporting the measured mean mistake
+//! duration per detector, plus the analytic NFD-S value (Theorem 5.3)
+//! and the Proposition 21 bound `η/q₀`.
+
+use fd_bench::report::fmt_num;
+use fd_bench::{accuracy_of, paper_delay, paper_section7_link, Settings, Table};
+use fd_core::detectors::{NfdE, NfdS, SimpleFd};
+use fd_core::NfdSAnalysis;
+
+const ETA: f64 = 1.0;
+const MEAN_DELAY: f64 = 0.02;
+
+fn main() {
+    let settings = Settings::from_env();
+    let link = paper_section7_link();
+    let delay = paper_delay();
+
+    println!(
+        "E6 — E(T_M) vs T_D^U under the Fig. 12 setting ({} intervals/point)\n",
+        settings.recurrences
+    );
+    let mut t = Table::new(&[
+        "T_D^U", "analytic", "η/q₀ bound", "NFD-S", "NFD-E", "SFD-L", "SFD-S",
+    ]);
+
+    for (i, t_d_u) in [1.0, 1.5, 2.0, 2.5, 3.0].into_iter().enumerate() {
+        let seed = 777 * (i as u64 + 1);
+        let a = NfdSAnalysis::new(ETA, t_d_u - ETA, 0.01, &delay).expect("valid params");
+
+        let mut nfd_s = NfdS::new(ETA, t_d_u - ETA).expect("valid");
+        let tm_s = accuracy_of(&mut nfd_s, &link, &settings, seed)
+            .mean_mistake_duration()
+            .unwrap_or(0.0);
+        let alpha = t_d_u - MEAN_DELAY - ETA;
+        let tm_e = if alpha > 0.0 {
+            let mut nfd_e = NfdE::new(ETA, alpha, 32).expect("valid");
+            accuracy_of(&mut nfd_e, &link, &settings, seed + 1)
+                .mean_mistake_duration()
+                .unwrap_or(0.0)
+        } else {
+            f64::NAN
+        };
+        let mut sfd_l = SimpleFd::with_cutoff(t_d_u - 0.16, 0.16).expect("valid");
+        let tm_l = accuracy_of(&mut sfd_l, &link, &settings, seed + 2)
+            .mean_mistake_duration()
+            .unwrap_or(0.0);
+        let mut sfd_s = SimpleFd::with_cutoff(t_d_u - 0.08, 0.08).expect("valid");
+        let tm_ss = accuracy_of(&mut sfd_s, &link, &settings, seed + 3)
+            .mean_mistake_duration()
+            .unwrap_or(0.0);
+
+        t.row(&[
+            format!("{t_d_u:.2}"),
+            fmt_num(a.mean_duration()),
+            fmt_num(ETA / a.q0()),
+            fmt_num(tm_s),
+            if tm_e.is_nan() { "-".into() } else { fmt_num(tm_e) },
+            fmt_num(tm_l),
+            fmt_num(tm_ss),
+        ]);
+    }
+    t.print();
+    println!();
+    println!("expected: every measured column ≲ η = 1 (paper §7: \"bounded above by");
+    println!("approximately η\"); analytic column matches the NFD-S measurements.");
+}

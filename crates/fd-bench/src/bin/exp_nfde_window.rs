@@ -1,0 +1,63 @@
+//! E7 — The §6.3 claim: "NFD-E and NFD-U are practically
+//! indistinguishable for values of n as low as 30" (the paper's Fig. 12
+//! uses n = 32).
+//!
+//! Sweeps the estimation-window size and compares NFD-E's accuracy to
+//! the NFD-U reference (which knows the expected arrival times exactly).
+
+use fd_bench::report::fmt_num;
+use fd_bench::{accuracy_of, paper_section7_link, Settings, Table};
+use fd_core::detectors::{NfdE, NfdU};
+
+const ETA: f64 = 1.0;
+const ALPHA: f64 = 0.98; // T_D^u = 2 − E(D): matches NFD-S with δ = 1
+const MEAN_DELAY: f64 = 0.02;
+
+fn main() {
+    let mut settings = Settings::from_env();
+    // Distinguishing windows needs tight statistics; the runs are cheap
+    // at this E(T_MR), so raise the default interval count.
+    if !settings.paper {
+        settings.recurrences = settings.recurrences.max(1500);
+    }
+    let link = paper_section7_link();
+
+    println!(
+        "E7 — NFD-E window sweep vs NFD-U reference (α = {ALPHA}, {} intervals/point)\n",
+        settings.recurrences
+    );
+
+    // Reference: NFD-U with exact EAᵢ = i·η + E(D).
+    let mut nfd_u = NfdU::new(ETA, ALPHA, MEAN_DELAY).expect("valid params");
+    let acc_u = accuracy_of(&mut nfd_u, &link, &settings, 1);
+    let tmr_u = acc_u.mean_mistake_recurrence().expect("mistakes observed");
+    let tm_u = acc_u.mean_mistake_duration().expect("durations observed");
+
+    let mut t = Table::new(&["window n", "E(T_MR)", "vs NFD-U", "E(T_M)", "P_A"]);
+    t.row(&[
+        "NFD-U (exact)".into(),
+        fmt_num(tmr_u),
+        "1.000".into(),
+        fmt_num(tm_u),
+        format!("{:.6}", acc_u.query_accuracy_probability()),
+    ]);
+
+    for (i, n) in [2usize, 4, 8, 16, 30, 32, 64, 128].into_iter().enumerate() {
+        let mut nfd_e = NfdE::new(ETA, ALPHA, n).expect("valid params");
+        let acc = accuracy_of(&mut nfd_e, &link, &settings, 100 + i as u64);
+        let tmr = acc.mean_mistake_recurrence().unwrap_or(f64::INFINITY);
+        let tm = acc.mean_mistake_duration().unwrap_or(0.0);
+        t.row(&[
+            n.to_string(),
+            fmt_num(tmr),
+            format!("{:.3}", tmr / tmr_u),
+            fmt_num(tm),
+            format!("{:.6}", acc.query_accuracy_probability()),
+        ]);
+    }
+    t.print();
+    println!();
+    println!("expected: the vs-NFD-U ratio approaches 1 as n grows and is ≈ 1 by n = 30");
+    println!("(the §6.3 claim); small windows are noisier but not catastrically so for");
+    println!("this low-variance delay law.");
+}

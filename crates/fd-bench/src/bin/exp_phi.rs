@@ -1,0 +1,99 @@
+//! E16 — QoS comparison with the φ-accrual descendant (extension).
+//!
+//! The paper's QoS metrics are implementation-agnostic (§2.3), so they
+//! can score detectors the paper predates. φ-accrual (Hayashibara 2004,
+//! the Akka/Cassandra detector) anchors its expectation at the *receipt
+//! time of the last heartbeat* — the very anchoring §1.2.1 criticizes in
+//! the common algorithm. This experiment traces both detectors'
+//! (detection time, mistake recurrence) trade-off curves at the same
+//! heartbeat rate: for every operating point we report the measured mean
+//! detection time and the measured E(T_MR).
+//!
+//! Reading the output: a detector dominates where, at comparable mean
+//! T_D, its E(T_MR) is higher.
+
+use fd_bench::report::fmt_num;
+use fd_bench::{accuracy_of, paper_section7_link, Settings, Table};
+use fd_core::detectors::{NfdE, PhiAccrual};
+use fd_sim::harness::{measure_detection_times, DetectionRun};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const ETA: f64 = 1.0;
+const MEAN_DELAY: f64 = 0.02;
+
+fn main() {
+    let settings = Settings::from_env();
+    let link = paper_section7_link();
+    let crashes = if settings.paper { 1000 } else { 200 };
+
+    println!(
+        "E16 — φ-accrual vs NFD-E trade-off curves (η = 1, p_L = 0.01, D ~ Exp(0.02))\n"
+    );
+    let mut t = Table::new(&["detector", "knob", "mean T_D", "max T_D", "E(T_MR)"]);
+
+    // NFD-E curve: sweep the slack α (detection bound η + E(D) + α).
+    for (i, alpha) in [0.48, 0.98, 1.48, 1.98].into_iter().enumerate() {
+        let mut rng = StdRng::seed_from_u64(settings.seed + i as u64);
+        let det = measure_detection_times(
+            || Box::new(NfdE::new(ETA, alpha, 32).expect("valid")),
+            &DetectionRun {
+                eta: ETA,
+                crashes,
+                crash_after: 40.0,
+                post_crash_window: 3.0 * (alpha + ETA + MEAN_DELAY) + 2.0,
+            },
+            &link,
+            &mut rng,
+        );
+        let mut fd = NfdE::new(ETA, alpha, 32).expect("valid");
+        let tmr = accuracy_of(&mut fd, &link, &settings, 900 + i as u64)
+            .mean_mistake_recurrence()
+            .unwrap_or(f64::INFINITY);
+        t.row(&[
+            "NFD-E".into(),
+            format!("α={alpha}"),
+            fmt_num(det.mean_finite().unwrap_or(f64::NAN)),
+            fmt_num(det.max_finite().unwrap_or(f64::NAN)),
+            fmt_num(tmr),
+        ]);
+    }
+
+    // φ-accrual curve: sweep the threshold Φ.
+    for (i, phi) in [1.0, 2.0, 4.0, 8.0, 12.0, 16.0].into_iter().enumerate() {
+        let mut rng = StdRng::seed_from_u64(settings.seed + 50 + i as u64);
+        let det = measure_detection_times(
+            || Box::new(PhiAccrual::new(phi, 200, ETA).expect("valid")),
+            &DetectionRun {
+                eta: ETA,
+                crashes,
+                crash_after: 40.0,
+                post_crash_window: 10.0 * ETA,
+            },
+            &link,
+            &mut rng,
+        );
+        let mut fd = PhiAccrual::new(phi, 200, ETA).expect("valid");
+        let tmr = accuracy_of(&mut fd, &link, &settings, 950 + i as u64)
+            .mean_mistake_recurrence()
+            .unwrap_or(f64::INFINITY);
+        t.row(&[
+            "phi-accrual".into(),
+            format!("Φ={phi}"),
+            fmt_num(det.mean_finite().unwrap_or(f64::NAN)),
+            fmt_num(det.max_finite().unwrap_or(f64::NAN)),
+            fmt_num(tmr),
+        ]);
+    }
+
+    t.print();
+    println!();
+    println!("expected: NFD-E's E(T_MR) climbs orders of magnitude as its slack grows,");
+    println!("while φ-accrual *plateaus* near 1/p_L = 100 for every threshold: its");
+    println!("crossing time last-arrival + μ̂ + σ̂·z(Φ) grows only logarithmically-slowly");
+    println!("in Φ and stays below 2η, so each lost heartbeat costs a mistake. NFD's");
+    println!("freshness points survive single losses once δ > η by design (a fresh m_{{i+1}}");
+    println!("covers the hole); the receipt-anchored φ-accrual needs its separate");
+    println!("'acceptable pause' padding — i.e. a cutoff-timer hybrid — to match, which is");
+    println!("exactly the §1.2.1 / §7.2 territory the paper maps.");
+}

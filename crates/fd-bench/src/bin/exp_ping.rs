@@ -1,0 +1,89 @@
+//! E15 — One-way heartbeats vs two-way pings at equal bandwidth (the
+//! §8.2 open direction, explored as an extension).
+//!
+//! A ping costs two messages, so at equal message budget the ping
+//! interval is `2η`. The ping detector needs **no clock assumptions**
+//! (freshness points anchor at the monitor's own send times) but pays
+//! doubled loss (`1 − (1−p_L)²`) and convolved delays. This experiment
+//! quantifies the price, per unit bandwidth, across detection-time
+//! budgets — evidence for one-way heartbeats as the paper's
+//! cost-efficient primitive.
+
+use fd_bench::report::fmt_num;
+use fd_bench::{accuracy_of, paper_delay, paper_section7_link, Settings, Table};
+use fd_core::detectors::NfdS;
+use fd_core::ping::{round_trip_delay_law, round_trip_loss, PingNfd};
+use fd_core::NfdSAnalysis;
+use fd_metrics::AccuracyAnalysis;
+use fd_sim::{Link, StopCondition};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let settings = Settings::from_env();
+    let one_way_link = paper_section7_link();
+    let delay = paper_delay();
+
+    // Effective pong channel: double loss, RTT delays, ping interval 2η.
+    let mut rng = StdRng::seed_from_u64(settings.seed);
+    let rtt = round_trip_delay_law(&delay, &delay, 400_000, &mut rng).expect("samples");
+    let pong_loss = round_trip_loss(0.01);
+    let pong_link = Link::new(pong_loss, Box::new(rtt.clone())).expect("valid");
+    let ping_eta = 2.0; // equal bandwidth: 1 message per η on the wire
+
+    println!("E15 — heartbeat vs ping at equal bandwidth (1 msg per η = 1)\n");
+    let mut t = Table::new(&[
+        "T_D^U", "E(T_MR) heartbeat", "E(T_MR) ping", "analytic hb", "analytic ping",
+    ]);
+
+    for (i, t_d_u) in [2.5, 3.0, 4.0, 5.0].into_iter().enumerate() {
+        let seed = 71 * (i as u64 + 1);
+
+        // One-way NFD-S: η = 1, δ = T_D^U − 1.
+        let mut hb = NfdS::new(1.0, t_d_u - 1.0).expect("valid");
+        let tmr_hb = accuracy_of(&mut hb, &one_way_link, &settings, seed)
+            .mean_mistake_recurrence()
+            .unwrap_or(f64::INFINITY);
+        let an_hb = NfdSAnalysis::new(1.0, t_d_u - 1.0, 0.01, &delay)
+            .expect("valid")
+            .mean_recurrence();
+
+        // Ping NFD: η = 2, δ = T_D^U − 2 (same bound δ + η = T_D^U).
+        let mut ping = PingNfd::new(ping_eta, t_d_u - ping_eta).expect("valid");
+        let mut prng = StdRng::seed_from_u64(settings.seed + seed);
+        let out = fd_sim::run(
+            &mut ping,
+            &fd_sim::RunOptions::failure_free(
+                ping_eta,
+                StopCondition::STransitions {
+                    count: settings.recurrences,
+                    max_heartbeats: settings.max_heartbeats,
+                },
+            ),
+            &pong_link,
+            &mut prng,
+        );
+        let acc =
+            AccuracyAnalysis::of_trace(&out.trace.restrict(50.0_f64.min(out.trace.end()), out.trace.end()));
+        let tmr_ping = acc.mean_mistake_recurrence().unwrap_or(f64::INFINITY);
+        let an_ping = NfdSAnalysis::new(ping_eta, t_d_u - ping_eta, pong_loss, &rtt)
+            .expect("valid")
+            .mean_recurrence();
+
+        t.row(&[
+            format!("{t_d_u:.1}"),
+            fmt_num(tmr_hb),
+            fmt_num(tmr_ping),
+            fmt_num(an_hb),
+            fmt_num(an_ping),
+        ]);
+    }
+    t.print();
+    println!();
+    println!("expected: at every budget the one-way heartbeat detector's E(T_MR) exceeds");
+    println!("the ping detector's (double loss + stretched interval cost more than the");
+    println!("RTT anchoring saves) — but the ping detector achieved its bound with NO");
+    println!("clock assumptions, which NFD-S cannot. λ_M follows as 1/E(T_MR); E(T_M) ≲ η.");
+    println!("('inf' = no mistake observed within the heartbeat cap — consistent with the");
+    println!("analytic prediction exceeding the simulated horizon.)");
+}

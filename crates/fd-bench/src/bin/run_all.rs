@@ -1,0 +1,60 @@
+//! Runs every experiment binary (E1–E13) in sequence with the current
+//! settings, separating their outputs — the one-command regeneration of
+//! the paper's full evaluation.
+//!
+//! ```text
+//! cargo run --release -p fd-bench --bin run_all            # quick scale
+//! cargo run --release -p fd-bench --bin run_all -- --paper # §7 scale
+//! ```
+
+use std::process::Command;
+
+const EXPERIMENTS: &[(&str, &str)] = &[
+    ("exp_gof", "E0  sampler goodness-of-fit (input validation)"),
+    ("exp_fig2_fig3", "E1  metric-separation examples (Figs. 2–3)"),
+    ("exp_theorem1", "E2  Theorem 1 relations"),
+    ("exp_config_known", "E3  §4 worked example"),
+    ("exp_config_unknown", "E4  §5 worked example"),
+    ("exp_fig12", "E5  Fig. 12 (headline)"),
+    ("exp_mistake_duration", "E6  E(T_M) ≤ η observation"),
+    ("exp_nfde_window", "E7  NFD-E window sweep"),
+    ("exp_theorem5", "E8  Theorem 5 validation"),
+    ("exp_optimality", "E9  Theorem 6 optimality"),
+    ("exp_detection_time", "E10 detection-time bound"),
+    ("exp_bounds", "E11 Theorem 9 conservatism"),
+    ("exp_adaptive", "E12 §8.1 adaptivity"),
+    ("exp_eta_gap", "E13 Proposition 8 η gap"),
+    ("exp_burst", "E14 bursty traffic & §8.1.2 combiner ablation"),
+    ("exp_ping", "E15 heartbeat vs ping at equal bandwidth (§8.2 extension)"),
+    ("exp_phi", "E16 φ-accrual descendant comparison (extension)"),
+];
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let exe_dir = std::env::current_exe()
+        .expect("current exe path")
+        .parent()
+        .expect("exe dir")
+        .to_path_buf();
+
+    let mut failures = Vec::new();
+    for (bin, title) in EXPERIMENTS {
+        println!("\n{}", "=".repeat(78));
+        println!("== {title}");
+        println!("{}", "=".repeat(78));
+        let status = Command::new(exe_dir.join(bin))
+            .args(&args)
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {bin}: {e}"));
+        if !status.success() {
+            failures.push(*bin);
+        }
+    }
+    println!("\n{}", "=".repeat(78));
+    if failures.is_empty() {
+        println!("all {} experiments completed successfully", EXPERIMENTS.len());
+    } else {
+        println!("FAILED experiments: {failures:?}");
+        std::process::exit(1);
+    }
+}

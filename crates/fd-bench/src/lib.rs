@@ -1,0 +1,73 @@
+//! Shared machinery for the experiment binaries.
+//!
+//! Every table and figure of the paper's evaluation has a binary under
+//! `src/bin/` (see `DESIGN.md`'s experiment index E1–E13). Binaries print
+//! aligned text tables — the same rows/series the paper reports — and
+//! accept a few flags for scale:
+//!
+//! ```text
+//! --recurrences N   mistake-recurrence intervals per point (default 100;
+//!                   the paper uses 500 — pass --paper)
+//! --paper           full paper-scale settings
+//! --seed N          base RNG seed
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod report;
+pub mod settings;
+
+pub use report::Table;
+pub use settings::Settings;
+
+use fd_core::FailureDetector;
+use fd_metrics::AccuracyAnalysis;
+use fd_sim::harness::{measure_accuracy, AccuracyRun};
+use fd_sim::Link;
+use fd_stats::dist::Exponential;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The §7 simulation setting: `η = 1`, `p_L = 0.01`, `D ~ Exp(0.02)`.
+pub fn paper_section7_link() -> Link {
+    Link::new(0.01, Box::new(paper_delay())).expect("valid link")
+}
+
+/// The §7 delay law: exponential with `E(D) = 0.02`.
+pub fn paper_delay() -> Exponential {
+    Exponential::with_mean(0.02).expect("valid mean")
+}
+
+/// Measures steady-state accuracy of `fd` under the §7 methodology.
+pub fn accuracy_of(
+    fd: &mut dyn FailureDetector,
+    link: &Link,
+    settings: &Settings,
+    seed_offset: u64,
+) -> AccuracyAnalysis {
+    let mut rng = StdRng::seed_from_u64(settings.seed.wrapping_add(seed_offset));
+    measure_accuracy(
+        fd,
+        &AccuracyRun {
+            eta: 1.0,
+            recurrence_target: settings.recurrences,
+            max_heartbeats: settings.max_heartbeats,
+            warmup: 50.0,
+        },
+        link,
+        &mut rng,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_link_parameters() {
+        let link = paper_section7_link();
+        assert_eq!(link.loss_probability(), 0.01);
+        assert!((link.delay().mean() - 0.02).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,110 @@
+//! Command-line scale settings shared by all experiment binaries.
+
+/// Run-scale settings parsed from the command line.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Settings {
+    /// Mistake-recurrence intervals per measured point (§7 uses 500).
+    pub recurrences: usize,
+    /// Hard cap on heartbeats per point.
+    pub max_heartbeats: u64,
+    /// Base RNG seed.
+    pub seed: u64,
+    /// Whether full paper-scale settings were requested.
+    pub paper: bool,
+}
+
+impl Default for Settings {
+    fn default() -> Self {
+        Self {
+            recurrences: 100,
+            max_heartbeats: 300_000_000,
+            seed: 20_260_706,
+            paper: false,
+        }
+    }
+}
+
+impl Settings {
+    /// Parses settings from an iterator of arguments (excluding `argv[0]`).
+    ///
+    /// Unknown flags are ignored so binaries can add their own.
+    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Self {
+        let mut s = Settings::default();
+        let mut args = args.into_iter();
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--recurrences" => {
+                    if let Some(v) = args.next().and_then(|v| v.parse().ok()) {
+                        s.recurrences = v;
+                    }
+                }
+                "--seed" => {
+                    if let Some(v) = args.next().and_then(|v| v.parse().ok()) {
+                        s.seed = v;
+                    }
+                }
+                "--paper" => {
+                    s.paper = true;
+                    s.recurrences = 500;
+                    s.max_heartbeats = 2_000_000_000;
+                }
+                _ => {}
+            }
+        }
+        s
+    }
+
+    /// Parses from the real process arguments.
+    pub fn from_env() -> Self {
+        Self::parse(std::env::args().skip(1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Settings {
+        Settings::parse(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn defaults() {
+        let s = parse(&[]);
+        assert_eq!(s.recurrences, 100);
+        assert!(!s.paper);
+    }
+
+    #[test]
+    fn explicit_recurrences_and_seed() {
+        let s = parse(&["--recurrences", "250", "--seed", "9"]);
+        assert_eq!(s.recurrences, 250);
+        assert_eq!(s.seed, 9);
+    }
+
+    #[test]
+    fn paper_scale() {
+        let s = parse(&["--paper"]);
+        assert!(s.paper);
+        assert_eq!(s.recurrences, 500);
+    }
+
+    #[test]
+    fn paper_then_override() {
+        let s = parse(&["--paper", "--recurrences", "50"]);
+        assert_eq!(s.recurrences, 50);
+        assert!(s.paper);
+    }
+
+    #[test]
+    fn unknown_flags_ignored() {
+        let s = parse(&["--wat", "--recurrences", "7"]);
+        assert_eq!(s.recurrences, 7);
+    }
+
+    #[test]
+    fn malformed_value_keeps_default() {
+        let s = parse(&["--recurrences", "not-a-number"]);
+        assert_eq!(s.recurrences, 100);
+    }
+}

@@ -1,0 +1,207 @@
+//! Moment-only QoS bounds (Theorems 9 and 11).
+//!
+//! When the delay distribution is unknown and only `p_L`, `E(D)`, `V(D)`
+//! are available (§5), the paper bounds NFD-S's accuracy by applying the
+//! one-sided (Cantelli) inequality to every tail probability in
+//! Proposition 3:
+//!
+//! ```text
+//! E(T_MR) ≥ η/β,   β  = Π_{j=0}^{k₀} [V + p_L·gⱼ²] / [V + gⱼ²],
+//!                  gⱼ = δ − E(D) − jη,   k₀ = ⌈(δ−E(D))/η⌉ − 1
+//! E(T_M)  ≤ η/γ,   γ  = (1 − p_L)(δ − E(D) + η)² / [V + (δ − E(D) + η)²]
+//! ```
+//!
+//! Theorem 11 is the same statement for NFD-U with `δ − E(D)` replaced by
+//! `α` — notably *not* using `E(D)` at all.
+
+use crate::detectors::{require, ParamError};
+
+/// The Theorem 9 accuracy bounds for NFD-S given only `p_L`, `E(D)`,
+/// `V(D)`.
+///
+/// Requires `δ > E(D)` (otherwise NFD-S false-suspects on every
+/// above-average delay and is not a useful detector — see the discussion
+/// after Theorem 9).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MomentBounds {
+    /// Lower bound on `E(T_MR)`.
+    pub recurrence_lower: f64,
+    /// Upper bound on `E(T_M)`.
+    pub duration_upper: f64,
+}
+
+/// Computes the Theorem 9 bounds for NFD-S parameters `(eta, delta)` over
+/// a link with loss `p_l`, mean delay `mean_delay` and delay variance
+/// `delay_variance`.
+///
+/// # Errors
+///
+/// Returns [`ParamError`] unless `eta > 0`, `delta > mean_delay`,
+/// `0 ≤ p_l ≤ 1` and `delay_variance ≥ 0`.
+pub fn nfd_s_moment_bounds(
+    eta: f64,
+    delta: f64,
+    p_l: f64,
+    mean_delay: f64,
+    delay_variance: f64,
+) -> Result<MomentBounds, ParamError> {
+    require(eta > 0.0 && eta.is_finite(), "eta", "> 0 and finite", eta)?;
+    require(
+        delta > mean_delay && delta.is_finite(),
+        "delta",
+        "> E(D) (Theorem 9 precondition)",
+        delta,
+    )?;
+    require((0.0..=1.0).contains(&p_l), "p_l", "in [0, 1]", p_l)?;
+    require(
+        delay_variance >= 0.0 && delay_variance.is_finite(),
+        "delay_variance",
+        ">= 0 and finite",
+        delay_variance,
+    )?;
+    Ok(effective_bounds(eta, delta - mean_delay, p_l, delay_variance))
+}
+
+/// Computes the Theorem 11 bounds for NFD-U parameters `(eta, alpha)`
+/// using only `p_l` and `delay_variance` (`E(D)` is not needed).
+///
+/// # Errors
+///
+/// Returns [`ParamError`] unless `eta > 0`, `alpha > 0`, `0 ≤ p_l ≤ 1`
+/// and `delay_variance ≥ 0`.
+pub fn nfd_u_moment_bounds(
+    eta: f64,
+    alpha: f64,
+    p_l: f64,
+    delay_variance: f64,
+) -> Result<MomentBounds, ParamError> {
+    require(eta > 0.0 && eta.is_finite(), "eta", "> 0 and finite", eta)?;
+    require(
+        alpha > 0.0 && alpha.is_finite(),
+        "alpha",
+        "> 0 (Theorem 11 precondition)",
+        alpha,
+    )?;
+    require((0.0..=1.0).contains(&p_l), "p_l", "in [0, 1]", p_l)?;
+    require(
+        delay_variance >= 0.0 && delay_variance.is_finite(),
+        "delay_variance",
+        ">= 0 and finite",
+        delay_variance,
+    )?;
+    Ok(effective_bounds(eta, alpha, p_l, delay_variance))
+}
+
+/// Shared core: `slack` is `δ − E(D)` (Theorem 9) or `α` (Theorem 11).
+fn effective_bounds(eta: f64, slack: f64, p_l: f64, v: f64) -> MomentBounds {
+    // β = Π_{j=0}^{k₀} [V + p_L gⱼ²] / [V + gⱼ²].
+    let k0 = (slack / eta).ceil() as i64 - 1;
+    let mut beta = 1.0;
+    for j in 0..=k0 {
+        let g = slack - j as f64 * eta;
+        beta *= (v + p_l * g * g) / (v + g * g);
+    }
+    // γ = (1 − p_L)(slack + η)² / (V + (slack + η)²).
+    let s = slack + eta;
+    let gamma = (1.0 - p_l) * s * s / (v + s * s);
+
+    MomentBounds {
+        recurrence_lower: if beta == 0.0 { f64::INFINITY } else { eta / beta },
+        duration_upper: if gamma == 0.0 { f64::INFINITY } else { eta / gamma },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::NfdSAnalysis;
+    use fd_stats::dist::{Exponential, LogNormal, Pareto, Uniform};
+    use fd_stats::DelayDistribution;
+
+    #[test]
+    fn k0_edge_exact_multiple() {
+        // slack = 2η ⇒ k₀ = 1; both g₀ = 2η and g₁ = η are positive.
+        let b = nfd_s_moment_bounds(1.0, 2.02, 0.0, 0.02, 0.01).unwrap();
+        assert!(b.recurrence_lower.is_finite() || b.recurrence_lower.is_infinite());
+        assert!(b.duration_upper > 0.0);
+    }
+
+    #[test]
+    fn zero_loss_zero_variance_never_mistakes() {
+        // V = 0, p_L = 0 ⇒ β = 0 ⇒ E(T_MR) bound is ∞.
+        let b = nfd_s_moment_bounds(1.0, 1.0, 0.0, 0.02, 0.0).unwrap();
+        assert_eq!(b.recurrence_lower, f64::INFINITY);
+        assert!(b.duration_upper < f64::INFINITY);
+    }
+
+    #[test]
+    fn bounds_are_sound_for_many_distributions() {
+        // The Theorem 9 bounds must be conservative w.r.t. the exact
+        // Theorem 5 values, whatever the true distribution.
+        let laws: Vec<Box<dyn DelayDistribution>> = vec![
+            Box::new(Exponential::with_mean(0.02).unwrap()),
+            Box::new(Uniform::new(0.0, 0.04).unwrap()),
+            Box::new(Pareto::with_mean(0.02, 3.0).unwrap()),
+            Box::new(LogNormal::with_moments(0.02, 4e-4).unwrap()),
+        ];
+        for law in &laws {
+            for delta in [0.5, 1.0, 2.5] {
+                for p_l in [0.0, 0.01, 0.2] {
+                    let exact = NfdSAnalysis::new(1.0, delta, p_l, law).unwrap();
+                    let bound =
+                        nfd_s_moment_bounds(1.0, delta, p_l, law.mean(), law.variance()).unwrap();
+                    assert!(
+                        exact.mean_recurrence() + 1e-9 >= bound.recurrence_lower,
+                        "{law:?} δ={delta} p_L={p_l}: E(T_MR)={} < bound {}",
+                        exact.mean_recurrence(),
+                        bound.recurrence_lower
+                    );
+                    assert!(
+                        exact.mean_duration() <= bound.duration_upper + 1e-9,
+                        "{law:?} δ={delta} p_L={p_l}: E(T_M)={} > bound {}",
+                        exact.mean_duration(),
+                        bound.duration_upper
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn nfd_u_bounds_equal_nfd_s_with_substitution() {
+        // Theorem 11 = Theorem 9 with slack α instead of δ − E(D).
+        let s = nfd_s_moment_bounds(1.0, 1.52, 0.01, 0.02, 4e-4).unwrap();
+        let u = nfd_u_moment_bounds(1.0, 1.5, 0.01, 4e-4).unwrap();
+        assert!((s.recurrence_lower - u.recurrence_lower).abs() < 1e-9);
+        assert!((s.duration_upper - u.duration_upper).abs() < 1e-9);
+    }
+
+    #[test]
+    fn nfd_u_bounds_do_not_need_mean_delay() {
+        // The signature itself proves it, but also: identical results for
+        // links differing only in E(D).
+        let a = nfd_u_moment_bounds(1.0, 2.0, 0.05, 1e-3).unwrap();
+        let b = nfd_u_moment_bounds(1.0, 2.0, 0.05, 1e-3).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn larger_slack_weakly_improves_bounds() {
+        let mut prev = nfd_u_moment_bounds(1.0, 0.5, 0.01, 4e-4).unwrap();
+        for alpha in [1.0, 1.5, 2.5, 4.0] {
+            let cur = nfd_u_moment_bounds(1.0, alpha, 0.01, 4e-4).unwrap();
+            assert!(cur.recurrence_lower + 1e-9 >= prev.recurrence_lower, "α={alpha}");
+            prev = cur;
+        }
+    }
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(nfd_s_moment_bounds(0.0, 1.0, 0.0, 0.02, 0.01).is_err());
+        // δ ≤ E(D) violates the Theorem 9 precondition.
+        assert!(nfd_s_moment_bounds(1.0, 0.02, 0.0, 0.02, 0.01).is_err());
+        assert!(nfd_s_moment_bounds(1.0, 1.0, -0.1, 0.02, 0.01).is_err());
+        assert!(nfd_s_moment_bounds(1.0, 1.0, 0.0, 0.02, -0.01).is_err());
+        assert!(nfd_u_moment_bounds(1.0, 0.0, 0.01, 0.01).is_err());
+    }
+}

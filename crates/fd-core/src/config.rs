@@ -1,0 +1,629 @@
+//! Configuring the failure detector to satisfy QoS requirements
+//! (§4, §5, §6.2).
+//!
+//! Each procedure takes the application's requirement tuple
+//! `(T_D^U, T_MR^L, T_M^U)` (Eq. 4.1 / 6.1) plus what is known about the
+//! network, and returns either parameters that *provably* satisfy the
+//! requirements or the verdict that **no failure detector whatsoever** can
+//! (Theorems 7, 10, 12):
+//!
+//! | procedure | knows | algorithm | outputs |
+//! |---|---|---|---|
+//! | [`configure_known_distribution`] | `p_L`, full CDF of `D` | NFD-S | `(η, δ)` |
+//! | [`configure_from_moments`] | `p_L`, `E(D)`, `V(D)` | NFD-S | `(η, δ)` |
+//! | [`configure_nfd_u`] | `p_L`, `V(D)` | NFD-U / NFD-E | `(η, α)` |
+//!
+//! All three follow the same three-step shape: compute `η_max` from the
+//! mistake-duration constraint, search for the largest `η ≤ η_max` whose
+//! predicted mistake-recurrence `f(η)` meets `T_MR^L`, then set the shift
+//! to consume the rest of the detection-time budget.
+//!
+//! The search honors the paper's observation that "when `η` decreases,
+//! `f(η)` increases exponentially fast": it scans a geometric grid from
+//! `η_max` downward and refines by bisection, always returning an `η`
+//! whose `f(η) ≥ T_MR^L` is *verified* (the returned parameters are
+//! feasible by construction, which is all Theorem 7 requires — the true
+//! supremum may be marginally larger between grid points).
+
+use crate::detectors::{require, ParamError};
+use fd_metrics::QosRequirements;
+use fd_stats::DelayDistribution;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// NFD-S parameters produced by a configuration procedure.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NfdSParams {
+    /// Heartbeat intersending time `η`.
+    pub eta: f64,
+    /// Freshness-point shift `δ`.
+    pub delta: f64,
+}
+
+impl fmt::Display for NfdSParams {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "η = {:.4}, δ = {:.4}", self.eta, self.delta)
+    }
+}
+
+/// NFD-U / NFD-E parameters produced by [`configure_nfd_u`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NfdUParams {
+    /// Heartbeat intersending time `η`.
+    pub eta: f64,
+    /// Slack `α` added to expected arrival times.
+    pub alpha: f64,
+}
+
+impl fmt::Display for NfdUParams {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "η = {:.4}, α = {:.4}", self.eta, self.alpha)
+    }
+}
+
+/// Error from a configuration procedure (invalid inputs or a failed
+/// search — *not* "QoS unachievable", which is the `Ok(None)` outcome).
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConfigError {
+    /// An input parameter was out of domain.
+    InvalidInput(ParamError),
+    /// The feasible-`η` search did not converge (pathological inputs; the
+    /// theorems guarantee existence, so this indicates numerics stretched
+    /// past `MAX_PRODUCT_TERMS`).
+    SearchFailed,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::InvalidInput(e) => write!(f, "invalid configuration input: {e}"),
+            ConfigError::SearchFailed => write!(f, "feasible-η search failed to converge"),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ConfigError::InvalidInput(e) => Some(e),
+            ConfigError::SearchFailed => None,
+        }
+    }
+}
+
+impl From<ParamError> for ConfigError {
+    fn from(e: ParamError) -> Self {
+        ConfigError::InvalidInput(e)
+    }
+}
+
+/// Above this many product terms, `f(η)` evaluation switches from the
+/// exact product to a *guaranteed lower bound* via integral comparison
+/// (see `product_log_lower_bound`), keeping each evaluation O(1) in `1/η`
+/// while preserving the invariant that "feasible" results are verified.
+const MAX_PRODUCT_TERMS: u64 = 100_000;
+
+/// Lower-bounds `Σ_{j=1}^{m} φ(B − jη)` by `(1/η)·∫₀^{B−η} φ(g) dg` for a
+/// nonnegative φ that is *increasing* in `g`.
+///
+/// The grid points `g_j = B − jη` (with `m = ⌈B/η⌉ − 1`, so `g_m ∈ (0, η]`)
+/// satisfy `φ(g_j) ≥ (1/η)·∫_{g_j − η}^{g_j} φ` term-by-term, which sums
+/// to the claim. Both configuration products have this shape in log
+/// space, with φ strictly positive away from 0 — this is what makes
+/// `f(η) → ∞` as `η → 0` ("exponentially fast", §4 Step 2) computable
+/// without walking a billion terms.
+fn product_log_lower_bound(phi: &dyn Fn(f64) -> f64, b: f64, eta: f64) -> f64 {
+    let upper = b - eta;
+    if upper <= 0.0 {
+        return 0.0;
+    }
+    fd_stats::integrate_adaptive_simpson(phi, 0.0, upper, 1e-9) / eta
+}
+
+/// §4: configure NFD-S when the full probabilistic behavior
+/// (`p_L` and the distribution of `D`) is known.
+///
+/// Returns `Ok(Some(params))` with parameters that satisfy the
+/// requirements, or `Ok(None)` meaning **no failure detector can achieve
+/// this QoS** in this system (Theorem 7: this happens exactly when no
+/// message ever arrives within `T_D^U` of being sent).
+///
+/// # Errors
+///
+/// Returns [`ConfigError::InvalidInput`] if `p_l ∉ [0, 1]`.
+///
+/// # Example
+///
+/// See the crate-level example, which reproduces the §4 worked example
+/// (`η ≈ 9.97`, `δ ≈ 20.03`).
+pub fn configure_known_distribution(
+    req: &QosRequirements,
+    p_l: f64,
+    delay: &dyn DelayDistribution,
+) -> Result<Option<NfdSParams>, ConfigError> {
+    require((0.0..=1.0).contains(&p_l), "p_l", "in [0, 1]", p_l)?;
+    let t_d = req.detection_time_upper();
+
+    // Step 1: q₀' = (1 − p_L)·Pr(D < T_D^U); η_max = q₀'·T_M^U.
+    let q0p = (1.0 - p_l) * delay.cdf_strict(t_d);
+    // δ = T_D^U − η must be ≥ 0, so additionally clamp η to T_D^U (the
+    // paper leaves this implicit).
+    let eta_max = (q0p * req.mistake_duration_upper()).min(t_d);
+    if eta_max == 0.0 {
+        return Ok(None); // "QoS cannot be achieved"
+    }
+
+    // Step 2: f(η) = η / (q₀'·Π_{j=1}^{⌈T_D^U/η⌉−1} [p_L + (1−p_L)Pr(D > T_D^U − jη)]).
+    // The small margin keeps the returned parameters feasible under
+    // independent re-evaluation (different rounding paths).
+    let target = req.mistake_recurrence_lower() * (1.0 + 1e-6);
+    let f = |eta: f64| -> f64 {
+        let terms = (t_d / eta).ceil() as u64 - 1;
+        if terms > MAX_PRODUCT_TERMS {
+            // Tiny η: certify feasibility through the integral lower
+            // bound on ln f(η) = ln η − ln q₀' + Σ −ln[p_L + (1−p_L)Pr(D > g_j)].
+            let largest_g = t_d - eta;
+            let worst_term = p_l + (1.0 - p_l) * delay.sf(largest_g);
+            if worst_term == 0.0 {
+                return f64::INFINITY; // a zero factor ⇒ f = ∞
+            }
+            let phi = |g: f64| -(p_l + (1.0 - p_l) * delay.sf(g)).ln();
+            let ln_f = eta.ln() - q0p.ln() + product_log_lower_bound(&phi, t_d, eta);
+            return if ln_f >= target.ln() { f64::INFINITY } else { 0.0 };
+        }
+        let mut denom = q0p;
+        for j in 1..=terms {
+            denom *= p_l + (1.0 - p_l) * delay.sf(t_d - j as f64 * eta);
+            if denom == 0.0 || eta / denom >= target {
+                // Early exit: remaining factors are ≤ 1, f only grows.
+                return f64::INFINITY;
+            }
+        }
+        eta / denom
+    };
+
+    let eta = largest_feasible_eta(eta_max, target, &f)?;
+    // Step 3: δ = T_D^U − η.
+    Ok(Some(NfdSParams {
+        eta,
+        delta: t_d - eta,
+    }))
+}
+
+/// §5: configure NFD-S when only `p_L`, `E(D)` and `V(D)` are known
+/// (the full distribution is not), via the Theorem 9 bounds.
+///
+/// Returns `Ok(Some(params))` or `Ok(None)` ("QoS cannot be achieved",
+/// Theorem 10).
+///
+/// # Errors
+///
+/// Returns [`ConfigError::InvalidInput`] if `p_l ∉ [0, 1]`, moments are
+/// invalid, or the procedure's precondition `T_D^U > E(D)` fails.
+pub fn configure_from_moments(
+    req: &QosRequirements,
+    p_l: f64,
+    mean_delay: f64,
+    delay_variance: f64,
+) -> Result<Option<NfdSParams>, ConfigError> {
+    require((0.0..=1.0).contains(&p_l), "p_l", "in [0, 1]", p_l)?;
+    require(
+        mean_delay >= 0.0 && mean_delay.is_finite(),
+        "mean_delay",
+        ">= 0 and finite",
+        mean_delay,
+    )?;
+    require(
+        delay_variance >= 0.0 && delay_variance.is_finite(),
+        "delay_variance",
+        ">= 0 and finite",
+        delay_variance,
+    )?;
+    let t_d = req.detection_time_upper();
+    require(
+        t_d > mean_delay,
+        "T_D^U",
+        "> E(D) (procedure precondition, §5.1)",
+        t_d,
+    )?;
+
+    // The §6 core with slack budget T_D^U − E(D); δ = T_D^U − η.
+    let slack_budget = t_d - mean_delay;
+    match moment_core(req, p_l, delay_variance, slack_budget)? {
+        None => Ok(None),
+        Some(eta) => Ok(Some(NfdSParams {
+            eta,
+            delta: t_d - eta,
+        })),
+    }
+}
+
+/// §6.2: configure NFD-U (and, for window sizes `n ≳ 30`, NFD-E) using
+/// only `p_L` and `V(D)`.
+///
+/// `t_d_relative` is `T_D^u`: the detection-time budget **relative to the
+/// unknown `E(D)`** — the achieved bound is `T_D ≤ T_D^u + E(D)`
+/// (Eq. 6.1; with one-way messages and unsynchronized clocks no absolute
+/// bound is enforceable). `req.detection_time_upper()` is interpreted as
+/// `T_D^u`.
+///
+/// Returns `Ok(Some(params))` or `Ok(None)` ("QoS cannot be achieved",
+/// Theorem 12).
+///
+/// # Errors
+///
+/// Returns [`ConfigError::InvalidInput`] for out-of-domain inputs.
+pub fn configure_nfd_u(
+    req: &QosRequirements,
+    p_l: f64,
+    delay_variance: f64,
+) -> Result<Option<NfdUParams>, ConfigError> {
+    require((0.0..=1.0).contains(&p_l), "p_l", "in [0, 1]", p_l)?;
+    require(
+        delay_variance >= 0.0 && delay_variance.is_finite(),
+        "delay_variance",
+        ">= 0 and finite",
+        delay_variance,
+    )?;
+    let t_d_u = req.detection_time_upper();
+    match moment_core(req, p_l, delay_variance, t_d_u)? {
+        None => Ok(None),
+        Some(eta) => Ok(Some(NfdUParams {
+            eta,
+            alpha: t_d_u - eta,
+        })),
+    }
+}
+
+/// Shared §5/§6 numeric core. `slack_budget` is `T_D^U − E(D)` (§5) or
+/// `T_D^u` (§6); returns the chosen `η ≤ η_max`, or `None` if
+/// unachievable.
+fn moment_core(
+    req: &QosRequirements,
+    p_l: f64,
+    v: f64,
+    slack_budget: f64,
+) -> Result<Option<f64>, ConfigError> {
+    // Step 1: γ' = (1 − p_L)·B²/(V + B²) with B = slack budget;
+    // η_max = min(γ'·T_M^U, B).
+    let b = slack_budget;
+    let gamma_p = (1.0 - p_l) * b * b / (v + b * b);
+    let eta_max = (gamma_p * req.mistake_duration_upper()).min(b);
+    if eta_max == 0.0 {
+        return Ok(None);
+    }
+
+    // Step 2: f(η) = η·Π_{j=1}^{⌈B/η⌉−1} (V + (B − jη)²)/(V + p_L(B − jη)²).
+    // Margin: see configure_known_distribution.
+    let target = req.mistake_recurrence_lower() * (1.0 + 1e-6);
+    let f = |eta: f64| -> f64 {
+        let terms = (b / eta).ceil() as u64 - 1;
+        if terms > MAX_PRODUCT_TERMS {
+            // Tiny η: integral lower bound on
+            // ln f(η) = ln η + Σ ln[(V + g_j²)/(V + p_L·g_j²)].
+            if v == 0.0 && p_l == 0.0 {
+                return f64::INFINITY; // every factor is g²/0⁺ = ∞
+            }
+            let phi = |g: f64| ((v + g * g) / (v + p_l * g * g)).ln();
+            let ln_f = eta.ln() + product_log_lower_bound(&phi, b, eta);
+            return if ln_f >= target.ln() { f64::INFINITY } else { 0.0 };
+        }
+        let mut val = eta;
+        for j in 1..=terms {
+            let g = b - j as f64 * eta;
+            let num = v + g * g;
+            let den = v + p_l * g * g;
+            if den == 0.0 {
+                return f64::INFINITY;
+            }
+            val *= num / den;
+            if val >= target {
+                // Early exit: remaining factors are ≥ 1.
+                return f64::INFINITY;
+            }
+        }
+        val
+    };
+
+    Ok(Some(largest_feasible_eta(eta_max, target, &f)?))
+}
+
+/// Finds a (near-)largest `η ≤ eta_max` with `f(η) ≥ target`; the result
+/// is always *verified feasible*.
+///
+/// Strategy: check `eta_max` itself; otherwise scan a geometric grid
+/// downward until the first feasible point, then bisect between it and
+/// the infeasible point above it, keeping the feasible endpoint.
+fn largest_feasible_eta(
+    eta_max: f64,
+    target: f64,
+    f: &dyn Fn(f64) -> f64,
+) -> Result<f64, ConfigError> {
+    debug_assert!(eta_max > 0.0 && target > 0.0);
+    if f(eta_max) >= target {
+        return Ok(eta_max);
+    }
+
+    // Geometric grid: 600 points per decade over 12 decades.
+    const PER_DECADE: u32 = 600;
+    const DECADES: u32 = 12;
+    let step = 10f64.powf(-1.0 / PER_DECADE as f64);
+    let mut hi = eta_max; // infeasible
+    let mut lo = eta_max * step;
+    let mut found = false;
+    for _ in 0..(PER_DECADE * DECADES) {
+        if f(lo) >= target {
+            found = true;
+            break;
+        }
+        hi = lo;
+        lo *= step;
+    }
+    if !found {
+        return Err(ConfigError::SearchFailed);
+    }
+
+    // Bisect (lo feasible, hi infeasible), keeping lo feasible.
+    for _ in 0..100 {
+        let mid = 0.5 * (lo + hi);
+        if f(mid) >= target {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    Ok(lo)
+}
+
+/// Proposition 8: a conservative upper bound on the largest `η` *any*
+/// NFD-S configuration could use while meeting the §4 requirements —
+/// used to gauge how far the procedure's `η` is from optimal
+/// (experiment E13).
+///
+/// `η_opt ≤ η_max / (p_L + (1 − p_L)·Pr(D > T_D^U))` with
+/// `η_max = q₀'·T_M^U` from Step 1.
+///
+/// # Errors
+///
+/// Returns [`ConfigError::InvalidInput`] if `p_l ∉ [0, 1]`.
+pub fn proposition8_eta_upper_bound(
+    req: &QosRequirements,
+    p_l: f64,
+    delay: &dyn DelayDistribution,
+) -> Result<f64, ConfigError> {
+    require((0.0..=1.0).contains(&p_l), "p_l", "in [0, 1]", p_l)?;
+    let t_d = req.detection_time_upper();
+    let q0p = (1.0 - p_l) * delay.cdf_strict(t_d);
+    let eta_max = q0p * req.mistake_duration_upper();
+    let denom = p_l + (1.0 - p_l) * delay.sf(t_d);
+    if denom == 0.0 {
+        return Ok(f64::INFINITY);
+    }
+    Ok(eta_max / denom)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::NfdSAnalysis;
+    use crate::bounds::nfd_u_moment_bounds;
+    use fd_stats::dist::{Constant, Exponential};
+
+    fn month_req() -> QosRequirements {
+        // §4/§5 worked example requirements.
+        QosRequirements::new(30.0, 2_592_000.0, 60.0).unwrap()
+    }
+
+    #[test]
+    fn section4_worked_example() {
+        // Paper: η = 9.97 s, δ = 20.03 s.
+        let delay = Exponential::with_mean(0.02).unwrap();
+        let params = configure_known_distribution(&month_req(), 0.01, &delay)
+            .unwrap()
+            .expect("achievable");
+        assert!(
+            (params.eta - 9.97).abs() < 0.02,
+            "η = {} (paper: 9.97)",
+            params.eta
+        );
+        assert!(
+            (params.delta - 20.03).abs() < 0.02,
+            "δ = {} (paper: 20.03)",
+            params.delta
+        );
+        assert!((params.eta + params.delta - 30.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn section4_result_verified_against_exact_analysis() {
+        let req = month_req();
+        let delay = Exponential::with_mean(0.02).unwrap();
+        let params = configure_known_distribution(&req, 0.01, &delay)
+            .unwrap()
+            .unwrap();
+        let a = NfdSAnalysis::new(params.eta, params.delta, 0.01, &delay).unwrap();
+        assert!(a.detection_time_bound() <= req.detection_time_upper() + 1e-9);
+        assert!(a.mean_recurrence() >= req.mistake_recurrence_lower());
+        assert!(a.mean_duration() <= req.mistake_duration_upper());
+    }
+
+    #[test]
+    fn section5_worked_example() {
+        // Paper: η = 9.71 s, δ = 20.29 s with E(D) = V(D) = 0.02.
+        let params = configure_from_moments(&month_req(), 0.01, 0.02, 0.02)
+            .unwrap()
+            .expect("achievable");
+        assert!(
+            (params.eta - 9.71).abs() < 0.02,
+            "η = {} (paper: 9.71)",
+            params.eta
+        );
+        assert!(
+            (params.delta - 20.29).abs() < 0.02,
+            "δ = {} (paper: 20.29)",
+            params.delta
+        );
+    }
+
+    #[test]
+    fn moments_configuration_is_more_conservative() {
+        // §5: "η decreases from 9.97 to 9.71" — less information costs
+        // bandwidth.
+        let delay = Exponential::with_mean(0.02).unwrap();
+        let known = configure_known_distribution(&month_req(), 0.01, &delay)
+            .unwrap()
+            .unwrap();
+        let moments =
+            configure_from_moments(&month_req(), 0.01, delay.mean(), delay.variance())
+                .unwrap()
+                .unwrap();
+        assert!(moments.eta < known.eta);
+    }
+
+    #[test]
+    fn nfd_u_configuration_satisfies_theorem11_bounds() {
+        let req = month_req();
+        let v = 0.02;
+        let params = configure_nfd_u(&req, 0.01, v).unwrap().expect("achievable");
+        assert!((params.eta + params.alpha - 30.0).abs() < 1e-9);
+        let b = nfd_u_moment_bounds(params.eta, params.alpha, 0.01, v).unwrap();
+        assert!(b.recurrence_lower >= req.mistake_recurrence_lower() * 0.999);
+        assert!(b.duration_upper <= req.mistake_duration_upper() * 1.001);
+    }
+
+    #[test]
+    fn unachievable_when_all_messages_too_slow() {
+        // Every message takes 50 s; detection within 30 s is impossible
+        // for ANY detector (Theorem 7 case 2).
+        let delay = Constant::new(50.0).unwrap();
+        let out = configure_known_distribution(&month_req(), 0.0, &delay).unwrap();
+        assert!(out.is_none());
+    }
+
+    #[test]
+    fn unachievable_when_all_messages_lost() {
+        let delay = Exponential::with_mean(0.02).unwrap();
+        let out = configure_known_distribution(&month_req(), 1.0, &delay).unwrap();
+        assert!(out.is_none());
+    }
+
+    #[test]
+    fn moments_rejects_t_d_below_mean_delay() {
+        let req = QosRequirements::new(0.01, 100.0, 1.0).unwrap();
+        // T_D^U = 0.01 < E(D) = 0.02: precondition violation.
+        assert!(matches!(
+            configure_from_moments(&req, 0.0, 0.02, 0.0004),
+            Err(ConfigError::InvalidInput(_))
+        ));
+    }
+
+    #[test]
+    fn easy_requirements_take_eta_max() {
+        // Loose requirements: f(η_max) already ≥ T_MR^L ⇒ η = η_max.
+        let req = QosRequirements::new(30.0, 10.0, 60.0).unwrap();
+        let delay = Exponential::with_mean(0.02).unwrap();
+        let params = configure_known_distribution(&req, 0.01, &delay)
+            .unwrap()
+            .unwrap();
+        // η_max = min(q₀'·60, 30) = 30 (q₀' ≈ 0.99 ⇒ 59.4, clamped).
+        assert!((params.eta - 30.0).abs() < 1e-9);
+        assert!(params.delta.abs() < 1e-9);
+    }
+
+    #[test]
+    fn tighter_recurrence_requirement_shrinks_eta() {
+        let delay = Exponential::with_mean(0.02).unwrap();
+        let mut prev = f64::INFINITY;
+        for t_mr in [1e4, 1e6, 1e8, 1e10] {
+            let req = QosRequirements::new(30.0, t_mr, 60.0).unwrap();
+            let params = configure_known_distribution(&req, 0.01, &delay)
+                .unwrap()
+                .unwrap();
+            assert!(params.eta <= prev + 1e-9, "T_MR^L={t_mr}");
+            assert!(params.eta > 0.0);
+            prev = params.eta;
+        }
+    }
+
+    #[test]
+    fn extreme_requirements_use_integral_path_and_terminate() {
+        // Detection budget of 1 ms against V(D) = 10 and a month-long
+        // recurrence target: feasible only at η ~ 1e-13, where f(η) has
+        // ~10⁹ product terms — must be handled via the integral lower
+        // bound in well under a second.
+        let req = QosRequirements::new(0.001, 2_592_000.0, 0.0001).unwrap();
+        let params = configure_nfd_u(&req, 0.5, 10.0)
+            .unwrap()
+            .expect("Theorem 12: Step-1 success implies achievable");
+        assert!(params.eta > 0.0 && params.eta < 1e-9, "η = {}", params.eta);
+        // Verify against the Theorem 11 bounds.
+        let b = nfd_u_moment_bounds(params.eta, params.alpha, 0.5, 10.0).unwrap();
+        assert!(b.recurrence_lower >= req.mistake_recurrence_lower() * 0.999);
+        assert!(b.duration_upper <= req.mistake_duration_upper() * 1.001);
+    }
+
+    #[test]
+    fn integral_path_agrees_with_exact_near_threshold() {
+        // A configuration whose search crosses the exact/integral
+        // boundary must still return exact-analysis-feasible parameters.
+        let req = QosRequirements::new(5.0, 1e9, 0.5).unwrap();
+        let delay = Exponential::with_mean(0.5).unwrap();
+        let params = configure_known_distribution(&req, 0.2, &delay)
+            .unwrap()
+            .expect("achievable");
+        let a = NfdSAnalysis::new(params.eta, params.delta, 0.2, &delay).unwrap();
+        assert!(a.mean_recurrence() >= 1e9);
+        assert!(a.mean_duration() <= 0.5 + 1e-9);
+    }
+
+    #[test]
+    fn proposition8_bound_dominates_configured_eta() {
+        let delay = Exponential::with_mean(0.02).unwrap();
+        let req = month_req();
+        let params = configure_known_distribution(&req, 0.01, &delay)
+            .unwrap()
+            .unwrap();
+        let upper = proposition8_eta_upper_bound(&req, 0.01, &delay).unwrap();
+        assert!(upper >= params.eta);
+    }
+
+    #[test]
+    fn proposition8_infinite_when_tail_empty_and_lossless() {
+        // p_L = 0 and Pr(D > T_D^U) = 0 exactly ⇒ unbounded (vacuous).
+        let delay = Constant::new(1.0).unwrap();
+        let req = QosRequirements::new(30.0, 100.0, 60.0).unwrap();
+        let upper = proposition8_eta_upper_bound(&req, 0.0, &delay).unwrap();
+        assert_eq!(upper, f64::INFINITY);
+    }
+
+    #[test]
+    fn rejects_invalid_loss_probability() {
+        let delay = Exponential::with_mean(0.02).unwrap();
+        assert!(configure_known_distribution(&month_req(), -0.1, &delay).is_err());
+        assert!(configure_known_distribution(&month_req(), 1.5, &delay).is_err());
+        assert!(configure_nfd_u(&month_req(), 2.0, 0.01).is_err());
+        assert!(configure_from_moments(&month_req(), 0.5, -1.0, 0.1).is_err());
+    }
+
+    #[test]
+    fn params_display() {
+        let s = NfdSParams { eta: 9.97, delta: 20.03 };
+        assert!(s.to_string().contains("9.97"));
+        let u = NfdUParams { eta: 1.0, alpha: 2.0 };
+        assert!(u.to_string().contains("α"));
+    }
+
+    #[test]
+    fn config_error_display_and_source() {
+        use std::error::Error as _;
+        let e: ConfigError = ParamError {
+            name: "p_l",
+            constraint: "in [0, 1]",
+            value: 2.0,
+        }
+        .into();
+        assert!(e.to_string().contains("invalid configuration input"));
+        assert!(e.source().is_some());
+        assert!(ConfigError::SearchFailed.source().is_none());
+    }
+}

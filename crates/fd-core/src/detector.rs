@@ -1,0 +1,119 @@
+//! The common interface all failure detectors implement.
+//!
+//! Detectors are *pure state machines over local time*: they never read a
+//! system clock. Callers (the discrete-event simulator, the real-time
+//! runtime, tests) drive them with monotone timestamps. This keeps every
+//! algorithm deterministic and lets the same implementation run under
+//! virtual and wall-clock time.
+
+use fd_metrics::FdOutput;
+
+/// A received heartbeat message.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Heartbeat {
+    /// Sequence number `i` of `mᵢ`, starting at 1 (Fig. 6: `p` sends `mᵢ`
+    /// at `σᵢ = i·η`).
+    pub seq: u64,
+    /// The sender's timestamp `S` (on the **sender's** clock). Detectors
+    /// that assume synchronized clocks (the simple algorithm's cutoff,
+    /// delay estimators) may compare it with local receipt time; NFD-E
+    /// deliberately ignores it.
+    pub send_time: f64,
+}
+
+impl Heartbeat {
+    /// Convenience constructor.
+    pub fn new(seq: u64, send_time: f64) -> Self {
+        Self { seq, send_time }
+    }
+}
+
+/// An event-driven failure-detector state machine.
+///
+/// # Driving contract
+///
+/// * Timestamps passed to [`advance`](FailureDetector::advance) and
+///   [`on_heartbeat`](FailureDetector::on_heartbeat) must be
+///   non-decreasing across *all* calls (local time is monotone).
+/// * Before reading [`output`](FailureDetector::output) "at time `t`",
+///   call `advance(t)` so pending timer expirations up to and including
+///   `t` are applied. `on_heartbeat` advances internally.
+/// * [`next_deadline`](FailureDetector::next_deadline) tells the driver
+///   the earliest future instant at which the output may change without
+///   any message arriving (a freshness point or timeout expiry). Drivers
+///   that want an exact transition trace must `advance` through every
+///   deadline; skipping deadlines still yields correct *final* state but
+///   coarser transition timestamps.
+///
+/// The output convention is right-continuous (Appendix C of the paper):
+/// after `advance(t)`, `output()` is the value the detector holds *at*
+/// instant `t`.
+pub trait FailureDetector {
+    /// Applies all timer-driven transitions up to and including `now`.
+    fn advance(&mut self, now: f64);
+
+    /// Delivers heartbeat `hb` at local time `now` (advancing first).
+    fn on_heartbeat(&mut self, now: f64, hb: Heartbeat);
+
+    /// The current output, valid as of the last `advance`/`on_heartbeat`
+    /// instant.
+    fn output(&self) -> FdOutput;
+
+    /// Earliest strictly-future instant at which the output may change
+    /// spontaneously, if any is scheduled.
+    fn next_deadline(&self) -> Option<f64>;
+
+    /// Short algorithm name for reports (e.g. `"NFD-S"`).
+    fn name(&self) -> &'static str;
+
+    /// Convenience: advance to `now` and read the output.
+    fn output_at(&mut self, now: f64) -> FdOutput {
+        self.advance(now);
+        self.output()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn heartbeat_constructor() {
+        let hb = Heartbeat::new(7, 3.5);
+        assert_eq!(hb.seq, 7);
+        assert_eq!(hb.send_time, 3.5);
+    }
+
+    /// A trivial detector to exercise the default method.
+    #[derive(Debug)]
+    struct AlwaysTrust;
+
+    impl FailureDetector for AlwaysTrust {
+        fn advance(&mut self, _now: f64) {}
+        fn on_heartbeat(&mut self, _now: f64, _hb: Heartbeat) {}
+        fn output(&self) -> FdOutput {
+            FdOutput::Trust
+        }
+        fn next_deadline(&self) -> Option<f64> {
+            None
+        }
+        fn name(&self) -> &'static str {
+            "always-trust"
+        }
+    }
+
+    #[test]
+    fn output_at_default_method() {
+        let mut d = AlwaysTrust;
+        assert_eq!(d.output_at(5.0), FdOutput::Trust);
+        assert_eq!(d.name(), "always-trust");
+        assert!(d.next_deadline().is_none());
+    }
+
+    #[test]
+    fn trait_is_object_safe() {
+        let mut d: Box<dyn FailureDetector> = Box::new(AlwaysTrust);
+        d.on_heartbeat(1.0, Heartbeat::new(1, 0.5));
+        assert_eq!(d.output(), FdOutput::Trust);
+    }
+}

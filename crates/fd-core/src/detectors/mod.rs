@@ -1,0 +1,90 @@
+//! The failure-detector implementations.
+//!
+//! * [`NfdS`] — the paper's new algorithm, synchronized clocks (Fig. 6);
+//! * [`NfdU`] — unsynchronized clocks, known expected arrival times
+//!   (Fig. 9);
+//! * [`NfdE`] — unsynchronized clocks, *estimated* expected arrival times
+//!   (Eq. 6.3);
+//! * [`SimpleFd`] — the common baseline algorithm (§1.2.1), with the
+//!   optional §7.2 cutoff that yields the SFD-L / SFD-S variants of
+//!   Fig. 12;
+//! * [`PhiAccrual`] — the 2004 φ-accrual descendant (Akka/Cassandra
+//!   lineage), included as a comparison point for experiment E16.
+
+mod nfd_e;
+mod nfd_s;
+mod nfd_u;
+mod phi_accrual;
+mod simple;
+
+pub use nfd_e::NfdE;
+pub use nfd_s::NfdS;
+pub use nfd_u::NfdU;
+pub use phi_accrual::PhiAccrual;
+pub use simple::SimpleFd;
+
+use std::fmt;
+
+/// Error for invalid detector parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParamError {
+    /// Name of the offending parameter.
+    pub name: &'static str,
+    /// Constraint that was violated.
+    pub constraint: &'static str,
+    /// Supplied value.
+    pub value: f64,
+}
+
+impl fmt::Display for ParamError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "detector parameter `{}` must satisfy {}, got {}",
+            self.name, self.constraint, self.value
+        )
+    }
+}
+
+impl std::error::Error for ParamError {}
+
+pub(crate) fn require(
+    ok: bool,
+    name: &'static str,
+    constraint: &'static str,
+    value: f64,
+) -> Result<(), ParamError> {
+    if ok {
+        Ok(())
+    } else {
+        Err(ParamError {
+            name,
+            constraint,
+            value,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn param_error_display() {
+        let e = ParamError {
+            name: "eta",
+            constraint: "> 0",
+            value: -1.0,
+        };
+        assert_eq!(
+            e.to_string(),
+            "detector parameter `eta` must satisfy > 0, got -1"
+        );
+    }
+
+    #[test]
+    fn require_helper() {
+        assert!(require(true, "x", "> 0", 1.0).is_ok());
+        assert!(require(false, "x", "> 0", -1.0).is_err());
+    }
+}

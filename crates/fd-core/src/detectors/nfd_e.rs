@@ -1,0 +1,252 @@
+//! NFD-E: NFD-U with *estimated* expected arrival times (§6.3).
+
+use super::{require, ParamError};
+use crate::detector::{FailureDetector, Heartbeat};
+use crate::estimate::ArrivalTimeEstimator;
+use fd_metrics::FdOutput;
+
+/// NFD-E with parameters `η`, `α` and estimation window `n` (§6.3).
+///
+/// In practice `q` does not know the expected arrival times `EAᵢ`, so it
+/// estimates them from the `n` most recent heartbeats (Eq. 6.3):
+///
+/// ```text
+/// EA_{ℓ+1} ≈ (1/n) Σᵢ (A'ᵢ − η·sᵢ)  +  (ℓ+1)·η
+/// ```
+///
+/// where `A'ᵢ` are receipt times on `q`'s local clock and `sᵢ` the
+/// sequence numbers. The estimate needs neither synchronized clocks nor
+/// sender timestamps. The paper reports that NFD-E and NFD-U are
+/// "practically indistinguishable for values of `n` as low as 30" and
+/// uses `n = 32` in the Fig. 12 simulations; experiment E7 reproduces
+/// that claim.
+///
+/// Apart from replacing `EA_{ℓ+1}` with its estimate on line 10 of Fig. 9,
+/// the state machine is identical to [`NfdU`](super::NfdU).
+#[derive(Debug, Clone)]
+pub struct NfdE {
+    eta: f64,
+    alpha: f64,
+    estimator: ArrivalTimeEstimator,
+    max_seq: Option<u64>,
+    tau_next: Option<f64>,
+    output: FdOutput,
+}
+
+impl NfdE {
+    /// Creates an NFD-E instance with intersending time `eta`, slack
+    /// `alpha`, and an estimation window of the `window` most recent
+    /// heartbeats.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParamError`] unless `eta > 0`, `alpha > 0` and
+    /// `window ≥ 1`.
+    pub fn new(eta: f64, alpha: f64, window: usize) -> Result<Self, ParamError> {
+        require(eta > 0.0 && eta.is_finite(), "eta", "> 0 and finite", eta)?;
+        require(
+            alpha > 0.0 && alpha.is_finite(),
+            "alpha",
+            "> 0 and finite",
+            alpha,
+        )?;
+        require(window >= 1, "window", ">= 1", window as f64)?;
+        Ok(Self {
+            eta,
+            alpha,
+            estimator: ArrivalTimeEstimator::new(eta, window),
+            max_seq: None,
+            tau_next: None,
+            output: FdOutput::Suspect,
+        })
+    }
+
+    /// The intersending time `η`.
+    pub fn eta(&self) -> f64 {
+        self.eta
+    }
+
+    /// The slack `α`.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// The estimation window size `n`.
+    pub fn window(&self) -> usize {
+        self.estimator.window()
+    }
+
+    /// Largest heartbeat sequence number received so far (`ℓ`).
+    pub fn max_seq_received(&self) -> Option<u64> {
+        self.max_seq
+    }
+
+    /// Current estimate of `EAᵢ`, if at least one heartbeat was received.
+    pub fn estimated_arrival(&self, i: u64) -> Option<f64> {
+        self.estimator.estimate(i)
+    }
+}
+
+impl FailureDetector for NfdE {
+    fn advance(&mut self, now: f64) {
+        if let Some(tau) = self.tau_next {
+            if tau <= now {
+                self.output = FdOutput::Suspect;
+                self.tau_next = None;
+            }
+        }
+    }
+
+    fn on_heartbeat(&mut self, now: f64, hb: Heartbeat) {
+        self.advance(now);
+        if self.max_seq.is_none_or(|l| hb.seq > l) {
+            self.max_seq = Some(hb.seq);
+            // Eq. 6.3 considers the n most recent messages *including* the
+            // one just received.
+            self.estimator.observe(now, hb.seq);
+            let ea_next = self
+                .estimator
+                .estimate(hb.seq + 1)
+                .expect("estimator has at least this observation");
+            let tau = ea_next + self.alpha;
+            if now < tau {
+                self.tau_next = Some(tau);
+                self.output = FdOutput::Trust;
+            } else {
+                self.tau_next = None;
+                self.output = FdOutput::Suspect;
+            }
+        }
+    }
+
+    fn output(&self) -> FdOutput {
+        self.output
+    }
+
+    fn next_deadline(&self) -> Option<f64> {
+        self.tau_next
+    }
+
+    fn name(&self) -> &'static str {
+        "NFD-E"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suspects_until_first_heartbeat() {
+        let mut fd = NfdE::new(1.0, 1.5, 8).unwrap();
+        assert_eq!(fd.output_at(5.0), FdOutput::Suspect);
+        assert!(fd.next_deadline().is_none());
+    }
+
+    #[test]
+    fn single_observation_estimate() {
+        // One heartbeat m₁ at A' = 1.5 ⇒ normalized 1.5 − 1 = 0.5 ⇒
+        // EA₂ = 0.5 + 2 = 2.5, τ₂ = 4.0 with α = 1.5.
+        let mut fd = NfdE::new(1.0, 1.5, 8).unwrap();
+        fd.on_heartbeat(1.5, Heartbeat::new(1, 1.0));
+        assert_eq!(fd.output(), FdOutput::Trust);
+        assert_eq!(fd.next_deadline(), Some(4.0));
+        assert_eq!(fd.estimated_arrival(2), Some(2.5));
+    }
+
+    #[test]
+    fn estimate_averages_window() {
+        // Arrivals at σᵢ + dᵢ with d = 0.2, 0.4, 0.6 ⇒ mean offset 0.4.
+        let mut fd = NfdE::new(1.0, 1.0, 8).unwrap();
+        fd.on_heartbeat(1.2, Heartbeat::new(1, 1.0));
+        fd.on_heartbeat(2.4, Heartbeat::new(2, 2.0));
+        fd.on_heartbeat(3.6, Heartbeat::new(3, 3.0));
+        // EA₄ = 4 + 0.4 = 4.4, τ₄ = 5.4.
+        let ea = fd.estimated_arrival(4).unwrap();
+        assert!((ea - 4.4).abs() < 1e-12);
+        assert_eq!(fd.next_deadline(), Some(5.4));
+    }
+
+    #[test]
+    fn window_evicts_old_observations() {
+        // Window of 2: only the last two normalized offsets count.
+        let mut fd = NfdE::new(1.0, 1.0, 2).unwrap();
+        fd.on_heartbeat(1.9, Heartbeat::new(1, 1.0)); // offset 0.9
+        fd.on_heartbeat(2.1, Heartbeat::new(2, 2.0)); // offset 0.1
+        fd.on_heartbeat(3.1, Heartbeat::new(3, 3.0)); // offset 0.1
+        // Mean of {0.1, 0.1} = 0.1 ⇒ EA₄ = 4.1.
+        assert!((fd.estimated_arrival(4).unwrap() - 4.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn works_with_unsynchronized_clocks() {
+        // q's clock is 1000 s behind p's: receipt times include the skew,
+        // and so do the estimates — consistently, so behavior matches the
+        // skew-free run shifted by the constant.
+        let skew = -1000.0;
+        let mut fd = NfdE::new(1.0, 1.5, 4).unwrap();
+        // p sends at σᵢ = i (p-clock); q receives at i + 0.5 + skew
+        // (q-clock).
+        for i in 1..=4u64 {
+            fd.on_heartbeat(i as f64 + 0.5 + skew, Heartbeat::new(i, i as f64));
+            assert_eq!(fd.output(), FdOutput::Trust);
+        }
+        // τ₆… deadline should track q-clock times.
+        let tau = fd.next_deadline().unwrap();
+        assert!((tau - (5.0 + 0.5 + skew + 1.5)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn suspicion_and_recovery() {
+        let mut fd = NfdE::new(1.0, 0.5, 4).unwrap();
+        fd.on_heartbeat(1.1, Heartbeat::new(1, 1.0));
+        // τ₂ ≈ 2.1 + 0.5 = 2.6; m₂ lost; suspect at 2.6.
+        assert_eq!(fd.output_at(2.6), FdOutput::Suspect);
+        // m₃ arrives at 3.15: EA₄ = mean(0.1, 0.15) + 4 = 4.125, τ₄ = 4.625.
+        fd.on_heartbeat(3.15, Heartbeat::new(3, 3.0));
+        assert_eq!(fd.output(), FdOutput::Trust);
+        let tau = fd.next_deadline().unwrap();
+        assert!((tau - 4.625).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stale_sequence_ignored_and_not_observed() {
+        let mut fd = NfdE::new(1.0, 1.0, 4).unwrap();
+        fd.on_heartbeat(2.2, Heartbeat::new(2, 2.0));
+        let ea_before = fd.estimated_arrival(3).unwrap();
+        // Old m₁ arrives very late: must not pollute the estimator
+        // (Fig. 9 line 8 guards the whole update with j > ℓ).
+        fd.on_heartbeat(9.0, Heartbeat::new(1, 1.0));
+        assert_eq!(fd.estimated_arrival(3), Some(ea_before));
+        assert_eq!(fd.max_seq_received(), Some(2));
+    }
+
+    #[test]
+    fn crash_detection_is_permanent() {
+        let mut fd = NfdE::new(1.0, 1.0, 4).unwrap();
+        for i in 1..=10u64 {
+            fd.on_heartbeat(i as f64 + 0.2, Heartbeat::new(i, i as f64));
+        }
+        // Last heartbeat m₁₀ at 10.2; EA₁₁ = 11.2; τ₁₁ = 12.2.
+        assert_eq!(fd.output_at(12.19), FdOutput::Trust);
+        assert_eq!(fd.output_at(12.2), FdOutput::Suspect);
+        assert_eq!(fd.output_at(1e6), FdOutput::Suspect);
+    }
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(NfdE::new(0.0, 1.0, 4).is_err());
+        assert!(NfdE::new(1.0, 0.0, 4).is_err());
+        assert!(NfdE::new(1.0, 1.0, 0).is_err());
+    }
+
+    #[test]
+    fn accessors() {
+        let fd = NfdE::new(2.0, 3.0, 16).unwrap();
+        assert_eq!(fd.eta(), 2.0);
+        assert_eq!(fd.alpha(), 3.0);
+        assert_eq!(fd.window(), 16);
+        assert_eq!(fd.name(), "NFD-E");
+        assert!(fd.estimated_arrival(1).is_none());
+    }
+}

@@ -1,0 +1,272 @@
+//! The φ-accrual failure detector (Hayashibara et al. 2004) — the
+//! best-known *descendant* of this paper, used by Akka and Cassandra.
+//! Implemented here as a comparison point, not as part of the paper's
+//! contributions.
+//!
+//! φ-accrual outputs a continuous suspicion level
+//! `φ(t) = −log₁₀ P(next heartbeat arrives after t)`, computed from a
+//! normal approximation over a window of observed *inter-arrival* times,
+//! and the binary view suspects when `φ` crosses a threshold `Φ`.
+//!
+//! Note the architectural contrast the paper's §1.2.1 critique predicts:
+//! φ-accrual anchors its expectation at the **receipt time of the last
+//! heartbeat** (like the common algorithm's timer), so the probability of
+//! a premature timeout on `mᵢ` depends on how fast `mᵢ₋₁` was — exactly
+//! the dependency NFD's fixed freshness points eliminate. Experiment E16
+//! measures what that costs in QoS terms.
+
+use super::{require, ParamError};
+use crate::detector::{FailureDetector, Heartbeat};
+use fd_metrics::FdOutput;
+use fd_stats::special::{std_normal_cdf, std_normal_quantile};
+use fd_stats::WindowedStats;
+
+/// φ-accrual failure detector with threshold `Φ`.
+///
+/// The suspicion level is `φ(t) = −log₁₀(1 − F((t − A_last − μ̂)/σ̂))`
+/// with `μ̂`, `σ̂` the windowed mean/standard deviation of inter-arrival
+/// times and `F` the standard normal CDF. A floor on `σ̂` (10% of the
+/// bootstrap interval, as in Akka's `min-std-deviation`) keeps the
+/// detector sane on jitter-free links.
+#[derive(Debug, Clone)]
+pub struct PhiAccrual {
+    threshold: f64,
+    window: WindowedStats,
+    min_std_dev: f64,
+    last_arrival: Option<f64>,
+    max_seq: u64,
+    output: FdOutput,
+}
+
+impl PhiAccrual {
+    /// Creates a φ-accrual detector.
+    ///
+    /// * `threshold` — the suspicion threshold `Φ` (Akka's default is 8;
+    ///   Cassandra's effective default also 8);
+    /// * `window` — number of inter-arrival samples kept (Akka: 1000);
+    /// * `bootstrap_interval` — the expected heartbeat interval, used to
+    ///   seed the window before real samples exist (Akka does the same).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParamError`] unless `threshold > 0`,
+    /// `bootstrap_interval > 0` and `window ≥ 1`.
+    pub fn new(threshold: f64, window: usize, bootstrap_interval: f64) -> Result<Self, ParamError> {
+        require(
+            threshold > 0.0 && threshold.is_finite(),
+            "threshold",
+            "> 0 and finite",
+            threshold,
+        )?;
+        require(
+            bootstrap_interval > 0.0 && bootstrap_interval.is_finite(),
+            "bootstrap_interval",
+            "> 0 and finite",
+            bootstrap_interval,
+        )?;
+        require(window >= 1, "window", ">= 1", window as f64)?;
+        let mut w = WindowedStats::with_capacity(window);
+        w.push(bootstrap_interval);
+        Ok(Self {
+            threshold,
+            window: w,
+            min_std_dev: 0.1 * bootstrap_interval,
+            last_arrival: None,
+            max_seq: 0,
+            output: FdOutput::Suspect,
+        })
+    }
+
+    /// The threshold `Φ`.
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+
+    fn mu(&self) -> f64 {
+        self.window.mean()
+    }
+
+    fn sigma(&self) -> f64 {
+        self.window.population_variance().sqrt().max(self.min_std_dev)
+    }
+
+    /// The suspicion level `φ` at time `now`; `None` before the first
+    /// heartbeat.
+    pub fn phi(&self, now: f64) -> Option<f64> {
+        let last = self.last_arrival?;
+        let z = (now - last - self.mu()) / self.sigma();
+        let p_later = 1.0 - std_normal_cdf(z);
+        Some(if p_later <= 0.0 {
+            f64::INFINITY
+        } else {
+            -p_later.log10()
+        })
+    }
+
+    /// The instant at which `φ` reaches the threshold, given the current
+    /// estimates: `A_last + μ̂ + σ̂·F⁻¹(1 − 10^{−Φ})`.
+    fn crossing_time(&self) -> Option<f64> {
+        let last = self.last_arrival?;
+        let tail = 10f64.powf(-self.threshold).clamp(1e-300, 0.5);
+        let z = std_normal_quantile(1.0 - tail);
+        Some(last + self.mu() + self.sigma() * z)
+    }
+}
+
+impl FailureDetector for PhiAccrual {
+    fn advance(&mut self, now: f64) {
+        if self.output == FdOutput::Trust {
+            if let Some(cross) = self.crossing_time() {
+                if cross <= now {
+                    self.output = FdOutput::Suspect;
+                }
+            }
+        }
+    }
+
+    fn on_heartbeat(&mut self, now: f64, hb: Heartbeat) {
+        self.advance(now);
+        if hb.seq <= self.max_seq {
+            return; // stale or duplicate
+        }
+        self.max_seq = hb.seq;
+        if let Some(last) = self.last_arrival {
+            self.window.push((now - last).max(0.0));
+        }
+        self.last_arrival = Some(now);
+        // Right after an arrival φ ≈ 0 < Φ: trust (unless the crossing is
+        // already in the past, which cannot happen with positive μ̂).
+        if self.crossing_time().is_some_and(|c| now < c) {
+            self.output = FdOutput::Trust;
+        }
+    }
+
+    fn output(&self) -> FdOutput {
+        self.output
+    }
+
+    fn next_deadline(&self) -> Option<f64> {
+        if self.output == FdOutput::Trust {
+            self.crossing_time()
+        } else {
+            None
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "phi-accrual"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fd(threshold: f64) -> PhiAccrual {
+        PhiAccrual::new(threshold, 100, 1.0).unwrap()
+    }
+
+    #[test]
+    fn suspects_until_first_heartbeat() {
+        let mut d = fd(8.0);
+        assert_eq!(d.output_at(10.0), FdOutput::Suspect);
+        assert!(d.phi(10.0).is_none());
+        assert!(d.next_deadline().is_none());
+    }
+
+    #[test]
+    fn phi_grows_with_silence() {
+        let mut d = fd(8.0);
+        for i in 1..=20u64 {
+            d.on_heartbeat(i as f64, Heartbeat::new(i, i as f64));
+        }
+        let phi_early = d.phi(20.1).unwrap();
+        let phi_late = d.phi(22.0).unwrap();
+        assert!(phi_early < phi_late, "{phi_early} !< {phi_late}");
+        assert!(phi_early < 8.0);
+    }
+
+    #[test]
+    fn threshold_crossing_suspects_and_recovers() {
+        let mut d = fd(2.0);
+        for i in 1..=30u64 {
+            d.on_heartbeat(i as f64, Heartbeat::new(i, i as f64));
+        }
+        assert_eq!(d.output(), FdOutput::Trust);
+        let cross = d.next_deadline().expect("deadline while trusting");
+        assert!(cross > 30.0 && cross < 33.0, "crossing at {cross}");
+        assert_eq!(d.output_at(cross), FdOutput::Suspect);
+        // A fresh heartbeat restores trust.
+        d.on_heartbeat(cross + 0.1, Heartbeat::new(31, 31.0));
+        assert_eq!(d.output(), FdOutput::Trust);
+    }
+
+    #[test]
+    fn higher_threshold_is_slower_to_suspect() {
+        let mk = |phi: f64| {
+            let mut d = fd(phi);
+            for i in 1..=30u64 {
+                d.on_heartbeat(i as f64, Heartbeat::new(i, i as f64));
+            }
+            d.next_deadline().unwrap()
+        };
+        assert!(mk(1.0) < mk(4.0));
+        assert!(mk(4.0) < mk(12.0));
+    }
+
+    #[test]
+    fn receipt_anchoring_inherits_the_paper_critique() {
+        // Two identical detectors; the only difference is whether the
+        // last heartbeat arrived early or late. The early one times out
+        // sooner — the §1.2.1 dependency on the predecessor.
+        let mut early = fd(4.0);
+        let mut late = fd(4.0);
+        for i in 1..=20u64 {
+            early.on_heartbeat(i as f64 + 0.00, Heartbeat::new(i, i as f64));
+            late.on_heartbeat(i as f64 + 0.30, Heartbeat::new(i, i as f64));
+        }
+        let d_early = early.next_deadline().unwrap();
+        let d_late = late.next_deadline().unwrap();
+        assert!(
+            d_late > d_early + 0.2,
+            "late-anchored deadline {d_late} vs early {d_early}"
+        );
+    }
+
+    #[test]
+    fn stale_sequence_numbers_ignored() {
+        let mut d = fd(8.0);
+        d.on_heartbeat(5.0, Heartbeat::new(5, 5.0));
+        let before = d.phi(5.5);
+        d.on_heartbeat(5.6, Heartbeat::new(3, 3.0)); // stale
+        assert_eq!(d.phi(5.5 + 0.1).is_some(), before.is_some());
+        assert_eq!(d.next_deadline(), d.crossing_time());
+    }
+
+    #[test]
+    fn sigma_floor_prevents_degenerate_estimates() {
+        // Perfectly regular heartbeats: variance 0, but the floor keeps
+        // the crossing strictly after μ.
+        let mut d = fd(8.0);
+        for i in 1..=50u64 {
+            d.on_heartbeat(i as f64, Heartbeat::new(i, i as f64));
+        }
+        let cross = d.next_deadline().unwrap();
+        assert!(cross > 50.0 + 1.0, "crossing {cross} not after last + μ");
+    }
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(PhiAccrual::new(0.0, 10, 1.0).is_err());
+        assert!(PhiAccrual::new(8.0, 0, 1.0).is_err());
+        assert!(PhiAccrual::new(8.0, 10, 0.0).is_err());
+        assert!(PhiAccrual::new(f64::NAN, 10, 1.0).is_err());
+    }
+
+    #[test]
+    fn accessors() {
+        let d = fd(8.0);
+        assert_eq!(d.threshold(), 8.0);
+        assert_eq!(d.name(), "phi-accrual");
+    }
+}

@@ -1,0 +1,277 @@
+//! The common (baseline) failure-detection algorithm (§1.2.1, §7.2).
+
+use super::{require, ParamError};
+use crate::detector::{FailureDetector, Heartbeat};
+use fd_metrics::FdOutput;
+
+/// The simple heartbeat algorithm "commonly used in practice" (§1.2.1):
+/// when `q` receives a heartbeat, it trusts `p` and (re)starts a timer
+/// with a fixed timeout `TO`; if the timer expires before a *newer*
+/// heartbeat arrives, `q` starts suspecting `p`.
+///
+/// Drawbacks the paper identifies (and the experiments reproduce):
+///
+/// * the probability of a premature timeout on `mᵢ` depends on `mᵢ₋₁` —
+///   a fast predecessor starts the timer early;
+/// * the worst-case detection time is the **maximum** message delay plus
+///   `TO`, unbounded under heavy-tailed delays.
+///
+/// The §7.2 modification adds a *cutoff* `c`: heartbeats delayed by more
+/// than `c` (judged by comparing local receipt time against the sender
+/// timestamp — synchronized clocks, or a fail-aware datagram service) are
+/// discarded, restoring the bound `T_D ≤ c + TO`. Fig. 12's `SFD-L` is
+/// this detector with `c = 0.16` and `SFD-S` with `c = 0.08` (8× and 4×
+/// the mean delay). The Fetzer–Cristian "independent assessment" protocol
+/// is the same scheme (§1.3).
+///
+/// # Example
+///
+/// ```
+/// use fd_core::detectors::SimpleFd;
+/// use fd_core::{FailureDetector, Heartbeat};
+/// use fd_metrics::FdOutput;
+///
+/// # fn main() -> Result<(), fd_core::detectors::ParamError> {
+/// let mut fd = SimpleFd::new(2.0)?; // TO = 2
+/// fd.on_heartbeat(1.1, Heartbeat::new(1, 1.0));
+/// assert_eq!(fd.output_at(3.0), FdOutput::Trust);
+/// assert_eq!(fd.output_at(3.1), FdOutput::Suspect); // timer expired
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct SimpleFd {
+    timeout: f64,
+    cutoff: Option<f64>,
+    /// Sequence number of the newest accepted heartbeat.
+    last_seq: Option<u64>,
+    /// Pending timer expiry, if a timer is running.
+    expiry: Option<f64>,
+    output: FdOutput,
+}
+
+impl SimpleFd {
+    /// Creates the plain simple algorithm with timeout `TO = timeout`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParamError`] unless `timeout > 0` and finite.
+    pub fn new(timeout: f64) -> Result<Self, ParamError> {
+        require(
+            timeout > 0.0 && timeout.is_finite(),
+            "timeout",
+            "> 0 and finite",
+            timeout,
+        )?;
+        Ok(Self {
+            timeout,
+            cutoff: None,
+            last_seq: None,
+            expiry: None,
+            output: FdOutput::Suspect,
+        })
+    }
+
+    /// Creates the §7.2 variant that discards heartbeats delayed by more
+    /// than `cutoff` time units, guaranteeing `T_D ≤ cutoff + timeout`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParamError`] unless both parameters are positive and
+    /// finite.
+    pub fn with_cutoff(timeout: f64, cutoff: f64) -> Result<Self, ParamError> {
+        let mut fd = Self::new(timeout)?;
+        require(
+            cutoff > 0.0 && cutoff.is_finite(),
+            "cutoff",
+            "> 0 and finite",
+            cutoff,
+        )?;
+        fd.cutoff = Some(cutoff);
+        Ok(fd)
+    }
+
+    /// The timeout `TO`.
+    pub fn timeout(&self) -> f64 {
+        self.timeout
+    }
+
+    /// The cutoff `c`, if configured.
+    pub fn cutoff(&self) -> Option<f64> {
+        self.cutoff
+    }
+
+    /// Worst-case detection time: `c + TO` with a cutoff, unbounded
+    /// (`∞`) without one (§1.2.1: max delay + `TO`).
+    pub fn detection_time_bound(&self) -> f64 {
+        match self.cutoff {
+            Some(c) => c + self.timeout,
+            None => f64::INFINITY,
+        }
+    }
+}
+
+impl FailureDetector for SimpleFd {
+    fn advance(&mut self, now: f64) {
+        if let Some(e) = self.expiry {
+            if e <= now {
+                self.output = FdOutput::Suspect;
+                self.expiry = None;
+            }
+        }
+    }
+
+    fn on_heartbeat(&mut self, now: f64, hb: Heartbeat) {
+        self.advance(now);
+        if let Some(c) = self.cutoff {
+            // Slow heartbeat: delay (receipt − send) exceeds the cutoff.
+            if now - hb.send_time > c {
+                return;
+            }
+        }
+        // Only a *newer* heartbeat restarts the timer (§1.2.1: "if the
+        // timer expires before q receives a newer heartbeat message").
+        if self.last_seq.is_none_or(|l| hb.seq > l) {
+            self.last_seq = Some(hb.seq);
+            self.output = FdOutput::Trust;
+            self.expiry = Some(now + self.timeout);
+        }
+    }
+
+    fn output(&self) -> FdOutput {
+        self.output
+    }
+
+    fn next_deadline(&self) -> Option<f64> {
+        self.expiry
+    }
+
+    fn name(&self) -> &'static str {
+        "SFD"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suspects_until_first_heartbeat() {
+        let mut fd = SimpleFd::new(2.0).unwrap();
+        assert_eq!(fd.output_at(100.0), FdOutput::Suspect);
+    }
+
+    #[test]
+    fn timer_restarts_on_newer_heartbeat() {
+        let mut fd = SimpleFd::new(2.0).unwrap();
+        fd.on_heartbeat(1.0, Heartbeat::new(1, 0.9));
+        fd.on_heartbeat(2.0, Heartbeat::new(2, 1.9));
+        // Timer now expires at 4.0, not 3.0.
+        assert_eq!(fd.output_at(3.5), FdOutput::Trust);
+        assert_eq!(fd.output_at(4.0), FdOutput::Suspect);
+    }
+
+    #[test]
+    fn older_heartbeat_does_not_restart_timer() {
+        let mut fd = SimpleFd::new(2.0).unwrap();
+        fd.on_heartbeat(1.0, Heartbeat::new(2, 0.9));
+        // m₁ arrives out of order: not newer, ignored.
+        fd.on_heartbeat(1.5, Heartbeat::new(1, 0.4));
+        assert_eq!(fd.next_deadline(), Some(3.0));
+        assert_eq!(fd.output_at(3.0), FdOutput::Suspect);
+    }
+
+    #[test]
+    fn mistake_corrected_by_late_heartbeat() {
+        let mut fd = SimpleFd::new(1.0).unwrap();
+        fd.on_heartbeat(1.0, Heartbeat::new(1, 0.9));
+        assert_eq!(fd.output_at(2.0), FdOutput::Suspect);
+        // Newer heartbeat restores trust even while suspecting.
+        fd.on_heartbeat(2.5, Heartbeat::new(2, 1.9));
+        assert_eq!(fd.output(), FdOutput::Trust);
+    }
+
+    #[test]
+    fn premature_timeout_depends_on_predecessor() {
+        // The §1.2.1 drawback, demonstrated: same delay for m₂, different
+        // timer start from m₁'s speed changes the outcome.
+        let to = 1.05;
+        // Fast m₁ (delay 0): timer for m₂ runs 1.0 → 2.05, m₂ arrives at
+        // 2.1 ⇒ premature timeout.
+        let mut fast = SimpleFd::new(to).unwrap();
+        fast.on_heartbeat(1.0, Heartbeat::new(1, 1.0));
+        fast.advance(2.09);
+        assert_eq!(fast.output(), FdOutput::Suspect);
+        // Slow m₁ (delay 0.1): timer runs 1.1 → 2.15 ⇒ m₂ at 2.1 in time.
+        let mut slow = SimpleFd::new(to).unwrap();
+        slow.on_heartbeat(1.1, Heartbeat::new(1, 1.0));
+        slow.advance(2.09);
+        assert_eq!(slow.output(), FdOutput::Trust);
+    }
+
+    #[test]
+    fn cutoff_discards_slow_heartbeats() {
+        let mut fd = SimpleFd::with_cutoff(1.0, 0.16).unwrap();
+        // Delay 0.3 > 0.16 ⇒ discarded; still suspecting.
+        fd.on_heartbeat(1.3, Heartbeat::new(1, 1.0));
+        assert_eq!(fd.output(), FdOutput::Suspect);
+        assert!(fd.next_deadline().is_none());
+        // Delay 0.1 ≤ 0.16 ⇒ accepted.
+        fd.on_heartbeat(2.1, Heartbeat::new(2, 2.0));
+        assert_eq!(fd.output(), FdOutput::Trust);
+    }
+
+    #[test]
+    fn cutoff_bounds_detection_time() {
+        let fd = SimpleFd::with_cutoff(2.0, 0.16).unwrap();
+        assert!((fd.detection_time_bound() - 2.16).abs() < 1e-12);
+        let plain = SimpleFd::new(2.0).unwrap();
+        assert_eq!(plain.detection_time_bound(), f64::INFINITY);
+    }
+
+    #[test]
+    fn crash_detection_with_cutoff_within_bound() {
+        // Last heartbeat m₃ sent at 3, crash immediately after; delay 0.1
+        // accepted; suspect at 3.1 + TO and never trust again.
+        let mut fd = SimpleFd::with_cutoff(1.0, 0.16).unwrap();
+        fd.on_heartbeat(3.1, Heartbeat::new(3, 3.0));
+        assert_eq!(fd.output_at(4.09), FdOutput::Trust);
+        assert_eq!(fd.output_at(4.1), FdOutput::Suspect);
+        assert_eq!(fd.output_at(1e9), FdOutput::Suspect);
+    }
+
+    #[test]
+    fn unbounded_detection_without_cutoff() {
+        // Without a cutoff a very slow final heartbeat extends trust far
+        // past the crash: T_D = d + TO (the §1.2.1 problem).
+        let mut fd = SimpleFd::new(1.0).unwrap();
+        // m₅ sent at 5 (just before crash), delayed 100 s.
+        fd.on_heartbeat(105.0, Heartbeat::new(5, 5.0));
+        assert_eq!(fd.output_at(105.9), FdOutput::Trust);
+        assert_eq!(fd.output_at(106.0), FdOutput::Suspect);
+    }
+
+    #[test]
+    fn expiry_exactly_at_now_is_suspect() {
+        let mut fd = SimpleFd::new(1.0).unwrap();
+        fd.on_heartbeat(1.0, Heartbeat::new(1, 1.0));
+        assert_eq!(fd.output_at(2.0), FdOutput::Suspect);
+    }
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(SimpleFd::new(0.0).is_err());
+        assert!(SimpleFd::new(-1.0).is_err());
+        assert!(SimpleFd::new(f64::INFINITY).is_err());
+        assert!(SimpleFd::with_cutoff(1.0, 0.0).is_err());
+        assert!(SimpleFd::with_cutoff(1.0, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn accessors() {
+        let fd = SimpleFd::with_cutoff(2.0, 0.08).unwrap();
+        assert_eq!(fd.timeout(), 2.0);
+        assert_eq!(fd.cutoff(), Some(0.08));
+        assert_eq!(fd.name(), "SFD");
+    }
+}

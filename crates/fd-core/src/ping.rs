@@ -1,0 +1,202 @@
+//! Ping-based (two-way) failure detection — the §8.2 research direction.
+//!
+//! §8.2 leaves open "what failure detectors with what parameters achieve
+//! a given QoS with the absolute minimum cost", noting that besides
+//! one-way heartbeats there are "implementations based on two-way ping
+//! messages". This module explores that direction *within* the paper's
+//! framework (it is an extension, not part of the paper's results):
+//!
+//! The monitor `q` sends ping `i` at its **local** time `i·η` and `p`
+//! echoes immediately. A pong for ping `j` plays the role of heartbeat
+//! `m_j` whose "delay" is the round-trip time `RTT = D→ + D←` and whose
+//! loss probability is `1 − (1 − p_L)²`. Because the anchor times `i·η`
+//! are local to `q`, the NFD-S freshness-point rule applies verbatim with
+//! **no clock assumptions at all** — stronger than NFD-E, which still
+//! needs drift-free clocks and an estimation window.
+//!
+//! Trade-off quantified by experiment E15: per unit bandwidth (a ping
+//! costs two messages), the ping detector sees doubled loss and roughly
+//! doubled delay variance, so at equal message budget its accuracy lags
+//! one-way heartbeats — evidence for the paper's implicit choice of
+//! one-way heartbeats as the cost-efficient primitive.
+
+use crate::detector::{FailureDetector, Heartbeat};
+use crate::detectors::{NfdS, ParamError};
+use fd_metrics::FdOutput;
+use fd_stats::dist::Empirical;
+use fd_stats::{DelayDistribution, StatsError};
+use rand::RngCore;
+
+/// Ping-anchored freshness-point failure detector.
+///
+/// Structurally identical to [`NfdS`] — freshness points `τᵢ = i·η + δ`
+/// — but anchored at the monitor's *local* ping send times, so it demands
+/// nothing of the monitored process's clock. Feed it pongs via
+/// [`FailureDetector::on_heartbeat`] (the `Heartbeat::seq` is the ping's
+/// sequence number).
+#[derive(Debug, Clone)]
+pub struct PingNfd {
+    inner: NfdS,
+}
+
+impl PingNfd {
+    /// Creates a ping detector with ping interval `eta` and freshness
+    /// shift `delta` (which must absorb a round-trip, not a one-way,
+    /// delay).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParamError`] under the same conditions as
+    /// [`NfdS::new`].
+    pub fn new(eta: f64, delta: f64) -> Result<Self, ParamError> {
+        Ok(Self {
+            inner: NfdS::new(eta, delta)?,
+        })
+    }
+
+    /// The ping interval `η`.
+    pub fn eta(&self) -> f64 {
+        self.inner.eta()
+    }
+
+    /// The freshness shift `δ`.
+    pub fn delta(&self) -> f64 {
+        self.inner.delta()
+    }
+
+    /// Worst-case detection time `δ + η` — same form as Theorem 5.1,
+    /// with `δ` sized for round trips.
+    pub fn detection_time_bound(&self) -> f64 {
+        self.inner.detection_time_bound()
+    }
+}
+
+impl FailureDetector for PingNfd {
+    fn advance(&mut self, now: f64) {
+        self.inner.advance(now);
+    }
+
+    fn on_heartbeat(&mut self, now: f64, hb: Heartbeat) {
+        self.inner.on_heartbeat(now, hb);
+    }
+
+    fn output(&self) -> FdOutput {
+        self.inner.output()
+    }
+
+    fn next_deadline(&self) -> Option<f64> {
+        self.inner.next_deadline()
+    }
+
+    fn name(&self) -> &'static str {
+        "PING-NFD"
+    }
+}
+
+/// Effective loss probability of a ping–pong exchange when each direction
+/// independently loses with probability `p_l`.
+///
+/// # Panics
+///
+/// Panics unless `p_l ∈ [0, 1]`.
+pub fn round_trip_loss(p_l: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&p_l), "p_l must be in [0,1], got {p_l}");
+    1.0 - (1.0 - p_l) * (1.0 - p_l)
+}
+
+/// Builds an empirical round-trip delay law by convolving the forward and
+/// reverse one-way laws through sampling.
+///
+/// An exact convolution needs densities the [`DelayDistribution`]
+/// interface deliberately does not expose; an empirical law from
+/// `samples` draws is accurate to Monte-Carlo error `O(1/√samples)`,
+/// ample for configuration and analysis (whose inputs are themselves
+/// §5.2 estimates in practice).
+///
+/// # Errors
+///
+/// Returns [`StatsError::EmptySample`] if `samples == 0`.
+pub fn round_trip_delay_law(
+    forward: &dyn DelayDistribution,
+    reverse: &dyn DelayDistribution,
+    samples: usize,
+    rng: &mut dyn RngCore,
+) -> Result<Empirical, StatsError> {
+    let draws: Vec<f64> = (0..samples)
+        .map(|_| forward.sample(rng) + reverse.sample(rng))
+        .collect();
+    Empirical::from_samples(&draws)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fd_stats::dist::Exponential;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn behaves_like_nfd_s_on_pongs() {
+        let mut fd = PingNfd::new(1.0, 0.5).unwrap();
+        assert_eq!(fd.output_at(0.5), FdOutput::Suspect);
+        // Pong for ping 1 (sent at local t=1) arrives at 1.3.
+        fd.on_heartbeat(1.3, Heartbeat::new(1, 1.0));
+        assert_eq!(fd.output(), FdOutput::Trust);
+        // Fresh until τ₂ = 2.5; suspect after with no newer pong.
+        assert_eq!(fd.output_at(2.4), FdOutput::Trust);
+        assert_eq!(fd.output_at(2.5), FdOutput::Suspect);
+        assert_eq!(fd.name(), "PING-NFD");
+        assert!((fd.detection_time_bound() - 1.5).abs() < 1e-12);
+        assert_eq!(fd.eta(), 1.0);
+        assert_eq!(fd.delta(), 0.5);
+    }
+
+    #[test]
+    fn round_trip_loss_formula() {
+        assert_eq!(round_trip_loss(0.0), 0.0);
+        assert!((round_trip_loss(0.01) - 0.0199).abs() < 1e-12);
+        assert_eq!(round_trip_loss(1.0), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "p_l must be in")]
+    fn round_trip_loss_rejects_bad_probability() {
+        round_trip_loss(1.5);
+    }
+
+    #[test]
+    fn rtt_law_moments_are_sums() {
+        let fwd = Exponential::with_mean(0.02).unwrap();
+        let rev = Exponential::with_mean(0.03).unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        let rtt = round_trip_delay_law(&fwd, &rev, 200_000, &mut rng).unwrap();
+        assert!((rtt.mean() - 0.05).abs() < 0.001, "mean {}", rtt.mean());
+        let want_var = fwd.variance() + rev.variance();
+        assert!(
+            (rtt.variance() - want_var).abs() < 0.15 * want_var,
+            "variance {}",
+            rtt.variance()
+        );
+    }
+
+    #[test]
+    fn rtt_law_rejects_zero_samples() {
+        let fwd = Exponential::with_mean(0.02).unwrap();
+        let mut rng = StdRng::seed_from_u64(6);
+        assert!(round_trip_delay_law(&fwd, &fwd, 0, &mut rng).is_err());
+    }
+
+    #[test]
+    fn analysis_applies_to_ping_detector() {
+        // Theorem 5 with the RTT law and round-trip loss gives the ping
+        // detector's QoS (it IS NFD-S over the pong stream).
+        use crate::analysis::NfdSAnalysis;
+        let fwd = Exponential::with_mean(0.02).unwrap();
+        let mut rng = StdRng::seed_from_u64(7);
+        let rtt = round_trip_delay_law(&fwd, &fwd, 100_000, &mut rng).unwrap();
+        let a = NfdSAnalysis::new(1.0, 1.0, round_trip_loss(0.01), &rtt).unwrap();
+        assert!(a.mean_recurrence().is_finite());
+        // Doubled loss ⇒ worse accuracy than the one-way detector.
+        let one_way = NfdSAnalysis::new(1.0, 1.0, 0.01, &fwd).unwrap();
+        assert!(a.mean_recurrence() < one_way.mean_recurrence());
+    }
+}

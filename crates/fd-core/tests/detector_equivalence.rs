@@ -1,0 +1,181 @@
+//! Cross-detector equivalence and robustness properties.
+//!
+//! The paper's §6.2 analysis rests on NFD-U being "identical to NFD-S,
+//! except in the way in which q sets the τᵢs" — with known expected
+//! arrival times and synchronized clocks the two are the *same* detector.
+//! These tests pin that equivalence down executable-y, along with the
+//! NFD-E ≡ NFD-U collapse under constant delays and the requirement that
+//! detector outputs not depend on how often the driver polls.
+
+use fd_core::detectors::{NfdE, NfdS, NfdU, SimpleFd};
+use fd_core::{FailureDetector, Heartbeat};
+use proptest::prelude::*;
+
+/// An arrival script: `(arrival_time, seq)` pairs in time order.
+fn arrival_script() -> impl Strategy<Value = Vec<(f64, u64)>> {
+    proptest::collection::vec((0.1f64..60.0, 1u64..60), 0..30).prop_map(|mut v| {
+        v.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        v
+    })
+}
+
+/// Query times interleaved with arrivals.
+fn query_times() -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(0.0f64..70.0, 1..25).prop_map(|mut v| {
+        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        v
+    })
+}
+
+/// Drives a detector through the script, returning outputs at each query.
+fn outputs_at(
+    fd: &mut dyn FailureDetector,
+    arrivals: &[(f64, u64)],
+    queries: &[f64],
+    eta: f64,
+) -> Vec<fd_metrics::FdOutput> {
+    let mut out = Vec::with_capacity(queries.len());
+    let mut ai = 0;
+    for &q in queries {
+        while ai < arrivals.len() && arrivals[ai].0 <= q {
+            let (at, seq) = arrivals[ai];
+            fd.on_heartbeat(at, Heartbeat::new(seq, seq as f64 * eta));
+            ai += 1;
+        }
+        out.push(fd.output_at(q));
+    }
+    out
+}
+
+proptest! {
+    /// NFD-S(η, δ) ≡ NFD-U(η, α, ea_base) whenever E(D) + α = δ on the
+    /// same clock — the §6.2 substitution, as an exact output identity.
+    #[test]
+    fn nfd_u_equals_nfd_s_with_known_arrival_times(
+        arrivals in arrival_script(),
+        queries in query_times(),
+        delta_tenths in 1u32..40,
+        e_d in 0.0f64..0.5,
+    ) {
+        let eta = 1.0;
+        let delta = delta_tenths as f64 / 10.0;
+        prop_assume!(delta > e_d); // α must be positive
+        let mut s = NfdS::new(eta, delta).unwrap();
+        let mut u = NfdU::new(eta, delta - e_d, e_d).unwrap();
+        let got_s = outputs_at(&mut s, &arrivals, &queries, eta);
+        let got_u = outputs_at(&mut u, &arrivals, &queries, eta);
+        prop_assert_eq!(got_s, got_u);
+    }
+
+    /// With a constant delay `d` every Eq. 6.3 window average equals `d`
+    /// exactly, so NFD-E collapses to NFD-U with `ea_base = d` — for
+    /// in-order arrivals (NFD-E only learns from fresh sequence numbers).
+    #[test]
+    fn nfd_e_equals_nfd_u_under_constant_delay(
+        n_heartbeats in 1u64..40,
+        queries in query_times(),
+        alpha_tenths in 1u32..30,
+        d_hundredths in 0u32..50,
+    ) {
+        let eta = 1.0;
+        let alpha = alpha_tenths as f64 / 10.0;
+        let d = d_hundredths as f64 / 100.0;
+        let arrivals: Vec<(f64, u64)> =
+            (1..=n_heartbeats).map(|i| (i as f64 * eta + d, i)).collect();
+        let mut e = NfdE::new(eta, alpha, 8).unwrap();
+        let mut u = NfdU::new(eta, alpha, d).unwrap();
+        let got_e = outputs_at(&mut e, &arrivals, &queries, eta);
+        let got_u = outputs_at(&mut u, &arrivals, &queries, eta);
+        prop_assert_eq!(got_e, got_u);
+    }
+
+    /// Poll-granularity invariance: interposing arbitrary extra `advance`
+    /// calls never changes any later output, for every detector.
+    #[test]
+    fn advance_granularity_does_not_matter(
+        arrivals in arrival_script(),
+        queries in query_times(),
+        poll_step_tenths in 1u32..20,
+    ) {
+        let eta = 1.0;
+        let step = poll_step_tenths as f64 / 10.0;
+        #[allow(clippy::type_complexity)]
+        let mk: Vec<(&str, Box<dyn Fn() -> Box<dyn FailureDetector>>)> = vec![
+            ("nfd-s", Box::new(|| Box::new(NfdS::new(1.0, 1.5).unwrap()))),
+            ("nfd-u", Box::new(|| Box::new(NfdU::new(1.0, 1.3, 0.2).unwrap()))),
+            ("nfd-e", Box::new(|| Box::new(NfdE::new(1.0, 1.3, 8).unwrap()))),
+            ("sfd", Box::new(|| Box::new(SimpleFd::new(2.0).unwrap()))),
+        ];
+        for (name, make) in &mk {
+            let mut coarse = make();
+            let coarse_out = outputs_at(coarse.as_mut(), &arrivals, &queries, eta);
+
+            // Fine-grained driving: advance in `step` increments between
+            // the same events.
+            let mut fine = make();
+            let mut t = 0.0;
+            let mut ai = 0;
+            let mut fine_out = Vec::new();
+            for &q in &queries {
+                while ai < arrivals.len() && arrivals[ai].0 <= q {
+                    let (at, seq) = arrivals[ai];
+                    while t + step < at {
+                        t += step;
+                        fine.advance(t);
+                    }
+                    fine.on_heartbeat(at, Heartbeat::new(seq, seq as f64 * eta));
+                    t = at;
+                    ai += 1;
+                }
+                while t + step < q {
+                    t += step;
+                    fine.advance(t);
+                }
+                fine_out.push(fine.output_at(q));
+                t = q;
+            }
+            prop_assert_eq!(&coarse_out, &fine_out, "granularity changed {} outputs", name);
+        }
+    }
+
+    /// Heartbeats delivered twice (duplication, which the paper's model
+    /// excludes but footnote 8 says is harmless) never change NFD outputs:
+    /// "whenever we refer to a message being received, we change it to
+    /// the first copy of the message being received".
+    #[test]
+    fn duplicate_deliveries_are_harmless(
+        arrivals in arrival_script(),
+        queries in query_times(),
+        dup_idx in 0usize..30,
+    ) {
+        let eta = 1.0;
+        let mut plain = NfdS::new(eta, 1.5).unwrap();
+        let want = outputs_at(&mut plain, &arrivals, &queries, eta);
+
+        // Duplicate one arrival (redelivered immediately after itself).
+        let mut dup_arrivals = arrivals.clone();
+        if !dup_arrivals.is_empty() {
+            let i = dup_idx % dup_arrivals.len();
+            let d = dup_arrivals[i];
+            dup_arrivals.insert(i + 1, d);
+        }
+        let mut dup = NfdS::new(eta, 1.5).unwrap();
+        let got = outputs_at(&mut dup, &dup_arrivals, &queries, eta);
+        prop_assert_eq!(want, got);
+    }
+}
+
+/// Non-property regression: NFD-U differs from NFD-S if `ea_base` is
+/// wrong — the equivalence above is not vacuous.
+#[test]
+fn nfd_u_with_wrong_ea_base_differs() {
+    let eta = 1.0;
+    let arrivals: Vec<(f64, u64)> = (1..=10).map(|i| (i as f64 + 0.3, i as u64)).collect();
+    let queries: Vec<f64> = (0..40).map(|i| i as f64 * 0.37).collect();
+    let mut s = NfdS::new(eta, 1.0).unwrap();
+    // ea_base far too large shifts every freshness point late.
+    let mut u = NfdU::new(eta, 0.5, 2.0).unwrap();
+    let a = outputs_at(&mut s, &arrivals, &queries, eta);
+    let b = outputs_at(&mut u, &arrivals, &queries, eta);
+    assert_ne!(a, b);
+}

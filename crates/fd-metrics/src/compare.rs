@@ -1,0 +1,181 @@
+//! Comparing failure detectors by their QoS (§2.4).
+//!
+//! The paper selects `T_MR` and `T_M` as the primary accuracy metrics
+//! *because* of the comparison property: if `FD₁` beats `FD₂` on both
+//! `E(T_MR)` (larger) and `E(T_M)` (smaller), it also beats it on
+//! `E(T_G)`, `λ_M` and `P_A` — the primary pair induces a useful partial
+//! order. Footnote 7 shows the same is **not** true had `T_G` been chosen
+//! primary: dominance in `(E(T_G), E(T_M))` does not decide `E(T_MR)`.
+//!
+//! This module materializes that partial order over [`QosBundle`]s.
+
+use crate::QosBundle;
+
+/// Outcome of comparing two detectors' QoS bundles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QosOrdering {
+    /// First dominates: at least as good on all three primary metrics and
+    /// strictly better on at least one.
+    FirstBetter,
+    /// Second dominates.
+    SecondBetter,
+    /// Identical on all three primary metrics.
+    Equal,
+    /// Neither dominates (trade-off): e.g. better accuracy but slower
+    /// detection.
+    Incomparable,
+}
+
+/// Compares two QoS bundles under the paper's dominance order:
+/// smaller `T_D` bound is better, larger `E(T_MR)` is better, smaller
+/// `E(T_M)` is better.
+pub fn compare_qos(a: &QosBundle, b: &QosBundle) -> QosOrdering {
+    #[derive(PartialEq)]
+    enum Dir {
+        Better,
+        Worse,
+        Same,
+    }
+    let cmp = |x: f64, y: f64, smaller_better: bool| -> Dir {
+        if x == y {
+            Dir::Same
+        } else if (x < y) == smaller_better {
+            Dir::Better
+        } else {
+            Dir::Worse
+        }
+    };
+    let dims = [
+        cmp(a.detection_time_bound, b.detection_time_bound, true),
+        cmp(a.mean_mistake_recurrence, b.mean_mistake_recurrence, false),
+        cmp(a.mean_mistake_duration, b.mean_mistake_duration, true),
+    ];
+    let any_better = dims.contains(&Dir::Better);
+    let any_worse = dims.contains(&Dir::Worse);
+    match (any_better, any_worse) {
+        (false, false) => QosOrdering::Equal,
+        (true, false) => QosOrdering::FirstBetter,
+        (false, true) => QosOrdering::SecondBetter,
+        (true, true) => QosOrdering::Incomparable,
+    }
+}
+
+/// The §2.4 comparison property, as an executable fact: if `a` dominates
+/// `b` on the two primary accuracy metrics, then `a` is at least as good
+/// on every derived accuracy metric.
+///
+/// Returns the derived-metric comparisons `(E(T_G), λ_M, P_A)` as
+/// booleans "`a` at least as good as `b`" — all `true` whenever the
+/// premise holds (this is asserted in debug builds).
+pub fn derived_dominance(a: &QosBundle, b: &QosBundle) -> (bool, bool, bool) {
+    let premise = a.mean_mistake_recurrence >= b.mean_mistake_recurrence
+        && a.mean_mistake_duration <= b.mean_mistake_duration;
+    let good = (
+        a.mean_good_period() >= b.mean_good_period(),
+        a.mistake_rate() <= b.mistake_rate(),
+        a.query_accuracy() >= b.query_accuracy(),
+    );
+    if premise {
+        debug_assert!(
+            good.0 && good.1 && good.2,
+            "§2.4 comparison property violated: {a:?} vs {b:?}"
+        );
+    }
+    good
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn bundle(td: f64, tmr: f64, tm: f64) -> QosBundle {
+        QosBundle::new(td, tmr, tm)
+    }
+
+    #[test]
+    fn strict_dominance() {
+        let better = bundle(2.0, 100.0, 0.5);
+        let worse = bundle(3.0, 50.0, 1.0);
+        assert_eq!(compare_qos(&better, &worse), QosOrdering::FirstBetter);
+        assert_eq!(compare_qos(&worse, &better), QosOrdering::SecondBetter);
+    }
+
+    #[test]
+    fn equality() {
+        let a = bundle(2.0, 100.0, 0.5);
+        assert_eq!(compare_qos(&a, &a.clone()), QosOrdering::Equal);
+    }
+
+    #[test]
+    fn tradeoff_is_incomparable() {
+        // Faster detection but worse accuracy.
+        let fast = bundle(1.0, 50.0, 0.5);
+        let accurate = bundle(3.0, 500.0, 0.5);
+        assert_eq!(compare_qos(&fast, &accurate), QosOrdering::Incomparable);
+    }
+
+    #[test]
+    fn dominance_on_subset_with_ties() {
+        // Equal on two dimensions, better on one.
+        let a = bundle(2.0, 100.0, 0.4);
+        let b = bundle(2.0, 100.0, 0.5);
+        assert_eq!(compare_qos(&a, &b), QosOrdering::FirstBetter);
+    }
+
+    #[test]
+    fn primary_dominance_implies_derived_dominance() {
+        let a = bundle(2.0, 200.0, 0.5);
+        let b = bundle(2.0, 100.0, 1.0);
+        assert_eq!(derived_dominance(&a, &b), (true, true, true));
+    }
+
+    #[test]
+    fn footnote7_tg_is_not_a_valid_primary() {
+        // FD₁ better than FD₂ on both E(T_G) and E(T_M), worse on E(T_MR):
+        // the counterexample of footnote 7.
+        let fd1 = bundle(2.0, 10.5, 0.5); // T_G = 10.0
+        let fd2 = bundle(2.0, 11.0, 2.0); // T_G = 9.0
+        assert!(fd1.mean_good_period() > fd2.mean_good_period());
+        assert!(fd1.mean_mistake_duration < fd2.mean_mistake_duration);
+        assert!(fd1.mean_mistake_recurrence < fd2.mean_mistake_recurrence);
+        // And indeed the detectors are incomparable in the primary order:
+        assert_eq!(compare_qos(&fd1, &fd2), QosOrdering::Incomparable);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_compare_is_antisymmetric(
+            td1 in 0.1f64..10.0, tmr1 in 1.0f64..1e4, tm1 in 0.0f64..1.0,
+            td2 in 0.1f64..10.0, tmr2 in 1.0f64..1e4, tm2 in 0.0f64..1.0,
+        ) {
+            let a = bundle(td1, tmr1, tm1.min(tmr1));
+            let b = bundle(td2, tmr2, tm2.min(tmr2));
+            let ab = compare_qos(&a, &b);
+            let ba = compare_qos(&b, &a);
+            let want = match ab {
+                QosOrdering::FirstBetter => QosOrdering::SecondBetter,
+                QosOrdering::SecondBetter => QosOrdering::FirstBetter,
+                other => other,
+            };
+            prop_assert_eq!(ba, want);
+        }
+
+        #[test]
+        fn prop_section24_comparison_property(
+            td in 0.1f64..10.0,
+            tmr_lo in 1.0f64..1e4,
+            tmr_hi_delta in 0.0f64..1e4,
+            tm_lo in 0.0f64..0.9,
+            tm_hi_delta in 0.0f64..0.9,
+        ) {
+            // a dominates b on the primary accuracy pair by construction.
+            let tmr_hi = tmr_lo + tmr_hi_delta;
+            let tm_hi = (tm_lo + tm_hi_delta).min(tmr_lo);
+            let a = bundle(td, tmr_hi, tm_lo.min(tmr_hi));
+            let b = bundle(td, tmr_lo, tm_hi);
+            let (tg, lam, pa) = derived_dominance(&a, &b);
+            prop_assert!(tg && lam && pa);
+        }
+    }
+}

@@ -1,0 +1,216 @@
+//! Trace import/export.
+//!
+//! Transition traces are the raw material of every QoS measurement; this
+//! module round-trips them through a small CSV dialect so experiments can
+//! be archived, diffed, and re-analyzed (or plotted by external tools)
+//! without re-running simulations.
+//!
+//! Format: a header line `start,end,initial`, then one `time,output` line
+//! per transition, outputs written as the paper's letters `T` / `S`:
+//!
+//! ```text
+//! # fd-trace v1
+//! 0,100,T
+//! 12.5,S
+//! 16,T
+//! ```
+
+use crate::{FdOutput, TransitionTrace};
+use std::fmt::Write as _;
+use std::str::FromStr;
+
+/// Magic first line of the trace format.
+pub const TRACE_HEADER: &str = "# fd-trace v1";
+
+/// Error from parsing a serialized trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseTraceError {
+    /// 1-based line number of the offending line (0 = structural).
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseTraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "trace parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseTraceError {}
+
+fn output_letter(o: FdOutput) -> char {
+    match o {
+        FdOutput::Trust => 'T',
+        FdOutput::Suspect => 'S',
+    }
+}
+
+fn parse_output(s: &str) -> Option<FdOutput> {
+    match s {
+        "T" => Some(FdOutput::Trust),
+        "S" => Some(FdOutput::Suspect),
+        _ => None,
+    }
+}
+
+/// Serializes a trace to the CSV dialect described in the module docs.
+pub fn trace_to_csv(trace: &TransitionTrace) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{TRACE_HEADER}");
+    let _ = writeln!(
+        out,
+        "{},{},{}",
+        trace.start(),
+        trace.end(),
+        output_letter(trace.initial_output())
+    );
+    for tr in trace.transitions() {
+        let _ = writeln!(out, "{},{}", tr.at, output_letter(tr.to));
+    }
+    out
+}
+
+/// Parses a trace serialized by [`trace_to_csv`].
+///
+/// # Errors
+///
+/// Returns [`ParseTraceError`] describing the first malformed line.
+pub fn trace_from_csv(s: &str) -> Result<TransitionTrace, ParseTraceError> {
+    let err = |line: usize, message: &str| ParseTraceError {
+        line,
+        message: message.to_string(),
+    };
+    let mut lines = s.lines().enumerate();
+
+    let (_, header) = lines.next().ok_or_else(|| err(0, "empty input"))?;
+    if header.trim() != TRACE_HEADER {
+        return Err(err(1, "missing `# fd-trace v1` header"));
+    }
+    let (_, meta) = lines.next().ok_or_else(|| err(0, "missing metadata line"))?;
+    let parts: Vec<&str> = meta.trim().split(',').collect();
+    if parts.len() != 3 {
+        return Err(err(2, "metadata line must be `start,end,initial`"));
+    }
+    let start = f64::from_str(parts[0]).map_err(|_| err(2, "bad start time"))?;
+    let end = f64::from_str(parts[1]).map_err(|_| err(2, "bad end time"))?;
+    let initial = parse_output(parts[2]).ok_or_else(|| err(2, "initial output must be T or S"))?;
+    if !(start.is_finite() && end.is_finite() && start <= end) {
+        return Err(err(2, "window must satisfy start <= end, both finite"));
+    }
+
+    let mut transitions = Vec::new();
+    let mut prev_t = start;
+    let mut prev_o = initial;
+    for (idx, line) in lines {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let (t_str, o_str) = line
+            .split_once(',')
+            .ok_or_else(|| err(idx + 1, "transition line must be `time,output`"))?;
+        let at = f64::from_str(t_str).map_err(|_| err(idx + 1, "bad transition time"))?;
+        let to = parse_output(o_str).ok_or_else(|| err(idx + 1, "output must be T or S"))?;
+        if !at.is_finite() || at < prev_t || at > end {
+            return Err(err(idx + 1, "transition time out of order or out of window"));
+        }
+        if to == prev_o {
+            return Err(err(idx + 1, "transitions must alternate outputs"));
+        }
+        transitions.push(crate::Transition { at, to });
+        prev_t = at;
+        prev_o = to;
+    }
+    Ok(TransitionTrace::from_parts(start, end, initial, transitions))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TraceRecorder;
+    use proptest::prelude::*;
+
+    fn sample_trace() -> TransitionTrace {
+        let mut rec = TraceRecorder::new(0.0, FdOutput::Trust);
+        rec.record(12.5, FdOutput::Suspect);
+        rec.record(16.0, FdOutput::Trust);
+        rec.finish(100.0)
+    }
+
+    #[test]
+    fn roundtrip_preserves_trace() {
+        let trace = sample_trace();
+        let csv = trace_to_csv(&trace);
+        let back = trace_from_csv(&csv).unwrap();
+        assert_eq!(trace, back);
+    }
+
+    #[test]
+    fn serialized_form_is_stable() {
+        let csv = trace_to_csv(&sample_trace());
+        assert_eq!(csv, "# fd-trace v1\n0,100,T\n12.5,S\n16,T\n");
+    }
+
+    #[test]
+    fn empty_trace_roundtrip() {
+        let rec = TraceRecorder::new(5.0, FdOutput::Suspect);
+        let trace = rec.finish(9.0);
+        let back = trace_from_csv(&trace_to_csv(&trace)).unwrap();
+        assert_eq!(trace, back);
+    }
+
+    #[test]
+    fn rejects_missing_header() {
+        let e = trace_from_csv("0,1,T\n").unwrap_err();
+        assert_eq!(e.line, 1);
+        assert!(e.to_string().contains("header"));
+    }
+
+    #[test]
+    fn rejects_bad_metadata() {
+        assert!(trace_from_csv("# fd-trace v1\n0,1\n").is_err());
+        assert!(trace_from_csv("# fd-trace v1\nx,1,T\n").is_err());
+        assert!(trace_from_csv("# fd-trace v1\n0,1,Q\n").is_err());
+        assert!(trace_from_csv("# fd-trace v1\n5,1,T\n").is_err()); // start > end
+    }
+
+    #[test]
+    fn rejects_disordered_transitions() {
+        let bad = "# fd-trace v1\n0,10,T\n5,S\n3,T\n";
+        let e = trace_from_csv(bad).unwrap_err();
+        assert_eq!(e.line, 4);
+    }
+
+    #[test]
+    fn rejects_non_alternating_transitions() {
+        let bad = "# fd-trace v1\n0,10,T\n5,S\n6,S\n";
+        assert!(trace_from_csv(bad).is_err());
+    }
+
+    #[test]
+    fn rejects_transition_past_end() {
+        let bad = "# fd-trace v1\n0,10,T\n11,S\n";
+        assert!(trace_from_csv(bad).is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_roundtrip(
+            times in proptest::collection::vec(0.0f64..99.0, 0..30),
+        ) {
+            let mut sorted = times.clone();
+            sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            sorted.dedup();
+            let mut rec = TraceRecorder::new(0.0, FdOutput::Suspect);
+            let mut out = FdOutput::Suspect;
+            for &t in &sorted {
+                out = out.toggled();
+                rec.record(t, out);
+            }
+            let trace = rec.finish(100.0);
+            let back = trace_from_csv(&trace_to_csv(&trace)).unwrap();
+            prop_assert_eq!(trace, back);
+        }
+    }
+}

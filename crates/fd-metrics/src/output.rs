@@ -1,0 +1,73 @@
+//! The two-valued failure-detector output (§2.1).
+
+use std::fmt;
+
+/// Output of the failure detector at `q` about the monitored process `p`.
+///
+/// The paper writes these `T` and `S`. A *transition* is a change of
+/// output: an **S-transition** goes `Trust → Suspect` (the detector
+/// "makes a mistake" if `p` is actually up), a **T-transition** goes
+/// `Suspect → Trust` (the detector corrects a mistake).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FdOutput {
+    /// `T`: `q` trusts that `p` is up.
+    Trust,
+    /// `S`: `q` suspects that `p` has crashed.
+    Suspect,
+}
+
+impl FdOutput {
+    /// Whether this output is `Trust`.
+    pub fn is_trust(self) -> bool {
+        matches!(self, FdOutput::Trust)
+    }
+
+    /// Whether this output is `Suspect`.
+    pub fn is_suspect(self) -> bool {
+        matches!(self, FdOutput::Suspect)
+    }
+
+    /// The opposite output.
+    pub fn toggled(self) -> FdOutput {
+        match self {
+            FdOutput::Trust => FdOutput::Suspect,
+            FdOutput::Suspect => FdOutput::Trust,
+        }
+    }
+}
+
+impl fmt::Display for FdOutput {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FdOutput::Trust => write!(f, "T"),
+            FdOutput::Suspect => write!(f, "S"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn predicates() {
+        assert!(FdOutput::Trust.is_trust());
+        assert!(!FdOutput::Trust.is_suspect());
+        assert!(FdOutput::Suspect.is_suspect());
+        assert!(!FdOutput::Suspect.is_trust());
+    }
+
+    #[test]
+    fn toggle_is_involution() {
+        for o in [FdOutput::Trust, FdOutput::Suspect] {
+            assert_eq!(o.toggled().toggled(), o);
+            assert_ne!(o.toggled(), o);
+        }
+    }
+
+    #[test]
+    fn display_uses_paper_letters() {
+        assert_eq!(FdOutput::Trust.to_string(), "T");
+        assert_eq!(FdOutput::Suspect.to_string(), "S");
+    }
+}

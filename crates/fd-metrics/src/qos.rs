@@ -1,0 +1,300 @@
+//! QoS requirement tuples and achieved-QoS bundles (§4).
+//!
+//! An application states its failure-detector requirements as a triple of
+//! bounds on the primary metrics (Eq. 4.1):
+//!
+//! ```text
+//! T_D ≤ T_D^U       (worst-case detection time)
+//! E(T_MR) ≥ T_MR^L  (mean mistake recurrence time)
+//! E(T_M) ≤ T_M^U    (mean mistake duration)
+//! ```
+//!
+//! Footnote 11 of the paper: bounds on the primary metrics imply bounds on
+//! every derived metric; [`QosRequirements`] exposes those implied bounds.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The `(T_D^U, T_MR^L, T_M^U)` requirement tuple of Eq. (4.1).
+///
+/// ```
+/// use fd_metrics::QosRequirements;
+///
+/// // §4 worked example: detect within 30 s, at most one mistake a month,
+/// // mistakes corrected within a minute.
+/// let req = QosRequirements::new(30.0, 30.0 * 24.0 * 3600.0, 60.0).unwrap();
+/// assert!((req.implied_mistake_rate_upper() - 1.0 / 2_592_000.0).abs() < 1e-18);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct QosRequirements {
+    t_d_upper: f64,
+    t_mr_lower: f64,
+    t_m_upper: f64,
+}
+
+/// Error constructing [`QosRequirements`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InvalidQosRequirements {
+    /// Which field was invalid.
+    pub field: &'static str,
+    /// The offending value.
+    pub value: f64,
+}
+
+impl fmt::Display for InvalidQosRequirements {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "QoS requirement `{}` must be positive and finite, got {}",
+            self.field, self.value
+        )
+    }
+}
+
+impl std::error::Error for InvalidQosRequirements {}
+
+impl QosRequirements {
+    /// Creates a requirement tuple; all three values must be positive
+    /// (the paper defines the tuple over positive numbers).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidQosRequirements`] naming the first offending
+    /// field.
+    pub fn new(
+        t_d_upper: f64,
+        t_mr_lower: f64,
+        t_m_upper: f64,
+    ) -> Result<Self, InvalidQosRequirements> {
+        for (field, value) in [
+            ("T_D^U", t_d_upper),
+            ("T_MR^L", t_mr_lower),
+            ("T_M^U", t_m_upper),
+        ] {
+            if !(value > 0.0 && value.is_finite()) {
+                return Err(InvalidQosRequirements { field, value });
+            }
+        }
+        Ok(Self {
+            t_d_upper,
+            t_mr_lower,
+            t_m_upper,
+        })
+    }
+
+    /// Upper bound on the detection time, `T_D^U`.
+    pub fn detection_time_upper(&self) -> f64 {
+        self.t_d_upper
+    }
+
+    /// Lower bound on the mean mistake recurrence time, `T_MR^L`.
+    pub fn mistake_recurrence_lower(&self) -> f64 {
+        self.t_mr_lower
+    }
+
+    /// Upper bound on the mean mistake duration, `T_M^U`.
+    pub fn mistake_duration_upper(&self) -> f64 {
+        self.t_m_upper
+    }
+
+    /// Implied bound `λ_M ≤ 1/T_MR^L` (footnote 11).
+    pub fn implied_mistake_rate_upper(&self) -> f64 {
+        1.0 / self.t_mr_lower
+    }
+
+    /// Implied bound `P_A ≥ (T_MR^L − T_M^U)/T_MR^L` (footnote 11), clamped
+    /// at zero when `T_M^U > T_MR^L`.
+    pub fn implied_query_accuracy_lower(&self) -> f64 {
+        ((self.t_mr_lower - self.t_m_upper) / self.t_mr_lower).max(0.0)
+    }
+
+    /// Implied bound `E(T_G) ≥ T_MR^L − T_M^U` (footnote 11), clamped at
+    /// zero.
+    pub fn implied_good_period_lower(&self) -> f64 {
+        (self.t_mr_lower - self.t_m_upper).max(0.0)
+    }
+
+    /// Implied bound `E(T_FG) ≥ (T_MR^L − T_M^U)/2` (footnote 11), clamped
+    /// at zero.
+    pub fn implied_forward_good_lower(&self) -> f64 {
+        self.implied_good_period_lower() / 2.0
+    }
+
+    /// Whether an achieved [`QosBundle`] satisfies these requirements.
+    pub fn satisfied_by(&self, achieved: &QosBundle) -> bool {
+        achieved.detection_time_bound <= self.t_d_upper + 1e-9
+            && achieved.mean_mistake_recurrence >= self.t_mr_lower - 1e-9
+            && achieved.mean_mistake_duration <= self.t_m_upper + 1e-9
+    }
+}
+
+impl fmt::Display for QosRequirements {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "T_D ≤ {}, E(T_MR) ≥ {}, E(T_M) ≤ {}",
+            self.t_d_upper, self.t_mr_lower, self.t_m_upper
+        )
+    }
+}
+
+/// The QoS a detector achieves (analytically predicted or measured),
+/// expressed in the three primary metrics plus the derived ones.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct QosBundle {
+    /// Worst-case detection time bound `T_D` (for NFD-S: `δ + η`, tight,
+    /// Theorem 5.1).
+    pub detection_time_bound: f64,
+    /// `E(T_MR)`.
+    pub mean_mistake_recurrence: f64,
+    /// `E(T_M)`.
+    pub mean_mistake_duration: f64,
+}
+
+impl QosBundle {
+    /// Creates a bundle from the three primary quantities.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any value is negative or NaN (infinite `E(T_MR)` is
+    /// allowed: a detector that never makes mistakes).
+    pub fn new(
+        detection_time_bound: f64,
+        mean_mistake_recurrence: f64,
+        mean_mistake_duration: f64,
+    ) -> Self {
+        assert!(
+            detection_time_bound >= 0.0 && !detection_time_bound.is_nan(),
+            "detection time bound must be nonnegative"
+        );
+        assert!(
+            mean_mistake_recurrence >= 0.0 && !mean_mistake_recurrence.is_nan(),
+            "E(T_MR) must be nonnegative"
+        );
+        assert!(
+            mean_mistake_duration >= 0.0 && !mean_mistake_duration.is_nan(),
+            "E(T_M) must be nonnegative"
+        );
+        Self {
+            detection_time_bound,
+            mean_mistake_recurrence,
+            mean_mistake_duration,
+        }
+    }
+
+    /// Derived `λ_M = 1/E(T_MR)` (Theorem 1.2); `0` if mistakes never
+    /// recur.
+    pub fn mistake_rate(&self) -> f64 {
+        if self.mean_mistake_recurrence.is_infinite() {
+            0.0
+        } else {
+            1.0 / self.mean_mistake_recurrence
+        }
+    }
+
+    /// Derived `P_A = 1 − E(T_M)/E(T_MR)` (Theorem 1.1 + 1.2).
+    pub fn query_accuracy(&self) -> f64 {
+        if self.mean_mistake_recurrence.is_infinite() {
+            1.0
+        } else {
+            (1.0 - self.mean_mistake_duration / self.mean_mistake_recurrence).clamp(0.0, 1.0)
+        }
+    }
+
+    /// Derived `E(T_G) = E(T_MR) − E(T_M)` (Theorem 1.1).
+    pub fn mean_good_period(&self) -> f64 {
+        self.mean_mistake_recurrence - self.mean_mistake_duration
+    }
+}
+
+impl fmt::Display for QosBundle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "T_D ≤ {:.4}, E(T_MR) = {:.4}, E(T_M) = {:.4}, P_A = {:.6}",
+            self.detection_time_bound,
+            self.mean_mistake_recurrence,
+            self.mean_mistake_duration,
+            self.query_accuracy()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn month_req() -> QosRequirements {
+        QosRequirements::new(30.0, 2_592_000.0, 60.0).unwrap()
+    }
+
+    #[test]
+    fn accessors_roundtrip() {
+        let r = month_req();
+        assert_eq!(r.detection_time_upper(), 30.0);
+        assert_eq!(r.mistake_recurrence_lower(), 2_592_000.0);
+        assert_eq!(r.mistake_duration_upper(), 60.0);
+    }
+
+    #[test]
+    fn implied_bounds_footnote_11() {
+        let r = month_req();
+        assert!((r.implied_mistake_rate_upper() - 1.0 / 2_592_000.0).abs() < 1e-18);
+        let want_pa = (2_592_000.0 - 60.0) / 2_592_000.0;
+        assert!((r.implied_query_accuracy_lower() - want_pa).abs() < 1e-12);
+        assert!((r.implied_good_period_lower() - 2_591_940.0).abs() < 1e-6);
+        assert!((r.implied_forward_good_lower() - 1_295_970.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn implied_bounds_clamp_when_tm_exceeds_tmr() {
+        let r = QosRequirements::new(1.0, 5.0, 10.0).unwrap();
+        assert_eq!(r.implied_query_accuracy_lower(), 0.0);
+        assert_eq!(r.implied_good_period_lower(), 0.0);
+    }
+
+    #[test]
+    fn satisfaction_check() {
+        let r = month_req();
+        let good = QosBundle::new(30.0, 3_000_000.0, 10.0);
+        let slow_detect = QosBundle::new(31.0, 3_000_000.0, 10.0);
+        let frequent = QosBundle::new(30.0, 1_000_000.0, 10.0);
+        let slow_fix = QosBundle::new(30.0, 3_000_000.0, 61.0);
+        assert!(r.satisfied_by(&good));
+        assert!(!r.satisfied_by(&slow_detect));
+        assert!(!r.satisfied_by(&frequent));
+        assert!(!r.satisfied_by(&slow_fix));
+    }
+
+    #[test]
+    fn bundle_derived_metrics() {
+        let b = QosBundle::new(2.0, 16.0, 4.0);
+        assert!((b.mistake_rate() - 1.0 / 16.0).abs() < 1e-15);
+        assert!((b.query_accuracy() - 0.75).abs() < 1e-15);
+        assert!((b.mean_good_period() - 12.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn perfect_detector_bundle() {
+        let b = QosBundle::new(2.0, f64::INFINITY, 0.0);
+        assert_eq!(b.mistake_rate(), 0.0);
+        assert_eq!(b.query_accuracy(), 1.0);
+    }
+
+    #[test]
+    fn rejects_nonpositive_requirements() {
+        assert!(QosRequirements::new(0.0, 1.0, 1.0).is_err());
+        assert!(QosRequirements::new(1.0, -1.0, 1.0).is_err());
+        assert!(QosRequirements::new(1.0, 1.0, f64::NAN).is_err());
+        let err = QosRequirements::new(1.0, f64::INFINITY, 1.0).unwrap_err();
+        assert_eq!(err.field, "T_MR^L");
+    }
+
+    #[test]
+    fn display_formats() {
+        let r = QosRequirements::new(30.0, 100.0, 60.0).unwrap();
+        assert!(r.to_string().contains("T_D ≤ 30"));
+        let b = QosBundle::new(2.0, 16.0, 4.0);
+        assert!(b.to_string().contains("P_A = 0.75"));
+    }
+}

@@ -1,0 +1,220 @@
+//! The monitored process `p`: a thread sending heartbeats every `η`.
+
+use crate::clock::Clock;
+use crate::transport::Sender;
+use fd_core::Heartbeat;
+use parking_lot::{Condvar, Mutex};
+use std::sync::Arc;
+use std::time::Duration;
+
+#[derive(Debug)]
+struct Control {
+    /// Current intersending interval `η` (seconds).
+    eta: f64,
+    /// True once the process "crashed" (or was shut down): no further
+    /// heartbeats are sent, matching the paper's crash-stop model.
+    crashed: bool,
+}
+
+struct Shared {
+    control: Mutex<Control>,
+    wake: Condvar,
+}
+
+/// Handle to a running heartbeater thread.
+///
+/// The thread stamps each `mᵢ` with its **own clock's** send time (so a
+/// skewed clock produces skewed timestamps, as §6 requires) and sends
+/// through the lossy transport. `η` can be retuned at runtime — the
+/// knob the §8.1 adaptive scheme turns.
+pub struct Heartbeater {
+    shared: Arc<Shared>,
+    handle: Option<std::thread::JoinHandle<u64>>,
+}
+
+impl Heartbeater {
+    /// Spawns a heartbeater sending every `eta` seconds on `sender`,
+    /// reading time (for timestamps and pacing) from `clock`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `eta` is not positive and finite.
+    pub fn spawn(eta: f64, sender: Sender, clock: impl Clock + 'static) -> Self {
+        assert!(eta > 0.0 && eta.is_finite(), "eta must be positive and finite");
+        let shared = Arc::new(Shared {
+            control: Mutex::new(Control { eta, crashed: false }),
+            wake: Condvar::new(),
+        });
+        let thread_shared = Arc::clone(&shared);
+        let handle = std::thread::Builder::new()
+            .name("fd-heartbeater".into())
+            .spawn(move || run(thread_shared, sender, clock))
+            .expect("spawn heartbeater");
+        Self {
+            shared,
+            handle: Some(handle),
+        }
+    }
+
+    /// Changes the intersending interval `η` (takes effect for the next
+    /// heartbeat).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `eta` is not positive and finite.
+    pub fn set_eta(&self, eta: f64) {
+        assert!(eta > 0.0 && eta.is_finite(), "eta must be positive and finite");
+        self.shared.control.lock().eta = eta;
+        self.shared.wake.notify_one();
+    }
+
+    /// The current `η`.
+    pub fn eta(&self) -> f64 {
+        self.shared.control.lock().eta
+    }
+
+    /// Crashes the process: heartbeats stop permanently (crash-stop).
+    /// Returns the number of heartbeats sent (including lost ones).
+    pub fn crash(&mut self) -> u64 {
+        {
+            let mut c = self.shared.control.lock();
+            c.crashed = true;
+        }
+        self.shared.wake.notify_one();
+        match self.handle.take() {
+            Some(h) => h.join().expect("heartbeater thread panicked"),
+            None => 0,
+        }
+    }
+
+    /// Whether the process has crashed.
+    pub fn is_crashed(&self) -> bool {
+        self.shared.control.lock().crashed
+    }
+}
+
+impl Drop for Heartbeater {
+    fn drop(&mut self) {
+        // Idempotent, non-blocking teardown per C-DTOR-BLOCK: signal and
+        // detach-join quickly (the thread wakes immediately on `crashed`).
+        if self.handle.is_some() {
+            self.crash();
+        }
+    }
+}
+
+fn run(shared: Arc<Shared>, sender: Sender, clock: impl Clock) -> u64 {
+    let mut seq: u64 = 0;
+    let start = clock.now();
+    let mut next_send = start;
+    loop {
+        let mut control = shared.control.lock();
+        loop {
+            if control.crashed {
+                return seq;
+            }
+            let now = clock.now();
+            if now >= next_send {
+                break;
+            }
+            let wait = Duration::from_secs_f64((next_send - now).max(1e-6));
+            shared.wake.wait_for(&mut control, wait);
+        }
+        let eta = control.eta;
+        drop(control);
+
+        seq += 1;
+        sender.send(Heartbeat::new(seq, clock.now()));
+        next_send += eta;
+        // If we fell behind (scheduler hiccup), don't burst: realign.
+        let now = clock.now();
+        if next_send < now {
+            next_send = now + eta;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::{SkewedClock, WallClock};
+    use crate::transport::{LinkSpec, LossyChannel};
+    use fd_stats::dist::Constant;
+    use std::time::Duration;
+
+    fn channel() -> (crate::transport::Sender, crate::transport::Receiver) {
+        let spec = LinkSpec::new(0.0, Box::new(Constant::new(0.0005).unwrap())).unwrap();
+        let (tx, rx, _worker) = LossyChannel::create(spec, 1);
+        (tx, rx)
+    }
+
+    #[test]
+    fn sends_sequenced_heartbeats_at_rate() {
+        let (tx, rx) = channel();
+        let mut hb = Heartbeater::spawn(0.01, tx, WallClock::new());
+        let mut seqs = Vec::new();
+        for _ in 0..5 {
+            seqs.push(rx.recv_timeout(Duration::from_secs(2)).unwrap().seq);
+        }
+        let sent = hb.crash();
+        assert_eq!(seqs, vec![1, 2, 3, 4, 5]);
+        assert!(sent >= 5);
+    }
+
+    #[test]
+    fn crash_stops_heartbeats() {
+        let (tx, rx) = channel();
+        let mut hb = Heartbeater::spawn(0.005, tx, WallClock::new());
+        std::thread::sleep(Duration::from_millis(20));
+        let sent = hb.crash();
+        assert!(hb.is_crashed());
+        // Drain everything in flight; nothing further arrives.
+        while rx.recv_timeout(Duration::from_millis(30)).is_ok() {}
+        assert!(rx.recv_timeout(Duration::from_millis(30)).is_err());
+        assert!(sent >= 2, "sent {sent}");
+    }
+
+    #[test]
+    fn set_eta_changes_rate() {
+        let (tx, rx) = channel();
+        let mut hb = Heartbeater::spawn(0.5, tx, WallClock::new());
+        assert_eq!(hb.eta(), 0.5);
+        // First heartbeat comes immediately; then speed up drastically.
+        let _ = rx.recv_timeout(Duration::from_secs(2)).unwrap();
+        hb.set_eta(0.005);
+        assert_eq!(hb.eta(), 0.005);
+        // At the old rate the next heartbeat is ~0.5 s away; at the new
+        // rate several arrive quickly. (The pending wait still uses the
+        // old deadline; tolerate one slow gap.)
+        let hb2 = rx.recv_timeout(Duration::from_secs(2)).unwrap();
+        let t0 = std::time::Instant::now();
+        let hb3 = rx.recv_timeout(Duration::from_secs(2)).unwrap();
+        assert!(hb3.seq > hb2.seq);
+        assert!(t0.elapsed() < Duration::from_millis(300));
+        hb.crash();
+    }
+
+    #[test]
+    fn timestamps_use_senders_clock() {
+        let (tx, rx) = channel();
+        let skew = 1000.0;
+        let mut hb = Heartbeater::spawn(0.01, tx, SkewedClock::new(WallClock::new(), skew));
+        let m = rx.recv_timeout(Duration::from_secs(2)).unwrap();
+        assert!(m.send_time >= skew, "timestamp {} lacks skew", m.send_time);
+        hb.crash();
+    }
+
+    #[test]
+    fn drop_is_clean_without_explicit_crash() {
+        let (tx, _rx) = channel();
+        let hb = Heartbeater::spawn(0.01, tx, WallClock::new());
+        drop(hb); // must not hang or panic
+    }
+
+    #[test]
+    #[should_panic(expected = "eta must be positive")]
+    fn rejects_zero_eta() {
+        let (tx, _rx) = channel();
+        Heartbeater::spawn(0.0, tx, WallClock::new());
+    }
+}

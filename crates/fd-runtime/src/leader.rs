@@ -1,0 +1,177 @@
+//! Leader election on top of the failure-detection service.
+//!
+//! The paper's introduction motivates failure detectors through the
+//! layers built on them — group membership, cluster management,
+//! consensus. This module is the canonical downstream consumer: an
+//! Ω-style eventual leader elector that picks the smallest-ranked process
+//! the detector currently trusts. Its guarantees inherit directly from
+//! the detector's QoS:
+//!
+//! * a crashed leader is replaced within the detector's `T_D` bound;
+//! * spurious leader changes happen at most at the detector's mistake
+//!   rate `λ_M`, and last at most a mistake duration `T_M` — the reason
+//!   the paper calls `λ_M` "important to long-lived applications where
+//!   each mistake results in a costly interrupt".
+
+use crate::Service;
+use std::fmt;
+
+/// An Ω-style leader elector over a [`Service`].
+///
+/// Candidates are ranked by the order given at construction; the current
+/// leader is the first candidate the underlying failure detectors do not
+/// suspect.
+#[derive(Debug)]
+pub struct LeaderElector {
+    /// Candidate names, in priority order.
+    ranking: Vec<String>,
+}
+
+/// A leadership reading.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Leadership {
+    /// This candidate currently leads.
+    Leader(String),
+    /// Every candidate is suspected.
+    NoLeader,
+}
+
+impl fmt::Display for Leadership {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Leadership::Leader(n) => write!(f, "leader: {n}"),
+            Leadership::NoLeader => write!(f, "no leader (all candidates suspected)"),
+        }
+    }
+}
+
+impl LeaderElector {
+    /// Creates an elector over the given priority ranking.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ranking` is empty or contains duplicates.
+    pub fn new(ranking: Vec<String>) -> Self {
+        assert!(!ranking.is_empty(), "ranking must not be empty");
+        let mut dedup = ranking.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), ranking.len(), "ranking contains duplicates");
+        Self { ranking }
+    }
+
+    /// The candidate ranking.
+    pub fn ranking(&self) -> &[String] {
+        &self.ranking
+    }
+
+    /// Reads the current leader from the service's suspicion state.
+    /// Candidates the service does not watch count as suspected.
+    pub fn current(&self, service: &Service) -> Leadership {
+        let status = service.status();
+        for name in &self.ranking {
+            if status.get(name).is_some_and(|o| o.is_trust()) {
+                return Leadership::Leader(name.clone());
+            }
+        }
+        Leadership::NoLeader
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{LinkSpec, ProcessSpec};
+    use fd_core::config::NfdUParams;
+    use fd_stats::dist::Exponential;
+    use std::time::{Duration, Instant};
+
+    fn watch(svc: &mut Service, name: &str, seed: u64) {
+        let link = LinkSpec::new(
+            0.0,
+            Box::new(Exponential::with_mean(0.001).unwrap()),
+        )
+        .unwrap();
+        svc.watch(
+            ProcessSpec::named(name)
+                .heartbeat_params(NfdUParams { eta: 0.01, alpha: 0.05 })
+                .link(link)
+                .seed(seed),
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn elects_highest_priority_live_candidate_and_fails_over() {
+        let mut svc = Service::new();
+        for (i, n) in ["n1", "n2", "n3"].iter().enumerate() {
+            watch(&mut svc, n, i as u64);
+        }
+        let elector = LeaderElector::new(vec!["n1".into(), "n2".into(), "n3".into()]);
+
+        // Warm-up: n1 leads.
+        std::thread::sleep(Duration::from_millis(150));
+        assert_eq!(elector.current(&svc), Leadership::Leader("n1".into()));
+
+        // Crash the leader: failover to n2 within the detection bound.
+        svc.crash("n1");
+        let t0 = Instant::now();
+        loop {
+            if elector.current(&svc) == Leadership::Leader("n2".into()) {
+                break;
+            }
+            assert!(t0.elapsed() < Duration::from_secs(5), "failover too slow");
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        svc.shutdown();
+    }
+
+    #[test]
+    fn no_leader_when_everyone_is_down() {
+        let mut svc = Service::new();
+        watch(&mut svc, "solo", 9);
+        let elector = LeaderElector::new(vec!["solo".into()]);
+        std::thread::sleep(Duration::from_millis(120));
+        assert_eq!(elector.current(&svc), Leadership::Leader("solo".into()));
+        svc.crash("solo");
+        let t0 = Instant::now();
+        loop {
+            if elector.current(&svc) == Leadership::NoLeader {
+                break;
+            }
+            assert!(t0.elapsed() < Duration::from_secs(5));
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        svc.shutdown();
+    }
+
+    #[test]
+    fn unwatched_candidates_are_skipped() {
+        let mut svc = Service::new();
+        watch(&mut svc, "b", 3);
+        let elector = LeaderElector::new(vec!["ghost".into(), "b".into()]);
+        std::thread::sleep(Duration::from_millis(150));
+        assert_eq!(elector.current(&svc), Leadership::Leader("b".into()));
+        svc.shutdown();
+    }
+
+    #[test]
+    #[should_panic(expected = "ranking must not be empty")]
+    fn rejects_empty_ranking() {
+        LeaderElector::new(vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicates")]
+    fn rejects_duplicate_ranking() {
+        LeaderElector::new(vec!["a".into(), "a".into()]);
+    }
+
+    #[test]
+    fn display_and_accessors() {
+        let e = LeaderElector::new(vec!["x".into()]);
+        assert_eq!(e.ranking(), &["x".to_string()]);
+        assert_eq!(Leadership::Leader("x".into()).to_string(), "leader: x");
+        assert!(Leadership::NoLeader.to_string().contains("no leader"));
+    }
+}

@@ -1,0 +1,255 @@
+//! The monitoring process `q`: a thread driving a failure detector in
+//! real time.
+
+use crate::clock::Clock;
+use crate::transport::Receiver;
+use crossbeam::channel::RecvTimeoutError;
+use fd_metrics::{FdOutput, TraceRecorder, TransitionTrace};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicU8, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Builds the detector driven by a [`Monitor`]. Boxed so callers can use
+/// any [`FailureDetector`](fd_core::FailureDetector).
+pub type DetectorFactory = Box<dyn FnOnce() -> Box<dyn fd_core::FailureDetector + Send> + Send>;
+
+struct Shared {
+    /// 0 = Trust, 1 = Suspect (for lock-free `output()` reads).
+    output: AtomicU8,
+    stop: AtomicBool,
+    recorder: Mutex<Option<TraceRecorder>>,
+}
+
+/// Handle to a running monitor thread.
+///
+/// The thread sleeps until the earlier of (a) the next heartbeat arrival
+/// and (b) the detector's next internal deadline, feeding each to the
+/// state machine with timestamps from the **monitor's own clock** (which
+/// may be skewed relative to the sender's, §6). The current output is
+/// readable lock-free; the full transition trace is returned by
+/// [`Monitor::stop`].
+pub struct Monitor {
+    shared: Arc<Shared>,
+    handle: Option<std::thread::JoinHandle<()>>,
+    clock: Arc<dyn Clock>,
+}
+
+impl Monitor {
+    /// Spawns a monitor thread driving `detector` with heartbeats from
+    /// `rx`, reading time from `clock`.
+    pub fn spawn(
+        detector: Box<dyn fd_core::FailureDetector + Send>,
+        rx: Receiver,
+        clock: impl Clock + 'static,
+    ) -> Self {
+        let clock: Arc<dyn Clock> = Arc::new(clock);
+        let shared = Arc::new(Shared {
+            output: AtomicU8::new(1), // detectors start suspecting
+            stop: AtomicBool::new(false),
+            recorder: Mutex::new(None),
+        });
+        let thread_shared = Arc::clone(&shared);
+        let thread_clock = Arc::clone(&clock);
+        let handle = std::thread::Builder::new()
+            .name("fd-monitor".into())
+            .spawn(move || drive(detector, rx, thread_clock, thread_shared))
+            .expect("spawn monitor");
+        Self {
+            shared,
+            handle: Some(handle),
+            clock,
+        }
+    }
+
+    /// The detector's current output (lock-free snapshot).
+    pub fn output(&self) -> FdOutput {
+        if self.shared.output.load(Ordering::Acquire) == 0 {
+            FdOutput::Trust
+        } else {
+            FdOutput::Suspect
+        }
+    }
+
+    /// Stops the monitor and returns the recorded transition trace
+    /// (timestamps on the monitor's clock).
+    pub fn stop(mut self) -> TransitionTrace {
+        self.shared.stop.store(true, Ordering::Release);
+        if let Some(h) = self.handle.take() {
+            h.join().expect("monitor thread panicked");
+        }
+        let rec = self
+            .shared
+            .recorder
+            .lock()
+            .take()
+            .expect("recorder present after join");
+        let end = self.clock.now().max(rec.latest_time());
+        rec.finish(end)
+    }
+}
+
+impl Drop for Monitor {
+    fn drop(&mut self) {
+        self.shared.stop.store(true, Ordering::Release);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+fn drive(
+    mut fd: Box<dyn fd_core::FailureDetector + Send>,
+    rx: Receiver,
+    clock: Arc<dyn Clock>,
+    shared: Arc<Shared>,
+) {
+    let start = clock.now();
+    fd.advance(start);
+    *shared.recorder.lock() = Some(TraceRecorder::new(start, fd.output()));
+    publish(&shared, fd.output());
+
+    while !shared.stop.load(Ordering::Acquire) {
+        let now = clock.now();
+        // Sleep until the next deadline (or poll every 50 ms when idle).
+        let wait = match fd.next_deadline() {
+            Some(d) if d <= now => Duration::ZERO,
+            Some(d) => Duration::from_secs_f64((d - now).min(0.05)),
+            None => Duration::from_millis(50),
+        };
+        match rx.recv_timeout(wait) {
+            Ok(hb) => {
+                let t = clock.now();
+                fd.on_heartbeat(t, hb);
+                record(&shared, t, fd.output());
+            }
+            Err(RecvTimeoutError::Timeout) => {
+                let t = clock.now();
+                // Apply any deadline that elapsed; record at the deadline
+                // instant for an exact trace.
+                if let Some(d) = fd.next_deadline() {
+                    if d <= t {
+                        fd.advance(t);
+                        record(&shared, d.max(start), fd.output());
+                        continue;
+                    }
+                }
+                fd.advance(t);
+                record(&shared, t, fd.output());
+            }
+            Err(RecvTimeoutError::Disconnected) => {
+                // Sender gone (crashed and channel drained): keep driving
+                // deadlines until stopped.
+                let t = clock.now();
+                fd.advance(t);
+                record(&shared, t, fd.output());
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        }
+    }
+}
+
+fn record(shared: &Shared, t: f64, out: FdOutput) {
+    if let Some(rec) = shared.recorder.lock().as_mut() {
+        // Guard against clock jitter below recorder resolution.
+        if t >= rec.latest_time() {
+            rec.record(t, out);
+        }
+    }
+    publish(shared, out);
+}
+
+fn publish(shared: &Shared, out: FdOutput) {
+    shared
+        .output
+        .store(u8::from(out == FdOutput::Suspect), Ordering::Release);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::{SkewedClock, WallClock};
+    use crate::heartbeater::Heartbeater;
+    use crate::transport::{LinkSpec, LossyChannel};
+    use fd_core::detectors::{NfdE, NfdS};
+    use fd_stats::dist::Constant;
+
+    /// End-to-end: clean 5 ms-delay link, η = 10 ms, NFD-S with δ = 30 ms.
+    #[test]
+    fn trusts_live_process_then_detects_crash() {
+        let clock = WallClock::new();
+        let spec = LinkSpec::new(0.0, Box::new(Constant::new(0.005).unwrap())).unwrap();
+        let (tx, rx, _worker) = LossyChannel::create(spec, 1);
+        let mut hb = Heartbeater::spawn(0.01, tx, clock.clone());
+        let fd = NfdS::new(0.01, 0.03).unwrap();
+        let monitor = Monitor::spawn(Box::new(fd), rx, clock.clone());
+
+        // Let it reach steady state and confirm trust.
+        std::thread::sleep(Duration::from_millis(120));
+        assert!(monitor.output().is_trust(), "should trust a live process");
+
+        // Crash p; detection must follow within δ + η (+ scheduling slop).
+        let crash_at = clock.now();
+        hb.crash();
+        std::thread::sleep(Duration::from_millis(150));
+        assert!(monitor.output().is_suspect(), "crash not detected");
+
+        let trace = monitor.stop();
+        let d = fd_metrics::detection_time(&trace, crash_at);
+        let elapsed = d.as_seconds();
+        assert!(
+            elapsed <= 0.04 + 0.05,
+            "T_D = {elapsed} vs bound 0.04 (+ slop)"
+        );
+    }
+
+    #[test]
+    fn nfd_e_works_with_skewed_clocks() {
+        // Sender's clock is 500 s ahead; NFD-E must not care (it ignores
+        // sender timestamps entirely).
+        let base = WallClock::new();
+        let spec = LinkSpec::new(0.0, Box::new(Constant::new(0.002).unwrap())).unwrap();
+        let (tx, rx, _worker) = LossyChannel::create(spec, 2);
+        let mut hb = Heartbeater::spawn(0.01, tx, SkewedClock::new(base.clone(), 500.0));
+        let fd = NfdE::new(0.01, 0.03, 8).unwrap();
+        let monitor = Monitor::spawn(Box::new(fd), rx, base.clone());
+
+        std::thread::sleep(Duration::from_millis(150));
+        assert!(monitor.output().is_trust(), "skew broke NFD-E");
+        hb.crash();
+        std::thread::sleep(Duration::from_millis(120));
+        assert!(monitor.output().is_suspect());
+        let trace = monitor.stop();
+        assert!(trace.transitions().len() >= 2, "T then S at least");
+    }
+
+    #[test]
+    fn suspects_when_no_heartbeats_ever_arrive() {
+        let clock = WallClock::new();
+        let spec = LinkSpec::new(1.0, Box::new(Constant::new(0.001).unwrap())).unwrap();
+        let (tx, rx, _worker) = LossyChannel::create(spec, 3);
+        let mut hb = Heartbeater::spawn(0.01, tx, clock.clone());
+        let monitor = Monitor::spawn(Box::new(NfdS::new(0.01, 0.02).unwrap()), rx, clock);
+        std::thread::sleep(Duration::from_millis(80));
+        assert!(monitor.output().is_suspect());
+        hb.crash();
+        let trace = monitor.stop();
+        assert_eq!(trace.transitions().len(), 0, "never trusted");
+    }
+
+    #[test]
+    fn stop_returns_well_formed_trace() {
+        let clock = WallClock::new();
+        let spec = LinkSpec::new(0.0, Box::new(Constant::new(0.001).unwrap())).unwrap();
+        let (tx, rx, _worker) = LossyChannel::create(spec, 4);
+        let mut hb = Heartbeater::spawn(0.005, tx, clock.clone());
+        let monitor = Monitor::spawn(Box::new(NfdS::new(0.005, 0.02).unwrap()), rx, clock);
+        std::thread::sleep(Duration::from_millis(60));
+        hb.crash();
+        let trace = monitor.stop();
+        assert!(trace.end() >= trace.start());
+        // Output at any queried time is defined.
+        let mid = 0.5 * (trace.start() + trace.end());
+        let _ = trace.output_at(mid);
+    }
+}

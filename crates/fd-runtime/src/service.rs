@@ -1,0 +1,448 @@
+//! A multi-process failure-detection service.
+//!
+//! The paper reports (§8.1) that its adaptive algorithms "form the core of
+//! a failure detection service that is currently being implemented and
+//! evaluated \[15\] … intended to be shared among many different concurrent
+//! applications, each with a different set of QoS requirements". This
+//! module is that façade in miniature: one heartbeater + lossy link +
+//! monitor per watched process, QoS-driven parameter selection, and a
+//! queryable suspicion list (the shape group-membership and
+//! cluster-management layers consume, §1).
+
+use crate::clock::{SkewedClock, WallClock};
+use crate::heartbeater::Heartbeater;
+use crate::monitor::Monitor;
+use crate::transport::{LinkSpec, LossyChannel};
+use fd_core::config::{configure_nfd_u, NfdUParams};
+use fd_core::detectors::NfdE;
+use fd_metrics::{FdOutput, QosRequirements, TransitionTrace};
+use std::collections::HashMap;
+use std::fmt;
+
+/// How the detector parameters of a watched process are chosen.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum ParamChoice {
+    /// Explicit `(η, α)`.
+    Explicit(NfdUParams),
+    /// Derived from QoS requirements via the §6.2 configurator, given
+    /// expected `p_L` and `V(D)`.
+    FromQos {
+        requirements: QosRequirements,
+        loss_probability: f64,
+        delay_variance: f64,
+    },
+}
+
+/// Specification of one process to watch.
+pub struct ProcessSpec {
+    name: String,
+    link: Option<LinkSpec>,
+    params: Option<ParamChoice>,
+    sender_clock_skew: f64,
+    nfd_e_window: usize,
+    seed: u64,
+}
+
+impl fmt::Debug for ProcessSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ProcessSpec")
+            .field("name", &self.name)
+            .field("params", &self.params)
+            .field("sender_clock_skew", &self.sender_clock_skew)
+            .finish()
+    }
+}
+
+impl ProcessSpec {
+    /// Starts a spec for the process called `name`.
+    pub fn named(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            link: None,
+            params: None,
+            sender_clock_skew: 0.0,
+            nfd_e_window: 32,
+            seed: 0,
+        }
+    }
+
+    /// Sets the link law the heartbeats traverse.
+    pub fn link(mut self, link: LinkSpec) -> Self {
+        self.link = Some(link);
+        self
+    }
+
+    /// Uses explicit NFD-E parameters.
+    pub fn heartbeat_params(mut self, params: NfdUParams) -> Self {
+        self.params = Some(ParamChoice::Explicit(params));
+        self
+    }
+
+    /// Derives parameters from QoS requirements (§6.2 configurator) given
+    /// the expected loss probability and delay variance.
+    pub fn qos(
+        mut self,
+        requirements: QosRequirements,
+        loss_probability: f64,
+        delay_variance: f64,
+    ) -> Self {
+        self.params = Some(ParamChoice::FromQos {
+            requirements,
+            loss_probability,
+            delay_variance,
+        });
+        self
+    }
+
+    /// Gives the monitored process's clock a constant skew relative to
+    /// the monitor (§6 unsynchronized clocks). Default 0.
+    pub fn sender_clock_skew(mut self, skew: f64) -> Self {
+        self.sender_clock_skew = skew;
+        self
+    }
+
+    /// NFD-E estimation window (default 32, per §7.1).
+    pub fn estimation_window(mut self, n: usize) -> Self {
+        self.nfd_e_window = n;
+        self
+    }
+
+    /// Seed for the link's loss/delay randomness.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// Error starting a watch.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServiceError {
+    /// A process with this name is already watched.
+    DuplicateName(String),
+    /// The spec lacked a link law.
+    MissingLink(String),
+    /// The spec lacked parameters (explicit or QoS-derived).
+    MissingParams(String),
+    /// The §6.2 configurator reported the QoS unachievable.
+    QosUnachievable(String),
+    /// The configurator failed on the supplied inputs.
+    ConfigFailed(String),
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServiceError::DuplicateName(n) => write!(f, "process `{n}` is already watched"),
+            ServiceError::MissingLink(n) => write!(f, "process `{n}` has no link specification"),
+            ServiceError::MissingParams(n) => {
+                write!(f, "process `{n}` has neither explicit parameters nor QoS")
+            }
+            ServiceError::QosUnachievable(n) => {
+                write!(f, "no failure detector can achieve the QoS requested for `{n}`")
+            }
+            ServiceError::ConfigFailed(n) => {
+                write!(f, "configuration failed for `{n}`")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+struct Watch {
+    heartbeater: Heartbeater,
+    monitor: Option<Monitor>,
+    params: NfdUParams,
+}
+
+/// The failure-detection service: watches any number of (simulated-link)
+/// processes and answers "whom do you suspect?".
+#[derive(Default)]
+pub struct Service {
+    clock: Option<WallClock>,
+    watches: HashMap<String, Watch>,
+}
+
+impl Service {
+    /// Creates an empty service.
+    pub fn new() -> Self {
+        Self {
+            clock: Some(WallClock::new()),
+            watches: HashMap::new(),
+        }
+    }
+
+    fn clock(&self) -> WallClock {
+        self.clock.clone().expect("service clock present")
+    }
+
+    /// Starts watching a process per `spec`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ServiceError`] when the spec is incomplete, the name
+    /// collides, or the requested QoS is unachievable.
+    pub fn watch(&mut self, spec: ProcessSpec) -> Result<NfdUParams, ServiceError> {
+        if self.watches.contains_key(&spec.name) {
+            return Err(ServiceError::DuplicateName(spec.name));
+        }
+        let link = spec
+            .link
+            .ok_or_else(|| ServiceError::MissingLink(spec.name.clone()))?;
+        let params = match spec
+            .params
+            .ok_or_else(|| ServiceError::MissingParams(spec.name.clone()))?
+        {
+            ParamChoice::Explicit(p) => p,
+            ParamChoice::FromQos {
+                requirements,
+                loss_probability,
+                delay_variance,
+            } => configure_nfd_u(&requirements, loss_probability, delay_variance)
+                .map_err(|_| ServiceError::ConfigFailed(spec.name.clone()))?
+                .ok_or_else(|| ServiceError::QosUnachievable(spec.name.clone()))?,
+        };
+
+        let clock = self.clock();
+        let (tx, rx, _worker) = LossyChannel::create(link, spec.seed);
+        let sender_clock = SkewedClock::new(clock.clone(), spec.sender_clock_skew);
+        let heartbeater = Heartbeater::spawn(params.eta, tx, sender_clock);
+        let detector = NfdE::new(params.eta, params.alpha, spec.nfd_e_window)
+            .expect("configured parameters are valid");
+        let monitor = Monitor::spawn(Box::new(detector), rx, clock);
+
+        self.watches.insert(
+            spec.name,
+            Watch {
+                heartbeater,
+                monitor: Some(monitor),
+                params,
+            },
+        );
+        Ok(params)
+    }
+
+    /// Names of all watched processes.
+    pub fn watched(&self) -> Vec<&str> {
+        self.watches.keys().map(String::as_str).collect()
+    }
+
+    /// The parameters in force for `name`, if watched.
+    pub fn params(&self, name: &str) -> Option<NfdUParams> {
+        self.watches.get(name).map(|w| w.params)
+    }
+
+    /// Current output per watched process.
+    pub fn status(&self) -> HashMap<String, FdOutput> {
+        self.watches
+            .iter()
+            .map(|(name, w)| {
+                let out = w
+                    .monitor
+                    .as_ref()
+                    .map(|m| m.output())
+                    .unwrap_or(FdOutput::Suspect);
+                (name.clone(), out)
+            })
+            .collect()
+    }
+
+    /// The currently suspected processes (the classic "list of suspects"
+    /// interface of §1).
+    pub fn suspects(&self) -> Vec<String> {
+        let mut v: Vec<String> = self
+            .status()
+            .into_iter()
+            .filter(|(_, out)| out.is_suspect())
+            .map(|(n, _)| n)
+            .collect();
+        v.sort();
+        v
+    }
+
+    /// Crashes the named process (for fault-injection demos/tests).
+    /// Returns whether the process was found (and not already crashed).
+    pub fn crash(&mut self, name: &str) -> bool {
+        match self.watches.get_mut(name) {
+            Some(w) if !w.heartbeater.is_crashed() => {
+                w.heartbeater.crash();
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Stops watching `name`, returning the recorded trace.
+    pub fn unwatch(&mut self, name: &str) -> Option<TransitionTrace> {
+        let mut w = self.watches.remove(name)?;
+        w.heartbeater.crash();
+        w.monitor.take().map(Monitor::stop)
+    }
+
+    /// Shuts the whole service down.
+    pub fn shutdown(&mut self) {
+        let names: Vec<String> = self.watches.keys().cloned().collect();
+        for n in names {
+            let _ = self.unwatch(&n);
+        }
+    }
+}
+
+impl Drop for Service {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fd_stats::dist::Exponential;
+    use std::time::Duration;
+
+    fn fast_link(seed_unused: f64) -> LinkSpec {
+        let _ = seed_unused;
+        LinkSpec::new(0.0, Box::new(Exponential::with_mean(0.001).unwrap())).unwrap()
+    }
+
+    #[test]
+    fn watch_trust_crash_suspect_cycle() {
+        let mut svc = Service::new();
+        svc.watch(
+            ProcessSpec::named("node-a")
+                .heartbeat_params(NfdUParams { eta: 0.01, alpha: 0.05 })
+                .link(fast_link(0.0))
+                .seed(1),
+        )
+        .unwrap();
+        std::thread::sleep(Duration::from_millis(120));
+        assert!(svc.status()["node-a"].is_trust());
+        assert!(svc.suspects().is_empty());
+
+        assert!(svc.crash("node-a"));
+        std::thread::sleep(Duration::from_millis(150));
+        assert_eq!(svc.suspects(), vec!["node-a".to_string()]);
+        svc.shutdown();
+    }
+
+    #[test]
+    fn qos_driven_watch_configures_parameters() {
+        let mut svc = Service::new();
+        // Relative detection budget 0.2 s, ≥ 100 s between mistakes,
+        // mistakes fixed within 0.05 s; clean fast link.
+        let req = QosRequirements::new(0.2, 100.0, 0.05).unwrap();
+        let params = svc
+            .watch(
+                ProcessSpec::named("db")
+                    .qos(req, 0.0, 1e-6)
+                    .link(fast_link(0.0))
+                    .seed(2),
+            )
+            .unwrap();
+        assert!(params.eta > 0.0 && params.alpha > 0.0);
+        assert!((params.eta + params.alpha - 0.2).abs() < 1e-9);
+        assert_eq!(svc.params("db"), Some(params));
+        svc.shutdown();
+    }
+
+    #[test]
+    fn unachievable_qos_is_reported() {
+        let mut svc = Service::new();
+        // A link that loses every message: no failure detector can meet
+        // any accuracy requirement (Theorem 12 case 2).
+        let req = QosRequirements::new(0.1, 100.0, 0.05).unwrap();
+        let err = svc
+            .watch(
+                ProcessSpec::named("x")
+                    .qos(req, 1.0, 1e-6)
+                    .link(fast_link(0.0)),
+            )
+            .unwrap_err();
+        assert!(matches!(err, ServiceError::QosUnachievable(_)));
+    }
+
+    #[test]
+    fn duplicate_and_incomplete_specs_rejected() {
+        let mut svc = Service::new();
+        svc.watch(
+            ProcessSpec::named("a")
+                .heartbeat_params(NfdUParams { eta: 0.01, alpha: 0.05 })
+                .link(fast_link(0.0)),
+        )
+        .unwrap();
+        assert!(matches!(
+            svc.watch(
+                ProcessSpec::named("a")
+                    .heartbeat_params(NfdUParams { eta: 0.01, alpha: 0.05 })
+                    .link(fast_link(0.0))
+            ),
+            Err(ServiceError::DuplicateName(_))
+        ));
+        assert!(matches!(
+            svc.watch(ProcessSpec::named("b").link(fast_link(0.0))),
+            Err(ServiceError::MissingParams(_))
+        ));
+        assert!(matches!(
+            svc.watch(
+                ProcessSpec::named("c").heartbeat_params(NfdUParams { eta: 0.01, alpha: 0.05 })
+            ),
+            Err(ServiceError::MissingLink(_))
+        ));
+        svc.shutdown();
+    }
+
+    #[test]
+    fn unwatch_returns_trace() {
+        let mut svc = Service::new();
+        svc.watch(
+            ProcessSpec::named("n")
+                .heartbeat_params(NfdUParams { eta: 0.005, alpha: 0.03 })
+                .link(fast_link(0.0))
+                .seed(3),
+        )
+        .unwrap();
+        std::thread::sleep(Duration::from_millis(80));
+        let trace = svc.unwatch("n").expect("trace");
+        assert!(trace.duration() > 0.0);
+        assert!(svc.watched().is_empty());
+        assert!(svc.unwatch("n").is_none());
+    }
+
+    #[test]
+    fn monitors_multiple_processes_independently() {
+        let mut svc = Service::new();
+        for (i, name) in ["a", "b", "c"].iter().enumerate() {
+            svc.watch(
+                ProcessSpec::named(*name)
+                    .heartbeat_params(NfdUParams { eta: 0.01, alpha: 0.05 })
+                    .link(fast_link(0.0))
+                    .seed(i as u64),
+            )
+            .unwrap();
+        }
+        std::thread::sleep(Duration::from_millis(120));
+        assert!(svc.suspects().is_empty());
+        svc.crash("b");
+        std::thread::sleep(Duration::from_millis(150));
+        assert_eq!(svc.suspects(), vec!["b".to_string()]);
+        assert!(svc.status()["a"].is_trust());
+        assert!(svc.status()["c"].is_trust());
+        svc.shutdown();
+    }
+
+    #[test]
+    fn skewed_sender_clock_does_not_break_nfd_e() {
+        let mut svc = Service::new();
+        svc.watch(
+            ProcessSpec::named("skewed")
+                .heartbeat_params(NfdUParams { eta: 0.01, alpha: 0.05 })
+                .link(fast_link(0.0))
+                .sender_clock_skew(3600.0)
+                .seed(4),
+        )
+        .unwrap();
+        std::thread::sleep(Duration::from_millis(120));
+        assert!(svc.status()["skewed"].is_trust());
+        svc.shutdown();
+    }
+}

@@ -1,0 +1,340 @@
+//! Real UDP transport for heartbeats.
+//!
+//! The in-process [`LossyChannel`](crate::transport::LossyChannel)
+//! *simulates* the network; this module runs heartbeats over an actual
+//! `UdpSocket`, the deployment shape the paper's algorithms target
+//! (one-way datagrams, possible loss and reordering, no delivery
+//! guarantees). On loopback the kernel rarely drops or delays, so
+//! [`UdpSenderConfig`] can additionally inject loss and delay at the
+//! sender — keeping the wire-protocol and socket code paths honest while
+//! still exercising the probabilistic model.
+//!
+//! Wire format (16 bytes, little-endian): `seq: u64`, `send_time: f64`
+//! (seconds on the sender's clock — exactly the paper's timestamp `S` of
+//! §5.2).
+
+use crate::transport::Receiver;
+use crossbeam::channel;
+use fd_core::Heartbeat;
+use fd_stats::DelayDistribution;
+use rand::rngs::StdRng;
+use rand::{Rng as _, SeedableRng};
+use std::io;
+use std::net::{SocketAddr, UdpSocket};
+use std::time::Duration;
+
+/// Size of one encoded heartbeat datagram.
+pub const DATAGRAM_LEN: usize = 16;
+
+/// Encodes a heartbeat into its 16-byte wire representation.
+pub fn encode_heartbeat(hb: Heartbeat) -> [u8; DATAGRAM_LEN] {
+    let mut buf = [0u8; DATAGRAM_LEN];
+    buf[..8].copy_from_slice(&hb.seq.to_le_bytes());
+    buf[8..].copy_from_slice(&hb.send_time.to_le_bytes());
+    buf
+}
+
+/// Decodes a heartbeat from its wire representation.
+///
+/// Returns `None` for short datagrams or non-finite timestamps (a
+/// corrupted or foreign packet must not panic a monitor).
+pub fn decode_heartbeat(buf: &[u8]) -> Option<Heartbeat> {
+    if buf.len() < DATAGRAM_LEN {
+        return None;
+    }
+    let seq = u64::from_le_bytes(buf[..8].try_into().ok()?);
+    let send_time = f64::from_le_bytes(buf[8..16].try_into().ok()?);
+    if !send_time.is_finite() {
+        return None;
+    }
+    Some(Heartbeat::new(seq, send_time))
+}
+
+/// Optional sender-side fault injection (loopback is too well-behaved to
+/// exercise the loss/delay paths otherwise).
+pub struct UdpSenderConfig {
+    /// Drop each datagram with this probability before it reaches the
+    /// socket.
+    pub loss_probability: f64,
+    /// Extra artificial delay per datagram (sampled, blocking the send
+    /// thread), if any.
+    pub extra_delay: Option<Box<dyn DelayDistribution>>,
+    /// RNG seed for the injection.
+    pub seed: u64,
+}
+
+impl Default for UdpSenderConfig {
+    fn default() -> Self {
+        Self {
+            loss_probability: 0.0,
+            extra_delay: None,
+            seed: 0,
+        }
+    }
+}
+
+impl std::fmt::Debug for UdpSenderConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("UdpSenderConfig")
+            .field("loss_probability", &self.loss_probability)
+            .field("has_extra_delay", &self.extra_delay.is_some())
+            .finish()
+    }
+}
+
+/// Sends heartbeats as UDP datagrams.
+pub struct UdpHeartbeatSender {
+    socket: UdpSocket,
+    cfg: UdpSenderConfig,
+    rng: StdRng,
+}
+
+impl std::fmt::Debug for UdpHeartbeatSender {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("UdpHeartbeatSender").field("cfg", &self.cfg).finish()
+    }
+}
+
+impl UdpHeartbeatSender {
+    /// Binds an ephemeral local socket and connects it to `peer`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors.
+    pub fn connect(peer: SocketAddr, cfg: UdpSenderConfig) -> io::Result<Self> {
+        let socket = UdpSocket::bind(("127.0.0.1", 0))?;
+        socket.connect(peer)?;
+        let seed = cfg.seed;
+        Ok(Self {
+            socket,
+            cfg,
+            rng: StdRng::seed_from_u64(seed),
+        })
+    }
+
+    /// Sends one heartbeat (subject to the configured fault injection).
+    /// Returns whether the datagram was handed to the socket.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors.
+    pub fn send(&mut self, hb: Heartbeat) -> io::Result<bool> {
+        if self.cfg.loss_probability > 0.0
+            && self.rng.random::<f64>() < self.cfg.loss_probability
+        {
+            return Ok(false);
+        }
+        if let Some(d) = &self.cfg.extra_delay {
+            let delay = d.sample(&mut self.rng);
+            if delay > 0.0 {
+                std::thread::sleep(Duration::from_secs_f64(delay));
+            }
+        }
+        self.socket.send(&encode_heartbeat(hb))?;
+        Ok(true)
+    }
+}
+
+/// Receiving side: binds a UDP socket and pumps decoded heartbeats into
+/// a channel a [`Monitor`](crate::Monitor) can consume.
+pub struct UdpHeartbeatReceiver {
+    addr: SocketAddr,
+    rx: Receiver,
+    shutdown: UdpSocket,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for UdpHeartbeatReceiver {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("UdpHeartbeatReceiver").field("addr", &self.addr).finish()
+    }
+}
+
+/// Sentinel datagram that tells the pump thread to exit.
+const SHUTDOWN_SENTINEL: [u8; 4] = *b"BYE!";
+
+impl UdpHeartbeatReceiver {
+    /// Binds `127.0.0.1:0` and starts the receive pump.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors.
+    pub fn bind() -> io::Result<Self> {
+        let socket = UdpSocket::bind(("127.0.0.1", 0))?;
+        let addr = socket.local_addr()?;
+        let (tx, rx) = channel::unbounded();
+        let handle = std::thread::Builder::new()
+            .name("fd-udp-recv".into())
+            .spawn(move || pump(socket, tx))
+            .expect("spawn receive pump");
+        let shutdown = UdpSocket::bind(("127.0.0.1", 0))?;
+        Ok(Self {
+            addr,
+            rx,
+            shutdown,
+            handle: Some(handle),
+        })
+    }
+
+    /// The bound address heartbeaters should send to.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The heartbeat channel (feed it to a
+    /// [`Monitor`](crate::Monitor)).
+    pub fn receiver(&self) -> Receiver {
+        self.rx.clone()
+    }
+
+    /// Stops the pump thread.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        if let Some(h) = self.handle.take() {
+            let _ = self.shutdown.send_to(&SHUTDOWN_SENTINEL, self.addr);
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for UdpHeartbeatReceiver {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn pump(socket: UdpSocket, tx: channel::Sender<Heartbeat>) {
+    let mut buf = [0u8; 64];
+    loop {
+        match socket.recv(&mut buf) {
+            Ok(n) => {
+                if buf[..n] == SHUTDOWN_SENTINEL {
+                    return;
+                }
+                if let Some(hb) = decode_heartbeat(&buf[..n]) {
+                    if tx.send(hb).is_err() {
+                        return; // all receivers gone
+                    }
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => return,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fd_stats::dist::Constant;
+
+    #[test]
+    fn codec_roundtrip() {
+        let hb = Heartbeat::new(0xDEADBEEF, 1234.5678);
+        let buf = encode_heartbeat(hb);
+        assert_eq!(decode_heartbeat(&buf), Some(hb));
+    }
+
+    #[test]
+    fn codec_rejects_garbage() {
+        assert_eq!(decode_heartbeat(&[1, 2, 3]), None);
+        let mut buf = encode_heartbeat(Heartbeat::new(1, 0.0));
+        buf[8..].copy_from_slice(&f64::NAN.to_le_bytes());
+        assert_eq!(decode_heartbeat(&buf), None);
+    }
+
+    #[test]
+    fn heartbeats_flow_over_loopback() {
+        let receiver = UdpHeartbeatReceiver::bind().expect("bind");
+        let mut sender =
+            UdpHeartbeatSender::connect(receiver.local_addr(), UdpSenderConfig::default())
+                .expect("connect");
+        for seq in 1..=5u64 {
+            assert!(sender.send(Heartbeat::new(seq, seq as f64)).unwrap());
+        }
+        let rx = receiver.receiver();
+        let mut got = Vec::new();
+        for _ in 0..5 {
+            got.push(rx.recv_timeout(Duration::from_secs(2)).expect("deliver").seq);
+        }
+        got.sort_unstable();
+        assert_eq!(got, vec![1, 2, 3, 4, 5]);
+        receiver.shutdown();
+    }
+
+    #[test]
+    fn sender_side_loss_injection() {
+        let receiver = UdpHeartbeatReceiver::bind().expect("bind");
+        let mut sender = UdpHeartbeatSender::connect(
+            receiver.local_addr(),
+            UdpSenderConfig {
+                loss_probability: 1.0,
+                extra_delay: None,
+                seed: 1,
+            },
+        )
+        .expect("connect");
+        for seq in 1..=10u64 {
+            assert!(!sender.send(Heartbeat::new(seq, 0.0)).unwrap());
+        }
+        assert!(receiver
+            .receiver()
+            .recv_timeout(Duration::from_millis(100))
+            .is_err());
+    }
+
+    #[test]
+    fn sender_delay_injection_delays_datagrams() {
+        let receiver = UdpHeartbeatReceiver::bind().expect("bind");
+        let mut sender = UdpHeartbeatSender::connect(
+            receiver.local_addr(),
+            UdpSenderConfig {
+                loss_probability: 0.0,
+                extra_delay: Some(Box::new(Constant::new(0.03).unwrap())),
+                seed: 2,
+            },
+        )
+        .expect("connect");
+        let t0 = std::time::Instant::now();
+        sender.send(Heartbeat::new(1, 0.0)).unwrap();
+        let hb = receiver
+            .receiver()
+            .recv_timeout(Duration::from_secs(2))
+            .expect("deliver");
+        assert_eq!(hb.seq, 1);
+        assert!(t0.elapsed() >= Duration::from_millis(25));
+    }
+
+    #[test]
+    fn end_to_end_with_monitor() {
+        use crate::clock::{Clock as _, WallClock};
+        use crate::monitor::Monitor;
+        use fd_core::detectors::NfdE;
+
+        let receiver = UdpHeartbeatReceiver::bind().expect("bind");
+        let mut sender =
+            UdpHeartbeatSender::connect(receiver.local_addr(), UdpSenderConfig::default())
+                .expect("connect");
+        let clock = WallClock::new();
+        let monitor = Monitor::spawn(
+            Box::new(NfdE::new(0.01, 0.05, 8).expect("valid")),
+            receiver.receiver(),
+            clock.clone(),
+        );
+        // Drive heartbeats from this thread at η = 10 ms.
+        for seq in 1..=25u64 {
+            sender.send(Heartbeat::new(seq, clock.now())).unwrap();
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert!(monitor.output().is_trust(), "UDP heartbeats should sustain trust");
+        // Stop sending: crash-equivalent; suspicion follows.
+        std::thread::sleep(Duration::from_millis(150));
+        assert!(monitor.output().is_suspect());
+        let trace = monitor.stop();
+        assert!(trace.transitions().len() >= 2);
+        receiver.shutdown();
+    }
+}

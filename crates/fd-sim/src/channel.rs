@@ -1,0 +1,294 @@
+//! Stateful channel models beyond the i.i.d. link (§8.1).
+//!
+//! The core analysis assumes *message independence* (§3.3). §8.1 asks
+//! what happens when it fails: traffic with gradual epoch changes
+//! (§8.1.1) and *bursty* loss (§8.1.2). These models provide exactly
+//! those behaviors for the simulator:
+//!
+//! * [`ChannelModel`] — the general per-message-fate interface (an i.i.d.
+//!   [`Link`] is the stateless special case);
+//! * [`GilbertElliott`] — the classic two-state Markov burst-loss model:
+//!   a *good* state with low loss and a *bad* state (burst) with high
+//!   loss, violating independence precisely the way §8.1.2 worries about;
+//! * [`EpochChannel`] — a piecewise-stationary schedule of links, the
+//!   §8.1.1 "working hours vs night" scenario.
+
+use crate::Link;
+use fd_stats::DelayDistribution;
+use rand::{Rng as _, RngCore};
+
+/// Decides the fate of each heartbeat in send order. Stateful models
+/// (burst loss, epoch switching) update their state per call.
+pub trait ChannelModel: Send {
+    /// Fate of heartbeat `seq` sent at `send_time`: delay if delivered,
+    /// `None` if dropped. Called exactly once per heartbeat, in send
+    /// order.
+    fn fate(&mut self, seq: u64, send_time: f64, rng: &mut dyn RngCore) -> Option<f64>;
+}
+
+impl ChannelModel for Link {
+    fn fate(&mut self, _seq: u64, _send_time: f64, rng: &mut dyn RngCore) -> Option<f64> {
+        self.sample_fate(rng)
+    }
+}
+
+/// Two-state Markov (Gilbert–Elliott) burst-loss channel.
+///
+/// Between consecutive heartbeats the state flips `Good → Bad` with
+/// probability `p_gb` and `Bad → Good` with probability `p_bg`; each
+/// state has its own loss probability. Delays stay i.i.d. from one law.
+/// Mean burst length is `1/p_bg` heartbeats; stationary bad-state
+/// probability is `p_gb / (p_gb + p_bg)`.
+pub struct GilbertElliott {
+    p_gb: f64,
+    p_bg: f64,
+    loss_good: f64,
+    loss_bad: f64,
+    delay: Box<dyn DelayDistribution>,
+    in_bad: bool,
+}
+
+impl std::fmt::Debug for GilbertElliott {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GilbertElliott")
+            .field("p_gb", &self.p_gb)
+            .field("p_bg", &self.p_bg)
+            .field("loss_good", &self.loss_good)
+            .field("loss_bad", &self.loss_bad)
+            .field("in_bad", &self.in_bad)
+            .finish()
+    }
+}
+
+impl GilbertElliott {
+    /// Creates the model, starting in the good state.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless all four probabilities lie in `[0, 1]` and the
+    /// transition probabilities are positive (so the chain is ergodic).
+    pub fn new(
+        p_gb: f64,
+        p_bg: f64,
+        loss_good: f64,
+        loss_bad: f64,
+        delay: Box<dyn DelayDistribution>,
+    ) -> Self {
+        for (name, p) in [
+            ("p_gb", p_gb),
+            ("p_bg", p_bg),
+            ("loss_good", loss_good),
+            ("loss_bad", loss_bad),
+        ] {
+            assert!((0.0..=1.0).contains(&p), "{name} must be in [0,1], got {p}");
+        }
+        assert!(p_gb > 0.0 && p_bg > 0.0, "transition probabilities must be positive");
+        Self {
+            p_gb,
+            p_bg,
+            loss_good,
+            loss_bad,
+            delay,
+            in_bad: false,
+        }
+    }
+
+    /// Stationary probability of being in the bad (burst) state.
+    pub fn stationary_bad_probability(&self) -> f64 {
+        self.p_gb / (self.p_gb + self.p_bg)
+    }
+
+    /// Long-run average loss probability.
+    pub fn average_loss_probability(&self) -> f64 {
+        let pb = self.stationary_bad_probability();
+        (1.0 - pb) * self.loss_good + pb * self.loss_bad
+    }
+
+    /// Whether the channel is currently in the burst state.
+    pub fn is_in_burst(&self) -> bool {
+        self.in_bad
+    }
+}
+
+impl ChannelModel for GilbertElliott {
+    fn fate(&mut self, _seq: u64, _send_time: f64, rng: &mut dyn RngCore) -> Option<f64> {
+        // State transition first (per heartbeat slot).
+        let flip: f64 = rng.random();
+        if self.in_bad {
+            if flip < self.p_bg {
+                self.in_bad = false;
+            }
+        } else if flip < self.p_gb {
+            self.in_bad = true;
+        }
+        let loss = if self.in_bad { self.loss_bad } else { self.loss_good };
+        if loss > 0.0 && rng.random::<f64>() < loss {
+            None
+        } else {
+            Some(self.delay.sample(rng))
+        }
+    }
+}
+
+/// Piecewise-stationary channel: link `i` governs sends up to
+/// `boundaries[i]`, the last link governs everything after (the §8.1.1
+/// day/night scenario).
+pub struct EpochChannel {
+    boundaries: Vec<f64>,
+    links: Vec<Link>,
+}
+
+impl std::fmt::Debug for EpochChannel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EpochChannel")
+            .field("boundaries", &self.boundaries)
+            .field("epochs", &self.links.len())
+            .finish()
+    }
+}
+
+impl EpochChannel {
+    /// Creates an epoch schedule: `links.len()` must be
+    /// `boundaries.len() + 1` and boundaries strictly increasing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the arity or ordering constraints are violated.
+    pub fn new(boundaries: Vec<f64>, links: Vec<Link>) -> Self {
+        assert_eq!(
+            links.len(),
+            boundaries.len() + 1,
+            "need one more link than boundaries"
+        );
+        assert!(
+            boundaries.windows(2).all(|w| w[0] < w[1]),
+            "boundaries must be strictly increasing"
+        );
+        Self { boundaries, links }
+    }
+
+    /// The link governing a send at `t`.
+    pub fn link_at(&self, t: f64) -> &Link {
+        let idx = self.boundaries.partition_point(|&b| b <= t);
+        &self.links[idx]
+    }
+}
+
+impl ChannelModel for EpochChannel {
+    fn fate(&mut self, _seq: u64, send_time: f64, rng: &mut dyn RngCore) -> Option<f64> {
+        let idx = self.boundaries.partition_point(|&b| b <= send_time);
+        self.links[idx].sample_fate(rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fd_stats::dist::{Constant, Exponential};
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn exp_delay() -> Box<dyn DelayDistribution> {
+        Box::new(Exponential::with_mean(0.02).unwrap())
+    }
+
+    #[test]
+    fn gilbert_elliott_average_loss_matches_theory() {
+        let mut ge = GilbertElliott::new(0.05, 0.25, 0.0, 0.8, exp_delay());
+        let want = ge.average_loss_probability();
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 300_000;
+        let lost = (0..n)
+            .filter(|&i| ge.fate(i, i as f64, &mut rng).is_none())
+            .count();
+        let got = lost as f64 / n as f64;
+        assert!((got - want).abs() < 0.01, "loss {got} vs theory {want}");
+    }
+
+    #[test]
+    fn gilbert_elliott_losses_are_bursty() {
+        // Compare the run-length of consecutive losses against an i.i.d.
+        // channel with the same average loss: bursts make long loss runs
+        // far more common.
+        let mut ge = GilbertElliott::new(0.02, 0.2, 0.0, 0.9, exp_delay());
+        let avg = ge.average_loss_probability();
+        let mut rng = StdRng::seed_from_u64(2);
+        let n = 200_000;
+        let mut max_run_ge = 0;
+        let mut run = 0;
+        for i in 0..n {
+            if ge.fate(i, i as f64, &mut rng).is_none() {
+                run += 1;
+                max_run_ge = max_run_ge.max(run);
+            } else {
+                run = 0;
+            }
+        }
+        // i.i.d. with the same loss probability.
+        let mut link = Link::new(avg, exp_delay()).unwrap();
+        let mut max_run_iid = 0;
+        run = 0;
+        for i in 0..n {
+            if ChannelModel::fate(&mut link, i, i as f64, &mut rng).is_none() {
+                run += 1;
+                max_run_iid = max_run_iid.max(run);
+            } else {
+                run = 0;
+            }
+        }
+        assert!(
+            max_run_ge > 2 * max_run_iid,
+            "burst model max loss run {max_run_ge} vs i.i.d. {max_run_iid}"
+        );
+    }
+
+    #[test]
+    fn stationary_probability_formula() {
+        let ge = GilbertElliott::new(0.1, 0.3, 0.01, 0.5, exp_delay());
+        assert!((ge.stationary_bad_probability() - 0.25).abs() < 1e-12);
+        let want = 0.75 * 0.01 + 0.25 * 0.5;
+        assert!((ge.average_loss_probability() - want).abs() < 1e-12);
+        assert!(!ge.is_in_burst());
+    }
+
+    #[test]
+    #[should_panic(expected = "transition probabilities must be positive")]
+    fn gilbert_elliott_rejects_absorbing_chain() {
+        GilbertElliott::new(0.0, 0.5, 0.0, 1.0, exp_delay());
+    }
+
+    #[test]
+    fn epoch_channel_switches_laws() {
+        let quiet = Link::new(0.0, Box::new(Constant::new(0.01).unwrap())).unwrap();
+        let noisy = Link::new(1.0, Box::new(Constant::new(0.01).unwrap())).unwrap();
+        let mut ch = EpochChannel::new(vec![100.0], vec![quiet, noisy]);
+        let mut rng = StdRng::seed_from_u64(3);
+        // Before the boundary: everything delivered.
+        for i in 0..50 {
+            assert!(ch.fate(i, i as f64, &mut rng).is_some());
+        }
+        // After: everything lost.
+        for i in 0..50 {
+            assert!(ch.fate(i, 100.0 + i as f64, &mut rng).is_none());
+        }
+        assert_eq!(ch.link_at(50.0).loss_probability(), 0.0);
+        assert_eq!(ch.link_at(100.0).loss_probability(), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "one more link")]
+    fn epoch_channel_validates_arity() {
+        let l = Link::new(0.0, Box::new(Constant::new(0.01).unwrap())).unwrap();
+        EpochChannel::new(vec![1.0, 2.0], vec![l]);
+    }
+
+    #[test]
+    fn plain_link_is_a_channel_model() {
+        let mut link = Link::new(0.5, exp_delay()).unwrap();
+        let mut rng = StdRng::seed_from_u64(4);
+        let n = 10_000;
+        let lost = (0..n)
+            .filter(|&i| ChannelModel::fate(&mut link, i, 0.0, &mut rng).is_none())
+            .count();
+        assert!((lost as f64 / n as f64 - 0.5).abs() < 0.03);
+    }
+}

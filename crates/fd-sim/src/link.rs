@@ -1,0 +1,166 @@
+//! The probabilistic point-to-point link (§3.1).
+
+use fd_stats::DelayDistribution;
+use rand::{Rng as _, RngCore};
+use std::fmt;
+
+/// Error constructing a [`Link`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinkError {
+    /// The offending loss probability.
+    pub loss_probability: f64,
+}
+
+impl fmt::Display for LinkError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "message loss probability must lie in [0, 1], got {}",
+            self.loss_probability
+        )
+    }
+}
+
+impl std::error::Error for LinkError {}
+
+/// A link that drops each message independently with probability `p_L`
+/// and delays delivered messages by i.i.d. draws from a delay law `D`
+/// (the *message independence* property of §3.3).
+///
+/// The link neither creates nor duplicates messages; it may reorder them
+/// (two sends whose delays cross).
+pub struct Link {
+    loss_probability: f64,
+    delay: Box<dyn DelayDistribution>,
+}
+
+impl fmt::Debug for Link {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Link")
+            .field("loss_probability", &self.loss_probability)
+            .field("delay", &self.delay)
+            .finish()
+    }
+}
+
+impl Link {
+    /// Creates a link with loss probability `loss_probability` and delay
+    /// law `delay`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinkError`] unless `loss_probability ∈ [0, 1]`.
+    pub fn new(loss_probability: f64, delay: Box<dyn DelayDistribution>) -> Result<Self, LinkError> {
+        if !(0.0..=1.0).contains(&loss_probability) {
+            return Err(LinkError { loss_probability });
+        }
+        Ok(Self {
+            loss_probability,
+            delay,
+        })
+    }
+
+    /// The loss probability `p_L`.
+    pub fn loss_probability(&self) -> f64 {
+        self.loss_probability
+    }
+
+    /// The delay law `D`.
+    pub fn delay(&self) -> &dyn DelayDistribution {
+        self.delay.as_ref()
+    }
+
+    /// Samples the fate of one message: `Some(delay)` if delivered after
+    /// `delay` time units, `None` if dropped.
+    pub fn sample_fate(&self, rng: &mut dyn RngCore) -> Option<f64> {
+        if self.loss_probability > 0.0 && rng.random::<f64>() < self.loss_probability {
+            None
+        } else {
+            Some(self.delay.sample(rng))
+        }
+    }
+
+    /// Transmits a message sent at `send_time`: returns its arrival time,
+    /// or `None` if the link drops it.
+    pub fn transmit(&self, send_time: f64, rng: &mut dyn RngCore) -> Option<f64> {
+        self.sample_fate(rng).map(|d| send_time + d)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fd_stats::dist::{Constant, Exponential};
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn link(p_l: f64) -> Link {
+        Link::new(p_l, Box::new(Exponential::with_mean(0.02).unwrap())).unwrap()
+    }
+
+    #[test]
+    fn loss_rate_matches_probability() {
+        let l = link(0.25);
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 100_000;
+        let lost = (0..n).filter(|_| l.sample_fate(&mut rng).is_none()).count();
+        let frac = lost as f64 / n as f64;
+        assert!((frac - 0.25).abs() < 0.01, "loss fraction {frac}");
+    }
+
+    #[test]
+    fn lossless_link_always_delivers() {
+        let l = link(0.0);
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..1000 {
+            assert!(l.sample_fate(&mut rng).is_some());
+        }
+    }
+
+    #[test]
+    fn dead_link_never_delivers() {
+        let l = link(1.0);
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            assert!(l.sample_fate(&mut rng).is_none());
+        }
+    }
+
+    #[test]
+    fn transmit_adds_delay_to_send_time() {
+        let l = Link::new(0.0, Box::new(Constant::new(0.5).unwrap())).unwrap();
+        let mut rng = StdRng::seed_from_u64(4);
+        assert_eq!(l.transmit(10.0, &mut rng), Some(10.5));
+    }
+
+    #[test]
+    fn delivered_delays_follow_law() {
+        let l = link(0.5);
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut sum = 0.0;
+        let mut n = 0;
+        for _ in 0..200_000 {
+            if let Some(d) = l.sample_fate(&mut rng) {
+                sum += d;
+                n += 1;
+            }
+        }
+        let mean = sum / n as f64;
+        // Conditional on delivery, D is unchanged (loss is independent).
+        assert!((mean - 0.02).abs() < 0.001, "mean delay {mean}");
+    }
+
+    #[test]
+    fn rejects_bad_loss_probability() {
+        assert!(Link::new(-0.1, Box::new(Constant::new(1.0).unwrap())).is_err());
+        let err = Link::new(1.5, Box::new(Constant::new(1.0).unwrap())).unwrap_err();
+        assert!(err.to_string().contains("1.5"));
+    }
+
+    #[test]
+    fn accessors() {
+        let l = link(0.07);
+        assert_eq!(l.loss_probability(), 0.07);
+        assert!((l.delay().mean() - 0.02).abs() < 1e-12);
+        assert!(format!("{l:?}").contains("0.07"));
+    }
+}

@@ -1,0 +1,188 @@
+//! Replicated measurements with confidence intervals.
+//!
+//! The paper estimates each plotted point from one long run (500
+//! recurrence intervals). Independent replicas additionally yield a
+//! distribution over run-level estimates — and hence honest confidence
+//! intervals — and parallelize across cores, which is how the `--paper`
+//! scale Fig. 12 sweep stays laptop-friendly.
+
+use crate::harness::{measure_accuracy, AccuracyRun};
+use crate::Link;
+use fd_core::FailureDetector;
+use fd_stats::Summary;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Aggregated result of replicated accuracy measurements.
+#[derive(Debug, Clone)]
+pub struct ReplicatedAccuracy {
+    /// Per-replica mean mistake recurrence times (replicas that observed
+    /// no complete interval are excluded).
+    pub recurrence_means: Vec<f64>,
+    /// Per-replica mean mistake durations.
+    pub duration_means: Vec<f64>,
+    /// Per-replica query accuracy probabilities.
+    pub query_accuracies: Vec<f64>,
+}
+
+impl ReplicatedAccuracy {
+    /// Summary of the per-replica `E(T_MR)` estimates, if any replica
+    /// observed mistakes.
+    pub fn recurrence_summary(&self) -> Option<Summary> {
+        Summary::from_samples(&self.recurrence_means).ok()
+    }
+
+    /// Summary of the per-replica `E(T_M)` estimates.
+    pub fn duration_summary(&self) -> Option<Summary> {
+        Summary::from_samples(&self.duration_means).ok()
+    }
+
+    /// Grand mean of `E(T_MR)` across replicas with its two-sided
+    /// confidence interval at `level` (normal approximation over
+    /// replicas).
+    pub fn recurrence_confidence_interval(&self, level: f64) -> Option<(f64, f64, f64)> {
+        let s = self.recurrence_summary()?;
+        let (lo, hi) = s.mean_confidence_interval(level);
+        Some((lo, s.mean(), hi))
+    }
+}
+
+/// Runs `replicas` independent accuracy measurements in parallel (scoped
+/// threads, one per replica up to the machine's parallelism) and
+/// aggregates the per-replica estimates.
+///
+/// `make_fd` must build a fresh detector per replica; replica `i` uses
+/// seed `base_seed + i`.
+pub fn measure_accuracy_replicated<F>(
+    make_fd: F,
+    opts: &AccuracyRun,
+    link: &Link,
+    base_seed: u64,
+    replicas: usize,
+) -> ReplicatedAccuracy
+where
+    F: Fn() -> Box<dyn FailureDetector + Send> + Sync,
+{
+    assert!(replicas > 0, "need at least one replica");
+    let mut recurrence_means = Vec::new();
+    let mut duration_means = Vec::new();
+    let mut query_accuracies = Vec::new();
+
+    let results: Vec<(Option<f64>, Option<f64>, f64)> = crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = (0..replicas)
+            .map(|i| {
+                let make_fd = &make_fd;
+                scope.spawn(move |_| {
+                    let mut fd = make_fd();
+                    let mut rng = StdRng::seed_from_u64(base_seed.wrapping_add(i as u64));
+                    let acc = measure_accuracy(fd.as_mut(), opts, link, &mut rng);
+                    (
+                        acc.mean_mistake_recurrence(),
+                        acc.mean_mistake_duration(),
+                        acc.query_accuracy_probability(),
+                    )
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("replica thread panicked"))
+            .collect()
+    })
+    .expect("replica scope");
+
+    for (tmr, tm, pa) in results {
+        if let Some(v) = tmr {
+            recurrence_means.push(v);
+        }
+        if let Some(v) = tm {
+            duration_means.push(v);
+        }
+        query_accuracies.push(pa);
+    }
+    ReplicatedAccuracy {
+        recurrence_means,
+        duration_means,
+        query_accuracies,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fd_core::detectors::NfdS;
+    use fd_core::NfdSAnalysis;
+    use fd_stats::dist::Exponential;
+
+    fn paper_link() -> Link {
+        Link::new(0.01, Box::new(Exponential::with_mean(0.02).unwrap())).unwrap()
+    }
+
+    #[test]
+    fn replicas_bracket_the_analytic_value() {
+        let link = paper_link();
+        let delay = Exponential::with_mean(0.02).unwrap();
+        let predicted = NfdSAnalysis::new(1.0, 1.0, 0.01, &delay)
+            .unwrap()
+            .mean_recurrence();
+        let out = measure_accuracy_replicated(
+            || Box::new(NfdS::new(1.0, 1.0).unwrap()),
+            &AccuracyRun {
+                eta: 1.0,
+                recurrence_target: 150,
+                max_heartbeats: 5_000_000,
+                warmup: 10.0,
+            },
+            &link,
+            7_000,
+            8,
+        );
+        assert_eq!(out.recurrence_means.len(), 8);
+        let (lo, mean, hi) = out.recurrence_confidence_interval(0.99).unwrap();
+        assert!(lo < mean && mean < hi);
+        assert!(
+            lo * 0.9 < predicted && predicted < hi * 1.1,
+            "analytic {predicted} outside widened CI [{lo}, {hi}]"
+        );
+    }
+
+    #[test]
+    fn replicas_are_independent() {
+        // Different seeds ⇒ (almost surely) different estimates.
+        let link = paper_link();
+        let out = measure_accuracy_replicated(
+            || Box::new(NfdS::new(1.0, 0.5).unwrap()),
+            &AccuracyRun {
+                eta: 1.0,
+                recurrence_target: 50,
+                max_heartbeats: 1_000_000,
+                warmup: 10.0,
+            },
+            &link,
+            1,
+            4,
+        );
+        let s = out.recurrence_summary().unwrap();
+        assert!(s.std_dev() > 0.0, "replicas produced identical estimates");
+        assert_eq!(out.query_accuracies.len(), 4);
+        assert!(out.duration_summary().is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one replica")]
+    fn rejects_zero_replicas() {
+        let link = paper_link();
+        measure_accuracy_replicated(
+            || Box::new(NfdS::new(1.0, 0.5).unwrap()),
+            &AccuracyRun {
+                eta: 1.0,
+                recurrence_target: 1,
+                max_heartbeats: 1000,
+                warmup: 0.0,
+            },
+            &link,
+            0,
+            0,
+        );
+    }
+}

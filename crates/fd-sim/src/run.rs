@@ -1,0 +1,504 @@
+//! The discrete-event run engine.
+//!
+//! Drives one [`FailureDetector`] through a simulated run: heartbeats are
+//! sent at `σᵢ = i·η` (until the crash, if one is scheduled), each is
+//! dropped or delayed by the link, and the detector is stepped through
+//! every arrival and every internal deadline so the recorded
+//! [`TransitionTrace`] contains *exact* transition times.
+//!
+//! The engine is streaming: it holds only in-flight messages (a small
+//! heap), so runs of hundreds of millions of heartbeats — needed for the
+//! far-right points of Fig. 12, where `E(T_MR)` reaches ~10⁶·η — use
+//! constant memory.
+
+use crate::channel::ChannelModel;
+use crate::{DelayPattern, Link};
+use fd_core::{FailureDetector, Heartbeat};
+use fd_metrics::{FdOutput, TraceRecorder, TransitionTrace};
+use rand::RngCore;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// When to end a run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum StopCondition {
+    /// Run until simulated time reaches the horizon.
+    Horizon(f64),
+    /// Run until the detector has made `count` S-transitions (the §7
+    /// methodology measures a fixed number of mistake-recurrence
+    /// intervals), or until `max_heartbeats` have been sent — whichever
+    /// comes first (the cap guards configurations that essentially never
+    /// make mistakes).
+    STransitions {
+        /// Number of S-transitions to collect.
+        count: usize,
+        /// Hard cap on heartbeats sent.
+        max_heartbeats: u64,
+    },
+}
+
+/// Options for one simulated run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RunOptions {
+    /// Heartbeat intersending time `η` (`mᵢ` is sent at `i·η`).
+    pub eta: f64,
+    /// If set, `p` crashes at this time: no heartbeat with `σᵢ > crash`
+    /// is sent. Messages already sent are unaffected (§3.1: delay and
+    /// loss are independent of crashes).
+    pub crash_at: Option<f64>,
+    /// When to stop.
+    pub stop: StopCondition,
+}
+
+impl RunOptions {
+    /// A failure-free run (accuracy metrics are defined on these, §2.2).
+    pub fn failure_free(eta: f64, stop: StopCondition) -> Self {
+        Self {
+            eta,
+            crash_at: None,
+            stop,
+        }
+    }
+
+    /// A run in which `p` crashes at `crash_at`; the run extends to
+    /// `horizon` so the final (permanent) S-transition is observable.
+    pub fn with_crash(eta: f64, crash_at: f64, horizon: f64) -> Self {
+        assert!(
+            horizon > crash_at,
+            "horizon {horizon} must extend past the crash at {crash_at}"
+        );
+        Self {
+            eta,
+            crash_at: Some(crash_at),
+            stop: StopCondition::Horizon(horizon),
+        }
+    }
+}
+
+/// Result of one simulated run.
+#[derive(Debug, Clone)]
+pub struct RunOutcome {
+    /// The detector's recorded output history.
+    pub trace: TransitionTrace,
+    /// Heartbeats sent by `p` before the run ended (or `p` crashed).
+    pub heartbeats_sent: u64,
+    /// Heartbeats actually delivered to `q` within the run.
+    pub heartbeats_delivered: u64,
+    /// The crash time, copied from the options.
+    pub crash_at: Option<f64>,
+}
+
+/// In-flight message ordered by arrival time (min-heap via `Reverse`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct InFlight {
+    arrival: f64,
+    seq: u64,
+    send: f64,
+}
+
+impl Eq for InFlight {}
+
+impl Ord for InFlight {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.arrival
+            .total_cmp(&other.arrival)
+            .then(self.seq.cmp(&other.seq))
+    }
+}
+
+impl PartialOrd for InFlight {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Per-message fate source: a live link + RNG, a frozen pattern, or a
+/// stateful channel model.
+enum Fate<'a> {
+    Link(&'a Link, &'a mut dyn RngCore),
+    Pattern(&'a DelayPattern),
+    Model(&'a mut dyn ChannelModel, &'a mut dyn RngCore),
+}
+
+impl Fate<'_> {
+    fn of(&mut self, seq: u64, send_time: f64) -> Option<f64> {
+        match self {
+            Fate::Link(link, rng) => link.sample_fate(*rng),
+            Fate::Pattern(p) => {
+                assert!(
+                    seq as usize <= p.len(),
+                    "delay pattern exhausted at heartbeat {seq}; extend the pattern or shorten the run"
+                );
+                p.delay(seq)
+            }
+            Fate::Model(model, rng) => model.fate(seq, send_time, *rng),
+        }
+    }
+}
+
+/// Runs `fd` against a live [`Link`], drawing per-message fates from
+/// `rng`.
+///
+/// See [`RunOptions`] and [`StopCondition`] for the run shape. The
+/// returned trace starts at time 0 with the detector's initial output.
+///
+/// # Panics
+///
+/// Panics if `opts.eta ≤ 0`.
+pub fn run(
+    fd: &mut dyn FailureDetector,
+    opts: &RunOptions,
+    link: &Link,
+    rng: &mut dyn RngCore,
+) -> RunOutcome {
+    drive(fd, opts, Fate::Link(link, rng))
+}
+
+/// Runs `fd` against a frozen [`DelayPattern`] (identical-realization
+/// comparisons, Appendix C / experiment E9).
+///
+/// # Panics
+///
+/// Panics if the run needs more heartbeats than the pattern covers, or if
+/// `opts.eta ≤ 0`.
+pub fn run_with_pattern(
+    fd: &mut dyn FailureDetector,
+    opts: &RunOptions,
+    pattern: &DelayPattern,
+) -> RunOutcome {
+    drive(fd, opts, Fate::Pattern(pattern))
+}
+
+/// Runs `fd` against a stateful [`ChannelModel`] (burst loss, epoch
+/// switching — the §8.1 scenarios), drawing randomness from `rng`.
+///
+/// # Panics
+///
+/// Panics if `opts.eta ≤ 0`.
+pub fn run_with_model(
+    fd: &mut dyn FailureDetector,
+    opts: &RunOptions,
+    model: &mut dyn ChannelModel,
+    rng: &mut dyn RngCore,
+) -> RunOutcome {
+    drive(fd, opts, Fate::Model(model, rng))
+}
+
+fn drive(fd: &mut dyn FailureDetector, opts: &RunOptions, mut fate: Fate<'_>) -> RunOutcome {
+    assert!(opts.eta > 0.0, "eta must be positive");
+    let eta = opts.eta;
+    let (horizon, target_s, max_hb) = match opts.stop {
+        StopCondition::Horizon(h) => (h, usize::MAX, u64::MAX),
+        StopCondition::STransitions {
+            count,
+            max_heartbeats,
+        } => (f64::INFINITY, count, max_heartbeats),
+    };
+
+    let mut pending: BinaryHeap<Reverse<InFlight>> = BinaryHeap::new();
+    let mut next_seq: u64 = 1;
+    let mut sent: u64 = 0;
+    let mut delivered: u64 = 0;
+    let mut s_transitions: usize = 0;
+    let mut now: f64 = 0.0;
+
+    fd.advance(0.0);
+    let mut rec = TraceRecorder::new(0.0, fd.output());
+    let mut last_output = fd.output();
+
+    loop {
+        let t_deadline = fd.next_deadline().unwrap_or(f64::INFINITY);
+        let t_arrival = pending
+            .peek()
+            .map(|Reverse(m)| m.arrival)
+            .unwrap_or(f64::INFINITY);
+        let t_send = {
+            let sigma = next_seq as f64 * eta;
+            let crashed = opts.crash_at.is_some_and(|c| sigma > c);
+            if crashed || sent >= max_hb {
+                f64::INFINITY
+            } else {
+                sigma
+            }
+        };
+
+        // Generate sends first at ties: an arrival can never precede its
+        // own send, so materializing sends up to the next event keeps the
+        // heap complete.
+        if t_send <= t_deadline && t_send <= t_arrival && t_send <= horizon {
+            if let Some(d) = fate.of(next_seq, t_send) {
+                pending.push(Reverse(InFlight {
+                    arrival: t_send + d,
+                    seq: next_seq,
+                    send: t_send,
+                }));
+            }
+            sent += 1;
+            next_seq += 1;
+            continue;
+        }
+
+        let t_next = t_deadline.min(t_arrival);
+        if t_next > horizon {
+            now = now.max(horizon.min(f64::MAX));
+            break;
+        }
+        if t_next == f64::INFINITY {
+            // Nothing left to happen (e.g. heartbeat cap reached and no
+            // pending deadline).
+            break;
+        }
+        // Quiescence: no future sends, nothing in flight, already
+        // suspecting — the output is S forever, but detectors like NFD-S
+        // schedule freshness points indefinitely. Stop here instead of
+        // grinding through empty deadlines.
+        if t_send.is_infinite() && pending.is_empty() && last_output == FdOutput::Suspect {
+            break;
+        }
+
+        if t_arrival <= t_deadline {
+            let Reverse(m) = pending.pop().expect("peeked above");
+            fd.on_heartbeat(m.arrival, Heartbeat::new(m.seq, m.send));
+            delivered += 1;
+            now = m.arrival;
+        } else {
+            fd.advance(t_deadline);
+            now = t_deadline;
+        }
+
+        let out = fd.output();
+        rec.record(now, out);
+        if out == FdOutput::Suspect && last_output == FdOutput::Trust {
+            s_transitions += 1;
+        }
+        last_output = out;
+
+        if s_transitions >= target_s {
+            break;
+        }
+    }
+
+    let end = if horizon.is_finite() {
+        horizon
+    } else {
+        now.max(rec.latest_time())
+    };
+    RunOutcome {
+        trace: rec.finish(end),
+        heartbeats_sent: sent,
+        heartbeats_delivered: delivered,
+        crash_at: opts.crash_at,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fd_core::detectors::{NfdS, SimpleFd};
+    use fd_stats::dist::{Constant, Exponential};
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn lossless_constant(delay: f64) -> Link {
+        Link::new(0.0, Box::new(Constant::new(delay).unwrap())).unwrap()
+    }
+
+    #[test]
+    fn deterministic_run_never_suspects_after_warmup() {
+        // D ≡ 0.1, δ = 0.5: every mᵢ arrives at i + 0.1 < τᵢ = i + 0.5.
+        let link = lossless_constant(0.1);
+        let mut fd = NfdS::new(1.0, 0.5).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let out = run(
+            &mut fd,
+            &RunOptions::failure_free(1.0, StopCondition::Horizon(100.0)),
+            &link,
+            &mut rng,
+        );
+        // Initial suspicion ends at the first arrival (t = 1.1); no
+        // suspicion afterwards.
+        let steady = out.trace.restrict(1.5, 100.0);
+        assert_eq!(steady.transitions().len(), 0);
+        assert_eq!(steady.initial_output(), FdOutput::Trust);
+        assert_eq!(out.heartbeats_sent, 100);
+        // m₁₀₀ is sent at exactly t = 100 and lands at 100.1, past the
+        // horizon; everything else is delivered.
+        assert_eq!(out.heartbeats_delivered, 99);
+    }
+
+    #[test]
+    fn exact_transition_times_for_scripted_pattern() {
+        // η = 1, δ = 0.5 ⇒ τᵢ = i + 0.5. Pattern: m₁ delay 0.2 (arrives
+        // 1.2), m₂ lost, m₃ delay 0.1 (arrives 3.1), m₄ delay 0.2 …
+        let pattern = DelayPattern::from_delays(vec![
+            Some(0.2),
+            None,
+            Some(0.1),
+            Some(0.2),
+        ]);
+        let mut fd = NfdS::new(1.0, 0.5).unwrap();
+        let out = run_with_pattern(
+            &mut fd,
+            &RunOptions::failure_free(1.0, StopCondition::Horizon(4.4)),
+            &pattern,
+        );
+        // Expected: T at 1.2 (m₁); S at τ₂ = 2.5 (m₂ never comes);
+        // T at 3.1 (m₃); trusted through τ₃=3.5, τ₄=4.4 horizon.
+        let tr = out.trace;
+        assert_eq!(tr.initial_output(), FdOutput::Suspect);
+        let times: Vec<(f64, FdOutput)> =
+            tr.transitions().iter().map(|t| (t.at, t.to)).collect();
+        assert_eq!(
+            times,
+            vec![
+                (1.2, FdOutput::Trust),
+                (2.5, FdOutput::Suspect),
+                (3.1, FdOutput::Trust),
+            ]
+        );
+    }
+
+    #[test]
+    fn crash_stops_heartbeats_and_is_detected_within_bound() {
+        let link = lossless_constant(0.1);
+        let mut fd = NfdS::new(1.0, 0.5).unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        // Crash at 10.25: m₁₀ (σ=10) is the last heartbeat.
+        let out = run(
+            &mut fd,
+            &RunOptions::with_crash(1.0, 10.25, 30.0),
+            &link,
+            &mut rng,
+        );
+        assert_eq!(out.heartbeats_sent, 10);
+        let d = fd_metrics::detection_time(&out.trace, 10.25);
+        // m₁₀ fresh until τ₁₁ = 11.5 ⇒ T_D = 1.25 ≤ δ + η = 1.5.
+        match d {
+            fd_metrics::DetectionOutcome::Detected { elapsed } => {
+                assert!((elapsed - 1.25).abs() < 1e-9, "T_D = {elapsed}");
+            }
+            other => panic!("expected detection, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn s_transition_stop_condition() {
+        // Lossy link, modest δ: mistakes recur; stop after exactly 5.
+        let link = Link::new(0.3, Box::new(Exponential::with_mean(0.02).unwrap())).unwrap();
+        let mut fd = NfdS::new(1.0, 0.1).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let out = run(
+            &mut fd,
+            &RunOptions::failure_free(
+                1.0,
+                StopCondition::STransitions {
+                    count: 5,
+                    max_heartbeats: 1_000_000,
+                },
+            ),
+            &link,
+            &mut rng,
+        );
+        // There are exactly 5 T→S transitions in the trace.
+        let t_to_s = {
+            let mut prev = out.trace.initial_output();
+            let mut n = 0;
+            for t in out.trace.transitions() {
+                if prev == FdOutput::Trust && t.to == FdOutput::Suspect {
+                    n += 1;
+                }
+                prev = t.to;
+            }
+            n
+        };
+        assert_eq!(t_to_s, 5);
+    }
+
+    #[test]
+    fn max_heartbeat_cap_terminates_quiet_runs() {
+        // Perfect link and huge δ: no mistakes ever; the cap must end the
+        // run.
+        let link = lossless_constant(0.01);
+        let mut fd = NfdS::new(1.0, 5.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(4);
+        let out = run(
+            &mut fd,
+            &RunOptions::failure_free(
+                1.0,
+                StopCondition::STransitions {
+                    count: 100,
+                    max_heartbeats: 1000,
+                },
+            ),
+            &link,
+            &mut rng,
+        );
+        assert_eq!(out.heartbeats_sent, 1000);
+    }
+
+    #[test]
+    fn simple_fd_runs_in_engine() {
+        let link = lossless_constant(0.05);
+        let mut fd = SimpleFd::new(1.5).unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        let out = run(
+            &mut fd,
+            &RunOptions::failure_free(1.0, StopCondition::Horizon(50.0)),
+            &link,
+            &mut rng,
+        );
+        // Heartbeats every 1.0 with delay 0.05 and TO 1.5: after the
+        // first arrival the timer is always renewed in time.
+        let steady = out.trace.restrict(2.0, 50.0);
+        assert_eq!(steady.transitions().len(), 0);
+        assert_eq!(steady.initial_output(), FdOutput::Trust);
+    }
+
+    #[test]
+    fn out_of_order_delivery_is_handled() {
+        // m₁ delayed hugely, m₂ fast: arrivals cross.
+        let pattern = DelayPattern::from_delays(vec![Some(5.0), Some(0.1), Some(0.1)]);
+        let mut fd = NfdS::new(1.0, 0.5).unwrap();
+        let out = run_with_pattern(
+            &mut fd,
+            &RunOptions::failure_free(1.0, StopCondition::Horizon(3.9)),
+            &pattern,
+        );
+        // m₂ arrives 2.1 → T; m₃ arrives 3.1 keeps trust; m₁... arrives
+        // at 6.0, after horizon.
+        assert_eq!(out.heartbeats_delivered, 2);
+        assert_eq!(out.trace.output_at(2.2), FdOutput::Trust);
+    }
+
+    #[test]
+    #[should_panic(expected = "pattern exhausted")]
+    fn pattern_exhaustion_panics() {
+        let pattern = DelayPattern::from_delays(vec![Some(0.1)]);
+        let mut fd = NfdS::new(1.0, 0.5).unwrap();
+        run_with_pattern(
+            &mut fd,
+            &RunOptions::failure_free(1.0, StopCondition::Horizon(10.0)),
+            &pattern,
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "horizon")]
+    fn with_crash_validates_horizon() {
+        RunOptions::with_crash(1.0, 10.0, 5.0);
+    }
+
+    #[test]
+    fn trace_ends_exactly_at_horizon() {
+        let link = lossless_constant(0.1);
+        let mut fd = NfdS::new(1.0, 0.5).unwrap();
+        let mut rng = StdRng::seed_from_u64(6);
+        let out = run(
+            &mut fd,
+            &RunOptions::failure_free(1.0, StopCondition::Horizon(25.25)),
+            &link,
+            &mut rng,
+        );
+        assert_eq!(out.trace.end(), 25.25);
+        assert_eq!(out.trace.start(), 0.0);
+    }
+}

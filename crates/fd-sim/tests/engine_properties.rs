@@ -1,0 +1,154 @@
+//! Engine-level integration properties: determinism, channel-model
+//! behavior across epochs, and crash detection under bursty loss.
+
+use fd_core::detectors::{NfdE, NfdS};
+use fd_core::FailureDetector;
+use fd_metrics::{detection_time, AccuracyAnalysis, DetectionOutcome};
+use fd_sim::{
+    run, run_with_model, EpochChannel, GilbertElliott, Link, RunOptions, StopCondition,
+};
+use fd_stats::dist::{Constant, Exponential};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn exp_link(p_l: f64, mean: f64) -> Link {
+    Link::new(p_l, Box::new(Exponential::with_mean(mean).unwrap())).unwrap()
+}
+
+#[test]
+fn same_seed_gives_identical_traces() {
+    let link = exp_link(0.05, 0.02);
+    let opts = RunOptions::failure_free(1.0, StopCondition::Horizon(2000.0));
+    let mut run_once = |seed: u64| {
+        let mut fd = NfdS::new(1.0, 0.5).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        run(&mut fd, &opts, &link, &mut rng).trace
+    };
+    let a = run_once(42);
+    let b = run_once(42);
+    let c = run_once(43);
+    assert_eq!(a, b, "same seed must reproduce the exact trace");
+    assert_ne!(a, c, "different seeds should diverge");
+}
+
+#[test]
+fn epoch_switch_changes_mistake_rate_mid_run() {
+    // Clean first half, lossy second half: the detector's mistake count
+    // must be concentrated in the second half.
+    let quiet = exp_link(0.0, 0.02);
+    let noisy = exp_link(0.3, 0.02);
+    let mut channel = EpochChannel::new(vec![5_000.0], vec![quiet, noisy]);
+    let mut fd = NfdS::new(1.0, 0.5).unwrap();
+    let mut rng = StdRng::seed_from_u64(7);
+    let out = run_with_model(
+        &mut fd,
+        &RunOptions::failure_free(1.0, StopCondition::Horizon(10_000.0)),
+        &mut channel,
+        &mut rng,
+    );
+    let first = AccuracyAnalysis::of_trace(&out.trace.restrict(10.0, 5_000.0));
+    let second = AccuracyAnalysis::of_trace(&out.trace.restrict(5_001.0, 10_000.0));
+    assert_eq!(first.mistake_count(), 0, "clean epoch must be mistake-free");
+    assert!(
+        second.mistake_count() > 100,
+        "lossy epoch should be mistake-rich, got {}",
+        second.mistake_count()
+    );
+}
+
+#[test]
+fn crash_detected_through_a_burst() {
+    // The crash happens while the channel is mid-burst; NFD-S's bound is
+    // unconditional (Theorem 5.1 needs no assumptions about losses).
+    let mut channel = GilbertElliott::new(
+        0.5,
+        0.1,
+        0.0,
+        0.95,
+        Box::new(Constant::new(0.05).unwrap()),
+    );
+    let mut fd = NfdS::new(1.0, 2.0).unwrap();
+    let mut rng = StdRng::seed_from_u64(3);
+    let out = run_with_model(
+        &mut fd,
+        &RunOptions::with_crash(1.0, 50.4, 80.0),
+        &mut channel,
+        &mut rng,
+    );
+    match detection_time(&out.trace, 50.4) {
+        DetectionOutcome::Detected { elapsed } => {
+            assert!(elapsed <= 3.0 + 1e-9, "T_D {elapsed} > δ + η");
+        }
+        DetectionOutcome::AlreadySuspecting => {} // burst already blanked the link
+        DetectionOutcome::NotDetected => panic!("crash never detected"),
+    }
+}
+
+#[test]
+fn nfd_e_survives_burst_without_permanent_suspicion() {
+    // After a burst ends, fresh heartbeats must restore trust (mistake
+    // durations stay bounded — no deadlock in the estimator state).
+    let mut channel = GilbertElliott::new(
+        0.02,
+        0.25,
+        0.0,
+        1.0, // bursts lose everything
+        Box::new(Exponential::with_mean(0.02).unwrap()),
+    );
+    let mut fd = NfdE::new(1.0, 1.5, 32).unwrap();
+    let mut rng = StdRng::seed_from_u64(11);
+    let out = run_with_model(
+        &mut fd,
+        &RunOptions::failure_free(1.0, StopCondition::Horizon(20_000.0)),
+        &mut channel,
+        &mut rng,
+    );
+    let acc = AccuracyAnalysis::of_trace(&out.trace.restrict(50.0, 20_000.0));
+    assert!(acc.mistake_count() > 10, "bursts should cause mistakes");
+    let max_tm = acc
+        .mistake_duration_samples()
+        .iter()
+        .copied()
+        .fold(0.0f64, f64::max);
+    // Every mistake is eventually corrected, within a few burst lengths.
+    assert!(max_tm < 100.0, "mistake lasted {max_tm} — detector stuck?");
+    assert!(acc.query_accuracy_probability() > 0.8);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The engine's trace is always well-formed: transitions strictly
+    /// within the window, alternating, and the heartbeat accounting adds
+    /// up.
+    #[test]
+    fn prop_trace_well_formed(
+        seed in 0u64..1000,
+        p_l in 0.0f64..0.5,
+        delta_tenths in 1u32..30,
+    ) {
+        let link = exp_link(p_l, 0.02);
+        let mut fd = NfdS::new(1.0, delta_tenths as f64 / 10.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let out = run(
+            &mut fd,
+            &RunOptions::failure_free(1.0, StopCondition::Horizon(500.0)),
+            &link,
+            &mut rng,
+        );
+        prop_assert!(out.heartbeats_delivered <= out.heartbeats_sent);
+        prop_assert_eq!(out.heartbeats_sent, 500);
+        let tr = &out.trace;
+        prop_assert_eq!(tr.start(), 0.0);
+        prop_assert_eq!(tr.end(), 500.0);
+        let mut prev_t = 0.0;
+        let mut prev_o = tr.initial_output();
+        for t in tr.transitions() {
+            prop_assert!(t.at >= prev_t && t.at <= 500.0);
+            prop_assert_ne!(t.to, prev_o);
+            prev_t = t.at;
+            prev_o = t.to;
+        }
+    }
+}

@@ -1,0 +1,129 @@
+use super::DelayDistribution;
+use crate::StatsError;
+use rand::RngCore;
+
+/// Degenerate delay law: every message takes exactly `value` time units.
+///
+/// Zero-variance delays make detector behavior fully deterministic, which
+/// the test suites use to pin down freshness-point semantics exactly
+/// (e.g. "with `D ≡ 0.5` and `δ = 1`, heartbeat `m_i` always arrives
+/// before `τ_i`, so `NFD-S` never suspects").
+///
+/// The atom at `value` is where [`DelayDistribution::cdf_strict`] matters:
+/// `Pr(D < value) = 0` but `Pr(D ≤ value) = 1`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Constant {
+    value: f64,
+}
+
+impl Constant {
+    /// Creates a constant delay law.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InvalidParameter`] unless `value ≥ 0` and
+    /// finite.
+    pub fn new(value: f64) -> Result<Self, StatsError> {
+        if !(value >= 0.0 && value.is_finite()) {
+            return Err(StatsError::InvalidParameter {
+                name: "value",
+                constraint: ">= 0 and finite",
+                value,
+            });
+        }
+        Ok(Self { value })
+    }
+
+    /// The constant delay.
+    pub fn value(&self) -> f64 {
+        self.value
+    }
+}
+
+impl DelayDistribution for Constant {
+    fn cdf(&self, x: f64) -> f64 {
+        if x >= self.value {
+            1.0
+        } else {
+            0.0
+        }
+    }
+
+    fn cdf_strict(&self, x: f64) -> f64 {
+        if x > self.value {
+            1.0
+        } else {
+            0.0
+        }
+    }
+
+    fn mean(&self) -> f64 {
+        self.value
+    }
+
+    fn variance(&self) -> f64 {
+        0.0
+    }
+
+    fn sample(&self, _rng: &mut dyn RngCore) -> f64 {
+        self.value
+    }
+
+    fn quantile(&self, p: f64) -> f64 {
+        assert!((0.0..1.0).contains(&p), "quantile requires p in [0,1), got {p}");
+        self.value
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn atom_semantics() {
+        let d = Constant::new(0.5).unwrap();
+        assert_eq!(d.cdf(0.49), 0.0);
+        assert_eq!(d.cdf(0.5), 1.0);
+        assert_eq!(d.cdf_strict(0.5), 0.0);
+        assert_eq!(d.cdf_strict(0.500001), 1.0);
+        assert_eq!(d.sf(0.5), 0.0);
+    }
+
+    #[test]
+    fn moments() {
+        let d = Constant::new(2.5).unwrap();
+        assert_eq!(d.mean(), 2.5);
+        assert_eq!(d.variance(), 0.0);
+        assert_eq!(d.std_dev(), 0.0);
+    }
+
+    #[test]
+    fn sampling_is_constant() {
+        let d = Constant::new(1.25).unwrap();
+        let mut rng = StdRng::seed_from_u64(0);
+        for _ in 0..100 {
+            assert_eq!(d.sample(&mut rng), 1.25);
+        }
+    }
+
+    #[test]
+    fn zero_delay_is_allowed() {
+        let d = Constant::new(0.0).unwrap();
+        assert_eq!(d.mean(), 0.0);
+        assert_eq!(d.cdf(0.0), 1.0);
+    }
+
+    #[test]
+    fn quantile_is_constant() {
+        let d = Constant::new(3.0).unwrap();
+        assert_eq!(d.quantile(0.01), 3.0);
+        assert_eq!(d.quantile(0.99), 3.0);
+    }
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(Constant::new(-1.0).is_err());
+        assert!(Constant::new(f64::NAN).is_err());
+    }
+}

@@ -1,0 +1,146 @@
+use super::DelayDistribution;
+use crate::StatsError;
+use rand::{Rng as _, RngCore};
+use std::sync::Arc;
+
+/// Empirical delay law built from a recorded trace of delays.
+///
+/// Stands in for the production network traces the paper's authors had and
+/// we do not: record the `A − S` deltas of real heartbeats (§5.2) and
+/// replay their empirical distribution. Sampling draws uniformly from the
+/// recorded values; the CDF is the standard ECDF (a step function, so
+/// `cdf_strict` differs from `cdf` at every atom).
+#[derive(Debug, Clone)]
+pub struct Empirical {
+    /// Sorted sample values.
+    sorted: Arc<[f64]>,
+    mean: f64,
+    variance: f64,
+}
+
+impl Empirical {
+    /// Builds the empirical distribution of `samples`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::EmptySample`] if `samples` is empty, and
+    /// [`StatsError::InvalidParameter`] if any sample is negative or
+    /// non-finite.
+    pub fn from_samples(samples: &[f64]) -> Result<Self, StatsError> {
+        if samples.is_empty() {
+            return Err(StatsError::EmptySample);
+        }
+        for &s in samples {
+            if !(s >= 0.0 && s.is_finite()) {
+                return Err(StatsError::InvalidParameter {
+                    name: "sample",
+                    constraint: ">= 0 and finite",
+                    value: s,
+                });
+            }
+        }
+        let mut sorted: Vec<f64> = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values compare"));
+        let n = sorted.len() as f64;
+        let mean = sorted.iter().sum::<f64>() / n;
+        let variance = sorted.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n;
+        Ok(Self {
+            sorted: sorted.into(),
+            mean,
+            variance,
+        })
+    }
+
+    /// Number of recorded samples.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Whether the trace is empty (never true after construction).
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+}
+
+impl DelayDistribution for Empirical {
+    fn cdf(&self, x: f64) -> f64 {
+        // #(samples ≤ x) / n via partition_point on the sorted array.
+        let count = self.sorted.partition_point(|&s| s <= x);
+        count as f64 / self.sorted.len() as f64
+    }
+
+    fn cdf_strict(&self, x: f64) -> f64 {
+        let count = self.sorted.partition_point(|&s| s < x);
+        count as f64 / self.sorted.len() as f64
+    }
+
+    fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    fn variance(&self) -> f64 {
+        self.variance
+    }
+
+    fn sample(&self, rng: &mut dyn RngCore) -> f64 {
+        let i = rng.random_range(0..self.sorted.len());
+        self.sorted[i]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ecdf_step_function() {
+        let d = Empirical::from_samples(&[1.0, 2.0, 2.0, 4.0]).unwrap();
+        assert_eq!(d.cdf(0.5), 0.0);
+        assert_eq!(d.cdf(1.0), 0.25);
+        assert_eq!(d.cdf(2.0), 0.75);
+        assert_eq!(d.cdf(3.0), 0.75);
+        assert_eq!(d.cdf(4.0), 1.0);
+        assert_eq!(d.cdf_strict(2.0), 0.25);
+        assert_eq!(d.cdf_strict(4.0), 0.75);
+    }
+
+    #[test]
+    fn moments_match_sample_moments() {
+        let d = Empirical::from_samples(&[1.0, 3.0]).unwrap();
+        assert!((d.mean() - 2.0).abs() < 1e-12);
+        assert!((d.variance() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sampling_draws_recorded_values() {
+        use rand::{rngs::StdRng, SeedableRng};
+        let d = Empirical::from_samples(&[0.5, 1.5]).unwrap();
+        let mut rng = StdRng::seed_from_u64(17);
+        for _ in 0..1000 {
+            let x = d.sample(&mut rng);
+            assert!(x == 0.5 || x == 1.5);
+        }
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(Empirical::from_samples(&[]).is_err());
+        assert!(Empirical::from_samples(&[1.0, -0.5]).is_err());
+        assert!(Empirical::from_samples(&[f64::NAN]).is_err());
+    }
+
+    #[test]
+    fn len_reports_sample_count() {
+        let d = Empirical::from_samples(&[1.0, 2.0, 3.0]).unwrap();
+        assert_eq!(d.len(), 3);
+        assert!(!d.is_empty());
+    }
+
+    #[test]
+    fn quantile_uses_default_bisection() {
+        let d = Empirical::from_samples(&[1.0, 2.0, 3.0, 4.0]).unwrap();
+        let q = d.quantile(0.5);
+        assert!(d.cdf(q) >= 0.5);
+        assert!(q <= 2.0 + 1e-6, "median of 4 points is the 2nd: got {q}");
+    }
+}

@@ -1,0 +1,128 @@
+use super::{uniform_open01, DelayDistribution};
+use crate::StatsError;
+use rand::RngCore;
+
+/// Erlang delay law: sum of `k` independent exponentials with rate `λ`.
+///
+/// Models a message that traverses `k` store-and-forward hops with
+/// exponential per-hop service times — a natural multi-hop extension of
+/// the paper's single-link model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Erlang {
+    k: u32,
+    rate: f64,
+}
+
+impl Erlang {
+    /// Creates an Erlang law with `k ≥ 1` stages of rate `rate`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InvalidParameter`] if `k == 0` or
+    /// `rate ≤ 0`.
+    pub fn new(k: u32, rate: f64) -> Result<Self, StatsError> {
+        if k == 0 {
+            return Err(StatsError::InvalidParameter {
+                name: "k",
+                constraint: ">= 1",
+                value: 0.0,
+            });
+        }
+        if !(rate > 0.0 && rate.is_finite()) {
+            return Err(StatsError::InvalidParameter {
+                name: "rate",
+                constraint: "> 0 and finite",
+                value: rate,
+            });
+        }
+        Ok(Self { k, rate })
+    }
+
+    /// Number of stages `k`.
+    pub fn stages(&self) -> u32 {
+        self.k
+    }
+
+    /// Per-stage rate `λ`.
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+}
+
+impl DelayDistribution for Erlang {
+    fn cdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            return 0.0;
+        }
+        // 1 − Σ_{n=0}^{k−1} e^{−λx} (λx)^n / n!
+        let lx = self.rate * x;
+        let mut term = 1.0; // (λx)^0 / 0!
+        let mut sum = term;
+        for n in 1..self.k {
+            term *= lx / n as f64;
+            sum += term;
+        }
+        (1.0 - (-lx).exp() * sum).clamp(0.0, 1.0)
+    }
+
+    fn mean(&self) -> f64 {
+        self.k as f64 / self.rate
+    }
+
+    fn variance(&self) -> f64 {
+        self.k as f64 / (self.rate * self.rate)
+    }
+
+    fn sample(&self, rng: &mut dyn RngCore) -> f64 {
+        // Product of uniforms: sum of k exponentials = −ln(Π uᵢ)/λ.
+        let mut prod = 1.0;
+        for _ in 0..self.k {
+            prod *= uniform_open01(rng);
+        }
+        -prod.ln() / self.rate
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::test_support::battery;
+    use crate::dist::Exponential;
+
+    #[test]
+    fn full_battery() {
+        battery(&Erlang::new(3, 100.0).unwrap(), 61);
+        battery(&Erlang::new(1, 50.0).unwrap(), 62);
+    }
+
+    #[test]
+    fn one_stage_is_exponential() {
+        let er = Erlang::new(1, 50.0).unwrap();
+        let ex = Exponential::with_rate(50.0).unwrap();
+        for &x in &[0.001, 0.01, 0.1] {
+            assert!((er.cdf(x) - ex.cdf(x)).abs() < 1e-12);
+        }
+        assert!((er.mean() - ex.mean()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn moments_closed_form() {
+        let d = Erlang::new(4, 2.0).unwrap();
+        assert!((d.mean() - 2.0).abs() < 1e-12);
+        assert!((d.variance() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cdf_at_zero() {
+        let d = Erlang::new(2, 1.0).unwrap();
+        assert_eq!(d.cdf(0.0), 0.0);
+        assert_eq!(d.cdf(-1.0), 0.0);
+    }
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(Erlang::new(0, 1.0).is_err());
+        assert!(Erlang::new(1, 0.0).is_err());
+        assert!(Erlang::new(1, -5.0).is_err());
+    }
+}

@@ -1,0 +1,152 @@
+use super::{uniform_open01, DelayDistribution};
+use crate::special::std_normal_cdf;
+use crate::StatsError;
+use rand::RngCore;
+
+/// Log-normal delay law: `ln D ~ N(μ, σ²)`.
+///
+/// A standard model for end-to-end Internet latency (multiplicative
+/// queueing effects). Exercises the analysis/configuration code on a
+/// skewed law whose CDF has no elementary closed form.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogNormal {
+    mu: f64,
+    sigma: f64,
+}
+
+impl LogNormal {
+    /// Creates a log-normal law from the parameters of the underlying
+    /// normal: location `mu` and scale `sigma`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InvalidParameter`] unless `sigma > 0` and both
+    /// parameters are finite.
+    pub fn new(mu: f64, sigma: f64) -> Result<Self, StatsError> {
+        if !mu.is_finite() {
+            return Err(StatsError::InvalidParameter {
+                name: "mu",
+                constraint: "finite",
+                value: mu,
+            });
+        }
+        if !(sigma > 0.0 && sigma.is_finite()) {
+            return Err(StatsError::InvalidParameter {
+                name: "sigma",
+                constraint: "> 0 and finite",
+                value: sigma,
+            });
+        }
+        Ok(Self { mu, sigma })
+    }
+
+    /// Creates a log-normal law with the given `mean` and `variance` of
+    /// `D` itself (not of `ln D`), matching how the paper's configuration
+    /// procedures consume delay behavior (§5 uses only `E(D)`, `V(D)`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InvalidParameter`] if `mean ≤ 0` or
+    /// `variance ≤ 0`.
+    pub fn with_moments(mean: f64, variance: f64) -> Result<Self, StatsError> {
+        if !(mean > 0.0 && mean.is_finite()) {
+            return Err(StatsError::InvalidParameter {
+                name: "mean",
+                constraint: "> 0 and finite",
+                value: mean,
+            });
+        }
+        if !(variance > 0.0 && variance.is_finite()) {
+            return Err(StatsError::InvalidParameter {
+                name: "variance",
+                constraint: "> 0 and finite",
+                value: variance,
+            });
+        }
+        let ratio = 1.0 + variance / (mean * mean);
+        let sigma2 = ratio.ln();
+        let mu = mean.ln() - 0.5 * sigma2;
+        Self::new(mu, sigma2.sqrt())
+    }
+
+    /// Location parameter `μ` of `ln D`.
+    pub fn mu(&self) -> f64 {
+        self.mu
+    }
+
+    /// Scale parameter `σ` of `ln D`.
+    pub fn sigma(&self) -> f64 {
+        self.sigma
+    }
+
+    /// Draws a standard-normal variate via Box–Muller.
+    fn sample_std_normal(rng: &mut dyn RngCore) -> f64 {
+        let u1 = uniform_open01(rng);
+        let u2 = uniform_open01(rng);
+        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+    }
+}
+
+impl DelayDistribution for LogNormal {
+    fn cdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            0.0
+        } else {
+            std_normal_cdf((x.ln() - self.mu) / self.sigma)
+        }
+    }
+
+    fn mean(&self) -> f64 {
+        (self.mu + 0.5 * self.sigma * self.sigma).exp()
+    }
+
+    fn variance(&self) -> f64 {
+        let s2 = self.sigma * self.sigma;
+        (s2.exp() - 1.0) * (2.0 * self.mu + s2).exp()
+    }
+
+    fn sample(&self, rng: &mut dyn RngCore) -> f64 {
+        (self.mu + self.sigma * Self::sample_std_normal(rng)).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::test_support::battery;
+
+    #[test]
+    fn full_battery() {
+        battery(&LogNormal::new(-4.0, 0.5).unwrap(), 41);
+    }
+
+    #[test]
+    fn with_moments_roundtrip() {
+        let d = LogNormal::with_moments(0.02, 0.0004).unwrap();
+        assert!((d.mean() - 0.02).abs() < 1e-12);
+        assert!((d.variance() - 0.0004).abs() < 1e-12);
+    }
+
+    #[test]
+    fn median_is_exp_mu() {
+        let d = LogNormal::new(-1.0, 0.8).unwrap();
+        let median = d.quantile(0.5);
+        assert!((median - (-1.0f64).exp()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn cdf_zero_at_origin() {
+        let d = LogNormal::new(0.0, 1.0).unwrap();
+        assert_eq!(d.cdf(0.0), 0.0);
+        assert_eq!(d.cdf(-1.0), 0.0);
+    }
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(LogNormal::new(f64::NAN, 1.0).is_err());
+        assert!(LogNormal::new(0.0, 0.0).is_err());
+        assert!(LogNormal::new(0.0, -1.0).is_err());
+        assert!(LogNormal::with_moments(0.0, 1.0).is_err());
+        assert!(LogNormal::with_moments(1.0, 0.0).is_err());
+    }
+}

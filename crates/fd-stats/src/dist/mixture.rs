@@ -1,0 +1,201 @@
+use super::DelayDistribution;
+use crate::StatsError;
+use rand::{Rng as _, RngCore};
+use std::sync::Arc;
+
+/// Finite mixture of delay laws.
+///
+/// Models multi-modal networks, e.g. "95% of messages take the fast path,
+/// 5% are retransmitted and arrive an RTO later" — exactly the kind of
+/// bimodal behavior the paper's §8.1.2 bursty-traffic discussion worries
+/// about. A mixture keeps the §3.1 assumptions (finite mean/variance,
+/// i.i.d. per message), so all analyses still apply.
+///
+/// ```
+/// use fd_stats::dist::{Exponential, Mixture, Shifted};
+/// use fd_stats::DelayDistribution;
+///
+/// # fn main() -> Result<(), fd_stats::StatsError> {
+/// let fast = Exponential::with_mean(0.01)?;
+/// let slow = Shifted::new(Exponential::with_mean(0.01)?, 0.2)?; // + RTO
+/// let d = Mixture::new(vec![
+///     (0.95, Box::new(fast) as Box<dyn DelayDistribution>),
+///     (0.05, Box::new(slow)),
+/// ])?;
+/// assert!((d.mean() - (0.95 * 0.01 + 0.05 * 0.21)).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Mixture {
+    components: Arc<[(f64, Box<dyn DelayDistribution>)]>,
+}
+
+impl Mixture {
+    /// Creates a mixture from `(weight, law)` pairs.
+    ///
+    /// Weights must be positive and sum to 1 (within `1e-9`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::EmptySample`] for an empty component list and
+    /// [`StatsError::InvalidProbability`] for bad weights.
+    pub fn new(components: Vec<(f64, Box<dyn DelayDistribution>)>) -> Result<Self, StatsError> {
+        if components.is_empty() {
+            return Err(StatsError::EmptySample);
+        }
+        let mut total = 0.0;
+        for &(w, _) in &components {
+            if !(w > 0.0 && w.is_finite()) {
+                return Err(StatsError::InvalidProbability(w));
+            }
+            total += w;
+        }
+        if (total - 1.0).abs() > 1e-9 {
+            return Err(StatsError::InvalidProbability(total));
+        }
+        Ok(Self {
+            components: components.into(),
+        })
+    }
+
+    /// Number of mixture components.
+    pub fn len(&self) -> usize {
+        self.components.len()
+    }
+
+    /// Whether the mixture has no components (never true for a
+    /// successfully constructed value).
+    pub fn is_empty(&self) -> bool {
+        self.components.is_empty()
+    }
+}
+
+impl DelayDistribution for Mixture {
+    fn cdf(&self, x: f64) -> f64 {
+        self.components.iter().map(|(w, d)| w * d.cdf(x)).sum()
+    }
+
+    fn cdf_strict(&self, x: f64) -> f64 {
+        self.components
+            .iter()
+            .map(|(w, d)| w * d.cdf_strict(x))
+            .sum()
+    }
+
+    fn mean(&self) -> f64 {
+        self.components.iter().map(|(w, d)| w * d.mean()).sum()
+    }
+
+    fn variance(&self) -> f64 {
+        // Law of total variance: V = Σ wᵢ (Vᵢ + mᵢ²) − m².
+        let m = self.mean();
+        let second: f64 = self
+            .components
+            .iter()
+            .map(|(w, d)| w * (d.variance() + d.mean() * d.mean()))
+            .sum();
+        second - m * m
+    }
+
+    fn sample(&self, rng: &mut dyn RngCore) -> f64 {
+        let mut u: f64 = rng.random();
+        for (w, d) in self.components.iter() {
+            if u < *w {
+                return d.sample(rng);
+            }
+            u -= w;
+        }
+        // Floating-point slack: fall through to the last component.
+        self.components[self.components.len() - 1].1.sample(rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::test_support::battery;
+    use crate::dist::{Constant, Exponential, Shifted};
+
+    fn bimodal() -> Mixture {
+        Mixture::new(vec![
+            (0.9, Box::new(Exponential::with_mean(0.01).unwrap()) as Box<dyn DelayDistribution>),
+            (
+                0.1,
+                Box::new(Shifted::new(Exponential::with_mean(0.02).unwrap(), 0.2).unwrap()),
+            ),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn full_battery() {
+        battery(&bimodal(), 81);
+    }
+
+    #[test]
+    fn mean_is_weighted() {
+        let d = bimodal();
+        let want = 0.9 * 0.01 + 0.1 * 0.22;
+        assert!((d.mean() - want).abs() < 1e-12);
+    }
+
+    #[test]
+    fn variance_law_of_total_variance() {
+        // Mixture of constants: variance is purely between-component.
+        let d = Mixture::new(vec![
+            (0.5, Box::new(Constant::new(1.0).unwrap()) as Box<dyn DelayDistribution>),
+            (0.5, Box::new(Constant::new(3.0).unwrap())),
+        ])
+        .unwrap();
+        assert!((d.mean() - 2.0).abs() < 1e-12);
+        assert!((d.variance() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn strict_cdf_accounts_for_atoms() {
+        let d = Mixture::new(vec![
+            (0.5, Box::new(Constant::new(1.0).unwrap()) as Box<dyn DelayDistribution>),
+            (0.5, Box::new(Constant::new(2.0).unwrap())),
+        ])
+        .unwrap();
+        assert!((d.cdf(1.0) - 0.5).abs() < 1e-12);
+        assert_eq!(d.cdf_strict(1.0), 0.0);
+        assert!((d.cdf_strict(1.5) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_bad_weights() {
+        assert!(Mixture::new(vec![]).is_err());
+        assert!(Mixture::new(vec![(
+            0.5,
+            Box::new(Constant::new(1.0).unwrap()) as Box<dyn DelayDistribution>
+        )])
+        .is_err());
+        assert!(Mixture::new(vec![
+            (-0.5, Box::new(Constant::new(1.0).unwrap()) as Box<dyn DelayDistribution>),
+            (1.5, Box::new(Constant::new(2.0).unwrap())),
+        ])
+        .is_err());
+    }
+
+    #[test]
+    fn sampling_hits_all_components() {
+        use rand::{rngs::StdRng, SeedableRng};
+        let d = Mixture::new(vec![
+            (0.5, Box::new(Constant::new(1.0).unwrap()) as Box<dyn DelayDistribution>),
+            (0.5, Box::new(Constant::new(2.0).unwrap())),
+        ])
+        .unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut ones = 0;
+        let n = 10_000;
+        for _ in 0..n {
+            if d.sample(&mut rng) == 1.0 {
+                ones += 1;
+            }
+        }
+        let frac = ones as f64 / n as f64;
+        assert!((frac - 0.5).abs() < 0.03, "component selection frequency {frac}");
+    }
+}

@@ -1,0 +1,155 @@
+use super::{uniform_open01, DelayDistribution};
+use crate::StatsError;
+use rand::RngCore;
+
+/// Pareto (power-law tail) delay law, `Pr(D > x) = (x_m / x)^α` for
+/// `x ≥ x_m`.
+///
+/// Heavy-tailed delays are the regime where the paper's critique of the
+/// common algorithm bites hardest: its worst-case detection time is the
+/// *maximum* message delay plus `TO` (§1.2.1), and under a Pareto tail the
+/// maximum observed delay grows without bound. `NFD-S`'s bound
+/// `T_D ≤ δ + η` is unaffected.
+///
+/// The standing assumption `V(D) < ∞` (§3.1) requires shape `α > 2`, which
+/// the constructor enforces.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Pareto {
+    scale: f64,
+    shape: f64,
+}
+
+impl Pareto {
+    /// Creates a Pareto law with minimum value `scale` (`x_m`) and tail
+    /// exponent `shape` (`α`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InvalidParameter`] unless `scale > 0` and
+    /// `shape > 2` (finite variance, per the paper's model assumptions).
+    pub fn new(scale: f64, shape: f64) -> Result<Self, StatsError> {
+        if !(scale > 0.0 && scale.is_finite()) {
+            return Err(StatsError::InvalidParameter {
+                name: "scale",
+                constraint: "> 0 and finite",
+                value: scale,
+            });
+        }
+        if !(shape > 2.0 && shape.is_finite()) {
+            return Err(StatsError::InvalidParameter {
+                name: "shape",
+                constraint: "> 2 (finite variance) and finite",
+                value: shape,
+            });
+        }
+        Ok(Self { scale, shape })
+    }
+
+    /// Creates a Pareto law with the given `mean` and tail exponent
+    /// `shape > 2`, solving for the scale.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InvalidParameter`] if `mean ≤ 0` or
+    /// `shape ≤ 2`.
+    pub fn with_mean(mean: f64, shape: f64) -> Result<Self, StatsError> {
+        if !(mean > 0.0 && mean.is_finite()) {
+            return Err(StatsError::InvalidParameter {
+                name: "mean",
+                constraint: "> 0 and finite",
+                value: mean,
+            });
+        }
+        // mean = α x_m / (α − 1)  ⇒  x_m = mean (α − 1) / α
+        let scale = mean * (shape - 1.0) / shape;
+        Self::new(scale, shape)
+    }
+
+    /// Minimum value `x_m`.
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+
+    /// Tail exponent `α`.
+    pub fn shape(&self) -> f64 {
+        self.shape
+    }
+}
+
+impl DelayDistribution for Pareto {
+    fn cdf(&self, x: f64) -> f64 {
+        if x <= self.scale {
+            0.0
+        } else {
+            1.0 - (self.scale / x).powf(self.shape)
+        }
+    }
+
+    fn mean(&self) -> f64 {
+        self.shape * self.scale / (self.shape - 1.0)
+    }
+
+    fn variance(&self) -> f64 {
+        let a = self.shape;
+        self.scale * self.scale * a / ((a - 1.0) * (a - 1.0) * (a - 2.0))
+    }
+
+    fn sample(&self, rng: &mut dyn RngCore) -> f64 {
+        self.scale * uniform_open01(rng).powf(-1.0 / self.shape)
+    }
+
+    fn quantile(&self, p: f64) -> f64 {
+        assert!((0.0..1.0).contains(&p), "quantile requires p in [0,1), got {p}");
+        self.scale * (1.0 - p).powf(-1.0 / self.shape)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::test_support::battery;
+
+    #[test]
+    fn full_battery() {
+        // Larger α keeps the sampler-variance estimate stable with 2e5 samples.
+        battery(&Pareto::new(0.01, 6.0).unwrap(), 31);
+    }
+
+    #[test]
+    fn with_mean_inverts_mean_formula() {
+        let d = Pareto::with_mean(0.02, 3.0).unwrap();
+        assert!((d.mean() - 0.02).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cdf_zero_below_scale() {
+        let d = Pareto::new(1.0, 3.0).unwrap();
+        assert_eq!(d.cdf(0.999), 0.0);
+        assert!((d.cdf(2.0) - (1.0 - 0.125)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantile_closed_form() {
+        let d = Pareto::new(1.0, 4.0).unwrap();
+        let x = d.quantile(0.9375); // 1 - (1/x)^4 = 0.9375 at x = 2
+        assert!((x - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn variance_requires_shape_above_two() {
+        assert!(Pareto::new(1.0, 2.0).is_err());
+        assert!(Pareto::new(1.0, 1.5).is_err());
+        assert!(Pareto::new(0.0, 3.0).is_err());
+        assert!(Pareto::with_mean(0.02, 2.0).is_err());
+    }
+
+    #[test]
+    fn samples_exceed_scale() {
+        use rand::{rngs::StdRng, SeedableRng};
+        let d = Pareto::new(0.5, 3.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..10_000 {
+            assert!(d.sample(&mut rng) >= 0.5);
+        }
+    }
+}

@@ -1,0 +1,126 @@
+use super::DelayDistribution;
+use crate::StatsError;
+use rand::RngCore;
+
+/// A delay law shifted right by a fixed propagation offset:
+/// `D' = offset + D`.
+///
+/// Models the realistic decomposition *delay = propagation + queueing*:
+/// a minimum wire latency every message pays, plus a random queueing
+/// component. The shift changes `E(D)` but not `V(D)`, which makes it a
+/// sharp test for the NFD-U property that its configuration procedure
+/// "does not use `E(D)`" (Theorem 11).
+#[derive(Debug, Clone)]
+pub struct Shifted<D> {
+    inner: D,
+    offset: f64,
+}
+
+impl<D: DelayDistribution> Shifted<D> {
+    /// Wraps `inner`, adding `offset` to every delay.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InvalidParameter`] unless `offset ≥ 0` and
+    /// finite.
+    pub fn new(inner: D, offset: f64) -> Result<Self, StatsError> {
+        if !(offset >= 0.0 && offset.is_finite()) {
+            return Err(StatsError::InvalidParameter {
+                name: "offset",
+                constraint: ">= 0 and finite",
+                value: offset,
+            });
+        }
+        Ok(Self { inner, offset })
+    }
+
+    /// The fixed offset added to every delay.
+    pub fn offset(&self) -> f64 {
+        self.offset
+    }
+
+    /// The wrapped distribution.
+    pub fn inner(&self) -> &D {
+        &self.inner
+    }
+
+    /// Unwraps, returning the inner distribution.
+    pub fn into_inner(self) -> D {
+        self.inner
+    }
+}
+
+impl<D: DelayDistribution> DelayDistribution for Shifted<D> {
+    fn cdf(&self, x: f64) -> f64 {
+        self.inner.cdf(x - self.offset)
+    }
+
+    fn cdf_strict(&self, x: f64) -> f64 {
+        self.inner.cdf_strict(x - self.offset)
+    }
+
+    fn mean(&self) -> f64 {
+        self.inner.mean() + self.offset
+    }
+
+    fn variance(&self) -> f64 {
+        self.inner.variance()
+    }
+
+    fn sample(&self, rng: &mut dyn RngCore) -> f64 {
+        self.inner.sample(rng) + self.offset
+    }
+
+    fn quantile(&self, p: f64) -> f64 {
+        self.inner.quantile(p) + self.offset
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::test_support::battery;
+    use crate::dist::{Constant, Exponential};
+
+    #[test]
+    fn full_battery() {
+        let d = Shifted::new(Exponential::with_mean(0.01).unwrap(), 0.005).unwrap();
+        battery(&d, 71);
+    }
+
+    #[test]
+    fn shift_moves_mean_not_variance() {
+        let base = Exponential::with_mean(0.02).unwrap();
+        let d = Shifted::new(base, 0.1).unwrap();
+        assert!((d.mean() - 0.12).abs() < 1e-12);
+        assert!((d.variance() - base.variance()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn cdf_is_translated() {
+        let base = Exponential::with_mean(1.0).unwrap();
+        let d = Shifted::new(base, 2.0).unwrap();
+        assert_eq!(d.cdf(1.9), 0.0);
+        assert!((d.cdf(3.0) - base.cdf(1.0)).abs() < 1e-14);
+    }
+
+    #[test]
+    fn strict_cdf_translates_atoms() {
+        let d = Shifted::new(Constant::new(0.5).unwrap(), 0.25).unwrap();
+        assert_eq!(d.cdf(0.75), 1.0);
+        assert_eq!(d.cdf_strict(0.75), 0.0);
+    }
+
+    #[test]
+    fn accessors() {
+        let d = Shifted::new(Constant::new(1.0).unwrap(), 0.5).unwrap();
+        assert_eq!(d.offset(), 0.5);
+        assert_eq!(d.inner().value(), 1.0);
+        assert_eq!(d.into_inner().value(), 1.0);
+    }
+
+    #[test]
+    fn rejects_negative_offset() {
+        assert!(Shifted::new(Constant::new(1.0).unwrap(), -0.1).is_err());
+    }
+}

@@ -1,0 +1,136 @@
+use super::{uniform_open01, DelayDistribution};
+use crate::StatsError;
+use rand::RngCore;
+
+/// Uniform delay law on `[lo, hi]`.
+///
+/// Useful as a bounded-jitter model and as an easy analytic cross-check
+/// for the Theorem 5 integrator (its CDF is piecewise linear, so
+/// `∫ u(x) dx` has simple closed forms).
+///
+/// ```
+/// use fd_stats::dist::Uniform;
+/// use fd_stats::DelayDistribution;
+///
+/// # fn main() -> Result<(), fd_stats::StatsError> {
+/// let d = Uniform::new(0.01, 0.03)?;
+/// assert!((d.mean() - 0.02).abs() < 1e-12);
+/// assert!((d.cdf(0.02) - 0.5).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Uniform {
+    lo: f64,
+    hi: f64,
+}
+
+impl Uniform {
+    /// Creates a uniform law on `[lo, hi]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InvalidParameter`] unless `0 ≤ lo < hi` and
+    /// both are finite (delays are nonnegative, §3.1).
+    pub fn new(lo: f64, hi: f64) -> Result<Self, StatsError> {
+        if !(lo >= 0.0 && lo.is_finite()) {
+            return Err(StatsError::InvalidParameter {
+                name: "lo",
+                constraint: ">= 0 and finite",
+                value: lo,
+            });
+        }
+        if !(hi > lo && hi.is_finite()) {
+            return Err(StatsError::InvalidParameter {
+                name: "hi",
+                constraint: "> lo and finite",
+                value: hi,
+            });
+        }
+        Ok(Self { lo, hi })
+    }
+
+    /// Lower endpoint of the support.
+    pub fn lo(&self) -> f64 {
+        self.lo
+    }
+
+    /// Upper endpoint of the support.
+    pub fn hi(&self) -> f64 {
+        self.hi
+    }
+}
+
+impl DelayDistribution for Uniform {
+    fn cdf(&self, x: f64) -> f64 {
+        if x <= self.lo {
+            0.0
+        } else if x >= self.hi {
+            1.0
+        } else {
+            (x - self.lo) / (self.hi - self.lo)
+        }
+    }
+
+    fn mean(&self) -> f64 {
+        0.5 * (self.lo + self.hi)
+    }
+
+    fn variance(&self) -> f64 {
+        let w = self.hi - self.lo;
+        w * w / 12.0
+    }
+
+    fn sample(&self, rng: &mut dyn RngCore) -> f64 {
+        self.lo + (self.hi - self.lo) * uniform_open01(rng)
+    }
+
+    fn quantile(&self, p: f64) -> f64 {
+        assert!((0.0..1.0).contains(&p), "quantile requires p in [0,1), got {p}");
+        self.lo + p * (self.hi - self.lo)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::test_support::battery;
+
+    #[test]
+    fn full_battery() {
+        battery(&Uniform::new(0.0, 1.0).unwrap(), 21);
+        battery(&Uniform::new(0.01, 0.03).unwrap(), 22);
+    }
+
+    #[test]
+    fn variance_closed_form() {
+        let d = Uniform::new(2.0, 5.0).unwrap();
+        assert!((d.variance() - 9.0 / 12.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cdf_clamps_outside_support() {
+        let d = Uniform::new(1.0, 2.0).unwrap();
+        assert_eq!(d.cdf(0.5), 0.0);
+        assert_eq!(d.cdf(2.5), 1.0);
+    }
+
+    #[test]
+    fn samples_stay_in_support() {
+        use rand::{rngs::StdRng, SeedableRng};
+        let d = Uniform::new(0.25, 0.75).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            let x = d.sample(&mut rng);
+            assert!((0.25..=0.75).contains(&x));
+        }
+    }
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(Uniform::new(-0.1, 1.0).is_err());
+        assert!(Uniform::new(1.0, 1.0).is_err());
+        assert!(Uniform::new(2.0, 1.0).is_err());
+        assert!(Uniform::new(0.0, f64::INFINITY).is_err());
+    }
+}

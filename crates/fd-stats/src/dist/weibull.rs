@@ -1,0 +1,119 @@
+use super::{uniform_open01, DelayDistribution};
+use crate::special::gamma;
+use crate::StatsError;
+use rand::RngCore;
+
+/// Weibull delay law, `Pr(D ≤ x) = 1 − e^{−(x/λ)^k}`.
+///
+/// Interpolates between heavy-ish tails (`k < 1`) and near-deterministic
+/// delays (`k ≫ 1`); with `k = 1` it coincides with the exponential law,
+/// which the tests exploit as a cross-check.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Weibull {
+    scale: f64,
+    shape: f64,
+}
+
+impl Weibull {
+    /// Creates a Weibull law with scale `λ` and shape `k`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InvalidParameter`] unless both are positive
+    /// and finite.
+    pub fn new(scale: f64, shape: f64) -> Result<Self, StatsError> {
+        if !(scale > 0.0 && scale.is_finite()) {
+            return Err(StatsError::InvalidParameter {
+                name: "scale",
+                constraint: "> 0 and finite",
+                value: scale,
+            });
+        }
+        if !(shape > 0.0 && shape.is_finite()) {
+            return Err(StatsError::InvalidParameter {
+                name: "shape",
+                constraint: "> 0 and finite",
+                value: shape,
+            });
+        }
+        Ok(Self { scale, shape })
+    }
+
+    /// Scale parameter `λ`.
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+
+    /// Shape parameter `k`.
+    pub fn shape(&self) -> f64 {
+        self.shape
+    }
+}
+
+impl DelayDistribution for Weibull {
+    fn cdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            0.0
+        } else {
+            -(-(x / self.scale).powf(self.shape)).exp_m1()
+        }
+    }
+
+    fn mean(&self) -> f64 {
+        self.scale * gamma(1.0 + 1.0 / self.shape)
+    }
+
+    fn variance(&self) -> f64 {
+        let g1 = gamma(1.0 + 1.0 / self.shape);
+        let g2 = gamma(1.0 + 2.0 / self.shape);
+        self.scale * self.scale * (g2 - g1 * g1)
+    }
+
+    fn sample(&self, rng: &mut dyn RngCore) -> f64 {
+        self.scale * (-uniform_open01(rng).ln()).powf(1.0 / self.shape)
+    }
+
+    fn quantile(&self, p: f64) -> f64 {
+        assert!((0.0..1.0).contains(&p), "quantile requires p in [0,1), got {p}");
+        self.scale * (-(-p).ln_1p()).powf(1.0 / self.shape)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::test_support::battery;
+    use crate::dist::Exponential;
+
+    #[test]
+    fn full_battery() {
+        battery(&Weibull::new(0.02, 1.5).unwrap(), 51);
+        battery(&Weibull::new(1.0, 3.0).unwrap(), 52);
+    }
+
+    #[test]
+    fn shape_one_is_exponential() {
+        let w = Weibull::new(0.02, 1.0).unwrap();
+        let e = Exponential::with_mean(0.02).unwrap();
+        assert!((w.mean() - e.mean()).abs() < 1e-10);
+        assert!((w.variance() - e.variance()).abs() < 1e-10);
+        for &x in &[0.001, 0.01, 0.05, 0.2] {
+            assert!((w.cdf(x) - e.cdf(x)).abs() < 1e-12, "cdf at {x}");
+        }
+    }
+
+    #[test]
+    fn quantile_inverts_cdf() {
+        let d = Weibull::new(2.0, 0.7).unwrap();
+        for &p in &[0.1, 0.5, 0.9] {
+            assert!((d.cdf(d.quantile(p)) - p).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(Weibull::new(0.0, 1.0).is_err());
+        assert!(Weibull::new(1.0, 0.0).is_err());
+        assert!(Weibull::new(f64::NAN, 1.0).is_err());
+    }
+}

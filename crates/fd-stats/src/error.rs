@@ -1,0 +1,79 @@
+use std::fmt;
+
+/// Error type for invalid statistical constructions.
+///
+/// Returned by distribution constructors whose parameters would violate the
+/// paper's standing assumptions (e.g. `D` must have range `(0, ∞)` with
+/// finite mean and variance, §3.1) and by numeric routines handed
+/// nonsensical inputs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StatsError {
+    /// A distribution parameter was out of its legal domain.
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// Human-readable constraint that was violated.
+        constraint: &'static str,
+        /// The value actually supplied.
+        value: f64,
+    },
+    /// A probability was outside `[0, 1]`.
+    InvalidProbability(f64),
+    /// An empty sample set was supplied where at least one value is needed.
+    EmptySample,
+    /// Numeric routine failed to converge.
+    NoConvergence(&'static str),
+}
+
+impl fmt::Display for StatsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StatsError::InvalidParameter {
+                name,
+                constraint,
+                value,
+            } => write!(f, "parameter `{name}` must satisfy {constraint}, got {value}"),
+            StatsError::InvalidProbability(p) => {
+                write!(f, "probability must lie in [0, 1], got {p}")
+            }
+            StatsError::EmptySample => write!(f, "sample set is empty"),
+            StatsError::NoConvergence(what) => write!(f, "{what} failed to converge"),
+        }
+    }
+}
+
+impl std::error::Error for StatsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_invalid_parameter() {
+        let e = StatsError::InvalidParameter {
+            name: "mean",
+            constraint: "> 0",
+            value: -1.0,
+        };
+        assert_eq!(e.to_string(), "parameter `mean` must satisfy > 0, got -1");
+    }
+
+    #[test]
+    fn display_invalid_probability() {
+        assert_eq!(
+            StatsError::InvalidProbability(1.5).to_string(),
+            "probability must lie in [0, 1], got 1.5"
+        );
+    }
+
+    #[test]
+    fn display_empty_sample() {
+        assert_eq!(StatsError::EmptySample.to_string(), "sample set is empty");
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<StatsError>();
+    }
+}

@@ -1,0 +1,153 @@
+//! Goodness-of-fit testing: one-sample Kolmogorov–Smirnov.
+//!
+//! Used by the validation experiments to certify that the simulator's
+//! delay draws really follow the configured law — a reproduction of the
+//! paper's evaluation is only as credible as its random inputs.
+
+use crate::{DelayDistribution, StatsError};
+
+/// Result of a one-sample Kolmogorov–Smirnov test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KsTest {
+    /// The KS statistic `D_n = sup_x |F_n(x) − F(x)|`.
+    pub statistic: f64,
+    /// Number of samples.
+    pub n: usize,
+    /// Approximate p-value (Kolmogorov asymptotic series; good for
+    /// `n ≳ 35`).
+    pub p_value: f64,
+}
+
+impl KsTest {
+    /// Whether the fit is rejected at the given significance level.
+    pub fn rejects_at(&self, alpha: f64) -> bool {
+        self.p_value < alpha
+    }
+}
+
+/// One-sample KS test of `samples` against `dist`.
+///
+/// # Errors
+///
+/// Returns [`StatsError::EmptySample`] if `samples` is empty, or
+/// [`StatsError::InvalidParameter`] on non-finite samples.
+pub fn ks_test(samples: &[f64], dist: &dyn DelayDistribution) -> Result<KsTest, StatsError> {
+    if samples.is_empty() {
+        return Err(StatsError::EmptySample);
+    }
+    for &s in samples {
+        if !s.is_finite() {
+            return Err(StatsError::InvalidParameter {
+                name: "sample",
+                constraint: "finite",
+                value: s,
+            });
+        }
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let n = sorted.len();
+    let nf = n as f64;
+
+    // D_n = max over sample points of the one-sided gaps.
+    let mut d = 0.0f64;
+    for (i, &x) in sorted.iter().enumerate() {
+        let f = dist.cdf(x);
+        let upper = (i as f64 + 1.0) / nf - f; // F_n(x) − F(x)
+        let lower = f - i as f64 / nf; // F(x) − F_n(x⁻)
+        d = d.max(upper).max(lower);
+    }
+
+    Ok(KsTest {
+        statistic: d,
+        n,
+        p_value: kolmogorov_sf((nf.sqrt() + 0.12 + 0.11 / nf.sqrt()) * d),
+    })
+}
+
+/// Survival function of the Kolmogorov distribution,
+/// `Q(λ) = 2 Σ_{k≥1} (−1)^{k−1} e^{−2k²λ²}` (Numerical-Recipes form with
+/// the small-sample correction applied by the caller).
+fn kolmogorov_sf(lambda: f64) -> f64 {
+    if lambda <= 0.0 {
+        return 1.0;
+    }
+    let mut sum = 0.0;
+    let mut sign = 1.0;
+    for k in 1..=100 {
+        let term = (-2.0 * (k as f64) * (k as f64) * lambda * lambda).exp();
+        sum += sign * term;
+        if term < 1e-12 {
+            break;
+        }
+        sign = -sign;
+    }
+    (2.0 * sum).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::{Exponential, Uniform};
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn draw(dist: &dyn DelayDistribution, n: usize, seed: u64) -> Vec<f64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n).map(|_| dist.sample(&mut rng)).collect()
+    }
+
+    #[test]
+    fn accepts_correct_law() {
+        let d = Exponential::with_mean(0.02).unwrap();
+        let samples = draw(&d, 5000, 1);
+        let ks = ks_test(&samples, &d).unwrap();
+        assert!(!ks.rejects_at(0.01), "false rejection: {ks:?}");
+        assert!(ks.statistic < 0.03);
+        assert_eq!(ks.n, 5000);
+    }
+
+    #[test]
+    fn rejects_wrong_law() {
+        // Samples from Exp(0.02) tested against Exp(0.04): must reject.
+        let truth = Exponential::with_mean(0.02).unwrap();
+        let wrong = Exponential::with_mean(0.04).unwrap();
+        let samples = draw(&truth, 5000, 2);
+        let ks = ks_test(&samples, &wrong).unwrap();
+        assert!(ks.rejects_at(0.01), "failed to reject: {ks:?}");
+    }
+
+    #[test]
+    fn rejects_wrong_shape_same_mean() {
+        // Uniform(0, 0.04) has the same mean as Exp(0.02) but a different
+        // shape — KS sees through matched moments.
+        let truth = Uniform::new(0.0, 0.04).unwrap();
+        let wrong = Exponential::with_mean(0.02).unwrap();
+        let samples = draw(&truth, 5000, 3);
+        let ks = ks_test(&samples, &wrong).unwrap();
+        assert!(ks.rejects_at(0.01));
+    }
+
+    #[test]
+    fn kolmogorov_sf_reference_points() {
+        // Q(0.83) ≈ 0.50 (within series accuracy), Q(1.36) ≈ 0.049.
+        assert!((kolmogorov_sf(0.828) - 0.5).abs() < 0.01);
+        assert!((kolmogorov_sf(1.358) - 0.049).abs() < 0.005);
+        assert_eq!(kolmogorov_sf(0.0), 1.0);
+        assert!(kolmogorov_sf(3.0) < 1e-6);
+    }
+
+    #[test]
+    fn small_sample_does_not_explode() {
+        let d = Exponential::with_mean(1.0).unwrap();
+        let ks = ks_test(&[0.5, 1.0, 2.0], &d).unwrap();
+        assert!((0.0..=1.0).contains(&ks.p_value));
+        assert!((0.0..=1.0).contains(&ks.statistic));
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        let d = Exponential::with_mean(1.0).unwrap();
+        assert!(ks_test(&[], &d).is_err());
+        assert!(ks_test(&[f64::NAN], &d).is_err());
+    }
+}

@@ -1,0 +1,98 @@
+//! Adaptivity demo (§8.1): the network's behavior changes — quiet night
+//! traffic becomes lossy, jittery day traffic — and the adaptive monitor
+//! re-estimates `(p̂_L, V̂(D))` and reconfigures `(η, α)` to keep meeting
+//! the same QoS requirements.
+//!
+//! Runs entirely in virtual time on the discrete-event simulator.
+//!
+//! ```text
+//! cargo run --release --example adaptive_network
+//! ```
+
+use chen_fd_qos::prelude::*;
+use fd_core::adaptive::{AdaptiveConfig, AdaptiveMonitor};
+use fd_core::config::NfdUParams;
+use rand::{Rng, SeedableRng};
+
+/// Feed `count` heartbeats through a `(p_l, D)` law into the monitor,
+/// applying any parameter recommendation after each heartbeat (and
+/// retuning the "sender's" η accordingly). Returns the next sequence
+/// number and absolute time.
+fn drive_epoch(
+    monitor: &mut AdaptiveMonitor,
+    p_l: f64,
+    delay: &dyn DelayDistribution,
+    mut seq: u64,
+    mut now: f64,
+    count: u64,
+    rng: &mut rand::rngs::StdRng,
+) -> (u64, f64) {
+    let mut eta = monitor.current_params().eta;
+    for _ in 0..count {
+        now += eta;
+        seq += 1;
+        if rng.random::<f64>() >= p_l {
+            let arrival = now + delay.sample(rng);
+            monitor.on_heartbeat(arrival, Heartbeat::new(seq, now));
+        }
+        if let Some(p) = monitor.apply_recommendation(now) {
+            eta = p.eta; // the service retunes the heartbeater
+        }
+    }
+    (seq, now)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Requirements (relative detection bound, §6): detect within 4 s
+    // (+E(D)), ≥ 30 min between mistakes, mistakes fixed within 1 s.
+    let req = QosRequirements::new(4.0, 1800.0, 1.0)?;
+    let initial = NfdUParams { eta: 1.0, alpha: 3.0 };
+    let mut monitor = AdaptiveMonitor::new(req, initial, AdaptiveConfig::default())?;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+
+    println!("initial parameters: {}", monitor.current_params());
+
+    // Night: clean, fast network.
+    let night = Exponential::with_mean(0.01)?;
+    let (seq, now) = drive_epoch(&mut monitor, 0.0, &night, 0, 0.0, 400, &mut rng);
+    let night_params = monitor.current_params();
+    let est = monitor.conservative_estimate().expect("estimators warm");
+    println!(
+        "after night epoch:  {} (p̂_L = {:.3}, V̂(D) = {:.2e})",
+        night_params, est.loss_probability, est.delay_variance
+    );
+
+    // Day: 5% loss, heavy jitter (bimodal delays: fast path + retransmit).
+    let day = Mixture::new(vec![
+        (0.8, Box::new(Exponential::with_mean(0.05)?) as Box<dyn DelayDistribution>),
+        (0.2, Box::new(fd_stats::dist::Shifted::new(Exponential::with_mean(0.05)?, 0.8)?)),
+    ])?;
+    let (_, _) = drive_epoch(&mut monitor, 0.05, &day, seq, now, 1200, &mut rng);
+    let day_params = monitor.current_params();
+    let est = monitor.conservative_estimate().expect("estimators warm");
+    println!(
+        "after day epoch:    {} (p̂_L = {:.3}, V̂(D) = {:.2e})",
+        day_params, est.loss_probability, est.delay_variance
+    );
+
+    // The day network is worse, so the detector must spend its detection
+    // budget more conservatively: more slack (α up) and a lower heartbeat
+    // rate cannot both hold since η + α is fixed — the recurrence
+    // constraint forces η DOWN (more bandwidth) and α UP.
+    assert!(
+        day_params.eta < night_params.eta,
+        "day η {} should be below night η {}",
+        day_params.eta,
+        night_params.eta
+    );
+    assert!(day_params.alpha > night_params.alpha);
+    println!(
+        "\nadaptation: η {:.3} → {:.3} (heartbeats {:.1}× more frequent), α {:.3} → {:.3}",
+        night_params.eta,
+        day_params.eta,
+        night_params.eta / day_params.eta,
+        night_params.alpha,
+        day_params.alpha
+    );
+    Ok(())
+}

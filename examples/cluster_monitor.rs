@@ -1,0 +1,81 @@
+//! A miniature cluster manager on top of the real-time failure-detection
+//! service: watch several nodes, print the evolving suspect list, crash
+//! one node, and watch it get detected within its QoS budget.
+//!
+//! This is the motivating workload of the paper's introduction — group
+//! membership / cluster management layers that consume a "list of
+//! suspects" — running on real threads over the in-process lossy
+//! transport.
+//!
+//! ```text
+//! cargo run --release --example cluster_monitor
+//! ```
+
+use chen_fd_qos::prelude::*;
+use fd_runtime::{LinkSpec, ProcessSpec, Service};
+use std::time::{Duration, Instant};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut service = Service::new();
+
+    // Per-node QoS: detect within 150 ms (+ E(D)), ≥ 60 s between false
+    // suspicions, false suspicions corrected within 50 ms.
+    let req = QosRequirements::new(0.15, 60.0, 0.05)?;
+
+    // Three nodes behind links of increasing badness.
+    let nodes: [(&str, f64, f64); 3] = [
+        ("web-1", 0.00, 0.002), // clean LAN: 2 ms mean delay
+        ("web-2", 0.01, 0.005), // 1% loss, 5 ms
+        ("db-1", 0.02, 0.008),  // 2% loss, 8 ms
+    ];
+    for (i, (name, loss, mean_delay)) in nodes.into_iter().enumerate() {
+        let link = LinkSpec::new(loss, Box::new(Exponential::with_mean(mean_delay)?))
+            .expect("valid loss probability");
+        let params = service.watch(
+            ProcessSpec::named(name)
+                .qos(req, loss, mean_delay * mean_delay) // V(D) = E(D)² for Exp
+                .link(link)
+                .seed(1000 + i as u64),
+        )?;
+        println!("watching {name:>6}: NFD-E with {params}");
+    }
+
+    // Give every monitor time to reach steady state, then poll.
+    std::thread::sleep(Duration::from_millis(300));
+    println!("\nafter warm-up, suspects = {:?}", service.suspects());
+    assert!(service.suspects().is_empty(), "all nodes should be trusted");
+
+    // Crash db-1 and time the detection.
+    println!("\n*** crashing db-1 ***");
+    let crashed_at = Instant::now();
+    service.crash("db-1");
+    loop {
+        if service.status()["db-1"].is_suspect() {
+            break;
+        }
+        if crashed_at.elapsed() > Duration::from_secs(5) {
+            panic!("db-1 crash was not detected within 5 s");
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    println!(
+        "db-1 suspected after {:?} (budget: 150 ms + E(D) + scheduling slop)",
+        crashed_at.elapsed()
+    );
+    println!("suspects = {:?}", service.suspects());
+    assert_eq!(service.suspects(), vec!["db-1".to_string()]);
+
+    // The survivors are still trusted.
+    assert!(service.status()["web-1"].is_trust());
+    assert!(service.status()["web-2"].is_trust());
+
+    // Retrieve the full output history of the crashed node's monitor.
+    let trace = service.unwatch("db-1").expect("trace for db-1");
+    println!(
+        "\ndb-1 monitor recorded {} transitions over {:.2} s",
+        trace.transitions().len(),
+        trace.duration()
+    );
+    service.shutdown();
+    Ok(())
+}

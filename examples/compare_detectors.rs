@@ -1,0 +1,76 @@
+//! Compare the paper's new detector against the common algorithm at
+//! equal cost: same heartbeat rate, same detection-time bound — the
+//! Fig. 12 comparison at a few sample points.
+//!
+//! ```text
+//! cargo run --release --example compare_detectors
+//! ```
+
+use chen_fd_qos::prelude::*;
+use rand::SeedableRng;
+
+/// §7 settings: η = 1, p_L = 0.01, D ~ Exp(0.02).
+const ETA: f64 = 1.0;
+const P_L: f64 = 0.01;
+const MEAN_DELAY: f64 = 0.02;
+
+fn measure(
+    fd: &mut dyn FailureDetector,
+    seed: u64,
+    recurrences: usize,
+) -> (f64, f64) {
+    let link = Link::new(
+        P_L,
+        Box::new(Exponential::with_mean(MEAN_DELAY).expect("valid mean")),
+    )
+    .expect("valid link");
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let acc = measure_accuracy(
+        fd,
+        &AccuracyRun {
+            eta: ETA,
+            recurrence_target: recurrences,
+            max_heartbeats: 30_000_000,
+            warmup: 10.0,
+        },
+        &link,
+        &mut rng,
+    );
+    (
+        acc.mean_mistake_recurrence().unwrap_or(f64::INFINITY),
+        acc.mean_mistake_duration().unwrap_or(0.0),
+    )
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("Detectors at equal heartbeat rate (η = 1) and equal detection bound T_D^U:");
+    println!("{:>6} {:>10} {:>14} {:>14} {:>12}", "T_D^U", "detector", "E(T_MR) meas", "E(T_MR) pred", "E(T_M) meas");
+
+    for (i, t_d_u) in [1.5, 2.0, 2.5].into_iter().enumerate() {
+        let seed = 31 * (i as u64 + 1);
+
+        // NFD-S: δ = T_D^U − η (Theorem 5.1 makes the bound exact).
+        let delta = t_d_u - ETA;
+        let delay = Exponential::with_mean(MEAN_DELAY)?;
+        let predicted = NfdSAnalysis::new(ETA, delta, P_L, &delay)?.mean_recurrence();
+        let mut nfd = NfdS::new(ETA, delta)?;
+        let (tmr, tm) = measure(&mut nfd, seed, 300);
+        println!(
+            "{t_d_u:>6.2} {:>10} {tmr:>14.1} {predicted:>14.1} {tm:>12.3}",
+            "NFD-S"
+        );
+
+        // SFD-L / SFD-S: cutoff c ∈ {0.16, 0.08}, TO = T_D^U − c (§7.2).
+        for (name, c) in [("SFD-L", 0.16), ("SFD-S", 0.08)] {
+            let mut sfd = SimpleFd::with_cutoff(t_d_u - c, c)?;
+            let (tmr, tm) = measure(&mut sfd, seed ^ 0xABCD, 300);
+            println!("{t_d_u:>6.2} {name:>10} {tmr:>14.1} {:>14} {tm:>12.3}", "-");
+        }
+    }
+
+    println!();
+    println!("Note how NFD-S's mistake recurrence time exceeds the simple algorithm's");
+    println!("at every detection bound — by an order of magnitude once T_D^U ≥ 2 — while");
+    println!("all detectors keep E(T_M) ≲ η (the paper's §7 observations).");
+    Ok(())
+}

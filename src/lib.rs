@@ -1,0 +1,64 @@
+//! # chen-fd-qos
+//!
+//! A full reproduction of **Chen, Toueg & Aguilera, "On the Quality of
+//! Service of Failure Detectors"** (DSN 2000 / IEEE ToC 2002) as a Rust
+//! workspace. This facade crate re-exports every member so examples and
+//! downstream users can depend on one name.
+//!
+//! | crate | contents |
+//! |---|---|
+//! | [`fd_metrics`] | the seven QoS metrics, output traces, Theorem 1 |
+//! | [`fd_core`] | NFD-S / NFD-U / NFD-E, the simple baseline, Theorem 5 analysis, §4–§6 configurators, §5.2/6.3 estimators, §8.1 adaptivity |
+//! | [`fd_sim`] | discrete-event simulator and §7 measurement harnesses |
+//! | [`fd_runtime`] | real-time threaded runtime and multi-process service |
+//! | [`fd_stats`] | delay distributions, online statistics, quadrature |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use chen_fd_qos::prelude::*;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // 1. State the application's QoS requirements (Eq. 4.1):
+//! //    detect within 30 s, ≤ 1 mistake/month, mistakes fixed in ≤ 60 s.
+//! let req = QosRequirements::new(30.0, 2_592_000.0, 60.0)?;
+//!
+//! // 2. Describe the network: 1% loss, exponential delays, E(D) = 20 ms.
+//! let delay = Exponential::with_mean(0.02)?;
+//!
+//! // 3. Configure NFD-S (the §4 procedure).
+//! let params = configure_known_distribution(&req, 0.01, &delay)?
+//!     .expect("these requirements are achievable");
+//!
+//! // 4. Inspect the QoS the analysis (Theorem 5) predicts.
+//! let analysis = NfdSAnalysis::new(params.eta, params.delta, 0.01, &delay)?;
+//! assert!(analysis.mean_recurrence() >= 2_592_000.0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub use fd_core;
+pub use fd_metrics;
+pub use fd_runtime;
+pub use fd_sim;
+pub use fd_stats;
+
+/// One-stop imports for the most common API surface.
+pub mod prelude {
+    pub use fd_core::adaptive::{AdaptiveConfig, AdaptiveMonitor};
+    pub use fd_core::config::{
+        configure_from_moments, configure_known_distribution, configure_nfd_u, NfdSParams,
+        NfdUParams,
+    };
+    pub use fd_core::detectors::{NfdE, NfdS, NfdU, PhiAccrual, SimpleFd};
+    pub use fd_core::{FailureDetector, Heartbeat, NfdSAnalysis};
+    pub use fd_metrics::{
+        AccuracyAnalysis, FdOutput, QosBundle, QosRequirements, TransitionTrace,
+    };
+    pub use fd_sim::harness::{measure_accuracy, measure_detection_times, AccuracyRun, DetectionRun};
+    pub use fd_sim::{Link, RunOptions, StopCondition};
+    pub use fd_stats::dist::{Constant, Exponential, Gamma, LogNormal, Mixture, Pareto, Uniform};
+    pub use fd_stats::DelayDistribution;
+}

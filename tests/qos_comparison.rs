@@ -1,0 +1,74 @@
+//! Integration tests for the §2.4 QoS partial order applied to analytic
+//! and measured detector bundles.
+
+use chen_fd_qos::prelude::*;
+use fd_metrics::compare::{compare_qos, derived_dominance, QosOrdering};
+
+fn analysis(eta: f64, delta: f64, p_l: f64) -> QosBundle {
+    let delay = Exponential::with_mean(0.02).unwrap();
+    NfdSAnalysis::new(eta, delta, p_l, &delay).unwrap().qos()
+}
+
+/// Spending more detection budget buys accuracy — never a free lunch:
+/// the bundles are Incomparable, not ordered.
+#[test]
+fn slack_trades_detection_for_accuracy() {
+    let tight = analysis(1.0, 0.5, 0.01);
+    let loose = analysis(1.0, 2.5, 0.01);
+    assert_eq!(compare_qos(&tight, &loose), QosOrdering::Incomparable);
+    assert!(loose.mean_mistake_recurrence > tight.mean_mistake_recurrence);
+    assert!(loose.detection_time_bound > tight.detection_time_bound);
+}
+
+/// A cleaner link dominates outright at identical parameters.
+#[test]
+fn lower_loss_dominates_at_equal_parameters() {
+    let lossy = analysis(1.0, 1.5, 0.05);
+    let clean = analysis(1.0, 1.5, 0.005);
+    assert_eq!(compare_qos(&clean, &lossy), QosOrdering::FirstBetter);
+    // And the §2.4 comparison property carries to the derived metrics.
+    assert_eq!(derived_dominance(&clean, &lossy), (true, true, true));
+}
+
+/// The same configuration compared with itself is Equal.
+#[test]
+fn identical_configurations_are_equal() {
+    let a = analysis(1.0, 1.5, 0.01);
+    let b = analysis(1.0, 1.5, 0.01);
+    assert_eq!(compare_qos(&a, &b), QosOrdering::Equal);
+}
+
+/// Analytic dominance agrees with measured dominance: NFD-S at larger δ
+/// measures better on both accuracy metrics (same η, same link), and
+/// compare_qos on the *measured* bundles sees the same trade-off shape
+/// as the analytic ones.
+#[test]
+fn measured_bundles_reflect_analytic_ordering() {
+    use rand::SeedableRng;
+    let link = Link::new(0.05, Box::new(Exponential::with_mean(0.02).unwrap())).unwrap();
+    let measure = |delta: f64, seed: u64| -> QosBundle {
+        let mut fd = NfdS::new(1.0, delta).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let acc = measure_accuracy(
+            &mut fd,
+            &AccuracyRun {
+                eta: 1.0,
+                recurrence_target: 500,
+                max_heartbeats: 5_000_000,
+                warmup: 10.0,
+            },
+            &link,
+            &mut rng,
+        );
+        QosBundle::new(
+            1.0 + delta,
+            acc.mean_mistake_recurrence().unwrap(),
+            acc.mean_mistake_duration().unwrap(),
+        )
+    };
+    let small = measure(0.3, 1);
+    let large = measure(1.3, 2);
+    // More slack: strictly better accuracy, strictly worse bound.
+    assert!(large.mean_mistake_recurrence > small.mean_mistake_recurrence);
+    assert_eq!(compare_qos(&small, &large), QosOrdering::Incomparable);
+}
