@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Local mirror of .github/workflows/ci.yml — run before pushing.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> build (release)"
+cargo build --release
+
+echo "==> test (workspace)"
+cargo test --workspace -q
+
+echo "==> clippy (deny warnings)"
+cargo clippy --all-targets -- -D warnings
+
+echo "==> chaos smoke"
+cargo run --release -p fd-bench --bin exp_chaos
+
+echo "CI green."

@@ -22,11 +22,14 @@ use fd_core::detectors::NfdS;
 use fd_core::{FailureDetector, Heartbeat};
 use fd_metrics::{AccuracyAnalysis, QosRequirements};
 use fd_sim::harness::{measure_accuracy, AccuracyRun};
-use fd_sim::{run_with_model, GilbertElliott, Link, RunOptions, StopCondition};
+use fd_sim::{
+    run_with_model, FaultInjector, FaultPlan, FaultyLink, Link, LinkFault, RunOptions,
+    StopCondition,
+};
 use fd_stats::dist::Exponential;
 use fd_stats::DelayDistribution;
 use rand::rngs::StdRng;
-use rand::{Rng as _, SeedableRng};
+use rand::SeedableRng;
 
 fn exp_delay() -> Box<dyn fd_stats::DelayDistribution> {
     Box::new(Exponential::with_mean(0.02).expect("valid"))
@@ -41,9 +44,19 @@ fn main() {
     let mut t = Table::new(&["channel", "avg p_L", "E(T_MR)", "E(T_M)"]);
     let mut rng = StdRng::seed_from_u64(settings.seed);
 
-    // Bursty: bad state loses 90% with mean burst 5 heartbeats.
-    let mut ge = GilbertElliott::new(0.02, 0.2, 0.002, 0.9, exp_delay());
-    let avg_loss = ge.average_loss_probability();
+    // Bursty: bad state loses 90% with mean burst 5 heartbeats —
+    // expressed through the shared fault model (a BurstLoss fault over a
+    // clean exponential-delay link).
+    let burst = LinkFault::BurstLoss {
+        p_gb: 0.02,
+        p_bg: 0.2,
+        loss_good: 0.002,
+        loss_bad: 0.9,
+    };
+    let stationary_bad = 0.02 / (0.02 + 0.2);
+    let avg_loss = (1.0 - stationary_bad) * 0.002 + stationary_bad * 0.9;
+    let plan = FaultPlan::new(settings.seed).link_fault(0.0, burst);
+    let mut channel = FaultyLink::new(Link::new(0.0, exp_delay()).expect("valid"), &plan);
     let out = run_with_model(
         &mut NfdS::new(1.0, 2.5).expect("valid"),
         &RunOptions::failure_free(
@@ -53,7 +66,7 @@ fn main() {
                 max_heartbeats: settings.max_heartbeats,
             },
         ),
-        &mut ge,
+        &mut channel,
         &mut rng,
     );
     let acc = AccuracyAnalysis::of_trace(&out.trace.restrict(50.0_f64.min(out.trace.end()), out.trace.end()));
@@ -134,39 +147,61 @@ fn main() {
     let mut t = Table::new(&[
         "combiner", "final η", "final α", "p̂_L seen", "λ_M under long-run channel", "meets?",
     ]);
+    // Alternating epochs: 400 calm heartbeats (0.2% loss), then an
+    // 80-heartbeat burst period (30% loss), repeated 4×, then a final
+    // calm stretch — the moment a short-only estimator has *forgotten*
+    // the bursts. The schedule is a FaultPlan whose timeline is indexed
+    // by heartbeat number (any monotone coordinate works), replacing the
+    // per-phase loss coin this experiment used to hand-roll.
+    const CALM: u64 = 400;
+    const BURST: u64 = 80;
+    const CYCLES: u64 = 4;
+    let mut schedule = FaultPlan::new(settings.seed ^ 0x5EED)
+        .link_fault(0.0, LinkFault::Loss { p: 0.002 });
+    for cycle in 0..CYCLES {
+        let cycle_start = (cycle * (CALM + BURST)) as f64;
+        schedule = schedule
+            .link_fault(cycle_start + CALM as f64, LinkFault::Loss { p: 0.3 })
+            .link_fault(cycle_start + (CALM + BURST) as f64, LinkFault::Loss { p: 0.002 });
+    }
+
     for (name, cfg) in variants {
         let mut monitor = AdaptiveMonitor::new(req, NfdUParams { eta: 1.0, alpha: 1.5 }, cfg)
             .expect("valid");
         let mut rng = StdRng::seed_from_u64(settings.seed ^ 0x5EED);
-        // Alternating epochs: 400 calm heartbeats, then an 80-heartbeat
-        // burst period (30% loss), repeated 4×, then a final calm stretch
-        // — the moment a short-only estimator has *forgotten* the bursts.
+        let mut injector = schedule.injector();
         let mut seq = 0u64;
         let mut now = 0.0f64;
         let delay = Exponential::with_mean(0.02).expect("valid");
         let run_phase = |monitor: &mut AdaptiveMonitor,
-                             count: u64,
-                             p_l: f64,
-                             seq: &mut u64,
-                             now: &mut f64,
-                             rng: &mut StdRng| {
+                         count: u64,
+                         seq: &mut u64,
+                         now: &mut f64,
+                         rng: &mut StdRng,
+                         injector: &mut FaultInjector| {
             let mut eta = monitor.current_params().eta;
+            let mut fates: Vec<f64> = Vec::with_capacity(2);
             for _ in 0..count {
                 *now += eta;
                 *seq += 1;
-                if rng.random::<f64>() >= p_l {
-                    monitor.on_heartbeat(*now + delay.sample(rng), Heartbeat::new(*seq, *now));
+                fates.clear();
+                // Heartbeat k looks up segment at coordinate k − 1, so
+                // heartbeats 1..=CALM fall in the first calm segment.
+                let base = Some(delay.sample(rng));
+                injector.apply((*seq - 1) as f64, base, rng, &mut fates);
+                if let Some(d) = fates.iter().copied().reduce(f64::min) {
+                    monitor.on_heartbeat(*now + d, Heartbeat::new(*seq, *now));
                 }
                 if let Some(p) = monitor.apply_recommendation(*now) {
                     eta = p.eta;
                 }
             }
         };
-        for _cycle in 0..4 {
-            run_phase(&mut monitor, 400, 0.002, &mut seq, &mut now, &mut rng);
-            run_phase(&mut monitor, 80, 0.3, &mut seq, &mut now, &mut rng);
+        for _cycle in 0..CYCLES {
+            run_phase(&mut monitor, CALM, &mut seq, &mut now, &mut rng, &mut injector);
+            run_phase(&mut monitor, BURST, &mut seq, &mut now, &mut rng, &mut injector);
         }
-        run_phase(&mut monitor, 400, 0.002, &mut seq, &mut now, &mut rng);
+        run_phase(&mut monitor, CALM, &mut seq, &mut now, &mut rng, &mut injector);
         let p = monitor.current_params();
         let est = monitor.conservative_estimate().expect("estimators warm");
         // Long-run channel: the duty-cycle average loss.

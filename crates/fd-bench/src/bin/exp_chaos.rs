@@ -1,0 +1,147 @@
+//! E15 — chaos smoke: one scripted fault timeline, every fault kind,
+//! deterministic seeds. Exercises the shared fault model (duplication,
+//! reordering, delay spikes, burst loss, partition, crash) end-to-end
+//! through the discrete-event engine and asserts the two properties the
+//! runtime chaos harness also checks: the detector degrades (suspects)
+//! while the link is down and recovers (trusts) once it heals, and a
+//! real crash is still detected within the NFD-S bound.
+//!
+//! Kept fast and assertion-rich on purpose: CI runs it as a smoke test.
+
+use fd_bench::report::fmt_num;
+use fd_bench::{Settings, Table};
+use fd_core::detectors::{NfdE, NfdS};
+use fd_core::FailureDetector;
+use fd_metrics::{detection_time, AccuracyAnalysis, DetectionOutcome, TransitionTrace};
+use fd_sim::{run_with_model, FaultPlan, FaultyLink, Link, LinkFault, RunOptions};
+use fd_stats::dist::Exponential;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const ETA: f64 = 1.0;
+const CRASH_AT: f64 = 600.25;
+const HORIZON: f64 = 700.0;
+
+/// The scripted timeline (times in seconds, η = 1):
+///
+/// | window      | fault                                   |
+/// |-------------|-----------------------------------------|
+/// | [0, 100)    | nominal                                 |
+/// | [100, 150)  | duplicate every heartbeat               |
+/// | [150, 200)  | reorder (±0.8 s jitter)                 |
+/// | [200, 280)  | Gilbert–Elliott burst loss              |
+/// | [280, 400)  | delay spike (+0.5 s)                    |
+/// | [400, 480)  | full partition                          |
+/// | [480, …)    | healed                                  |
+/// | 600.25      | process crashes (engine-level)          |
+fn chaos_plan(seed: u64) -> FaultPlan {
+    FaultPlan::new(seed)
+        .link_fault(
+            100.0,
+            LinkFault::Duplicate {
+                probability: 1.0,
+                lag: 0.3,
+            },
+        )
+        .link_fault(150.0, LinkFault::Reorder { spread: 0.8 })
+        .link_fault(
+            200.0,
+            LinkFault::BurstLoss {
+                p_gb: 0.5,
+                p_bg: 0.2,
+                loss_good: 0.0,
+                loss_bad: 0.9,
+            },
+        )
+        .link_fault(
+            280.0,
+            LinkFault::DelaySpike {
+                extra: 0.5,
+                jitter: 0.1,
+            },
+        )
+        .link_fault(400.0, LinkFault::Partition)
+        .link_fault(480.0, LinkFault::Nominal)
+}
+
+fn suspect_fraction(trace: &TransitionTrace, from: f64, to: f64) -> f64 {
+    let acc = AccuracyAnalysis::of_trace(&trace.restrict(from, to));
+    1.0 - acc.query_accuracy_probability()
+}
+
+fn run_detector(
+    name: &str,
+    fd: &mut dyn FailureDetector,
+    seed: u64,
+    table: &mut Table,
+) -> TransitionTrace {
+    let plan = chaos_plan(seed);
+    let link = Link::new(0.0, Box::new(Exponential::with_mean(0.02).expect("valid")))
+        .expect("valid link");
+    let mut channel = FaultyLink::new(link, &plan);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let out = run_with_model(
+        fd,
+        &RunOptions::with_crash(ETA, CRASH_AT, HORIZON),
+        &mut channel,
+        &mut rng,
+    );
+    let t = &out.trace;
+    let detect = match detection_time(t, CRASH_AT) {
+        DetectionOutcome::Detected { elapsed } => fmt_num(elapsed),
+        DetectionOutcome::AlreadySuspecting => "already-S".into(),
+        DetectionOutcome::NotDetected => "MISSED".into(),
+    };
+    table.row(&[
+        name.into(),
+        fmt_num(suspect_fraction(t, 10.0, 200.0)),
+        fmt_num(suspect_fraction(t, 405.0, 480.0)),
+        fmt_num(suspect_fraction(t, 500.0, 600.0)),
+        detect,
+    ]);
+    out.trace
+}
+
+fn main() {
+    let settings = Settings::from_env();
+    println!("E15 — chaos smoke over the shared fault model (seed {})\n", settings.seed);
+
+    let mut table = Table::new(&[
+        "detector",
+        "P(S) pre-fault",
+        "P(S) partition",
+        "P(S) healed",
+        "T_D",
+    ]);
+
+    let mut nfd_s = NfdS::new(ETA, 2.0).expect("valid");
+    let trace_s = run_detector("NFD-S (δ=2)", &mut nfd_s, settings.seed, &mut table);
+
+    let mut nfd_e = NfdE::new(ETA, 2.0, 32).expect("valid");
+    let trace_e = run_detector("NFD-E (α=2)", &mut nfd_e, settings.seed ^ 1, &mut table);
+
+    table.print();
+    println!();
+
+    for (name, trace) in [("NFD-S", &trace_s), ("NFD-E", &trace_e)] {
+        // Duplication/reordering phases must not cause suspicion storms.
+        let pre = suspect_fraction(trace, 10.0, 200.0);
+        assert!(pre < 0.05, "{name}: {pre:.3} suspicion before any loss fault");
+        // Graceful degradation: the partition must be noticed...
+        let during = suspect_fraction(trace, 405.0, 480.0);
+        assert!(during > 0.9, "{name}: partition unnoticed (P(S) = {during:.3})");
+        // ...and recovery must follow the heal.
+        let after = suspect_fraction(trace, 500.0, 600.0);
+        assert!(after < 0.1, "{name}: no recovery after heal (P(S) = {after:.3})");
+        // The genuine crash is still detected promptly.
+        match detection_time(trace, CRASH_AT) {
+            DetectionOutcome::Detected { elapsed } => assert!(
+                elapsed <= 2.0 + ETA + 1e-9,
+                "{name}: T_D = {elapsed} exceeds δ + η"
+            ),
+            DetectionOutcome::AlreadySuspecting => {}
+            DetectionOutcome::NotDetected => panic!("{name}: crash never detected"),
+        }
+    }
+    println!("all chaos-smoke assertions passed");
+}

@@ -28,11 +28,10 @@
 use crate::detectors::{require, ParamError};
 use fd_metrics::QosRequirements;
 use fd_stats::DelayDistribution;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// NFD-S parameters produced by a configuration procedure.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct NfdSParams {
     /// Heartbeat intersending time `η`.
     pub eta: f64,
@@ -47,7 +46,7 @@ impl fmt::Display for NfdSParams {
 }
 
 /// NFD-U / NFD-E parameters produced by [`configure_nfd_u`].
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct NfdUParams {
     /// Heartbeat intersending time `η`.
     pub eta: f64,

@@ -12,7 +12,6 @@
 //! Footnote 11 of the paper: bounds on the primary metrics imply bounds on
 //! every derived metric; [`QosRequirements`] exposes those implied bounds.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// The `(T_D^U, T_MR^L, T_M^U)` requirement tuple of Eq. (4.1).
@@ -25,7 +24,7 @@ use std::fmt;
 /// let req = QosRequirements::new(30.0, 30.0 * 24.0 * 3600.0, 60.0).unwrap();
 /// assert!((req.implied_mistake_rate_upper() - 1.0 / 2_592_000.0).abs() < 1e-18);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct QosRequirements {
     t_d_upper: f64,
     t_mr_lower: f64,
@@ -140,7 +139,7 @@ impl fmt::Display for QosRequirements {
 
 /// The QoS a detector achieves (analytically predicted or measured),
 /// expressed in the three primary metrics plus the derived ones.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct QosBundle {
     /// Worst-case detection time bound `T_D` (for NFD-S: `δ + η`, tight,
     /// Theorem 5.1).

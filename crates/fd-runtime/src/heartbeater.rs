@@ -1,6 +1,7 @@
 //! The monitored process `p`: a thread sending heartbeats every `η`.
 
 use crate::clock::Clock;
+use crate::error::RuntimeError;
 use crate::transport::Sender;
 use fd_core::Heartbeat;
 use parking_lot::{Condvar, Mutex};
@@ -11,9 +12,14 @@ use std::time::Duration;
 struct Control {
     /// Current intersending interval `η` (seconds).
     eta: f64,
-    /// True once the process "crashed" (or was shut down): no further
-    /// heartbeats are sent, matching the paper's crash-stop model.
+    /// True while the process is "crashed": no heartbeats are sent. A
+    /// crash is permanent in the paper's crash-stop model, but the
+    /// runtime also supports scripted crash-*recovery* scenarios via
+    /// [`Heartbeater::recover`].
     crashed: bool,
+    /// Heartbeats sent so far (sequence numbers continue across a
+    /// crash/recovery cycle, so a recovered process never reuses one).
+    sent: u64,
 }
 
 struct Shared {
@@ -26,34 +32,50 @@ struct Shared {
 /// The thread stamps each `mᵢ` with its **own clock's** send time (so a
 /// skewed clock produces skewed timestamps, as §6 requires) and sends
 /// through the lossy transport. `η` can be retuned at runtime — the
-/// knob the §8.1 adaptive scheme turns.
+/// knob the §8.1 adaptive scheme turns. All control methods take
+/// `&self`, so a fault-plan driver on another thread can crash and
+/// recover the process through a shared handle.
 pub struct Heartbeater {
     shared: Arc<Shared>,
-    handle: Option<std::thread::JoinHandle<u64>>,
+    sender: Arc<Sender>,
+    clock: Arc<dyn Clock>,
+    handle: Mutex<Option<std::thread::JoinHandle<()>>>,
 }
 
 impl Heartbeater {
     /// Spawns a heartbeater sending every `eta` seconds on `sender`,
     /// reading time (for timestamps and pacing) from `clock`.
     ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::Spawn`] if the OS refuses the thread.
+    ///
     /// # Panics
     ///
     /// Panics if `eta` is not positive and finite.
-    pub fn spawn(eta: f64, sender: Sender, clock: impl Clock + 'static) -> Self {
+    pub fn spawn(
+        eta: f64,
+        sender: Sender,
+        clock: impl Clock + 'static,
+    ) -> Result<Self, RuntimeError> {
         assert!(eta > 0.0 && eta.is_finite(), "eta must be positive and finite");
         let shared = Arc::new(Shared {
-            control: Mutex::new(Control { eta, crashed: false }),
+            control: Mutex::new(Control {
+                eta,
+                crashed: false,
+                sent: 0,
+            }),
             wake: Condvar::new(),
         });
-        let thread_shared = Arc::clone(&shared);
-        let handle = std::thread::Builder::new()
-            .name("fd-heartbeater".into())
-            .spawn(move || run(thread_shared, sender, clock))
-            .expect("spawn heartbeater");
-        Self {
+        let sender = Arc::new(sender);
+        let clock: Arc<dyn Clock> = Arc::new(clock);
+        let handle = spawn_thread(&shared, &sender, &clock)?;
+        Ok(Self {
             shared,
-            handle: Some(handle),
-        }
+            sender,
+            clock,
+            handle: Mutex::new(Some(handle)),
+        })
     }
 
     /// Changes the intersending interval `η` (takes effect for the next
@@ -73,21 +95,48 @@ impl Heartbeater {
         self.shared.control.lock().eta
     }
 
-    /// Crashes the process: heartbeats stop permanently (crash-stop).
-    /// Returns the number of heartbeats sent (including lost ones).
-    pub fn crash(&mut self) -> u64 {
+    /// Crashes the process: heartbeats stop (crash-stop, until an
+    /// explicit [`Heartbeater::recover`]). Returns the number of
+    /// heartbeats sent so far (including lost ones). Idempotent.
+    pub fn crash(&self) -> u64 {
         {
             let mut c = self.shared.control.lock();
             c.crashed = true;
         }
         self.shared.wake.notify_one();
-        match self.handle.take() {
-            Some(h) => h.join().expect("heartbeater thread panicked"),
-            None => 0,
+        if let Some(h) = self.handle.lock().take() {
+            let _ = h.join();
+        }
+        self.shared.control.lock().sent
+    }
+
+    /// Recovers a crashed process: heartbeating resumes on the same
+    /// link, sequence numbers continuing where they stopped. A no-op on
+    /// a live process.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::Spawn`] if the replacement thread cannot
+    /// be started (the process then stays crashed).
+    pub fn recover(&self) -> Result<(), RuntimeError> {
+        let mut handle = self.handle.lock();
+        if handle.is_some() {
+            return Ok(()); // still running
+        }
+        self.shared.control.lock().crashed = false;
+        match spawn_thread(&self.shared, &self.sender, &self.clock) {
+            Ok(h) => {
+                *handle = Some(h);
+                Ok(())
+            }
+            Err(e) => {
+                self.shared.control.lock().crashed = true;
+                Err(e)
+            }
         }
     }
 
-    /// Whether the process has crashed.
+    /// Whether the process is currently crashed.
     pub fn is_crashed(&self) -> bool {
         self.shared.control.lock().crashed
     }
@@ -97,21 +146,32 @@ impl Drop for Heartbeater {
     fn drop(&mut self) {
         // Idempotent, non-blocking teardown per C-DTOR-BLOCK: signal and
         // detach-join quickly (the thread wakes immediately on `crashed`).
-        if self.handle.is_some() {
-            self.crash();
-        }
+        self.crash();
     }
 }
 
-fn run(shared: Arc<Shared>, sender: Sender, clock: impl Clock) -> u64 {
-    let mut seq: u64 = 0;
+fn spawn_thread(
+    shared: &Arc<Shared>,
+    sender: &Arc<Sender>,
+    clock: &Arc<dyn Clock>,
+) -> Result<std::thread::JoinHandle<()>, RuntimeError> {
+    let shared = Arc::clone(shared);
+    let sender = Arc::clone(sender);
+    let clock = Arc::clone(clock);
+    std::thread::Builder::new()
+        .name("fd-heartbeater".into())
+        .spawn(move || run(shared, sender, clock))
+        .map_err(|e| RuntimeError::spawn("fd-heartbeater", e))
+}
+
+fn run(shared: Arc<Shared>, sender: Arc<Sender>, clock: Arc<dyn Clock>) {
     let start = clock.now();
     let mut next_send = start;
     loop {
         let mut control = shared.control.lock();
         loop {
             if control.crashed {
-                return seq;
+                return;
             }
             let now = clock.now();
             if now >= next_send {
@@ -121,9 +181,10 @@ fn run(shared: Arc<Shared>, sender: Sender, clock: impl Clock) -> u64 {
             shared.wake.wait_for(&mut control, wait);
         }
         let eta = control.eta;
+        control.sent += 1;
+        let seq = control.sent;
         drop(control);
 
-        seq += 1;
         sender.send(Heartbeat::new(seq, clock.now()));
         next_send += eta;
         // If we fell behind (scheduler hiccup), don't burst: realign.
@@ -151,7 +212,7 @@ mod tests {
     #[test]
     fn sends_sequenced_heartbeats_at_rate() {
         let (tx, rx) = channel();
-        let mut hb = Heartbeater::spawn(0.01, tx, WallClock::new());
+        let hb = Heartbeater::spawn(0.01, tx, WallClock::new()).unwrap();
         let mut seqs = Vec::new();
         for _ in 0..5 {
             seqs.push(rx.recv_timeout(Duration::from_secs(2)).unwrap().seq);
@@ -164,7 +225,7 @@ mod tests {
     #[test]
     fn crash_stops_heartbeats() {
         let (tx, rx) = channel();
-        let mut hb = Heartbeater::spawn(0.005, tx, WallClock::new());
+        let hb = Heartbeater::spawn(0.005, tx, WallClock::new()).unwrap();
         std::thread::sleep(Duration::from_millis(20));
         let sent = hb.crash();
         assert!(hb.is_crashed());
@@ -175,9 +236,49 @@ mod tests {
     }
 
     #[test]
+    fn recover_resumes_with_continuing_sequence_numbers() {
+        let (tx, rx) = channel();
+        let hb = Heartbeater::spawn(0.005, tx, WallClock::new()).unwrap();
+        std::thread::sleep(Duration::from_millis(25));
+        let sent = hb.crash();
+        assert!(sent >= 2);
+        while rx.recv_timeout(Duration::from_millis(30)).is_ok() {}
+
+        hb.recover().unwrap();
+        assert!(!hb.is_crashed());
+        let next = rx.recv_timeout(Duration::from_secs(2)).unwrap();
+        assert!(
+            next.seq > sent,
+            "post-recovery seq {} must extend pre-crash count {sent}",
+            next.seq
+        );
+        hb.crash();
+    }
+
+    #[test]
+    fn recover_is_a_no_op_while_alive() {
+        let (tx, rx) = channel();
+        let hb = Heartbeater::spawn(0.005, tx, WallClock::new()).unwrap();
+        hb.recover().unwrap();
+        assert!(!hb.is_crashed());
+        assert!(rx.recv_timeout(Duration::from_secs(2)).is_ok());
+        hb.crash();
+    }
+
+    #[test]
+    fn crash_is_idempotent() {
+        let (tx, _rx) = channel();
+        let hb = Heartbeater::spawn(0.005, tx, WallClock::new()).unwrap();
+        std::thread::sleep(Duration::from_millis(15));
+        let a = hb.crash();
+        let b = hb.crash();
+        assert_eq!(a, b);
+    }
+
+    #[test]
     fn set_eta_changes_rate() {
         let (tx, rx) = channel();
-        let mut hb = Heartbeater::spawn(0.5, tx, WallClock::new());
+        let hb = Heartbeater::spawn(0.5, tx, WallClock::new()).unwrap();
         assert_eq!(hb.eta(), 0.5);
         // First heartbeat comes immediately; then speed up drastically.
         let _ = rx.recv_timeout(Duration::from_secs(2)).unwrap();
@@ -198,7 +299,7 @@ mod tests {
     fn timestamps_use_senders_clock() {
         let (tx, rx) = channel();
         let skew = 1000.0;
-        let mut hb = Heartbeater::spawn(0.01, tx, SkewedClock::new(WallClock::new(), skew));
+        let hb = Heartbeater::spawn(0.01, tx, SkewedClock::new(WallClock::new(), skew)).unwrap();
         let m = rx.recv_timeout(Duration::from_secs(2)).unwrap();
         assert!(m.send_time >= skew, "timestamp {} lacks skew", m.send_time);
         hb.crash();
@@ -207,7 +308,7 @@ mod tests {
     #[test]
     fn drop_is_clean_without_explicit_crash() {
         let (tx, _rx) = channel();
-        let hb = Heartbeater::spawn(0.01, tx, WallClock::new());
+        let hb = Heartbeater::spawn(0.01, tx, WallClock::new()).unwrap();
         drop(hb); // must not hang or panic
     }
 
@@ -215,6 +316,6 @@ mod tests {
     #[should_panic(expected = "eta must be positive")]
     fn rejects_zero_eta() {
         let (tx, _rx) = channel();
-        Heartbeater::spawn(0.0, tx, WallClock::new());
+        let _ = Heartbeater::spawn(0.0, tx, WallClock::new());
     }
 }

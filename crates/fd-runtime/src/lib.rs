@@ -6,7 +6,10 @@
 //!
 //! * [`clock`] — per-process clocks: a monotone wall clock plus a skewed
 //!   view, so the unsynchronized-clocks setting of §6 is exercised for
-//!   real (each process reads time through its own, offset, clock);
+//!   real (each process reads time through its own, offset, clock), and a
+//!   jumpable clock for scripted NTP-step faults;
+//! * [`error`] — typed [`RuntimeError`]s for the OS-facing plumbing and
+//!   the queryable [`Health`] of supervised components;
 //! * [`transport`] — an in-process lossy/delaying channel that injects the
 //!   paper's `(p_L, D)` link law with *real* wall-clock delays. This
 //!   substitutes for an actual WAN (not available here): every code path
@@ -48,6 +51,7 @@
 #![warn(missing_docs)]
 
 pub mod clock;
+pub mod error;
 pub mod heartbeater;
 pub mod leader;
 pub mod monitor;
@@ -55,10 +59,13 @@ pub mod service;
 pub mod transport;
 pub mod udp;
 
-pub use clock::{Clock, SkewedClock, WallClock};
+pub use clock::{Clock, JumpableClock, SkewedClock, WallClock};
+pub use error::{Health, RuntimeError};
 pub use heartbeater::Heartbeater;
 pub use leader::{LeaderElector, Leadership};
-pub use monitor::Monitor;
+pub use monitor::{DetectorFactory, Monitor};
 pub use service::{ProcessSpec, Service, ServiceError};
-pub use transport::{BadLossProbability, LinkSpec, LossyChannel, Receiver, Sender};
+pub use transport::{
+    BadLossProbability, LinkSpec, LossyChannel, Receiver, Sender, DEFAULT_CHANNEL_CAPACITY,
+};
 pub use udp::{UdpHeartbeatReceiver, UdpHeartbeatSender, UdpSenderConfig};

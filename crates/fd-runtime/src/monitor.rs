@@ -1,23 +1,46 @@
-//! The monitoring process `q`: a thread driving a failure detector in
-//! real time.
+//! The monitoring process `q`: a supervised thread driving a failure
+//! detector in real time.
 
 use crate::clock::Clock;
+use crate::error::{Health, RuntimeError};
 use crate::transport::Receiver;
 use crossbeam::channel::RecvTimeoutError;
 use fd_metrics::{FdOutput, TraceRecorder, TransitionTrace};
 use parking_lot::Mutex;
-use std::sync::atomic::{AtomicBool, AtomicU8, Ordering};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU8, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-/// Builds the detector driven by a [`Monitor`]. Boxed so callers can use
-/// any [`FailureDetector`](fd_core::FailureDetector).
-pub type DetectorFactory = Box<dyn FnOnce() -> Box<dyn fd_core::FailureDetector + Send> + Send>;
+/// Builds (and, under supervision, *re*builds) the detector driven by a
+/// [`Monitor`]. Boxed so callers can use any
+/// [`FailureDetector`](fd_core::FailureDetector); `Fn` (not `FnOnce`) so
+/// a supervisor can construct a fresh instance after a panic.
+pub type DetectorFactory = Box<dyn Fn() -> Box<dyn fd_core::FailureDetector + Send> + Send>;
+
+/// Where the supervisor gets detector instances from.
+enum DetectorSource {
+    /// A single pre-built detector: no rebuild possible after a panic.
+    Once(Option<Box<dyn fd_core::FailureDetector + Send>>),
+    /// A factory: each restart gets a fresh instance.
+    Factory(DetectorFactory),
+}
+
+impl DetectorSource {
+    fn next(&mut self) -> Option<Box<dyn fd_core::FailureDetector + Send>> {
+        match self {
+            DetectorSource::Once(slot) => slot.take(),
+            DetectorSource::Factory(f) => Some(f()),
+        }
+    }
+}
 
 struct Shared {
     /// 0 = Trust, 1 = Suspect (for lock-free `output()` reads).
     output: AtomicU8,
     stop: AtomicBool,
+    health: Mutex<Health>,
+    restarts: AtomicU32,
     recorder: Mutex<Option<TraceRecorder>>,
 }
 
@@ -29,6 +52,17 @@ struct Shared {
 /// may be skewed relative to the sender's, §6). The current output is
 /// readable lock-free; the full transition trace is returned by
 /// [`Monitor::stop`].
+///
+/// # Supervision
+///
+/// The drive loop runs under a panic supervisor. When the detector
+/// panics, the monitor fails **safe**: it publishes `Suspect` (a broken
+/// monitor cannot vouch for liveness) and records the transition. A
+/// monitor spawned with [`Monitor::spawn_supervised`] then rebuilds the
+/// detector from its factory and resumes — up to `max_restarts` times —
+/// reporting [`Health::Degraded`]; past the budget (or for the
+/// single-detector [`Monitor::spawn`]) it reports [`Health::Stopped`]
+/// and keeps publishing `Suspect`.
 pub struct Monitor {
     shared: Arc<Shared>,
     handle: Option<std::thread::JoinHandle<()>>,
@@ -37,29 +71,62 @@ pub struct Monitor {
 
 impl Monitor {
     /// Spawns a monitor thread driving `detector` with heartbeats from
-    /// `rx`, reading time from `clock`.
+    /// `rx`, reading time from `clock`. A detector panic stops this
+    /// monitor (there is no way to rebuild a moved-in detector); use
+    /// [`Monitor::spawn_supervised`] for restart-on-panic.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::Spawn`] if the OS refuses the thread.
     pub fn spawn(
         detector: Box<dyn fd_core::FailureDetector + Send>,
         rx: Receiver,
         clock: impl Clock + 'static,
-    ) -> Self {
+    ) -> Result<Self, RuntimeError> {
+        Self::spawn_inner(DetectorSource::Once(Some(detector)), rx, clock, 0)
+    }
+
+    /// Spawns a supervised monitor: detectors come from `factory`, and a
+    /// panicking detector is replaced by a fresh instance up to
+    /// `max_restarts` times before the monitor stops.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::Spawn`] if the OS refuses the thread.
+    pub fn spawn_supervised(
+        factory: DetectorFactory,
+        rx: Receiver,
+        clock: impl Clock + 'static,
+        max_restarts: u32,
+    ) -> Result<Self, RuntimeError> {
+        Self::spawn_inner(DetectorSource::Factory(factory), rx, clock, max_restarts)
+    }
+
+    fn spawn_inner(
+        source: DetectorSource,
+        rx: Receiver,
+        clock: impl Clock + 'static,
+        max_restarts: u32,
+    ) -> Result<Self, RuntimeError> {
         let clock: Arc<dyn Clock> = Arc::new(clock);
         let shared = Arc::new(Shared {
             output: AtomicU8::new(1), // detectors start suspecting
             stop: AtomicBool::new(false),
+            health: Mutex::new(Health::Healthy),
+            restarts: AtomicU32::new(0),
             recorder: Mutex::new(None),
         });
         let thread_shared = Arc::clone(&shared);
         let thread_clock = Arc::clone(&clock);
         let handle = std::thread::Builder::new()
             .name("fd-monitor".into())
-            .spawn(move || drive(detector, rx, thread_clock, thread_shared))
-            .expect("spawn monitor");
-        Self {
+            .spawn(move || supervise(source, rx, thread_clock, thread_shared, max_restarts))
+            .map_err(|e| RuntimeError::spawn("fd-monitor", e))?;
+        Ok(Self {
             shared,
             handle: Some(handle),
             clock,
-        }
+        })
     }
 
     /// The detector's current output (lock-free snapshot).
@@ -71,20 +138,33 @@ impl Monitor {
         }
     }
 
+    /// The monitor's current health.
+    pub fn health(&self) -> Health {
+        self.shared.health.lock().clone()
+    }
+
+    /// How many times the supervisor has rebuilt a panicked detector.
+    pub fn restarts(&self) -> u32 {
+        self.shared.restarts.load(Ordering::Acquire)
+    }
+
     /// Stops the monitor and returns the recorded transition trace
     /// (timestamps on the monitor's clock).
     pub fn stop(mut self) -> TransitionTrace {
         self.shared.stop.store(true, Ordering::Release);
         if let Some(h) = self.handle.take() {
-            h.join().expect("monitor thread panicked");
+            let _ = h.join();
         }
+        let now = self.clock.now();
         let rec = self
             .shared
             .recorder
             .lock()
             .take()
-            .expect("recorder present after join");
-        let end = self.clock.now().max(rec.latest_time());
+            // A detector that panicked in its very first step leaves no
+            // recorder; its trace is "suspected throughout".
+            .unwrap_or_else(|| TraceRecorder::new(now, FdOutput::Suspect));
+        let end = now.max(rec.latest_time());
         rec.finish(end)
     }
 }
@@ -98,16 +178,70 @@ impl Drop for Monitor {
     }
 }
 
-fn drive(
-    mut fd: Box<dyn fd_core::FailureDetector + Send>,
+/// Runs `drive` under a panic supervisor, rebuilding the detector from
+/// `source` after each panic until the restart budget is exhausted.
+fn supervise(
+    mut source: DetectorSource,
     rx: Receiver,
     clock: Arc<dyn Clock>,
     shared: Arc<Shared>,
+    max_restarts: u32,
+) {
+    loop {
+        let Some(fd) = source.next() else { break };
+        match catch_unwind(AssertUnwindSafe(|| drive(fd, &rx, &clock, &shared))) {
+            Ok(()) => break, // stop() requested; clean exit
+            Err(payload) => {
+                // Fail safe: a broken monitor cannot vouch for liveness.
+                let t = clock.now();
+                record(&shared, t, FdOutput::Suspect);
+                if shared.stop.load(Ordering::Acquire) {
+                    break;
+                }
+                let reason = panic_reason(payload.as_ref());
+                let used = shared.restarts.load(Ordering::Acquire);
+                let can_retry =
+                    used < max_restarts && matches!(source, DetectorSource::Factory(_));
+                if !can_retry {
+                    *shared.health.lock() = Health::Stopped;
+                    return;
+                }
+                shared.restarts.store(used + 1, Ordering::Release);
+                *shared.health.lock() = Health::Degraded { reason };
+            }
+        }
+    }
+    *shared.health.lock() = Health::Stopped;
+}
+
+/// Best-effort extraction of a panic message.
+fn panic_reason(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        format!("detector panicked: {s}")
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        format!("detector panicked: {s}")
+    } else {
+        "detector panicked".to_string()
+    }
+}
+
+fn drive(
+    mut fd: Box<dyn fd_core::FailureDetector + Send>,
+    rx: &Receiver,
+    clock: &Arc<dyn Clock>,
+    shared: &Arc<Shared>,
 ) {
     let start = clock.now();
     fd.advance(start);
-    *shared.recorder.lock() = Some(TraceRecorder::new(start, fd.output()));
-    publish(&shared, fd.output());
+    {
+        // On a supervised restart the original recorder (and its trace so
+        // far) is kept; only the first incarnation creates it.
+        let mut rec = shared.recorder.lock();
+        if rec.is_none() {
+            *rec = Some(TraceRecorder::new(start, fd.output()));
+        }
+    }
+    record(shared, start, fd.output());
 
     while !shared.stop.load(Ordering::Acquire) {
         let now = clock.now();
@@ -121,7 +255,7 @@ fn drive(
             Ok(hb) => {
                 let t = clock.now();
                 fd.on_heartbeat(t, hb);
-                record(&shared, t, fd.output());
+                record(shared, t, fd.output());
             }
             Err(RecvTimeoutError::Timeout) => {
                 let t = clock.now();
@@ -130,19 +264,19 @@ fn drive(
                 if let Some(d) = fd.next_deadline() {
                     if d <= t {
                         fd.advance(t);
-                        record(&shared, d.max(start), fd.output());
+                        record(shared, d.max(start), fd.output());
                         continue;
                     }
                 }
                 fd.advance(t);
-                record(&shared, t, fd.output());
+                record(shared, t, fd.output());
             }
             Err(RecvTimeoutError::Disconnected) => {
                 // Sender gone (crashed and channel drained): keep driving
                 // deadlines until stopped.
                 let t = clock.now();
                 fd.advance(t);
-                record(&shared, t, fd.output());
+                record(shared, t, fd.output());
                 std::thread::sleep(Duration::from_millis(1));
             }
         }
@@ -172,6 +306,7 @@ mod tests {
     use crate::heartbeater::Heartbeater;
     use crate::transport::{LinkSpec, LossyChannel};
     use fd_core::detectors::{NfdE, NfdS};
+    use fd_core::Heartbeat;
     use fd_stats::dist::Constant;
 
     /// End-to-end: clean 5 ms-delay link, η = 10 ms, NFD-S with δ = 30 ms.
@@ -180,13 +315,14 @@ mod tests {
         let clock = WallClock::new();
         let spec = LinkSpec::new(0.0, Box::new(Constant::new(0.005).unwrap())).unwrap();
         let (tx, rx, _worker) = LossyChannel::create(spec, 1);
-        let mut hb = Heartbeater::spawn(0.01, tx, clock.clone());
+        let hb = Heartbeater::spawn(0.01, tx, clock.clone()).unwrap();
         let fd = NfdS::new(0.01, 0.03).unwrap();
-        let monitor = Monitor::spawn(Box::new(fd), rx, clock.clone());
+        let monitor = Monitor::spawn(Box::new(fd), rx, clock.clone()).unwrap();
 
         // Let it reach steady state and confirm trust.
         std::thread::sleep(Duration::from_millis(120));
         assert!(monitor.output().is_trust(), "should trust a live process");
+        assert!(monitor.health().is_healthy());
 
         // Crash p; detection must follow within δ + η (+ scheduling slop).
         let crash_at = clock.now();
@@ -210,9 +346,10 @@ mod tests {
         let base = WallClock::new();
         let spec = LinkSpec::new(0.0, Box::new(Constant::new(0.002).unwrap())).unwrap();
         let (tx, rx, _worker) = LossyChannel::create(spec, 2);
-        let mut hb = Heartbeater::spawn(0.01, tx, SkewedClock::new(base.clone(), 500.0));
+        let hb =
+            Heartbeater::spawn(0.01, tx, SkewedClock::new(base.clone(), 500.0)).unwrap();
         let fd = NfdE::new(0.01, 0.03, 8).unwrap();
-        let monitor = Monitor::spawn(Box::new(fd), rx, base.clone());
+        let monitor = Monitor::spawn(Box::new(fd), rx, base.clone()).unwrap();
 
         std::thread::sleep(Duration::from_millis(150));
         assert!(monitor.output().is_trust(), "skew broke NFD-E");
@@ -228,8 +365,9 @@ mod tests {
         let clock = WallClock::new();
         let spec = LinkSpec::new(1.0, Box::new(Constant::new(0.001).unwrap())).unwrap();
         let (tx, rx, _worker) = LossyChannel::create(spec, 3);
-        let mut hb = Heartbeater::spawn(0.01, tx, clock.clone());
-        let monitor = Monitor::spawn(Box::new(NfdS::new(0.01, 0.02).unwrap()), rx, clock);
+        let hb = Heartbeater::spawn(0.01, tx, clock.clone()).unwrap();
+        let monitor =
+            Monitor::spawn(Box::new(NfdS::new(0.01, 0.02).unwrap()), rx, clock).unwrap();
         std::thread::sleep(Duration::from_millis(80));
         assert!(monitor.output().is_suspect());
         hb.crash();
@@ -242,8 +380,9 @@ mod tests {
         let clock = WallClock::new();
         let spec = LinkSpec::new(0.0, Box::new(Constant::new(0.001).unwrap())).unwrap();
         let (tx, rx, _worker) = LossyChannel::create(spec, 4);
-        let mut hb = Heartbeater::spawn(0.005, tx, clock.clone());
-        let monitor = Monitor::spawn(Box::new(NfdS::new(0.005, 0.02).unwrap()), rx, clock);
+        let hb = Heartbeater::spawn(0.005, tx, clock.clone()).unwrap();
+        let monitor =
+            Monitor::spawn(Box::new(NfdS::new(0.005, 0.02).unwrap()), rx, clock).unwrap();
         std::thread::sleep(Duration::from_millis(60));
         hb.crash();
         let trace = monitor.stop();
@@ -251,5 +390,114 @@ mod tests {
         // Output at any queried time is defined.
         let mid = 0.5 * (trace.start() + trace.end());
         let _ = trace.output_at(mid);
+    }
+
+    /// A detector that panics on the `n`-th heartbeat, then (as a fresh
+    /// instance) behaves exactly like NFD-S.
+    struct FaultyDetector {
+        inner: NfdS,
+        panic_on: u64,
+        seen: u64,
+    }
+
+    impl FaultyDetector {
+        fn new(panic_on: u64) -> Self {
+            Self {
+                inner: NfdS::new(0.01, 0.04).unwrap(),
+                panic_on,
+                seen: 0,
+            }
+        }
+    }
+
+    impl fd_core::FailureDetector for FaultyDetector {
+        fn advance(&mut self, now: f64) {
+            self.inner.advance(now);
+        }
+        fn on_heartbeat(&mut self, now: f64, hb: Heartbeat) {
+            self.seen += 1;
+            assert!(self.seen != self.panic_on, "injected detector fault");
+            self.inner.on_heartbeat(now, hb);
+        }
+        fn output(&self) -> FdOutput {
+            self.inner.output()
+        }
+        fn next_deadline(&self) -> Option<f64> {
+            self.inner.next_deadline()
+        }
+        fn name(&self) -> &'static str {
+            "Faulty(NFD-S)"
+        }
+    }
+
+    #[test]
+    fn supervised_monitor_recovers_from_detector_panic() {
+        let clock = WallClock::new();
+        let spec = LinkSpec::new(0.0, Box::new(Constant::new(0.002).unwrap())).unwrap();
+        let (tx, rx, _worker) = LossyChannel::create(spec, 5);
+        let hb = Heartbeater::spawn(0.01, tx, clock.clone()).unwrap();
+        // First instance dies on its 3rd heartbeat; the rebuilt one never
+        // reaches 200 within this test.
+        let factory: DetectorFactory = {
+            let first = std::sync::atomic::AtomicBool::new(true);
+            Box::new(move || {
+                let n = if first.swap(false, Ordering::AcqRel) { 3 } else { 200 };
+                Box::new(FaultyDetector::new(n))
+            })
+        };
+        let monitor = Monitor::spawn_supervised(factory, rx, clock.clone(), 2).unwrap();
+
+        std::thread::sleep(Duration::from_millis(250));
+        assert_eq!(monitor.restarts(), 1, "one rebuild expected");
+        match monitor.health() {
+            Health::Degraded { reason } => {
+                assert!(reason.contains("injected detector fault"), "reason: {reason}")
+            }
+            other => panic!("expected Degraded, got {other:?}"),
+        }
+        // The rebuilt detector trusts the still-live process again.
+        assert!(
+            monitor.output().is_trust(),
+            "supervised monitor failed to recover trust"
+        );
+        hb.crash();
+        let trace = monitor.stop();
+        // Trust → (panic) Suspect → Trust again: at least 3 transitions.
+        assert!(trace.transitions().len() >= 3, "{:?}", trace.transitions());
+    }
+
+    #[test]
+    fn supervised_monitor_stops_after_budget_exhausted() {
+        let clock = WallClock::new();
+        let spec = LinkSpec::new(0.0, Box::new(Constant::new(0.002).unwrap())).unwrap();
+        let (tx, rx, _worker) = LossyChannel::create(spec, 6);
+        let hb = Heartbeater::spawn(0.005, tx, clock.clone()).unwrap();
+        // Every instance panics on its first heartbeat; budget of 1.
+        let factory: DetectorFactory = Box::new(|| Box::new(FaultyDetector::new(1)));
+        let monitor = Monitor::spawn_supervised(factory, rx, clock.clone(), 1).unwrap();
+
+        std::thread::sleep(Duration::from_millis(150));
+        assert_eq!(monitor.health(), Health::Stopped);
+        assert_eq!(monitor.restarts(), 1);
+        // Fail-safe: a dead monitor suspects.
+        assert!(monitor.output().is_suspect());
+        hb.crash();
+        let _ = monitor.stop(); // must not panic
+    }
+
+    #[test]
+    fn unsupervised_panic_stops_and_suspects() {
+        let clock = WallClock::new();
+        let spec = LinkSpec::new(0.0, Box::new(Constant::new(0.002).unwrap())).unwrap();
+        let (tx, rx, _worker) = LossyChannel::create(spec, 7);
+        let hb = Heartbeater::spawn(0.005, tx, clock.clone()).unwrap();
+        let monitor =
+            Monitor::spawn(Box::new(FaultyDetector::new(1)), rx, clock.clone()).unwrap();
+        std::thread::sleep(Duration::from_millis(100));
+        assert_eq!(monitor.health(), Health::Stopped);
+        assert!(monitor.output().is_suspect());
+        hb.crash();
+        let trace = monitor.stop();
+        assert!(trace.end() >= trace.start());
     }
 }

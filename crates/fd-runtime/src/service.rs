@@ -5,19 +5,31 @@
 //! evaluated \[15\] … intended to be shared among many different concurrent
 //! applications, each with a different set of QoS requirements". This
 //! module is that façade in miniature: one heartbeater + lossy link +
-//! monitor per watched process, QoS-driven parameter selection, and a
-//! queryable suspicion list (the shape group-membership and
+//! supervised monitor per watched process, QoS-driven parameter selection,
+//! and a queryable suspicion list (the shape group-membership and
 //! cluster-management layers consume, §1).
+//!
+//! Each watch can carry a scripted [`FaultPlan`]: link faults run inside
+//! the transport, while process-level events (crash, recovery, clock
+//! jump) are driven by a per-watch fault-driver thread against the
+//! heartbeater and the monitor's own [`JumpableClock`]. Watch machinery
+//! is supervised — a panicking detector degrades only its own watch,
+//! queryable via [`Service::health`].
 
-use crate::clock::{SkewedClock, WallClock};
+use crate::clock::{Clock, JumpableClock, SkewedClock, WallClock};
+use crate::error::Health;
 use crate::heartbeater::Heartbeater;
-use crate::monitor::Monitor;
-use crate::transport::{LinkSpec, LossyChannel};
+use crate::monitor::{DetectorFactory, Monitor};
+use crate::transport::{LinkSpec, LossyChannel, DEFAULT_CHANNEL_CAPACITY};
+use crossbeam::channel;
 use fd_core::config::{configure_nfd_u, NfdUParams};
 use fd_core::detectors::NfdE;
 use fd_metrics::{FdOutput, QosRequirements, TransitionTrace};
+use fd_sim::{FaultPlan, ProcessEvent};
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::Arc;
+use std::time::Duration;
 
 /// How the detector parameters of a watched process are chosen.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -41,6 +53,10 @@ pub struct ProcessSpec {
     sender_clock_skew: f64,
     nfd_e_window: usize,
     seed: u64,
+    fault_plan: Option<FaultPlan>,
+    detector_factory: Option<DetectorFactory>,
+    channel_capacity: usize,
+    max_restarts: u32,
 }
 
 impl fmt::Debug for ProcessSpec {
@@ -49,6 +65,8 @@ impl fmt::Debug for ProcessSpec {
             .field("name", &self.name)
             .field("params", &self.params)
             .field("sender_clock_skew", &self.sender_clock_skew)
+            .field("has_fault_plan", &self.fault_plan.is_some())
+            .field("max_restarts", &self.max_restarts)
             .finish()
     }
 }
@@ -63,6 +81,10 @@ impl ProcessSpec {
             sender_clock_skew: 0.0,
             nfd_e_window: 32,
             seed: 0,
+            fault_plan: None,
+            detector_factory: None,
+            channel_capacity: DEFAULT_CHANNEL_CAPACITY,
+            max_restarts: 3,
         }
     }
 
@@ -112,6 +134,38 @@ impl ProcessSpec {
         self.seed = seed;
         self
     }
+
+    /// Overlays a scripted fault timeline on this watch. Link faults run
+    /// inside the transport; crash/recover events drive the heartbeater;
+    /// clock jumps advance the *monitor's* clock. Time 0 of the plan is
+    /// the moment [`Service::watch`] returns.
+    pub fn fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
+        self
+    }
+
+    /// Replaces the default NFD-E detector with instances built by
+    /// `factory` (also used to rebuild after a supervised panic).
+    pub fn detector_factory(mut self, factory: DetectorFactory) -> Self {
+        self.detector_factory = Some(factory);
+        self
+    }
+
+    /// Capacity of the heartbeat channel between transport and monitor
+    /// (default [`DEFAULT_CHANNEL_CAPACITY`]; overflow drops are counted
+    /// by the transport, and to a failure detector they are just more
+    /// message loss).
+    pub fn channel_capacity(mut self, capacity: usize) -> Self {
+        self.channel_capacity = capacity;
+        self
+    }
+
+    /// How many times a panicked detector is rebuilt before the watch
+    /// stops (default 3).
+    pub fn max_restarts(mut self, max_restarts: u32) -> Self {
+        self.max_restarts = max_restarts;
+        self
+    }
 }
 
 /// Error starting a watch.
@@ -127,6 +181,11 @@ pub enum ServiceError {
     QosUnachievable(String),
     /// The configurator failed on the supplied inputs.
     ConfigFailed(String),
+    /// The runtime failed to start watch machinery (thread spawn, …);
+    /// the message carries the underlying [`RuntimeError`]'s rendering.
+    ///
+    /// [`RuntimeError`]: crate::error::RuntimeError
+    Runtime(String),
 }
 
 impl fmt::Display for ServiceError {
@@ -143,16 +202,33 @@ impl fmt::Display for ServiceError {
             ServiceError::ConfigFailed(n) => {
                 write!(f, "configuration failed for `{n}`")
             }
+            ServiceError::Runtime(msg) => write!(f, "runtime failure: {msg}"),
         }
     }
 }
 
 impl std::error::Error for ServiceError {}
 
+/// Thread applying a plan's process-level events to a running watch.
+struct FaultDriver {
+    stop_tx: channel::Sender<()>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl FaultDriver {
+    fn stop(&mut self) {
+        let _ = self.stop_tx.try_send(());
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
 struct Watch {
-    heartbeater: Heartbeater,
+    heartbeater: Arc<Heartbeater>,
     monitor: Option<Monitor>,
     params: NfdUParams,
+    driver: Option<FaultDriver>,
 }
 
 /// The failure-detection service: watches any number of (simulated-link)
@@ -181,7 +257,8 @@ impl Service {
     /// # Errors
     ///
     /// Returns a [`ServiceError`] when the spec is incomplete, the name
-    /// collides, or the requested QoS is unachievable.
+    /// collides, the requested QoS is unachievable, or the runtime fails
+    /// to start the watch machinery.
     pub fn watch(&mut self, spec: ProcessSpec) -> Result<NfdUParams, ServiceError> {
         if self.watches.contains_key(&spec.name) {
             return Err(ServiceError::DuplicateName(spec.name));
@@ -202,14 +279,43 @@ impl Service {
                 .map_err(|_| ServiceError::ConfigFailed(spec.name.clone()))?
                 .ok_or_else(|| ServiceError::QosUnachievable(spec.name.clone()))?,
         };
+        let runtime_err = |e: crate::error::RuntimeError| ServiceError::Runtime(e.to_string());
 
         let clock = self.clock();
-        let (tx, rx, _worker) = LossyChannel::create(link, spec.seed);
+        let (tx, rx, _worker) = match &spec.fault_plan {
+            Some(plan) => LossyChannel::create_with_plan(link, spec.seed, plan, spec.channel_capacity)
+                .map_err(runtime_err)?,
+            None => LossyChannel::create_with_capacity(link, spec.seed, spec.channel_capacity)
+                .map_err(runtime_err)?,
+        };
         let sender_clock = SkewedClock::new(clock.clone(), spec.sender_clock_skew);
-        let heartbeater = Heartbeater::spawn(params.eta, tx, sender_clock);
-        let detector = NfdE::new(params.eta, params.alpha, spec.nfd_e_window)
-            .expect("configured parameters are valid");
-        let monitor = Monitor::spawn(Box::new(detector), rx, clock);
+        let heartbeater =
+            Arc::new(Heartbeater::spawn(params.eta, tx, sender_clock).map_err(runtime_err)?);
+
+        let factory: DetectorFactory = match spec.detector_factory {
+            Some(f) => f,
+            None => {
+                let (eta, alpha, window) = (params.eta, params.alpha, spec.nfd_e_window);
+                Box::new(move || {
+                    Box::new(NfdE::new(eta, alpha, window).expect("validated parameters"))
+                })
+            }
+        };
+        let monitor_clock = JumpableClock::new(clock.clone());
+        let monitor =
+            Monitor::spawn_supervised(factory, rx, monitor_clock.clone(), spec.max_restarts)
+                .map_err(runtime_err)?;
+
+        let driver = match &spec.fault_plan {
+            Some(plan) if !plan.events().is_empty() => Some(spawn_fault_driver(
+                plan.events().to_vec(),
+                clock,
+                Arc::clone(&heartbeater),
+                monitor_clock,
+            )
+            .map_err(runtime_err)?),
+            _ => None,
+        };
 
         self.watches.insert(
             spec.name,
@@ -217,6 +323,7 @@ impl Service {
                 heartbeater,
                 monitor: Some(monitor),
                 params,
+                driver,
             },
         );
         Ok(params)
@@ -247,6 +354,15 @@ impl Service {
             .collect()
     }
 
+    /// Health of the watch machinery for `name` (the monitor's
+    /// supervision state — *not* whether the watched process is alive;
+    /// that is [`Service::status`]). `None` if not watched.
+    pub fn health(&self, name: &str) -> Option<Health> {
+        self.watches
+            .get(name)
+            .map(|w| w.monitor.as_ref().map(|m| m.health()).unwrap_or(Health::Stopped))
+    }
+
     /// The currently suspected processes (the classic "list of suspects"
     /// interface of §1).
     pub fn suspects(&self) -> Vec<String> {
@@ -263,7 +379,7 @@ impl Service {
     /// Crashes the named process (for fault-injection demos/tests).
     /// Returns whether the process was found (and not already crashed).
     pub fn crash(&mut self, name: &str) -> bool {
-        match self.watches.get_mut(name) {
+        match self.watches.get(name) {
             Some(w) if !w.heartbeater.is_crashed() => {
                 w.heartbeater.crash();
                 true
@@ -272,9 +388,21 @@ impl Service {
         }
     }
 
+    /// Recovers a crashed process: heartbeating resumes with continuing
+    /// sequence numbers. Returns whether a recovery actually happened.
+    pub fn recover(&mut self, name: &str) -> bool {
+        match self.watches.get(name) {
+            Some(w) if w.heartbeater.is_crashed() => w.heartbeater.recover().is_ok(),
+            _ => false,
+        }
+    }
+
     /// Stops watching `name`, returning the recorded trace.
     pub fn unwatch(&mut self, name: &str) -> Option<TransitionTrace> {
         let mut w = self.watches.remove(name)?;
+        if let Some(d) = w.driver.as_mut() {
+            d.stop();
+        }
         w.heartbeater.crash();
         w.monitor.take().map(Monitor::stop)
     }
@@ -294,6 +422,53 @@ impl Drop for Service {
     }
 }
 
+/// Spawns the thread that replays a plan's process events in real time:
+/// crash/recover against the heartbeater, clock jumps against the
+/// monitor's clock. Exits early when told to stop.
+fn spawn_fault_driver(
+    events: Vec<ProcessEvent>,
+    base: WallClock,
+    heartbeater: Arc<Heartbeater>,
+    monitor_clock: JumpableClock<WallClock>,
+) -> Result<FaultDriver, crate::error::RuntimeError> {
+    let (stop_tx, stop_rx) = channel::bounded::<()>(1);
+    let start = base.now();
+    let handle = std::thread::Builder::new()
+        .name("fd-fault-driver".into())
+        .spawn(move || {
+            for ev in events {
+                let due = start + ev.at();
+                loop {
+                    let now = base.now();
+                    if now >= due {
+                        break;
+                    }
+                    let wait = Duration::from_secs_f64((due - now).clamp(1e-6, 0.05));
+                    match stop_rx.recv_timeout(wait) {
+                        Err(channel::RecvTimeoutError::Timeout) => {}
+                        _ => return, // stop requested or driver orphaned
+                    }
+                }
+                match ev {
+                    ProcessEvent::Crash { .. } => {
+                        heartbeater.crash();
+                    }
+                    ProcessEvent::Recover { .. } => {
+                        // A failed respawn leaves the process crashed —
+                        // to the detector that is just a real crash.
+                        let _ = heartbeater.recover();
+                    }
+                    ProcessEvent::ClockJump { offset, .. } => monitor_clock.jump(offset),
+                }
+            }
+        })
+        .map_err(|e| crate::error::RuntimeError::spawn("fd-fault-driver", e))?;
+    Ok(FaultDriver {
+        stop_tx,
+        handle: Some(handle),
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -303,6 +478,18 @@ mod tests {
     fn fast_link(seed_unused: f64) -> LinkSpec {
         let _ = seed_unused;
         LinkSpec::new(0.0, Box::new(Exponential::with_mean(0.001).unwrap())).unwrap()
+    }
+
+    /// Polls until `pred` holds or the timeout elapses; returns success.
+    fn wait_until(timeout: Duration, mut pred: impl FnMut() -> bool) -> bool {
+        let deadline = std::time::Instant::now() + timeout;
+        while std::time::Instant::now() < deadline {
+            if pred() {
+                return true;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        pred()
     }
 
     #[test]
@@ -315,12 +502,18 @@ mod tests {
                 .seed(1),
         )
         .unwrap();
-        std::thread::sleep(Duration::from_millis(120));
-        assert!(svc.status()["node-a"].is_trust());
+        assert!(
+            wait_until(Duration::from_secs(2), || svc.status()["node-a"].is_trust()),
+            "never reached trust"
+        );
         assert!(svc.suspects().is_empty());
+        assert_eq!(svc.health("node-a"), Some(Health::Healthy));
 
         assert!(svc.crash("node-a"));
-        std::thread::sleep(Duration::from_millis(150));
+        assert!(
+            wait_until(Duration::from_secs(2), || svc.status()["node-a"].is_suspect()),
+            "crash never detected"
+        );
         assert_eq!(svc.suspects(), vec!["node-a".to_string()]);
         svc.shutdown();
     }
@@ -420,11 +613,18 @@ mod tests {
             )
             .unwrap();
         }
-        std::thread::sleep(Duration::from_millis(120));
-        assert!(svc.suspects().is_empty());
+        assert!(
+            wait_until(Duration::from_secs(2), || svc.suspects().is_empty()
+                && svc.status().values().all(|o| o.is_trust())),
+            "not all watches reached trust"
+        );
         svc.crash("b");
-        std::thread::sleep(Duration::from_millis(150));
-        assert_eq!(svc.suspects(), vec!["b".to_string()]);
+        assert!(
+            wait_until(Duration::from_secs(2), || svc.suspects()
+                == vec!["b".to_string()]),
+            "crash of b not isolated: suspects = {:?}",
+            svc.suspects()
+        );
         assert!(svc.status()["a"].is_trust());
         assert!(svc.status()["c"].is_trust());
         svc.shutdown();
@@ -441,8 +641,63 @@ mod tests {
                 .seed(4),
         )
         .unwrap();
-        std::thread::sleep(Duration::from_millis(120));
-        assert!(svc.status()["skewed"].is_trust());
+        assert!(
+            wait_until(Duration::from_secs(2), || svc.status()["skewed"].is_trust()),
+            "skew broke NFD-E"
+        );
+        svc.shutdown();
+    }
+
+    #[test]
+    fn manual_recover_restores_trust() {
+        let mut svc = Service::new();
+        svc.watch(
+            ProcessSpec::named("r")
+                .heartbeat_params(NfdUParams { eta: 0.01, alpha: 0.05 })
+                .link(fast_link(0.0))
+                .seed(5),
+        )
+        .unwrap();
+        assert!(wait_until(Duration::from_secs(2), || svc.status()["r"].is_trust()));
+        assert!(svc.crash("r"));
+        assert!(!svc.recover("missing"));
+        assert!(wait_until(Duration::from_secs(2), || svc.status()["r"].is_suspect()));
+        assert!(svc.recover("r"));
+        assert!(
+            wait_until(Duration::from_secs(2), || svc.status()["r"].is_trust()),
+            "recovery did not restore trust"
+        );
+        svc.shutdown();
+    }
+
+    #[test]
+    fn scripted_crash_and_recovery_follow_the_plan() {
+        let mut svc = Service::new();
+        let plan = FaultPlan::new(6).crash(0.15).recover(0.4);
+        svc.watch(
+            ProcessSpec::named("planned")
+                .heartbeat_params(NfdUParams { eta: 0.01, alpha: 0.05 })
+                .link(fast_link(0.0))
+                .seed(6)
+                .fault_plan(plan),
+        )
+        .unwrap();
+        // Phase 1: alive and trusted.
+        assert!(wait_until(
+            Duration::from_millis(140),
+            || svc.status()["planned"].is_trust()
+        ));
+        // Phase 2: the scripted crash at t = 0.15 s is detected.
+        assert!(
+            wait_until(Duration::from_secs(2), || svc.status()["planned"].is_suspect()),
+            "scripted crash not detected"
+        );
+        // Phase 3: the scripted recovery at t = 0.4 s restores trust.
+        assert!(
+            wait_until(Duration::from_secs(3), || svc.status()["planned"].is_trust()),
+            "scripted recovery not detected"
+        );
+        assert_eq!(svc.health("planned"), Some(Health::Healthy));
         svc.shutdown();
     }
 }

@@ -6,16 +6,24 @@
 //! in real time on a delivery thread, so monitors experience genuine
 //! asynchrony, jitter and reordering.
 
+use crate::error::RuntimeError;
 use crossbeam::channel;
 use fd_core::Heartbeat;
+use fd_sim::{FaultInjector, FaultPlan};
 use fd_stats::DelayDistribution;
 use parking_lot::{Condvar, Mutex};
 use rand::rngs::StdRng;
 use rand::{Rng as _, SeedableRng};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// Default capacity of the delivered-heartbeat channel. Bounded so a
+/// stalled monitor caps memory at the channel instead of growing an
+/// unbounded queue; overflow drops are counted, not silent.
+pub const DEFAULT_CHANNEL_CAPACITY: usize = 1024;
 
 /// Error constructing a [`LinkSpec`]: the loss probability was outside
 /// `[0, 1]`.
@@ -109,14 +117,24 @@ struct SharedQueue {
 struct Inner {
     queue: Mutex<SharedQueue>,
     wake: Condvar,
+    /// Heartbeats discarded because the delivery channel was full.
+    overflow_drops: AtomicU64,
+}
+
+/// The sender's randomness and fault state, behind one lock.
+struct SenderState {
+    rng: StdRng,
+    injector: Option<FaultInjector>,
 }
 
 /// Sending half of a [`LossyChannel`].
 pub struct Sender {
     inner: Arc<Inner>,
-    rng: Mutex<StdRng>,
+    state: Mutex<SenderState>,
     loss: f64,
     delay: Box<dyn DelayDistribution>,
+    /// Origin of the fault plan's timeline.
+    start: Instant,
 }
 
 /// Receiving half of a [`LossyChannel`]: a plain crossbeam receiver of
@@ -130,25 +148,79 @@ pub struct LossyChannel;
 impl LossyChannel {
     /// Creates the channel; returns the sender, the receiver, and the
     /// join handle of the delivery thread (it exits when the sender is
-    /// dropped and the queue drains).
+    /// dropped and the queue drains). The delivered-heartbeat channel is
+    /// bounded at [`DEFAULT_CHANNEL_CAPACITY`]; see
+    /// [`Sender::overflow_drops`].
+    ///
+    /// Kept panic-free in practice but infallible in signature for the
+    /// common path; use [`LossyChannel::build`] to handle spawn errors.
     pub fn create(spec: LinkSpec, seed: u64) -> (Sender, Receiver, std::thread::JoinHandle<()>) {
-        let (tx, rx) = channel::unbounded();
+        Self::build(spec, seed, None, DEFAULT_CHANNEL_CAPACITY)
+            .expect("spawn delivery thread")
+    }
+
+    /// Creates the channel with a scripted [`FaultPlan`] overlaid on the
+    /// link law. The plan's timeline starts when this call returns; its
+    /// randomness derives from `plan.seed() ^ seed` so equal seeds
+    /// reproduce equal fault realizations.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::Spawn`] if the delivery thread cannot be
+    /// started.
+    pub fn create_with_plan(
+        spec: LinkSpec,
+        seed: u64,
+        plan: &FaultPlan,
+        capacity: usize,
+    ) -> Result<(Sender, Receiver, std::thread::JoinHandle<()>), RuntimeError> {
+        Self::build(spec, seed ^ plan.seed(), Some(plan.injector()), capacity)
+    }
+
+    /// Like [`LossyChannel::create`], with an explicit heartbeat channel
+    /// capacity (clamped to at least 1) and a `Result` instead of a
+    /// panic on spawn failure.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::Spawn`] if the delivery thread cannot be
+    /// started.
+    pub fn create_with_capacity(
+        spec: LinkSpec,
+        seed: u64,
+        capacity: usize,
+    ) -> Result<(Sender, Receiver, std::thread::JoinHandle<()>), RuntimeError> {
+        Self::build(spec, seed, None, capacity)
+    }
+
+    fn build(
+        spec: LinkSpec,
+        seed: u64,
+        injector: Option<FaultInjector>,
+        capacity: usize,
+    ) -> Result<(Sender, Receiver, std::thread::JoinHandle<()>), RuntimeError> {
+        let (tx, rx) = channel::bounded(capacity.max(1));
         let inner = Arc::new(Inner {
             queue: Mutex::new(SharedQueue::default()),
             wake: Condvar::new(),
+            overflow_drops: AtomicU64::new(0),
         });
         let worker_inner = Arc::clone(&inner);
         let handle = std::thread::Builder::new()
             .name("fd-lossy-delivery".into())
             .spawn(move || delivery_loop(worker_inner, tx))
-            .expect("spawn delivery thread");
+            .map_err(|e| RuntimeError::spawn("fd-lossy-delivery", e))?;
         let sender = Sender {
             inner,
-            rng: Mutex::new(StdRng::seed_from_u64(seed)),
+            state: Mutex::new(SenderState {
+                rng: StdRng::seed_from_u64(seed),
+                injector,
+            }),
             loss: spec.loss_probability,
             delay: spec.delay,
+            start: Instant::now(),
         };
-        (sender, rx, handle)
+        Ok((sender, rx, handle))
     }
 }
 
@@ -163,8 +235,12 @@ fn delivery_loop(inner: Arc<Inner>, tx: channel::Sender<Heartbeat>) {
             .is_some_and(|Reverse(s)| s.due <= now)
         {
             let Reverse(s) = queue.heap.pop().expect("peeked");
-            // Receiver may be gone; keep draining regardless.
-            let _ = tx.send(s.hb);
+            // Bounded channel: a stalled monitor sheds the newest
+            // heartbeat (counted) instead of growing memory; a vanished
+            // receiver just drains.
+            if let Err(channel::TrySendError::Full(_)) = tx.try_send(s.hb) {
+                inner.overflow_drops.fetch_add(1, Ordering::Relaxed);
+            }
         }
         if queue.closed && queue.heap.is_empty() {
             return;
@@ -184,26 +260,49 @@ fn delivery_loop(inner: Arc<Inner>, tx: channel::Sender<Heartbeat>) {
 
 impl Sender {
     /// Sends a heartbeat: drops it with probability `p_L` or schedules
-    /// delivery after a fresh delay draw. Returns whether the message
-    /// survived the loss coin (it may still be in flight).
+    /// delivery after a fresh delay draw, then applies the active
+    /// [`FaultPlan`] segment (if any) — which may drop it, delay it
+    /// further, or duplicate it. Returns whether at least one copy was
+    /// scheduled (it may still be in flight).
     pub fn send(&self, hb: Heartbeat) -> bool {
-        let delay = {
-            let mut rng = self.rng.lock();
-            if self.loss > 0.0 && rng.random::<f64>() < self.loss {
-                return false;
+        let mut deliveries: Vec<f64> = Vec::with_capacity(2);
+        {
+            let mut state = self.state.lock();
+            let base = if self.loss > 0.0 && state.rng.random::<f64>() < self.loss {
+                None
+            } else {
+                Some(self.delay.sample(&mut state.rng))
+            };
+            let SenderState { rng, injector } = &mut *state;
+            match injector {
+                None => deliveries.extend(base),
+                Some(inj) => {
+                    let t = self.start.elapsed().as_secs_f64();
+                    inj.apply(t, base, rng, &mut deliveries);
+                }
             }
-            self.delay.sample(&mut *rng)
-        };
-        let due = Instant::now() + Duration::from_secs_f64(delay.max(0.0));
+        }
+        if deliveries.is_empty() {
+            return false;
+        }
+        let now = Instant::now();
         let mut queue = self.inner.queue.lock();
-        queue.heap.push(Reverse(Scheduled {
-            due,
-            seq: hb.seq,
-            hb,
-        }));
+        for delay in deliveries {
+            queue.heap.push(Reverse(Scheduled {
+                due: now + Duration::from_secs_f64(delay.max(0.0)),
+                seq: hb.seq,
+                hb,
+            }));
+        }
         drop(queue);
         self.inner.wake.notify_one();
         true
+    }
+
+    /// Heartbeats discarded because the bounded delivery channel was
+    /// full (a stalled or slow monitor).
+    pub fn overflow_drops(&self) -> u64 {
+        self.inner.overflow_drops.load(Ordering::Relaxed)
     }
 }
 
@@ -332,5 +431,67 @@ mod tests {
         let s = spec(0.25, 0.1);
         assert_eq!(s.loss_probability(), 0.25);
         assert!((s.delay().mean() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bounded_channel_counts_overflow_drops() {
+        use fd_sim::FaultPlan;
+        // Capacity 4, nobody reading: pushing many due-immediately
+        // heartbeats must shed the excess and count every drop.
+        let (tx, rx, worker) =
+            LossyChannel::create_with_plan(spec(0.0, 0.0), 1, &FaultPlan::new(0), 4).unwrap();
+        for seq in 1..=50u64 {
+            tx.send(Heartbeat::new(seq, 0.0));
+        }
+        // Let the delivery thread flush the heap.
+        std::thread::sleep(Duration::from_millis(50));
+        assert!(
+            tx.overflow_drops() >= 40,
+            "expected ≥40 overflow drops, got {}",
+            tx.overflow_drops()
+        );
+        assert_eq!(rx.len(), 4, "channel holds exactly its capacity");
+        drop(tx);
+        drop(rx);
+        worker.join().unwrap();
+    }
+
+    #[test]
+    fn fault_plan_partition_blocks_then_heals() {
+        use fd_sim::{FaultPlan, LinkFault};
+        // Partition for the first 100 ms of the channel's life.
+        let plan = FaultPlan::new(3)
+            .link_fault(0.0, LinkFault::Partition)
+            .link_fault(0.1, LinkFault::Nominal);
+        let (tx, rx, worker) =
+            LossyChannel::create_with_plan(spec(0.0, 0.001), 7, &plan, 64).unwrap();
+        assert!(!tx.send(Heartbeat::new(1, 0.0)), "partitioned send");
+        std::thread::sleep(Duration::from_millis(120));
+        assert!(tx.send(Heartbeat::new(2, 0.0)), "healed send");
+        let got = rx.recv_timeout(Duration::from_secs(2)).unwrap();
+        assert_eq!(got.seq, 2);
+        drop(tx);
+        worker.join().unwrap();
+    }
+
+    #[test]
+    fn fault_plan_duplication_delivers_twice() {
+        use fd_sim::{FaultPlan, LinkFault};
+        let plan = FaultPlan::new(4).link_fault(
+            0.0,
+            LinkFault::Duplicate {
+                probability: 1.0,
+                lag: 0.005,
+            },
+        );
+        let (tx, rx, worker) =
+            LossyChannel::create_with_plan(spec(0.0, 0.001), 8, &plan, 64).unwrap();
+        assert!(tx.send(Heartbeat::new(9, 1.5)));
+        let a = rx.recv_timeout(Duration::from_secs(2)).unwrap();
+        let b = rx.recv_timeout(Duration::from_secs(2)).unwrap();
+        assert_eq!((a.seq, b.seq), (9, 9), "both copies of the same heartbeat");
+        assert_eq!(a.send_time, b.send_time);
+        drop(tx);
+        worker.join().unwrap();
     }
 }

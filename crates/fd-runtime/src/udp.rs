@@ -6,22 +6,27 @@
 //! (one-way datagrams, possible loss and reordering, no delivery
 //! guarantees). On loopback the kernel rarely drops or delays, so
 //! [`UdpSenderConfig`] can additionally inject loss and delay at the
-//! sender — keeping the wire-protocol and socket code paths honest while
-//! still exercising the probabilistic model.
+//! sender — either the simple per-datagram knobs or a full scripted
+//! [`FaultPlan`] — keeping the wire-protocol and socket code paths honest
+//! while still exercising the probabilistic model.
 //!
 //! Wire format (16 bytes, little-endian): `seq: u64`, `send_time: f64`
 //! (seconds on the sender's clock — exactly the paper's timestamp `S` of
 //! §5.2).
 
-use crate::transport::Receiver;
+use crate::error::RuntimeError;
+use crate::transport::{Receiver, DEFAULT_CHANNEL_CAPACITY};
 use crossbeam::channel;
 use fd_core::Heartbeat;
+use fd_sim::{FaultInjector, FaultPlan};
 use fd_stats::DelayDistribution;
 use rand::rngs::StdRng;
 use rand::{Rng as _, SeedableRng};
 use std::io;
 use std::net::{SocketAddr, UdpSocket};
-use std::time::Duration;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// Size of one encoded heartbeat datagram.
 pub const DATAGRAM_LEN: usize = 16;
@@ -59,6 +64,9 @@ pub struct UdpSenderConfig {
     /// Extra artificial delay per datagram (sampled, blocking the send
     /// thread), if any.
     pub extra_delay: Option<Box<dyn DelayDistribution>>,
+    /// Scripted fault timeline applied on top of the simple knobs (time 0
+    /// is the moment of [`UdpHeartbeatSender::connect`]).
+    pub fault_plan: Option<FaultPlan>,
     /// RNG seed for the injection.
     pub seed: u64,
 }
@@ -68,6 +76,7 @@ impl Default for UdpSenderConfig {
         Self {
             loss_probability: 0.0,
             extra_delay: None,
+            fault_plan: None,
             seed: 0,
         }
     }
@@ -78,6 +87,7 @@ impl std::fmt::Debug for UdpSenderConfig {
         f.debug_struct("UdpSenderConfig")
             .field("loss_probability", &self.loss_probability)
             .field("has_extra_delay", &self.extra_delay.is_some())
+            .field("has_fault_plan", &self.fault_plan.is_some())
             .finish()
     }
 }
@@ -86,7 +96,9 @@ impl std::fmt::Debug for UdpSenderConfig {
 pub struct UdpHeartbeatSender {
     socket: UdpSocket,
     cfg: UdpSenderConfig,
+    injector: Option<FaultInjector>,
     rng: StdRng,
+    start: Instant,
 }
 
 impl std::fmt::Debug for UdpHeartbeatSender {
@@ -100,47 +112,81 @@ impl UdpHeartbeatSender {
     ///
     /// # Errors
     ///
-    /// Propagates socket errors.
-    pub fn connect(peer: SocketAddr, cfg: UdpSenderConfig) -> io::Result<Self> {
-        let socket = UdpSocket::bind(("127.0.0.1", 0))?;
-        socket.connect(peer)?;
-        let seed = cfg.seed;
+    /// Returns [`RuntimeError::Net`] on socket errors.
+    pub fn connect(peer: SocketAddr, cfg: UdpSenderConfig) -> Result<Self, RuntimeError> {
+        let socket =
+            UdpSocket::bind(("127.0.0.1", 0)).map_err(|e| RuntimeError::net("bind", e))?;
+        socket.connect(peer).map_err(|e| RuntimeError::net("connect", e))?;
+        let mut seed = cfg.seed;
+        let injector = cfg.fault_plan.as_ref().map(|p| {
+            seed ^= p.seed();
+            p.injector()
+        });
         Ok(Self {
             socket,
             cfg,
+            injector,
             rng: StdRng::seed_from_u64(seed),
+            start: Instant::now(),
         })
     }
 
     /// Sends one heartbeat (subject to the configured fault injection).
-    /// Returns whether the datagram was handed to the socket.
+    /// Returns whether at least one copy was handed to the socket; a
+    /// duplicating fault may hand over several.
+    ///
+    /// Injected delays block the calling thread, so this mirrors the wire
+    /// behaviour (later heartbeats cannot overtake).
     ///
     /// # Errors
     ///
     /// Propagates socket errors.
     pub fn send(&mut self, hb: Heartbeat) -> io::Result<bool> {
-        if self.cfg.loss_probability > 0.0
+        let base = if self.cfg.loss_probability > 0.0
             && self.rng.random::<f64>() < self.cfg.loss_probability
         {
-            return Ok(false);
-        }
-        if let Some(d) = &self.cfg.extra_delay {
-            let delay = d.sample(&mut self.rng);
-            if delay > 0.0 {
-                std::thread::sleep(Duration::from_secs_f64(delay));
+            None
+        } else {
+            Some(match &self.cfg.extra_delay {
+                Some(d) => d.sample(&mut self.rng).max(0.0),
+                None => 0.0,
+            })
+        };
+        let mut deliveries: Vec<f64> = Vec::with_capacity(2);
+        match &mut self.injector {
+            None => deliveries.extend(base),
+            Some(inj) => {
+                let now = self.start.elapsed().as_secs_f64();
+                inj.apply(now, base, &mut self.rng, &mut deliveries);
             }
         }
-        self.socket.send(&encode_heartbeat(hb))?;
+        if deliveries.is_empty() {
+            return Ok(false);
+        }
+        deliveries.sort_by(f64::total_cmp);
+        for d in deliveries {
+            if d > 0.0 {
+                std::thread::sleep(Duration::from_secs_f64(d.min(1.0)));
+            }
+            self.socket.send(&encode_heartbeat(hb))?;
+        }
         Ok(true)
     }
 }
 
 /// Receiving side: binds a UDP socket and pumps decoded heartbeats into
-/// a channel a [`Monitor`](crate::Monitor) can consume.
+/// a bounded channel a [`Monitor`](crate::Monitor) can consume.
+///
+/// The channel is bounded (a stalled monitor must not balloon memory);
+/// when it is full the pump drops the datagram and counts it in
+/// [`UdpHeartbeatReceiver::overflow_drops`] — to a failure detector a
+/// dropped heartbeat is just more message loss, which the algorithms
+/// already tolerate.
 pub struct UdpHeartbeatReceiver {
     addr: SocketAddr,
     rx: Receiver,
     shutdown: UdpSocket,
+    overflow: Arc<AtomicU64>,
     handle: Option<std::thread::JoinHandle<()>>,
 }
 
@@ -150,28 +196,53 @@ impl std::fmt::Debug for UdpHeartbeatReceiver {
     }
 }
 
-/// Sentinel datagram that tells the pump thread to exit.
+/// Sentinel datagram that tells the pump thread to exit. Only honored
+/// when it arrives from this receiver's own shutdown socket — any other
+/// sender carrying the same bytes is treated as noise, so a remote peer
+/// cannot spoof a shutdown.
 const SHUTDOWN_SENTINEL: [u8; 4] = *b"BYE!";
 
 impl UdpHeartbeatReceiver {
-    /// Binds `127.0.0.1:0` and starts the receive pump.
+    /// Binds `127.0.0.1:0` and starts the receive pump with the default
+    /// channel capacity.
     ///
     /// # Errors
     ///
-    /// Propagates socket errors.
-    pub fn bind() -> io::Result<Self> {
-        let socket = UdpSocket::bind(("127.0.0.1", 0))?;
-        let addr = socket.local_addr()?;
-        let (tx, rx) = channel::unbounded();
+    /// Returns [`RuntimeError::Net`] on socket errors and
+    /// [`RuntimeError::Spawn`] if the pump thread cannot start.
+    pub fn bind() -> Result<Self, RuntimeError> {
+        Self::bind_with_capacity(DEFAULT_CHANNEL_CAPACITY)
+    }
+
+    /// Like [`UdpHeartbeatReceiver::bind`], with an explicit heartbeat
+    /// channel capacity (clamped to at least 1).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::Net`] on socket errors and
+    /// [`RuntimeError::Spawn`] if the pump thread cannot start.
+    pub fn bind_with_capacity(capacity: usize) -> Result<Self, RuntimeError> {
+        let socket =
+            UdpSocket::bind(("127.0.0.1", 0)).map_err(|e| RuntimeError::net("bind", e))?;
+        let addr = socket.local_addr().map_err(|e| RuntimeError::net("local_addr", e))?;
+        // The shutdown socket must exist *before* the pump starts, so the
+        // pump can verify the sentinel's source address.
+        let shutdown =
+            UdpSocket::bind(("127.0.0.1", 0)).map_err(|e| RuntimeError::net("bind", e))?;
+        let shutdown_addr =
+            shutdown.local_addr().map_err(|e| RuntimeError::net("local_addr", e))?;
+        let (tx, rx) = channel::bounded(capacity.max(1));
+        let overflow = Arc::new(AtomicU64::new(0));
+        let pump_overflow = Arc::clone(&overflow);
         let handle = std::thread::Builder::new()
             .name("fd-udp-recv".into())
-            .spawn(move || pump(socket, tx))
-            .expect("spawn receive pump");
-        let shutdown = UdpSocket::bind(("127.0.0.1", 0))?;
+            .spawn(move || pump(socket, tx, shutdown_addr, pump_overflow))
+            .map_err(|e| RuntimeError::spawn("fd-udp-recv", e))?;
         Ok(Self {
             addr,
             rx,
             shutdown,
+            overflow,
             handle: Some(handle),
         })
     }
@@ -185,6 +256,12 @@ impl UdpHeartbeatReceiver {
     /// [`Monitor`](crate::Monitor)).
     pub fn receiver(&self) -> Receiver {
         self.rx.clone()
+    }
+
+    /// Heartbeats dropped because the channel was full (a stalled
+    /// consumer), since bind.
+    pub fn overflow_drops(&self) -> u64 {
+        self.overflow.load(Ordering::Relaxed)
     }
 
     /// Stops the pump thread.
@@ -206,17 +283,31 @@ impl Drop for UdpHeartbeatReceiver {
     }
 }
 
-fn pump(socket: UdpSocket, tx: channel::Sender<Heartbeat>) {
+fn pump(
+    socket: UdpSocket,
+    tx: channel::Sender<Heartbeat>,
+    shutdown_addr: SocketAddr,
+    overflow: Arc<AtomicU64>,
+) {
     let mut buf = [0u8; 64];
     loop {
-        match socket.recv(&mut buf) {
-            Ok(n) => {
+        match socket.recv_from(&mut buf) {
+            Ok((n, src)) => {
                 if buf[..n] == SHUTDOWN_SENTINEL {
-                    return;
+                    if src == shutdown_addr {
+                        return;
+                    }
+                    continue; // spoofed sentinel from a foreign peer
                 }
                 if let Some(hb) = decode_heartbeat(&buf[..n]) {
-                    if tx.send(hb).is_err() {
-                        return; // all receivers gone
+                    match tx.try_send(hb) {
+                        Ok(()) => {}
+                        Err(channel::TrySendError::Full(_)) => {
+                            overflow.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(channel::TrySendError::Disconnected(_)) => {
+                            return; // all receivers gone
+                        }
                     }
                 }
             }
@@ -229,6 +320,7 @@ fn pump(socket: UdpSocket, tx: channel::Sender<Heartbeat>) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use fd_sim::LinkFault;
     use fd_stats::dist::Constant;
 
     #[test]
@@ -272,8 +364,8 @@ mod tests {
             receiver.local_addr(),
             UdpSenderConfig {
                 loss_probability: 1.0,
-                extra_delay: None,
                 seed: 1,
+                ..Default::default()
             },
         )
         .expect("connect");
@@ -292,9 +384,9 @@ mod tests {
         let mut sender = UdpHeartbeatSender::connect(
             receiver.local_addr(),
             UdpSenderConfig {
-                loss_probability: 0.0,
                 extra_delay: Some(Box::new(Constant::new(0.03).unwrap())),
                 seed: 2,
+                ..Default::default()
             },
         )
         .expect("connect");
@@ -306,6 +398,107 @@ mod tests {
             .expect("deliver");
         assert_eq!(hb.seq, 1);
         assert!(t0.elapsed() >= Duration::from_millis(25));
+    }
+
+    #[test]
+    fn foreign_shutdown_sentinel_is_ignored() {
+        let receiver = UdpHeartbeatReceiver::bind().expect("bind");
+        // A (malicious or confused) peer sends the sentinel bytes from its
+        // own socket: the pump must survive and keep delivering.
+        let foreign = UdpSocket::bind(("127.0.0.1", 0)).expect("bind foreign");
+        foreign
+            .send_to(b"BYE!", receiver.local_addr())
+            .expect("send sentinel");
+        let mut sender =
+            UdpHeartbeatSender::connect(receiver.local_addr(), UdpSenderConfig::default())
+                .expect("connect");
+        sender.send(Heartbeat::new(7, 1.0)).unwrap();
+        let hb = receiver
+            .receiver()
+            .recv_timeout(Duration::from_secs(2))
+            .expect("pump must still be alive after spoofed sentinel");
+        assert_eq!(hb.seq, 7);
+        receiver.shutdown(); // the genuine shutdown still works
+    }
+
+    #[test]
+    fn bounded_pump_counts_overflow_drops() {
+        let receiver = UdpHeartbeatReceiver::bind_with_capacity(2).expect("bind");
+        let mut sender =
+            UdpHeartbeatSender::connect(receiver.local_addr(), UdpSenderConfig::default())
+                .expect("connect");
+        // Nobody drains the channel: after 2 buffered heartbeats the rest
+        // must be dropped and counted.
+        for seq in 1..=30u64 {
+            sender.send(Heartbeat::new(seq, 0.0)).unwrap();
+        }
+        // Loopback delivery is asynchronous; poll until counted.
+        let deadline = std::time::Instant::now() + Duration::from_secs(2);
+        while receiver.overflow_drops() < 20 && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        // UDP may legitimately drop some datagrams, but with 30 sends and
+        // capacity 2 a healthy majority must overflow.
+        assert!(
+            receiver.overflow_drops() >= 20,
+            "only {} overflow drops",
+            receiver.overflow_drops()
+        );
+        assert_eq!(receiver.receiver().len(), 2);
+        receiver.shutdown();
+    }
+
+    #[test]
+    fn fault_plan_partition_drops_all_datagrams() {
+        let receiver = UdpHeartbeatReceiver::bind().expect("bind");
+        let plan = FaultPlan::new(11).link_fault(0.0, LinkFault::Partition);
+        let mut sender = UdpHeartbeatSender::connect(
+            receiver.local_addr(),
+            UdpSenderConfig {
+                fault_plan: Some(plan),
+                ..Default::default()
+            },
+        )
+        .expect("connect");
+        for seq in 1..=10u64 {
+            assert!(!sender.send(Heartbeat::new(seq, 0.0)).unwrap());
+        }
+        assert!(receiver
+            .receiver()
+            .recv_timeout(Duration::from_millis(100))
+            .is_err());
+        receiver.shutdown();
+    }
+
+    #[test]
+    fn fault_plan_duplication_sends_extra_copies() {
+        let receiver = UdpHeartbeatReceiver::bind().expect("bind");
+        let plan = FaultPlan::new(12).link_fault(
+            0.0,
+            LinkFault::Duplicate {
+                probability: 1.0,
+                lag: 0.0,
+            },
+        );
+        let mut sender = UdpHeartbeatSender::connect(
+            receiver.local_addr(),
+            UdpSenderConfig {
+                fault_plan: Some(plan),
+                ..Default::default()
+            },
+        )
+        .expect("connect");
+        for seq in 1..=5u64 {
+            assert!(sender.send(Heartbeat::new(seq, 0.0)).unwrap());
+        }
+        let rx = receiver.receiver();
+        let mut got = Vec::new();
+        while let Ok(hb) = rx.recv_timeout(Duration::from_millis(200)) {
+            got.push(hb.seq);
+        }
+        // Loopback UDP is reliable in practice: expect ~2 copies of each.
+        assert!(got.len() >= 8, "expected duplicated stream, got {got:?}");
+        receiver.shutdown();
     }
 
     #[test]
@@ -323,7 +516,8 @@ mod tests {
             Box::new(NfdE::new(0.01, 0.05, 8).expect("valid")),
             receiver.receiver(),
             clock.clone(),
-        );
+        )
+        .expect("spawn monitor");
         // Drive heartbeats from this thread at η = 10 ms.
         for seq in 1..=25u64 {
             sender.send(Heartbeat::new(seq, clock.now())).unwrap();

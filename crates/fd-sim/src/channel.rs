@@ -24,6 +24,16 @@ pub trait ChannelModel: Send {
     /// `None` if dropped. Called exactly once per heartbeat, in send
     /// order.
     fn fate(&mut self, seq: u64, send_time: f64, rng: &mut dyn RngCore) -> Option<f64>;
+
+    /// Like [`ChannelModel::fate`], but able to deliver a message more
+    /// than once (duplication faults). Appends one delay per delivery to
+    /// `out`; the default delegates to `fate` (at most one delivery).
+    /// The run engine calls this exactly once per heartbeat, in send
+    /// order — a model implements *either* this or `fate` as its
+    /// primary entry point.
+    fn fate_into(&mut self, seq: u64, send_time: f64, rng: &mut dyn RngCore, out: &mut Vec<f64>) {
+        out.extend(self.fate(seq, send_time, rng));
+    }
 }
 
 impl ChannelModel for Link {

@@ -52,6 +52,7 @@
 #![warn(missing_docs)]
 
 pub mod channel;
+pub mod fault;
 pub mod harness;
 pub mod link;
 pub mod pattern;
@@ -59,6 +60,7 @@ pub mod replicate;
 pub mod run;
 
 pub use channel::{ChannelModel, EpochChannel, GilbertElliott};
+pub use fault::{FaultInjector, FaultPlan, FaultyLink, LinkFault, ProcessEvent};
 pub use link::{Link, LinkError};
 pub use pattern::DelayPattern;
 pub use replicate::{measure_accuracy_replicated, ReplicatedAccuracy};

@@ -82,7 +82,8 @@ pub struct RunOutcome {
     pub trace: TransitionTrace,
     /// Heartbeats sent by `p` before the run ended (or `p` crashed).
     pub heartbeats_sent: u64,
-    /// Heartbeats actually delivered to `q` within the run.
+    /// Heartbeat deliveries to `q` within the run. Each delivery counts,
+    /// so a duplication fault can deliver more copies than were sent.
     pub heartbeats_delivered: u64,
     /// The crash time, copied from the options.
     pub crash_at: Option<f64>,
@@ -121,17 +122,19 @@ enum Fate<'a> {
 }
 
 impl Fate<'_> {
-    fn of(&mut self, seq: u64, send_time: f64) -> Option<f64> {
+    /// Appends the delay of each delivery of heartbeat `seq` to `out`
+    /// (zero if dropped, two or more under duplication faults).
+    fn of_into(&mut self, seq: u64, send_time: f64, out: &mut Vec<f64>) {
         match self {
-            Fate::Link(link, rng) => link.sample_fate(*rng),
+            Fate::Link(link, rng) => out.extend(link.sample_fate(*rng)),
             Fate::Pattern(p) => {
                 assert!(
                     seq as usize <= p.len(),
                     "delay pattern exhausted at heartbeat {seq}; extend the pattern or shorten the run"
                 );
-                p.delay(seq)
+                out.extend(p.delay(seq));
             }
-            Fate::Model(model, rng) => model.fate(seq, send_time, *rng),
+            Fate::Model(model, rng) => model.fate_into(seq, send_time, *rng, out),
         }
     }
 }
@@ -196,6 +199,7 @@ fn drive(fd: &mut dyn FailureDetector, opts: &RunOptions, mut fate: Fate<'_>) ->
     };
 
     let mut pending: BinaryHeap<Reverse<InFlight>> = BinaryHeap::new();
+    let mut fates: Vec<f64> = Vec::with_capacity(2);
     let mut next_seq: u64 = 1;
     let mut sent: u64 = 0;
     let mut delivered: u64 = 0;
@@ -226,7 +230,9 @@ fn drive(fd: &mut dyn FailureDetector, opts: &RunOptions, mut fate: Fate<'_>) ->
         // own send, so materializing sends up to the next event keeps the
         // heap complete.
         if t_send <= t_deadline && t_send <= t_arrival && t_send <= horizon {
-            if let Some(d) = fate.of(next_seq, t_send) {
+            fates.clear();
+            fate.of_into(next_seq, t_send, &mut fates);
+            for d in fates.drain(..) {
                 pending.push(Reverse(InFlight {
                     arrival: t_send + d,
                     seq: next_seq,

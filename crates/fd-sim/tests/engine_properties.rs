@@ -2,15 +2,16 @@
 //! behavior across epochs, and crash detection under bursty loss.
 
 use fd_core::detectors::{NfdE, NfdS};
-use fd_core::FailureDetector;
+use fd_core::{FailureDetector, Heartbeat};
 use fd_metrics::{detection_time, AccuracyAnalysis, DetectionOutcome};
 use fd_sim::{
-    run, run_with_model, EpochChannel, GilbertElliott, Link, RunOptions, StopCondition,
+    run, run_with_model, EpochChannel, FaultPlan, FaultyLink, GilbertElliott, Link, LinkFault,
+    RunOptions, StopCondition,
 };
 use fd_stats::dist::{Constant, Exponential};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng as _, SeedableRng};
 
 fn exp_link(p_l: f64, mean: f64) -> Link {
     Link::new(p_l, Box::new(Exponential::with_mean(mean).unwrap())).unwrap()
@@ -20,7 +21,7 @@ fn exp_link(p_l: f64, mean: f64) -> Link {
 fn same_seed_gives_identical_traces() {
     let link = exp_link(0.05, 0.02);
     let opts = RunOptions::failure_free(1.0, StopCondition::Horizon(2000.0));
-    let mut run_once = |seed: u64| {
+    let run_once = |seed: u64| {
         let mut fd = NfdS::new(1.0, 0.5).unwrap();
         let mut rng = StdRng::seed_from_u64(seed);
         run(&mut fd, &opts, &link, &mut rng).trace
@@ -116,6 +117,37 @@ fn nfd_e_survives_burst_without_permanent_suspicion() {
     assert!(acc.query_accuracy_probability() > 0.8);
 }
 
+/// A duplicate-everything fault must not change what the detector *says*
+/// — duplicates carry no new freshness — only how many copies arrive.
+#[test]
+fn duplicating_fault_leaves_trace_identical_to_nominal() {
+    let base = || Link::new(0.0, Box::new(Constant::new(0.05).unwrap())).unwrap();
+    let opts = RunOptions::failure_free(1.0, StopCondition::Horizon(500.0));
+    let run_plan = |plan: &FaultPlan| {
+        let mut fd = NfdS::new(1.0, 0.5).unwrap();
+        let mut channel = FaultyLink::new(base(), plan);
+        let mut rng = StdRng::seed_from_u64(99);
+        run_with_model(&mut fd, &opts, &mut channel, &mut rng)
+    };
+    let nominal = run_plan(&FaultPlan::new(9));
+    let duplicated = run_plan(&FaultPlan::new(9).link_fault(
+        0.0,
+        LinkFault::Duplicate {
+            probability: 1.0,
+            lag: 0.0,
+        },
+    ));
+    assert_eq!(
+        nominal.trace, duplicated.trace,
+        "duplicates changed the detector's behavior"
+    );
+    assert_eq!(
+        duplicated.heartbeats_delivered,
+        2 * nominal.heartbeats_delivered,
+        "every heartbeat should arrive exactly twice"
+    );
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(16))]
 
@@ -149,6 +181,84 @@ proptest! {
             prop_assert_ne!(t.to, prev_o);
             prev_t = t.at;
             prev_o = t.to;
+        }
+    }
+
+    /// Twin-detector property: delivering every heartbeat two extra times
+    /// (once at the same instant, once slightly later) must never move
+    /// the freshness point — the twin that sees duplicates keeps exactly
+    /// the same output and next deadline as the twin that doesn't, for
+    /// both NFD-S (max-seq freshness) and NFD-E (stale seqs ignored by
+    /// the arrival estimator, so T_MR estimates cannot inflate).
+    #[test]
+    fn prop_duplicates_never_increase_freshness(seed in 0u64..500) {
+        let eta = 1.0;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut s_clean = NfdS::new(eta, 0.5).unwrap();
+        let mut s_dup = NfdS::new(eta, 0.5).unwrap();
+        let mut e_clean = NfdE::new(eta, 0.5, 8).unwrap();
+        let mut e_dup = NfdE::new(eta, 0.5, 8).unwrap();
+        for i in 1..=80u64 {
+            let send = i as f64 * eta;
+            let arrival = send + rng.random::<f64>() * 0.4;
+            let hb = Heartbeat::new(i, send);
+            let echo_at = arrival + rng.random::<f64>() * 0.05;
+
+            s_clean.on_heartbeat(arrival, hb);
+            s_dup.on_heartbeat(arrival, hb);
+            s_dup.on_heartbeat(arrival, hb); // same-instant duplicate
+            s_dup.on_heartbeat(echo_at, hb); // late duplicate
+            s_clean.advance(echo_at);
+            prop_assert_eq!(s_clean.output(), s_dup.output());
+            prop_assert_eq!(s_clean.next_deadline(), s_dup.next_deadline());
+
+            e_clean.on_heartbeat(arrival, hb);
+            e_dup.on_heartbeat(arrival, hb);
+            e_dup.on_heartbeat(arrival, hb);
+            e_dup.on_heartbeat(echo_at, hb);
+            e_clean.advance(echo_at);
+            prop_assert_eq!(e_clean.output(), e_dup.output());
+            prop_assert_eq!(e_clean.next_deadline(), e_dup.next_deadline());
+        }
+    }
+
+    /// Twin-detector property: reordered (stale) heartbeats — old
+    /// sequence numbers arriving after newer ones — are inert. The twin
+    /// that receives each stale echo behaves identically to the twin
+    /// that never sees it.
+    #[test]
+    fn prop_reordered_stale_heartbeats_are_inert(
+        seed in 0u64..500,
+        stale_gap in 1u64..5,
+    ) {
+        let eta = 1.0;
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xD150_0DE5);
+        let mut s_clean = NfdS::new(eta, 0.5).unwrap();
+        let mut s_reord = NfdS::new(eta, 0.5).unwrap();
+        let mut e_clean = NfdE::new(eta, 0.5, 8).unwrap();
+        let mut e_reord = NfdE::new(eta, 0.5, 8).unwrap();
+        for i in 1..=80u64 {
+            let send = i as f64 * eta;
+            let arrival = send + rng.random::<f64>() * 0.4;
+            let hb = Heartbeat::new(i, send);
+            s_clean.on_heartbeat(arrival, hb);
+            s_reord.on_heartbeat(arrival, hb);
+            e_clean.on_heartbeat(arrival, hb);
+            e_reord.on_heartbeat(arrival, hb);
+            if i > stale_gap {
+                // A straggler from `stale_gap` intervals ago shows up now.
+                let old = i - stale_gap;
+                let stale = Heartbeat::new(old, old as f64 * eta);
+                let at = arrival + rng.random::<f64>() * 0.05;
+                s_reord.on_heartbeat(at, stale);
+                e_reord.on_heartbeat(at, stale);
+                s_clean.advance(at);
+                e_clean.advance(at);
+            }
+            prop_assert_eq!(s_clean.output(), s_reord.output());
+            prop_assert_eq!(s_clean.next_deadline(), s_reord.next_deadline());
+            prop_assert_eq!(e_clean.output(), e_reord.output());
+            prop_assert_eq!(e_clean.next_deadline(), e_reord.next_deadline());
         }
     }
 }

@@ -22,7 +22,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         Box::new(NfdE::new(0.01, 0.06, 32)?), // η = 10 ms, α = 60 ms
         receiver.receiver(),
         clock.clone(),
-    );
+    )?;
 
     // p's side: send heartbeats every 10 ms with 5% injected loss and
     // ~2 ms injected delay (loopback itself is too clean).
@@ -32,9 +32,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             loss_probability: 0.05,
             extra_delay: Some(Box::new(Exponential::with_mean(0.002)?)),
             seed: 42,
+            ..Default::default()
         },
     )?;
 
+    // Send on the absolute schedule σᵢ = i·η (like the runtime's
+    // heartbeater): `send` blocks for the injected delay, so sleeping a
+    // fixed 10 ms *after* it would stretch the real period past η and
+    // drift NFD-E's arrival estimates.
+    let start = Instant::now();
     let mut sent = 0u64;
     let mut survived = 0u64;
     for seq in 1..=60u64 {
@@ -42,7 +48,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         if sender.send(fd_core::Heartbeat::new(seq, clock.now()))? {
             survived += 1;
         }
-        std::thread::sleep(Duration::from_millis(10));
+        let next = start + Duration::from_millis(10 * seq);
+        if let Some(pause) = next.checked_duration_since(Instant::now()) {
+            std::thread::sleep(pause);
+        }
     }
     println!(
         "sent {sent} heartbeats over UDP ({survived} survived the 5% loss injection)"

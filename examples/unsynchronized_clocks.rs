@@ -34,12 +34,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // ---------------- NFD-E: immune to the skew -----------------------
     let (tx, rx) = make_link(1);
-    let mut p = Heartbeater::spawn(ETA, tx, SkewedClock::new(base.clone(), SKEW));
+    let p = Heartbeater::spawn(ETA, tx, SkewedClock::new(base.clone(), SKEW))?;
     let q = Monitor::spawn(
         Box::new(NfdE::new(ETA, 0.04, 32)?), // α = 40 ms, window 32
         rx,
         base.clone(),
-    );
+    )?;
     std::thread::sleep(Duration::from_millis(400));
     println!(
         "NFD-E with sender clock {}s ahead: output = {}",
@@ -59,7 +59,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // ------------- simple algorithm + cutoff: broken by skew ----------
     let (tx, rx) = make_link(2);
-    let mut p = Heartbeater::spawn(ETA, tx, SkewedClock::new(base.clone(), SKEW));
+    let p = Heartbeater::spawn(ETA, tx, SkewedClock::new(base.clone(), SKEW))?;
     let q = Monitor::spawn(
         // TO = 40 ms, cutoff = 16 ms: sane-looking numbers, but the
         // apparent delay of every heartbeat is −3600 s + real delay…
@@ -70,7 +70,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         Box::new(SimpleFd::with_cutoff(0.04, 0.016)?),
         rx,
         base.clone(),
-    );
+    )?;
     // (Heartbeats stamped one hour ahead look "from the future" and are
     // accepted; re-run with the skew reversed to see them all discarded.)
     std::thread::sleep(Duration::from_millis(200));
@@ -79,8 +79,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let _ = q.stop();
 
     let (tx, rx) = make_link(3);
-    let mut p = Heartbeater::spawn(ETA, tx, SkewedClock::new(base.clone(), -SKEW));
-    let q = Monitor::spawn(Box::new(SimpleFd::with_cutoff(0.04, 0.016)?), rx, base.clone());
+    let p = Heartbeater::spawn(ETA, tx, SkewedClock::new(base.clone(), -SKEW))?;
+    let q = Monitor::spawn(Box::new(SimpleFd::with_cutoff(0.04, 0.016)?), rx, base.clone())?;
     std::thread::sleep(Duration::from_millis(300));
     println!(
         "SFD+cutoff, sender clock {}s BEHIND: output = {} — a false suspicion of a live process",

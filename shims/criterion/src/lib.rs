@@ -1,0 +1,221 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Supports the API surface the workspace's benches use —
+//! `criterion_group!` / `criterion_main!`, `Criterion::bench_function`,
+//! benchmark groups with throughput annotations, `Bencher::iter` and
+//! `iter_batched_ref` — with a simple adaptive timer instead of
+//! criterion's statistical machinery. Good enough to keep the bench
+//! targets compiling, running, and producing comparable per-iteration
+//! numbers without registry access.
+
+use std::time::{Duration, Instant};
+
+/// Re-export spot for `criterion::black_box` (benches here import
+/// `std::hint::black_box` directly, but the alias costs nothing).
+pub use std::hint::black_box;
+
+/// How batched setup output is sized; only a hint in this stand-in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration state.
+    SmallInput,
+    /// Large per-iteration state.
+    LargeInput,
+    /// One batch per iteration.
+    PerIteration,
+}
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Passed to each benchmark closure; drives the measured routine.
+pub struct Bencher<'a> {
+    stats: &'a mut IterStats,
+}
+
+#[derive(Default)]
+struct IterStats {
+    iterations: u64,
+    elapsed: Duration,
+}
+
+/// Target measurement budget per benchmark. Kept short: the stand-in is
+/// for smoke coverage, not statistics.
+const BUDGET: Duration = Duration::from_millis(200);
+
+impl Bencher<'_> {
+    /// Times `routine` repeatedly until the budget is spent.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        loop {
+            let t0 = Instant::now();
+            black_box(routine());
+            self.stats.elapsed += t0.elapsed();
+            self.stats.iterations += 1;
+            if start.elapsed() >= BUDGET {
+                break;
+            }
+        }
+    }
+
+    /// Times `routine` over `&mut` state built by `setup` (setup time is
+    /// excluded from the measurement).
+    pub fn iter_batched_ref<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(&mut I) -> O,
+    {
+        let start = Instant::now();
+        loop {
+            let mut input = setup();
+            let t0 = Instant::now();
+            black_box(routine(&mut input));
+            self.stats.elapsed += t0.elapsed();
+            self.stats.iterations += 1;
+            if start.elapsed() >= BUDGET {
+                break;
+            }
+        }
+    }
+
+    /// Like [`Bencher::iter_batched_ref`] but passing state by value.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let start = Instant::now();
+        loop {
+            let input = setup();
+            let t0 = Instant::now();
+            black_box(routine(input));
+            self.stats.elapsed += t0.elapsed();
+            self.stats.iterations += 1;
+            if start.elapsed() >= BUDGET {
+                break;
+            }
+        }
+    }
+}
+
+fn report(label: &str, stats: &IterStats, throughput: Option<Throughput>) {
+    if stats.iterations == 0 {
+        println!("{label}: no iterations run");
+        return;
+    }
+    let per_iter = stats.elapsed.as_secs_f64() / stats.iterations as f64;
+    let mut line = format!(
+        "{label}: {:.3} µs/iter ({} iters)",
+        per_iter * 1e6,
+        stats.iterations
+    );
+    if let Some(Throughput::Elements(n)) = throughput {
+        let per_elem = per_iter / n as f64;
+        line.push_str(&format!(", {:.1} ns/elem", per_elem * 1e9));
+    }
+    if let Some(Throughput::Bytes(n)) = throughput {
+        let rate = n as f64 / per_iter / 1e6;
+        line.push_str(&format!(", {rate:.1} MB/s"));
+    }
+    println!("{line}");
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Annotates subsequent benchmarks with a throughput.
+    pub fn throughput(&mut self, throughput: Throughput) {
+        self.throughput = Some(throughput);
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher<'_>)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut stats = IterStats::default();
+        f(&mut Bencher { stats: &mut stats });
+        report(&format!("{}/{}", self.name, id), &stats, self.throughput);
+        self
+    }
+
+    /// Ends the group (no-op; groups report as they go).
+    pub fn finish(self) {}
+}
+
+/// The benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Runs one standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher<'_>)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut stats = IterStats::default();
+        f(&mut Bencher { stats: &mut stats });
+        report(id, &stats, None);
+        self
+    }
+
+    /// Starts a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            throughput: None,
+            _criterion: self,
+        }
+    }
+}
+
+/// Bundles benchmark functions into a runnable group, mirroring
+/// criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_closure() {
+        let mut c = Criterion::default();
+        let mut ran = 0u64;
+        c.bench_function("counts", |b| b.iter(|| ran += 1));
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn group_with_throughput_and_batched_iter() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.throughput(Throughput::Elements(4));
+        g.bench_function("batched", |b| {
+            b.iter_batched_ref(|| vec![1, 2, 3, 4], |v| v.iter().sum::<i32>(), BatchSize::SmallInput)
+        });
+        g.finish();
+    }
+}

@@ -58,7 +58,10 @@ pub mod prelude {
         AccuracyAnalysis, FdOutput, QosBundle, QosRequirements, TransitionTrace,
     };
     pub use fd_sim::harness::{measure_accuracy, measure_detection_times, AccuracyRun, DetectionRun};
-    pub use fd_sim::{Link, RunOptions, StopCondition};
+    pub use fd_sim::{
+        FaultInjector, FaultPlan, FaultyLink, Link, LinkFault, ProcessEvent, RunOptions,
+        StopCondition,
+    };
     pub use fd_stats::dist::{Constant, Exponential, Gamma, LogNormal, Mixture, Pareto, Uniform};
     pub use fd_stats::DelayDistribution;
 }

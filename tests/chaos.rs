@@ -1,0 +1,270 @@
+//! Chaos harness: scripted [`FaultPlan`]s driven end-to-end through the
+//! real-time service, asserting graceful degradation *and* recovery.
+//!
+//! Each scenario uses fixed seeds (the fault realization is
+//! deterministic; only thread scheduling varies) and asserts three
+//! things: no panic took the service down ([`Service::health`] stays
+//! `Healthy` unless the scenario injects a detector fault), the detector
+//! suspects while the fault is active, and trust returns after the fault
+//! clears.
+
+use chen_fd_qos::prelude::*;
+use fd_core::config::NfdUParams;
+use fd_runtime::{DetectorFactory, Health, LinkSpec, ProcessSpec, Service};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::{Duration, Instant};
+
+fn clean_link() -> LinkSpec {
+    LinkSpec::new(0.0, Box::new(Exponential::with_mean(0.001).unwrap())).unwrap()
+}
+
+fn params() -> NfdUParams {
+    NfdUParams {
+        eta: 0.01,
+        alpha: 0.05,
+    }
+}
+
+/// Polls until `pred` holds or `timeout` elapses; returns whether it held.
+fn wait_until(timeout: Duration, mut pred: impl FnMut() -> bool) -> bool {
+    let deadline = Instant::now() + timeout;
+    while Instant::now() < deadline {
+        if pred() {
+            return true;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    pred()
+}
+
+/// Scenario 1 — loss burst: a Gilbert–Elliott burst pinned in its bad
+/// state swallows every heartbeat for 300 ms, then the link heals.
+#[test]
+fn loss_burst_suspect_then_recover() {
+    let plan = FaultPlan::new(0xB00)
+        .link_fault(
+            0.25,
+            LinkFault::BurstLoss {
+                p_gb: 1.0,
+                p_bg: 0.0,
+                loss_good: 0.0,
+                loss_bad: 1.0,
+            },
+        )
+        .link_fault(0.55, LinkFault::Nominal);
+    let mut svc = Service::new();
+    svc.watch(
+        ProcessSpec::named("bursty")
+            .heartbeat_params(params())
+            .link(clean_link())
+            .seed(1)
+            .estimation_window(8)
+            .fault_plan(plan),
+    )
+    .unwrap();
+
+    assert!(
+        wait_until(Duration::from_millis(240), || svc.status()["bursty"].is_trust()),
+        "no trust before the burst"
+    );
+    assert!(
+        wait_until(Duration::from_secs(2), || svc.status()["bursty"].is_suspect()),
+        "burst loss not suspected"
+    );
+    assert!(
+        wait_until(Duration::from_secs(3), || svc.status()["bursty"].is_trust()),
+        "trust did not recover after the burst"
+    );
+    assert_eq!(svc.health("bursty"), Some(Health::Healthy), "no panic expected");
+    svc.shutdown();
+}
+
+/// Scenario 2 — partition + heal: the link drops everything for 300 ms.
+#[test]
+fn partition_then_heal() {
+    let plan = FaultPlan::new(0x9A27)
+        .link_fault(0.25, LinkFault::Partition)
+        .link_fault(0.55, LinkFault::Nominal);
+    let mut svc = Service::new();
+    svc.watch(
+        ProcessSpec::named("cut-off")
+            .heartbeat_params(params())
+            .link(clean_link())
+            .seed(2)
+            .estimation_window(8)
+            .fault_plan(plan),
+    )
+    .unwrap();
+
+    assert!(
+        wait_until(Duration::from_millis(240), || svc.status()["cut-off"].is_trust()),
+        "no trust before the partition"
+    );
+    assert!(
+        wait_until(Duration::from_secs(2), || svc.status()["cut-off"].is_suspect()),
+        "partition not suspected"
+    );
+    assert!(
+        wait_until(Duration::from_secs(3), || svc.status()["cut-off"].is_trust()),
+        "trust did not recover after healing"
+    );
+    assert_eq!(svc.health("cut-off"), Some(Health::Healthy));
+    svc.shutdown();
+}
+
+/// Scenario 3 — crash + recovery: the heartbeater itself stops at
+/// t = 0.25 s and restarts (with continuing sequence numbers) at 0.55 s.
+#[test]
+fn crash_then_recovery() {
+    let plan = FaultPlan::new(0xC0FFEE).crash(0.25).recover(0.55);
+    let mut svc = Service::new();
+    svc.watch(
+        ProcessSpec::named("lazarus")
+            .heartbeat_params(params())
+            .link(clean_link())
+            .seed(3)
+            .estimation_window(8)
+            .fault_plan(plan),
+    )
+    .unwrap();
+
+    assert!(
+        wait_until(Duration::from_millis(240), || svc.status()["lazarus"].is_trust()),
+        "no trust before the crash"
+    );
+    assert!(
+        wait_until(Duration::from_secs(2), || svc.status()["lazarus"].is_suspect()),
+        "crash not suspected"
+    );
+    assert!(
+        wait_until(Duration::from_secs(3), || svc.status()["lazarus"].is_trust()),
+        "trust did not return after recovery"
+    );
+    assert_eq!(svc.health("lazarus"), Some(Health::Healthy));
+    svc.shutdown();
+}
+
+/// Scenario 4 — clock jump: the *monitor's* clock steps forward half a
+/// second (an NTP adjustment). Every deadline appears blown, so the
+/// detector suspects; NFD-E then re-estimates arrival times on the new
+/// clock and trust returns — exactly the self-correction §6.3 argues for.
+#[test]
+fn monitor_clock_jump_self_corrects() {
+    let plan = FaultPlan::new(0xC10C).clock_jump(0.3, 0.5);
+    let mut svc = Service::new();
+    svc.watch(
+        ProcessSpec::named("ntp-step")
+            .heartbeat_params(params())
+            .link(clean_link())
+            .seed(4)
+            .estimation_window(8)
+            .fault_plan(plan),
+    )
+    .unwrap();
+
+    assert!(
+        wait_until(Duration::from_millis(290), || svc.status()["ntp-step"].is_trust()),
+        "no trust before the jump"
+    );
+    assert!(
+        wait_until(Duration::from_secs(2), || svc.status()["ntp-step"].is_suspect()),
+        "clock jump did not cause suspicion"
+    );
+    assert!(
+        wait_until(Duration::from_secs(3), || svc.status()["ntp-step"].is_trust()),
+        "NFD-E did not re-estimate after the jump"
+    );
+    assert_eq!(svc.health("ntp-step"), Some(Health::Healthy));
+    svc.shutdown();
+}
+
+/// An NFD-E wrapper whose *first* instance panics on its third heartbeat;
+/// rebuilt instances behave normally.
+struct OneShotFaulty {
+    inner: NfdE,
+    armed: bool,
+    seen: u64,
+}
+
+impl fd_core::FailureDetector for OneShotFaulty {
+    fn advance(&mut self, now: f64) {
+        self.inner.advance(now);
+    }
+    fn on_heartbeat(&mut self, now: f64, hb: Heartbeat) {
+        self.seen += 1;
+        if self.armed && self.seen == 3 {
+            panic!("injected chaos-test detector fault");
+        }
+        self.inner.on_heartbeat(now, hb);
+    }
+    fn output(&self) -> FdOutput {
+        self.inner.output()
+    }
+    fn next_deadline(&self) -> Option<f64> {
+        self.inner.next_deadline()
+    }
+    fn name(&self) -> &'static str {
+        "OneShotFaulty(NFD-E)"
+    }
+}
+
+/// Supervision isolation: a detector panic inside one watch degrades only
+/// that watch — the sibling stays healthy — and the degraded watch is
+/// rebuilt and regains trust.
+#[test]
+fn detector_panic_degrades_only_its_own_watch() {
+    let p = params();
+    let armed = AtomicBool::new(true);
+    let factory: DetectorFactory = Box::new(move || {
+        Box::new(OneShotFaulty {
+            inner: NfdE::new(p.eta, p.alpha, 8).unwrap(),
+            armed: armed.swap(false, Ordering::AcqRel),
+            seen: 0,
+        })
+    });
+
+    let mut svc = Service::new();
+    svc.watch(
+        ProcessSpec::named("steady")
+            .heartbeat_params(p)
+            .link(clean_link())
+            .seed(5)
+            .estimation_window(8),
+    )
+    .unwrap();
+    svc.watch(
+        ProcessSpec::named("glitchy")
+            .heartbeat_params(p)
+            .link(clean_link())
+            .seed(6)
+            .detector_factory(factory),
+    )
+    .unwrap();
+
+    // The injected panic fires on the 3rd heartbeat (~30 ms in); the
+    // supervisor rebuilds the detector, which then regains trust.
+    assert!(
+        wait_until(Duration::from_secs(2), || {
+            matches!(svc.health("glitchy"), Some(Health::Degraded { .. }))
+        }),
+        "panic did not degrade the glitchy watch (health = {:?})",
+        svc.health("glitchy")
+    );
+    assert!(
+        wait_until(Duration::from_secs(2), || svc.status()["glitchy"].is_trust()),
+        "rebuilt detector did not regain trust"
+    );
+    match svc.health("glitchy") {
+        Some(Health::Degraded { reason }) => {
+            assert!(
+                reason.contains("injected chaos-test detector fault"),
+                "unexpected reason: {reason}"
+            );
+        }
+        other => panic!("expected Degraded, got {other:?}"),
+    }
+    // The sibling watch never noticed.
+    assert_eq!(svc.health("steady"), Some(Health::Healthy));
+    assert!(svc.status()["steady"].is_trust());
+    svc.shutdown();
+}
