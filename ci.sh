@@ -15,4 +15,7 @@ cargo clippy --all-targets -- -D warnings
 echo "==> chaos smoke"
 cargo run --release -p fd-bench --bin exp_chaos
 
+echo "==> cluster scale smoke"
+cargo run --release -p fd-bench --bin exp_scale -- --smoke
+
 echo "CI green."

@@ -1,0 +1,252 @@
+//! E17 — cluster scale sweep: one `ClusterMonitor`, 10 → 10k simulated
+//! peers, O(1) threads.
+//!
+//! The paper analyzes one monitored process; `fd-cluster` carries that
+//! per-peer analysis to N peers behind a sharded registry and a single
+//! timer-wheel ticker. This experiment demonstrates the scaling claims:
+//!
+//! * thread count stays flat as peers are added (one ticker drives every
+//!   freshness expiration);
+//! * per-heartbeat recording cost stays O(1) — nanoseconds and
+//!   allocations per `record` are reported per peer count;
+//! * the per-peer detection bound `T_D ≤ η + α` (+ wheel tick and
+//!   scheduler slack) holds for every crashed peer even at 10k peers;
+//! * the batched UDP transport packs ≥ 8 heartbeats per datagram.
+//!
+//! `--smoke` runs a reduced sweep (10 and 64 peers) for CI; the default
+//! sweep is 10 / 100 / 1000 / 10000.
+
+use fd_bench::report::fmt_num;
+use fd_bench::{Settings, Table};
+use fd_cluster::{
+    ClusterConfig, ClusterMonitor, ClusterReceiver, ClusterSender, ClusterSenderConfig,
+    MembershipChange, PeerConfig, PeerId,
+};
+use fd_core::Heartbeat;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::net::{Ipv4Addr, SocketAddr};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// Counts every heap allocation in the process, so the sweep can report
+/// allocations per recorded heartbeat (steady state should be < 1: all
+/// hot-path buffers are reused).
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+const ETA: f64 = 0.05;
+const ALPHA: f64 = 0.2;
+/// Slack on the detection bound for wheel tick + scheduler jitter.
+const BOUND_SLACK: f64 = 0.15;
+const WARMUP_ROUNDS: u64 = 6;
+
+/// Threads in this process (Linux); `None` where /proc is unavailable,
+/// which skips the flat-thread assertion.
+fn thread_count() -> Option<usize> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    status
+        .lines()
+        .find_map(|l| l.strip_prefix("Threads:"))
+        .and_then(|v| v.trim().parse().ok())
+}
+
+struct SweepPoint {
+    peers: usize,
+    ns_per_record: f64,
+    allocs_per_record: f64,
+    worst_detection: f64,
+    threads_flat: bool,
+}
+
+/// One sweep point: N simulated peers driven by direct `record` calls
+/// (the wire path is measured separately in [`udp_leg`]).
+fn sweep_point(n: u64) -> SweepPoint {
+    let monitor = ClusterMonitor::spawn(ClusterConfig::default()).expect("spawn cluster");
+    let threads_before = thread_count();
+    for p in 0..n {
+        monitor.add_peer(p, PeerConfig::new(ETA, ALPHA)).expect("add peer");
+    }
+    assert_eq!(monitor.peer_count(), n as usize);
+
+    // Warm-up: every peer heartbeats each η until all are trusted.
+    for round in 1..=WARMUP_ROUNDS {
+        let t = monitor.now();
+        for p in 0..n {
+            monitor.record(p, Heartbeat::new(round, t));
+        }
+        std::thread::sleep(Duration::from_secs_f64(ETA));
+    }
+    assert_eq!(
+        monitor.snapshot().trusted().len(),
+        n as usize,
+        "{n} peers should all be trusted after warm-up"
+    );
+    let threads_after = thread_count();
+    let threads_flat = match (threads_before, threads_after) {
+        (Some(b), Some(a)) => {
+            assert_eq!(a, b, "adding {n} peers changed thread count {b} -> {a}");
+            true
+        }
+        _ => false,
+    };
+
+    // Steady-state cost: one more full round, timed and alloc-counted.
+    // The window includes the concurrently running ticker — its buffer
+    // churn is part of the real per-heartbeat cost.
+    let round = WARMUP_ROUNDS + 1;
+    let t = monitor.now();
+    let allocs_before = ALLOCATIONS.load(Ordering::Relaxed);
+    let started = Instant::now();
+    for p in 0..n {
+        monitor.record(p, Heartbeat::new(round, t));
+    }
+    let elapsed = started.elapsed();
+    let allocs = ALLOCATIONS.load(Ordering::Relaxed) - allocs_before;
+    let ns_per_record = elapsed.as_nanos() as f64 / n as f64;
+    let allocs_per_record = allocs as f64 / n as f64;
+
+    // Crash a tenth (at least one): their heartbeats stop, the wheel must
+    // suspect each within η + α.
+    let crashed = (n / 10).max(1);
+    let events = monitor.subscribe();
+    let t_crash = monitor.now();
+    let horizon = ETA + ALPHA + BOUND_SLACK + 0.1;
+    let mut round = round;
+    while monitor.now() - t_crash < horizon {
+        round += 1;
+        let t = monitor.now();
+        for p in crashed..n {
+            monitor.record(p, Heartbeat::new(round, t));
+        }
+        std::thread::sleep(Duration::from_secs_f64(ETA));
+    }
+
+    let snap = monitor.snapshot();
+    let suspected = snap.suspected();
+    assert_eq!(
+        suspected,
+        (0..crashed).collect::<Vec<PeerId>>(),
+        "exactly the crashed peers must be suspected"
+    );
+    let mut detected = 0usize;
+    let mut worst = 0.0f64;
+    while let Ok(ev) = events.try_recv() {
+        if ev.change == MembershipChange::Suspected {
+            detected += 1;
+            worst = worst.max(ev.at - t_crash);
+        }
+    }
+    assert_eq!(detected, crashed as usize, "one suspicion per crashed peer");
+    assert!(
+        worst <= ETA + ALPHA + BOUND_SLACK,
+        "worst T_D {worst:.3}s exceeds η + α + slack = {:.3}s at n = {n}",
+        ETA + ALPHA + BOUND_SLACK
+    );
+
+    let stats = monitor.stats();
+    assert!(stats.ticks > 0 && stats.timers_fired > 0);
+    assert_eq!(stats.events_dropped, 0);
+    monitor.shutdown();
+
+    SweepPoint {
+        peers: n as usize,
+        ns_per_record,
+        allocs_per_record,
+        worst_detection: worst,
+        threads_flat,
+    }
+}
+
+/// The wire leg: 128 peers multiplexed over one UDP socket pair,
+/// asserting the batching win (≥ 8 heartbeats per datagram).
+fn udp_leg() -> f64 {
+    const N: u64 = 128;
+    let monitor = ClusterMonitor::spawn(ClusterConfig::default()).expect("spawn cluster");
+    for p in 0..N {
+        monitor.add_peer(p, PeerConfig::new(ETA, ALPHA)).expect("add peer");
+    }
+    let rx = ClusterReceiver::bind(SocketAddr::from((Ipv4Addr::LOCALHOST, 0)), monitor.clone())
+        .expect("bind receiver");
+    let mut tx = ClusterSender::connect(rx.local_addr(), ClusterSenderConfig::default())
+        .expect("connect sender");
+    for round in 1..=8u64 {
+        let t = monitor.now();
+        for p in 0..N {
+            tx.queue(p, round, t).expect("queue");
+        }
+        tx.flush().expect("flush");
+        std::thread::sleep(Duration::from_secs_f64(ETA));
+    }
+    let factor = tx.batching_factor();
+    assert!(factor >= 8.0, "batching factor {factor:.1} below 8 heartbeats/datagram");
+    assert_eq!(rx.rejected(), 0);
+    assert_eq!(
+        monitor.snapshot().trusted().len(),
+        N as usize,
+        "all UDP-fed peers trusted"
+    );
+    rx.shutdown();
+    monitor.shutdown();
+    factor
+}
+
+fn main() {
+    let _settings = Settings::from_env();
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let sweep: &[u64] = if smoke { &[10, 64] } else { &[10, 100, 1000, 10_000] };
+    println!(
+        "E17 — cluster scale sweep (η = {ETA}, α = {ALPHA}, {} peers){}\n",
+        sweep.iter().map(|n| n.to_string()).collect::<Vec<_>>().join("/"),
+        if smoke { " [smoke]" } else { "" }
+    );
+
+    let mut table = Table::new(&[
+        "peers",
+        "ns/record",
+        "allocs/record",
+        "worst T_D (s)",
+        "bound (s)",
+        "threads flat",
+    ]);
+    for &n in sweep {
+        let point = sweep_point(n);
+        assert!(
+            point.allocs_per_record < 1.0,
+            "steady-state allocations per record {:.3} at n = {n} (buffers not reused?)",
+            point.allocs_per_record
+        );
+        table.row(&[
+            point.peers.to_string(),
+            fmt_num(point.ns_per_record),
+            format!("{:.3}", point.allocs_per_record),
+            format!("{:.3}", point.worst_detection),
+            format!("{:.3}", ETA + ALPHA + BOUND_SLACK),
+            if point.threads_flat { "yes".into() } else { "n/a".into() },
+        ]);
+    }
+    table.print();
+
+    let factor = udp_leg();
+    println!("\nUDP leg: 128 peers over one socket, {factor:.1} heartbeats/datagram");
+    println!("all scale assertions passed");
+}

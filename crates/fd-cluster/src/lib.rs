@@ -1,0 +1,57 @@
+//! Many-peer membership on top of the paper's NFD-E detector.
+//!
+//! The paper analyzes one monitor watching one process; `fd-runtime`'s
+//! [`Service`](fd_runtime::Service) mirrors that shape with a thread per
+//! watch, which stops scaling long before the ROADMAP's "heavy traffic"
+//! regime. This crate is the membership layer that related work (Dobre et
+//! al.'s robust detection architecture, Rossetto et al.'s Impact FD)
+//! builds for that regime: **one node monitoring N peers with O(1)
+//! threads**.
+//!
+//! Three pieces make that work:
+//!
+//! * a sharded [`PeerRegistry`](registry) — a fixed power-of-two number of
+//!   `RwLock`-guarded shards, each holding per-peer NFD-E state (the §6.3
+//!   freshness-point machine with its sliding-window arrival estimator),
+//!   the current suspect/trust verdict and per-peer QoS counters, so
+//!   heartbeat recording from many sockets/threads contends only
+//!   per-shard;
+//! * a hashed [`TimerWheel`](wheel::TimerWheel) — freshness-point
+//!   expirations for *all* peers are bucketed into coarse time slots and
+//!   driven by a single ticker thread, instead of one timer thread per
+//!   peer;
+//! * a batched [`wire`] protocol v1 — many `(peer_id, seq, send_ts)`
+//!   heartbeat entries per datagram, multiplexed by
+//!   [`ClusterSender`]/[`ClusterReceiver`] over a single UDP socket.
+//!
+//! The public façade is [`ClusterMonitor`]: `add_peer` / `remove_peer` /
+//! `status` / `snapshot`, plus a bounded membership-event subscription
+//! channel. A [`ClusterSnapshot`] implements
+//! [`TrustView`](fd_runtime::TrustView), so
+//! [`LeaderElector`](fd_runtime::LeaderElector) runs unchanged over a
+//! cluster of numeric peer ids.
+//!
+//! Per-peer QoS is unchanged from the paper: each peer gets its own NFD-E
+//! instance with its own `(η, α)`, so the detection-time bound
+//! `T_D ≤ η + α (+ one wheel tick of scheduling slack)` holds peer by
+//! peer no matter how many peers share the node.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod monitor;
+mod registry;
+pub mod net;
+pub mod wheel;
+pub mod wire;
+
+/// Identifier of a monitored peer, as carried on the wire.
+pub type PeerId = u64;
+
+pub use monitor::{
+    ClusterConfig, ClusterError, ClusterMonitor, ClusterSnapshot, ClusterStats, MembershipChange,
+    MembershipEvent, PeerConfig, PeerStatus,
+};
+pub use net::{ClusterReceiver, ClusterSender, ClusterSenderConfig};
+pub use registry::PeerCounters;
+pub use wire::{HeartbeatEntry, BATCH_MAGIC, BATCH_WIRE_VERSION, ENTRY_LEN, HEADER_LEN, MAX_BATCH};

@@ -1,0 +1,718 @@
+//! The cluster façade: N peers, one ticker thread.
+//!
+//! [`ClusterMonitor`] owns the sharded registry, the timer wheel, and a
+//! single ticker thread that sweeps the wheel every `tick` seconds. Each
+//! peer runs its own NFD-E instance (per-peer `η`, `α`, estimation
+//! window), so the paper's per-peer QoS analysis applies unchanged; the
+//! cluster layer only changes *who drives the timers* — a wheel sweep
+//! instead of a thread per peer — adding at most one `tick` of scheduling
+//! slack to the detection time.
+//!
+//! Concurrency protocol (deadlock discipline): lock order is **shard,
+//! then wheel**. Both the heartbeat-recording path and the ticker's
+//! rescheduling path take a shard write lock first and the wheel mutex
+//! inside it; the ticker's sweep itself takes the wheel mutex alone and
+//! collects expirations into a local buffer before touching any shard.
+//! Each peer has at most one outstanding wheel entry (`armed`), created
+//! when a deadline first appears and renewed by the sweep; entries
+//! surviving a remove/re-add are discarded by generation mismatch.
+
+use crate::registry::{PeerCounters, PeerRegistry, PeerState};
+use crate::wheel::TimerWheel;
+use crate::PeerId;
+use crossbeam::channel::{self, RecvTimeoutError, TrySendError};
+use fd_core::detectors::{NfdE, ParamError};
+use fd_core::{FailureDetector, Heartbeat};
+use fd_metrics::FdOutput;
+use fd_runtime::{Clock, RuntimeError, TrustView, WallClock};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Weak};
+use std::time::Duration;
+
+/// Cluster-wide tuning knobs (per-peer QoS lives in [`PeerConfig`]).
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Registry shard count, rounded up to a power of two.
+    pub shards: usize,
+    /// Timer-wheel bucket count.
+    pub wheel_slots: usize,
+    /// Ticker period and wheel resolution, seconds. Expiry detection lags
+    /// a true freshness point by at most this much (plus OS jitter).
+    pub tick: f64,
+    /// Capacity of each membership-event subscription channel; a slow
+    /// subscriber loses events past this (counted, never blocking).
+    pub event_capacity: usize,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        Self {
+            shards: 16,
+            wheel_slots: 512,
+            tick: 0.001,
+            event_capacity: 1024,
+        }
+    }
+}
+
+/// Per-peer detector parameters: the paper's `η` (heartbeat period) and
+/// `α` (freshness slack), plus the NFD-E estimation window `n`.
+#[derive(Debug, Clone, Copy)]
+pub struct PeerConfig {
+    /// Expected heartbeat period `η`, seconds.
+    pub eta: f64,
+    /// Freshness slack `α`, seconds: `τᵢ = EAᵢ + α`.
+    pub alpha: f64,
+    /// Sliding-window size for the expected-arrival estimator.
+    pub window: usize,
+}
+
+impl PeerConfig {
+    /// Parameters with the default estimation window (32 samples).
+    pub fn new(eta: f64, alpha: f64) -> Self {
+        Self { eta, alpha, window: 32 }
+    }
+
+    /// Overrides the estimation window.
+    pub fn window(mut self, window: usize) -> Self {
+        self.window = window;
+        self
+    }
+}
+
+/// Why a cluster operation failed.
+#[derive(Debug)]
+pub enum ClusterError {
+    /// The peer is already registered.
+    DuplicatePeer(PeerId),
+    /// The per-peer detector parameters are invalid.
+    Params(ParamError),
+}
+
+impl fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClusterError::DuplicatePeer(p) => write!(f, "peer {p} is already registered"),
+            ClusterError::Params(e) => write!(f, "invalid peer parameters: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ClusterError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ClusterError::Params(e) => Some(e),
+            ClusterError::DuplicatePeer(_) => None,
+        }
+    }
+}
+
+impl From<ParamError> for ClusterError {
+    fn from(e: ParamError) -> Self {
+        ClusterError::Params(e)
+    }
+}
+
+/// What changed about a peer's membership.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MembershipChange {
+    /// The peer was registered (it starts suspected, like every NFD-E).
+    Added,
+    /// The peer was unregistered.
+    Removed,
+    /// Trust→Suspect (the paper's S-transition).
+    Suspected,
+    /// Suspect→Trust (T-transition).
+    Trusted,
+}
+
+/// One membership transition, as delivered to subscribers.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MembershipEvent {
+    /// The peer concerned.
+    pub peer: PeerId,
+    /// Cluster-clock time of the transition, seconds.
+    pub at: f64,
+    /// What happened.
+    pub change: MembershipChange,
+}
+
+/// Point-in-time view of one peer.
+#[derive(Debug, Clone, Copy)]
+pub struct PeerStatus {
+    /// The peer.
+    pub peer: PeerId,
+    /// Current detector output.
+    pub output: FdOutput,
+    /// Its QoS counters since registration.
+    pub counters: PeerCounters,
+    /// Its heartbeat period `η`.
+    pub eta: f64,
+    /// Its freshness slack `α`.
+    pub alpha: f64,
+}
+
+/// A consistent-enough point-in-time view of the whole cluster: each
+/// peer's output as of the snapshot instant (outputs lag true freshness
+/// expiry by at most one wheel tick).
+///
+/// Implements [`TrustView`], so a
+/// [`LeaderElector`](fd_runtime::LeaderElector)`<PeerId>` can elect over
+/// it directly.
+#[derive(Debug, Clone)]
+pub struct ClusterSnapshot {
+    at: f64,
+    outputs: HashMap<PeerId, FdOutput>,
+}
+
+impl ClusterSnapshot {
+    /// Cluster-clock time the snapshot was taken.
+    pub fn taken_at(&self) -> f64 {
+        self.at
+    }
+
+    /// This peer's output at snapshot time, `None` if not registered.
+    pub fn output(&self, peer: PeerId) -> Option<FdOutput> {
+        self.outputs.get(&peer).copied()
+    }
+
+    /// Peers trusted at snapshot time, ascending.
+    pub fn trusted(&self) -> Vec<PeerId> {
+        self.select(|o| o.is_trust())
+    }
+
+    /// Peers suspected at snapshot time, ascending.
+    pub fn suspected(&self) -> Vec<PeerId> {
+        self.select(|o| !o.is_trust())
+    }
+
+    /// Number of peers in the snapshot.
+    pub fn len(&self) -> usize {
+        self.outputs.len()
+    }
+
+    /// Whether the snapshot holds no peers.
+    pub fn is_empty(&self) -> bool {
+        self.outputs.is_empty()
+    }
+
+    fn select(&self, keep: impl Fn(FdOutput) -> bool) -> Vec<PeerId> {
+        let mut v: Vec<PeerId> =
+            self.outputs.iter().filter(|(_, o)| keep(**o)).map(|(p, _)| *p).collect();
+        v.sort_unstable();
+        v
+    }
+}
+
+impl TrustView<PeerId> for ClusterSnapshot {
+    fn is_trusted(&self, candidate: &PeerId) -> bool {
+        self.output(*candidate).is_some_and(|o| o.is_trust())
+    }
+}
+
+/// Cluster-wide counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ClusterStats {
+    /// Registered peers.
+    pub peers: usize,
+    /// Ticker sweeps since spawn.
+    pub ticks: u64,
+    /// Wheel expirations that matched a live registration.
+    pub timers_fired: u64,
+    /// Membership events dropped because a subscriber's channel was full.
+    pub events_dropped: u64,
+    /// Heartbeats recorded for peers not (or no longer) registered.
+    pub unknown_heartbeats: u64,
+}
+
+struct Inner {
+    clock: WallClock,
+    tick: f64,
+    registry: PeerRegistry,
+    wheel: Mutex<TimerWheel>,
+    next_gen: AtomicU64,
+    subscribers: Mutex<Vec<channel::Sender<MembershipEvent>>>,
+    event_capacity: usize,
+    ticks: AtomicU64,
+    timers_fired: AtomicU64,
+    events_dropped: AtomicU64,
+    unknown_heartbeats: AtomicU64,
+    /// Held so the ticker (owning the receiver) observes disconnection
+    /// when the last monitor handle drops without an explicit shutdown.
+    _stop_tx: channel::Sender<()>,
+}
+
+/// Monitors N peers from one node with a single ticker thread.
+///
+/// Cheaply cloneable; all clones share the same cluster. The ticker
+/// stops on [`shutdown`](ClusterMonitor::shutdown) or when the last
+/// handle drops.
+#[derive(Clone)]
+pub struct ClusterMonitor {
+    inner: Arc<Inner>,
+    ticker: Arc<Mutex<Option<std::thread::JoinHandle<()>>>>,
+}
+
+impl fmt::Debug for ClusterMonitor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ClusterMonitor")
+            .field("peers", &self.inner.registry.len())
+            .field("tick", &self.inner.tick)
+            .finish()
+    }
+}
+
+impl ClusterMonitor {
+    /// Starts a cluster monitor: allocates the registry and wheel and
+    /// spawns the ticker thread. Time 0 is this instant.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg.tick` is not finite and positive or
+    /// `cfg.wheel_slots` is zero (delegated validation).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::Spawn`] if the ticker thread cannot start.
+    pub fn spawn(cfg: ClusterConfig) -> Result<Self, RuntimeError> {
+        let (stop_tx, stop_rx) = channel::bounded::<()>(1);
+        let inner = Arc::new(Inner {
+            clock: WallClock::new(),
+            tick: cfg.tick,
+            registry: PeerRegistry::new(cfg.shards),
+            wheel: Mutex::new(TimerWheel::new(cfg.wheel_slots, cfg.tick)),
+            next_gen: AtomicU64::new(0),
+            subscribers: Mutex::new(Vec::new()),
+            event_capacity: cfg.event_capacity.max(1),
+            ticks: AtomicU64::new(0),
+            timers_fired: AtomicU64::new(0),
+            events_dropped: AtomicU64::new(0),
+            unknown_heartbeats: AtomicU64::new(0),
+            _stop_tx: stop_tx,
+        });
+        let weak = Arc::downgrade(&inner);
+        let period = Duration::from_secs_f64(cfg.tick);
+        let handle = std::thread::Builder::new()
+            .name("fd-cluster-ticker".into())
+            .spawn(move || ticker(weak, stop_rx, period))
+            .map_err(|e| RuntimeError::Spawn { thread: "fd-cluster-ticker", source: e })?;
+        Ok(Self { inner, ticker: Arc::new(Mutex::new(Some(handle))) })
+    }
+
+    /// Seconds since the cluster started, on its own clock — the
+    /// timescale of snapshots, events and [`record_at`](Self::record_at).
+    pub fn now(&self) -> f64 {
+        self.inner.clock.now()
+    }
+
+    /// Registers a peer with its own detector parameters. The peer
+    /// starts suspected (every NFD-E does) and is trusted once its first
+    /// heartbeat arrives.
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterError::DuplicatePeer`] if already registered,
+    /// [`ClusterError::Params`] if `cfg` is invalid.
+    pub fn add_peer(&self, peer: PeerId, cfg: PeerConfig) -> Result<(), ClusterError> {
+        let detector = NfdE::new(cfg.eta, cfg.alpha, cfg.window)?;
+        let inner = &*self.inner;
+        let now = inner.clock.now();
+        let gen = inner.next_gen.fetch_add(1, Ordering::Relaxed);
+        {
+            let shard = inner.registry.shard(peer);
+            let mut guard = shard.write();
+            if guard.contains_key(&peer) {
+                return Err(ClusterError::DuplicatePeer(peer));
+            }
+            let mut state = PeerState {
+                detector,
+                last_output: FdOutput::Suspect,
+                gen,
+                armed: false,
+                last_seen: now,
+                counters: PeerCounters::default(),
+            };
+            state.detector.advance(now);
+            state.last_output = state.detector.output();
+            if let Some(due) = state.detector.next_deadline() {
+                inner.wheel.lock().schedule(due, peer, gen);
+                state.armed = true;
+            }
+            guard.insert(peer, state);
+        }
+        inner.emit(MembershipEvent { peer, at: now, change: MembershipChange::Added });
+        Ok(())
+    }
+
+    /// Unregisters a peer; returns whether it was registered. Its wheel
+    /// entry (if any) is cancelled lazily by generation mismatch.
+    pub fn remove_peer(&self, peer: PeerId) -> bool {
+        let inner = &*self.inner;
+        let now = inner.clock.now();
+        let removed = inner.registry.shard(peer).write().remove(&peer).is_some();
+        if removed {
+            inner.emit(MembershipEvent { peer, at: now, change: MembershipChange::Removed });
+        }
+        removed
+    }
+
+    /// Records a heartbeat from `peer` at the current cluster time.
+    /// Returns `false` (and counts it) if the peer is not registered.
+    pub fn record(&self, peer: PeerId, hb: Heartbeat) -> bool {
+        let now = self.inner.clock.now();
+        self.record_at(peer, now, hb)
+    }
+
+    /// Records a heartbeat at an explicit cluster-clock time (for tests
+    /// and drivers that batch timestamps; normally use
+    /// [`record`](Self::record)). Times earlier than the peer's latest
+    /// are clamped — detector time is monotone.
+    pub fn record_at(&self, peer: PeerId, now: f64, hb: Heartbeat) -> bool {
+        let inner = &*self.inner;
+        let event;
+        {
+            let shard = inner.registry.shard(peer);
+            let mut guard = shard.write();
+            let Some(state) = guard.get_mut(&peer) else {
+                inner.unknown_heartbeats.fetch_add(1, Ordering::Relaxed);
+                return false;
+            };
+            let now = now.max(state.last_seen);
+            state.last_seen = now;
+            state.counters.heartbeats += 1;
+            if hb.seq <= state.detector.max_seq_received().unwrap_or(0) {
+                state.counters.stale += 1;
+            }
+            state.detector.on_heartbeat(now, hb);
+            event = apply_transition(state, peer, now);
+            if !state.armed {
+                if let Some(due) = state.detector.next_deadline() {
+                    inner.wheel.lock().schedule(due, peer, state.gen);
+                    state.armed = true;
+                }
+            }
+        }
+        if let Some(ev) = event {
+            inner.emit(ev);
+        }
+        true
+    }
+
+    /// One peer's current status, `None` if not registered.
+    pub fn status(&self, peer: PeerId) -> Option<PeerStatus> {
+        let guard = self.inner.registry.shard(peer).read();
+        guard.get(&peer).map(|s| PeerStatus {
+            peer,
+            output: s.last_output,
+            counters: s.counters,
+            eta: s.detector.eta(),
+            alpha: s.detector.alpha(),
+        })
+    }
+
+    /// A point-in-time view of every peer's output (read-locking shards
+    /// one at a time; outputs lag true expiry by at most one tick).
+    pub fn snapshot(&self) -> ClusterSnapshot {
+        let inner = &*self.inner;
+        let at = inner.clock.now();
+        let mut outputs = HashMap::new();
+        for shard in inner.registry.shards() {
+            for (peer, state) in shard.read().iter() {
+                outputs.insert(*peer, state.last_output);
+            }
+        }
+        ClusterSnapshot { at, outputs }
+    }
+
+    /// Subscribes to membership transitions. The channel is bounded by
+    /// the configured `event_capacity`: a subscriber that stops draining
+    /// loses further events (counted in
+    /// [`ClusterStats::events_dropped`]) rather than blocking the
+    /// cluster. Dropping the receiver unsubscribes.
+    pub fn subscribe(&self) -> channel::Receiver<MembershipEvent> {
+        let (tx, rx) = channel::bounded(self.inner.event_capacity);
+        self.inner.subscribers.lock().push(tx);
+        rx
+    }
+
+    /// Number of registered peers.
+    pub fn peer_count(&self) -> usize {
+        self.inner.registry.len()
+    }
+
+    /// Which registry shard `peer` hashes to — for diagnostics and for
+    /// chaos tests that partition exactly one shard's peers.
+    pub fn shard_index(&self, peer: PeerId) -> usize {
+        self.inner.registry.shard_index(peer)
+    }
+
+    /// Cluster-wide counters.
+    pub fn stats(&self) -> ClusterStats {
+        let inner = &*self.inner;
+        ClusterStats {
+            peers: inner.registry.len(),
+            ticks: inner.ticks.load(Ordering::Relaxed),
+            timers_fired: inner.timers_fired.load(Ordering::Relaxed),
+            events_dropped: inner.events_dropped.load(Ordering::Relaxed),
+            unknown_heartbeats: inner.unknown_heartbeats.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Stops the ticker thread and waits for it. Idempotent across
+    /// clones; the registry remains readable afterwards, but no further
+    /// suspicions will be driven.
+    pub fn shutdown(&self) {
+        // Closing our stop slot is not enough (clones hold senders too);
+        // send an explicit stop, then join.
+        let _ = self.inner._stop_tx.try_send(());
+        if let Some(handle) = self.ticker.lock().take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Inner {
+    /// One ticker sweep: collect due wheel entries, then drive each
+    /// affected peer's detector (shard write lock, wheel re-arm inside).
+    fn on_tick(&self) {
+        let now = self.clock.now();
+        self.ticks.fetch_add(1, Ordering::Relaxed);
+        let mut expired = Vec::new();
+        self.wheel.lock().advance(now, &mut expired);
+        let mut events = Vec::new();
+        for entry in expired {
+            let shard = self.registry.shard(entry.peer);
+            let mut guard = shard.write();
+            let Some(state) = guard.get_mut(&entry.peer) else {
+                continue; // removed; lazily cancelled
+            };
+            if state.gen != entry.gen {
+                continue; // re-added since; stale timer
+            }
+            self.timers_fired.fetch_add(1, Ordering::Relaxed);
+            state.armed = false;
+            let now = now.max(state.last_seen);
+            state.last_seen = now;
+            state.detector.advance(now);
+            if let Some(ev) = apply_transition(state, entry.peer, now) {
+                events.push(ev);
+            }
+            // The fired entry may have been superseded by fresher
+            // heartbeats; re-arm at the detector's actual next deadline.
+            if let Some(due) = state.detector.next_deadline() {
+                self.wheel.lock().schedule(due, entry.peer, state.gen);
+                state.armed = true;
+            }
+        }
+        for ev in events {
+            self.emit(ev);
+        }
+    }
+
+    fn emit(&self, event: MembershipEvent) {
+        let mut subs = self.subscribers.lock();
+        subs.retain(|tx| match tx.try_send(event) {
+            Ok(()) => true,
+            Err(TrySendError::Full(_)) => {
+                self.events_dropped.fetch_add(1, Ordering::Relaxed);
+                true
+            }
+            Err(TrySendError::Disconnected(_)) => false,
+        });
+    }
+}
+
+/// Folds the detector's current output into the peer state, returning
+/// the membership event if it transitioned.
+fn apply_transition(state: &mut PeerState, peer: PeerId, at: f64) -> Option<MembershipEvent> {
+    let out = state.detector.output();
+    if out == state.last_output {
+        return None;
+    }
+    state.last_output = out;
+    let change = if out.is_trust() {
+        state.counters.recoveries += 1;
+        MembershipChange::Trusted
+    } else {
+        state.counters.suspicions += 1;
+        MembershipChange::Suspected
+    };
+    Some(MembershipEvent { peer, at, change })
+}
+
+fn ticker(inner: Weak<Inner>, stop_rx: channel::Receiver<()>, period: Duration) {
+    loop {
+        match stop_rx.recv_timeout(period) {
+            // Explicit stop, or every monitor handle (each holding a
+            // sender clone via Inner) is gone.
+            Ok(()) | Err(RecvTimeoutError::Disconnected) => return,
+            Err(RecvTimeoutError::Timeout) => {}
+        }
+        // Upgrade per sweep: the ticker must not keep the cluster alive.
+        let Some(inner) = inner.upgrade() else { return };
+        inner.on_tick();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cluster() -> ClusterMonitor {
+        ClusterMonitor::spawn(ClusterConfig::default()).expect("spawn")
+    }
+
+    fn drive_trusted(m: &ClusterMonitor, peer: PeerId, eta: f64, beats: u64) {
+        for i in 1..=beats {
+            m.record(peer, Heartbeat::new(i, i as f64 * eta));
+            std::thread::sleep(Duration::from_secs_f64(eta));
+        }
+    }
+
+    #[test]
+    fn peer_lifecycle_trust_then_suspect() {
+        let m = cluster();
+        m.add_peer(7, PeerConfig::new(0.02, 0.05)).unwrap();
+        assert!(!m.status(7).unwrap().output.is_trust(), "starts suspected");
+
+        drive_trusted(&m, 7, 0.02, 5);
+        let st = m.status(7).unwrap();
+        assert!(st.output.is_trust());
+        assert_eq!(st.counters.heartbeats, 5);
+        assert_eq!(st.counters.recoveries, 1);
+
+        // Stop heartbeating: the wheel must drive the suspicion without
+        // any further record() call.
+        std::thread::sleep(Duration::from_millis(200));
+        let st = m.status(7).unwrap();
+        assert!(!st.output.is_trust(), "freshness expiry must suspect");
+        assert_eq!(st.counters.suspicions, 1);
+        assert!(m.stats().timers_fired > 0);
+        m.shutdown();
+    }
+
+    #[test]
+    fn add_remove_and_errors() {
+        let m = cluster();
+        m.add_peer(1, PeerConfig::new(0.05, 0.1)).unwrap();
+        assert!(matches!(
+            m.add_peer(1, PeerConfig::new(0.05, 0.1)),
+            Err(ClusterError::DuplicatePeer(1))
+        ));
+        assert!(matches!(
+            m.add_peer(2, PeerConfig::new(-1.0, 0.1)),
+            Err(ClusterError::Params(_))
+        ));
+        assert_eq!(m.peer_count(), 1);
+        assert!(m.remove_peer(1));
+        assert!(!m.remove_peer(1));
+        assert_eq!(m.peer_count(), 0);
+        assert!(!m.record(1, Heartbeat::new(1, 0.0)), "unknown peer rejected");
+        assert_eq!(m.stats().unknown_heartbeats, 1);
+        m.shutdown();
+    }
+
+    #[test]
+    fn readd_after_remove_gets_fresh_state() {
+        let m = cluster();
+        m.add_peer(3, PeerConfig::new(0.02, 0.05)).unwrap();
+        drive_trusted(&m, 3, 0.02, 4);
+        assert!(m.status(3).unwrap().output.is_trust());
+        m.remove_peer(3);
+        m.add_peer(3, PeerConfig::new(0.02, 0.05)).unwrap();
+        let st = m.status(3).unwrap();
+        assert!(!st.output.is_trust(), "re-added peer starts suspected");
+        assert_eq!(st.counters.heartbeats, 0, "counters reset on re-add");
+        // Stale wheel entries from the first registration must not
+        // corrupt the new one: wait past the old deadline.
+        std::thread::sleep(Duration::from_millis(120));
+        assert_eq!(m.status(3).unwrap().counters.suspicions, 0);
+        m.shutdown();
+    }
+
+    #[test]
+    fn snapshot_splits_trusted_and_suspected() {
+        let m = cluster();
+        m.add_peer(1, PeerConfig::new(0.02, 0.05)).unwrap();
+        m.add_peer(2, PeerConfig::new(0.02, 0.05)).unwrap();
+        drive_trusted(&m, 1, 0.02, 5);
+        let snap = m.snapshot();
+        assert_eq!(snap.trusted(), vec![1]);
+        assert_eq!(snap.suspected(), vec![2]);
+        assert_eq!(snap.len(), 2);
+        assert!(snap.taken_at() > 0.0);
+        assert_eq!(snap.output(9), None);
+        assert!(snap.is_trusted(&1) && !snap.is_trusted(&2) && !snap.is_trusted(&9));
+        m.shutdown();
+    }
+
+    #[test]
+    fn membership_events_in_order() {
+        let m = cluster();
+        let rx = m.subscribe();
+        m.add_peer(5, PeerConfig::new(0.02, 0.04)).unwrap();
+        drive_trusted(&m, 5, 0.02, 4);
+        std::thread::sleep(Duration::from_millis(150)); // let it expire
+        m.remove_peer(5);
+        m.shutdown();
+
+        let mut changes = Vec::new();
+        while let Ok(ev) = rx.try_recv() {
+            if ev.peer == 5 {
+                changes.push(ev.change);
+            }
+        }
+        assert_eq!(
+            changes,
+            vec![
+                MembershipChange::Added,
+                MembershipChange::Trusted,
+                MembershipChange::Suspected,
+                MembershipChange::Removed,
+            ]
+        );
+    }
+
+    #[test]
+    fn slow_subscribers_lose_events_but_never_block() {
+        let m = ClusterMonitor::spawn(ClusterConfig {
+            event_capacity: 1,
+            ..ClusterConfig::default()
+        })
+        .expect("spawn");
+        let _rx = m.subscribe();
+        for p in 0..8 {
+            m.add_peer(p, PeerConfig::new(0.05, 0.1)).unwrap();
+        }
+        // Capacity 1: the first Added fits, the rest are dropped.
+        assert_eq!(m.stats().events_dropped, 7);
+        m.shutdown();
+    }
+
+    #[test]
+    fn dropping_all_handles_stops_the_ticker() {
+        let m = cluster();
+        m.add_peer(1, PeerConfig::new(0.05, 0.1)).unwrap();
+        drop(m);
+        // Nothing to assert directly (the thread is detached); this test
+        // exists so leak/deadlock detectors see the path exercised.
+        std::thread::sleep(Duration::from_millis(20));
+    }
+
+    #[test]
+    fn elector_runs_over_cluster_snapshot() {
+        use fd_runtime::{LeaderElector, Leadership};
+        let m = cluster();
+        for p in [1u64, 2, 3] {
+            m.add_peer(p, PeerConfig::new(0.02, 0.05)).unwrap();
+        }
+        let elector = LeaderElector::new(vec![1u64, 2, 3]);
+        assert_eq!(elector.current(&m.snapshot()), Leadership::NoLeader);
+        drive_trusted(&m, 2, 0.02, 5);
+        assert_eq!(elector.current(&m.snapshot()), Leadership::Leader(2));
+        m.shutdown();
+    }
+}

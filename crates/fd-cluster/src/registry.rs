@@ -1,0 +1,134 @@
+//! Sharded per-peer state storage.
+//!
+//! One global lock around N peers would serialize every heartbeat from
+//! every socket thread against the ticker. Instead peers hash into a
+//! fixed, power-of-two number of shards, each behind its own `RwLock`:
+//! recording a heartbeat write-locks exactly one shard, and snapshots
+//! read-lock shards one at a time. Shard choice is Fibonacci hashing —
+//! multiply by 2⁶⁴/φ and keep the top bits — which spreads even
+//! sequential peer ids (the common assignment) uniformly.
+
+use crate::PeerId;
+use fd_core::detectors::NfdE;
+use fd_metrics::FdOutput;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+
+/// 2⁶⁴ / φ, the Fibonacci-hashing multiplier.
+const FIB_MULT: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// Per-peer QoS counters, maintained since the peer was added.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PeerCounters {
+    /// Heartbeats recorded for this peer (fresh or stale).
+    pub heartbeats: u64,
+    /// Heartbeats carrying a sequence number at or below the largest
+    /// already seen — late, duplicated or reordered arrivals the
+    /// freshness logic ignores.
+    pub stale: u64,
+    /// Trust→Suspect transitions (the paper's S-transitions).
+    pub suspicions: u64,
+    /// Suspect→Trust transitions (T-transitions; the first one is the
+    /// initial trust, since every peer starts suspected).
+    pub recoveries: u64,
+}
+
+/// Everything the cluster tracks for one peer. Guarded by its shard's
+/// `RwLock`.
+#[derive(Debug)]
+pub(crate) struct PeerState {
+    /// The §6.3 freshness-point detector with its sliding-window
+    /// expected-arrival estimator.
+    pub detector: NfdE,
+    /// Output as of the last advance — what snapshots report.
+    pub last_output: FdOutput,
+    /// Registration generation; wheel entries from before a remove/re-add
+    /// carry an older generation and are discarded.
+    pub gen: u64,
+    /// Whether a wheel entry is currently outstanding for this peer (at
+    /// most one at a time; see `monitor`).
+    pub armed: bool,
+    /// Latest local time this peer's detector was driven to; concurrent
+    /// callers clamp to it so the detector's monotone-time contract holds.
+    pub last_seen: f64,
+    /// QoS counters.
+    pub counters: PeerCounters,
+}
+
+/// The sharded peer table.
+pub(crate) struct PeerRegistry {
+    shards: Vec<RwLock<HashMap<PeerId, PeerState>>>,
+    /// log₂(shard count), for the Fibonacci top-bits extraction.
+    shift: u32,
+}
+
+impl PeerRegistry {
+    /// Creates a registry with `shards` rounded up to a power of two (at
+    /// least 1).
+    pub fn new(shards: usize) -> Self {
+        let count = shards.max(1).next_power_of_two();
+        Self {
+            shards: (0..count).map(|_| RwLock::new(HashMap::new())).collect(),
+            shift: count.trailing_zeros(),
+        }
+    }
+
+    /// Which shard index holds `peer`.
+    pub fn shard_index(&self, peer: PeerId) -> usize {
+        if self.shift == 0 {
+            return 0;
+        }
+        (peer.wrapping_mul(FIB_MULT) >> (64 - self.shift)) as usize
+    }
+
+    /// The shard lock holding `peer`.
+    pub fn shard(&self, peer: PeerId) -> &RwLock<HashMap<PeerId, PeerState>> {
+        &self.shards[self.shard_index(peer)]
+    }
+
+    /// All shards, for whole-cluster scans (lock one at a time).
+    pub fn shards(&self) -> &[RwLock<HashMap<PeerId, PeerState>>] {
+        &self.shards
+    }
+
+    /// Total peers across all shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.read().len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rounds_shard_count_up_to_power_of_two() {
+        assert_eq!(PeerRegistry::new(0).shards().len(), 1);
+        assert_eq!(PeerRegistry::new(1).shards().len(), 1);
+        assert_eq!(PeerRegistry::new(3).shards().len(), 4);
+        assert_eq!(PeerRegistry::new(16).shards().len(), 16);
+        assert_eq!(PeerRegistry::new(17).shards().len(), 32);
+    }
+
+    #[test]
+    fn sequential_ids_spread_across_shards() {
+        let reg = PeerRegistry::new(16);
+        let mut per_shard = vec![0usize; 16];
+        for peer in 0..1600u64 {
+            per_shard[reg.shard_index(peer)] += 1;
+        }
+        // Fibonacci hashing keeps sequential ids close to uniform: every
+        // shard within 2× of the mean (100).
+        for (i, &n) in per_shard.iter().enumerate() {
+            assert!((50..=200).contains(&n), "shard {i} got {n} of 1600");
+        }
+    }
+
+    #[test]
+    fn single_shard_always_index_zero() {
+        let reg = PeerRegistry::new(1);
+        for peer in [0u64, 1, u64::MAX] {
+            assert_eq!(reg.shard_index(peer), 0);
+        }
+    }
+}

@@ -1,0 +1,233 @@
+//! Batched heartbeat wire protocol v1.
+//!
+//! The single-watch runtime ships one heartbeat per datagram
+//! (`fd-runtime::udp`, 20 bytes each). At cluster scale that is one
+//! syscall and one UDP header per peer per `η`; here many heartbeats
+//! share a datagram:
+//!
+//! | offset | size | field |
+//! |-------:|-----:|-------|
+//! | 0      | 2    | magic `[0xFD, 0xC1]` |
+//! | 2      | 1    | version (`1`) |
+//! | 3      | 1    | entry count `c` (1..=[`MAX_BATCH`]) |
+//! | 4 + 24·k | 8  | entry `k`: `peer_id: u64` LE |
+//! | 12 + 24·k | 8 | entry `k`: `seq: u64` LE |
+//! | 20 + 24·k | 8 | entry `k`: `send_time: f64` LE |
+//!
+//! The magic differs from the single-heartbeat magic (`[0xFD, 0xB1]`), so
+//! each receiver rejects the other's traffic instead of misparsing it.
+//! Decoding is strict: exact length for the declared count, known
+//! version, at least one entry, finite timestamps — a stray or corrupted
+//! packet yields `None`, never a bogus heartbeat.
+
+use crate::PeerId;
+
+/// Magic bytes opening every batch datagram.
+pub const BATCH_MAGIC: [u8; 2] = [0xFD, 0xC1];
+
+/// Version of the batch wire format.
+pub const BATCH_WIRE_VERSION: u8 = 1;
+
+/// Size of the batch header: magic, version, entry count.
+pub const HEADER_LEN: usize = 4;
+
+/// Size of one encoded heartbeat entry: `peer + seq + send_time`.
+pub const ENTRY_LEN: usize = 24;
+
+/// Most entries per datagram: `HEADER_LEN + MAX_BATCH · ENTRY_LEN`
+/// = 1468 bytes, under the 1472-byte UDP payload of a 1500-byte
+/// Ethernet MTU (no IP fragmentation).
+pub const MAX_BATCH: usize = 61;
+
+/// One peer's heartbeat inside a batch: which peer, which `mᵢ`, and the
+/// sender-clock timestamp `S` of §5.2 (NFD-E ignores it; estimators that
+/// assume synchronized clocks may use it).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HeartbeatEntry {
+    /// The monitored peer this heartbeat vouches for.
+    pub peer: PeerId,
+    /// Sequence number `i` of `mᵢ`, starting at 1.
+    pub seq: u64,
+    /// Send timestamp on the sender's clock, seconds.
+    pub send_time: f64,
+}
+
+/// Encodes a batch of heartbeat entries into one datagram.
+///
+/// # Panics
+///
+/// Panics if `entries` is empty or longer than [`MAX_BATCH`] — callers
+/// chunk before encoding.
+pub fn encode_batch(entries: &[HeartbeatEntry]) -> Vec<u8> {
+    assert!(
+        !entries.is_empty() && entries.len() <= MAX_BATCH,
+        "batch must hold 1..={MAX_BATCH} entries, got {}",
+        entries.len()
+    );
+    let mut buf = Vec::with_capacity(HEADER_LEN + entries.len() * ENTRY_LEN);
+    buf.extend_from_slice(&BATCH_MAGIC);
+    buf.push(BATCH_WIRE_VERSION);
+    buf.push(entries.len() as u8);
+    for e in entries {
+        buf.extend_from_slice(&e.peer.to_le_bytes());
+        buf.extend_from_slice(&e.seq.to_le_bytes());
+        buf.extend_from_slice(&e.send_time.to_le_bytes());
+    }
+    buf
+}
+
+/// Decodes a batch datagram.
+///
+/// Returns `None` for anything that is not exactly one well-formed
+/// current-version batch: short header, wrong magic, unknown version,
+/// zero entries, a length that disagrees with the declared count, or any
+/// non-finite timestamp.
+pub fn decode_batch(buf: &[u8]) -> Option<Vec<HeartbeatEntry>> {
+    if buf.len() < HEADER_LEN || buf[..2] != BATCH_MAGIC || buf[2] != BATCH_WIRE_VERSION {
+        return None;
+    }
+    let count = buf[3] as usize;
+    if count == 0 || count > MAX_BATCH || buf.len() != HEADER_LEN + count * ENTRY_LEN {
+        return None;
+    }
+    let mut entries = Vec::with_capacity(count);
+    for k in 0..count {
+        let base = HEADER_LEN + k * ENTRY_LEN;
+        let peer = u64::from_le_bytes(buf[base..base + 8].try_into().ok()?);
+        let seq = u64::from_le_bytes(buf[base + 8..base + 16].try_into().ok()?);
+        let send_time = f64::from_le_bytes(buf[base + 16..base + 24].try_into().ok()?);
+        if !send_time.is_finite() {
+            return None;
+        }
+        entries.push(HeartbeatEntry { peer, seq, send_time });
+    }
+    Some(entries)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(n: usize) -> Vec<HeartbeatEntry> {
+        (0..n)
+            .map(|k| HeartbeatEntry {
+                peer: k as u64 * 7 + 1,
+                seq: k as u64 + 1,
+                send_time: 0.05 * (k as f64 + 1.0),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn roundtrips_single_and_full_batches() {
+        for n in [1, 2, 8, MAX_BATCH] {
+            let entries = sample(n);
+            let buf = encode_batch(&entries);
+            assert_eq!(buf.len(), HEADER_LEN + n * ENTRY_LEN);
+            assert_eq!(decode_batch(&buf).as_deref(), Some(&entries[..]));
+        }
+    }
+
+    #[test]
+    fn rejects_foreign_and_malformed_headers() {
+        let good = encode_batch(&sample(3));
+        assert!(decode_batch(&good).is_some());
+
+        // The single-heartbeat protocol's magic must not decode as a batch.
+        let mut other = good.clone();
+        other[..2].copy_from_slice(&fd_runtime::HEARTBEAT_MAGIC);
+        assert_eq!(decode_batch(&other), None);
+
+        let mut future = good.clone();
+        future[2] = BATCH_WIRE_VERSION + 1;
+        assert_eq!(decode_batch(&future), None);
+
+        let mut zero = good.clone();
+        zero[3] = 0;
+        assert_eq!(decode_batch(&zero), None);
+
+        let mut wrong_count = good.clone();
+        wrong_count[3] = 4; // claims one more entry than present
+        assert_eq!(decode_batch(&wrong_count), None);
+
+        assert_eq!(decode_batch(&[]), None);
+        assert_eq!(decode_batch(&good[..HEADER_LEN - 1]), None);
+    }
+
+    #[test]
+    fn rejects_non_finite_timestamps() {
+        let mut buf = encode_batch(&sample(2));
+        let base = HEADER_LEN + ENTRY_LEN + 16; // second entry's send_time
+        buf[base..base + 8].copy_from_slice(&f64::NAN.to_le_bytes());
+        assert_eq!(decode_batch(&buf), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "batch must hold")]
+    fn encode_rejects_empty() {
+        encode_batch(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "batch must hold")]
+    fn encode_rejects_oversize() {
+        encode_batch(&sample(MAX_BATCH + 1));
+    }
+
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(256))]
+
+            #[test]
+            fn prop_roundtrip(
+                n in 1usize..MAX_BATCH,
+                peer0 in 0u64..u64::MAX,
+                seq0 in 0u64..u64::MAX,
+                ts in -1.0e12f64..1.0e12,
+            ) {
+                let entries: Vec<_> = (0..n)
+                    .map(|k| HeartbeatEntry {
+                        peer: peer0.wrapping_add(k as u64),
+                        seq: seq0.wrapping_add(k as u64),
+                        send_time: ts + k as f64,
+                    })
+                    .collect();
+                let buf = encode_batch(&entries);
+                prop_assert_eq!(decode_batch(&buf), Some(entries));
+            }
+
+            #[test]
+            fn prop_header_corruption_rejected(
+                n in 1usize..MAX_BATCH,
+                ts in -1.0e6f64..1.0e6,
+                idx in 0usize..HEADER_LEN,
+                flip in 1u8..255,
+            ) {
+                let entries: Vec<_> = (0..n)
+                    .map(|k| HeartbeatEntry { peer: k as u64, seq: k as u64 + 1, send_time: ts })
+                    .collect();
+                let mut buf = encode_batch(&entries);
+                buf[idx] ^= flip;
+                // Any header flip changes magic, version, or the count —
+                // all must reject (a flipped count mismatches the length).
+                prop_assert_eq!(decode_batch(&buf), None);
+            }
+
+            #[test]
+            fn prop_truncation_rejected(
+                n in 1usize..MAX_BATCH,
+                cut in 1usize..24,
+            ) {
+                let entries: Vec<_> = (0..n)
+                    .map(|k| HeartbeatEntry { peer: k as u64, seq: k as u64 + 1, send_time: 0.5 })
+                    .collect();
+                let buf = encode_batch(&entries);
+                let cut = cut.min(buf.len() - 1);
+                prop_assert_eq!(decode_batch(&buf[..buf.len() - cut]), None);
+            }
+        }
+    }
+}

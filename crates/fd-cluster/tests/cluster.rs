@@ -1,0 +1,221 @@
+//! End-to-end cluster tests: scale (1000 peers, one ticker), a UDP
+//! partition of one registry shard under the PR-1 fault plan, and leader
+//! election over live cluster snapshots.
+//!
+//! The tests in this file share wall-clock-sensitive resources (thread
+//! counts, heartbeat cadences), so they serialize on one mutex instead
+//! of trusting the harness's parallelism to stay out of the way.
+
+use fd_cluster::{
+    ClusterConfig, ClusterMonitor, ClusterReceiver, ClusterSender, ClusterSenderConfig, PeerConfig,
+    PeerId,
+};
+use fd_core::Heartbeat;
+use fd_runtime::{LeaderElector, Leadership};
+use fd_sim::{FaultPlan, LinkFault};
+use std::net::{Ipv4Addr, SocketAddr};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+static SERIAL: Mutex<()> = Mutex::new(());
+
+/// Threads in this process, from /proc (Linux only; `None` elsewhere).
+fn thread_count() -> Option<usize> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    status
+        .lines()
+        .find_map(|l| l.strip_prefix("Threads:"))
+        .and_then(|v| v.trim().parse().ok())
+}
+
+#[test]
+fn thousand_peers_one_ticker_thread() {
+    let _guard = SERIAL.lock().unwrap();
+    const N: u64 = 1000;
+    const ETA: f64 = 0.05;
+    const ALPHA: f64 = 0.15;
+
+    let monitor = ClusterMonitor::spawn(ClusterConfig::default()).expect("spawn");
+    let before = thread_count();
+    for p in 0..N {
+        monitor.add_peer(p, PeerConfig::new(ETA, ALPHA)).unwrap();
+    }
+    assert_eq!(monitor.peer_count(), N as usize);
+    // Adding peers must not add threads: all expirations ride the one
+    // timer wheel. (±2 tolerance for test-harness thread churn; exp_scale
+    // asserts the exact invariant in a single-purpose process.)
+    if let (Some(b), Some(a)) = (before, thread_count()) {
+        assert!(a <= b + 2, "adding {N} peers grew threads {b} -> {a}");
+    }
+
+    // Warm-up: heartbeat every peer each η.
+    for round in 1..=6u64 {
+        let t = monitor.now();
+        for p in 0..N {
+            monitor.record(p, Heartbeat::new(round, t));
+        }
+        std::thread::sleep(Duration::from_secs_f64(ETA));
+    }
+    let snap = monitor.snapshot();
+    assert_eq!(snap.trusted().len(), N as usize, "all peers trusted after warm-up");
+
+    // Crash a tenth of the cluster: stop their heartbeats, keep the rest.
+    let crashed: Vec<PeerId> = (0..N / 10).collect();
+    let events = monitor.subscribe();
+    let t_crash = monitor.now();
+    for round in 7..=14u64 {
+        let t = monitor.now();
+        for p in N / 10..N {
+            monitor.record(p, Heartbeat::new(round, t));
+        }
+        std::thread::sleep(Duration::from_secs_f64(ETA));
+    }
+
+    let snap = monitor.snapshot();
+    assert_eq!(snap.suspected(), crashed, "exactly the crashed peers suspected");
+    assert_eq!(snap.trusted().len(), (N - N / 10) as usize);
+
+    // Per-peer detection bound: every suspicion lands within η + α of the
+    // crash (plus generous slack for wheel tick + scheduler jitter).
+    let mut suspected = 0;
+    let mut worst = 0.0f64;
+    while let Ok(ev) = events.try_recv() {
+        if ev.change == fd_cluster::MembershipChange::Suspected {
+            assert!(ev.peer < N / 10, "live peer {} suspected", ev.peer);
+            suspected += 1;
+            worst = worst.max(ev.at - t_crash);
+        }
+    }
+    assert_eq!(suspected, (N / 10) as usize, "one suspicion event per crashed peer");
+    assert!(
+        worst <= ETA + ALPHA + 0.1,
+        "worst detection time {worst:.3}s exceeds η+α+slack = {:.3}s",
+        ETA + ALPHA + 0.1
+    );
+
+    let stats = monitor.stats();
+    assert!(stats.ticks > 0 && stats.timers_fired > 0);
+    monitor.shutdown();
+}
+
+#[test]
+fn udp_partition_of_one_shard_suspects_exactly_that_shard() {
+    let _guard = SERIAL.lock().unwrap();
+    const N: u64 = 64;
+    const ETA: f64 = 0.03;
+    const ALPHA: f64 = 0.09;
+    const T_PARTITION: f64 = 0.2;
+
+    let monitor = ClusterMonitor::spawn(ClusterConfig::default()).expect("spawn");
+    for p in 0..N {
+        monitor.add_peer(p, PeerConfig::new(ETA, ALPHA)).unwrap();
+    }
+    // Partition the peers of one registry shard, as the acceptance
+    // criteria demand — shard 0's members under Fibonacci hashing.
+    let partitioned: Vec<PeerId> = (0..N).filter(|&p| monitor.shard_index(p) == 0).collect();
+    assert!(!partitioned.is_empty(), "shard 0 must hold some of {N} peers");
+    assert!(partitioned.len() < N as usize / 2, "partition must be a strict minority");
+
+    let rx = ClusterReceiver::bind(SocketAddr::from((Ipv4Addr::LOCALHOST, 0)), monitor.clone())
+        .expect("bind");
+    let plan = FaultPlan::new(42).link_fault(T_PARTITION, LinkFault::Partition);
+    let mut tx = ClusterSender::connect(
+        rx.local_addr(),
+        ClusterSenderConfig {
+            fault_plan: Some(plan),
+            faulty_peers: Some(partitioned.clone()),
+            ..ClusterSenderConfig::default()
+        },
+    )
+    .expect("connect");
+
+    // Heartbeat all peers every η; the plan cuts the shard's entries off
+    // from T_PARTITION onward while the rest of each batch still flows.
+    let deadline = ETA + ALPHA + 0.25;
+    let start = monitor.now();
+    let mut round = 0u64;
+    while monitor.now() - start < T_PARTITION + deadline {
+        round += 1;
+        let t = monitor.now();
+        for p in 0..N {
+            tx.queue(p, round, t).unwrap();
+        }
+        tx.flush().unwrap();
+        std::thread::sleep(Duration::from_secs_f64(ETA));
+    }
+
+    // Batching: 64 entries per round pack into two datagrams (61 + 3).
+    assert!(
+        tx.batching_factor() >= 8.0,
+        "batching factor {:.1} below 8",
+        tx.batching_factor()
+    );
+    assert_eq!(rx.rejected(), 0);
+    assert!(rx.entries_received() > 0);
+
+    let snap = monitor.snapshot();
+    assert_eq!(
+        snap.suspected(),
+        partitioned,
+        "exactly the partitioned shard suspected (snapshot at {:.3})",
+        snap.taken_at()
+    );
+    assert_eq!(snap.trusted().len(), N as usize - partitioned.len());
+
+    // Leader election over the live snapshot: a ranking headed by a
+    // partitioned peer demotes to the first un-partitioned one.
+    let head = partitioned[0];
+    let backup = (0..N).find(|p| !partitioned.contains(p)).unwrap();
+    let elector = LeaderElector::new(vec![head, backup]);
+    assert_eq!(elector.current(&snap), Leadership::Leader(backup));
+
+    rx.shutdown();
+    monitor.shutdown();
+}
+
+#[test]
+fn leader_reelection_on_peer_recovery() {
+    let _guard = SERIAL.lock().unwrap();
+    const ETA: f64 = 0.02;
+    const ALPHA: f64 = 0.05;
+    let monitor = ClusterMonitor::spawn(ClusterConfig::default()).expect("spawn");
+    monitor.add_peer(1, PeerConfig::new(ETA, ALPHA)).unwrap();
+    monitor.add_peer(2, PeerConfig::new(ETA, ALPHA)).unwrap();
+    let elector = LeaderElector::new(vec![1u64, 2]);
+
+    let beat = |peers: &[PeerId], rounds: std::ops::RangeInclusive<u64>| {
+        for round in rounds {
+            let t = monitor.now();
+            for &p in peers {
+                monitor.record(p, Heartbeat::new(round, t));
+            }
+            std::thread::sleep(Duration::from_secs_f64(ETA));
+        }
+    };
+
+    beat(&[1, 2], 1..=5);
+    assert_eq!(elector.current(&monitor.snapshot()), Leadership::Leader(1));
+
+    // Peer 1 goes quiet: demotion to peer 2 within the detection bound.
+    let t0 = Instant::now();
+    loop {
+        beat(&[2], 6..=6);
+        if elector.current(&monitor.snapshot()) == Leadership::Leader(2) {
+            break;
+        }
+        assert!(t0.elapsed() < Duration::from_secs(5), "demotion too slow");
+    }
+
+    // Peer 1 recovers: its heartbeats resume and it reclaims the lead.
+    let t0 = Instant::now();
+    let mut round = 7;
+    loop {
+        beat(&[1, 2], round..=round);
+        round += 1;
+        if elector.current(&monitor.snapshot()) == Leadership::Leader(1) {
+            break;
+        }
+        assert!(t0.elapsed() < Duration::from_secs(5), "re-election too slow");
+    }
+    monitor.shutdown();
+}

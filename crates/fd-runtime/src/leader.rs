@@ -1,4 +1,4 @@
-//! Leader election on top of the failure-detection service.
+//! Leader election on top of a failure-detection view.
 //!
 //! The paper's introduction motivates failure detectors through the
 //! layers built on them — group membership, cluster management,
@@ -12,31 +12,71 @@
 //!   rate `λ_M`, and last at most a mistake duration `T_M` — the reason
 //!   the paper calls `λ_M` "important to long-lived applications where
 //!   each mistake results in a costly interrupt".
+//!
+//! The elector reads suspicion through the [`TrustView`] abstraction, so
+//! the same ranking logic runs over a per-watch [`Service`], a plain
+//! `HashMap` of outputs (e.g. a recorded snapshot), or `fd-cluster`'s
+//! many-peer `ClusterSnapshot` — candidates can be names (`String`) or
+//! numeric peer ids.
 
 use crate::Service;
+use fd_metrics::FdOutput;
+use std::collections::HashMap;
 use std::fmt;
+use std::hash::Hash;
 
-/// An Ω-style leader elector over a [`Service`].
+/// A point-in-time answer to "do you currently trust this candidate?".
+///
+/// Anything that can answer per-candidate implements this: the runtime
+/// [`Service`], a `HashMap<K, FdOutput>` snapshot, or a cluster
+/// membership snapshot. Candidates the view does not know count as
+/// suspected (fail-safe: an unmonitored process must not lead).
+pub trait TrustView<K: ?Sized> {
+    /// Whether `candidate` is currently trusted.
+    fn is_trusted(&self, candidate: &K) -> bool;
+}
+
+impl TrustView<String> for Service {
+    fn is_trusted(&self, candidate: &String) -> bool {
+        self.output(candidate).is_some_and(|o| o.is_trust())
+    }
+}
+
+impl<K: Eq + Hash> TrustView<K> for HashMap<K, FdOutput> {
+    fn is_trusted(&self, candidate: &K) -> bool {
+        self.get(candidate).is_some_and(|o| o.is_trust())
+    }
+}
+
+impl<K: ?Sized, V: TrustView<K>> TrustView<K> for &V {
+    fn is_trusted(&self, candidate: &K) -> bool {
+        (**self).is_trusted(candidate)
+    }
+}
+
+/// An Ω-style leader elector over any [`TrustView`].
 ///
 /// Candidates are ranked by the order given at construction; the current
 /// leader is the first candidate the underlying failure detectors do not
-/// suspect.
+/// suspect. The ranking is total and fixed, so the choice among several
+/// trusted candidates is deterministic — repeated reads of the same view
+/// return the same leader.
 #[derive(Debug)]
-pub struct LeaderElector {
-    /// Candidate names, in priority order.
-    ranking: Vec<String>,
+pub struct LeaderElector<K = String> {
+    /// Candidate keys, in priority order.
+    ranking: Vec<K>,
 }
 
 /// A leadership reading.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub enum Leadership {
+pub enum Leadership<K = String> {
     /// This candidate currently leads.
-    Leader(String),
+    Leader(K),
     /// Every candidate is suspected.
     NoLeader,
 }
 
-impl fmt::Display for Leadership {
+impl<K: fmt::Display> fmt::Display for Leadership<K> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Leadership::Leader(n) => write!(f, "leader: {n}"),
@@ -45,33 +85,35 @@ impl fmt::Display for Leadership {
     }
 }
 
-impl LeaderElector {
+impl<K: Clone + PartialEq> LeaderElector<K> {
     /// Creates an elector over the given priority ranking.
     ///
     /// # Panics
     ///
     /// Panics if `ranking` is empty or contains duplicates.
-    pub fn new(ranking: Vec<String>) -> Self {
+    pub fn new(ranking: Vec<K>) -> Self {
         assert!(!ranking.is_empty(), "ranking must not be empty");
-        let mut dedup = ranking.clone();
-        dedup.sort();
-        dedup.dedup();
-        assert_eq!(dedup.len(), ranking.len(), "ranking contains duplicates");
+        for (i, k) in ranking.iter().enumerate() {
+            assert!(
+                !ranking[..i].contains(k),
+                "ranking contains duplicates (position {i})"
+            );
+        }
         Self { ranking }
     }
 
     /// The candidate ranking.
-    pub fn ranking(&self) -> &[String] {
+    pub fn ranking(&self) -> &[K] {
         &self.ranking
     }
 
-    /// Reads the current leader from the service's suspicion state.
-    /// Candidates the service does not watch count as suspected.
-    pub fn current(&self, service: &Service) -> Leadership {
-        let status = service.status();
-        for name in &self.ranking {
-            if status.get(name).is_some_and(|o| o.is_trust()) {
-                return Leadership::Leader(name.clone());
+    /// Reads the current leader from a suspicion view: the
+    /// highest-priority candidate the view trusts. Candidates the view
+    /// does not know count as suspected.
+    pub fn current<V: TrustView<K>>(&self, view: &V) -> Leadership<K> {
+        for k in &self.ranking {
+            if view.is_trusted(k) {
+                return Leadership::Leader(k.clone());
             }
         }
         Leadership::NoLeader
@@ -85,6 +127,23 @@ mod tests {
     use fd_core::config::NfdUParams;
     use fd_stats::dist::Exponential;
     use std::time::{Duration, Instant};
+
+    /// Polls until the elector reads `want` (the suite may run under
+    /// heavy parallel load, so fixed sleeps are too fragile).
+    fn await_leadership(elector: &LeaderElector, svc: &Service, want: &Leadership) {
+        let t0 = Instant::now();
+        loop {
+            if elector.current(svc) == *want {
+                return;
+            }
+            assert!(
+                t0.elapsed() < Duration::from_secs(5),
+                "timed out waiting for {want:?} (currently {:?})",
+                elector.current(svc)
+            );
+            std::thread::sleep(Duration::from_millis(2));
+        }
+    }
 
     fn watch(svc: &mut Service, name: &str, seed: u64) {
         let link = LinkSpec::new(
@@ -110,19 +169,11 @@ mod tests {
         let elector = LeaderElector::new(vec!["n1".into(), "n2".into(), "n3".into()]);
 
         // Warm-up: n1 leads.
-        std::thread::sleep(Duration::from_millis(150));
-        assert_eq!(elector.current(&svc), Leadership::Leader("n1".into()));
+        await_leadership(&elector, &svc, &Leadership::Leader("n1".into()));
 
         // Crash the leader: failover to n2 within the detection bound.
         svc.crash("n1");
-        let t0 = Instant::now();
-        loop {
-            if elector.current(&svc) == Leadership::Leader("n2".into()) {
-                break;
-            }
-            assert!(t0.elapsed() < Duration::from_secs(5), "failover too slow");
-            std::thread::sleep(Duration::from_millis(2));
-        }
+        await_leadership(&elector, &svc, &Leadership::Leader("n2".into()));
         svc.shutdown();
     }
 
@@ -131,17 +182,9 @@ mod tests {
         let mut svc = Service::new();
         watch(&mut svc, "solo", 9);
         let elector = LeaderElector::new(vec!["solo".into()]);
-        std::thread::sleep(Duration::from_millis(120));
-        assert_eq!(elector.current(&svc), Leadership::Leader("solo".into()));
+        await_leadership(&elector, &svc, &Leadership::Leader("solo".into()));
         svc.crash("solo");
-        let t0 = Instant::now();
-        loop {
-            if elector.current(&svc) == Leadership::NoLeader {
-                break;
-            }
-            assert!(t0.elapsed() < Duration::from_secs(5));
-            std::thread::sleep(Duration::from_millis(2));
-        }
+        await_leadership(&elector, &svc, &Leadership::NoLeader);
         svc.shutdown();
     }
 
@@ -150,28 +193,103 @@ mod tests {
         let mut svc = Service::new();
         watch(&mut svc, "b", 3);
         let elector = LeaderElector::new(vec!["ghost".into(), "b".into()]);
-        std::thread::sleep(Duration::from_millis(150));
-        assert_eq!(elector.current(&svc), Leadership::Leader("b".into()));
+        await_leadership(&elector, &svc, &Leadership::Leader("b".into()));
         svc.shutdown();
     }
 
     #[test]
     #[should_panic(expected = "ranking must not be empty")]
     fn rejects_empty_ranking() {
-        LeaderElector::new(vec![]);
+        LeaderElector::<String>::new(vec![]);
     }
 
     #[test]
     #[should_panic(expected = "duplicates")]
     fn rejects_duplicate_ranking() {
-        LeaderElector::new(vec!["a".into(), "a".into()]);
+        LeaderElector::new(vec!["a".to_string(), "a".to_string()]);
     }
 
     #[test]
     fn display_and_accessors() {
-        let e = LeaderElector::new(vec!["x".into()]);
+        let e = LeaderElector::new(vec!["x".to_string()]);
         assert_eq!(e.ranking(), &["x".to_string()]);
-        assert_eq!(Leadership::Leader("x".into()).to_string(), "leader: x");
-        assert!(Leadership::NoLeader.to_string().contains("no leader"));
+        assert_eq!(Leadership::Leader("x".to_string()).to_string(), "leader: x");
+        assert_eq!(Leadership::<String>::NoLeader.to_string(), "no leader (all candidates suspected)");
+    }
+
+    // --- snapshot-driven elections (the cluster-facing path) ---
+
+    type Snapshot = HashMap<u64, FdOutput>;
+
+    fn snapshot(pairs: &[(u64, FdOutput)]) -> Snapshot {
+        pairs.iter().copied().collect()
+    }
+
+    #[test]
+    fn snapshot_leader_demoted_on_suspicion() {
+        let elector = LeaderElector::new(vec![1u64, 2, 3]);
+        let all_up = snapshot(&[
+            (1, FdOutput::Trust),
+            (2, FdOutput::Trust),
+            (3, FdOutput::Trust),
+        ]);
+        assert_eq!(elector.current(&all_up), Leadership::Leader(1));
+
+        // The leader is suspected: demotion to the next ranked peer.
+        let leader_down = snapshot(&[
+            (1, FdOutput::Suspect),
+            (2, FdOutput::Trust),
+            (3, FdOutput::Trust),
+        ]);
+        assert_eq!(elector.current(&leader_down), Leadership::Leader(2));
+
+        // Cascading suspicion walks the ranking.
+        let two_down = snapshot(&[
+            (1, FdOutput::Suspect),
+            (2, FdOutput::Suspect),
+            (3, FdOutput::Trust),
+        ]);
+        assert_eq!(elector.current(&two_down), Leadership::Leader(3));
+    }
+
+    #[test]
+    fn snapshot_reelection_on_recovery() {
+        let elector = LeaderElector::new(vec![1u64, 2]);
+        let down = snapshot(&[(1, FdOutput::Suspect), (2, FdOutput::Trust)]);
+        assert_eq!(elector.current(&down), Leadership::Leader(2));
+        // Peer 1 recovers (detector trusts again): it reclaims leadership
+        // because the ranking, not incumbency, decides.
+        let recovered = snapshot(&[(1, FdOutput::Trust), (2, FdOutput::Trust)]);
+        assert_eq!(elector.current(&recovered), Leadership::Leader(1));
+    }
+
+    #[test]
+    fn snapshot_ties_break_stably_by_ranking() {
+        // Several trusted candidates: the choice is the ranking order,
+        // independent of map iteration order and stable across reads.
+        let view = snapshot(&[
+            (9, FdOutput::Trust),
+            (4, FdOutput::Trust),
+            (7, FdOutput::Trust),
+        ]);
+        let elector = LeaderElector::new(vec![7u64, 9, 4]);
+        let first = elector.current(&view);
+        assert_eq!(first, Leadership::Leader(7));
+        for _ in 0..10 {
+            assert_eq!(elector.current(&view), first, "leader choice must be stable");
+        }
+        // A differently-ranked elector over the same view picks its own
+        // first trusted candidate — rank decides, not key order.
+        let other = LeaderElector::new(vec![4u64, 7, 9]);
+        assert_eq!(other.current(&view), Leadership::Leader(4));
+    }
+
+    #[test]
+    fn snapshot_unknown_candidates_count_as_suspected() {
+        let view = snapshot(&[(2, FdOutput::Trust)]);
+        let elector = LeaderElector::new(vec![1u64, 2]);
+        assert_eq!(elector.current(&view), Leadership::Leader(2));
+        let none = LeaderElector::new(vec![5u64, 6]);
+        assert_eq!(none.current(&view), Leadership::NoLeader);
     }
 }

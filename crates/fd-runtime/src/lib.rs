@@ -62,10 +62,13 @@ pub mod udp;
 pub use clock::{Clock, JumpableClock, SkewedClock, WallClock};
 pub use error::{Health, RuntimeError};
 pub use heartbeater::Heartbeater;
-pub use leader::{LeaderElector, Leadership};
+pub use leader::{LeaderElector, Leadership, TrustView};
 pub use monitor::{DetectorFactory, Monitor};
 pub use service::{ProcessSpec, Service, ServiceError};
 pub use transport::{
     BadLossProbability, LinkSpec, LossyChannel, Receiver, Sender, DEFAULT_CHANNEL_CAPACITY,
 };
-pub use udp::{UdpHeartbeatReceiver, UdpHeartbeatSender, UdpSenderConfig};
+pub use udp::{
+    UdpHeartbeatReceiver, UdpHeartbeatSender, UdpSenderConfig, HEARTBEAT_MAGIC,
+    HEARTBEAT_WIRE_VERSION,
+};

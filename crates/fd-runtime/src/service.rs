@@ -354,6 +354,17 @@ impl Service {
             .collect()
     }
 
+    /// Current output for a single watched process, `None` if not
+    /// watched. A watch whose monitor is stopped reads as `Suspect`.
+    pub fn output(&self, name: &str) -> Option<FdOutput> {
+        self.watches.get(name).map(|w| {
+            w.monitor
+                .as_ref()
+                .map(|m| m.output())
+                .unwrap_or(FdOutput::Suspect)
+        })
+    }
+
     /// Health of the watch machinery for `name` (the monitor's
     /// supervision state — *not* whether the watched process is alive;
     /// that is [`Service::status`]). `None` if not watched.
@@ -438,12 +449,15 @@ fn spawn_fault_driver(
         .spawn(move || {
             for ev in events {
                 let due = start + ev.at();
+                // Sleep until the event's deadline in one wait (woken
+                // early only by a stop request); the loop merely absorbs
+                // early wakeups, it does not poll on a fixed period.
                 loop {
                     let now = base.now();
                     if now >= due {
                         break;
                     }
-                    let wait = Duration::from_secs_f64((due - now).clamp(1e-6, 0.05));
+                    let wait = Duration::from_secs_f64((due - now).max(1e-6));
                     match stop_rx.recv_timeout(wait) {
                         Err(channel::RecvTimeoutError::Timeout) => {}
                         _ => return, // stop requested or driver orphaned

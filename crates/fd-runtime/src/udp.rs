@@ -10,9 +10,13 @@
 //! [`FaultPlan`] — keeping the wire-protocol and socket code paths honest
 //! while still exercising the probabilistic model.
 //!
-//! Wire format (16 bytes, little-endian): `seq: u64`, `send_time: f64`
-//! (seconds on the sender's clock — exactly the paper's timestamp `S` of
-//! §5.2).
+//! Wire format (20 bytes, little-endian): a 4-byte header — magic
+//! `[0xFD, 0xB1]`, version `1`, one reserved zero byte — then `seq: u64`
+//! and `send_time: f64` (seconds on the sender's clock — exactly the
+//! paper's timestamp `S` of §5.2). The header lets the receive pump
+//! reject stray datagrams (a mistargeted packet, an old-version sender,
+//! or the cluster batch protocol of `fd-cluster`, which uses a different
+//! magic) instead of misreading their bytes as a heartbeat.
 
 use crate::error::RuntimeError;
 use crate::transport::{Receiver, DEFAULT_CHANNEL_CAPACITY};
@@ -28,27 +32,44 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-/// Size of one encoded heartbeat datagram.
-pub const DATAGRAM_LEN: usize = 16;
+/// Magic bytes opening every single-heartbeat datagram.
+pub const HEARTBEAT_MAGIC: [u8; 2] = [0xFD, 0xB1];
 
-/// Encodes a heartbeat into its 16-byte wire representation.
+/// Version of the single-heartbeat wire format.
+pub const HEARTBEAT_WIRE_VERSION: u8 = 1;
+
+/// Size of one encoded heartbeat datagram: 4-byte header (magic,
+/// version, reserved) + `seq` + `send_time`.
+pub const DATAGRAM_LEN: usize = 20;
+
+/// Encodes a heartbeat into its 20-byte wire representation.
 pub fn encode_heartbeat(hb: Heartbeat) -> [u8; DATAGRAM_LEN] {
     let mut buf = [0u8; DATAGRAM_LEN];
-    buf[..8].copy_from_slice(&hb.seq.to_le_bytes());
-    buf[8..].copy_from_slice(&hb.send_time.to_le_bytes());
+    buf[..2].copy_from_slice(&HEARTBEAT_MAGIC);
+    buf[2] = HEARTBEAT_WIRE_VERSION;
+    buf[3] = 0; // reserved
+    buf[4..12].copy_from_slice(&hb.seq.to_le_bytes());
+    buf[12..].copy_from_slice(&hb.send_time.to_le_bytes());
     buf
 }
 
 /// Decodes a heartbeat from its wire representation.
 ///
-/// Returns `None` for short datagrams or non-finite timestamps (a
-/// corrupted or foreign packet must not panic a monitor).
+/// Returns `None` for anything that is not exactly one well-formed
+/// current-version heartbeat: wrong length, wrong magic, unknown
+/// version, non-zero reserved byte, or a non-finite timestamp. A
+/// corrupted or foreign packet must not panic — or silently feed — a
+/// monitor.
 pub fn decode_heartbeat(buf: &[u8]) -> Option<Heartbeat> {
-    if buf.len() < DATAGRAM_LEN {
+    if buf.len() != DATAGRAM_LEN
+        || buf[..2] != HEARTBEAT_MAGIC
+        || buf[2] != HEARTBEAT_WIRE_VERSION
+        || buf[3] != 0
+    {
         return None;
     }
-    let seq = u64::from_le_bytes(buf[..8].try_into().ok()?);
-    let send_time = f64::from_le_bytes(buf[8..16].try_into().ok()?);
+    let seq = u64::from_le_bytes(buf[4..12].try_into().ok()?);
+    let send_time = f64::from_le_bytes(buf[12..20].try_into().ok()?);
     if !send_time.is_finite() {
         return None;
     }
@@ -214,6 +235,18 @@ impl UdpHeartbeatReceiver {
         Self::bind_with_capacity(DEFAULT_CHANNEL_CAPACITY)
     }
 
+    /// Binds an explicit address (e.g. a non-loopback interface, or a
+    /// fixed port) and starts the receive pump with the default channel
+    /// capacity.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::Net`] on socket errors and
+    /// [`RuntimeError::Spawn`] if the pump thread cannot start.
+    pub fn bind_to(addr: SocketAddr) -> Result<Self, RuntimeError> {
+        Self::bind_to_with_capacity(addr, DEFAULT_CHANNEL_CAPACITY)
+    }
+
     /// Like [`UdpHeartbeatReceiver::bind`], with an explicit heartbeat
     /// channel capacity (clamped to at least 1).
     ///
@@ -222,13 +255,31 @@ impl UdpHeartbeatReceiver {
     /// Returns [`RuntimeError::Net`] on socket errors and
     /// [`RuntimeError::Spawn`] if the pump thread cannot start.
     pub fn bind_with_capacity(capacity: usize) -> Result<Self, RuntimeError> {
-        let socket =
-            UdpSocket::bind(("127.0.0.1", 0)).map_err(|e| RuntimeError::net("bind", e))?;
+        Self::bind_to_with_capacity(
+            SocketAddr::from((std::net::Ipv4Addr::LOCALHOST, 0)),
+            capacity,
+        )
+    }
+
+    /// Binds an explicit address with an explicit heartbeat channel
+    /// capacity (clamped to at least 1).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::Net`] on socket errors and
+    /// [`RuntimeError::Spawn`] if the pump thread cannot start.
+    pub fn bind_to_with_capacity(
+        addr: SocketAddr,
+        capacity: usize,
+    ) -> Result<Self, RuntimeError> {
+        let socket = UdpSocket::bind(addr).map_err(|e| RuntimeError::net("bind", e))?;
         let addr = socket.local_addr().map_err(|e| RuntimeError::net("local_addr", e))?;
         // The shutdown socket must exist *before* the pump starts, so the
-        // pump can verify the sentinel's source address.
-        let shutdown =
-            UdpSocket::bind(("127.0.0.1", 0)).map_err(|e| RuntimeError::net("bind", e))?;
+        // pump can verify the sentinel's source address. It binds to the
+        // loopback of the same family: that is where the sentinel is sent
+        // from (and, for an unspecified bind address, to).
+        let shutdown = UdpSocket::bind((loopback_ip(&addr), 0))
+            .map_err(|e| RuntimeError::net("bind", e))?;
         let shutdown_addr =
             shutdown.local_addr().map_err(|e| RuntimeError::net("local_addr", e))?;
         let (tx, rx) = channel::bounded(capacity.max(1));
@@ -271,9 +322,24 @@ impl UdpHeartbeatReceiver {
 
     fn stop(&mut self) {
         if let Some(h) = self.handle.take() {
-            let _ = self.shutdown.send_to(&SHUTDOWN_SENTINEL, self.addr);
+            // An unspecified bind address (0.0.0.0 / ::) is not a valid
+            // destination; the loopback of the same family reaches the
+            // same socket.
+            let mut target = self.addr;
+            if target.ip().is_unspecified() {
+                target.set_ip(loopback_ip(&target));
+            }
+            let _ = self.shutdown.send_to(&SHUTDOWN_SENTINEL, target);
             let _ = h.join();
         }
+    }
+}
+
+/// The loopback address of `addr`'s family.
+fn loopback_ip(addr: &SocketAddr) -> std::net::IpAddr {
+    match addr {
+        SocketAddr::V4(_) => std::net::Ipv4Addr::LOCALHOST.into(),
+        SocketAddr::V6(_) => std::net::Ipv6Addr::LOCALHOST.into(),
     }
 }
 
@@ -334,8 +400,70 @@ mod tests {
     fn codec_rejects_garbage() {
         assert_eq!(decode_heartbeat(&[1, 2, 3]), None);
         let mut buf = encode_heartbeat(Heartbeat::new(1, 0.0));
-        buf[8..].copy_from_slice(&f64::NAN.to_le_bytes());
+        buf[12..].copy_from_slice(&f64::NAN.to_le_bytes());
         assert_eq!(decode_heartbeat(&buf), None);
+    }
+
+    #[test]
+    fn codec_rejects_stray_headers() {
+        let good = encode_heartbeat(Heartbeat::new(3, 1.25));
+        // Wrong magic.
+        let mut buf = good;
+        buf[0] = 0x00;
+        assert_eq!(decode_heartbeat(&buf), None);
+        // Unknown (future) version.
+        let mut buf = good;
+        buf[2] = HEARTBEAT_WIRE_VERSION + 1;
+        assert_eq!(decode_heartbeat(&buf), None);
+        // Non-zero reserved byte.
+        let mut buf = good;
+        buf[3] = 7;
+        assert_eq!(decode_heartbeat(&buf), None);
+        // Trailing bytes make it some other (longer) protocol's datagram.
+        let mut long = good.to_vec();
+        long.push(0);
+        assert_eq!(decode_heartbeat(&long), None);
+        // The pristine datagram still decodes.
+        assert_eq!(decode_heartbeat(&good), Some(Heartbeat::new(3, 1.25)));
+    }
+
+    mod codec_props {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// Every encodable heartbeat survives a wire roundtrip.
+            #[test]
+            fn prop_roundtrip(seq in 0u64..u64::MAX, ts in -1.0e12f64..1.0e12) {
+                let hb = Heartbeat::new(seq, ts);
+                prop_assert_eq!(decode_heartbeat(&encode_heartbeat(hb)), Some(hb));
+            }
+
+            /// Any corruption of the 4-byte header rejects the datagram —
+            /// the property that keeps stray packets out of monitors.
+            #[test]
+            fn prop_header_corruption_rejected(
+                seq in 0u64..u64::MAX,
+                ts in -1.0e9f64..1.0e9,
+                idx in 0usize..4,
+                flip in 1u8..255,
+            ) {
+                let mut buf = encode_heartbeat(Heartbeat::new(seq, ts));
+                buf[idx] ^= flip;
+                prop_assert_eq!(decode_heartbeat(&buf), None);
+            }
+
+            /// Every truncation is rejected (no partial reads).
+            #[test]
+            fn prop_truncation_rejected(
+                seq in 0u64..u64::MAX,
+                ts in -1.0e9f64..1.0e9,
+                len in 0usize..DATAGRAM_LEN,
+            ) {
+                let buf = encode_heartbeat(Heartbeat::new(seq, ts));
+                prop_assert_eq!(decode_heartbeat(&buf[..len]), None);
+            }
+        }
     }
 
     #[test]
@@ -355,6 +483,41 @@ mod tests {
         got.sort_unstable();
         assert_eq!(got, vec![1, 2, 3, 4, 5]);
         receiver.shutdown();
+    }
+
+    #[test]
+    fn bind_to_explicit_addr_flows_and_shuts_down() {
+        let receiver =
+            UdpHeartbeatReceiver::bind_to("127.0.0.1:0".parse().unwrap()).expect("bind");
+        let mut sender =
+            UdpHeartbeatSender::connect(receiver.local_addr(), UdpSenderConfig::default())
+                .expect("connect");
+        sender.send(Heartbeat::new(1, 0.5)).unwrap();
+        let hb = receiver
+            .receiver()
+            .recv_timeout(Duration::from_secs(2))
+            .expect("deliver");
+        assert_eq!(hb.seq, 1);
+        receiver.shutdown();
+    }
+
+    #[test]
+    fn bind_to_unspecified_addr_still_shuts_down() {
+        // 0.0.0.0 is bindable but not a valid sentinel destination; the
+        // shutdown path must reroute via loopback instead of hanging.
+        let receiver =
+            UdpHeartbeatReceiver::bind_to("0.0.0.0:0".parse().unwrap()).expect("bind");
+        let port = receiver.local_addr().port();
+        let target: SocketAddr = format!("127.0.0.1:{port}").parse().unwrap();
+        let mut sender =
+            UdpHeartbeatSender::connect(target, UdpSenderConfig::default()).expect("connect");
+        sender.send(Heartbeat::new(2, 0.0)).unwrap();
+        let hb = receiver
+            .receiver()
+            .recv_timeout(Duration::from_secs(2))
+            .expect("deliver");
+        assert_eq!(hb.seq, 2);
+        receiver.shutdown(); // must return promptly, not block on a dead pump
     }
 
     #[test]

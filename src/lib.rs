@@ -11,6 +11,7 @@
 //! | [`fd_core`] | NFD-S / NFD-U / NFD-E, the simple baseline, Theorem 5 analysis, §4–§6 configurators, §5.2/6.3 estimators, §8.1 adaptivity |
 //! | [`fd_sim`] | discrete-event simulator and §7 measurement harnesses |
 //! | [`fd_runtime`] | real-time threaded runtime and multi-process service |
+//! | [`fd_cluster`] | many-peer membership layer: sharded registry, timer-wheel expiry, batched heartbeat transport |
 //! | [`fd_stats`] | delay distributions, online statistics, quadrature |
 //!
 //! ## Quickstart
@@ -39,6 +40,7 @@
 
 #![forbid(unsafe_code)]
 
+pub use fd_cluster;
 pub use fd_core;
 pub use fd_metrics;
 pub use fd_runtime;
@@ -61,6 +63,10 @@ pub mod prelude {
     pub use fd_sim::{
         FaultInjector, FaultPlan, FaultyLink, Link, LinkFault, ProcessEvent, RunOptions,
         StopCondition,
+    };
+    pub use fd_cluster::{
+        ClusterConfig, ClusterMonitor, ClusterSnapshot, MembershipChange, MembershipEvent,
+        PeerConfig, PeerId,
     };
     pub use fd_stats::dist::{Constant, Exponential, Gamma, LogNormal, Mixture, Pareto, Uniform};
     pub use fd_stats::DelayDistribution;
