@@ -15,6 +15,9 @@ cargo clippy --all-targets -- -D warnings
 echo "==> chaos smoke"
 cargo run --release -p fd-bench --bin exp_chaos
 
+echo "==> restart-storm smoke"
+cargo run --release -p fd-bench --bin exp_chaos -- --restart-storm
+
 echo "==> cluster scale smoke"
 cargo run --release -p fd-bench --bin exp_scale -- --smoke
 

@@ -7,16 +7,29 @@
 //! real crash is still detected within the NFD-S bound.
 //!
 //! Kept fast and assertion-rich on purpose: CI runs it as a smoke test.
+//!
+//! `--restart-storm` runs the crash-recovery smoke instead: N peers on a
+//! real UDP loopback cluster crash and recover repeatedly (scripted by
+//! [`FaultPlan::restart_storm`]) under burst loss, each new life bumping
+//! its wire incarnation; asserts incarnation resets, stale-life
+//! rejection, healthy supervised threads, and a warm snapshot restart.
 
 use fd_bench::report::fmt_num;
 use fd_bench::{Settings, Table};
+use fd_cluster::{
+    ClusterConfig, ClusterMonitor, ClusterReceiver, ClusterSender, ClusterSenderConfig,
+    PeerConfig,
+};
 use fd_core::detectors::{NfdE, NfdS};
-use fd_core::FailureDetector;
+use fd_core::{FailureDetector, Heartbeat};
 use fd_metrics::{detection_time, AccuracyAnalysis, DetectionOutcome, TransitionTrace};
-use fd_sim::{run_with_model, FaultPlan, FaultyLink, Link, LinkFault, RunOptions};
+use fd_runtime::Health;
+use fd_sim::{run_with_model, FaultPlan, FaultyLink, Link, LinkFault, ProcessEvent, RunOptions};
 use fd_stats::dist::Exponential;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::net::{Ipv4Addr, SocketAddr};
+use std::time::{Duration, Instant};
 
 const ETA: f64 = 1.0;
 const CRASH_AT: f64 = 600.25;
@@ -102,8 +115,188 @@ fn run_detector(
     out.trace
 }
 
+/// Polls until `pred` holds or `timeout` elapses; returns whether it held.
+fn wait_until(timeout: Duration, mut pred: impl FnMut() -> bool) -> bool {
+    let deadline = Instant::now() + timeout;
+    while Instant::now() < deadline {
+        if pred() {
+            return true;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    pred()
+}
+
+/// E15b — restart-storm smoke: the crash-recovery acceptance gate, run
+/// over the real loopback UDP cluster path (wire v2 with incarnations,
+/// supervised ticker + pump, snapshot persistence).
+fn restart_storm_smoke(settings: &Settings) {
+    const N_PEERS: u64 = 8;
+    const CYCLES: usize = 3;
+    const STORM_START: f64 = 0.4;
+    const DOWN: f64 = 0.12;
+    const UP: f64 = 0.3;
+    const HB_PERIOD: f64 = 0.02;
+    const HORIZON: f64 = STORM_START + CYCLES as f64 * (DOWN + UP) + 0.4;
+
+    println!(
+        "E15b — restart storm: {N_PEERS} peers × {CYCLES} crash/recover cycles under burst loss (seed {})\n",
+        settings.seed
+    );
+
+    // One plan drives both halves of the storm: its link faults are
+    // injected per entry by the ClusterSender, and its crash windows
+    // gate the send loop (a crashed process sends nothing; each recovery
+    // is a new incarnation whose sequence numbers restart at 1).
+    let plan = FaultPlan::new(settings.seed)
+        .link_fault(
+            0.05,
+            LinkFault::BurstLoss {
+                p_gb: 0.2,
+                p_bg: 0.5,
+                loss_good: 0.0,
+                loss_bad: 0.8,
+            },
+        )
+        .link_fault(STORM_START + CYCLES as f64 * (DOWN + UP) - UP / 2.0, LinkFault::Nominal)
+        .restart_storm(STORM_START, CYCLES, DOWN, UP);
+
+    let snap = std::env::temp_dir().join(format!("fd-restart-storm-{}.snap", std::process::id()));
+    let _ = std::fs::remove_file(&snap);
+    let cfg = ClusterConfig {
+        tick: 0.002,
+        snapshot_path: Some(snap.clone()),
+        ..ClusterConfig::default()
+    };
+    let monitor = ClusterMonitor::spawn(cfg.clone()).expect("spawn monitor");
+    for p in 1..=N_PEERS {
+        monitor.add_peer(p, PeerConfig::new(HB_PERIOD, 0.08).window(8)).expect("add peer");
+    }
+    let rx = ClusterReceiver::bind(
+        SocketAddr::from((Ipv4Addr::LOCALHOST, 0)),
+        monitor.clone(),
+    )
+    .expect("bind receiver");
+    let mut tx = ClusterSender::connect(
+        rx.local_addr(),
+        ClusterSenderConfig {
+            fault_plan: Some(plan.clone()),
+            seed: settings.seed,
+            ..ClusterSenderConfig::default()
+        },
+    )
+    .expect("connect sender");
+
+    // The send loop: every heartbeat period, if the plan says the
+    // process is alive, all peers heartbeat at the current incarnation
+    // (1 + completed recoveries).
+    let t0 = Instant::now();
+    let mut current_inc = 1;
+    let mut seq = 0;
+    loop {
+        let t = t0.elapsed().as_secs_f64();
+        if t >= HORIZON {
+            break;
+        }
+        if !plan.is_crashed_at(t) {
+            let inc = 1 + plan
+                .events()
+                .iter()
+                .filter(|e| matches!(e, ProcessEvent::Recover { at } if *at <= t))
+                .count() as u64;
+            if inc != current_inc {
+                current_inc = inc;
+                seq = 0; // a restarted sender's sequence numbers restart
+            }
+            seq += 1;
+            let now = monitor.now();
+            for p in 1..=N_PEERS {
+                tx.queue_incarnated(p, inc, seq, now).expect("queue");
+            }
+            tx.flush().expect("flush");
+        }
+        std::thread::sleep(Duration::from_secs_f64(HB_PERIOD));
+    }
+
+    // After the final recovery every peer must be trusted again.
+    let all_trusted = || {
+        (1..=N_PEERS).all(|p| monitor.status(p).expect("registered").output.is_trust())
+    };
+    assert!(
+        wait_until(Duration::from_secs(2), all_trusted),
+        "a peer is stuck DOWN after the final recovery"
+    );
+
+    // A replay of first-life traffic with huge sequence numbers must be
+    // rejected wholesale, not refresh anyone's freshness.
+    let before = monitor.stats();
+    for burst in 0..10u64 {
+        for p in 1..=N_PEERS {
+            monitor.record_incarnated(p, 1, Heartbeat::new(100_000 + burst, monitor.now()));
+        }
+    }
+    let stats = monitor.stats();
+    assert_eq!(
+        stats.stale_incarnation_rejects - before.stale_incarnation_rejects,
+        10 * N_PEERS,
+        "stale first-life replay was not fully rejected"
+    );
+
+    let suspicions: u64 =
+        (1..=N_PEERS).map(|p| monitor.status(p).expect("registered").counters.suspicions).sum();
+    let ticker_health = monitor.ticker_health();
+    let pump_health = rx.pump_health();
+
+    // Monitor restart: the snapshot written on shutdown must hand the
+    // next spawn warm estimator windows and the incarnation high-water
+    // marks.
+    let final_inc = current_inc;
+    let entries_received = rx.entries_received();
+    rx.shutdown();
+    monitor.shutdown();
+    let reborn = ClusterMonitor::spawn(cfg).expect("respawn from snapshot");
+    let warm = (1..=N_PEERS)
+        .filter(|&p| {
+            let st = reborn.status(p).expect("restored");
+            st.estimator_samples > 0 && st.incarnation == final_inc
+        })
+        .count() as u64;
+    reborn.shutdown();
+    let _ = std::fs::remove_file(&snap);
+
+    let mut table = Table::new(&["metric", "value"]);
+    table.row(&["peers".into(), N_PEERS.to_string()]);
+    table.row(&["restart cycles".into(), CYCLES.to_string()]);
+    table.row(&["final incarnation".into(), final_inc.to_string()]);
+    table.row(&["entries received".into(), entries_received.to_string()]);
+    table.row(&["incarnation resets".into(), stats.incarnation_resets.to_string()]);
+    table.row(&["stale-life rejects".into(), stats.stale_incarnation_rejects.to_string()]);
+    table.row(&["suspicions (sum)".into(), suspicions.to_string()]);
+    table.row(&["ticker health".into(), format!("{ticker_health:?}")]);
+    table.row(&["pump health".into(), format!("{pump_health:?}")]);
+    table.row(&["warm peers after restart".into(), format!("{warm}/{N_PEERS}")]);
+    table.print();
+    println!();
+
+    assert_eq!(final_inc, CYCLES as u64 + 1, "not every recovery produced a new incarnation");
+    assert!(
+        stats.incarnation_resets >= N_PEERS * CYCLES as u64,
+        "too few incarnation resets: {}",
+        stats.incarnation_resets
+    );
+    assert!(suspicions >= N_PEERS, "crashes went unnoticed (suspicions = {suspicions})");
+    assert_eq!(ticker_health, Health::Healthy, "storm degraded the ticker");
+    assert_eq!(pump_health, Health::Healthy, "storm degraded the receive pump");
+    assert_eq!(warm, N_PEERS, "monitor restarted cold for some peers");
+    println!("all restart-storm assertions passed");
+}
+
 fn main() {
     let settings = Settings::from_env();
+    if std::env::args().any(|a| a == "--restart-storm") {
+        restart_storm_smoke(&settings);
+        return;
+    }
     println!("E15 — chaos smoke over the shared fault model (seed {})\n", settings.seed);
 
     let mut table = Table::new(&[

@@ -20,9 +20,18 @@
 //!   expirations for *all* peers are bucketed into coarse time slots and
 //!   driven by a single ticker thread, instead of one timer thread per
 //!   peer;
-//! * a batched [`wire`] protocol v1 — many `(peer_id, seq, send_ts)`
-//!   heartbeat entries per datagram, multiplexed by
-//!   [`ClusterSender`]/[`ClusterReceiver`] over a single UDP socket.
+//! * a batched [`wire`] protocol (v2, decoding v1) — many
+//!   `(peer_id, incarnation, seq, send_ts)` heartbeat entries per
+//!   datagram, multiplexed by [`ClusterSender`]/[`ClusterReceiver`] over
+//!   a single UDP socket.
+//!
+//! PR 3 hardens the layer for the *crash-recovery* model: heartbeats
+//! carry sender incarnations (stale lives are rejected, new lives reset
+//! detector state), the monitor persists and restores a versioned
+//! [`snapshot`] of per-peer estimator state for warm restarts, and both
+//! the ticker and the receive pump run under panic supervision with
+//! queryable [`Health`](fd_runtime::Health), bounded restarts and
+//! overload shedding.
 //!
 //! The public façade is [`ClusterMonitor`]: `add_peer` / `remove_peer` /
 //! `status` / `snapshot`, plus a bounded membership-event subscription
@@ -42,6 +51,7 @@
 pub mod monitor;
 mod registry;
 pub mod net;
+pub mod snapshot;
 pub mod wheel;
 pub mod wire;
 
@@ -52,6 +62,10 @@ pub use monitor::{
     ClusterConfig, ClusterError, ClusterMonitor, ClusterSnapshot, ClusterStats, MembershipChange,
     MembershipEvent, PeerConfig, PeerStatus,
 };
-pub use net::{ClusterReceiver, ClusterSender, ClusterSenderConfig};
+pub use net::{ClusterReceiver, ClusterReceiverConfig, ClusterSender, ClusterSenderConfig};
 pub use registry::PeerCounters;
-pub use wire::{HeartbeatEntry, BATCH_MAGIC, BATCH_WIRE_VERSION, ENTRY_LEN, HEADER_LEN, MAX_BATCH};
+pub use snapshot::{ClusterStateSnapshot, PeerRecord, SnapshotError};
+pub use wire::{
+    HeartbeatEntry, BATCH_MAGIC, BATCH_WIRE_VERSION, BATCH_WIRE_VERSION_V1, ENTRY_LEN,
+    ENTRY_LEN_V1, HEADER_LEN, MAX_BATCH, MAX_BATCH_V1,
+};

@@ -1,4 +1,4 @@
-//! The cluster façade: N peers, one ticker thread.
+//! The cluster façade: N peers, one supervised ticker thread.
 //!
 //! [`ClusterMonitor`] owns the sharded registry, the timer wheel, and a
 //! single ticker thread that sweeps the wheel every `tick` seconds. Each
@@ -8,6 +8,38 @@
 //! instead of a thread per peer — adding at most one `tick` of scheduling
 //! slack to the detection time.
 //!
+//! # Crash-recovery model
+//!
+//! Three mechanisms harden the monitor for the crash-recovery setting
+//! (processes crash, restart, and rejoin — the model the paper's §3
+//! crash-stop analysis deliberately brackets out):
+//!
+//! * **Incarnations** — every heartbeat can carry the sender's
+//!   incarnation ([`record_incarnated`](ClusterMonitor::record_incarnated)).
+//!   A heartbeat below the peer's highest-seen incarnation is from a
+//!   previous life — possibly delayed in flight across the crash — and
+//!   is rejected (it must not refresh trust in the restarted process).
+//!   A heartbeat *above* it atomically resets the peer's detector,
+//!   freshness timer and estimator window: sequence numbers restart at
+//!   1 in each life, so the old `max_seq` would otherwise discard the
+//!   new life's heartbeats as stale.
+//! * **State snapshots** — with [`ClusterConfig::snapshot_path`] set,
+//!   the ticker periodically (and [`shutdown`](ClusterMonitor::shutdown)
+//!   finally) persists every peer's estimator window, sequence/
+//!   incarnation high-water marks and QoS counters via [`crate::snapshot`];
+//!   [`spawn`](ClusterMonitor::spawn) restores them, so a restarted
+//!   monitor resumes with *warm* §6.3 arrival estimates instead of
+//!   re-converging from an empty window. Restored peers start suspected
+//!   (fail-safe) and are re-trusted by their first fresh heartbeat.
+//! * **Supervision** — the ticker runs under `catch_unwind`: a panic
+//!   degrades the queryable [`ticker_health`](ClusterMonitor::ticker_health)
+//!   and restarts the sweep loop with exponential backoff, up to
+//!   [`ClusterConfig::max_ticker_restarts`]; exhausting the budget
+//!   stops it (reported as [`Health::Stopped`]). Sweeps are bounded by
+//!   [`ClusterConfig::max_expirations_per_sweep`] — an expiry storm
+//!   defers the excess to the next sweep (counted) instead of holding
+//!   shard locks for an unbounded stretch.
+//!
 //! Concurrency protocol (deadlock discipline): lock order is **shard,
 //! then wheel**. Both the heartbeat-recording path and the ticker's
 //! rescheduling path take a shard write lock first and the wheel mutex
@@ -15,20 +47,26 @@
 //! collects expirations into a local buffer before touching any shard.
 //! Each peer has at most one outstanding wheel entry (`armed`), created
 //! when a deadline first appears and renewed by the sweep; entries
-//! surviving a remove/re-add are discarded by generation mismatch.
+//! surviving a remove/re-add or an incarnation reset are discarded by
+//! generation mismatch, and a disarmed peer ignores firings outright —
+//! so even a generation counter that wrapped all the way around cannot
+//! revive a cancelled timer.
 
 use crate::registry::{PeerCounters, PeerRegistry, PeerState};
+use crate::snapshot::{self, ClusterStateSnapshot, PeerRecord};
 use crate::wheel::TimerWheel;
 use crate::PeerId;
 use crossbeam::channel::{self, RecvTimeoutError, TrySendError};
 use fd_core::detectors::{NfdE, ParamError};
 use fd_core::{FailureDetector, Heartbeat};
 use fd_metrics::FdOutput;
-use fd_runtime::{Clock, RuntimeError, TrustView, WallClock};
+use fd_runtime::{Clock, Health, RuntimeError, TrustView, WallClock};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::fmt;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::panic::{self, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Weak};
 use std::time::Duration;
 
@@ -45,6 +83,23 @@ pub struct ClusterConfig {
     /// Capacity of each membership-event subscription channel; a slow
     /// subscriber loses events past this (counted, never blocking).
     pub event_capacity: usize,
+    /// Most wheel expirations processed per sweep; the excess is pushed
+    /// back onto the wheel for the next sweep and counted in
+    /// [`ClusterStats::expirations_deferred`]. Bounds how long one sweep
+    /// can hold shard locks during an expiry storm.
+    pub max_expirations_per_sweep: usize,
+    /// How many times a panicking ticker is restarted before the monitor
+    /// gives up and reports [`Health::Stopped`].
+    pub max_ticker_restarts: u64,
+    /// Where to persist the state snapshot (see [`crate::snapshot`]).
+    /// `None` disables persistence entirely.
+    pub snapshot_path: Option<PathBuf>,
+    /// Seconds between periodic snapshot writes (when a path is set).
+    pub snapshot_interval: f64,
+    /// First registration generation handed out. Production leaves this
+    /// at 0; tests set it near `u64::MAX` to exercise generation
+    /// wraparound in a bounded number of add/remove cycles.
+    pub gen_origin: u64,
 }
 
 impl Default for ClusterConfig {
@@ -54,6 +109,11 @@ impl Default for ClusterConfig {
             wheel_slots: 512,
             tick: 0.001,
             event_capacity: 1024,
+            max_expirations_per_sweep: 4096,
+            max_ticker_restarts: 8,
+            snapshot_path: None,
+            snapshot_interval: 1.0,
+            gen_origin: 0,
         }
     }
 }
@@ -153,6 +213,11 @@ pub struct PeerStatus {
     pub eta: f64,
     /// Its freshness slack `α`.
     pub alpha: f64,
+    /// Highest sender incarnation seen (0 until the peer ever restarts).
+    pub incarnation: u64,
+    /// Samples currently held by the arrival estimator — nonzero right
+    /// after a snapshot restore (*warm* estimates), zero on a cold add.
+    pub estimator_samples: usize,
 }
 
 /// A consistent-enough point-in-time view of the whole cluster: each
@@ -226,20 +291,61 @@ pub struct ClusterStats {
     pub events_dropped: u64,
     /// Heartbeats recorded for peers not (or no longer) registered.
     pub unknown_heartbeats: u64,
+    /// Heartbeats rejected for carrying an incarnation below the peer's
+    /// highest seen — previous-life traffic that must not refresh trust.
+    pub stale_incarnation_rejects: u64,
+    /// Peer detector resets triggered by a newer incarnation (observed
+    /// peer restarts).
+    pub incarnation_resets: u64,
+    /// Times the panicking ticker loop was restarted by its supervisor.
+    pub ticker_restarts: u64,
+    /// Wheel expirations pushed to a later sweep by the per-sweep bound.
+    pub expirations_deferred: u64,
+    /// Receiver-side heartbeat entries shed under overload (reported by
+    /// [`ClusterReceiver`](crate::ClusterReceiver)).
+    pub entries_shed: u64,
+    /// State snapshots successfully persisted.
+    pub snapshots_written: u64,
+    /// Snapshot reads or writes that failed (corrupt file, I/O error,
+    /// invalid restored parameters). Failures are fail-safe: the
+    /// affected state starts cold instead.
+    pub snapshot_errors: u64,
+    /// Peers restored warm from the snapshot at spawn.
+    pub peers_restored: u64,
 }
 
 struct Inner {
     clock: WallClock,
+    /// Added to every clock reading: the restored snapshot's `taken_at`,
+    /// so cluster time continues across a restart instead of restarting
+    /// at 0 (which would violate detector time monotonicity for
+    /// restored per-peer state).
+    time_base: f64,
     tick: f64,
     registry: PeerRegistry,
     wheel: Mutex<TimerWheel>,
     next_gen: AtomicU64,
     subscribers: Mutex<Vec<channel::Sender<MembershipEvent>>>,
     event_capacity: usize,
+    max_expirations: usize,
+    max_ticker_restarts: u64,
+    snapshot_path: Option<PathBuf>,
+    snapshot_interval: f64,
+    last_snapshot: Mutex<f64>,
+    ticker_health: Mutex<Health>,
+    inject_ticker_panic: AtomicBool,
     ticks: AtomicU64,
     timers_fired: AtomicU64,
     events_dropped: AtomicU64,
     unknown_heartbeats: AtomicU64,
+    stale_incarnation: AtomicU64,
+    incarnation_resets: AtomicU64,
+    ticker_restarts: AtomicU64,
+    expirations_deferred: AtomicU64,
+    entries_shed: AtomicU64,
+    snapshots_written: AtomicU64,
+    snapshot_errors: AtomicU64,
+    peers_restored: AtomicU64,
     /// Held so the ticker (owning the receiver) observes disconnection
     /// when the last monitor handle drops without an explicit shutdown.
     _stop_tx: channel::Sender<()>,
@@ -267,7 +373,18 @@ impl fmt::Debug for ClusterMonitor {
 
 impl ClusterMonitor {
     /// Starts a cluster monitor: allocates the registry and wheel and
-    /// spawns the ticker thread. Time 0 is this instant.
+    /// spawns the (supervised) ticker thread.
+    ///
+    /// With [`ClusterConfig::snapshot_path`] set and a readable snapshot
+    /// present, every persisted peer is restored *warm*: estimator
+    /// window, sequence/incarnation high-water marks and QoS counters
+    /// carry over, cluster time resumes from the snapshot's `taken_at`,
+    /// and each restored peer starts suspected until its first fresh
+    /// heartbeat (fail-safe: a restored window is evidence about the
+    /// past, not about who is alive *now*). A corrupt or unreadable
+    /// snapshot is counted in [`ClusterStats::snapshot_errors`] and
+    /// ignored — the monitor starts cold; otherwise time 0 is this
+    /// instant.
     ///
     /// # Panics
     ///
@@ -278,21 +395,71 @@ impl ClusterMonitor {
     ///
     /// Returns [`RuntimeError::Spawn`] if the ticker thread cannot start.
     pub fn spawn(cfg: ClusterConfig) -> Result<Self, RuntimeError> {
+        let mut time_base = 0.0;
+        let mut restored: Vec<PeerRecord> = Vec::new();
+        let mut snapshot_errors = 0u64;
+        if let Some(path) = &cfg.snapshot_path {
+            match snapshot::read_snapshot_file(path) {
+                Ok(Some(snap)) => {
+                    time_base = snap.taken_at;
+                    restored = snap.peers;
+                }
+                Ok(None) => {}
+                Err(_) => snapshot_errors += 1, // cold start is fail-safe
+            }
+        }
         let (stop_tx, stop_rx) = channel::bounded::<()>(1);
         let inner = Arc::new(Inner {
             clock: WallClock::new(),
+            time_base,
             tick: cfg.tick,
             registry: PeerRegistry::new(cfg.shards),
             wheel: Mutex::new(TimerWheel::new(cfg.wheel_slots, cfg.tick)),
-            next_gen: AtomicU64::new(0),
+            next_gen: AtomicU64::new(cfg.gen_origin),
             subscribers: Mutex::new(Vec::new()),
             event_capacity: cfg.event_capacity.max(1),
+            max_expirations: cfg.max_expirations_per_sweep.max(1),
+            max_ticker_restarts: cfg.max_ticker_restarts,
+            snapshot_path: cfg.snapshot_path.clone(),
+            snapshot_interval: cfg.snapshot_interval.max(cfg.tick),
+            last_snapshot: Mutex::new(time_base),
+            ticker_health: Mutex::new(Health::Healthy),
+            inject_ticker_panic: AtomicBool::new(false),
             ticks: AtomicU64::new(0),
             timers_fired: AtomicU64::new(0),
             events_dropped: AtomicU64::new(0),
             unknown_heartbeats: AtomicU64::new(0),
+            stale_incarnation: AtomicU64::new(0),
+            incarnation_resets: AtomicU64::new(0),
+            ticker_restarts: AtomicU64::new(0),
+            expirations_deferred: AtomicU64::new(0),
+            entries_shed: AtomicU64::new(0),
+            snapshots_written: AtomicU64::new(0),
+            snapshot_errors: AtomicU64::new(snapshot_errors),
+            peers_restored: AtomicU64::new(0),
             _stop_tx: stop_tx,
         });
+        for rec in restored {
+            match NfdE::restore(rec.eta, rec.alpha, rec.window, &rec.samples, rec.max_seq) {
+                Ok(detector) => {
+                    let gen = inner.next_gen.fetch_add(1, Ordering::Relaxed);
+                    let state = PeerState {
+                        detector,
+                        last_output: FdOutput::Suspect,
+                        incarnation: rec.incarnation,
+                        gen,
+                        armed: false,
+                        last_seen: time_base,
+                        counters: rec.counters,
+                    };
+                    inner.registry.shard(rec.peer).write().insert(rec.peer, state);
+                    inner.peers_restored.fetch_add(1, Ordering::Relaxed);
+                }
+                Err(_) => {
+                    inner.snapshot_errors.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
         let weak = Arc::downgrade(&inner);
         let period = Duration::from_secs_f64(cfg.tick);
         let handle = std::thread::Builder::new()
@@ -304,8 +471,10 @@ impl ClusterMonitor {
 
     /// Seconds since the cluster started, on its own clock — the
     /// timescale of snapshots, events and [`record_at`](Self::record_at).
+    /// After a snapshot restore this continues from the snapshot's
+    /// `taken_at` rather than restarting at 0.
     pub fn now(&self) -> f64 {
-        self.inner.clock.now()
+        self.inner.now()
     }
 
     /// Registers a peer with its own detector parameters. The peer
@@ -319,7 +488,7 @@ impl ClusterMonitor {
     pub fn add_peer(&self, peer: PeerId, cfg: PeerConfig) -> Result<(), ClusterError> {
         let detector = NfdE::new(cfg.eta, cfg.alpha, cfg.window)?;
         let inner = &*self.inner;
-        let now = inner.clock.now();
+        let now = inner.now();
         let gen = inner.next_gen.fetch_add(1, Ordering::Relaxed);
         {
             let shard = inner.registry.shard(peer);
@@ -330,6 +499,7 @@ impl ClusterMonitor {
             let mut state = PeerState {
                 detector,
                 last_output: FdOutput::Suspect,
+                incarnation: 0,
                 gen,
                 armed: false,
                 last_seen: now,
@@ -347,11 +517,19 @@ impl ClusterMonitor {
         Ok(())
     }
 
-    /// Unregisters a peer; returns whether it was registered. Its wheel
-    /// entry (if any) is cancelled lazily by generation mismatch.
+    /// Unregisters a peer; returns whether it was registered.
+    ///
+    /// Removal is complete: the peer's QoS counters, estimator state and
+    /// incarnation high-water mark are dropped with its registry entry,
+    /// and any pending wheel timer is cancelled (lazily — the entry's
+    /// generation no longer matches anything, so when it fires the sweep
+    /// discards it). A subsequent [`add_peer`](Self::add_peer) therefore
+    /// starts a completely fresh monitoring epoch: no ghost `Suspected`
+    /// event from the old registration's timer can fire against the new
+    /// one, even if the peer returns with a new incarnation.
     pub fn remove_peer(&self, peer: PeerId) -> bool {
         let inner = &*self.inner;
-        let now = inner.clock.now();
+        let now = inner.now();
         let removed = inner.registry.shard(peer).write().remove(&peer).is_some();
         if removed {
             inner.emit(MembershipEvent { peer, at: now, change: MembershipChange::Removed });
@@ -359,11 +537,30 @@ impl ClusterMonitor {
         removed
     }
 
-    /// Records a heartbeat from `peer` at the current cluster time.
-    /// Returns `false` (and counts it) if the peer is not registered.
+    /// Records a heartbeat from `peer` at the current cluster time, with
+    /// no incarnation (treated as incarnation 0 — the crash-stop model,
+    /// and the decoding of v1 wire frames).
+    /// Returns `false` (and counts it) if the heartbeat was not
+    /// accepted: the peer is unregistered, or it has already been seen
+    /// at a higher incarnation.
     pub fn record(&self, peer: PeerId, hb: Heartbeat) -> bool {
-        let now = self.inner.clock.now();
-        self.record_at(peer, now, hb)
+        let now = self.inner.now();
+        self.record_inner(peer, now, 0, hb)
+    }
+
+    /// Records a heartbeat carrying the sender's incarnation (wire v2).
+    ///
+    /// * `incarnation` below the peer's highest seen → rejected, counted
+    ///   in [`PeerCounters::stale_incarnation`] and
+    ///   [`ClusterStats::stale_incarnation_rejects`]; returns `false`.
+    /// * `incarnation` above it → the peer's detector, estimator window
+    ///   and freshness timer are atomically reset (new life, sequence
+    ///   numbers restart), counted in [`PeerCounters::incarnation_resets`],
+    ///   then the heartbeat is applied to the fresh detector.
+    /// * Equal → normal processing.
+    pub fn record_incarnated(&self, peer: PeerId, incarnation: u64, hb: Heartbeat) -> bool {
+        let now = self.inner.now();
+        self.record_inner(peer, now, incarnation, hb)
     }
 
     /// Records a heartbeat at an explicit cluster-clock time (for tests
@@ -371,6 +568,22 @@ impl ClusterMonitor {
     /// [`record`](Self::record)). Times earlier than the peer's latest
     /// are clamped — detector time is monotone.
     pub fn record_at(&self, peer: PeerId, now: f64, hb: Heartbeat) -> bool {
+        self.record_inner(peer, now, 0, hb)
+    }
+
+    /// [`record_at`](Self::record_at) with an explicit sender
+    /// incarnation (see [`record_incarnated`](Self::record_incarnated)).
+    pub fn record_at_incarnated(
+        &self,
+        peer: PeerId,
+        now: f64,
+        incarnation: u64,
+        hb: Heartbeat,
+    ) -> bool {
+        self.record_inner(peer, now, incarnation, hb)
+    }
+
+    fn record_inner(&self, peer: PeerId, now: f64, incarnation: u64, hb: Heartbeat) -> bool {
         let inner = &*self.inner;
         let event;
         {
@@ -380,6 +593,27 @@ impl ClusterMonitor {
                 inner.unknown_heartbeats.fetch_add(1, Ordering::Relaxed);
                 return false;
             };
+            if incarnation < state.incarnation {
+                state.counters.stale_incarnation += 1;
+                inner.stale_incarnation.fetch_add(1, Ordering::Relaxed);
+                return false;
+            }
+            if incarnation > state.incarnation {
+                // New life of the peer: rebuild the detector with the
+                // same parameters (they were validated at add time) and
+                // disarm under the same shard lock, so no path can
+                // observe the new incarnation with old freshness state.
+                // The old wheel entry dies by generation mismatch.
+                let (eta, alpha, window) =
+                    (state.detector.eta(), state.detector.alpha(), state.detector.window());
+                state.detector =
+                    NfdE::new(eta, alpha, window).expect("parameters validated at add_peer");
+                state.incarnation = incarnation;
+                state.gen = inner.next_gen.fetch_add(1, Ordering::Relaxed);
+                state.armed = false;
+                state.counters.incarnation_resets += 1;
+                inner.incarnation_resets.fetch_add(1, Ordering::Relaxed);
+            }
             let now = now.max(state.last_seen);
             state.last_seen = now;
             state.counters.heartbeats += 1;
@@ -410,6 +644,8 @@ impl ClusterMonitor {
             counters: s.counters,
             eta: s.detector.eta(),
             alpha: s.detector.alpha(),
+            incarnation: s.incarnation,
+            estimator_samples: s.detector.estimator_len(),
         })
     }
 
@@ -417,7 +653,7 @@ impl ClusterMonitor {
     /// one at a time; outputs lag true expiry by at most one tick).
     pub fn snapshot(&self) -> ClusterSnapshot {
         let inner = &*self.inner;
-        let at = inner.clock.now();
+        let at = inner.now();
         let mut outputs = HashMap::new();
         for shard in inner.registry.shards() {
             for (peer, state) in shard.read().iter() {
@@ -425,6 +661,14 @@ impl ClusterMonitor {
             }
         }
         ClusterSnapshot { at, outputs }
+    }
+
+    /// Persists the state snapshot right now (if a
+    /// [`ClusterConfig::snapshot_path`] was configured). Returns whether
+    /// a snapshot was written; failures are counted in
+    /// [`ClusterStats::snapshot_errors`].
+    pub fn save_snapshot(&self) -> bool {
+        self.inner.save_snapshot_if_configured()
     }
 
     /// Subscribes to membership transitions. The channel is bounded by
@@ -449,6 +693,22 @@ impl ClusterMonitor {
         self.inner.registry.shard_index(peer)
     }
 
+    /// Health of the supervised ticker thread: `Healthy` until its first
+    /// panic, `Degraded` (with the latest panic message) while the
+    /// restart budget lasts, `Stopped` after shutdown or budget
+    /// exhaustion.
+    pub fn ticker_health(&self) -> Health {
+        self.inner.ticker_health.lock().clone()
+    }
+
+    /// Fault-injection hook: makes the next ticker sweep panic, as if a
+    /// detector invariant had tripped. The supervisor must catch it,
+    /// degrade [`ticker_health`](Self::ticker_health) and restart the
+    /// sweep loop. For chaos tests; never called on production paths.
+    pub fn inject_ticker_panic(&self) {
+        self.inner.inject_ticker_panic.store(true, Ordering::Relaxed);
+    }
+
     /// Cluster-wide counters.
     pub fn stats(&self) -> ClusterStats {
         let inner = &*self.inner;
@@ -458,30 +718,68 @@ impl ClusterMonitor {
             timers_fired: inner.timers_fired.load(Ordering::Relaxed),
             events_dropped: inner.events_dropped.load(Ordering::Relaxed),
             unknown_heartbeats: inner.unknown_heartbeats.load(Ordering::Relaxed),
+            stale_incarnation_rejects: inner.stale_incarnation.load(Ordering::Relaxed),
+            incarnation_resets: inner.incarnation_resets.load(Ordering::Relaxed),
+            ticker_restarts: inner.ticker_restarts.load(Ordering::Relaxed),
+            expirations_deferred: inner.expirations_deferred.load(Ordering::Relaxed),
+            entries_shed: inner.entries_shed.load(Ordering::Relaxed),
+            snapshots_written: inner.snapshots_written.load(Ordering::Relaxed),
+            snapshot_errors: inner.snapshot_errors.load(Ordering::Relaxed),
+            peers_restored: inner.peers_restored.load(Ordering::Relaxed),
         }
     }
 
-    /// Stops the ticker thread and waits for it. Idempotent across
-    /// clones; the registry remains readable afterwards, but no further
-    /// suspicions will be driven.
+    /// Stops the ticker thread, waits for it, and writes a final state
+    /// snapshot (when configured). Idempotent across clones; the
+    /// registry remains readable afterwards, but no further suspicions
+    /// will be driven.
     pub fn shutdown(&self) {
         // Closing our stop slot is not enough (clones hold senders too);
         // send an explicit stop, then join.
         let _ = self.inner._stop_tx.try_send(());
         if let Some(handle) = self.ticker.lock().take() {
             let _ = handle.join();
+            self.inner.save_snapshot_if_configured();
         }
+        *self.inner.ticker_health.lock() = Health::Stopped;
+    }
+
+    /// Counts receiver-side shed entries into [`ClusterStats`].
+    pub(crate) fn note_entries_shed(&self, n: u64) {
+        self.inner.entries_shed.fetch_add(n, Ordering::Relaxed);
     }
 }
 
 impl Inner {
-    /// One ticker sweep: collect due wheel entries, then drive each
-    /// affected peer's detector (shard write lock, wheel re-arm inside).
+    fn now(&self) -> f64 {
+        self.clock.now() + self.time_base
+    }
+
+    /// One ticker sweep: collect due wheel entries (bounded), then drive
+    /// each affected peer's detector (shard write lock, wheel re-arm
+    /// inside).
     fn on_tick(&self) {
-        let now = self.clock.now();
+        if self.inject_ticker_panic.swap(false, Ordering::Relaxed) {
+            panic!("injected ticker panic");
+        }
+        let now = self.now();
         self.ticks.fetch_add(1, Ordering::Relaxed);
         let mut expired = Vec::new();
-        self.wheel.lock().advance(now, &mut expired);
+        {
+            let mut wheel = self.wheel.lock();
+            wheel.advance(now, &mut expired);
+            if expired.len() > self.max_expirations {
+                // Overload shedding: everything past the bound goes back
+                // on the wheel (a past due clamps to the cursor, so it
+                // fires next sweep). One expiry storm cannot hold shard
+                // locks for an unbounded stretch.
+                let deferred = expired.split_off(self.max_expirations);
+                self.expirations_deferred.fetch_add(deferred.len() as u64, Ordering::Relaxed);
+                for e in deferred {
+                    wheel.schedule(e.due, e.peer, e.gen);
+                }
+            }
+        }
         let mut events = Vec::new();
         for entry in expired {
             let shard = self.registry.shard(entry.peer);
@@ -489,8 +787,12 @@ impl Inner {
             let Some(state) = guard.get_mut(&entry.peer) else {
                 continue; // removed; lazily cancelled
             };
-            if state.gen != entry.gen {
-                continue; // re-added since; stale timer
+            if state.gen != entry.gen || !state.armed {
+                // Stale by generation (re-add or incarnation reset), or
+                // the peer has no outstanding arm — which catches even a
+                // generation counter that wrapped around into a
+                // coincidental match. Either way: cancelled, skip.
+                continue;
             }
             self.timers_fired.fetch_add(1, Ordering::Relaxed);
             state.armed = false;
@@ -510,6 +812,7 @@ impl Inner {
         for ev in events {
             self.emit(ev);
         }
+        self.maybe_snapshot(now);
     }
 
     fn emit(&self, event: MembershipEvent) {
@@ -522,6 +825,60 @@ impl Inner {
             }
             Err(TrySendError::Disconnected(_)) => false,
         });
+    }
+
+    /// Gathers every peer's persistent state (read-locking shards one at
+    /// a time — same consistency grade as `snapshot()`).
+    fn collect_state(&self) -> ClusterStateSnapshot {
+        let taken_at = self.now();
+        let mut peers = Vec::new();
+        for shard in self.registry.shards() {
+            for (peer, st) in shard.read().iter() {
+                peers.push(PeerRecord {
+                    peer: *peer,
+                    incarnation: st.incarnation,
+                    eta: st.detector.eta(),
+                    alpha: st.detector.alpha(),
+                    window: st.detector.window(),
+                    max_seq: st.detector.max_seq_received(),
+                    counters: st.counters,
+                    samples: st.detector.estimator_samples(),
+                });
+            }
+        }
+        peers.sort_by_key(|r| r.peer);
+        ClusterStateSnapshot { taken_at, peers }
+    }
+
+    fn save_snapshot_if_configured(&self) -> bool {
+        let Some(path) = &self.snapshot_path else {
+            return false;
+        };
+        let snap = self.collect_state();
+        match snapshot::write_snapshot_file(path, &snap) {
+            Ok(()) => {
+                self.snapshots_written.fetch_add(1, Ordering::Relaxed);
+                true
+            }
+            Err(_) => {
+                self.snapshot_errors.fetch_add(1, Ordering::Relaxed);
+                false
+            }
+        }
+    }
+
+    fn maybe_snapshot(&self, now: f64) {
+        if self.snapshot_path.is_none() {
+            return;
+        }
+        {
+            let mut last = self.last_snapshot.lock();
+            if now - *last < self.snapshot_interval {
+                return;
+            }
+            *last = now;
+        }
+        self.save_snapshot_if_configured();
     }
 }
 
@@ -543,17 +900,67 @@ fn apply_transition(state: &mut PeerState, peer: PeerId, at: f64) -> Option<Memb
     Some(MembershipEvent { peer, at, change })
 }
 
-fn ticker(inner: Weak<Inner>, stop_rx: channel::Receiver<()>, period: Duration) {
+/// Extracts a printable reason from a caught panic payload.
+fn panic_reason(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// The supervised ticker: the sweep loop runs under `catch_unwind`; a
+/// panic degrades health and restarts the loop with exponential backoff
+/// until the restart budget is exhausted.
+fn ticker(weak: Weak<Inner>, stop_rx: channel::Receiver<()>, period: Duration) {
+    let mut restarts: u64 = 0;
     loop {
-        match stop_rx.recv_timeout(period) {
-            // Explicit stop, or every monitor handle (each holding a
-            // sender clone via Inner) is gone.
-            Ok(()) | Err(RecvTimeoutError::Disconnected) => return,
-            Err(RecvTimeoutError::Timeout) => {}
+        let outcome = panic::catch_unwind(AssertUnwindSafe(|| loop {
+            match stop_rx.recv_timeout(period) {
+                // Explicit stop, or every monitor handle (each holding a
+                // sender clone via Inner) is gone.
+                Ok(()) | Err(RecvTimeoutError::Disconnected) => return,
+                Err(RecvTimeoutError::Timeout) => {}
+            }
+            // Upgrade per sweep: the ticker must not keep the cluster alive.
+            let Some(inner) = weak.upgrade() else { return };
+            inner.on_tick();
+        }));
+        match outcome {
+            Ok(()) => {
+                if let Some(inner) = weak.upgrade() {
+                    *inner.ticker_health.lock() = Health::Stopped;
+                }
+                return;
+            }
+            Err(payload) => {
+                let reason = panic_reason(payload.as_ref());
+                let Some(inner) = weak.upgrade() else { return };
+                restarts += 1;
+                inner.ticker_restarts.fetch_add(1, Ordering::Relaxed);
+                if restarts > inner.max_ticker_restarts {
+                    *inner.ticker_health.lock() = Health::Stopped;
+                    return;
+                }
+                *inner.ticker_health.lock() = Health::Degraded { reason };
+                drop(inner);
+                // Exponential backoff, capped, still responsive to stop.
+                let backoff = period
+                    .mul_f64(f64::from(1u32 << restarts.min(6) as u32))
+                    .min(Duration::from_millis(250));
+                match stop_rx.recv_timeout(backoff) {
+                    Ok(()) | Err(RecvTimeoutError::Disconnected) => {
+                        if let Some(inner) = weak.upgrade() {
+                            *inner.ticker_health.lock() = Health::Stopped;
+                        }
+                        return;
+                    }
+                    Err(RecvTimeoutError::Timeout) => {}
+                }
+            }
         }
-        // Upgrade per sweep: the ticker must not keep the cluster alive.
-        let Some(inner) = inner.upgrade() else { return };
-        inner.on_tick();
     }
 }
 
@@ -568,6 +975,19 @@ mod tests {
     fn drive_trusted(m: &ClusterMonitor, peer: PeerId, eta: f64, beats: u64) {
         for i in 1..=beats {
             m.record(peer, Heartbeat::new(i, i as f64 * eta));
+            std::thread::sleep(Duration::from_secs_f64(eta));
+        }
+    }
+
+    fn drive_trusted_incarnated(
+        m: &ClusterMonitor,
+        peer: PeerId,
+        incarnation: u64,
+        eta: f64,
+        beats: u64,
+    ) {
+        for i in 1..=beats {
+            m.record_incarnated(peer, incarnation, Heartbeat::new(i, i as f64 * eta));
             std::thread::sleep(Duration::from_secs_f64(eta));
         }
     }
@@ -630,6 +1050,309 @@ mod tests {
         // corrupt the new one: wait past the old deadline.
         std::thread::sleep(Duration::from_millis(120));
         assert_eq!(m.status(3).unwrap().counters.suspicions, 0);
+        m.shutdown();
+    }
+
+    #[test]
+    fn remove_cancels_timer_and_drops_counters_no_ghost_events() {
+        let m = cluster();
+        let rx = m.subscribe();
+        m.add_peer(11, PeerConfig::new(0.02, 0.04)).unwrap();
+        drive_trusted(&m, 11, 0.02, 4);
+        assert!(m.status(11).unwrap().output.is_trust());
+        // Remove while a freshness timer is pending, then re-add under a
+        // new incarnation. The old timer must die by generation
+        // mismatch: no DOWN (Suspected) event may fire against the new
+        // registration from the previous epoch's deadline.
+        m.remove_peer(11);
+        m.add_peer(11, PeerConfig::new(0.02, 0.04)).unwrap();
+        let st = m.status(11).unwrap();
+        assert_eq!(st.counters, PeerCounters::default(), "QoS counters dropped");
+        assert_eq!(st.incarnation, 0, "incarnation mark dropped with the entry");
+        m.record_incarnated(11, 5, Heartbeat::new(1, m.now()));
+        std::thread::sleep(Duration::from_millis(30)); // past the OLD deadline only
+        let mut changes = Vec::new();
+        while let Ok(ev) = rx.try_recv() {
+            changes.push(ev.change);
+        }
+        let removed_at = changes
+            .iter()
+            .position(|c| *c == MembershipChange::Removed)
+            .expect("Removed event emitted");
+        assert!(
+            !changes[removed_at..].contains(&MembershipChange::Suspected),
+            "ghost Suspected from the removed registration's timer: {changes:?}"
+        );
+        assert_eq!(changes.last(), Some(&MembershipChange::Trusted));
+        m.shutdown();
+    }
+
+    #[test]
+    fn stale_incarnation_heartbeats_are_rejected() {
+        let m = cluster();
+        m.add_peer(4, PeerConfig::new(0.02, 0.05)).unwrap();
+        drive_trusted_incarnated(&m, 4, 1, 0.02, 5);
+        assert!(m.status(4).unwrap().output.is_trust());
+        let before = m.status(4).unwrap().counters;
+
+        // A datagram from the peer's previous life (incarnation 0),
+        // delayed in flight across its crash: must not be recorded.
+        assert!(!m.record_incarnated(4, 0, Heartbeat::new(99, m.now())));
+        let st = m.status(4).unwrap();
+        assert_eq!(st.counters.stale_incarnation, 1);
+        assert_eq!(st.counters.heartbeats, before.heartbeats, "not counted as received");
+        assert_eq!(m.stats().stale_incarnation_rejects, 1);
+        assert_eq!(st.incarnation, 1, "high-water mark unchanged");
+
+        // And crucially: a stream of ONLY stale-incarnation heartbeats
+        // must not keep the peer trusted once the fresh stream stops.
+        let deadline = std::time::Instant::now() + Duration::from_secs(2);
+        while m.status(4).unwrap().output.is_trust() && std::time::Instant::now() < deadline {
+            m.record_incarnated(4, 0, Heartbeat::new(100, m.now()));
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert!(
+            !m.status(4).unwrap().output.is_trust(),
+            "previous-life heartbeats refreshed trust"
+        );
+        m.shutdown();
+    }
+
+    #[test]
+    fn newer_incarnation_resets_detector_state() {
+        let m = cluster();
+        m.add_peer(6, PeerConfig::new(0.02, 0.05)).unwrap();
+        drive_trusted_incarnated(&m, 6, 0, 0.02, 6);
+        let st = m.status(6).unwrap();
+        assert!(st.output.is_trust());
+        assert!(st.estimator_samples > 0);
+
+        // The peer restarts: incarnation 1, sequence numbers back at 1.
+        // Without the reset, seq 1 ≤ max_seq 6 would be discarded as
+        // stale and the new life would never refresh freshness.
+        assert!(m.record_incarnated(6, 1, Heartbeat::new(1, m.now())));
+        let st = m.status(6).unwrap();
+        assert_eq!(st.incarnation, 1);
+        assert_eq!(st.counters.incarnation_resets, 1);
+        assert_eq!(m.stats().incarnation_resets, 1);
+        assert_eq!(
+            st.counters.stale, 0,
+            "the new life's seq 1 must not be counted stale against the old life's seq 6"
+        );
+        assert_eq!(st.estimator_samples, 1, "estimator window restarted");
+        assert!(st.output.is_trust(), "fresh heartbeat re-trusts immediately");
+
+        // The reset re-armed the freshness timer for the new life: if
+        // the new incarnation goes silent it must still be suspected.
+        std::thread::sleep(Duration::from_millis(200));
+        assert!(!m.status(6).unwrap().output.is_trust());
+        m.shutdown();
+    }
+
+    #[test]
+    fn generation_wraparound_keeps_lifecycle_sound() {
+        // Start the generation counter two below wraparound, then churn
+        // a peer through enough add/remove cycles to cross it. Stale
+        // wheel entries from pre-wrap registrations must not fire into
+        // post-wrap ones (gen mismatch + disarm guard), and the normal
+        // lifecycle invariants must hold on both sides of the wrap.
+        let m = ClusterMonitor::spawn(ClusterConfig {
+            gen_origin: u64::MAX - 2,
+            ..ClusterConfig::default()
+        })
+        .expect("spawn");
+        for cycle in 0..6 {
+            m.add_peer(9, PeerConfig::new(0.01, 0.02)).unwrap();
+            m.record(9, Heartbeat::new(1, m.now()));
+            assert!(
+                m.status(9).unwrap().output.is_trust(),
+                "cycle {cycle}: first heartbeat trusts"
+            );
+            m.remove_peer(9); // leaves an armed wheel entry to go stale
+        }
+        m.add_peer(9, PeerConfig::new(0.01, 0.02)).unwrap();
+        std::thread::sleep(Duration::from_millis(80));
+        let st = m.status(9).unwrap();
+        assert_eq!(
+            st.counters.suspicions, 0,
+            "stale pre-wrap timers fired into the fresh registration"
+        );
+        assert!(!st.output.is_trust(), "fresh registration starts suspected");
+        m.shutdown();
+    }
+
+    #[test]
+    fn snapshot_restore_resumes_warm() {
+        let path = std::env::temp_dir().join(format!(
+            "fd-cluster-monitor-snap-{}.bin",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&path);
+        let cfg = ClusterConfig {
+            snapshot_path: Some(path.clone()),
+            snapshot_interval: 1000.0, // only the shutdown write
+            ..ClusterConfig::default()
+        };
+
+        let m = ClusterMonitor::spawn(cfg.clone()).expect("spawn");
+        m.add_peer(1, PeerConfig::new(0.02, 0.05)).unwrap();
+        m.add_peer(2, PeerConfig::new(0.05, 0.1)).unwrap();
+        drive_trusted_incarnated(&m, 1, 3, 0.02, 6);
+        let before = m.status(1).unwrap();
+        let t_before = m.now();
+        m.shutdown(); // writes the final snapshot
+
+        // "Restart the process": a new monitor on the same path.
+        let m2 = ClusterMonitor::spawn(cfg).expect("respawn");
+        let stats = m2.stats();
+        assert_eq!(stats.peers_restored, 2);
+        assert_eq!(stats.peers, 2);
+        let st = m2.status(1).unwrap();
+        assert!(!st.output.is_trust(), "restored peers start suspected (fail-safe)");
+        assert_eq!(st.incarnation, 3, "incarnation high-water mark survives");
+        assert_eq!(st.counters, before.counters, "QoS counters survive");
+        assert!(st.estimator_samples > 0, "estimates are warm, not cold");
+        assert!((st.eta - 0.02).abs() < 1e-12 && (st.alpha - 0.05).abs() < 1e-12);
+        assert!(
+            m2.now() >= t_before - 1e-3,
+            "cluster time continues from the snapshot, not from 0"
+        );
+
+        // One fresh heartbeat from the same incarnation re-trusts the
+        // peer against the warm window (seq continues past the restored
+        // max_seq).
+        assert!(m2.record_incarnated(1, 3, Heartbeat::new(before.counters.heartbeats + 1, m2.now())));
+        assert!(m2.status(1).unwrap().output.is_trust());
+        // ... and a previous-life datagram still bounces off the
+        // restored incarnation mark.
+        assert!(!m2.record_incarnated(1, 2, Heartbeat::new(999, m2.now())));
+        m2.shutdown();
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn corrupt_snapshot_starts_cold_not_dead() {
+        let path = std::env::temp_dir().join(format!(
+            "fd-cluster-monitor-corrupt-{}.bin",
+            std::process::id()
+        ));
+        std::fs::write(&path, b"definitely not a snapshot").unwrap();
+        let m = ClusterMonitor::spawn(ClusterConfig {
+            snapshot_path: Some(path.clone()),
+            ..ClusterConfig::default()
+        })
+        .expect("spawn survives corruption");
+        let stats = m.stats();
+        assert_eq!(stats.peers_restored, 0);
+        assert_eq!(stats.snapshot_errors, 1);
+        // Still a fully functional monitor.
+        m.add_peer(1, PeerConfig::new(0.02, 0.05)).unwrap();
+        m.record(1, Heartbeat::new(1, m.now()));
+        assert!(m.status(1).unwrap().output.is_trust());
+        m.shutdown();
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn periodic_snapshots_are_written_by_the_ticker() {
+        let path = std::env::temp_dir().join(format!(
+            "fd-cluster-monitor-periodic-{}.bin",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&path);
+        let m = ClusterMonitor::spawn(ClusterConfig {
+            snapshot_path: Some(path.clone()),
+            snapshot_interval: 0.02,
+            ..ClusterConfig::default()
+        })
+        .expect("spawn");
+        m.add_peer(1, PeerConfig::new(0.02, 0.05)).unwrap();
+        let deadline = std::time::Instant::now() + Duration::from_secs(2);
+        while m.stats().snapshots_written < 2 && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert!(m.stats().snapshots_written >= 2, "ticker writes periodically");
+        assert!(path.exists());
+        m.shutdown();
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn ticker_panic_degrades_health_and_recovers() {
+        let m = cluster();
+        assert_eq!(m.ticker_health(), Health::Healthy);
+        m.inject_ticker_panic();
+        let deadline = std::time::Instant::now() + Duration::from_secs(2);
+        while m.stats().ticker_restarts == 0 && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(m.stats().ticker_restarts, 1);
+        match m.ticker_health() {
+            Health::Degraded { reason } => assert!(reason.contains("injected")),
+            other => panic!("expected Degraded, got {other:?}"),
+        }
+        // The restarted ticker still drives detection end to end.
+        m.add_peer(1, PeerConfig::new(0.02, 0.05)).unwrap();
+        drive_trusted(&m, 1, 0.02, 4);
+        assert!(m.status(1).unwrap().output.is_trust());
+        std::thread::sleep(Duration::from_millis(200));
+        assert!(!m.status(1).unwrap().output.is_trust(), "suspicion still driven");
+        assert!(m.ticker_health().is_running());
+        m.shutdown();
+        assert_eq!(m.ticker_health(), Health::Stopped);
+    }
+
+    #[test]
+    fn ticker_restart_budget_exhaustion_stops() {
+        let m = ClusterMonitor::spawn(ClusterConfig {
+            max_ticker_restarts: 1,
+            ..ClusterConfig::default()
+        })
+        .expect("spawn");
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        // First panic: restart 1 (within budget). Second: budget blown.
+        for _ in 0..2 {
+            m.inject_ticker_panic();
+            let target = m.stats().ticker_restarts + 1;
+            while m.stats().ticker_restarts < target && std::time::Instant::now() < deadline {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+        }
+        let deadline = std::time::Instant::now() + Duration::from_secs(2);
+        while m.ticker_health().is_running() && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(m.ticker_health(), Health::Stopped);
+        assert_eq!(m.stats().ticker_restarts, 2);
+        m.shutdown();
+    }
+
+    #[test]
+    fn expiry_storms_are_bounded_per_sweep() {
+        let m = ClusterMonitor::spawn(ClusterConfig {
+            max_expirations_per_sweep: 4,
+            ..ClusterConfig::default()
+        })
+        .expect("spawn");
+        // 32 peers all go silent together: their freshness points expire
+        // in a burst far wider than the per-sweep bound.
+        for p in 0..32u64 {
+            m.add_peer(p, PeerConfig::new(0.01, 0.02)).unwrap();
+            m.record(p, Heartbeat::new(1, m.now()));
+        }
+        let deadline = std::time::Instant::now() + Duration::from_secs(3);
+        while std::time::Instant::now() < deadline {
+            let snap = m.snapshot();
+            if snap.suspected().len() == 32 {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert_eq!(m.snapshot().suspected().len(), 32, "every peer still gets suspected");
+        assert!(
+            m.stats().expirations_deferred > 0,
+            "the burst must have been spread over multiple sweeps"
+        );
         m.shutdown();
     }
 

@@ -2,11 +2,24 @@
 //!
 //! [`ClusterSender`] multiplexes heartbeats for any number of peers over
 //! a single socket: callers `queue` entries and the sender packs up to
-//! `max_batch` of them per datagram ([`wire`](crate::wire) format v1),
-//! flushing automatically when a batch fills and explicitly at
-//! period boundaries. [`ClusterReceiver`] binds one socket, decodes
-//! batches and feeds every entry straight into a
-//! [`ClusterMonitor`](crate::ClusterMonitor).
+//! `max_batch` of them per datagram ([`wire`](crate::wire) format v2,
+//! carrying each sender's incarnation), flushing automatically when a
+//! batch fills and explicitly at period boundaries. [`ClusterReceiver`]
+//! binds one socket, decodes batches (v2 and legacy v1) and feeds every
+//! entry straight into a [`ClusterMonitor`](crate::ClusterMonitor).
+//!
+//! The receive pump is *supervised*: it runs under `catch_unwind`, so a
+//! panic while handling one datagram degrades the queryable
+//! [`pump_health`](ClusterReceiver::pump_health) and restarts the pump
+//! (bounded by [`ClusterReceiverConfig::max_pump_restarts`]) instead of
+//! silently killing reception — a dead receiver would suspect the whole
+//! cluster. It also sheds load: with
+//! [`ClusterReceiverConfig::max_entries_per_sec`] set, entries beyond
+//! the budget in any one-second window are dropped and counted
+//! ([`entries_shed`](ClusterReceiver::entries_shed), mirrored into
+//! [`ClusterStats::entries_shed`](crate::ClusterStats::entries_shed))
+//! rather than letting a heartbeat flood starve the monitor's shard
+//! locks.
 //!
 //! Chaos testing reuses the PR-1 [`FaultPlan`]: the sender routes each
 //! queued entry through the plan's [`FaultInjector`] (optionally only for
@@ -20,15 +33,18 @@
 use crate::wire::{decode_batch, encode_batch, HeartbeatEntry, MAX_BATCH};
 use crate::{ClusterMonitor, PeerId};
 use fd_core::Heartbeat;
-use fd_runtime::RuntimeError;
+use fd_runtime::{Health, RuntimeError};
 use fd_sim::{FaultInjector, FaultPlan};
+use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::HashSet;
 use std::io;
 use std::net::{IpAddr, Ipv4Addr, Ipv6Addr, SocketAddr, UdpSocket};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Sender-side configuration.
 pub struct ClusterSenderConfig {
@@ -120,15 +136,35 @@ impl ClusterSender {
         })
     }
 
-    /// Queues one heartbeat, flushing automatically once a full batch is
-    /// pending. Call [`flush`](Self::flush) after queueing a round so the
-    /// tail does not sit until the next round.
+    /// Queues one heartbeat at incarnation 0 (a sender that never
+    /// persists an incarnation — the crash-stop model). Flushes
+    /// automatically once a full batch is pending; call
+    /// [`flush`](Self::flush) after queueing a round so the tail does
+    /// not sit until the next round.
     ///
     /// # Errors
     ///
     /// Propagates socket errors from an automatic flush.
     pub fn queue(&mut self, peer: PeerId, seq: u64, send_time: f64) -> io::Result<()> {
-        self.pending.push(HeartbeatEntry { peer, seq, send_time });
+        self.queue_incarnated(peer, 0, seq, send_time)
+    }
+
+    /// Queues one heartbeat carrying the sender's incarnation (from its
+    /// [`IncarnationStore`](fd_runtime::IncarnationStore)-backed
+    /// [`Heartbeater`](fd_runtime::Heartbeater), so a restarted sender's
+    /// traffic supersedes its previous life's).
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors from an automatic flush.
+    pub fn queue_incarnated(
+        &mut self,
+        peer: PeerId,
+        incarnation: u64,
+        seq: u64,
+        send_time: f64,
+    ) -> io::Result<()> {
+        self.pending.push(HeartbeatEntry { peer, incarnation, seq, send_time });
         if self.pending.len() >= self.max_batch {
             self.flush()?;
         }
@@ -210,17 +246,52 @@ impl ClusterSender {
     }
 }
 
+/// Receiver-side configuration.
+#[derive(Debug, Clone)]
+pub struct ClusterReceiverConfig {
+    /// How many times a panicking pump is restarted before the receiver
+    /// gives up (reported as [`Health::Stopped`]).
+    pub max_pump_restarts: u64,
+    /// Overload budget: at most this many heartbeat entries are recorded
+    /// per one-second window; the excess is shed (counted, never
+    /// blocking). `None` disables shedding.
+    pub max_entries_per_sec: Option<u64>,
+}
+
+impl Default for ClusterReceiverConfig {
+    fn default() -> Self {
+        Self { max_pump_restarts: 8, max_entries_per_sec: None }
+    }
+}
+
 /// Sentinel datagram that tells the pump thread to exit; honored only
 /// from this receiver's own shutdown socket (same spoofing defence as
 /// the single-watch receiver).
 const SHUTDOWN_SENTINEL: [u8; 4] = *b"BYE!";
 
-/// Counters for the receive pump.
-#[derive(Debug, Default)]
-struct RxStats {
+/// Counters and supervision state for the receive pump.
+struct RxShared {
     datagrams: AtomicU64,
     entries: AtomicU64,
     rejected: AtomicU64,
+    shed: AtomicU64,
+    restarts: AtomicU64,
+    inject_panic: AtomicBool,
+    health: Mutex<Health>,
+}
+
+impl Default for RxShared {
+    fn default() -> Self {
+        Self {
+            datagrams: AtomicU64::new(0),
+            entries: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            restarts: AtomicU64::new(0),
+            inject_panic: AtomicBool::new(false),
+            health: Mutex::new(Health::Healthy),
+        }
+    }
 }
 
 /// Receives batched heartbeats on one UDP socket and feeds them into a
@@ -228,7 +299,7 @@ struct RxStats {
 pub struct ClusterReceiver {
     addr: SocketAddr,
     shutdown: UdpSocket,
-    stats: Arc<RxStats>,
+    shared: Arc<RxShared>,
     handle: Option<std::thread::JoinHandle<()>>,
 }
 
@@ -239,14 +310,28 @@ impl std::fmt::Debug for ClusterReceiver {
 }
 
 impl ClusterReceiver {
-    /// Binds `addr` (e.g. `127.0.0.1:0`) and starts a pump thread that
-    /// records every decoded entry into `monitor` at arrival time.
+    /// Binds `addr` (e.g. `127.0.0.1:0`) with the default receiver
+    /// configuration and starts a supervised pump thread that records
+    /// every decoded entry into `monitor` at arrival time.
     ///
     /// # Errors
     ///
     /// Returns [`RuntimeError::Net`] on socket errors and
     /// [`RuntimeError::Spawn`] if the pump thread cannot start.
     pub fn bind(addr: SocketAddr, monitor: ClusterMonitor) -> Result<Self, RuntimeError> {
+        Self::bind_with(addr, monitor, ClusterReceiverConfig::default())
+    }
+
+    /// [`bind`](Self::bind) with explicit supervision/shedding settings.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`bind`](Self::bind).
+    pub fn bind_with(
+        addr: SocketAddr,
+        monitor: ClusterMonitor,
+        cfg: ClusterReceiverConfig,
+    ) -> Result<Self, RuntimeError> {
         let socket = UdpSocket::bind(addr).map_err(|e| RuntimeError::Net { op: "bind", source: e })?;
         let addr = socket
             .local_addr()
@@ -256,13 +341,13 @@ impl ClusterReceiver {
         let shutdown_addr = shutdown
             .local_addr()
             .map_err(|e| RuntimeError::Net { op: "local_addr", source: e })?;
-        let stats = Arc::new(RxStats::default());
-        let pump_stats = Arc::clone(&stats);
+        let shared = Arc::new(RxShared::default());
+        let pump_shared = Arc::clone(&shared);
         let handle = std::thread::Builder::new()
             .name("fd-cluster-recv".into())
-            .spawn(move || pump(socket, monitor, shutdown_addr, pump_stats))
+            .spawn(move || supervised_pump(socket, monitor, shutdown_addr, pump_shared, cfg))
             .map_err(|e| RuntimeError::Spawn { thread: "fd-cluster-recv", source: e })?;
-        Ok(Self { addr, shutdown, stats, handle: Some(handle) })
+        Ok(Self { addr, shutdown, shared, handle: Some(handle) })
     }
 
     /// The bound address senders should connect to.
@@ -272,17 +357,41 @@ impl ClusterReceiver {
 
     /// Well-formed batch datagrams received.
     pub fn datagrams_received(&self) -> u64 {
-        self.stats.datagrams.load(Ordering::Relaxed)
+        self.shared.datagrams.load(Ordering::Relaxed)
     }
 
     /// Heartbeat entries recorded into the monitor.
     pub fn entries_received(&self) -> u64 {
-        self.stats.entries.load(Ordering::Relaxed)
+        self.shared.entries.load(Ordering::Relaxed)
     }
 
     /// Datagrams rejected as malformed or foreign.
     pub fn rejected(&self) -> u64 {
-        self.stats.rejected.load(Ordering::Relaxed)
+        self.shared.rejected.load(Ordering::Relaxed)
+    }
+
+    /// Entries dropped by overload shedding.
+    pub fn entries_shed(&self) -> u64 {
+        self.shared.shed.load(Ordering::Relaxed)
+    }
+
+    /// Times the panicking pump was restarted by its supervisor.
+    pub fn pump_restarts(&self) -> u64 {
+        self.shared.restarts.load(Ordering::Relaxed)
+    }
+
+    /// Health of the supervised pump thread: `Healthy` until its first
+    /// panic, `Degraded` while the restart budget lasts, `Stopped` after
+    /// shutdown or budget exhaustion.
+    pub fn pump_health(&self) -> Health {
+        self.shared.health.lock().clone()
+    }
+
+    /// Fault-injection hook: makes the pump panic on the next datagram
+    /// it handles. The supervisor must catch it and keep receiving. For
+    /// chaos tests; never called on production paths.
+    pub fn inject_pump_panic(&self) {
+        self.shared.inject_panic.store(true, Ordering::Relaxed);
     }
 
     /// Stops the pump thread.
@@ -298,6 +407,7 @@ impl ClusterReceiver {
             }
             let _ = self.shutdown.send_to(&SHUTDOWN_SENTINEL, target);
             let _ = handle.join();
+            *self.shared.health.lock() = Health::Stopped;
         }
     }
 }
@@ -315,7 +425,84 @@ fn loopback_ip(addr: &SocketAddr) -> IpAddr {
     }
 }
 
-fn pump(socket: UdpSocket, monitor: ClusterMonitor, shutdown_addr: SocketAddr, stats: Arc<RxStats>) {
+/// Per-second token budget for overload shedding.
+struct EntryBudget {
+    limit: u64,
+    window_start: Instant,
+    used: u64,
+}
+
+impl EntryBudget {
+    fn new(limit: u64) -> Self {
+        Self { limit, window_start: Instant::now(), used: 0 }
+    }
+
+    /// How many of `want` entries fit in the current window.
+    fn admit(&mut self, want: u64) -> u64 {
+        if self.window_start.elapsed().as_secs_f64() >= 1.0 {
+            self.window_start = Instant::now();
+            self.used = 0;
+        }
+        let granted = want.min(self.limit.saturating_sub(self.used));
+        self.used += granted;
+        granted
+    }
+}
+
+/// Runs the pump under `catch_unwind`, restarting on panic with the
+/// configured budget (mirrors the cluster ticker's supervision).
+fn supervised_pump(
+    socket: UdpSocket,
+    monitor: ClusterMonitor,
+    shutdown_addr: SocketAddr,
+    shared: Arc<RxShared>,
+    cfg: ClusterReceiverConfig,
+) {
+    let mut budget = cfg.max_entries_per_sec.map(EntryBudget::new);
+    let mut restarts: u64 = 0;
+    loop {
+        let outcome = panic::catch_unwind(AssertUnwindSafe(|| {
+            pump(&socket, &monitor, shutdown_addr, &shared, &mut budget)
+        }));
+        match outcome {
+            Ok(()) => {
+                *shared.health.lock() = Health::Stopped;
+                return;
+            }
+            Err(payload) => {
+                let reason = panic_reason(payload.as_ref());
+                restarts += 1;
+                shared.restarts.fetch_add(1, Ordering::Relaxed);
+                if restarts > cfg.max_pump_restarts {
+                    *shared.health.lock() = Health::Stopped;
+                    return;
+                }
+                *shared.health.lock() = Health::Degraded { reason };
+                // No backoff: the socket buffers while we are away, and
+                // the datagram that tripped the panic has already been
+                // consumed — resume immediately.
+            }
+        }
+    }
+}
+
+fn panic_reason(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+fn pump(
+    socket: &UdpSocket,
+    monitor: &ClusterMonitor,
+    shutdown_addr: SocketAddr,
+    shared: &RxShared,
+    budget: &mut Option<EntryBudget>,
+) {
     let mut buf = [0u8; 2048];
     loop {
         let (n, src) = match socket.recv_from(&mut buf) {
@@ -325,16 +512,28 @@ fn pump(socket: UdpSocket, monitor: ClusterMonitor, shutdown_addr: SocketAddr, s
         if n == SHUTDOWN_SENTINEL.len() && buf[..n] == SHUTDOWN_SENTINEL && src == shutdown_addr {
             return;
         }
+        if shared.inject_panic.swap(false, Ordering::Relaxed) {
+            panic!("injected pump panic");
+        }
         match decode_batch(&buf[..n]) {
             Some(entries) => {
-                stats.datagrams.fetch_add(1, Ordering::Relaxed);
-                stats.entries.fetch_add(entries.len() as u64, Ordering::Relaxed);
-                for e in entries {
-                    monitor.record(e.peer, Heartbeat::new(e.seq, e.send_time));
+                shared.datagrams.fetch_add(1, Ordering::Relaxed);
+                let admitted = match budget {
+                    Some(b) => b.admit(entries.len() as u64) as usize,
+                    None => entries.len(),
+                };
+                let dropped = entries.len() - admitted;
+                if dropped > 0 {
+                    shared.shed.fetch_add(dropped as u64, Ordering::Relaxed);
+                    monitor.note_entries_shed(dropped as u64);
+                }
+                shared.entries.fetch_add(admitted as u64, Ordering::Relaxed);
+                for e in &entries[..admitted] {
+                    monitor.record_incarnated(e.peer, e.incarnation, Heartbeat::new(e.seq, e.send_time));
                 }
             }
             None => {
-                stats.rejected.fetch_add(1, Ordering::Relaxed);
+                shared.rejected.fetch_add(1, Ordering::Relaxed);
             }
         }
     }
@@ -343,6 +542,7 @@ fn pump(socket: UdpSocket, monitor: ClusterMonitor, shutdown_addr: SocketAddr, s
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::wire::encode_batch_v1;
     use crate::{ClusterConfig, PeerConfig};
     use std::time::Duration;
 
@@ -380,6 +580,7 @@ mod tests {
         assert_eq!(rx.datagrams_received(), 6);
         assert_eq!(rx.entries_received(), 96);
         assert_eq!(rx.rejected(), 0);
+        assert_eq!(rx.entries_shed(), 0);
         let snap = monitor.snapshot();
         assert_eq!(snap.trusted().len(), 16, "all peers trusted: {snap:?}");
         rx.shutdown();
@@ -415,9 +616,124 @@ mod tests {
             tx.queue(p, 1, 0.01).unwrap();
         }
         tx.flush().unwrap();
-        // 150 = 61 + 61 + 28: two auto-flushed full batches plus the tail.
-        assert_eq!(tx.datagrams_sent(), 3);
+        // 150 = 45 + 45 + 45 + 15: three auto-flushed full v2 batches
+        // plus the tail.
+        assert_eq!(tx.datagrams_sent(), 4);
         assert_eq!(tx.entries_sent(), 150);
+        rx.shutdown();
+        monitor.shutdown();
+    }
+
+    #[test]
+    fn v1_frames_feed_the_monitor_as_incarnation_zero() {
+        let monitor = ClusterMonitor::spawn(ClusterConfig::default()).expect("spawn");
+        monitor.add_peer(3, PeerConfig::new(0.02, 0.06)).unwrap();
+        let rx = ClusterReceiver::bind(loop_addr(), monitor.clone()).expect("bind");
+        let sock = UdpSocket::bind(loop_addr()).unwrap();
+        // An un-upgraded sender: legacy v1 framing, no incarnation field.
+        let t = monitor.now();
+        let frame = encode_batch_v1(&[HeartbeatEntry { peer: 3, incarnation: 0, seq: 1, send_time: t }]);
+        sock.send_to(&frame, rx.local_addr()).unwrap();
+        let deadline = std::time::Instant::now() + Duration::from_secs(2);
+        while rx.entries_received() < 1 && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(rx.entries_received(), 1);
+        assert_eq!(rx.rejected(), 0);
+        let st = monitor.status(3).unwrap();
+        assert!(st.output.is_trust(), "v1 heartbeat accepted");
+        assert_eq!(st.incarnation, 0);
+        rx.shutdown();
+        monitor.shutdown();
+    }
+
+    #[test]
+    fn incarnation_travels_the_wire() {
+        let monitor = ClusterMonitor::spawn(ClusterConfig::default()).expect("spawn");
+        monitor.add_peer(8, PeerConfig::new(0.02, 0.06)).unwrap();
+        let rx = ClusterReceiver::bind(loop_addr(), monitor.clone()).expect("bind");
+        let mut tx =
+            ClusterSender::connect(rx.local_addr(), ClusterSenderConfig::default()).expect("tx");
+        tx.queue_incarnated(8, 4, 1, monitor.now()).unwrap();
+        tx.flush().unwrap();
+        let deadline = std::time::Instant::now() + Duration::from_secs(2);
+        while rx.entries_received() < 1 && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(monitor.status(8).unwrap().incarnation, 4);
+        // A previous-life entry (lower incarnation) is rejected by the
+        // monitor — full path: wire → decode → record_incarnated.
+        tx.queue_incarnated(8, 3, 99, monitor.now()).unwrap();
+        tx.flush().unwrap();
+        let deadline = std::time::Instant::now() + Duration::from_secs(2);
+        while monitor.stats().stale_incarnation_rejects < 1
+            && std::time::Instant::now() < deadline
+        {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(monitor.stats().stale_incarnation_rejects, 1);
+        rx.shutdown();
+        monitor.shutdown();
+    }
+
+    #[test]
+    fn pump_panic_degrades_health_and_keeps_receiving() {
+        let monitor = ClusterMonitor::spawn(ClusterConfig::default()).expect("spawn");
+        monitor.add_peer(1, PeerConfig::new(0.02, 0.06)).unwrap();
+        let rx = ClusterReceiver::bind(loop_addr(), monitor.clone()).expect("bind");
+        let mut tx =
+            ClusterSender::connect(rx.local_addr(), ClusterSenderConfig::default()).expect("tx");
+        assert_eq!(rx.pump_health(), Health::Healthy);
+
+        rx.inject_pump_panic();
+        tx.queue(1, 1, monitor.now()).unwrap();
+        tx.flush().unwrap(); // this datagram trips the injected panic
+        let deadline = std::time::Instant::now() + Duration::from_secs(2);
+        while rx.pump_restarts() < 1 && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(rx.pump_restarts(), 1);
+        assert!(matches!(rx.pump_health(), Health::Degraded { .. }));
+
+        // The restarted pump still records heartbeats.
+        tx.queue(1, 2, monitor.now()).unwrap();
+        tx.flush().unwrap();
+        let deadline = std::time::Instant::now() + Duration::from_secs(2);
+        while rx.entries_received() < 1 && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert!(monitor.status(1).unwrap().output.is_trust());
+        rx.shutdown();
+        monitor.shutdown();
+    }
+
+    #[test]
+    fn overload_sheds_entries_beyond_budget() {
+        let monitor = ClusterMonitor::spawn(ClusterConfig::default()).expect("spawn");
+        for p in 0..32u64 {
+            monitor.add_peer(p, PeerConfig::new(0.5, 1.0)).unwrap();
+        }
+        let rx = ClusterReceiver::bind_with(
+            loop_addr(),
+            monitor.clone(),
+            ClusterReceiverConfig { max_entries_per_sec: Some(10), ..Default::default() },
+        )
+        .expect("bind");
+        let mut tx =
+            ClusterSender::connect(rx.local_addr(), ClusterSenderConfig::default()).expect("tx");
+        // One burst of 32 entries against a 10-entry budget.
+        let t = monitor.now();
+        for p in 0..32u64 {
+            tx.queue(p, 1, t).unwrap();
+        }
+        tx.flush().unwrap();
+        let deadline = std::time::Instant::now() + Duration::from_secs(2);
+        while rx.entries_shed() < 22 && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(rx.entries_received(), 10);
+        assert_eq!(rx.entries_shed(), 22);
+        assert_eq!(monitor.stats().entries_shed, 22, "shed count surfaces in ClusterStats");
         rx.shutdown();
         monitor.shutdown();
     }

@@ -31,6 +31,13 @@ pub struct PeerCounters {
     /// Suspect→Trust transitions (T-transitions; the first one is the
     /// initial trust, since every peer starts suspected).
     pub recoveries: u64,
+    /// Heartbeats rejected because they carried an incarnation below the
+    /// peer's current one — traffic from a previous life, delayed in
+    /// flight across a crash, that must not refresh trust.
+    pub stale_incarnation: u64,
+    /// Times the peer's detector state was reset because a heartbeat
+    /// arrived with a *higher* incarnation — i.e. observed restarts.
+    pub incarnation_resets: u64,
 }
 
 /// Everything the cluster tracks for one peer. Guarded by its shard's
@@ -42,8 +49,13 @@ pub(crate) struct PeerState {
     pub detector: NfdE,
     /// Output as of the last advance — what snapshots report.
     pub last_output: FdOutput,
+    /// Highest sender incarnation seen from this peer. Heartbeats below
+    /// it are rejected; one above it resets the detector (crash-recovery
+    /// model: a restarted peer starts a fresh monitoring epoch).
+    pub incarnation: u64,
     /// Registration generation; wheel entries from before a remove/re-add
-    /// carry an older generation and are discarded.
+    /// (or from before an incarnation reset) carry an older generation
+    /// and are discarded.
     pub gen: u64,
     /// Whether a wheel entry is currently outstanding for this peer (at
     /// most one at a time; see `monitor`).

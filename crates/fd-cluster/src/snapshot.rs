@@ -1,0 +1,431 @@
+//! Versioned on-disk snapshot of a cluster monitor's per-peer state.
+//!
+//! A restarted monitor in the crash-recovery model faces a cold-start
+//! problem: every NFD-E estimator window is empty, so the §6.3
+//! expected-arrival estimates — and with them the detection-time and
+//! mistake-rate QoS — take a full window of heartbeats to converge
+//! again. A snapshot carries the warm state across the restart: each
+//! peer's estimator samples, highest sequence seen, highest sender
+//! incarnation seen, and QoS counters.
+//!
+//! The format is a hand-rolled little-endian binary layout (no external
+//! serialization dependency) with a trailing FNV-1a checksum:
+//!
+//! | field | size |
+//! |-------|-----:|
+//! | magic `[0xFD, 0x5C]` | 2 |
+//! | version `u16` (`1`) | 2 |
+//! | `taken_at: f64` (cluster clock, seconds) | 8 |
+//! | peer count `u32` | 4 |
+//! | peer records … | var |
+//! | FNV-1a 64 checksum of everything above | 8 |
+//!
+//! Each peer record is: `peer u64`, `incarnation u64`, `eta f64`,
+//! `alpha f64`, `window u32`, `max_seq_flag u8` + `max_seq u64`, six
+//! counter `u64`s, `sample_count u32` + that many `f64` samples.
+//!
+//! Decoding is strict — wrong magic, unknown version, truncation,
+//! trailing bytes, non-finite parameters or a checksum mismatch all
+//! yield [`SnapshotError::Corrupt`]. Corruption is *safe* to reject
+//! wholesale: a monitor restoring nothing merely starts cold (every
+//! peer suspected until its heartbeats return), it never trusts anyone
+//! it should not. That is the opposite polarity from the sender-side
+//! incarnation store, where corruption must halt the process.
+//!
+//! Writes are atomic: the snapshot is written to a `.tmp` sibling and
+//! renamed over the target, so a crash mid-write leaves the previous
+//! snapshot intact rather than a torn file.
+
+use crate::registry::PeerCounters;
+use crate::PeerId;
+use std::fmt;
+use std::fs;
+use std::io::{self, Write as _};
+use std::path::Path;
+
+/// Magic bytes opening a snapshot file.
+pub const SNAPSHOT_MAGIC: [u8; 2] = [0xFD, 0x5C];
+
+/// Current snapshot format version.
+pub const SNAPSHOT_VERSION: u16 = 1;
+
+/// One peer's persisted state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PeerRecord {
+    /// The peer id.
+    pub peer: PeerId,
+    /// Highest sender incarnation seen from this peer.
+    pub incarnation: u64,
+    /// Heartbeat period `η`, seconds.
+    pub eta: f64,
+    /// Freshness slack `α`, seconds.
+    pub alpha: f64,
+    /// Estimator window capacity.
+    pub window: usize,
+    /// Highest heartbeat sequence received, if any.
+    pub max_seq: Option<u64>,
+    /// QoS counters at snapshot time.
+    pub counters: PeerCounters,
+    /// Normalized estimator samples, oldest first (the `A'ᵢ − η·sᵢ`
+    /// terms of Eq. 6.3's sliding window).
+    pub samples: Vec<f64>,
+}
+
+/// A decoded snapshot: when it was taken (on the cluster clock that
+/// wrote it) and every peer's state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterStateSnapshot {
+    /// Cluster-clock time the snapshot was taken, seconds.
+    pub taken_at: f64,
+    /// Per-peer records.
+    pub peers: Vec<PeerRecord>,
+}
+
+/// Why a snapshot could not be read.
+#[derive(Debug)]
+pub enum SnapshotError {
+    /// The file could not be read or written.
+    Io(io::Error),
+    /// The bytes do not form a well-formed snapshot; the reason names
+    /// the first check that failed.
+    Corrupt(&'static str),
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotError::Io(e) => write!(f, "snapshot i/o failed: {e}"),
+            SnapshotError::Corrupt(why) => write!(f, "snapshot corrupt: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SnapshotError::Io(e) => Some(e),
+            SnapshotError::Corrupt(_) => None,
+        }
+    }
+}
+
+impl From<io::Error> for SnapshotError {
+    fn from(e: io::Error) -> Self {
+        SnapshotError::Io(e)
+    }
+}
+
+/// FNV-1a 64-bit over `bytes` — cheap, dependency-free integrity check
+/// (detects torn writes and bit rot, not adversaries).
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Encodes a snapshot to its binary form (checksum included).
+pub fn encode_snapshot(snap: &ClusterStateSnapshot) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(16 + snap.peers.len() * 96);
+    buf.extend_from_slice(&SNAPSHOT_MAGIC);
+    buf.extend_from_slice(&SNAPSHOT_VERSION.to_le_bytes());
+    buf.extend_from_slice(&snap.taken_at.to_le_bytes());
+    buf.extend_from_slice(&(snap.peers.len() as u32).to_le_bytes());
+    for r in &snap.peers {
+        buf.extend_from_slice(&r.peer.to_le_bytes());
+        buf.extend_from_slice(&r.incarnation.to_le_bytes());
+        buf.extend_from_slice(&r.eta.to_le_bytes());
+        buf.extend_from_slice(&r.alpha.to_le_bytes());
+        buf.extend_from_slice(&(r.window as u32).to_le_bytes());
+        buf.push(r.max_seq.is_some() as u8);
+        buf.extend_from_slice(&r.max_seq.unwrap_or(0).to_le_bytes());
+        let c = &r.counters;
+        for v in [
+            c.heartbeats,
+            c.stale,
+            c.suspicions,
+            c.recoveries,
+            c.stale_incarnation,
+            c.incarnation_resets,
+        ] {
+            buf.extend_from_slice(&v.to_le_bytes());
+        }
+        buf.extend_from_slice(&(r.samples.len() as u32).to_le_bytes());
+        for s in &r.samples {
+            buf.extend_from_slice(&s.to_le_bytes());
+        }
+    }
+    let sum = fnv1a(&buf);
+    buf.extend_from_slice(&sum.to_le_bytes());
+    buf
+}
+
+/// Sequential little-endian reader over a byte slice.
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take<const N: usize>(&mut self, what: &'static str) -> Result<[u8; N], SnapshotError> {
+        let end = self.pos.checked_add(N).ok_or(SnapshotError::Corrupt(what))?;
+        if end > self.buf.len() {
+            return Err(SnapshotError::Corrupt(what));
+        }
+        let bytes: [u8; N] = self.buf[self.pos..end].try_into().expect("length checked");
+        self.pos = end;
+        Ok(bytes)
+    }
+
+    fn u8(&mut self, what: &'static str) -> Result<u8, SnapshotError> {
+        Ok(self.take::<1>(what)?[0])
+    }
+
+    fn u16(&mut self, what: &'static str) -> Result<u16, SnapshotError> {
+        Ok(u16::from_le_bytes(self.take(what)?))
+    }
+
+    fn u32(&mut self, what: &'static str) -> Result<u32, SnapshotError> {
+        Ok(u32::from_le_bytes(self.take(what)?))
+    }
+
+    fn u64(&mut self, what: &'static str) -> Result<u64, SnapshotError> {
+        Ok(u64::from_le_bytes(self.take(what)?))
+    }
+
+    fn f64(&mut self, what: &'static str) -> Result<f64, SnapshotError> {
+        Ok(f64::from_le_bytes(self.take(what)?))
+    }
+}
+
+/// Decodes a snapshot, verifying framing and checksum.
+///
+/// # Errors
+///
+/// [`SnapshotError::Corrupt`] on any malformation; never panics.
+pub fn decode_snapshot(buf: &[u8]) -> Result<ClusterStateSnapshot, SnapshotError> {
+    if buf.len() < 8 {
+        return Err(SnapshotError::Corrupt("shorter than its checksum"));
+    }
+    let (body, sum_bytes) = buf.split_at(buf.len() - 8);
+    let declared = u64::from_le_bytes(sum_bytes.try_into().expect("8 bytes"));
+    if fnv1a(body) != declared {
+        return Err(SnapshotError::Corrupt("checksum mismatch"));
+    }
+    let mut cur = Cursor { buf: body, pos: 0 };
+    if cur.take::<2>("magic")? != SNAPSHOT_MAGIC {
+        return Err(SnapshotError::Corrupt("bad magic"));
+    }
+    if cur.u16("version")? != SNAPSHOT_VERSION {
+        return Err(SnapshotError::Corrupt("unknown version"));
+    }
+    let taken_at = cur.f64("taken_at")?;
+    if !taken_at.is_finite() || taken_at < 0.0 {
+        return Err(SnapshotError::Corrupt("non-finite or negative taken_at"));
+    }
+    let count = cur.u32("peer count")? as usize;
+    let mut peers = Vec::with_capacity(count.min(4096));
+    for _ in 0..count {
+        let peer = cur.u64("peer id")?;
+        let incarnation = cur.u64("incarnation")?;
+        let eta = cur.f64("eta")?;
+        let alpha = cur.f64("alpha")?;
+        if !eta.is_finite() || !alpha.is_finite() {
+            return Err(SnapshotError::Corrupt("non-finite peer parameters"));
+        }
+        let window = cur.u32("window")? as usize;
+        let has_max_seq = match cur.u8("max_seq flag")? {
+            0 => false,
+            1 => true,
+            _ => return Err(SnapshotError::Corrupt("bad max_seq flag")),
+        };
+        let raw_max_seq = cur.u64("max_seq")?;
+        let max_seq = has_max_seq.then_some(raw_max_seq);
+        let counters = PeerCounters {
+            heartbeats: cur.u64("heartbeats counter")?,
+            stale: cur.u64("stale counter")?,
+            suspicions: cur.u64("suspicions counter")?,
+            recoveries: cur.u64("recoveries counter")?,
+            stale_incarnation: cur.u64("stale_incarnation counter")?,
+            incarnation_resets: cur.u64("incarnation_resets counter")?,
+        };
+        let sample_count = cur.u32("sample count")? as usize;
+        let mut samples = Vec::with_capacity(sample_count.min(4096));
+        for _ in 0..sample_count {
+            let s = cur.f64("sample")?;
+            if !s.is_finite() {
+                return Err(SnapshotError::Corrupt("non-finite sample"));
+            }
+            samples.push(s);
+        }
+        peers.push(PeerRecord {
+            peer,
+            incarnation,
+            eta,
+            alpha,
+            window,
+            max_seq,
+            counters,
+            samples,
+        });
+    }
+    if cur.pos != body.len() {
+        return Err(SnapshotError::Corrupt("trailing bytes"));
+    }
+    Ok(ClusterStateSnapshot { taken_at, peers })
+}
+
+/// Writes a snapshot atomically: encode, write to `<path>.tmp`, rename.
+///
+/// # Errors
+///
+/// Propagates filesystem errors; on error the previous snapshot (if
+/// any) is left untouched.
+pub fn write_snapshot_file(path: &Path, snap: &ClusterStateSnapshot) -> io::Result<()> {
+    let bytes = encode_snapshot(snap);
+    let tmp = tmp_path(path);
+    {
+        let mut f = fs::File::create(&tmp)?;
+        f.write_all(&bytes)?;
+        f.sync_all()?;
+    }
+    fs::rename(&tmp, path)
+}
+
+/// Reads a snapshot file. A missing file is `Ok(None)` — a monitor
+/// that has never written one simply starts cold.
+///
+/// # Errors
+///
+/// [`SnapshotError::Io`] on read failures other than not-found,
+/// [`SnapshotError::Corrupt`] if the bytes do not decode.
+pub fn read_snapshot_file(path: &Path) -> Result<Option<ClusterStateSnapshot>, SnapshotError> {
+    let bytes = match fs::read(path) {
+        Ok(b) => b,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(SnapshotError::Io(e)),
+    };
+    decode_snapshot(&bytes).map(Some)
+}
+
+fn tmp_path(path: &Path) -> std::path::PathBuf {
+    let mut name = path.file_name().unwrap_or_default().to_os_string();
+    name.push(".tmp");
+    path.with_file_name(name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_snapshot() -> ClusterStateSnapshot {
+        ClusterStateSnapshot {
+            taken_at: 12.25,
+            peers: vec![
+                PeerRecord {
+                    peer: 7,
+                    incarnation: 3,
+                    eta: 0.02,
+                    alpha: 0.05,
+                    window: 32,
+                    max_seq: Some(41),
+                    counters: PeerCounters {
+                        heartbeats: 41,
+                        stale: 2,
+                        suspicions: 1,
+                        recoveries: 2,
+                        stale_incarnation: 5,
+                        incarnation_resets: 3,
+                    },
+                    samples: vec![0.101, 0.099, 0.1005],
+                },
+                PeerRecord {
+                    peer: 9,
+                    incarnation: 0,
+                    eta: 0.05,
+                    alpha: 0.1,
+                    window: 16,
+                    max_seq: None,
+                    counters: PeerCounters::default(),
+                    samples: vec![],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn roundtrips() {
+        let snap = sample_snapshot();
+        let buf = encode_snapshot(&snap);
+        assert_eq!(decode_snapshot(&buf).unwrap(), snap);
+    }
+
+    #[test]
+    fn empty_snapshot_roundtrips() {
+        let snap = ClusterStateSnapshot { taken_at: 0.0, peers: vec![] };
+        assert_eq!(decode_snapshot(&encode_snapshot(&snap)).unwrap(), snap);
+    }
+
+    #[test]
+    fn any_single_byte_flip_is_detected() {
+        let buf = encode_snapshot(&sample_snapshot());
+        for idx in 0..buf.len() {
+            let mut bad = buf.clone();
+            bad[idx] ^= 0x40;
+            assert!(
+                decode_snapshot(&bad).is_err(),
+                "flip at byte {idx} went undetected"
+            );
+        }
+    }
+
+    #[test]
+    fn truncation_is_detected() {
+        let buf = encode_snapshot(&sample_snapshot());
+        for cut in 1..buf.len() {
+            assert!(decode_snapshot(&buf[..buf.len() - cut]).is_err());
+        }
+        assert!(decode_snapshot(&[]).is_err());
+    }
+
+    #[test]
+    fn trailing_bytes_are_detected() {
+        let mut buf = encode_snapshot(&sample_snapshot());
+        buf.extend_from_slice(&[0u8; 4]);
+        assert!(decode_snapshot(&buf).is_err());
+    }
+
+    #[test]
+    fn file_roundtrip_and_missing_file() {
+        let path = std::env::temp_dir().join(format!(
+            "fd-cluster-snap-test-{}.bin",
+            std::process::id()
+        ));
+        let _ = fs::remove_file(&path);
+        assert!(read_snapshot_file(&path).unwrap().is_none(), "missing = cold start");
+        let snap = sample_snapshot();
+        write_snapshot_file(&path, &snap).unwrap();
+        assert_eq!(read_snapshot_file(&path).unwrap(), Some(snap.clone()));
+        // Overwrite is atomic-by-rename; the second write replaces the first.
+        let snap2 = ClusterStateSnapshot { taken_at: 99.0, peers: vec![] };
+        write_snapshot_file(&path, &snap2).unwrap();
+        assert_eq!(read_snapshot_file(&path).unwrap(), Some(snap2));
+        fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn corrupt_file_is_an_error_not_a_panic() {
+        let path = std::env::temp_dir().join(format!(
+            "fd-cluster-snap-corrupt-{}.bin",
+            std::process::id()
+        ));
+        fs::write(&path, b"garbage").unwrap();
+        match read_snapshot_file(&path) {
+            Err(SnapshotError::Corrupt(_)) => {}
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+        fs::remove_file(&path).unwrap();
+    }
+}

@@ -214,6 +214,23 @@ mod tests {
     }
 
     #[test]
+    fn generation_values_around_wraparound_stay_distinct() {
+        // The wheel itself is generation-agnostic — it must carry the
+        // exact gen through, including the extremes a wrapping counter
+        // produces, so the caller's gen-mismatch cancellation works on
+        // both sides of u64 wraparound.
+        let mut w = TimerWheel::new(8, 0.01);
+        w.schedule(0.015, 1, u64::MAX - 1);
+        w.schedule(0.015, 1, u64::MAX);
+        w.schedule(0.015, 1, 0); // post-wrap generation for the same peer
+        let mut fired = drain(&mut w, 0.02);
+        fired.sort_by_key(|e| e.gen);
+        let gens: Vec<u64> = fired.iter().map(|e| e.gen).collect();
+        assert_eq!(gens, vec![0, u64::MAX - 1, u64::MAX]);
+        assert!(w.is_empty());
+    }
+
+    #[test]
     #[should_panic(expected = "at least one slot")]
     fn rejects_zero_slots() {
         TimerWheel::new(0, 0.01);

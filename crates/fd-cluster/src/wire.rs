@@ -1,4 +1,4 @@
-//! Batched heartbeat wire protocol v1.
+//! Batched heartbeat wire protocol (v2, decodes v1).
 //!
 //! The single-watch runtime ships one heartbeat per datagram
 //! (`fd-runtime::udp`, 20 bytes each). At cluster scale that is one
@@ -8,51 +8,77 @@
 //! | offset | size | field |
 //! |-------:|-----:|-------|
 //! | 0      | 2    | magic `[0xFD, 0xC1]` |
-//! | 2      | 1    | version (`1`) |
+//! | 2      | 1    | version (`2`) |
 //! | 3      | 1    | entry count `c` (1..=[`MAX_BATCH`]) |
-//! | 4 + 24·k | 8  | entry `k`: `peer_id: u64` LE |
-//! | 12 + 24·k | 8 | entry `k`: `seq: u64` LE |
-//! | 20 + 24·k | 8 | entry `k`: `send_time: f64` LE |
+//! | 4 + 32·k | 8  | entry `k`: `peer_id: u64` LE |
+//! | 12 + 32·k | 8 | entry `k`: `incarnation: u64` LE |
+//! | 20 + 32·k | 8 | entry `k`: `seq: u64` LE |
+//! | 28 + 32·k | 8 | entry `k`: `send_time: f64` LE |
+//!
+//! Version 2 adds the sender's *incarnation* to every entry so receivers
+//! in the crash-recovery model can reject heartbeats from a previous
+//! life of the same process (a datagram delayed in flight across a
+//! crash must not refresh trust in the restarted peer). Version 1
+//! frames — 24-byte entries without the incarnation — still decode,
+//! with incarnation pinned to `0`: a mixed-version cluster keeps
+//! working during a rolling upgrade, and v1 senders are simply treated
+//! as processes that never restart. Encoding always emits v2.
 //!
 //! The magic differs from the single-heartbeat magic (`[0xFD, 0xB1]`), so
 //! each receiver rejects the other's traffic instead of misparsing it.
-//! Decoding is strict: exact length for the declared count, known
-//! version, at least one entry, finite timestamps — a stray or corrupted
-//! packet yields `None`, never a bogus heartbeat.
+//! Decoding is strict: exact length for the declared count and version,
+//! known version, at least one entry, finite timestamps — a stray or
+//! corrupted packet yields `None`, never a bogus heartbeat.
 
 use crate::PeerId;
 
 /// Magic bytes opening every batch datagram.
 pub const BATCH_MAGIC: [u8; 2] = [0xFD, 0xC1];
 
-/// Version of the batch wire format.
-pub const BATCH_WIRE_VERSION: u8 = 1;
+/// Version of the batch wire format emitted by [`encode_batch`].
+pub const BATCH_WIRE_VERSION: u8 = 2;
+
+/// The previous wire version, still accepted by [`decode_batch`]:
+/// 24-byte entries with no incarnation field (decoded as incarnation 0).
+pub const BATCH_WIRE_VERSION_V1: u8 = 1;
 
 /// Size of the batch header: magic, version, entry count.
 pub const HEADER_LEN: usize = 4;
 
-/// Size of one encoded heartbeat entry: `peer + seq + send_time`.
-pub const ENTRY_LEN: usize = 24;
+/// Size of one encoded v2 heartbeat entry:
+/// `peer + incarnation + seq + send_time`.
+pub const ENTRY_LEN: usize = 32;
+
+/// Size of one encoded v1 heartbeat entry: `peer + seq + send_time`.
+pub const ENTRY_LEN_V1: usize = 24;
 
 /// Most entries per datagram: `HEADER_LEN + MAX_BATCH · ENTRY_LEN`
-/// = 1468 bytes, under the 1472-byte UDP payload of a 1500-byte
+/// = 1444 bytes, under the 1472-byte UDP payload of a 1500-byte
 /// Ethernet MTU (no IP fragmentation).
-pub const MAX_BATCH: usize = 61;
+pub const MAX_BATCH: usize = 45;
 
-/// One peer's heartbeat inside a batch: which peer, which `mᵢ`, and the
-/// sender-clock timestamp `S` of §5.2 (NFD-E ignores it; estimators that
-/// assume synchronized clocks may use it).
+/// Most entries per v1 datagram (61·24 + 4 = 1468 bytes). A v1 frame
+/// may legally carry more entries than [`MAX_BATCH`].
+pub const MAX_BATCH_V1: usize = 61;
+
+/// One peer's heartbeat inside a batch: which peer, which life of that
+/// peer, which `mᵢ`, and the sender-clock timestamp `S` of §5.2 (NFD-E
+/// ignores it; estimators that assume synchronized clocks may use it).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct HeartbeatEntry {
     /// The monitored peer this heartbeat vouches for.
     pub peer: PeerId,
-    /// Sequence number `i` of `mᵢ`, starting at 1.
+    /// The sender's incarnation — bumped on every recovery from a
+    /// crash, `0` for processes that never persist one (and for all
+    /// heartbeats decoded from v1 frames).
+    pub incarnation: u64,
+    /// Sequence number `i` of `mᵢ`, starting at 1 within an incarnation.
     pub seq: u64,
     /// Send timestamp on the sender's clock, seconds.
     pub send_time: f64,
 }
 
-/// Encodes a batch of heartbeat entries into one datagram.
+/// Encodes a batch of heartbeat entries into one v2 datagram.
 ///
 /// # Panics
 ///
@@ -70,38 +96,86 @@ pub fn encode_batch(entries: &[HeartbeatEntry]) -> Vec<u8> {
     buf.push(entries.len() as u8);
     for e in entries {
         buf.extend_from_slice(&e.peer.to_le_bytes());
+        buf.extend_from_slice(&e.incarnation.to_le_bytes());
         buf.extend_from_slice(&e.seq.to_le_bytes());
         buf.extend_from_slice(&e.send_time.to_le_bytes());
     }
     buf
 }
 
-/// Decodes a batch datagram.
+/// Decodes a batch datagram (current v2 or legacy v1 framing).
 ///
 /// Returns `None` for anything that is not exactly one well-formed
-/// current-version batch: short header, wrong magic, unknown version,
-/// zero entries, a length that disagrees with the declared count, or any
-/// non-finite timestamp.
+/// batch: short header, wrong magic, unknown version, zero entries, a
+/// length that disagrees with the declared count for that version, or
+/// any non-finite timestamp. v1 entries decode with `incarnation: 0`.
 pub fn decode_batch(buf: &[u8]) -> Option<Vec<HeartbeatEntry>> {
-    if buf.len() < HEADER_LEN || buf[..2] != BATCH_MAGIC || buf[2] != BATCH_WIRE_VERSION {
+    if buf.len() < HEADER_LEN || buf[..2] != BATCH_MAGIC {
         return None;
     }
+    let (entry_len, max_batch, with_incarnation) = match buf[2] {
+        BATCH_WIRE_VERSION => (ENTRY_LEN, MAX_BATCH, true),
+        BATCH_WIRE_VERSION_V1 => (ENTRY_LEN_V1, MAX_BATCH_V1, false),
+        _ => return None,
+    };
     let count = buf[3] as usize;
-    if count == 0 || count > MAX_BATCH || buf.len() != HEADER_LEN + count * ENTRY_LEN {
+    if count == 0 || count > max_batch || buf.len() != HEADER_LEN + count * entry_len {
         return None;
     }
     let mut entries = Vec::with_capacity(count);
     for k in 0..count {
-        let base = HEADER_LEN + k * ENTRY_LEN;
-        let peer = u64::from_le_bytes(buf[base..base + 8].try_into().ok()?);
-        let seq = u64::from_le_bytes(buf[base + 8..base + 16].try_into().ok()?);
-        let send_time = f64::from_le_bytes(buf[base + 16..base + 24].try_into().ok()?);
+        let mut base = HEADER_LEN + k * entry_len;
+        let mut field = || {
+            let bytes: [u8; 8] = buf[base..base + 8].try_into().unwrap();
+            base += 8;
+            bytes
+        };
+        let peer = u64::from_le_bytes(field());
+        let incarnation = if with_incarnation {
+            u64::from_le_bytes(field())
+        } else {
+            0
+        };
+        let seq = u64::from_le_bytes(field());
+        let send_time = f64::from_le_bytes(field());
         if !send_time.is_finite() {
             return None;
         }
-        entries.push(HeartbeatEntry { peer, seq, send_time });
+        entries.push(HeartbeatEntry {
+            peer,
+            incarnation,
+            seq,
+            send_time,
+        });
     }
     Some(entries)
+}
+
+/// Encodes a batch in the legacy v1 framing (no incarnation field).
+///
+/// Production senders always emit v2; this exists so tests — and any
+/// interop harness — can produce the frames an un-upgraded sender
+/// would, and check that [`decode_batch`] still accepts them.
+///
+/// # Panics
+///
+/// Panics if `entries` is empty or longer than [`MAX_BATCH_V1`].
+pub fn encode_batch_v1(entries: &[HeartbeatEntry]) -> Vec<u8> {
+    assert!(
+        !entries.is_empty() && entries.len() <= MAX_BATCH_V1,
+        "v1 batch must hold 1..={MAX_BATCH_V1} entries, got {}",
+        entries.len()
+    );
+    let mut buf = Vec::with_capacity(HEADER_LEN + entries.len() * ENTRY_LEN_V1);
+    buf.extend_from_slice(&BATCH_MAGIC);
+    buf.push(BATCH_WIRE_VERSION_V1);
+    buf.push(entries.len() as u8);
+    for e in entries {
+        buf.extend_from_slice(&e.peer.to_le_bytes());
+        buf.extend_from_slice(&e.seq.to_le_bytes());
+        buf.extend_from_slice(&e.send_time.to_le_bytes());
+    }
+    buf
 }
 
 #[cfg(test)]
@@ -112,6 +186,7 @@ mod tests {
         (0..n)
             .map(|k| HeartbeatEntry {
                 peer: k as u64 * 7 + 1,
+                incarnation: k as u64 % 3,
                 seq: k as u64 + 1,
                 send_time: 0.05 * (k as f64 + 1.0),
             })
@@ -126,6 +201,30 @@ mod tests {
             assert_eq!(buf.len(), HEADER_LEN + n * ENTRY_LEN);
             assert_eq!(decode_batch(&buf).as_deref(), Some(&entries[..]));
         }
+    }
+
+    #[test]
+    fn v1_frames_decode_with_zero_incarnation() {
+        // A frame from an un-upgraded sender: same entries, v1 framing.
+        let mut entries = sample(MAX_BATCH_V1);
+        let buf = encode_batch_v1(&entries);
+        assert_eq!(buf.len(), HEADER_LEN + MAX_BATCH_V1 * ENTRY_LEN_V1);
+        assert_eq!(buf[2], BATCH_WIRE_VERSION_V1);
+        for e in &mut entries {
+            e.incarnation = 0; // v1 carries no incarnation on the wire
+        }
+        assert_eq!(decode_batch(&buf).as_deref(), Some(&entries[..]));
+    }
+
+    #[test]
+    fn v1_length_rules_are_enforced() {
+        let buf = encode_batch_v1(&sample(3));
+        // Truncating to a valid *v2* length must still reject: the
+        // decoder picks entry size by the declared version.
+        assert_eq!(decode_batch(&buf[..HEADER_LEN + 2 * ENTRY_LEN_V1]), None);
+        let mut wrong_count = buf.clone();
+        wrong_count[3] = 4;
+        assert_eq!(decode_batch(&wrong_count), None);
     }
 
     #[test]
@@ -157,7 +256,7 @@ mod tests {
     #[test]
     fn rejects_non_finite_timestamps() {
         let mut buf = encode_batch(&sample(2));
-        let base = HEADER_LEN + ENTRY_LEN + 16; // second entry's send_time
+        let base = HEADER_LEN + ENTRY_LEN + 24; // second entry's send_time
         buf[base..base + 8].copy_from_slice(&f64::NAN.to_le_bytes());
         assert_eq!(decode_batch(&buf), None);
     }
@@ -185,17 +284,39 @@ mod tests {
             fn prop_roundtrip(
                 n in 1usize..MAX_BATCH,
                 peer0 in 0u64..u64::MAX,
+                inc0 in 0u64..u64::MAX,
                 seq0 in 0u64..u64::MAX,
                 ts in -1.0e12f64..1.0e12,
             ) {
                 let entries: Vec<_> = (0..n)
                     .map(|k| HeartbeatEntry {
                         peer: peer0.wrapping_add(k as u64),
+                        incarnation: inc0.wrapping_add(k as u64),
                         seq: seq0.wrapping_add(k as u64),
                         send_time: ts + k as f64,
                     })
                     .collect();
                 let buf = encode_batch(&entries);
+                prop_assert_eq!(buf.len(), HEADER_LEN + n * ENTRY_LEN);
+                prop_assert_eq!(decode_batch(&buf), Some(entries));
+            }
+
+            #[test]
+            fn prop_v1_roundtrip(
+                n in 1usize..MAX_BATCH_V1,
+                peer0 in 0u64..u64::MAX,
+                seq0 in 0u64..u64::MAX,
+                ts in -1.0e12f64..1.0e12,
+            ) {
+                let entries: Vec<_> = (0..n)
+                    .map(|k| HeartbeatEntry {
+                        peer: peer0.wrapping_add(k as u64),
+                        incarnation: 0,
+                        seq: seq0.wrapping_add(k as u64),
+                        send_time: ts + k as f64,
+                    })
+                    .collect();
+                let buf = encode_batch_v1(&entries);
                 prop_assert_eq!(decode_batch(&buf), Some(entries));
             }
 
@@ -207,22 +328,34 @@ mod tests {
                 flip in 1u8..255,
             ) {
                 let entries: Vec<_> = (0..n)
-                    .map(|k| HeartbeatEntry { peer: k as u64, seq: k as u64 + 1, send_time: ts })
+                    .map(|k| HeartbeatEntry {
+                        peer: k as u64,
+                        incarnation: 1,
+                        seq: k as u64 + 1,
+                        send_time: ts,
+                    })
                     .collect();
                 let mut buf = encode_batch(&entries);
                 buf[idx] ^= flip;
-                // Any header flip changes magic, version, or the count —
-                // all must reject (a flipped count mismatches the length).
+                // Any header flip changes magic, version, or the count.
+                // Flipping version to v1 changes the expected entry size
+                // (32 → 24 bytes) so the length check rejects; any other
+                // flip fails magic/version/count validation outright.
                 prop_assert_eq!(decode_batch(&buf), None);
             }
 
             #[test]
             fn prop_truncation_rejected(
                 n in 1usize..MAX_BATCH,
-                cut in 1usize..24,
+                cut in 1usize..32,
             ) {
                 let entries: Vec<_> = (0..n)
-                    .map(|k| HeartbeatEntry { peer: k as u64, seq: k as u64 + 1, send_time: 0.5 })
+                    .map(|k| HeartbeatEntry {
+                        peer: k as u64,
+                        incarnation: 2,
+                        seq: k as u64 + 1,
+                        send_time: 0.5,
+                    })
                     .collect();
                 let buf = encode_batch(&entries);
                 let cut = cut.min(buf.len() - 1);

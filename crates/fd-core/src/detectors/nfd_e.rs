@@ -76,6 +76,48 @@ impl NfdE {
         self.estimator.window()
     }
 
+    /// Rebuilds an NFD-E instance from previously captured state — the
+    /// crash-recovery path: a monitor restarted from a snapshot resumes
+    /// with a *warm* Eq. (6.3) window instead of a blind cold start.
+    ///
+    /// `samples` are the normalized receipt times from
+    /// [`estimator_samples`](Self::estimator_samples), oldest first
+    /// (extras beyond `window` evict normally); `max_seq` is the last `ℓ`
+    /// seen. The restored detector outputs `Suspect` with no armed
+    /// freshness point — failing safe, since the monitor cannot vouch for
+    /// anything that happened while it was down — and the first *fresh*
+    /// heartbeat (`seq > max_seq`) restores trust with a warm estimate.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParamError`] under the same conditions as
+    /// [`new`](Self::new).
+    pub fn restore(
+        eta: f64,
+        alpha: f64,
+        window: usize,
+        samples: &[f64],
+        max_seq: Option<u64>,
+    ) -> Result<Self, ParamError> {
+        let mut fd = Self::new(eta, alpha, window)?;
+        for &s in samples {
+            fd.estimator.restore_sample(s);
+        }
+        fd.max_seq = max_seq;
+        Ok(fd)
+    }
+
+    /// The estimation window's normalized samples, oldest first — the
+    /// serializable state [`restore`](Self::restore) consumes.
+    pub fn estimator_samples(&self) -> Vec<f64> {
+        self.estimator.samples()
+    }
+
+    /// Number of heartbeats currently in the estimation window.
+    pub fn estimator_len(&self) -> usize {
+        self.estimator.len()
+    }
+
     /// Largest heartbeat sequence number received so far (`ℓ`).
     pub fn max_seq_received(&self) -> Option<u64> {
         self.max_seq
@@ -238,6 +280,43 @@ mod tests {
         assert!(NfdE::new(0.0, 1.0, 4).is_err());
         assert!(NfdE::new(1.0, 0.0, 4).is_err());
         assert!(NfdE::new(1.0, 1.0, 0).is_err());
+    }
+
+    #[test]
+    fn restore_resumes_with_warm_estimates() {
+        let mut fd = NfdE::new(1.0, 1.0, 4).unwrap();
+        for i in 1..=3u64 {
+            fd.on_heartbeat(i as f64 + 0.4, Heartbeat::new(i, i as f64));
+        }
+        let samples = fd.estimator_samples();
+        assert_eq!(samples.len(), 3);
+
+        let restored =
+            NfdE::restore(1.0, 1.0, 4, &samples, fd.max_seq_received()).unwrap();
+        // Fail-safe on restore: suspect, no armed deadline...
+        assert_eq!(restored.output(), FdOutput::Suspect);
+        assert!(restored.next_deadline().is_none());
+        assert_eq!(restored.estimator_len(), 3);
+        // ...but the estimate is warm, identical to pre-restart.
+        assert_eq!(restored.estimated_arrival(4), fd.estimated_arrival(4));
+
+        // A stale (pre-restart) sequence number cannot resurrect trust.
+        let mut restored = restored;
+        restored.on_heartbeat(10.0, Heartbeat::new(2, 2.0));
+        assert_eq!(restored.output(), FdOutput::Suspect);
+        // A fresh one restores trust with the warm window.
+        restored.on_heartbeat(4.4, Heartbeat::new(4, 4.0));
+        assert_eq!(restored.output(), FdOutput::Trust);
+        assert!((restored.next_deadline().unwrap() - 6.4).abs() < 1e-9);
+    }
+
+    #[test]
+    fn restore_evicts_oversized_sample_sets() {
+        let samples = [0.1, 0.2, 0.3, 0.4, 0.5];
+        let fd = NfdE::restore(1.0, 1.0, 2, &samples, Some(5)).unwrap();
+        assert_eq!(fd.estimator_len(), 2);
+        // Window mean over the two newest samples: (0.4 + 0.5)/2 = 0.45.
+        assert!((fd.estimated_arrival(6).unwrap() - 6.45).abs() < 1e-12);
     }
 
     #[test]

@@ -59,6 +59,13 @@ impl LossRateEstimator {
         self.received
     }
 
+    /// Rebuilds an estimator from previously observed totals — the
+    /// crash-recovery path: a monitor restarted from a state snapshot
+    /// resumes its loss estimate instead of cold-starting at zero.
+    pub fn restore(highest: u64, received: u64) -> Self {
+        Self { highest, received }
+    }
+
     /// Current estimate of `p_L`; `None` before any heartbeat arrives.
     pub fn estimate(&self) -> Option<f64> {
         if self.highest == 0 {
@@ -95,6 +102,18 @@ impl DelayMomentsEstimator {
     /// at `receipt_time` (local clock).
     pub fn observe(&mut self, send_time: f64, receipt_time: f64) {
         self.window.push(receipt_time - send_time);
+    }
+
+    /// The windowed `A − S` samples, oldest first — the serializable state
+    /// a crash-recovery snapshot carries.
+    pub fn samples(&self) -> Vec<f64> {
+        self.window.iter().collect()
+    }
+
+    /// Re-inserts an already-normalized `A − S` sample (crash-recovery
+    /// restore; feed samples oldest first).
+    pub fn restore_sample(&mut self, delta: f64) {
+        self.window.push(delta);
     }
 
     /// Number of observations currently windowed.
@@ -162,6 +181,18 @@ impl ArrivalTimeEstimator {
     /// Records receipt of heartbeat `seq` at local time `receipt_time`.
     pub fn observe(&mut self, receipt_time: f64, seq: u64) {
         self.window.push(receipt_time - self.eta * seq as f64);
+    }
+
+    /// The windowed normalized receipt times `A'ᵢ − η·sᵢ`, oldest first —
+    /// the serializable state a crash-recovery snapshot carries.
+    pub fn samples(&self) -> Vec<f64> {
+        self.window.iter().collect()
+    }
+
+    /// Re-inserts an already-normalized sample (crash-recovery restore;
+    /// feed samples oldest first).
+    pub fn restore_sample(&mut self, normalized: f64) {
+        self.window.push(normalized);
     }
 
     /// Window capacity `n`.
@@ -409,6 +440,48 @@ mod tests {
     #[should_panic(expected = "eta must be positive")]
     fn arrival_estimator_rejects_bad_eta() {
         ArrivalTimeEstimator::new(0.0, 4);
+    }
+
+    #[test]
+    fn arrival_estimator_samples_roundtrip() {
+        let mut est = ArrivalTimeEstimator::new(1.0, 4);
+        for seq in [1u64, 2, 3] {
+            est.observe(seq as f64 + 0.3, seq);
+        }
+        let samples = est.samples();
+        assert_eq!(samples.len(), 3);
+
+        let mut restored = ArrivalTimeEstimator::new(1.0, 4);
+        for s in &samples {
+            restored.restore_sample(*s);
+        }
+        assert_eq!(restored.len(), 3);
+        assert_eq!(restored.estimate(4), est.estimate(4));
+    }
+
+    #[test]
+    fn loss_rate_restore_resumes_estimate() {
+        let mut est = LossRateEstimator::new();
+        for seq in [1u64, 2, 4, 5] {
+            est.observe(seq);
+        }
+        let restored =
+            LossRateEstimator::restore(est.highest_seq(), est.received_count());
+        assert_eq!(restored.estimate(), est.estimate());
+        assert_eq!(restored.highest_seq(), 5);
+    }
+
+    #[test]
+    fn delay_moments_samples_roundtrip() {
+        let mut est = DelayMomentsEstimator::new(8);
+        est.observe(1.0, 1.2);
+        est.observe(2.0, 2.4);
+        let mut restored = DelayMomentsEstimator::new(8);
+        for s in est.samples() {
+            restored.restore_sample(s);
+        }
+        assert_eq!(restored.mean_delay(), est.mean_delay());
+        assert_eq!(restored.delay_variance(), est.delay_variance());
     }
 
     #[test]

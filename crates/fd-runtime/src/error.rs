@@ -27,6 +27,13 @@ pub enum RuntimeError {
         /// The underlying OS error.
         source: io::Error,
     },
+    /// A durable incarnation counter could not be read or written
+    /// (including corruption — restarting at a stale incarnation would
+    /// defeat stale-datagram rejection, so it is surfaced, not healed).
+    Incarnation {
+        /// The underlying I/O or parse failure.
+        source: io::Error,
+    },
 }
 
 impl fmt::Display for RuntimeError {
@@ -38,6 +45,9 @@ impl fmt::Display for RuntimeError {
             RuntimeError::Net { op, source } => {
                 write!(f, "socket {op} failed: {source}")
             }
+            RuntimeError::Incarnation { source } => {
+                write!(f, "incarnation store failed: {source}")
+            }
         }
     }
 }
@@ -45,7 +55,9 @@ impl fmt::Display for RuntimeError {
 impl std::error::Error for RuntimeError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
-            RuntimeError::Spawn { source, .. } | RuntimeError::Net { source, .. } => Some(source),
+            RuntimeError::Spawn { source, .. }
+            | RuntimeError::Net { source, .. }
+            | RuntimeError::Incarnation { source } => Some(source),
         }
     }
 }
@@ -57,6 +69,10 @@ impl RuntimeError {
 
     pub(crate) fn net(op: &'static str, source: io::Error) -> Self {
         RuntimeError::Net { op, source }
+    }
+
+    pub(crate) fn incarnation(source: io::Error) -> Self {
+        RuntimeError::Incarnation { source }
     }
 }
 

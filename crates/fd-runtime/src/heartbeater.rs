@@ -1,12 +1,105 @@
 //! The monitored process `p`: a thread sending heartbeats every `η`.
+//!
+//! The paper assumes crash-*stop* processes; real deployments restart.
+//! A restarted process whose identity is indistinguishable from its
+//! previous life lets stale in-flight heartbeats vouch for the *new*
+//! life (and vice versa), silently breaking the configurator's
+//! `T_D`/`T_MR` guarantees. The crash-recovery literature (Reis &
+//! Vieira's QoS analysis of crash-recovery leader election; Aguilera et
+//! al.'s crash-recovery model) fixes this with **incarnation numbers**:
+//! every recovery bumps a monotone counter that receivers compare, so
+//! messages from an older incarnation are recognizably stale. The
+//! [`Heartbeater`] tracks its incarnation across [`recover`]
+//! (in-process restart) and, through an [`IncarnationStore`], across
+//! full process restarts (on-disk persistence).
+//!
+//! [`recover`]: Heartbeater::recover
 
 use crate::clock::Clock;
 use crate::error::RuntimeError;
 use crate::transport::Sender;
 use fd_core::Heartbeat;
 use parking_lot::{Condvar, Mutex};
+use std::io;
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
 use std::time::Duration;
+
+/// Durable incarnation counter: a tiny on-disk file holding the last
+/// incarnation a process ran as, so a *restarted* process (not just an
+/// in-process [`Heartbeater::recover`]) resumes with a strictly larger
+/// incarnation than anything it sent before the crash.
+///
+/// The file holds the incarnation as decimal ASCII. Updates are atomic
+/// (write to a sibling temp file, then rename), so a crash mid-update
+/// leaves either the old or the new value, never a torn one. A missing
+/// file means "never ran": the first [`bump`](IncarnationStore::bump)
+/// yields incarnation 1. A *corrupt* file is an error, not a silent
+/// reset — restarting at incarnation 0 would let every pre-crash
+/// datagram impersonate the new life.
+#[derive(Debug, Clone)]
+pub struct IncarnationStore {
+    path: PathBuf,
+}
+
+impl IncarnationStore {
+    /// Uses `path` as the durable incarnation record. No I/O happens
+    /// until [`load`](Self::load) or [`bump`](Self::bump).
+    pub fn at(path: impl Into<PathBuf>) -> Self {
+        Self { path: path.into() }
+    }
+
+    /// The backing file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Reads the stored incarnation. A missing file reads as 0 (never
+    /// ran); a corrupt one is [`io::ErrorKind::InvalidData`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors; corruption maps to `InvalidData`.
+    pub fn load(&self) -> io::Result<u64> {
+        match std::fs::read_to_string(&self.path) {
+            Ok(text) => text.trim().parse::<u64>().map_err(|e| {
+                io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("corrupt incarnation file {}: {e}", self.path.display()),
+                )
+            }),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(0),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Atomically records `incarnation` as the current one.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the write or rename.
+    pub fn store(&self, incarnation: u64) -> io::Result<()> {
+        let tmp = self.path.with_extension("tmp");
+        std::fs::write(&tmp, incarnation.to_string())?;
+        std::fs::rename(&tmp, &self.path)
+    }
+
+    /// Loads the stored incarnation, bumps it by one, persists the new
+    /// value, and returns it — the restart handshake: call once per
+    /// process start (and per recovery) *before* sending any heartbeat.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`load`](Self::load)/[`store`](Self::store) errors; on
+    /// error nothing is persisted.
+    pub fn bump(&self) -> io::Result<u64> {
+        let next = self.load()?.checked_add(1).ok_or_else(|| {
+            io::Error::new(io::ErrorKind::InvalidData, "incarnation counter overflow")
+        })?;
+        self.store(next)?;
+        Ok(next)
+    }
+}
 
 #[derive(Debug)]
 struct Control {
@@ -20,6 +113,10 @@ struct Control {
     /// Heartbeats sent so far (sequence numbers continue across a
     /// crash/recovery cycle, so a recovered process never reuses one).
     sent: u64,
+    /// Current incarnation: bumped by every [`Heartbeater::recover`] so
+    /// receivers can tell a restarted life from stale datagrams of the
+    /// previous one.
+    incarnation: u64,
 }
 
 struct Shared {
@@ -40,11 +137,17 @@ pub struct Heartbeater {
     sender: Arc<Sender>,
     clock: Arc<dyn Clock>,
     handle: Mutex<Option<std::thread::JoinHandle<()>>>,
+    /// Durable incarnation record, if this heartbeater persists one;
+    /// bumped on every recovery.
+    store: Option<IncarnationStore>,
 }
 
 impl Heartbeater {
     /// Spawns a heartbeater sending every `eta` seconds on `sender`,
-    /// reading time (for timestamps and pacing) from `clock`.
+    /// reading time (for timestamps and pacing) from `clock`. Starts at
+    /// incarnation 0 with no persistence; see
+    /// [`spawn_persistent`](Self::spawn_persistent) for the
+    /// crash-recovery-correct variant.
     ///
     /// # Errors
     ///
@@ -58,12 +161,50 @@ impl Heartbeater {
         sender: Sender,
         clock: impl Clock + 'static,
     ) -> Result<Self, RuntimeError> {
+        Self::spawn_inner(eta, sender, clock, 0, None)
+    }
+
+    /// Spawns a heartbeater whose incarnation survives process restarts:
+    /// the store's counter is loaded, bumped and persisted before the
+    /// first heartbeat, and bumped again on every
+    /// [`recover`](Self::recover). A process relaunched with the same
+    /// store therefore always sends with a strictly larger incarnation
+    /// than any datagram from its previous life.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::Incarnation`] if the store cannot be read
+    /// or written (including a corrupt counter file — silently restarting
+    /// at 0 would defeat stale-datagram rejection), and
+    /// [`RuntimeError::Spawn`] if the OS refuses the thread.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `eta` is not positive and finite.
+    pub fn spawn_persistent(
+        eta: f64,
+        sender: Sender,
+        clock: impl Clock + 'static,
+        store: IncarnationStore,
+    ) -> Result<Self, RuntimeError> {
+        let incarnation = store.bump().map_err(RuntimeError::incarnation)?;
+        Self::spawn_inner(eta, sender, clock, incarnation, Some(store))
+    }
+
+    fn spawn_inner(
+        eta: f64,
+        sender: Sender,
+        clock: impl Clock + 'static,
+        incarnation: u64,
+        store: Option<IncarnationStore>,
+    ) -> Result<Self, RuntimeError> {
         assert!(eta > 0.0 && eta.is_finite(), "eta must be positive and finite");
         let shared = Arc::new(Shared {
             control: Mutex::new(Control {
                 eta,
                 crashed: false,
                 sent: 0,
+                incarnation,
             }),
             wake: Condvar::new(),
         });
@@ -75,7 +216,16 @@ impl Heartbeater {
             sender,
             clock,
             handle: Mutex::new(Some(handle)),
+            store,
         })
+    }
+
+    /// The current incarnation: 0 for a never-recovered in-memory
+    /// heartbeater, and strictly increasing across recoveries (and, with
+    /// [`spawn_persistent`](Self::spawn_persistent), across process
+    /// restarts).
+    pub fn incarnation(&self) -> u64 {
+        self.shared.control.lock().incarnation
     }
 
     /// Changes the intersending interval `η` (takes effect for the next
@@ -111,19 +261,39 @@ impl Heartbeater {
     }
 
     /// Recovers a crashed process: heartbeating resumes on the same
-    /// link, sequence numbers continuing where they stopped. A no-op on
-    /// a live process.
+    /// link, sequence numbers continuing where they stopped and the
+    /// incarnation bumped (persisted first, if this heartbeater has an
+    /// [`IncarnationStore`]) so receivers can reject the previous life's
+    /// stale datagrams. A no-op on a live process.
     ///
     /// # Errors
     ///
-    /// Returns [`RuntimeError::Spawn`] if the replacement thread cannot
-    /// be started (the process then stays crashed).
+    /// Returns [`RuntimeError::Incarnation`] if the bumped incarnation
+    /// cannot be persisted, and [`RuntimeError::Spawn`] if the
+    /// replacement thread cannot be started; either way the process
+    /// stays crashed.
     pub fn recover(&self) -> Result<(), RuntimeError> {
         let mut handle = self.handle.lock();
         if handle.is_some() {
             return Ok(()); // still running
         }
-        self.shared.control.lock().crashed = false;
+        let next = self
+            .shared
+            .control
+            .lock()
+            .incarnation
+            .checked_add(1)
+            .expect("incarnation counter overflow");
+        // Persist before resuming sends: crash-during-recovery must never
+        // reuse an incarnation already on the wire.
+        if let Some(store) = &self.store {
+            store.store(next).map_err(RuntimeError::incarnation)?;
+        }
+        {
+            let mut c = self.shared.control.lock();
+            c.incarnation = next;
+            c.crashed = false;
+        }
         match spawn_thread(&self.shared, &self.sender, &self.clock) {
             Ok(h) => {
                 *handle = Some(h);
@@ -317,5 +487,70 @@ mod tests {
     fn rejects_zero_eta() {
         let (tx, _rx) = channel();
         let _ = Heartbeater::spawn(0.0, tx, WallClock::new());
+    }
+
+    #[test]
+    fn recover_bumps_incarnation() {
+        let (tx, _rx) = channel();
+        let hb = Heartbeater::spawn(0.005, tx, WallClock::new()).unwrap();
+        assert_eq!(hb.incarnation(), 0);
+        hb.recover().unwrap(); // alive: no-op, no bump
+        assert_eq!(hb.incarnation(), 0);
+        hb.crash();
+        hb.recover().unwrap();
+        assert_eq!(hb.incarnation(), 1);
+        hb.crash();
+        hb.recover().unwrap();
+        assert_eq!(hb.incarnation(), 2);
+        hb.crash();
+    }
+
+    fn temp_store(tag: &str) -> IncarnationStore {
+        let path = std::env::temp_dir().join(format!(
+            "fd-incarnation-{tag}-{}.txt",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&path);
+        IncarnationStore::at(path)
+    }
+
+    #[test]
+    fn incarnation_store_survives_process_restarts() {
+        let store = temp_store("restart");
+        assert_eq!(store.load().unwrap(), 0, "missing file reads as 0");
+        {
+            let (tx, _rx) = channel();
+            let hb =
+                Heartbeater::spawn_persistent(0.005, tx, WallClock::new(), store.clone())
+                    .unwrap();
+            assert_eq!(hb.incarnation(), 1, "first life is incarnation 1");
+            hb.crash();
+            hb.recover().unwrap();
+            assert_eq!(hb.incarnation(), 2);
+            hb.crash();
+        }
+        // "Restart the process": a new heartbeater on the same store must
+        // exceed everything the previous life ever sent.
+        let (tx, _rx) = channel();
+        let hb =
+            Heartbeater::spawn_persistent(0.005, tx, WallClock::new(), store.clone()).unwrap();
+        assert_eq!(hb.incarnation(), 3);
+        hb.crash();
+        let _ = std::fs::remove_file(store.path());
+    }
+
+    #[test]
+    fn corrupt_incarnation_store_is_an_error_not_a_reset() {
+        let store = temp_store("corrupt");
+        std::fs::write(store.path(), "not a number").unwrap();
+        let err = store.load().unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        let (tx, _rx) = channel();
+        match Heartbeater::spawn_persistent(0.005, tx, WallClock::new(), store.clone()) {
+            Err(RuntimeError::Incarnation { .. }) => {}
+            Err(other) => panic!("expected Incarnation error, got {other}"),
+            Ok(_) => panic!("expected Incarnation error, got a running heartbeater"),
+        }
+        let _ = std::fs::remove_file(store.path());
     }
 }

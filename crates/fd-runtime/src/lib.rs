@@ -61,7 +61,7 @@ pub mod udp;
 
 pub use clock::{Clock, JumpableClock, SkewedClock, WallClock};
 pub use error::{Health, RuntimeError};
-pub use heartbeater::Heartbeater;
+pub use heartbeater::{Heartbeater, IncarnationStore};
 pub use leader::{LeaderElector, Leadership, TrustView};
 pub use monitor::{DetectorFactory, Monitor};
 pub use service::{ProcessSpec, Service, ServiceError};

@@ -249,6 +249,34 @@ impl FaultPlan {
         self.event(ProcessEvent::Recover { at })
     }
 
+    /// Schedules a restart storm: `cycles` crash/recover pairs starting
+    /// at `start`, each keeping the process down for `down` seconds and
+    /// then up for `up` seconds before the next crash. The final event
+    /// is always a recovery, so the process ends the storm alive — the
+    /// crash-recovery model's worst case short of a permanent crash.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cycles == 0`, `start` is not finite and non-negative,
+    /// or `down`/`up` is not finite and positive.
+    pub fn restart_storm(mut self, start: f64, cycles: usize, down: f64, up: f64) -> Self {
+        assert!(cycles > 0, "restart storm needs at least one cycle");
+        assert!(
+            down.is_finite() && down > 0.0,
+            "down time must be finite and positive, got {down}"
+        );
+        assert!(
+            up.is_finite() && up > 0.0,
+            "up time must be finite and positive, got {up}"
+        );
+        let mut t = start;
+        for _ in 0..cycles {
+            self = self.crash(t).recover(t + down);
+            t += down + up;
+        }
+        self
+    }
+
     /// Schedules a forward monitor-clock jump of `offset` seconds at `at`.
     ///
     /// # Panics
@@ -523,6 +551,49 @@ mod tests {
         assert!(!plan.is_crashed_at(25.0));
         assert!(plan.is_crashed_at(35.0));
         assert_eq!(plan.events().len(), 3);
+    }
+
+    #[test]
+    fn restart_storm_alternates_and_ends_recovered() {
+        let plan = FaultPlan::new(0).restart_storm(10.0, 3, 2.0, 3.0);
+        assert_eq!(plan.events().len(), 6);
+        // Cycle k occupies [10 + 5k, 12 + 5k) down, then up until the next.
+        for k in 0..3 {
+            let base = 10.0 + 5.0 * k as f64;
+            assert!(!plan.is_crashed_at(base - 0.5));
+            assert!(plan.is_crashed_at(base));
+            assert!(plan.is_crashed_at(base + 1.9));
+            assert!(!plan.is_crashed_at(base + 2.0));
+        }
+        assert!(!plan.is_crashed_at(1e9), "storm must end recovered");
+        assert!(matches!(plan.events().last(), Some(ProcessEvent::Recover { .. })));
+    }
+
+    #[test]
+    fn restart_storm_composes_with_other_events() {
+        // Storms append through the same ordering-checked path as
+        // manual events; a later crash after the storm is fine.
+        let plan = FaultPlan::new(0).restart_storm(1.0, 2, 0.5, 0.5).crash(10.0);
+        assert_eq!(plan.events().len(), 5);
+        assert!(plan.is_crashed_at(11.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one cycle")]
+    fn restart_storm_rejects_zero_cycles() {
+        FaultPlan::new(0).restart_storm(0.0, 0, 1.0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "down time must be finite and positive")]
+    fn restart_storm_rejects_zero_down_time() {
+        FaultPlan::new(0).restart_storm(0.0, 1, 0.0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-decreasing order")]
+    fn restart_storm_respects_prior_events() {
+        FaultPlan::new(0).crash(50.0).recover(60.0).restart_storm(5.0, 1, 1.0, 1.0);
     }
 
     #[test]

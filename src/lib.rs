@@ -65,9 +65,10 @@ pub mod prelude {
         StopCondition,
     };
     pub use fd_cluster::{
-        ClusterConfig, ClusterMonitor, ClusterSnapshot, MembershipChange, MembershipEvent,
-        PeerConfig, PeerId,
+        ClusterConfig, ClusterMonitor, ClusterSnapshot, ClusterStats, MembershipChange,
+        MembershipEvent, PeerConfig, PeerId, PeerStatus,
     };
+    pub use fd_runtime::{Health, IncarnationStore};
     pub use fd_stats::dist::{Constant, Exponential, Gamma, LogNormal, Mixture, Pareto, Uniform};
     pub use fd_stats::DelayDistribution;
 }

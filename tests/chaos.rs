@@ -11,6 +11,8 @@
 use chen_fd_qos::prelude::*;
 use fd_core::config::NfdUParams;
 use fd_runtime::{DetectorFactory, Health, LinkSpec, ProcessSpec, Service};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::{Duration, Instant};
 
@@ -176,6 +178,171 @@ fn monitor_clock_jump_self_corrects() {
     );
     assert_eq!(svc.health("ntp-step"), Some(Health::Healthy));
     svc.shutdown();
+}
+
+/// Scenario 5 — restart storm under burst loss: the process crashes and
+/// recovers three times in quick succession while the link chews up most
+/// heartbeats. The detector must suspect during the storm and must not
+/// be stuck suspecting after the *final* recovery.
+#[test]
+fn restart_storm_recovers_after_final_restart() {
+    let plan = FaultPlan::new(0x5709)
+        .link_fault(
+            0.2,
+            LinkFault::BurstLoss {
+                p_gb: 0.3,
+                p_bg: 0.5,
+                loss_good: 0.0,
+                loss_bad: 0.9,
+            },
+        )
+        .link_fault(1.1, LinkFault::Nominal)
+        .restart_storm(0.25, 3, 0.15, 0.25);
+    let mut svc = Service::new();
+    svc.watch(
+        ProcessSpec::named("stormy")
+            .heartbeat_params(params())
+            .link(clean_link())
+            .seed(7)
+            .estimation_window(8)
+            .fault_plan(plan),
+    )
+    .unwrap();
+
+    assert!(
+        wait_until(Duration::from_millis(240), || svc.status()["stormy"].is_trust()),
+        "no trust before the storm"
+    );
+    assert!(
+        wait_until(Duration::from_secs(2), || svc.status()["stormy"].is_suspect()),
+        "storm crashes never suspected"
+    );
+    // Final recovery is at t = 1.2 s; after it trust must return and stay
+    // reachable — the acceptance bar is "no peer stuck DOWN".
+    assert!(
+        wait_until(Duration::from_secs(4), || svc.status()["stormy"].is_trust()),
+        "peer stuck DOWN after the final recovery"
+    );
+    assert_eq!(svc.health("stormy"), Some(Health::Healthy));
+    svc.shutdown();
+}
+
+/// Scenario 6 — cluster-level restart storm: N peers crash/recover
+/// repeatedly, each new life bumping its incarnation and restarting its
+/// sequence numbers at 1, with seeded heartbeat loss layered on top.
+/// Asserts the crash-recovery acceptance bar end to end: every new life
+/// re-earns trust (no peer stuck DOWN), stale-incarnation floods cannot
+/// resurrect a dead peer, and a monitor restarted from its snapshot
+/// reports warm (non-empty) estimator windows immediately.
+#[test]
+fn cluster_restart_storm_incarnations_and_warm_snapshot() {
+    const N_PEERS: u64 = 4;
+    const CYCLES: u64 = 3;
+    const LOSS: f64 = 0.3;
+
+    let snap = std::env::temp_dir().join(format!(
+        "fd-chaos-restart-storm-{}.snap",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_file(&snap);
+    let cfg = ClusterConfig {
+        tick: 0.002,
+        snapshot_path: Some(snap.clone()),
+        ..ClusterConfig::default()
+    };
+    let mon = ClusterMonitor::spawn(cfg.clone()).unwrap();
+    for p in 1..=N_PEERS {
+        mon.add_peer(p, PeerConfig::new(0.02, 0.06).window(8)).unwrap();
+    }
+
+    let mut rng = StdRng::seed_from_u64(0x5709);
+    let all = |pred: fn(FdOutput) -> bool| {
+        let mon = mon.clone();
+        move || (1..=N_PEERS).all(|p| pred(mon.status(p).expect("registered").output))
+    };
+
+    // One life per incarnation: heartbeats (seq restarting at 1) under
+    // seeded loss until every peer is trusted, then a crash (silence)
+    // until every peer is suspected again.
+    for inc in 1..=CYCLES {
+        let mut seq = 0;
+        while seq < 60 && !all(FdOutput::is_trust)() {
+            seq += 1;
+            for p in 1..=N_PEERS {
+                if rng.random::<f64>() >= LOSS {
+                    let now = mon.now();
+                    mon.record_incarnated(p, inc, Heartbeat::new(seq, now));
+                }
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert!(
+            all(FdOutput::is_trust)(),
+            "life {inc}: a peer never re-earned trust"
+        );
+        assert!(
+            wait_until(Duration::from_secs(2), all(FdOutput::is_suspect)),
+            "life {inc}: crash went undetected"
+        );
+    }
+
+    // While everyone is down, a flood of previous-life heartbeats with
+    // huge sequence numbers arrives (delayed datagrams, a split-brain
+    // replayer — the stale-resurrection attack). Nobody may come back up.
+    for burst in 0..20u64 {
+        for p in 1..=N_PEERS {
+            let now = mon.now();
+            mon.record_incarnated(p, 1, Heartbeat::new(10_000 + burst, now));
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    assert!(
+        all(FdOutput::is_suspect)(),
+        "stale-incarnation heartbeats resurrected a dead peer"
+    );
+
+    // Final recovery: one more incarnation, and everyone must come back.
+    let final_inc = CYCLES + 1;
+    let mut seq = 0;
+    while seq < 60 && !all(FdOutput::is_trust)() {
+        seq += 1;
+        for p in 1..=N_PEERS {
+            if rng.random::<f64>() >= LOSS {
+                let now = mon.now();
+                mon.record_incarnated(p, final_inc, Heartbeat::new(seq, now));
+            }
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert!(all(FdOutput::is_trust)(), "a peer is stuck DOWN after the final recovery");
+
+    let stats = mon.stats();
+    assert!(
+        stats.stale_incarnation_rejects >= 20,
+        "stale flood not rejected (rejects = {})",
+        stats.stale_incarnation_rejects
+    );
+    assert!(
+        stats.incarnation_resets >= N_PEERS * CYCLES,
+        "too few incarnation resets: {}",
+        stats.incarnation_resets
+    );
+    assert_eq!(mon.ticker_health(), Health::Healthy, "storm must not hurt the ticker");
+
+    // Monitor restart: shutdown persists the snapshot; the next spawn
+    // restores it and must report warm estimates immediately.
+    mon.shutdown();
+    let reborn = ClusterMonitor::spawn(cfg).unwrap();
+    for p in 1..=N_PEERS {
+        let st = reborn.status(p).expect("restored from snapshot");
+        assert!(
+            st.estimator_samples > 0,
+            "peer {p} restored cold (0 estimator samples)"
+        );
+        assert_eq!(st.incarnation, final_inc, "peer {p} lost its incarnation high-water mark");
+    }
+    reborn.shutdown();
+    let _ = std::fs::remove_file(&snap);
 }
 
 /// An NFD-E wrapper whose *first* instance panics on its third heartbeat;
