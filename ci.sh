@@ -21,4 +21,7 @@ cargo run --release -p fd-bench --bin exp_chaos -- --restart-storm
 echo "==> cluster scale smoke"
 cargo run --release -p fd-bench --bin exp_scale -- --smoke
 
+echo "==> live QoS scrape smoke"
+cargo run --release -p fd-bench --bin exp_qos_live -- --smoke
+
 echo "CI green."

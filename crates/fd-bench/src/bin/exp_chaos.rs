@@ -22,7 +22,10 @@ use fd_cluster::{
 };
 use fd_core::detectors::{NfdE, NfdS};
 use fd_core::{FailureDetector, Heartbeat};
-use fd_metrics::{detection_time, AccuracyAnalysis, DetectionOutcome, TransitionTrace};
+use fd_metrics::{
+    detection_time, AccuracyAnalysis, Conformance, DetectionOutcome, FdOutput, OnlineQos,
+    TransitionTrace,
+};
 use fd_runtime::Health;
 use fd_sim::{run_with_model, FaultPlan, FaultyLink, Link, LinkFault, ProcessEvent, RunOptions};
 use fd_stats::dist::Exponential;
@@ -113,6 +116,74 @@ fn run_detector(
         detect,
     ]);
     out.trace
+}
+
+/// Predicted-vs-observed conformance: the same trace, consumed live.
+///
+/// Replays the pre-crash output stream transition by transition into an
+/// [`OnlineQos`] tracker — exactly what the cluster monitor does at its
+/// S/T-transition points — and asserts that the online answers match a
+/// batch [`AccuracyAnalysis`] of the recorded trace within 5%, and that
+/// the observed metrics satisfy the paper's Theorem 1 identities at a
+/// renewal point (the last S-transition, where a mistake-recurrence
+/// cycle closes).
+fn live_conformance(name: &str, trace: &TransitionTrace) {
+    let pre = trace.restrict(trace.start(), CRASH_AT);
+    let mut online = OnlineQos::new(pre.start(), pre.initial_output());
+    for tr in pre.transitions() {
+        online.observe(tr.at, tr.to);
+    }
+    let observed = online.observed(pre.end());
+    let batch = AccuracyAnalysis::of_trace(&pre);
+
+    let rel = |a: f64, b: f64| (a - b).abs() / b.abs().max(1e-12);
+    assert_eq!(
+        observed.s_transitions as usize,
+        batch.mistake_count(),
+        "{name}: online mistake count diverged from batch"
+    );
+    assert!(
+        rel(observed.query_accuracy(), batch.query_accuracy_probability()) < 0.05,
+        "{name}: online P_A {} vs batch {}",
+        observed.query_accuracy(),
+        batch.query_accuracy_probability()
+    );
+    match (observed.mean_mistake_duration(), batch.mean_mistake_duration()) {
+        (Some(on), Some(off)) => assert!(
+            rel(on, off) < 0.05,
+            "{name}: online E(T_M) {on} vs batch {off}"
+        ),
+        (on, off) => assert_eq!(
+            on.is_some(),
+            off.is_some(),
+            "{name}: one view observed a completed mistake, the other did not"
+        ),
+    }
+
+    // Theorem 1 is an identity over whole mistake-recurrence cycles, so
+    // re-observe the stream between renewal points: from the first
+    // S-transition (cycle starts) to the last (the final cycle closes).
+    // The tracker is primed Trusting just before the first S so that
+    // S-transition opens the first cycle as a real transition.
+    let s_times: Vec<f64> = pre
+        .transitions()
+        .iter()
+        .filter(|t| t.to == FdOutput::Suspect)
+        .map(|t| t.at)
+        .collect();
+    let (Some(&first_s), Some(&last_s)) = (s_times.first(), s_times.last()) else {
+        return; // no mistakes at all: nothing for Theorem 1 to say
+    };
+    if first_s == last_s {
+        return; // a single mistake closes no cycle
+    }
+    let mut renewal = OnlineQos::new(first_s - 1e-9, FdOutput::Trust);
+    for tr in pre.transitions().iter().filter(|t| t.at >= first_s && t.at <= last_s) {
+        renewal.observe(tr.at, tr.to);
+    }
+    let report = Conformance::new(0.05).report(&renewal.observed(last_s));
+    assert!(report.passed(), "{name}: conformance failures:\n{report}");
+    println!("{name} conformance over {} renewal cycles:\n{report}", s_times.len() - 1);
 }
 
 /// Polls until `pred` holds or `timeout` elapses; returns whether it held.
@@ -335,6 +406,7 @@ fn main() {
             DetectionOutcome::AlreadySuspecting => {}
             DetectionOutcome::NotDetected => panic!("{name}: crash never detected"),
         }
+        live_conformance(name, trace);
     }
     println!("all chaos-smoke assertions passed");
 }

@@ -27,6 +27,7 @@ const EXPERIMENTS: &[(&str, &str)] = &[
     ("exp_burst", "E14 bursty traffic & §8.1.2 combiner ablation"),
     ("exp_ping", "E15 heartbeat vs ping at equal bandwidth (§8.2 extension)"),
     ("exp_phi", "E16 φ-accrual descendant comparison (extension)"),
+    ("exp_qos_live", "E18 live QoS scrape over a 100-peer cluster"),
 ];
 
 fn main() {

@@ -1,0 +1,554 @@
+//! HTTP metrics endpoint for a [`ClusterMonitor`].
+//!
+//! Serves the whole registry's live QoS — every peer's online `P_A`,
+//! `E(T_MR)`, `E(T_M)`, `E(T_G)`, transition counters — plus the
+//! cluster-wide [`ClusterStats`] in two representations:
+//!
+//! * `GET /metrics` — Prometheus text exposition format (version 0.0.4),
+//!   one time series per peer per metric, labelled `{peer="<id>"}`;
+//! * `GET /metrics.json` — the same data as a single JSON document.
+//!
+//! The server is deliberately tiny: a std `TcpListener`, one supervised
+//! accept thread (same `catch_unwind` + bounded-restart pattern as the
+//! cluster ticker), one request per connection, `Connection: close`. It
+//! is an *operational* endpoint for scrapers and debugging, not a web
+//! framework; anything but the two known paths gets a 404.
+//!
+//! Mean-interval gauges (`fd_peer_mean_*_seconds`) are emitted only once
+//! the corresponding interval has actually been observed — a peer that
+//! has never had a mistake corrected exports no
+//! `fd_peer_mean_mistake_duration_seconds` series rather than a fake 0.
+
+use crate::monitor::{ClusterMonitor, ClusterStats, PeerQos};
+use fd_runtime::{Health, RuntimeError};
+use parking_lot::Mutex;
+use std::fmt::Write as _;
+use std::io::{Read as _, Write as _};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// How long one request may take to arrive/drain before the connection
+/// is dropped — a stuck scraper must not wedge the accept thread.
+const STREAM_TIMEOUT: Duration = Duration::from_millis(500);
+
+/// Most header bytes read from a request before giving up on it.
+const MAX_REQUEST_HEAD: usize = 4096;
+
+/// Restart budget for the supervised accept loop.
+const MAX_ACCEPT_RESTARTS: u64 = 8;
+
+struct ExporterInner {
+    monitor: ClusterMonitor,
+    listener: TcpListener,
+    addr: SocketAddr,
+    stop: AtomicBool,
+    health: Mutex<Health>,
+    requests: AtomicU64,
+    restarts: AtomicU64,
+}
+
+/// A running metrics endpoint bound to a local TCP address.
+///
+/// ```no_run
+/// use fd_cluster::{ClusterConfig, ClusterMonitor, MetricsExporter};
+///
+/// let monitor = ClusterMonitor::spawn(ClusterConfig::default()).unwrap();
+/// let exporter = MetricsExporter::bind("127.0.0.1:0", monitor.clone()).unwrap();
+/// println!("scrape http://{}/metrics", exporter.local_addr());
+/// # exporter.shutdown();
+/// ```
+pub struct MetricsExporter {
+    inner: Arc<ExporterInner>,
+    thread: Mutex<Option<std::thread::JoinHandle<()>>>,
+}
+
+impl std::fmt::Debug for MetricsExporter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MetricsExporter").field("addr", &self.inner.addr).finish()
+    }
+}
+
+impl MetricsExporter {
+    /// Binds `addr` (use port 0 for an ephemeral port) and starts the
+    /// supervised accept thread serving `monitor`'s metrics.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::Net`] if the listener cannot bind,
+    /// [`RuntimeError::Spawn`] if the accept thread cannot start.
+    pub fn bind(addr: impl ToSocketAddrs, monitor: ClusterMonitor) -> Result<Self, RuntimeError> {
+        let listener = TcpListener::bind(addr)
+            .map_err(|source| RuntimeError::Net { op: "bind", source })?;
+        let local = listener
+            .local_addr()
+            .map_err(|source| RuntimeError::Net { op: "local_addr", source })?;
+        let inner = Arc::new(ExporterInner {
+            monitor,
+            listener,
+            addr: local,
+            stop: AtomicBool::new(false),
+            health: Mutex::new(Health::Healthy),
+            requests: AtomicU64::new(0),
+            restarts: AtomicU64::new(0),
+        });
+        let worker = Arc::clone(&inner);
+        let handle = std::thread::Builder::new()
+            .name("fd-metrics-exporter".into())
+            .spawn(move || supervise(worker))
+            .map_err(|source| RuntimeError::Spawn { thread: "fd-metrics-exporter", source })?;
+        Ok(Self { inner, thread: Mutex::new(Some(handle)) })
+    }
+
+    /// The address actually bound (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.inner.addr
+    }
+
+    /// Health of the accept thread: `Healthy` until its first panic,
+    /// `Degraded` while the restart budget lasts, `Stopped` after
+    /// shutdown or budget exhaustion.
+    pub fn health(&self) -> Health {
+        self.inner.health.lock().clone()
+    }
+
+    /// Requests answered (any status) since bind.
+    pub fn requests_served(&self) -> u64 {
+        self.inner.requests.load(Ordering::Relaxed)
+    }
+
+    /// Stops the accept thread and waits for it. Idempotent.
+    pub fn shutdown(&self) {
+        self.inner.stop.store(true, Ordering::SeqCst);
+        // Unblock the accept() with a throwaway connection.
+        let _ = TcpStream::connect_timeout(&self.inner.addr, STREAM_TIMEOUT);
+        if let Some(handle) = self.thread.lock().take() {
+            let _ = handle.join();
+        }
+        *self.inner.health.lock() = Health::Stopped;
+    }
+}
+
+impl Drop for MetricsExporter {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Outer supervision: restart the accept loop on panic, bounded.
+fn supervise(inner: Arc<ExporterInner>) {
+    loop {
+        let outcome = panic::catch_unwind(AssertUnwindSafe(|| accept_loop(&inner)));
+        match outcome {
+            Ok(()) => {
+                *inner.health.lock() = Health::Stopped;
+                return;
+            }
+            Err(payload) => {
+                let reason = if let Some(s) = payload.downcast_ref::<&str>() {
+                    (*s).to_string()
+                } else if let Some(s) = payload.downcast_ref::<String>() {
+                    s.clone()
+                } else {
+                    "non-string panic payload".to_string()
+                };
+                let restarts = inner.restarts.fetch_add(1, Ordering::Relaxed) + 1;
+                if restarts > MAX_ACCEPT_RESTARTS || inner.stop.load(Ordering::SeqCst) {
+                    *inner.health.lock() = Health::Stopped;
+                    return;
+                }
+                *inner.health.lock() = Health::Degraded { reason };
+            }
+        }
+    }
+}
+
+fn accept_loop(inner: &ExporterInner) {
+    loop {
+        if inner.stop.load(Ordering::SeqCst) {
+            return;
+        }
+        let stream = match inner.listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(_) => continue, // transient accept errors: keep serving
+        };
+        if inner.stop.load(Ordering::SeqCst) {
+            return; // the shutdown wake-up connection
+        }
+        inner.requests.fetch_add(1, Ordering::Relaxed);
+        let _ = serve_one(inner, stream); // a broken client is its own problem
+    }
+}
+
+/// Reads one request head, routes it, writes one response.
+fn serve_one(inner: &ExporterInner, mut stream: TcpStream) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(STREAM_TIMEOUT))?;
+    stream.set_write_timeout(Some(STREAM_TIMEOUT))?;
+    let mut head = Vec::with_capacity(512);
+    let mut chunk = [0u8; 512];
+    while !head.windows(4).any(|w| w == b"\r\n\r\n") && head.len() < MAX_REQUEST_HEAD {
+        match stream.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => head.extend_from_slice(&chunk[..n]),
+            Err(_) => break, // timeout or reset: respond to what we have
+        }
+    }
+    let request_line = head
+        .split(|&b| b == b'\r' || b == b'\n')
+        .next()
+        .map(String::from_utf8_lossy)
+        .unwrap_or_default();
+    let mut parts = request_line.split_whitespace();
+    let (method, path) = (parts.next().unwrap_or(""), parts.next().unwrap_or(""));
+    let (status, content_type, body) = if method != "GET" {
+        ("405 Method Not Allowed", "text/plain; charset=utf-8", "method not allowed\n".to_string())
+    } else {
+        match path {
+            "/metrics" => (
+                "200 OK",
+                "text/plain; version=0.0.4; charset=utf-8",
+                render_prometheus(&inner.monitor),
+            ),
+            "/metrics.json" => ("200 OK", "application/json", render_json(&inner.monitor)),
+            _ => ("404 Not Found", "text/plain; charset=utf-8", "not found\n".to_string()),
+        }
+    };
+    let response = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(response.as_bytes())?;
+    stream.flush()
+}
+
+/// One Prometheus metric family: HELP/TYPE header plus its series.
+fn family(out: &mut String, name: &str, help: &str, kind: &str, series: &[(Option<u64>, f64)]) {
+    if series.is_empty() {
+        return;
+    }
+    let _ = writeln!(out, "# HELP {name} {help}");
+    let _ = writeln!(out, "# TYPE {name} {kind}");
+    for (peer, value) in series {
+        match peer {
+            Some(p) => {
+                let _ = writeln!(out, "{name}{{peer=\"{p}\"}} {value}");
+            }
+            None => {
+                let _ = writeln!(out, "{name} {value}");
+            }
+        }
+    }
+}
+
+/// Renders the full cluster state in the Prometheus text exposition
+/// format (0.0.4): cluster-wide counters unlabelled, per-peer metrics
+/// labelled `{peer="<id>"}`.
+pub fn render_prometheus(monitor: &ClusterMonitor) -> String {
+    let stats = monitor.stats();
+    let peers = monitor.qos_snapshot();
+    let mut out = String::with_capacity(1024 + peers.len() * 512);
+
+    let cluster: &[(&str, &str, &str, f64)] = &[
+        ("fd_cluster_peers", "Registered peers.", "gauge", stats.peers as f64),
+        ("fd_cluster_ticks_total", "Ticker sweeps since spawn.", "counter", stats.ticks as f64),
+        (
+            "fd_cluster_timers_fired_total",
+            "Wheel expirations that matched a live registration.",
+            "counter",
+            stats.timers_fired as f64,
+        ),
+        (
+            "fd_cluster_events_dropped_total",
+            "Membership events lost to full subscriber channels.",
+            "counter",
+            stats.events_dropped as f64,
+        ),
+        (
+            "fd_cluster_subscribers_disconnected_total",
+            "Subscribers pruned after their receiver was dropped.",
+            "counter",
+            stats.subscribers_disconnected as f64,
+        ),
+        (
+            "fd_cluster_unknown_heartbeats_total",
+            "Heartbeats for unregistered peers.",
+            "counter",
+            stats.unknown_heartbeats as f64,
+        ),
+        (
+            "fd_cluster_stale_incarnation_rejects_total",
+            "Heartbeats rejected as previous-life traffic.",
+            "counter",
+            stats.stale_incarnation_rejects as f64,
+        ),
+        (
+            "fd_cluster_incarnation_resets_total",
+            "Peer detector resets from newer incarnations.",
+            "counter",
+            stats.incarnation_resets as f64,
+        ),
+        (
+            "fd_cluster_ticker_restarts_total",
+            "Supervised ticker restarts after panics.",
+            "counter",
+            stats.ticker_restarts as f64,
+        ),
+        (
+            "fd_cluster_snapshots_written_total",
+            "State snapshots persisted.",
+            "counter",
+            stats.snapshots_written as f64,
+        ),
+        (
+            "fd_cluster_snapshot_errors_total",
+            "Snapshot reads/writes that failed.",
+            "counter",
+            stats.snapshot_errors as f64,
+        ),
+    ];
+    for (name, help, kind, value) in cluster {
+        family(&mut out, name, help, kind, &[(None, *value)]);
+    }
+
+    let per_peer = |f: &dyn Fn(&PeerQos) -> Option<f64>| -> Vec<(Option<u64>, f64)> {
+        peers.iter().filter_map(|p| f(p).map(|v| (Some(p.peer), v))).collect()
+    };
+    family(
+        &mut out,
+        "fd_peer_output",
+        "Current detector output: 1 trusted, 0 suspected.",
+        "gauge",
+        &per_peer(&|p| Some(if p.output.is_trust() { 1.0 } else { 0.0 })),
+    );
+    family(
+        &mut out,
+        "fd_peer_query_accuracy",
+        "Time-weighted query accuracy probability P_A over the observation window.",
+        "gauge",
+        &per_peer(&|p| Some(p.qos.query_accuracy())),
+    );
+    family(
+        &mut out,
+        "fd_peer_mistake_rate",
+        "Average mistake rate lambda_M (S-transitions per second).",
+        "gauge",
+        &per_peer(&|p| Some(p.qos.mistake_rate())),
+    );
+    family(
+        &mut out,
+        "fd_peer_window_seconds",
+        "Length of the QoS observation window.",
+        "gauge",
+        &per_peer(&|p| Some(p.qos.window)),
+    );
+    family(
+        &mut out,
+        "fd_peer_heartbeats_total",
+        "Heartbeats recorded for this peer.",
+        "counter",
+        &per_peer(&|p| Some(p.counters.heartbeats as f64)),
+    );
+    family(
+        &mut out,
+        "fd_peer_suspicions_total",
+        "S-transitions (Trust to Suspect) observed.",
+        "counter",
+        &per_peer(&|p| Some(p.counters.suspicions as f64)),
+    );
+    family(
+        &mut out,
+        "fd_peer_recoveries_total",
+        "T-transitions (Suspect to Trust) observed.",
+        "counter",
+        &per_peer(&|p| Some(p.counters.recoveries as f64)),
+    );
+    family(
+        &mut out,
+        "fd_peer_mean_mistake_recurrence_seconds",
+        "Mean observed mistake recurrence time E(T_MR); absent until two S-transitions.",
+        "gauge",
+        &per_peer(&|p| p.qos.mean_mistake_recurrence()),
+    );
+    family(
+        &mut out,
+        "fd_peer_mean_mistake_duration_seconds",
+        "Mean observed mistake duration E(T_M); absent until a mistake is corrected.",
+        "gauge",
+        &per_peer(&|p| p.qos.mean_mistake_duration()),
+    );
+    family(
+        &mut out,
+        "fd_peer_mean_good_period_seconds",
+        "Mean observed good period E(T_G); absent until a good period completes.",
+        "gauge",
+        &per_peer(&|p| p.qos.mean_good_period()),
+    );
+    out
+}
+
+fn json_stats(stats: &ClusterStats) -> String {
+    format!(
+        "{{\"peers\":{},\"ticks\":{},\"timers_fired\":{},\"events_dropped\":{},\
+         \"subscribers_disconnected\":{},\"unknown_heartbeats\":{},\
+         \"stale_incarnation_rejects\":{},\"incarnation_resets\":{},\
+         \"ticker_restarts\":{},\"expirations_deferred\":{},\"entries_shed\":{},\
+         \"snapshots_written\":{},\"snapshot_errors\":{},\"peers_restored\":{}}}",
+        stats.peers,
+        stats.ticks,
+        stats.timers_fired,
+        stats.events_dropped,
+        stats.subscribers_disconnected,
+        stats.unknown_heartbeats,
+        stats.stale_incarnation_rejects,
+        stats.incarnation_resets,
+        stats.ticker_restarts,
+        stats.expirations_deferred,
+        stats.entries_shed,
+        stats.snapshots_written,
+        stats.snapshot_errors,
+        stats.peers_restored,
+    )
+}
+
+fn json_opt(v: Option<f64>) -> String {
+    match v {
+        Some(x) => format!("{x}"),
+        None => "null".to_string(),
+    }
+}
+
+/// Renders the full cluster state as one JSON document:
+/// `{"now": <seconds>, "stats": {...}, "peers": [...]}`. Unobserved mean
+/// intervals are `null`, never a fake zero.
+pub fn render_json(monitor: &ClusterMonitor) -> String {
+    let stats = monitor.stats();
+    let peers = monitor.qos_snapshot();
+    let mut out = String::with_capacity(256 + peers.len() * 256);
+    let _ = write!(out, "{{\"now\":{},\"stats\":{},\"peers\":[", monitor.now(), json_stats(&stats));
+    for (i, p) in peers.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"peer\":{},\"output\":\"{}\",\"heartbeats\":{},\"suspicions\":{},\
+             \"recoveries\":{},\"window\":{},\"query_accuracy\":{},\"mistake_rate\":{},\
+             \"mean_mistake_recurrence\":{},\"mean_mistake_duration\":{},\"mean_good_period\":{}}}",
+            p.peer,
+            if p.output.is_trust() { "trust" } else { "suspect" },
+            p.counters.heartbeats,
+            p.counters.suspicions,
+            p.counters.recoveries,
+            p.qos.window,
+            p.qos.query_accuracy(),
+            p.qos.mistake_rate(),
+            json_opt(p.qos.mean_mistake_recurrence()),
+            json_opt(p.qos.mean_mistake_duration()),
+            json_opt(p.qos.mean_good_period()),
+        );
+    }
+    out.push_str("]}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::monitor::{ClusterConfig, PeerConfig};
+    use fd_core::Heartbeat;
+
+    fn monitor_with_peers(n: u64) -> ClusterMonitor {
+        let m = ClusterMonitor::spawn(ClusterConfig::default()).expect("spawn");
+        for p in 0..n {
+            m.add_peer(p, PeerConfig::new(0.05, 0.1)).unwrap();
+            m.record(p, Heartbeat::new(1, m.now()));
+        }
+        m
+    }
+
+    fn http_get(addr: SocketAddr, path: &str) -> (String, String) {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        write!(stream, "GET {path} HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n").unwrap();
+        let mut buf = String::new();
+        stream.read_to_string(&mut buf).expect("read");
+        let (head, body) = buf.split_once("\r\n\r\n").expect("header/body split");
+        (head.to_string(), body.to_string())
+    }
+
+    #[test]
+    fn serves_prometheus_text() {
+        let m = monitor_with_peers(3);
+        let exporter = MetricsExporter::bind("127.0.0.1:0", m.clone()).expect("bind");
+        let (head, body) = http_get(exporter.local_addr(), "/metrics");
+        assert!(head.starts_with("HTTP/1.1 200 OK"), "{head}");
+        assert!(head.contains("text/plain; version=0.0.4"));
+        assert!(body.contains("# TYPE fd_cluster_peers gauge"));
+        assert!(body.contains("fd_cluster_peers 3"));
+        for p in 0..3 {
+            assert!(body.contains(&format!("fd_peer_query_accuracy{{peer=\"{p}\"}}")));
+            assert!(body.contains(&format!("fd_peer_output{{peer=\"{p}\"}} 1")));
+        }
+        // No mistakes yet: the mean-interval families must be absent.
+        assert!(!body.contains("fd_peer_mean_mistake_duration_seconds{"));
+        assert!(exporter.requests_served() >= 1);
+        exporter.shutdown();
+        m.shutdown();
+    }
+
+    #[test]
+    fn serves_json() {
+        let m = monitor_with_peers(2);
+        let exporter = MetricsExporter::bind("127.0.0.1:0", m.clone()).expect("bind");
+        let (head, body) = http_get(exporter.local_addr(), "/metrics.json");
+        assert!(head.starts_with("HTTP/1.1 200 OK"), "{head}");
+        assert!(head.contains("application/json"));
+        assert!(body.starts_with("{\"now\":"));
+        assert!(body.contains("\"peers\":["));
+        assert!(body.contains("\"peer\":0"));
+        assert!(body.contains("\"output\":\"trust\""));
+        assert!(body.contains("\"mean_mistake_duration\":null"));
+        assert!(body.ends_with("]}"));
+        exporter.shutdown();
+        m.shutdown();
+    }
+
+    #[test]
+    fn unknown_paths_and_methods_are_rejected() {
+        let m = monitor_with_peers(1);
+        let exporter = MetricsExporter::bind("127.0.0.1:0", m.clone()).expect("bind");
+        let (head, _) = http_get(exporter.local_addr(), "/nope");
+        assert!(head.starts_with("HTTP/1.1 404"), "{head}");
+        let mut stream = TcpStream::connect(exporter.local_addr()).unwrap();
+        write!(stream, "POST /metrics HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        let mut buf = String::new();
+        stream.read_to_string(&mut buf).unwrap();
+        assert!(buf.starts_with("HTTP/1.1 405"), "{buf}");
+        exporter.shutdown();
+        m.shutdown();
+    }
+
+    #[test]
+    fn shutdown_is_idempotent_and_stops_health() {
+        let m = monitor_with_peers(1);
+        let exporter = MetricsExporter::bind("127.0.0.1:0", m.clone()).expect("bind");
+        assert_eq!(exporter.health(), Health::Healthy);
+        exporter.shutdown();
+        exporter.shutdown();
+        assert_eq!(exporter.health(), Health::Stopped);
+        assert!(TcpStream::connect_timeout(&exporter.local_addr(), STREAM_TIMEOUT).is_err()
+            || http_try(exporter.local_addr()).is_none());
+        m.shutdown();
+    }
+
+    /// Best-effort GET that tolerates a dead server.
+    fn http_try(addr: SocketAddr) -> Option<String> {
+        let mut stream = TcpStream::connect_timeout(&addr, STREAM_TIMEOUT).ok()?;
+        write!(stream, "GET /metrics HTTP/1.1\r\n\r\n").ok()?;
+        let mut buf = String::new();
+        stream.set_read_timeout(Some(STREAM_TIMEOUT)).ok()?;
+        stream.read_to_string(&mut buf).ok()?;
+        if buf.is_empty() { None } else { Some(buf) }
+    }
+}

@@ -48,6 +48,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod exporter;
 pub mod monitor;
 mod registry;
 pub mod net;
@@ -60,8 +61,9 @@ pub type PeerId = u64;
 
 pub use monitor::{
     ClusterConfig, ClusterError, ClusterMonitor, ClusterSnapshot, ClusterStats, MembershipChange,
-    MembershipEvent, PeerConfig, PeerStatus,
+    MembershipEvent, PeerConfig, PeerQos, PeerStatus,
 };
+pub use exporter::{render_json, render_prometheus, MetricsExporter};
 pub use net::{ClusterReceiver, ClusterReceiverConfig, ClusterSender, ClusterSenderConfig};
 pub use registry::PeerCounters;
 pub use snapshot::{ClusterStateSnapshot, PeerRecord, SnapshotError};

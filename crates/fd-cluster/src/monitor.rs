@@ -59,7 +59,7 @@ use crate::PeerId;
 use crossbeam::channel::{self, RecvTimeoutError, TrySendError};
 use fd_core::detectors::{NfdE, ParamError};
 use fd_core::{FailureDetector, Heartbeat};
-use fd_metrics::FdOutput;
+use fd_metrics::{FdOutput, ObservedQos, OnlineQos};
 use fd_runtime::{Clock, Health, RuntimeError, TrustView, WallClock};
 use parking_lot::Mutex;
 use std::collections::HashMap;
@@ -278,6 +278,20 @@ impl TrustView<PeerId> for ClusterSnapshot {
     }
 }
 
+/// One peer's live QoS view, as returned by
+/// [`ClusterMonitor::qos_snapshot`].
+#[derive(Debug, Clone, Copy)]
+pub struct PeerQos {
+    /// The peer.
+    pub peer: PeerId,
+    /// Current detector output.
+    pub output: FdOutput,
+    /// Transition/heartbeat counters since registration.
+    pub counters: PeerCounters,
+    /// The online accuracy metrics as of the snapshot instant.
+    pub qos: ObservedQos,
+}
+
 /// Cluster-wide counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ClusterStats {
@@ -287,8 +301,13 @@ pub struct ClusterStats {
     pub ticks: u64,
     /// Wheel expirations that matched a live registration.
     pub timers_fired: u64,
-    /// Membership events dropped because a subscriber's channel was full.
+    /// Membership events dropped because a subscriber's channel was full
+    /// (the subscriber is alive but not draining; it stays subscribed).
     pub events_dropped: u64,
+    /// Subscribers pruned because their receiver was dropped. Distinct
+    /// from `events_dropped`: a disconnected subscriber is gone and costs
+    /// nothing further, a full one keeps losing events.
+    pub subscribers_disconnected: u64,
     /// Heartbeats recorded for peers not (or no longer) registered.
     pub unknown_heartbeats: u64,
     /// Heartbeats rejected for carrying an incarnation below the peer's
@@ -337,6 +356,7 @@ struct Inner {
     ticks: AtomicU64,
     timers_fired: AtomicU64,
     events_dropped: AtomicU64,
+    subscribers_disconnected: AtomicU64,
     unknown_heartbeats: AtomicU64,
     stale_incarnation: AtomicU64,
     incarnation_resets: AtomicU64,
@@ -428,6 +448,7 @@ impl ClusterMonitor {
             ticks: AtomicU64::new(0),
             timers_fired: AtomicU64::new(0),
             events_dropped: AtomicU64::new(0),
+            subscribers_disconnected: AtomicU64::new(0),
             unknown_heartbeats: AtomicU64::new(0),
             stale_incarnation: AtomicU64::new(0),
             incarnation_resets: AtomicU64::new(0),
@@ -443,6 +464,21 @@ impl ClusterMonitor {
             match NfdE::restore(rec.eta, rec.alpha, rec.window, &rec.samples, rec.max_seq) {
                 Ok(detector) => {
                     let gen = inner.next_gen.fetch_add(1, Ordering::Relaxed);
+                    // Continue the persisted QoS observation window when
+                    // the tracker state is present and sane; a v1
+                    // snapshot (or invalid state, counted as an error)
+                    // starts a fresh window. Either way the tracker is
+                    // driven to Suspect to match the fail-safe restore of
+                    // `last_output`.
+                    let mut qos = match rec.qos.map(OnlineQos::from_state) {
+                        Some(Ok(q)) => q,
+                        Some(Err(_)) => {
+                            inner.snapshot_errors.fetch_add(1, Ordering::Relaxed);
+                            OnlineQos::new(time_base, FdOutput::Suspect)
+                        }
+                        None => OnlineQos::new(time_base, FdOutput::Suspect),
+                    };
+                    qos.observe(time_base, FdOutput::Suspect);
                     let state = PeerState {
                         detector,
                         last_output: FdOutput::Suspect,
@@ -451,6 +487,7 @@ impl ClusterMonitor {
                         armed: false,
                         last_seen: time_base,
                         counters: rec.counters,
+                        qos,
                     };
                     inner.registry.shard(rec.peer).write().insert(rec.peer, state);
                     inner.peers_restored.fetch_add(1, Ordering::Relaxed);
@@ -504,6 +541,7 @@ impl ClusterMonitor {
                 armed: false,
                 last_seen: now,
                 counters: PeerCounters::default(),
+                qos: OnlineQos::new(now, FdOutput::Suspect),
             };
             state.detector.advance(now);
             state.last_output = state.detector.output();
@@ -635,6 +673,37 @@ impl ClusterMonitor {
         true
     }
 
+    /// One peer's live QoS metrics as of now — the paper's accuracy
+    /// metrics (`P_A`, `E(T_MR)`, `E(T_M)`, `E(T_G)`, `λ_M`) measured
+    /// online over this peer's output stream since registration. `None`
+    /// if the peer is not registered.
+    pub fn qos(&self, peer: PeerId) -> Option<ObservedQos> {
+        let now = self.inner.now();
+        let guard = self.inner.registry.shard(peer).read();
+        guard.get(&peer).map(|s| s.qos.observed(now))
+    }
+
+    /// Every peer's live QoS, output and counters in one pass
+    /// (read-locking shards one at a time), sorted by peer id — the
+    /// collection the metrics exporter renders.
+    pub fn qos_snapshot(&self) -> Vec<PeerQos> {
+        let inner = &*self.inner;
+        let now = inner.now();
+        let mut out = Vec::new();
+        for shard in inner.registry.shards() {
+            for (peer, state) in shard.read().iter() {
+                out.push(PeerQos {
+                    peer: *peer,
+                    output: state.last_output,
+                    counters: state.counters,
+                    qos: state.qos.observed(now),
+                });
+            }
+        }
+        out.sort_unstable_by_key(|p| p.peer);
+        out
+    }
+
     /// One peer's current status, `None` if not registered.
     pub fn status(&self, peer: PeerId) -> Option<PeerStatus> {
         let guard = self.inner.registry.shard(peer).read();
@@ -717,6 +786,7 @@ impl ClusterMonitor {
             ticks: inner.ticks.load(Ordering::Relaxed),
             timers_fired: inner.timers_fired.load(Ordering::Relaxed),
             events_dropped: inner.events_dropped.load(Ordering::Relaxed),
+            subscribers_disconnected: inner.subscribers_disconnected.load(Ordering::Relaxed),
             unknown_heartbeats: inner.unknown_heartbeats.load(Ordering::Relaxed),
             stale_incarnation_rejects: inner.stale_incarnation.load(Ordering::Relaxed),
             incarnation_resets: inner.incarnation_resets.load(Ordering::Relaxed),
@@ -823,7 +893,10 @@ impl Inner {
                 self.events_dropped.fetch_add(1, Ordering::Relaxed);
                 true
             }
-            Err(TrySendError::Disconnected(_)) => false,
+            Err(TrySendError::Disconnected(_)) => {
+                self.subscribers_disconnected.fetch_add(1, Ordering::Relaxed);
+                false
+            }
         });
     }
 
@@ -843,6 +916,7 @@ impl Inner {
                     max_seq: st.detector.max_seq_received(),
                     counters: st.counters,
                     samples: st.detector.estimator_samples(),
+                    qos: Some(st.qos.state()),
                 });
             }
         }
@@ -886,6 +960,9 @@ impl Inner {
 /// the membership event if it transitioned.
 fn apply_transition(state: &mut PeerState, peer: PeerId, at: f64) -> Option<MembershipEvent> {
     let out = state.detector.output();
+    // The tracker sees every drive: unchanged output accounts elapsed
+    // trust/suspect time, a change records the S- or T-transition.
+    state.qos.observe(at, out);
     if out == state.last_output {
         return None;
     }
@@ -1423,6 +1500,153 @@ mod tests {
         // Nothing to assert directly (the thread is detached); this test
         // exists so leak/deadlock detectors see the path exercised.
         std::thread::sleep(Duration::from_millis(20));
+    }
+
+    #[test]
+    fn live_qos_tracks_interval_metrics() {
+        let m = cluster();
+        m.add_peer(7, PeerConfig::new(0.02, 0.05)).unwrap();
+        let q0 = m.qos(7).expect("registered peer has qos");
+        assert_eq!(q0.s_transitions, 0);
+        assert!(q0.query_accuracy() < 1.0, "starts suspected, no trust time yet");
+
+        // Trust (T-transition), go silent (S-transition), trust again.
+        // The recovery heartbeat jumps the sequence ahead so its
+        // freshness point lands in the future despite the silent gap.
+        drive_trusted(&m, 7, 0.02, 5);
+        std::thread::sleep(Duration::from_millis(200));
+        assert!(!m.status(7).unwrap().output.is_trust());
+        m.record(7, Heartbeat::new(40, m.now()));
+        assert!(m.status(7).unwrap().output.is_trust());
+
+        let q = m.qos(7).expect("qos");
+        assert_eq!(q.s_transitions, 1, "one suspicion observed");
+        assert_eq!(q.t_transitions, 2, "initial trust plus the recovery");
+        assert_eq!(q.duration.count(), 1, "the mistake was corrected");
+        let tm = q.mean_mistake_duration().expect("one complete T_M");
+        assert!(tm > 0.0 && tm < 5.0, "plausible mistake duration, got {tm}");
+        let pa = q.query_accuracy();
+        assert!(pa > 0.0 && pa < 1.0, "mixed trust/suspect window, got {pa}");
+        assert!(q.trust_time > 0.0 && q.suspect_time > 0.0);
+        // The counters and the tracker agree on transition counts.
+        let st = m.status(7).unwrap();
+        assert_eq!(st.counters.suspicions, q.s_transitions);
+        assert_eq!(st.counters.recoveries, q.t_transitions);
+        assert!(m.qos(99).is_none(), "unregistered peer has no qos");
+
+        // qos_snapshot returns the same peer, sorted.
+        let all = m.qos_snapshot();
+        assert_eq!(all.len(), 1);
+        assert_eq!(all[0].peer, 7);
+        assert_eq!(all[0].qos.s_transitions, 1);
+        m.shutdown();
+    }
+
+    #[test]
+    fn dropped_subscribers_are_pruned_and_counted() {
+        let m = cluster();
+        let rx = m.subscribe();
+        let _live = m.subscribe();
+        m.add_peer(1, PeerConfig::new(0.05, 0.1)).unwrap();
+        drop(rx);
+        // The next emit prunes the dropped subscriber.
+        m.add_peer(2, PeerConfig::new(0.05, 0.1)).unwrap();
+        let stats = m.stats();
+        assert_eq!(stats.subscribers_disconnected, 1);
+        assert_eq!(stats.events_dropped, 0, "disconnect is not an event drop");
+        m.shutdown();
+    }
+
+    #[test]
+    fn qos_state_survives_snapshot_restore() {
+        let path = std::env::temp_dir().join(format!(
+            "fd-cluster-monitor-qos-snap-{}.bin",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&path);
+        let cfg = ClusterConfig {
+            snapshot_path: Some(path.clone()),
+            snapshot_interval: 1000.0,
+            ..ClusterConfig::default()
+        };
+
+        let m = ClusterMonitor::spawn(cfg.clone()).expect("spawn");
+        m.add_peer(1, PeerConfig::new(0.02, 0.05)).unwrap();
+        drive_trusted(&m, 1, 0.02, 5);
+        std::thread::sleep(Duration::from_millis(200)); // S-transition
+        m.record(1, Heartbeat::new(40, m.now())); // T-transition (seq jump, see above)
+        let before = m.qos(1).unwrap();
+        assert_eq!(before.s_transitions, 1);
+        assert_eq!(before.duration.count(), 1);
+        m.shutdown();
+
+        let m2 = ClusterMonitor::spawn(cfg).expect("respawn");
+        let after = m2.qos(1).expect("restored peer has qos");
+        // Interval statistics carried across the restart; the forced
+        // fail-safe Suspect restore adds one more S-transition (and with
+        // it a second completed recurrence-free mistake still open).
+        assert_eq!(after.s_transitions, 2, "history plus the fail-safe suspect");
+        assert_eq!(after.duration.count(), before.duration.count());
+        assert!(
+            (after.mean_mistake_duration().unwrap() - before.mean_mistake_duration().unwrap())
+                .abs()
+                < 1e-9
+        );
+        assert!(after.trust_time >= before.trust_time - 1e-9);
+        assert!(after.window >= before.window - 1e-3, "observation window continues");
+        m2.shutdown();
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn cold_start_from_v1_snapshot_still_works() {
+        let path = std::env::temp_dir().join(format!(
+            "fd-cluster-monitor-v1-snap-{}.bin",
+            std::process::id()
+        ));
+        // Hand-write a version-1 snapshot (pre-qos layout).
+        let snap = crate::snapshot::ClusterStateSnapshot {
+            taken_at: 5.0,
+            peers: vec![crate::snapshot::PeerRecord {
+                peer: 3,
+                incarnation: 2,
+                eta: 0.02,
+                alpha: 0.05,
+                window: 32,
+                max_seq: Some(9),
+                counters: PeerCounters { heartbeats: 9, ..PeerCounters::default() },
+                samples: vec![0.0, 0.001],
+                qos: None,
+            }],
+        };
+        std::fs::write(&path, crate::snapshot::encode_snapshot_v1(&snap)).unwrap();
+
+        let m = ClusterMonitor::spawn(ClusterConfig {
+            snapshot_path: Some(path.clone()),
+            snapshot_interval: 1000.0,
+            ..ClusterConfig::default()
+        })
+        .expect("spawn from v1 snapshot");
+        let stats = m.stats();
+        assert_eq!(stats.peers_restored, 1);
+        assert_eq!(stats.snapshot_errors, 0, "v1 is legacy, not corrupt");
+        let st = m.status(3).unwrap();
+        assert_eq!(st.incarnation, 2);
+        assert_eq!(st.counters.heartbeats, 9);
+        // The qos tracker starts a fresh window (no v1 state to resume).
+        let q = m.qos(3).unwrap();
+        assert_eq!(q.s_transitions, 0);
+        assert_eq!(q.recurrence.count(), 0);
+        // The restored peer still functions — a new incarnation resets
+        // the stale estimator and re-trusts — and the next snapshot write
+        // upgrades the file to the current version with qos state.
+        assert!(m.record_incarnated(3, 3, Heartbeat::new(1, m.now())));
+        assert!(m.status(3).unwrap().output.is_trust());
+        assert!(m.save_snapshot());
+        let upgraded = crate::snapshot::read_snapshot_file(&path).unwrap().unwrap();
+        assert!(upgraded.peers[0].qos.is_some(), "rewritten at current version");
+        m.shutdown();
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

@@ -10,7 +10,7 @@
 
 use crate::PeerId;
 use fd_core::detectors::NfdE;
-use fd_metrics::FdOutput;
+use fd_metrics::{FdOutput, OnlineQos};
 use parking_lot::RwLock;
 use std::collections::HashMap;
 
@@ -65,6 +65,12 @@ pub(crate) struct PeerState {
     pub last_seen: f64,
     /// QoS counters.
     pub counters: PeerCounters,
+    /// Online interval accounting over this peer's output stream (the
+    /// live §2.2/§2.3 metrics: `P_A`, `E(T_MR)`, `E(T_M)`, `E(T_G)`).
+    /// Tracks the *output* across incarnation resets — a restarted peer
+    /// is still one monitored output history — and starts fresh only on
+    /// remove/re-add.
+    pub qos: OnlineQos,
 }
 
 /// The sharded peer table.

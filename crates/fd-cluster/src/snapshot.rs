@@ -14,7 +14,7 @@
 //! | field | size |
 //! |-------|-----:|
 //! | magic `[0xFD, 0x5C]` | 2 |
-//! | version `u16` (`1`) | 2 |
+//! | version `u16` (`2`; `1` still decodes) | 2 |
 //! | `taken_at: f64` (cluster clock, seconds) | 8 |
 //! | peer count `u32` | 4 |
 //! | peer records … | var |
@@ -23,6 +23,16 @@
 //! Each peer record is: `peer u64`, `incarnation u64`, `eta f64`,
 //! `alpha f64`, `window u32`, `max_seq_flag u8` + `max_seq u64`, six
 //! counter `u64`s, `sample_count u32` + that many `f64` samples.
+//!
+//! Version 2 appends to each record an [`OnlineQos`] tracker block:
+//! `qos_flag u8`, and when present `output u8` (0 = Trust, 1 = Suspect),
+//! `origin f64`, `at f64`, `segment_start f64`,
+//! `segment_opened_by_transition u8`, `trust_time f64`,
+//! `suspect_time f64`, `last_s_flag u8` + `last_s f64`,
+//! `s_transitions u64`, `t_transitions u64`, then three Welford
+//! accumulators (recurrence, duration, good) as `count u64`, `mean f64`,
+//! `m2 f64` each. A version-1 snapshot decodes with `qos: None`: the
+//! restored peer's live metrics simply start a fresh observation window.
 //!
 //! Decoding is strict — wrong magic, unknown version, truncation,
 //! trailing bytes, non-finite parameters or a checksum mismatch all
@@ -38,6 +48,9 @@
 
 use crate::registry::PeerCounters;
 use crate::PeerId;
+use fd_metrics::online_qos::QosTrackerState;
+use fd_metrics::FdOutput;
+use fd_stats::OnlineStats;
 use std::fmt;
 use std::fs;
 use std::io::{self, Write as _};
@@ -47,7 +60,10 @@ use std::path::Path;
 pub const SNAPSHOT_MAGIC: [u8; 2] = [0xFD, 0x5C];
 
 /// Current snapshot format version.
-pub const SNAPSHOT_VERSION: u16 = 1;
+pub const SNAPSHOT_VERSION: u16 = 2;
+
+/// Oldest version [`decode_snapshot`] still accepts.
+pub const SNAPSHOT_MIN_VERSION: u16 = 1;
 
 /// One peer's persisted state.
 #[derive(Debug, Clone, PartialEq)]
@@ -69,6 +85,9 @@ pub struct PeerRecord {
     /// Normalized estimator samples, oldest first (the `A'ᵢ − η·sᵢ`
     /// terms of Eq. 6.3's sliding window).
     pub samples: Vec<f64>,
+    /// Live QoS tracker state (version ≥ 2; `None` when restored from a
+    /// version-1 snapshot, in which case the tracker starts fresh).
+    pub qos: Option<QosTrackerState>,
 }
 
 /// A decoded snapshot: when it was taken (on the cluster clock that
@@ -156,6 +175,67 @@ pub fn encode_snapshot(snap: &ClusterStateSnapshot) -> Vec<u8> {
         for s in &r.samples {
             buf.extend_from_slice(&s.to_le_bytes());
         }
+        buf.push(r.qos.is_some() as u8);
+        if let Some(q) = &r.qos {
+            buf.push(match q.output {
+                FdOutput::Trust => 0,
+                FdOutput::Suspect => 1,
+            });
+            buf.extend_from_slice(&q.origin.to_le_bytes());
+            buf.extend_from_slice(&q.at.to_le_bytes());
+            buf.extend_from_slice(&q.segment_start.to_le_bytes());
+            buf.push(q.segment_opened_by_transition as u8);
+            buf.extend_from_slice(&q.trust_time.to_le_bytes());
+            buf.extend_from_slice(&q.suspect_time.to_le_bytes());
+            buf.push(q.last_s.is_some() as u8);
+            buf.extend_from_slice(&q.last_s.unwrap_or(0.0).to_le_bytes());
+            buf.extend_from_slice(&q.s_transitions.to_le_bytes());
+            buf.extend_from_slice(&q.t_transitions.to_le_bytes());
+            for stats in [&q.recurrence, &q.duration, &q.good] {
+                buf.extend_from_slice(&stats.count().to_le_bytes());
+                buf.extend_from_slice(&stats.mean().to_le_bytes());
+                buf.extend_from_slice(&stats.m2().to_le_bytes());
+            }
+        }
+    }
+    let sum = fnv1a(&buf);
+    buf.extend_from_slice(&sum.to_le_bytes());
+    buf
+}
+
+/// Encodes a snapshot in the legacy version-1 layout (no QoS blocks).
+/// Test-only: exercises the forward-compatibility path where a new
+/// monitor cold-starts from a pre-bump snapshot.
+#[cfg(test)]
+pub(crate) fn encode_snapshot_v1(snap: &ClusterStateSnapshot) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(16 + snap.peers.len() * 96);
+    buf.extend_from_slice(&SNAPSHOT_MAGIC);
+    buf.extend_from_slice(&1u16.to_le_bytes());
+    buf.extend_from_slice(&snap.taken_at.to_le_bytes());
+    buf.extend_from_slice(&(snap.peers.len() as u32).to_le_bytes());
+    for r in &snap.peers {
+        buf.extend_from_slice(&r.peer.to_le_bytes());
+        buf.extend_from_slice(&r.incarnation.to_le_bytes());
+        buf.extend_from_slice(&r.eta.to_le_bytes());
+        buf.extend_from_slice(&r.alpha.to_le_bytes());
+        buf.extend_from_slice(&(r.window as u32).to_le_bytes());
+        buf.push(r.max_seq.is_some() as u8);
+        buf.extend_from_slice(&r.max_seq.unwrap_or(0).to_le_bytes());
+        let c = &r.counters;
+        for v in [
+            c.heartbeats,
+            c.stale,
+            c.suspicions,
+            c.recoveries,
+            c.stale_incarnation,
+            c.incarnation_resets,
+        ] {
+            buf.extend_from_slice(&v.to_le_bytes());
+        }
+        buf.extend_from_slice(&(r.samples.len() as u32).to_le_bytes());
+        for s in &r.samples {
+            buf.extend_from_slice(&s.to_le_bytes());
+        }
     }
     let sum = fnv1a(&buf);
     buf.extend_from_slice(&sum.to_le_bytes());
@@ -200,6 +280,66 @@ impl<'a> Cursor<'a> {
     }
 }
 
+/// Decodes one version-2 QoS tracker block. Checks the same field-level
+/// invariants as the rest of the decoder (finite floats, nonnegative
+/// variance) — deeper tracker invariants are re-validated by
+/// `OnlineQos::from_state` at restore time.
+fn decode_qos_block(cur: &mut Cursor<'_>) -> Result<QosTrackerState, SnapshotError> {
+    let output = match cur.u8("qos output")? {
+        0 => FdOutput::Trust,
+        1 => FdOutput::Suspect,
+        _ => return Err(SnapshotError::Corrupt("bad qos output")),
+    };
+    let origin = cur.f64("qos origin")?;
+    let at = cur.f64("qos at")?;
+    let segment_start = cur.f64("qos segment_start")?;
+    let segment_opened_by_transition = match cur.u8("qos segment flag")? {
+        0 => false,
+        1 => true,
+        _ => return Err(SnapshotError::Corrupt("bad qos segment flag")),
+    };
+    let trust_time = cur.f64("qos trust_time")?;
+    let suspect_time = cur.f64("qos suspect_time")?;
+    let has_last_s = match cur.u8("qos last_s flag")? {
+        0 => false,
+        1 => true,
+        _ => return Err(SnapshotError::Corrupt("bad qos last_s flag")),
+    };
+    let raw_last_s = cur.f64("qos last_s")?;
+    let s_transitions = cur.u64("qos s_transitions")?;
+    let t_transitions = cur.u64("qos t_transitions")?;
+    for v in [origin, at, segment_start, trust_time, suspect_time, raw_last_s] {
+        if !v.is_finite() {
+            return Err(SnapshotError::Corrupt("non-finite qos time"));
+        }
+    }
+    let mut accs = [OnlineStats::new(); 3];
+    for (i, what) in ["qos recurrence", "qos duration", "qos good"].iter().enumerate() {
+        let count = cur.u64(what)?;
+        let mean = cur.f64(what)?;
+        let m2 = cur.f64(what)?;
+        if !mean.is_finite() || !m2.is_finite() || m2 < 0.0 {
+            return Err(SnapshotError::Corrupt("invalid qos accumulator"));
+        }
+        accs[i] = OnlineStats::from_parts(count, mean, m2);
+    }
+    Ok(QosTrackerState {
+        origin,
+        at,
+        output,
+        segment_start,
+        segment_opened_by_transition,
+        trust_time,
+        suspect_time,
+        last_s: has_last_s.then_some(raw_last_s),
+        s_transitions,
+        t_transitions,
+        recurrence: accs[0],
+        duration: accs[1],
+        good: accs[2],
+    })
+}
+
 /// Decodes a snapshot, verifying framing and checksum.
 ///
 /// # Errors
@@ -218,7 +358,8 @@ pub fn decode_snapshot(buf: &[u8]) -> Result<ClusterStateSnapshot, SnapshotError
     if cur.take::<2>("magic")? != SNAPSHOT_MAGIC {
         return Err(SnapshotError::Corrupt("bad magic"));
     }
-    if cur.u16("version")? != SNAPSHOT_VERSION {
+    let version = cur.u16("version")?;
+    if !(SNAPSHOT_MIN_VERSION..=SNAPSHOT_VERSION).contains(&version) {
         return Err(SnapshotError::Corrupt("unknown version"));
     }
     let taken_at = cur.f64("taken_at")?;
@@ -260,6 +401,15 @@ pub fn decode_snapshot(buf: &[u8]) -> Result<ClusterStateSnapshot, SnapshotError
             }
             samples.push(s);
         }
+        let qos = if version >= 2 {
+            match cur.u8("qos flag")? {
+                0 => None,
+                1 => Some(decode_qos_block(&mut cur)?),
+                _ => return Err(SnapshotError::Corrupt("bad qos flag")),
+            }
+        } else {
+            None
+        };
         peers.push(PeerRecord {
             peer,
             incarnation,
@@ -269,6 +419,7 @@ pub fn decode_snapshot(buf: &[u8]) -> Result<ClusterStateSnapshot, SnapshotError
             max_seq,
             counters,
             samples,
+            qos,
         });
     }
     if cur.pos != body.len() {
@@ -319,6 +470,18 @@ fn tmp_path(path: &Path) -> std::path::PathBuf {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use fd_metrics::OnlineQos;
+
+    fn sample_qos_state() -> QosTrackerState {
+        let mut q = OnlineQos::new(0.5, FdOutput::Suspect);
+        q.observe(1.0, FdOutput::Trust);
+        q.observe(4.0, FdOutput::Suspect);
+        q.observe(4.5, FdOutput::Trust);
+        q.observe(9.0, FdOutput::Suspect);
+        q.observe(9.25, FdOutput::Trust);
+        q.advance(12.25);
+        q.state()
+    }
 
     fn sample_snapshot() -> ClusterStateSnapshot {
         ClusterStateSnapshot {
@@ -340,6 +503,7 @@ mod tests {
                         incarnation_resets: 3,
                     },
                     samples: vec![0.101, 0.099, 0.1005],
+                    qos: Some(sample_qos_state()),
                 },
                 PeerRecord {
                     peer: 9,
@@ -350,6 +514,7 @@ mod tests {
                     max_seq: None,
                     counters: PeerCounters::default(),
                     samples: vec![],
+                    qos: None,
                 },
             ],
         }
@@ -366,6 +531,45 @@ mod tests {
     fn empty_snapshot_roundtrips() {
         let snap = ClusterStateSnapshot { taken_at: 0.0, peers: vec![] };
         assert_eq!(decode_snapshot(&encode_snapshot(&snap)).unwrap(), snap);
+    }
+
+    #[test]
+    fn qos_state_survives_the_roundtrip_exactly() {
+        let snap = sample_snapshot();
+        let decoded = decode_snapshot(&encode_snapshot(&snap)).unwrap();
+        let restored = OnlineQos::from_state(decoded.peers[0].qos.unwrap()).unwrap();
+        let original = OnlineQos::from_state(sample_qos_state()).unwrap();
+        assert_eq!(restored, original);
+        assert_eq!(restored.observed(20.0), original.observed(20.0));
+    }
+
+    #[test]
+    fn version_1_snapshots_still_decode() {
+        let snap = sample_snapshot();
+        let v1 = encode_snapshot_v1(&snap);
+        let decoded = decode_snapshot(&v1).unwrap();
+        assert_eq!(decoded.taken_at, snap.taken_at);
+        assert_eq!(decoded.peers.len(), 2);
+        for (got, want) in decoded.peers.iter().zip(&snap.peers) {
+            assert_eq!(got.qos, None, "v1 carries no qos state");
+            assert_eq!(got.peer, want.peer);
+            assert_eq!(got.counters, want.counters);
+            assert_eq!(got.samples, want.samples);
+            assert_eq!(got.max_seq, want.max_seq);
+        }
+    }
+
+    #[test]
+    fn future_versions_are_rejected() {
+        let mut buf = encode_snapshot(&sample_snapshot());
+        buf[2..4].copy_from_slice(&(SNAPSHOT_VERSION + 1).to_le_bytes());
+        let body_len = buf.len() - 8;
+        let sum = fnv1a(&buf[..body_len]);
+        buf[body_len..].copy_from_slice(&sum.to_le_bytes());
+        match decode_snapshot(&buf) {
+            Err(SnapshotError::Corrupt("unknown version")) => {}
+            other => panic!("expected unknown version, got {other:?}"),
+        }
     }
 
     #[test]

@@ -62,6 +62,7 @@ pub mod compare;
 pub mod detection;
 pub mod io;
 pub mod metrics;
+pub mod online_qos;
 pub mod output;
 pub mod qos;
 pub mod theorem1;
@@ -70,6 +71,10 @@ pub mod trace;
 pub use compare::{compare_qos, QosOrdering};
 pub use detection::{detection_time, DetectionOutcome};
 pub use metrics::AccuracyAnalysis;
+pub use online_qos::{
+    Conformance, ConformanceCheck, ConformanceReport, InvalidQosState, ObservedQos, OnlineQos,
+    QosTrackerState,
+};
 pub use output::FdOutput;
 pub use qos::{QosBundle, QosRequirements};
 pub use trace::{Segment, TraceError, TraceRecorder, Transition, TransitionTrace};

@@ -120,10 +120,17 @@ impl QosRequirements {
     }
 
     /// Whether an achieved [`QosBundle`] satisfies these requirements.
+    ///
+    /// Comparisons use a *relative* tolerance of `1e-9` so that values
+    /// equal up to floating-point rounding count as satisfying at any
+    /// scale — an absolute epsilon would be meaningless against the §4
+    /// worked example's month-scale `T_MR^L ≈ 2.6e6 s`, where one ulp is
+    /// already ~4.8e-10.
     pub fn satisfied_by(&self, achieved: &QosBundle) -> bool {
-        achieved.detection_time_bound <= self.t_d_upper + 1e-9
-            && achieved.mean_mistake_recurrence >= self.t_mr_lower - 1e-9
-            && achieved.mean_mistake_duration <= self.t_m_upper + 1e-9
+        const REL: f64 = 1e-9;
+        achieved.detection_time_bound <= self.t_d_upper * (1.0 + REL)
+            && achieved.mean_mistake_recurrence >= self.t_mr_lower * (1.0 - REL)
+            && achieved.mean_mistake_duration <= self.t_m_upper * (1.0 + REL)
     }
 }
 
@@ -200,9 +207,16 @@ impl QosBundle {
         }
     }
 
-    /// Derived `E(T_G) = E(T_MR) − E(T_M)` (Theorem 1.1).
+    /// Derived `E(T_G) = E(T_MR) − E(T_M)` (Theorem 1.1), clamped at zero
+    /// like [`query_accuracy`](Self::query_accuracy) — measured bundles
+    /// can have `E(T_M) > E(T_MR)` (mistakes overlapping the window
+    /// edges), and a negative good period would violate Theorem 1.
     pub fn mean_good_period(&self) -> f64 {
-        self.mean_mistake_recurrence - self.mean_mistake_duration
+        if self.mean_mistake_recurrence.is_infinite() {
+            f64::INFINITY
+        } else {
+            (self.mean_mistake_recurrence - self.mean_mistake_duration).max(0.0)
+        }
     }
 }
 
@@ -278,6 +292,32 @@ mod tests {
         let b = QosBundle::new(2.0, f64::INFINITY, 0.0);
         assert_eq!(b.mistake_rate(), 0.0);
         assert_eq!(b.query_accuracy(), 1.0);
+        assert_eq!(b.mean_good_period(), f64::INFINITY);
+    }
+
+    #[test]
+    fn good_period_clamps_at_zero() {
+        // Measured windows can yield E(T_M) > E(T_MR) (mistakes straddling
+        // the window edges); E(T_G) must clamp at 0, never go negative.
+        let b = QosBundle::new(2.0, 10.0, 25.0);
+        assert_eq!(b.mean_good_period(), 0.0);
+        assert_eq!(b.query_accuracy(), 0.0);
+    }
+
+    #[test]
+    fn satisfaction_tolerance_is_relative() {
+        let r = month_req();
+        // One ulp short of a month-scale T_MR^L must still satisfy (an
+        // absolute 1e-9 band is smaller than one ulp at 2.6e6 and would
+        // reject rounding-equal values)…
+        let one_ulp_short = QosBundle::new(30.0, 2_592_000.0 * (1.0 - 5e-10), 60.0);
+        assert!(r.satisfied_by(&one_ulp_short));
+        // …but a genuine one-second shortfall must not.
+        let one_second_short = QosBundle::new(30.0, 2_592_000.0 - 1.0, 60.0);
+        assert!(!r.satisfied_by(&one_second_short));
+        // Same on the upper-bound side.
+        let rounding_over = QosBundle::new(30.0 * (1.0 + 5e-10), 2_592_000.0, 60.0);
+        assert!(r.satisfied_by(&rounding_over));
     }
 
     #[test]

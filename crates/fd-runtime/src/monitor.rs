@@ -5,7 +5,7 @@ use crate::clock::Clock;
 use crate::error::{Health, RuntimeError};
 use crate::transport::Receiver;
 use crossbeam::channel::RecvTimeoutError;
-use fd_metrics::{FdOutput, TraceRecorder, TransitionTrace};
+use fd_metrics::{FdOutput, ObservedQos, OnlineQos, TraceRecorder, TransitionTrace};
 use parking_lot::Mutex;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU8, Ordering};
@@ -42,6 +42,10 @@ struct Shared {
     health: Mutex<Health>,
     restarts: AtomicU32,
     recorder: Mutex<Option<TraceRecorder>>,
+    /// Online interval accounting over the published output stream; fed
+    /// at the same points as the recorder, so live QoS answers match
+    /// what batch analysis of the final trace will say.
+    qos: Mutex<Option<OnlineQos>>,
 }
 
 /// Handle to a running monitor thread.
@@ -115,6 +119,7 @@ impl Monitor {
             health: Mutex::new(Health::Healthy),
             restarts: AtomicU32::new(0),
             recorder: Mutex::new(None),
+            qos: Mutex::new(None),
         });
         let thread_shared = Arc::clone(&shared);
         let thread_clock = Arc::clone(&clock);
@@ -146,6 +151,15 @@ impl Monitor {
     /// How many times the supervisor has rebuilt a panicked detector.
     pub fn restarts(&self) -> u32 {
         self.shared.restarts.load(Ordering::Acquire)
+    }
+
+    /// Live QoS of this watch so far: the online interval metrics
+    /// (`P_A`, `E(T_MR)`, `E(T_M)`, `E(T_G)`, transition counts) over the
+    /// output stream up to *now*, without stopping the monitor. `None`
+    /// until the drive loop has published its first output.
+    pub fn qos(&self) -> Option<ObservedQos> {
+        let now = self.clock.now();
+        self.shared.qos.lock().map(|q| q.observed(now))
     }
 
     /// Stops the monitor and returns the recorded transition trace
@@ -235,10 +249,16 @@ fn drive(
     fd.advance(start);
     {
         // On a supervised restart the original recorder (and its trace so
-        // far) is kept; only the first incarnation creates it.
+        // far) is kept; only the first incarnation creates it. Same for
+        // the online QoS tracker: it follows the output stream, not
+        // detector lives.
         let mut rec = shared.recorder.lock();
         if rec.is_none() {
             *rec = Some(TraceRecorder::new(start, fd.output()));
+        }
+        let mut qos = shared.qos.lock();
+        if qos.is_none() {
+            *qos = Some(OnlineQos::new(start, fd.output()));
         }
     }
     record(shared, start, fd.output());
@@ -289,6 +309,9 @@ fn record(shared: &Shared, t: f64, out: FdOutput) {
         if t >= rec.latest_time() {
             rec.record(t, out);
         }
+    }
+    if let Some(qos) = shared.qos.lock().as_mut() {
+        qos.observe(t, out); // clamps backwards time itself
     }
     publish(shared, out);
 }
@@ -373,6 +396,46 @@ mod tests {
         hb.crash();
         let trace = monitor.stop();
         assert_eq!(trace.transitions().len(), 0, "never trusted");
+    }
+
+    #[test]
+    fn live_qos_is_queryable_while_running() {
+        let clock = WallClock::new();
+        let spec = LinkSpec::new(0.0, Box::new(Constant::new(0.002).unwrap())).unwrap();
+        let (tx, rx, _worker) = LossyChannel::create(spec, 8);
+        let hb = Heartbeater::spawn(0.01, tx, clock.clone()).unwrap();
+        let monitor =
+            Monitor::spawn(Box::new(NfdS::new(0.01, 0.03).unwrap()), rx, clock.clone()).unwrap();
+
+        std::thread::sleep(Duration::from_millis(120));
+        let q = monitor.qos().expect("drive loop has published");
+        assert!(q.window > 0.0);
+        assert!((0.0..=1.0).contains(&q.query_accuracy()));
+        // Startup: one Suspect→Trust transition, no completed mistakes.
+        assert!(q.t_transitions >= 1, "{q}");
+        assert_eq!(q.mean_mistake_recurrence(), None);
+
+        // Crash; once suspicion lands, the live view shows an S-transition
+        // and accuracy strictly below 1.
+        hb.crash();
+        std::thread::sleep(Duration::from_millis(150));
+        let q = monitor.qos().unwrap();
+        assert!(q.s_transitions >= 1, "{q}");
+        assert!(q.query_accuracy() < 1.0);
+
+        // The live view must agree with batch analysis of the final trace.
+        let live = monitor.qos().unwrap();
+        let trace = monitor.stop();
+        let batch = fd_metrics::AccuracyAnalysis::of_trace(&trace);
+        assert_eq!(live.s_transitions as usize, batch.mistake_count());
+        let dq = (live.query_accuracy() - batch.query_accuracy_probability()).abs();
+        assert!(
+            dq < 0.05,
+            "live {} vs batch {}",
+            live.query_accuracy(),
+            batch.query_accuracy_probability()
+        );
+        let _ = trace;
     }
 
     #[test]

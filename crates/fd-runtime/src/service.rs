@@ -24,7 +24,7 @@ use crate::transport::{LinkSpec, LossyChannel, DEFAULT_CHANNEL_CAPACITY};
 use crossbeam::channel;
 use fd_core::config::{configure_nfd_u, NfdUParams};
 use fd_core::detectors::NfdE;
-use fd_metrics::{FdOutput, QosRequirements, TransitionTrace};
+use fd_metrics::{FdOutput, ObservedQos, QosRequirements, TransitionTrace};
 use fd_sim::{FaultPlan, ProcessEvent};
 use std::collections::HashMap;
 use std::fmt;
@@ -365,6 +365,16 @@ impl Service {
         })
     }
 
+    /// Live QoS of the watch for `name`: online interval metrics over
+    /// the output stream so far, without stopping the watch. `None` if
+    /// not watched or the monitor has not published an output yet.
+    pub fn qos(&self, name: &str) -> Option<ObservedQos> {
+        self.watches
+            .get(name)
+            .and_then(|w| w.monitor.as_ref())
+            .and_then(Monitor::qos)
+    }
+
     /// Health of the watch machinery for `name` (the monitor's
     /// supervision state — *not* whether the watched process is alive;
     /// that is [`Service::status`]). `None` if not watched.
@@ -681,6 +691,34 @@ mod tests {
             wait_until(Duration::from_secs(2), || svc.status()["r"].is_trust()),
             "recovery did not restore trust"
         );
+        svc.shutdown();
+    }
+
+    #[test]
+    fn live_qos_reflects_a_crash_and_recovery() {
+        let mut svc = Service::new();
+        svc.watch(
+            ProcessSpec::named("q")
+                .heartbeat_params(NfdUParams { eta: 0.01, alpha: 0.05 })
+                .link(fast_link(0.0))
+                .seed(7),
+        )
+        .unwrap();
+        assert!(svc.qos("missing").is_none());
+        assert!(wait_until(Duration::from_secs(2), || svc.status()["q"].is_trust()));
+        let q = svc.qos("q").expect("watched and running");
+        assert!(q.window > 0.0 && q.t_transitions >= 1);
+
+        assert!(svc.crash("q"));
+        assert!(wait_until(Duration::from_secs(2), || svc.status()["q"].is_suspect()));
+        assert!(svc.recover("q"));
+        assert!(wait_until(Duration::from_secs(2), || svc.status()["q"].is_trust()));
+
+        // Crash + recovery completed one full mistake interval.
+        let q = svc.qos("q").expect("still watched");
+        assert!(q.s_transitions >= 1, "{q}");
+        assert!(q.mean_mistake_duration().is_some(), "{q}");
+        assert!(q.query_accuracy() < 1.0);
         svc.shutdown();
     }
 

@@ -75,6 +75,33 @@ impl OnlineStats {
         self.sample_variance().sqrt()
     }
 
+    /// The accumulated sum of squared deviations (`M₂` in Welford's
+    /// recurrence). Together with [`count`](Self::count) and
+    /// [`mean`](Self::mean) this is the accumulator's complete state —
+    /// see [`from_parts`](Self::from_parts).
+    pub fn m2(&self) -> f64 {
+        self.m2
+    }
+
+    /// Sum of all observations (`count · mean`).
+    pub fn sum(&self) -> f64 {
+        self.mean * self.count as f64
+    }
+
+    /// Rebuilds an accumulator from its raw state, the inverse of reading
+    /// `(count(), mean(), m2())` — for persistence layers that checkpoint
+    /// streaming statistics and resume them after a restart.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mean` is non-finite or `m2` is negative or non-finite
+    /// (no push sequence produces such a state).
+    pub fn from_parts(count: u64, mean: f64, m2: f64) -> Self {
+        assert!(mean.is_finite(), "mean must be finite");
+        assert!(m2.is_finite() && m2 >= 0.0, "m2 must be finite and nonnegative");
+        Self { count, mean, m2 }
+    }
+
     /// Merges another accumulator into this one (parallel Welford).
     pub fn merge(&mut self, other: &OnlineStats) {
         if other.count == 0 {
@@ -329,6 +356,26 @@ mod tests {
     #[should_panic(expected = "capacity must be positive")]
     fn window_rejects_zero_capacity() {
         WindowedStats::with_capacity(0);
+    }
+
+    #[test]
+    fn parts_roundtrip() {
+        let s: OnlineStats = [1.5, 2.0, 8.0, -3.0].into_iter().collect();
+        let rebuilt = OnlineStats::from_parts(s.count(), s.mean(), s.m2());
+        assert_eq!(rebuilt, s);
+        assert!((s.sum() - 8.5).abs() < 1e-12);
+        // A resumed accumulator keeps accepting observations seamlessly.
+        let mut a = rebuilt;
+        let mut b = s;
+        a.push(4.0);
+        b.push(4.0);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "m2 must be finite and nonnegative")]
+    fn from_parts_rejects_negative_m2() {
+        OnlineStats::from_parts(3, 1.0, -0.5);
     }
 
     proptest! {

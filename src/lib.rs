@@ -57,7 +57,8 @@ pub mod prelude {
     pub use fd_core::detectors::{NfdE, NfdS, NfdU, PhiAccrual, SimpleFd};
     pub use fd_core::{FailureDetector, Heartbeat, NfdSAnalysis};
     pub use fd_metrics::{
-        AccuracyAnalysis, FdOutput, QosBundle, QosRequirements, TransitionTrace,
+        AccuracyAnalysis, Conformance, ConformanceReport, FdOutput, ObservedQos, OnlineQos,
+        QosBundle, QosRequirements, TransitionTrace,
     };
     pub use fd_sim::harness::{measure_accuracy, measure_detection_times, AccuracyRun, DetectionRun};
     pub use fd_sim::{
@@ -66,7 +67,7 @@ pub mod prelude {
     };
     pub use fd_cluster::{
         ClusterConfig, ClusterMonitor, ClusterSnapshot, ClusterStats, MembershipChange,
-        MembershipEvent, PeerConfig, PeerId, PeerStatus,
+        MembershipEvent, MetricsExporter, PeerConfig, PeerId, PeerQos, PeerStatus,
     };
     pub use fd_runtime::{Health, IncarnationStore};
     pub use fd_stats::dist::{Constant, Exponential, Gamma, LogNormal, Mixture, Pareto, Uniform};
