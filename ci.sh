@@ -24,4 +24,7 @@ cargo run --release -p fd-bench --bin exp_scale -- --smoke
 echo "==> live QoS scrape smoke"
 cargo run --release -p fd-bench --bin exp_qos_live -- --smoke
 
+echo "==> adaptive control plane smoke"
+cargo run --release -p fd-bench --bin exp_adaptive_cluster -- --smoke
+
 echo "CI green."

@@ -17,6 +17,7 @@
 use fd_bench::report::fmt_num;
 use fd_bench::{Settings, Table};
 use fd_core::adaptive::{AdaptiveConfig, AdaptiveMonitor};
+use fd_core::hysteresis::HysteresisConfig;
 use fd_core::config::NfdUParams;
 use fd_core::detectors::NfdS;
 use fd_core::{FailureDetector, Heartbeat};
@@ -122,6 +123,9 @@ fn main() {
                 long_window: 32,
                 reconfigure_every: 32,
                 nfd_e_window: 32,
+                // The ablation isolates the estimator combiner; keep the
+                // damping out of the comparison.
+                hysteresis: HysteresisConfig { min_dwell: 0.0, deadband: 0.0 },
             },
         ),
         (
@@ -131,6 +135,9 @@ fn main() {
                 long_window: 512,
                 reconfigure_every: 32,
                 nfd_e_window: 32,
+                // The ablation isolates the estimator combiner; keep the
+                // damping out of the comparison.
+                hysteresis: HysteresisConfig { min_dwell: 0.0, deadband: 0.0 },
             },
         ),
         (
@@ -140,6 +147,9 @@ fn main() {
                 long_window: 512,
                 reconfigure_every: 32,
                 nfd_e_window: 32,
+                // The ablation isolates the estimator combiner; keep the
+                // damping out of the comparison.
+                hysteresis: HysteresisConfig { min_dwell: 0.0, deadband: 0.0 },
             },
         ),
     ];

@@ -28,6 +28,7 @@ const EXPERIMENTS: &[(&str, &str)] = &[
     ("exp_ping", "E15 heartbeat vs ping at equal bandwidth (§8.2 extension)"),
     ("exp_phi", "E16 φ-accrual descendant comparison (extension)"),
     ("exp_qos_live", "E18 live QoS scrape over a 100-peer cluster"),
+    ("exp_adaptive_cluster", "E19 adaptive control plane: regime shift, degrade/promote"),
 ];
 
 fn main() {

@@ -1,0 +1,63 @@
+//! Restart-backoff policy shared by every supervised thread in this
+//! crate (ticker, control loop, receive pump, metrics accept loop).
+//!
+//! Two ingredients:
+//!
+//! * **bounded exponential growth** — the n-th restart waits on the
+//!   order of `base · 2ⁿ`, capped, so a persistently-panicking loop
+//!   cannot spin at full speed while its restart budget drains;
+//! * **uniform jitter** — the wait is scaled by a uniform factor in
+//!   `[0.5, 1.5)`. Supervised threads across a fleet (or several
+//!   monitors in one process) that all tripped on the same poisoned
+//!   input would otherwise restart in lock-step and re-collide on
+//!   shared resources; jitter decorrelates the retries, the same
+//!   remedy exponential-backoff networks apply.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::time::Duration;
+
+/// The delay before restart number `restarts` (1-based): `base · 2ⁿ⁻¹`
+/// capped at `cap`, then jittered by a uniform factor in `[0.5, 1.5)`.
+/// The jitter is applied after the cap, so the worst case is `1.5 · cap`.
+pub(crate) fn restart_delay(
+    rng: &mut StdRng,
+    restarts: u64,
+    base: Duration,
+    cap: Duration,
+) -> Duration {
+    let doublings = restarts.saturating_sub(1).min(6) as u32;
+    let exp = base.mul_f64(f64::from(1u32 << doublings)).min(cap);
+    exp.mul_f64(rng.random_range(0.5..1.5))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn grows_exponentially_and_caps() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let base = Duration::from_millis(10);
+        let cap = Duration::from_millis(250);
+        for restarts in 1..=12u64 {
+            let d = restart_delay(&mut rng, restarts, base, cap);
+            let doublings = restarts.saturating_sub(1).min(6) as u32;
+            let nominal = base.mul_f64(f64::from(1u32 << doublings)).min(cap);
+            assert!(d >= nominal.mul_f64(0.5), "restart {restarts}: {d:?} < half nominal");
+            assert!(d <= nominal.mul_f64(1.5), "restart {restarts}: {d:?} > 1.5x nominal");
+        }
+    }
+
+    #[test]
+    fn jitter_actually_varies() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let base = Duration::from_millis(100);
+        let cap = Duration::from_secs(1);
+        let draws: Vec<Duration> =
+            (0..16).map(|_| restart_delay(&mut rng, 1, base, cap)).collect();
+        let all_equal = draws.windows(2).all(|w| w[0] == w[1]);
+        assert!(!all_equal, "sixteen draws came out identical: {draws:?}");
+    }
+}

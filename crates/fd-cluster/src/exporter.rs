@@ -19,9 +19,13 @@
 //! has never had a mistake corrected exports no
 //! `fd_peer_mean_mistake_duration_seconds` series rather than a fake 0.
 
+use crate::backoff;
 use crate::monitor::{ClusterMonitor, ClusterStats, PeerQos};
+use crate::registry::QosState;
 use fd_runtime::{Health, RuntimeError};
 use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 use std::fmt::Write as _;
 use std::io::{Read as _, Write as _};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -137,8 +141,11 @@ impl Drop for MetricsExporter {
     }
 }
 
-/// Outer supervision: restart the accept loop on panic, bounded.
+/// Outer supervision: restart the accept loop on panic, bounded, with a
+/// jittered exponential pause between attempts so a cluster of exporters
+/// felled by the same cause does not restart in lockstep.
 fn supervise(inner: Arc<ExporterInner>) {
+    let mut rng = StdRng::from_os_rng();
     loop {
         let outcome = panic::catch_unwind(AssertUnwindSafe(|| accept_loop(&inner)));
         match outcome {
@@ -160,6 +167,12 @@ fn supervise(inner: Arc<ExporterInner>) {
                     return;
                 }
                 *inner.health.lock() = Health::Degraded { reason };
+                std::thread::sleep(backoff::restart_delay(
+                    &mut rng,
+                    restarts,
+                    Duration::from_millis(2),
+                    Duration::from_millis(50),
+                ));
             }
         }
     }
@@ -307,6 +320,42 @@ pub fn render_prometheus(monitor: &ClusterMonitor) -> String {
             "counter",
             stats.snapshot_errors as f64,
         ),
+        (
+            "fd_cluster_reconfigurations_total",
+            "Control-plane detector parameter swaps applied.",
+            "counter",
+            stats.reconfigurations as f64,
+        ),
+        (
+            "fd_cluster_degraded_peers",
+            "Peers currently running best-effort parameters.",
+            "gauge",
+            stats.degraded_peers as f64,
+        ),
+        (
+            "fd_cluster_degradations_total",
+            "Nominal-to-Degraded transitions declared by the control plane.",
+            "counter",
+            stats.degradations as f64,
+        ),
+        (
+            "fd_cluster_promotions_total",
+            "Degraded-to-Nominal re-promotions declared by the control plane.",
+            "counter",
+            stats.promotions as f64,
+        ),
+        (
+            "fd_cluster_control_rounds_total",
+            "Control-plane reconfiguration rounds completed.",
+            "counter",
+            stats.control_rounds as f64,
+        ),
+        (
+            "fd_cluster_control_restarts_total",
+            "Supervised control-thread restarts after panics.",
+            "counter",
+            stats.control_restarts as f64,
+        ),
     ];
     for (name, help, kind, value) in cluster {
         family(&mut out, name, help, kind, &[(None, *value)]);
@@ -385,6 +434,13 @@ pub fn render_prometheus(monitor: &ClusterMonitor) -> String {
         "gauge",
         &per_peer(&|p| p.qos.mean_good_period()),
     );
+    family(
+        &mut out,
+        "fd_peer_qos_state",
+        "Control-plane QoS state: 0 nominal, 1 degraded (best-effort parameters).",
+        "gauge",
+        &per_peer(&|p| Some(if p.qos_state == QosState::Degraded { 1.0 } else { 0.0 })),
+    );
     out
 }
 
@@ -394,7 +450,9 @@ fn json_stats(stats: &ClusterStats) -> String {
          \"subscribers_disconnected\":{},\"unknown_heartbeats\":{},\
          \"stale_incarnation_rejects\":{},\"incarnation_resets\":{},\
          \"ticker_restarts\":{},\"expirations_deferred\":{},\"entries_shed\":{},\
-         \"snapshots_written\":{},\"snapshot_errors\":{},\"peers_restored\":{}}}",
+         \"snapshots_written\":{},\"snapshot_errors\":{},\"peers_restored\":{},\
+         \"reconfigurations\":{},\"degraded_peers\":{},\"degradations\":{},\
+         \"promotions\":{},\"control_rounds\":{},\"control_restarts\":{}}}",
         stats.peers,
         stats.ticks,
         stats.timers_fired,
@@ -409,6 +467,12 @@ fn json_stats(stats: &ClusterStats) -> String {
         stats.snapshots_written,
         stats.snapshot_errors,
         stats.peers_restored,
+        stats.reconfigurations,
+        stats.degraded_peers,
+        stats.degradations,
+        stats.promotions,
+        stats.control_rounds,
+        stats.control_restarts,
     )
 }
 
@@ -433,11 +497,13 @@ pub fn render_json(monitor: &ClusterMonitor) -> String {
         }
         let _ = write!(
             out,
-            "{{\"peer\":{},\"output\":\"{}\",\"heartbeats\":{},\"suspicions\":{},\
+            "{{\"peer\":{},\"output\":\"{}\",\"qos_state\":\"{}\",\"heartbeats\":{},\
+             \"suspicions\":{},\
              \"recoveries\":{},\"window\":{},\"query_accuracy\":{},\"mistake_rate\":{},\
              \"mean_mistake_recurrence\":{},\"mean_mistake_duration\":{},\"mean_good_period\":{}}}",
             p.peer,
             if p.output.is_trust() { "trust" } else { "suspect" },
+            if p.qos_state == QosState::Degraded { "degraded" } else { "nominal" },
             p.counters.heartbeats,
             p.counters.suspicions,
             p.counters.recoveries,
@@ -492,6 +558,11 @@ mod tests {
         }
         // No mistakes yet: the mean-interval families must be absent.
         assert!(!body.contains("fd_peer_mean_mistake_duration_seconds{"));
+        // Control-plane families are always present (all peers nominal).
+        assert!(body.contains("fd_cluster_degraded_peers 0"));
+        assert!(body.contains("# TYPE fd_cluster_reconfigurations_total counter"));
+        assert!(body.contains("fd_cluster_control_restarts_total 0"));
+        assert!(body.contains("fd_peer_qos_state{peer=\"0\"} 0"));
         assert!(exporter.requests_served() >= 1);
         exporter.shutdown();
         m.shutdown();
@@ -508,6 +579,8 @@ mod tests {
         assert!(body.contains("\"peers\":["));
         assert!(body.contains("\"peer\":0"));
         assert!(body.contains("\"output\":\"trust\""));
+        assert!(body.contains("\"qos_state\":\"nominal\""));
+        assert!(body.contains("\"degraded_peers\":0"));
         assert!(body.contains("\"mean_mistake_duration\":null"));
         assert!(body.ends_with("]}"));
         exporter.shutdown();

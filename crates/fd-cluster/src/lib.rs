@@ -20,10 +20,11 @@
 //!   expirations for *all* peers are bucketed into coarse time slots and
 //!   driven by a single ticker thread, instead of one timer thread per
 //!   peer;
-//! * a batched [`wire`] protocol (v2, decoding v1) — many
+//! * a batched [`wire`] protocol (v3, decoding v1/v2) — many
 //!   `(peer_id, incarnation, seq, send_ts)` heartbeat entries per
 //!   datagram, multiplexed by [`ClusterSender`]/[`ClusterReceiver`] over
-//!   a single UDP socket.
+//!   a single UDP socket, plus v3 *control* frames carrying
+//!   `(peer_id, η)` recommendations back toward the senders.
 //!
 //! PR 3 hardens the layer for the *crash-recovery* model: heartbeats
 //! carry sender incarnations (stale lives are rejected, new lives reset
@@ -32,6 +33,20 @@
 //! the ticker and the receive pump run under panic supervision with
 //! queryable [`Health`](fd_runtime::Health), bounded restarts and
 //! overload shedding.
+//!
+//! PR 5 adds the **adaptive QoS control plane** (§8.1 of the paper at
+//! cluster scale): peers registered with
+//! [`PeerConfig::requirements`] get a per-peer short/long conservative
+//! estimator pair (§8.1.2); a supervised control thread periodically
+//! re-runs the §6.2 configurator against each peer's
+//! `(T_D^U, T_MR^L, T_M^U)`, applies new `α` warm at the shard-locked
+//! transition point, recommends sender-side `η` changes (drained via
+//! [`ClusterMonitor::drain_eta_recommendations`], shipped by
+//! [`ControlSender`], consumed by [`ControlListener`]), and — when the
+//! requirements are infeasible under the current network estimate —
+//! degrades the peer gracefully to best-effort parameters
+//! ([`QosState::Degraded`], with `Degraded`/`Promoted` membership
+//! events and hysteretic re-promotion).
 //!
 //! The public façade is [`ClusterMonitor`]: `add_peer` / `remove_peer` /
 //! `status` / `snapshot`, plus a bounded membership-event subscription
@@ -48,6 +63,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod backoff;
 pub mod exporter;
 pub mod monitor;
 mod registry;
@@ -60,14 +76,18 @@ pub mod wire;
 pub type PeerId = u64;
 
 pub use monitor::{
-    ClusterConfig, ClusterError, ClusterMonitor, ClusterSnapshot, ClusterStats, MembershipChange,
-    MembershipEvent, PeerConfig, PeerQos, PeerStatus,
+    ClusterConfig, ClusterError, ClusterMonitor, ClusterSnapshot, ClusterStats, ControlConfig,
+    MembershipChange, MembershipEvent, PeerConfig, PeerQos, PeerStatus,
 };
 pub use exporter::{render_json, render_prometheus, MetricsExporter};
-pub use net::{ClusterReceiver, ClusterReceiverConfig, ClusterSender, ClusterSenderConfig};
-pub use registry::PeerCounters;
-pub use snapshot::{ClusterStateSnapshot, PeerRecord, SnapshotError};
+pub use net::{
+    ClusterReceiver, ClusterReceiverConfig, ClusterSender, ClusterSenderConfig, ControlListener,
+    ControlListenerConfig, ControlSender,
+};
+pub use registry::{PeerCounters, QosState};
+pub use snapshot::{ClusterStateSnapshot, ControlRecord, PeerRecord, SnapshotError};
 pub use wire::{
-    HeartbeatEntry, BATCH_MAGIC, BATCH_WIRE_VERSION, BATCH_WIRE_VERSION_V1, ENTRY_LEN,
-    ENTRY_LEN_V1, HEADER_LEN, MAX_BATCH, MAX_BATCH_V1,
+    ControlEntry, Frame, HeartbeatEntry, BATCH_MAGIC, BATCH_WIRE_VERSION, BATCH_WIRE_VERSION_V1,
+    BATCH_WIRE_VERSION_V3, CONTROL_ENTRY_LEN, ENTRY_LEN, ENTRY_LEN_V1, HEADER_LEN, HEADER_LEN_V3,
+    MAX_BATCH, MAX_BATCH_V1, MAX_CONTROL_BATCH,
 };

@@ -52,16 +52,21 @@
 //! so even a generation counter that wrapped all the way around cannot
 //! revive a cancelled timer.
 
-use crate::registry::{PeerCounters, PeerRegistry, PeerState};
-use crate::snapshot::{self, ClusterStateSnapshot, PeerRecord};
+use crate::backoff;
+use crate::registry::{ControlState, PeerCounters, PeerRegistry, PeerState, QosState};
+use crate::snapshot::{self, ClusterStateSnapshot, ControlRecord, PeerRecord};
 use crate::wheel::TimerWheel;
 use crate::PeerId;
 use crossbeam::channel::{self, RecvTimeoutError, TrySendError};
+use fd_core::config::{configure_nfd_u, configure_nfd_u_best_effort, ConfigError};
 use fd_core::detectors::{NfdE, ParamError};
-use fd_core::{FailureDetector, Heartbeat};
-use fd_metrics::{FdOutput, ObservedQos, OnlineQos};
+use fd_core::estimate::{DelayMomentsEstimator, LossRateEstimator, WindowedLossRateEstimator};
+use fd_core::{FailureDetector, Heartbeat, HysteresisConfig, HysteresisGate, NfdUParams};
+use fd_metrics::{FdOutput, ObservedQos, OnlineQos, QosRequirements};
 use fd_runtime::{Clock, Health, RuntimeError, TrustView, WallClock};
 use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 use std::collections::HashMap;
 use std::fmt;
 use std::panic::{self, AssertUnwindSafe};
@@ -100,6 +105,9 @@ pub struct ClusterConfig {
     /// at 0; tests set it near `u64::MAX` to exercise generation
     /// wraparound in a bounded number of add/remove cycles.
     pub gen_origin: u64,
+    /// Adaptive control-plane knobs (see [`ControlConfig`]). Only peers
+    /// registered with [`PeerConfig::requirements`] participate.
+    pub control: ControlConfig,
 }
 
 impl Default for ClusterConfig {
@@ -114,6 +122,63 @@ impl Default for ClusterConfig {
             snapshot_path: None,
             snapshot_interval: 1.0,
             gen_origin: 0,
+            control: ControlConfig::default(),
+        }
+    }
+}
+
+/// Knobs for the adaptive QoS control plane: a supervised thread that
+/// periodically re-estimates each requirement-carrying peer's network
+/// (§8.1.2 short/long conservative estimator pair), re-runs the §6.2
+/// configurator against its declared `(T_D^U, T_MR^L, T_M^U)`, and
+/// applies the resulting `α` (receiver-side, warm) while recommending
+/// the resulting `η` to the sender (wire-v3 control entries).
+#[derive(Debug, Clone, Copy)]
+pub struct ControlConfig {
+    /// Seconds between control rounds. Clamped to `[tick, 3600]` at
+    /// spawn (NaN falls back to `tick`).
+    pub period: f64,
+    /// Sequence-number span of the short-horizon loss estimator.
+    pub short_loss_span: u64,
+    /// Sliding-window size of the short-horizon delay-moments estimator.
+    pub short_delay_window: usize,
+    /// Sliding-window size of the long-horizon delay-moments estimator.
+    pub long_delay_window: usize,
+    /// Delay observations required (long window) before the control
+    /// loop acts on a peer; until then it keeps the registered
+    /// parameters.
+    pub min_delay_samples: usize,
+    /// Smallest heartbeat period the control plane will configure,
+    /// seconds. Under extreme variance the feasible-`η` search can
+    /// return values that satisfy the math but no real sender could
+    /// sustain (sub-millisecond floods); a configured `η` below this
+    /// floor is treated as infeasibility and degrades the peer instead.
+    pub min_eta: f64,
+    /// Deadband + minimum dwell applied to gated parameter changes, so
+    /// estimator noise cannot thrash `(η, α)` every round. Degradations
+    /// bypass the gate (running known-wrong parameters is worse than
+    /// changing twice).
+    pub hysteresis: HysteresisConfig,
+    /// Consecutive feasible control rounds required before a degraded
+    /// peer is promoted back to nominal — the re-promotion hysteresis
+    /// that keeps a flapping network from flapping the QoS state.
+    pub promote_after: u32,
+    /// Restart budget for the supervised control thread.
+    pub max_restarts: u64,
+}
+
+impl Default for ControlConfig {
+    fn default() -> Self {
+        Self {
+            period: 1.0,
+            short_loss_span: 64,
+            short_delay_window: 16,
+            long_delay_window: 128,
+            min_delay_samples: 8,
+            min_eta: 1e-3,
+            hysteresis: HysteresisConfig::default(),
+            promote_after: 3,
+            max_restarts: 8,
         }
     }
 }
@@ -128,17 +193,28 @@ pub struct PeerConfig {
     pub alpha: f64,
     /// Sliding-window size for the expected-arrival estimator.
     pub window: usize,
+    /// QoS requirements the adaptive control plane maintains for this
+    /// peer (`None` opts the peer out of adaptation entirely: its
+    /// registered `(η, α)` are never touched).
+    pub requirements: Option<QosRequirements>,
 }
 
 impl PeerConfig {
     /// Parameters with the default estimation window (32 samples).
     pub fn new(eta: f64, alpha: f64) -> Self {
-        Self { eta, alpha, window: 32 }
+        Self { eta, alpha, window: 32, requirements: None }
     }
 
     /// Overrides the estimation window.
     pub fn window(mut self, window: usize) -> Self {
         self.window = window;
+        self
+    }
+
+    /// Declares QoS requirements, opting the peer into the adaptive
+    /// control plane.
+    pub fn requirements(mut self, req: QosRequirements) -> Self {
+        self.requirements = Some(req);
         self
     }
 }
@@ -187,6 +263,14 @@ pub enum MembershipChange {
     Suspected,
     /// Suspect→Trust (T-transition).
     Trusted,
+    /// The control plane found the peer's QoS requirements infeasible
+    /// under the current network estimate and switched it to best-effort
+    /// parameters (graceful degradation; the peer is still monitored).
+    Degraded,
+    /// A formerly degraded peer's requirements became feasible again
+    /// (for [`ControlConfig::promote_after`] consecutive rounds) and
+    /// configured parameters were restored.
+    Promoted,
 }
 
 /// One membership transition, as delivered to subscribers.
@@ -218,6 +302,12 @@ pub struct PeerStatus {
     /// Samples currently held by the arrival estimator — nonzero right
     /// after a snapshot restore (*warm* estimates), zero on a cold add.
     pub estimator_samples: usize,
+    /// Where the control plane has this peer: `Nominal` (requirements
+    /// believed met, or none declared) or `Degraded` (best-effort).
+    pub qos_state: QosState,
+    /// Sender-side `η` the control plane recommends, if one is pending
+    /// delivery/confirmation.
+    pub recommended_eta: Option<f64>,
 }
 
 /// A consistent-enough point-in-time view of the whole cluster: each
@@ -290,6 +380,8 @@ pub struct PeerQos {
     pub counters: PeerCounters,
     /// The online accuracy metrics as of the snapshot instant.
     pub qos: ObservedQos,
+    /// Nominal vs degraded, per the control plane.
+    pub qos_state: QosState,
 }
 
 /// Cluster-wide counters.
@@ -331,6 +423,20 @@ pub struct ClusterStats {
     pub snapshot_errors: u64,
     /// Peers restored warm from the snapshot at spawn.
     pub peers_restored: u64,
+    /// Control-plane parameter applications (gated retunes, forced
+    /// degradations and promotions alike).
+    pub reconfigurations: u64,
+    /// Peers currently running best-effort (degraded) parameters.
+    pub degraded_peers: usize,
+    /// Nominal→Degraded transitions since spawn.
+    pub degradations: u64,
+    /// Degraded→Nominal (promotion) transitions since spawn.
+    pub promotions: u64,
+    /// Control rounds executed (by the control thread or
+    /// [`ClusterMonitor::run_control_round`]).
+    pub control_rounds: u64,
+    /// Times the panicking control loop was restarted by its supervisor.
+    pub control_restarts: u64,
 }
 
 struct Inner {
@@ -366,9 +472,24 @@ struct Inner {
     snapshots_written: AtomicU64,
     snapshot_errors: AtomicU64,
     peers_restored: AtomicU64,
+    /// Sanitized control-plane configuration.
+    control: ControlConfig,
+    control_health: Mutex<Health>,
+    inject_control_panic: AtomicBool,
+    /// Pending sender-side η recommendations, latest per peer, drained
+    /// by whoever ships wire-v3 control entries.
+    eta_recs: Mutex<HashMap<PeerId, f64>>,
+    reconfigurations: AtomicU64,
+    degraded_peers: AtomicU64,
+    degradations: AtomicU64,
+    promotions: AtomicU64,
+    control_rounds: AtomicU64,
+    control_restarts: AtomicU64,
     /// Held so the ticker (owning the receiver) observes disconnection
     /// when the last monitor handle drops without an explicit shutdown.
     _stop_tx: channel::Sender<()>,
+    /// Same role, for the control thread.
+    _ctl_stop_tx: channel::Sender<()>,
 }
 
 /// Monitors N peers from one node with a single ticker thread.
@@ -380,6 +501,7 @@ struct Inner {
 pub struct ClusterMonitor {
     inner: Arc<Inner>,
     ticker: Arc<Mutex<Option<std::thread::JoinHandle<()>>>>,
+    controller: Arc<Mutex<Option<std::thread::JoinHandle<()>>>>,
 }
 
 impl fmt::Debug for ClusterMonitor {
@@ -428,7 +550,21 @@ impl ClusterMonitor {
                 Err(_) => snapshot_errors += 1, // cold start is fail-safe
             }
         }
+        // Sanitize the control config once; everything downstream relies
+        // on these invariants (estimator constructors panic on zero
+        // windows, Duration::from_secs_f64 on NaN).
+        let mut control = cfg.control;
+        control.period = control.period.max(cfg.tick).min(3600.0);
+        control.short_loss_span = control.short_loss_span.max(1);
+        control.short_delay_window = control.short_delay_window.max(2);
+        control.long_delay_window = control.long_delay_window.max(2);
+        control.min_delay_samples = control.min_delay_samples.max(2);
+        control.promote_after = control.promote_after.max(1);
+        if !(control.min_eta.is_finite() && control.min_eta > 0.0) {
+            control.min_eta = 0.0;
+        }
         let (stop_tx, stop_rx) = channel::bounded::<()>(1);
+        let (ctl_stop_tx, ctl_stop_rx) = channel::bounded::<()>(1);
         let inner = Arc::new(Inner {
             clock: WallClock::new(),
             time_base,
@@ -458,7 +594,18 @@ impl ClusterMonitor {
             snapshots_written: AtomicU64::new(0),
             snapshot_errors: AtomicU64::new(snapshot_errors),
             peers_restored: AtomicU64::new(0),
+            control,
+            control_health: Mutex::new(Health::Healthy),
+            inject_control_panic: AtomicBool::new(false),
+            eta_recs: Mutex::new(HashMap::new()),
+            reconfigurations: AtomicU64::new(0),
+            degraded_peers: AtomicU64::new(0),
+            degradations: AtomicU64::new(0),
+            promotions: AtomicU64::new(0),
+            control_rounds: AtomicU64::new(0),
+            control_restarts: AtomicU64::new(0),
             _stop_tx: stop_tx,
+            _ctl_stop_tx: ctl_stop_tx,
         });
         for rec in restored {
             match NfdE::restore(rec.eta, rec.alpha, rec.window, &rec.samples, rec.max_seq) {
@@ -479,6 +626,53 @@ impl ClusterMonitor {
                         None => OnlineQos::new(time_base, FdOutput::Suspect),
                     };
                     qos.observe(time_base, FdOutput::Suspect);
+                    // Control state restores with warm bookkeeping
+                    // (requirements, lifetime loss counts, QoS state,
+                    // dwell clock) but fresh windowed estimators — the
+                    // short horizons are about the network *now* and
+                    // refill within one window.
+                    let control = match rec.control.as_ref() {
+                        None => None,
+                        Some(c) => match QosRequirements::new(
+                            c.t_d_upper,
+                            c.t_mr_lower,
+                            c.t_m_upper,
+                        ) {
+                            Ok(requirements) => {
+                                let cc = &inner.control;
+                                let mut gate = HysteresisGate::new(cc.hysteresis);
+                                gate.set_last_change(c.last_change);
+                                Some(ControlState {
+                                    requirements,
+                                    short_loss: WindowedLossRateEstimator::new(cc.short_loss_span),
+                                    long_loss: LossRateEstimator::restore(
+                                        c.loss_highest,
+                                        c.loss_received,
+                                    ),
+                                    short_delay: DelayMomentsEstimator::new(cc.short_delay_window),
+                                    long_delay: DelayMomentsEstimator::new(cc.long_delay_window),
+                                    gate,
+                                    qos_state: if c.degraded {
+                                        QosState::Degraded
+                                    } else {
+                                        QosState::Nominal
+                                    },
+                                    reconfigurations: c.reconfigurations,
+                                    degradations: c.degradations,
+                                    promotions: c.promotions,
+                                    feasible_streak: c.feasible_streak,
+                                    recommended_eta: c.recommended_eta,
+                                })
+                            }
+                            Err(_) => {
+                                inner.snapshot_errors.fetch_add(1, Ordering::Relaxed);
+                                None
+                            }
+                        },
+                    };
+                    if control.as_ref().is_some_and(|c| c.qos_state == QosState::Degraded) {
+                        inner.degraded_peers.fetch_add(1, Ordering::Relaxed);
+                    }
                     let state = PeerState {
                         detector,
                         last_output: FdOutput::Suspect,
@@ -488,6 +682,7 @@ impl ClusterMonitor {
                         last_seen: time_base,
                         counters: rec.counters,
                         qos,
+                        control,
                     };
                     inner.registry.shard(rec.peer).write().insert(rec.peer, state);
                     inner.peers_restored.fetch_add(1, Ordering::Relaxed);
@@ -503,7 +698,17 @@ impl ClusterMonitor {
             .name("fd-cluster-ticker".into())
             .spawn(move || ticker(weak, stop_rx, period))
             .map_err(|e| RuntimeError::Spawn { thread: "fd-cluster-ticker", source: e })?;
-        Ok(Self { inner, ticker: Arc::new(Mutex::new(Some(handle))) })
+        let ctl_weak = Arc::downgrade(&inner);
+        let ctl_period = Duration::from_secs_f64(inner.control.period);
+        let ctl_handle = std::thread::Builder::new()
+            .name("fd-cluster-control".into())
+            .spawn(move || controller(ctl_weak, ctl_stop_rx, ctl_period))
+            .map_err(|e| RuntimeError::Spawn { thread: "fd-cluster-control", source: e })?;
+        Ok(Self {
+            inner,
+            ticker: Arc::new(Mutex::new(Some(handle))),
+            controller: Arc::new(Mutex::new(Some(ctl_handle))),
+        })
     }
 
     /// Seconds since the cluster started, on its own clock — the
@@ -533,6 +738,21 @@ impl ClusterMonitor {
             if guard.contains_key(&peer) {
                 return Err(ClusterError::DuplicatePeer(peer));
             }
+            let cc = &inner.control;
+            let control = cfg.requirements.map(|requirements| ControlState {
+                requirements,
+                short_loss: WindowedLossRateEstimator::new(cc.short_loss_span),
+                long_loss: LossRateEstimator::new(),
+                short_delay: DelayMomentsEstimator::new(cc.short_delay_window),
+                long_delay: DelayMomentsEstimator::new(cc.long_delay_window),
+                gate: HysteresisGate::new(cc.hysteresis),
+                qos_state: QosState::Nominal,
+                reconfigurations: 0,
+                degradations: 0,
+                promotions: 0,
+                feasible_streak: 0,
+                recommended_eta: None,
+            });
             let mut state = PeerState {
                 detector,
                 last_output: FdOutput::Suspect,
@@ -542,6 +762,7 @@ impl ClusterMonitor {
                 last_seen: now,
                 counters: PeerCounters::default(),
                 qos: OnlineQos::new(now, FdOutput::Suspect),
+                control,
             };
             state.detector.advance(now);
             state.last_output = state.detector.output();
@@ -568,8 +789,16 @@ impl ClusterMonitor {
     pub fn remove_peer(&self, peer: PeerId) -> bool {
         let inner = &*self.inner;
         let now = inner.now();
-        let removed = inner.registry.shard(peer).write().remove(&peer).is_some();
+        let removed = inner.registry.shard(peer).write().remove(&peer);
+        if removed
+            .as_ref()
+            .is_some_and(|s| s.control.as_ref().is_some_and(|c| c.qos_state == QosState::Degraded))
+        {
+            inner.degraded_peers.fetch_sub(1, Ordering::Relaxed);
+        }
+        let removed = removed.is_some();
         if removed {
+            inner.eta_recs.lock().remove(&peer);
             inner.emit(MembershipEvent { peer, at: now, change: MembershipChange::Removed });
         }
         removed
@@ -651,12 +880,21 @@ impl ClusterMonitor {
                 state.armed = false;
                 state.counters.incarnation_resets += 1;
                 inner.incarnation_resets.fetch_add(1, Ordering::Relaxed);
+                if let Some(ctl) = state.control.as_mut() {
+                    // The new life restarts sequence numbers; the old
+                    // loss windows would discard them all as ancient.
+                    ctl.reset_sequences();
+                }
             }
             let now = now.max(state.last_seen);
             state.last_seen = now;
             state.counters.heartbeats += 1;
-            if hb.seq <= state.detector.max_seq_received().unwrap_or(0) {
+            let fresh = hb.seq > state.detector.max_seq_received().unwrap_or(0);
+            if !fresh {
                 state.counters.stale += 1;
+            }
+            if let Some(ctl) = state.control.as_mut() {
+                ctl.observe(hb.seq, hb.send_time, now, fresh);
             }
             state.detector.on_heartbeat(now, hb);
             event = apply_transition(state, peer, now);
@@ -697,6 +935,11 @@ impl ClusterMonitor {
                     output: state.last_output,
                     counters: state.counters,
                     qos: state.qos.observed(now),
+                    qos_state: state
+                        .control
+                        .as_ref()
+                        .map(|c| c.qos_state)
+                        .unwrap_or_default(),
                 });
             }
         }
@@ -715,6 +958,8 @@ impl ClusterMonitor {
             alpha: s.detector.alpha(),
             incarnation: s.incarnation,
             estimator_samples: s.detector.estimator_len(),
+            qos_state: s.control.as_ref().map(|c| c.qos_state).unwrap_or_default(),
+            recommended_eta: s.control.as_ref().and_then(|c| c.recommended_eta),
         })
     }
 
@@ -796,6 +1041,12 @@ impl ClusterMonitor {
             snapshots_written: inner.snapshots_written.load(Ordering::Relaxed),
             snapshot_errors: inner.snapshot_errors.load(Ordering::Relaxed),
             peers_restored: inner.peers_restored.load(Ordering::Relaxed),
+            reconfigurations: inner.reconfigurations.load(Ordering::Relaxed),
+            degraded_peers: inner.degraded_peers.load(Ordering::Relaxed) as usize,
+            degradations: inner.degradations.load(Ordering::Relaxed),
+            promotions: inner.promotions.load(Ordering::Relaxed),
+            control_rounds: inner.control_rounds.load(Ordering::Relaxed),
+            control_restarts: inner.control_restarts.load(Ordering::Relaxed),
         }
     }
 
@@ -807,11 +1058,126 @@ impl ClusterMonitor {
         // Closing our stop slot is not enough (clones hold senders too);
         // send an explicit stop, then join.
         let _ = self.inner._stop_tx.try_send(());
+        let _ = self.inner._ctl_stop_tx.try_send(());
+        if let Some(handle) = self.controller.lock().take() {
+            let _ = handle.join();
+        }
         if let Some(handle) = self.ticker.lock().take() {
             let _ = handle.join();
             self.inner.save_snapshot_if_configured();
         }
         *self.inner.ticker_health.lock() = Health::Stopped;
+        *self.inner.control_health.lock() = Health::Stopped;
+    }
+
+    /// Health of the supervised control thread (same lifecycle as
+    /// [`ticker_health`](Self::ticker_health)).
+    pub fn control_health(&self) -> Health {
+        self.inner.control_health.lock().clone()
+    }
+
+    /// Fault-injection hook: makes the next control round panic, to
+    /// exercise the control thread's supervisor. For chaos tests.
+    pub fn inject_control_panic(&self) {
+        self.inner.inject_control_panic.store(true, Ordering::Relaxed);
+    }
+
+    /// Runs one adaptive control round synchronously — exactly what the
+    /// supervised control thread does every period. Returns the number
+    /// of peers whose detector parameters were (re)applied. Exposed so
+    /// tests and batch drivers (simulated time) can step the control
+    /// plane deterministically.
+    pub fn run_control_round(&self) -> u64 {
+        self.inner.control_round()
+    }
+
+    /// Drains the pending sender-side `η` recommendations (latest per
+    /// peer, ascending by id) accumulated by control rounds. The caller
+    /// ships them to the senders as wire-v3 control entries (see
+    /// [`ControlSender`](crate::ControlSender)); each peer's entry stays
+    /// pending in [`PeerStatus::recommended_eta`] until
+    /// [`apply_eta`](Self::apply_eta) confirms it.
+    pub fn drain_eta_recommendations(&self) -> Vec<(PeerId, f64)> {
+        let mut recs: Vec<(PeerId, f64)> = self.inner.eta_recs.lock().drain().collect();
+        recs.sort_unstable_by_key(|(peer, _)| *peer);
+        recs
+    }
+
+    /// Applies a new freshness slack `α` to one peer, *warm*: the
+    /// arrival-estimator samples, sequence high-water mark and QoS
+    /// tracker all carry over, so the freshness deadline shifts by
+    /// exactly Δα with no estimator re-convergence. This is the same
+    /// transition the control plane performs; it is public for drivers
+    /// that run their own configurator. Returns `false` if the peer is
+    /// unknown or `α` is invalid.
+    pub fn apply_alpha(&self, peer: PeerId, alpha: f64) -> bool {
+        let inner = &*self.inner;
+        let now = inner.now();
+        let mut events = Vec::new();
+        let applied = {
+            let shard = inner.registry.shard(peer);
+            let mut guard = shard.write();
+            let Some(state) = guard.get_mut(&peer) else {
+                return false;
+            };
+            let params = NfdUParams { eta: state.detector.eta(), alpha };
+            inner.swap_alpha(peer, state, now, params, &mut events)
+        };
+        for ev in events {
+            inner.emit(ev);
+        }
+        applied
+    }
+
+    /// Confirms that `peer`'s *sender* now emits heartbeats every `eta`
+    /// seconds and rebuilds the receiver-side detector to match. Unlike
+    /// an `α` change, a new `η` invalidates the normalized arrival
+    /// samples (they embed the old period), so the estimator window
+    /// restarts cold: the peer dips to Suspect until its next heartbeat,
+    /// exactly as after an incarnation reset. QoS counters and the
+    /// online tracker carry over. Returns `false` if the peer is
+    /// unknown or `eta` is invalid.
+    pub fn apply_eta(&self, peer: PeerId, eta: f64) -> bool {
+        let inner = &*self.inner;
+        let now = inner.now();
+        let mut events = Vec::new();
+        let applied = {
+            let shard = inner.registry.shard(peer);
+            let mut guard = shard.write();
+            let Some(state) = guard.get_mut(&peer) else {
+                return false;
+            };
+            let alpha = state.detector.alpha();
+            let window = state.detector.window();
+            let Ok(detector) = NfdE::new(eta, alpha, window) else {
+                return false;
+            };
+            let at = now.max(state.last_seen);
+            state.detector = detector;
+            state.detector.advance(at);
+            state.last_seen = at;
+            state.gen = inner.next_gen.fetch_add(1, Ordering::Relaxed);
+            state.armed = false;
+            if let Some(ev) = apply_transition(state, peer, at) {
+                events.push(ev);
+            }
+            if let Some(due) = state.detector.next_deadline() {
+                inner.wheel.lock().schedule(due, peer, state.gen);
+                state.armed = true;
+            }
+            if let Some(ctl) = state.control.as_mut() {
+                if ctl.recommended_eta.is_some_and(|r| {
+                    HysteresisGate::rel_change(r, eta) <= f64::EPSILON
+                }) {
+                    ctl.recommended_eta = None;
+                }
+            }
+            true
+        };
+        for ev in events {
+            inner.emit(ev);
+        }
+        applied
     }
 
     /// Counts receiver-side shed entries into [`ClusterStats`].
@@ -917,6 +1283,20 @@ impl Inner {
                     counters: st.counters,
                     samples: st.detector.estimator_samples(),
                     qos: Some(st.qos.state()),
+                    control: st.control.as_ref().map(|c| ControlRecord {
+                        t_d_upper: c.requirements.detection_time_upper(),
+                        t_mr_lower: c.requirements.mistake_recurrence_lower(),
+                        t_m_upper: c.requirements.mistake_duration_upper(),
+                        degraded: c.qos_state == QosState::Degraded,
+                        reconfigurations: c.reconfigurations,
+                        degradations: c.degradations,
+                        promotions: c.promotions,
+                        feasible_streak: c.feasible_streak,
+                        last_change: c.gate.last_change(),
+                        recommended_eta: c.recommended_eta,
+                        loss_highest: c.long_loss.highest_seq(),
+                        loss_received: c.long_loss.received_count(),
+                    }),
                 });
             }
         }
@@ -954,6 +1334,248 @@ impl Inner {
         }
         self.save_snapshot_if_configured();
     }
+
+    /// One adaptive control round (§8.1 at cluster scale), in three
+    /// passes so the configurator never runs under a lock:
+    ///
+    /// 1. copy each participating peer's conservative estimate out under
+    ///    shard *read* locks (one shard at a time);
+    /// 2. run the §6.2 configurator per peer with no locks held — the
+    ///    feasible-`η` search iterates thousands of grid points and must
+    ///    not stall the heartbeat path;
+    /// 3. re-acquire each peer's shard *write* lock and apply its
+    ///    verdict; membership events are emitted after every lock is
+    ///    released.
+    ///
+    /// Returns the number of peers whose parameters were applied.
+    fn control_round(&self) -> u64 {
+        if self.inject_control_panic.swap(false, Ordering::Relaxed) {
+            panic!("injected control panic");
+        }
+        self.control_rounds.fetch_add(1, Ordering::Relaxed);
+        let now = self.now();
+        struct Candidate {
+            peer: PeerId,
+            req: QosRequirements,
+            p_l: f64,
+            variance: f64,
+        }
+        let mut candidates = Vec::new();
+        for shard in self.registry.shards() {
+            for (peer, st) in shard.read().iter() {
+                let Some(ctl) = &st.control else { continue };
+                let Some((p_l, variance)) = ctl.estimate(self.control.min_delay_samples) else {
+                    continue;
+                };
+                candidates.push(Candidate { peer: *peer, req: ctl.requirements, p_l, variance });
+            }
+        }
+        let mut plans = Vec::new();
+        for c in candidates {
+            let verdict = match configure_nfd_u(&c.req, c.p_l, c.variance) {
+                Ok(Some(params)) if params.eta >= self.control.min_eta => Plan::Feasible(params),
+                // Theorem 12 infeasibility (`Ok(None)`), a failed
+                // feasible-η search, or an η below the operational
+                // floor: fall back to best-effort parameters.
+                Ok(_) | Err(ConfigError::SearchFailed) => {
+                    match configure_nfd_u_best_effort(&c.req, c.p_l, c.variance) {
+                        Ok(params) => Plan::Infeasible(params),
+                        Err(_) => continue,
+                    }
+                }
+                // Out-of-domain estimate (e.g. no variance yet): leave
+                // the peer alone and retry next round.
+                Err(_) => continue,
+            };
+            plans.push((c.peer, verdict));
+        }
+        let mut events = Vec::new();
+        let mut applied = 0u64;
+        for (peer, verdict) in plans {
+            let shard = self.registry.shard(peer);
+            let mut guard = shard.write();
+            // The peer may have been removed (or swapped for a
+            // control-less registration) between passes.
+            let Some(state) = guard.get_mut(&peer) else { continue };
+            if state.control.is_none() {
+                continue;
+            }
+            if self.apply_plan(peer, state, now, verdict, &mut events) {
+                applied += 1;
+            }
+        }
+        for ev in events {
+            self.emit(ev);
+        }
+        applied
+    }
+
+    /// Applies one configurator verdict to a peer, under its shard write
+    /// lock. The four cases:
+    ///
+    /// * feasible, nominal — a routine retune, through the hysteresis
+    ///   gate (deadband + dwell);
+    /// * feasible, degraded — counts toward the promotion streak; at the
+    ///   threshold the configured parameters are force-applied and the
+    ///   peer is `Promoted`;
+    /// * infeasible, nominal — graceful degradation: best-effort
+    ///   parameters are force-applied (waiting out a dwell would keep
+    ///   running parameters just proven wrong) and the peer is
+    ///   `Degraded`;
+    /// * infeasible, degraded — stays degraded; the best-effort
+    ///   parameters track the network through the normal gate.
+    fn apply_plan(
+        &self,
+        peer: PeerId,
+        state: &mut PeerState,
+        now: f64,
+        plan: Plan,
+        events: &mut Vec<MembershipEvent>,
+    ) -> bool {
+        let current =
+            NfdUParams { eta: state.detector.eta(), alpha: state.detector.alpha() };
+        let degraded =
+            state.control.as_ref().is_some_and(|c| c.qos_state == QosState::Degraded);
+        match plan {
+            Plan::Feasible(params) if degraded => {
+                let promote = {
+                    let ctl = state.control.as_mut().expect("caller checked");
+                    ctl.feasible_streak += 1;
+                    ctl.feasible_streak >= self.control.promote_after
+                };
+                if !promote || !self.swap_alpha(peer, state, now, params, events) {
+                    return false;
+                }
+                self.note_recommendation(peer, state, current.eta, params.eta);
+                let ctl = state.control.as_mut().expect("caller checked");
+                ctl.gate.force(now);
+                ctl.qos_state = QosState::Nominal;
+                ctl.feasible_streak = 0;
+                ctl.promotions += 1;
+                ctl.reconfigurations += 1;
+                self.promotions.fetch_add(1, Ordering::Relaxed);
+                self.degraded_peers.fetch_sub(1, Ordering::Relaxed);
+                self.reconfigurations.fetch_add(1, Ordering::Relaxed);
+                events.push(MembershipEvent { peer, at: now, change: MembershipChange::Promoted });
+                true
+            }
+            Plan::Feasible(params) => {
+                let change = HysteresisGate::param_change(current, params);
+                let admitted =
+                    state.control.as_mut().expect("caller checked").gate.admit(now, change);
+                if !admitted || !self.swap_alpha(peer, state, now, params, events) {
+                    return false;
+                }
+                self.note_recommendation(peer, state, current.eta, params.eta);
+                state.control.as_mut().expect("caller checked").reconfigurations += 1;
+                self.reconfigurations.fetch_add(1, Ordering::Relaxed);
+                true
+            }
+            Plan::Infeasible(best) if degraded => {
+                let admitted = {
+                    let ctl = state.control.as_mut().expect("caller checked");
+                    ctl.feasible_streak = 0;
+                    ctl.gate.admit(now, HysteresisGate::param_change(current, best))
+                };
+                if !admitted || !self.swap_alpha(peer, state, now, best, events) {
+                    return false;
+                }
+                self.note_recommendation(peer, state, current.eta, best.eta);
+                state.control.as_mut().expect("caller checked").reconfigurations += 1;
+                self.reconfigurations.fetch_add(1, Ordering::Relaxed);
+                true
+            }
+            Plan::Infeasible(best) => {
+                if !self.swap_alpha(peer, state, now, best, events) {
+                    return false;
+                }
+                self.note_recommendation(peer, state, current.eta, best.eta);
+                let ctl = state.control.as_mut().expect("caller checked");
+                ctl.gate.force(now);
+                ctl.qos_state = QosState::Degraded;
+                ctl.feasible_streak = 0;
+                ctl.degradations += 1;
+                ctl.reconfigurations += 1;
+                self.degradations.fetch_add(1, Ordering::Relaxed);
+                self.degraded_peers.fetch_add(1, Ordering::Relaxed);
+                self.reconfigurations.fetch_add(1, Ordering::Relaxed);
+                events.push(MembershipEvent { peer, at: now, change: MembershipChange::Degraded });
+                true
+            }
+        }
+    }
+
+    /// The shard-locked `α` transition point: retunes the peer's
+    /// detector in place via [`NfdE::retune_alpha`] — the normalized
+    /// arrival samples and sequence high-water mark carry over (they do
+    /// not depend on `α`), so the expected-arrival estimate is unchanged
+    /// and the freshness deadline shifts by exactly Δα. A peer trusted
+    /// under the old slack stays trusted (and its timer stays armed)
+    /// whenever the new deadline is still in the future. The
+    /// `OnlineQos` tracker is untouched. The generation bump + disarm +
+    /// re-arm replaces the peer's wheel entry atomically with the swap —
+    /// the same protocol an incarnation reset uses, so no stale timer
+    /// can fire against the new parameters.
+    ///
+    /// Any transition the new slack causes *right now* (a tighter `α`
+    /// can expire a previously fresh deadline) is a genuine S/T
+    /// transition and is accounted as one.
+    fn swap_alpha(
+        &self,
+        peer: PeerId,
+        state: &mut PeerState,
+        now: f64,
+        params: NfdUParams,
+        events: &mut Vec<MembershipEvent>,
+    ) -> bool {
+        // The receiver's η follows the *sender* via `apply_eta`
+        // confirmation, never the configurator directly — changing it
+        // here would misnormalize every windowed sample.
+        let at = now.max(state.last_seen);
+        if state.detector.retune_alpha(params.alpha, at).is_err() {
+            return false; // invalid α (e.g. η consumed the whole budget)
+        }
+        state.detector.advance(at);
+        state.last_seen = at;
+        state.gen = self.next_gen.fetch_add(1, Ordering::Relaxed);
+        state.armed = false;
+        if let Some(ev) = apply_transition(state, peer, at) {
+            events.push(ev);
+        }
+        if let Some(due) = state.detector.next_deadline() {
+            self.wheel.lock().schedule(due, peer, state.gen);
+            state.armed = true;
+        }
+        true
+    }
+
+    /// Records a sender-side `η` recommendation when the configured
+    /// value materially differs (beyond the deadband) from what the
+    /// sender currently uses — tracked by the receiver detector's `η`,
+    /// which [`ClusterMonitor::apply_eta`] keeps in sync.
+    fn note_recommendation(
+        &self,
+        peer: PeerId,
+        state: &mut PeerState,
+        current_eta: f64,
+        new_eta: f64,
+    ) {
+        if HysteresisGate::rel_change(current_eta, new_eta) <= self.control.hysteresis.deadband {
+            return;
+        }
+        if let Some(ctl) = state.control.as_mut() {
+            ctl.recommended_eta = Some(new_eta);
+        }
+        self.eta_recs.lock().insert(peer, new_eta);
+    }
+}
+
+/// A control round's per-peer verdict.
+enum Plan {
+    /// The requirements are achievable: the configured `(η, α)`.
+    Feasible(NfdUParams),
+    /// They are not: the best-effort fallback `(η, α)`.
+    Infeasible(NfdUParams),
 }
 
 /// Folds the detector's current output into the peer state, returning
@@ -992,6 +1614,7 @@ fn panic_reason(payload: &(dyn std::any::Any + Send)) -> String {
 /// panic degrades health and restarts the loop with exponential backoff
 /// until the restart budget is exhausted.
 fn ticker(weak: Weak<Inner>, stop_rx: channel::Receiver<()>, period: Duration) {
+    let mut rng = StdRng::from_os_rng();
     let mut restarts: u64 = 0;
     loop {
         let outcome = panic::catch_unwind(AssertUnwindSafe(|| loop {
@@ -1023,14 +1646,64 @@ fn ticker(weak: Weak<Inner>, stop_rx: channel::Receiver<()>, period: Duration) {
                 }
                 *inner.ticker_health.lock() = Health::Degraded { reason };
                 drop(inner);
-                // Exponential backoff, capped, still responsive to stop.
-                let backoff = period
-                    .mul_f64(f64::from(1u32 << restarts.min(6) as u32))
-                    .min(Duration::from_millis(250));
+                // Jittered exponential backoff, capped, still responsive
+                // to stop.
+                let backoff =
+                    backoff::restart_delay(&mut rng, restarts, period, Duration::from_millis(250));
                 match stop_rx.recv_timeout(backoff) {
                     Ok(()) | Err(RecvTimeoutError::Disconnected) => {
                         if let Some(inner) = weak.upgrade() {
                             *inner.ticker_health.lock() = Health::Stopped;
+                        }
+                        return;
+                    }
+                    Err(RecvTimeoutError::Timeout) => {}
+                }
+            }
+        }
+    }
+}
+
+/// The supervised control thread: one `control_round` per period, under
+/// `catch_unwind`; a panic degrades `control_health` and restarts the
+/// loop with jittered exponential backoff until the budget
+/// ([`ControlConfig::max_restarts`]) is exhausted.
+fn controller(weak: Weak<Inner>, stop_rx: channel::Receiver<()>, period: Duration) {
+    let mut rng = StdRng::from_os_rng();
+    let mut restarts: u64 = 0;
+    loop {
+        let outcome = panic::catch_unwind(AssertUnwindSafe(|| loop {
+            match stop_rx.recv_timeout(period) {
+                Ok(()) | Err(RecvTimeoutError::Disconnected) => return,
+                Err(RecvTimeoutError::Timeout) => {}
+            }
+            let Some(inner) = weak.upgrade() else { return };
+            inner.control_round();
+        }));
+        match outcome {
+            Ok(()) => {
+                if let Some(inner) = weak.upgrade() {
+                    *inner.control_health.lock() = Health::Stopped;
+                }
+                return;
+            }
+            Err(payload) => {
+                let reason = panic_reason(payload.as_ref());
+                let Some(inner) = weak.upgrade() else { return };
+                restarts += 1;
+                inner.control_restarts.fetch_add(1, Ordering::Relaxed);
+                if restarts > inner.control.max_restarts {
+                    *inner.control_health.lock() = Health::Stopped;
+                    return;
+                }
+                *inner.control_health.lock() = Health::Degraded { reason };
+                drop(inner);
+                let backoff =
+                    backoff::restart_delay(&mut rng, restarts, period, Duration::from_millis(250));
+                match stop_rx.recv_timeout(backoff) {
+                    Ok(()) | Err(RecvTimeoutError::Disconnected) => {
+                        if let Some(inner) = weak.upgrade() {
+                            *inner.control_health.lock() = Health::Stopped;
                         }
                         return;
                     }
@@ -1617,6 +2290,7 @@ mod tests {
                 counters: PeerCounters { heartbeats: 9, ..PeerCounters::default() },
                 samples: vec![0.0, 0.001],
                 qos: None,
+                control: None,
             }],
         };
         std::fs::write(&path, crate::snapshot::encode_snapshot_v1(&snap)).unwrap();
@@ -1661,5 +2335,273 @@ mod tests {
         drive_trusted(&m, 2, 0.02, 5);
         assert_eq!(elector.current(&m.snapshot()), Leadership::Leader(2));
         m.shutdown();
+    }
+
+    /// A monitor whose background control thread stays out of the way
+    /// (period sanitized to 600 s) so tests can step the control plane
+    /// deterministically via `run_control_round`.
+    fn adaptive_cluster() -> ClusterMonitor {
+        ClusterMonitor::spawn(ClusterConfig {
+            control: ControlConfig {
+                period: 600.0,
+                short_delay_window: 8,
+                long_delay_window: 24,
+                min_delay_samples: 4,
+                min_eta: 0.5,
+                hysteresis: HysteresisConfig { min_dwell: 0.0, deadband: 0.01 },
+                promote_after: 2,
+                ..ControlConfig::default()
+            },
+            ..ClusterConfig::default()
+        })
+        .expect("spawn")
+    }
+
+    #[test]
+    fn control_round_degrades_and_promotes_with_exact_events() {
+        let m = adaptive_cluster();
+        let rx = m.subscribe();
+        let req = QosRequirements::new(4.0, 1e9, 2.0).unwrap();
+        m.add_peer(1, PeerConfig::new(1.0, 3.0).requirements(req)).unwrap();
+
+        // Heartbeats every 1 s of simulated time; `delay` is the link
+        // delay stamped into the receipt time.
+        let mut seq = 0u64;
+        let mut beat = |delay: f64| {
+            seq += 1;
+            m.record_at(1, seq as f64 + delay, Heartbeat::new(seq, seq as f64));
+        };
+
+        // Clean regime: constant delay ⇒ V̂ ≈ 0, p̂_L = 0. Feasible, and
+        // materially different from the registration parameters, so the
+        // first round retunes (η_rec = 2, α = 2 for this requirement
+        // tuple) within ONE control round of the estimate maturing.
+        for _ in 0..8 {
+            beat(0.05);
+        }
+        assert_eq!(m.run_control_round(), 1, "clean regime applies a feasible retune");
+        let st = m.status(1).unwrap();
+        assert_eq!(st.qos_state, QosState::Nominal);
+        assert!((st.alpha - 2.0).abs() < 0.1, "α retuned toward 2.0, got {}", st.alpha);
+        assert!((st.eta - 1.0).abs() < 1e-12, "receiver η follows the sender, not the plan");
+        let recs = m.drain_eta_recommendations();
+        assert_eq!(recs.len(), 1);
+        assert!((recs[0].1 - 2.0).abs() < 0.1, "η recommendation ≈ 2.0, got {}", recs[0].1);
+
+        // Regime shift: every heartbeat now takes 4 s. The long delay
+        // window (24) still remembers the clean samples, so the §8.1.2
+        // conservative pair sees a huge variance; the feasible η falls
+        // below the 0.5 s floor ⇒ graceful degradation to best-effort
+        // parameters in ONE round.
+        for _ in 0..16 {
+            beat(4.0);
+        }
+        let before = m.status(1).unwrap();
+        assert_eq!(m.run_control_round(), 1, "spike regime force-applies best effort");
+        let st = m.status(1).unwrap();
+        assert_eq!(st.qos_state, QosState::Degraded);
+        assert_eq!(
+            st.counters.heartbeats, before.counters.heartbeats,
+            "degradation must not touch the heartbeat ledger"
+        );
+        assert!(st.estimator_samples > 0, "warm α swap keeps the arrival window");
+        assert_eq!(m.stats().degraded_peers, 1);
+        assert_eq!(m.stats().degradations, 1);
+
+        // Recovery: enough clean beats to flush the spike out of both
+        // delay windows. The first feasible round only counts toward the
+        // promotion streak; the second (promote_after = 2) promotes.
+        for _ in 0..30 {
+            beat(0.05);
+        }
+        assert_eq!(m.run_control_round(), 0, "first feasible round only builds the streak");
+        assert_eq!(m.status(1).unwrap().qos_state, QosState::Degraded);
+        assert_eq!(m.run_control_round(), 1, "second feasible round promotes");
+        let st = m.status(1).unwrap();
+        assert_eq!(st.qos_state, QosState::Nominal);
+        assert!((st.alpha - 2.0).abs() < 0.1, "promoted back to configured α");
+        assert_eq!(st.counters.heartbeats, 54, "8 + 16 + 30 beats all accounted");
+
+        let stats = m.stats();
+        assert_eq!(stats.degradations, 1);
+        assert_eq!(stats.promotions, 1);
+        assert_eq!(stats.degraded_peers, 0);
+        assert_eq!(stats.control_rounds, 4);
+        assert_eq!(stats.reconfigurations, 3, "retune + degradation + promotion");
+
+        // Exactly one Degraded and one Promoted event, in that order —
+        // no flapping despite four control rounds.
+        let mut control_events = Vec::new();
+        while let Ok(ev) = rx.try_recv() {
+            if matches!(ev.change, MembershipChange::Degraded | MembershipChange::Promoted) {
+                control_events.push(ev.change);
+            }
+        }
+        assert_eq!(
+            control_events,
+            vec![MembershipChange::Degraded, MembershipChange::Promoted]
+        );
+        m.shutdown();
+    }
+
+    #[test]
+    fn apply_eta_confirms_recommendation_and_restarts_cold() {
+        let m = adaptive_cluster();
+        let req = QosRequirements::new(4.0, 1e9, 2.0).unwrap();
+        m.add_peer(1, PeerConfig::new(1.0, 3.0).requirements(req)).unwrap();
+        for seq in 1..=8u64 {
+            m.record_at(1, seq as f64 + 0.05, Heartbeat::new(seq, seq as f64));
+        }
+        assert_eq!(m.run_control_round(), 1);
+        let rec = m.status(1).unwrap().recommended_eta.expect("η recommended");
+        let samples_before = m.status(1).unwrap().estimator_samples;
+        assert!(samples_before > 1);
+
+        // Confirming the sender-side change rebuilds the detector cold —
+        // the normalized samples embed the old η — and clears the
+        // pending recommendation.
+        assert!(m.apply_eta(1, rec));
+        let st = m.status(1).unwrap();
+        assert!((st.eta - rec).abs() < 1e-12);
+        assert_eq!(st.estimator_samples, 0, "η change invalidates the window");
+        assert_eq!(st.recommended_eta, None, "confirmation clears the pending η");
+        assert_eq!(st.counters.heartbeats, 8, "ledger survives the rebuild");
+
+        // Unknown peers and garbage values are rejected.
+        assert!(!m.apply_eta(99, 1.0));
+        assert!(!m.apply_eta(1, 0.0));
+        assert!(!m.apply_alpha(99, 1.0));
+        assert!(!m.apply_alpha(1, f64::NAN));
+        m.shutdown();
+    }
+
+    #[test]
+    fn control_panic_degrades_health_and_recovers() {
+        // A short period so the supervised control thread actually runs.
+        let m = ClusterMonitor::spawn(ClusterConfig {
+            control: ControlConfig { period: 0.01, ..ControlConfig::default() },
+            ..ClusterConfig::default()
+        })
+        .expect("spawn");
+        assert_eq!(m.control_health(), Health::Healthy);
+        m.inject_control_panic();
+        let deadline = std::time::Instant::now() + Duration::from_secs(2);
+        while m.stats().control_restarts == 0 && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(m.stats().control_restarts, 1);
+        match m.control_health() {
+            Health::Degraded { reason } => assert!(reason.contains("injected")),
+            other => panic!("expected Degraded, got {other:?}"),
+        }
+        // The restarted control thread keeps counting rounds.
+        let rounds = m.stats().control_rounds;
+        let deadline = std::time::Instant::now() + Duration::from_secs(2);
+        while m.stats().control_rounds <= rounds && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert!(m.stats().control_rounds > rounds, "control rounds resume after restart");
+        m.shutdown();
+        assert_eq!(m.control_health(), Health::Stopped);
+    }
+
+    #[test]
+    fn control_state_survives_snapshot_restore() {
+        let path = std::env::temp_dir().join(format!(
+            "fd-cluster-monitor-ctl-snap-{}.bin",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&path);
+        let cfg = ClusterConfig {
+            snapshot_path: Some(path.clone()),
+            snapshot_interval: 1000.0,
+            control: ControlConfig {
+                period: 600.0,
+                short_delay_window: 8,
+                long_delay_window: 24,
+                min_delay_samples: 4,
+                min_eta: 0.5,
+                hysteresis: HysteresisConfig { min_dwell: 0.0, deadband: 0.01 },
+                promote_after: 2,
+                ..ControlConfig::default()
+            },
+            ..ClusterConfig::default()
+        };
+        let m = ClusterMonitor::spawn(cfg.clone()).expect("spawn");
+        let req = QosRequirements::new(4.0, 1e9, 2.0).unwrap();
+        m.add_peer(1, PeerConfig::new(1.0, 3.0).requirements(req)).unwrap();
+        let mut seq = 0u64;
+        for _ in 0..8 {
+            seq += 1;
+            m.record_at(1, seq as f64 + 0.05, Heartbeat::new(seq, seq as f64));
+        }
+        for _ in 0..16 {
+            seq += 1;
+            m.record_at(1, seq as f64 + 4.0, Heartbeat::new(seq, seq as f64));
+        }
+        assert_eq!(m.run_control_round(), 1, "spike regime degrades");
+        let before = m.status(1).unwrap();
+        assert_eq!(before.qos_state, QosState::Degraded);
+        m.shutdown(); // writes the v3 snapshot
+
+        let m2 = ClusterMonitor::spawn(cfg).expect("respawn");
+        let st = m2.status(1).unwrap();
+        assert_eq!(st.qos_state, QosState::Degraded, "degradation survives restart");
+        assert_eq!(st.recommended_eta, before.recommended_eta);
+        assert_eq!(m2.stats().degraded_peers, 1);
+        m2.shutdown();
+        let _ = std::fs::remove_file(&path);
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(24))]
+            /// Applying a new `α` mid-run — any valid slack, any history
+            /// length — must never fabricate a spurious S-transition or
+            /// reset the observed-QoS tracker: the arrival window is
+            /// warm, the deadline just shifts by Δα, and a freshly-fed
+            /// peer stays trusted.
+            #[test]
+            fn alpha_swap_never_fabricates_transitions(
+                alpha in 0.05f64..40.0,
+                beats in 3u64..20,
+            ) {
+                let m = ClusterMonitor::spawn(ClusterConfig::default()).expect("spawn");
+                m.add_peer(1, PeerConfig::new(1.0, 0.5)).unwrap();
+                for s in 1..=beats {
+                    m.record_at(1, s as f64 + 0.01, Heartbeat::new(s, s as f64));
+                }
+                let before = m.status(1).unwrap();
+                prop_assert!(before.output.is_trust());
+                let q_before = m.qos(1).unwrap();
+
+                prop_assert!(m.apply_alpha(1, alpha));
+
+                let after = m.status(1).unwrap();
+                prop_assert!(after.output.is_trust(), "spurious suspicion from α swap");
+                prop_assert_eq!(after.counters.suspicions, before.counters.suspicions);
+                prop_assert_eq!(after.counters.recoveries, before.counters.recoveries);
+                prop_assert_eq!(after.counters.heartbeats, before.counters.heartbeats);
+                prop_assert_eq!(after.estimator_samples, before.estimator_samples,
+                    "warm swap must keep the arrival window");
+                prop_assert!((after.alpha - alpha).abs() < 1e-12);
+                prop_assert!((after.eta - before.eta).abs() < 1e-12);
+
+                let q_after = m.qos(1).unwrap();
+                prop_assert_eq!(q_after.s_transitions, q_before.s_transitions,
+                    "ObservedQos transition history reset by α swap");
+                prop_assert_eq!(q_after.t_transitions, q_before.t_transitions);
+                prop_assert_eq!(q_after.duration.count(), q_before.duration.count());
+
+                // The next heartbeat continues the same stream.
+                let s = beats + 1;
+                prop_assert!(m.record_at(1, s as f64 + 0.01, Heartbeat::new(s, s as f64)));
+                prop_assert!(m.status(1).unwrap().output.is_trust());
+                m.shutdown();
+            }
+        }
     }
 }

@@ -29,8 +29,20 @@
 //! not per datagram. Injected *delays* are folded to immediate delivery
 //! (batching is synchronous); loss, partitions and duplication apply
 //! exactly.
+//!
+//! The adaptive control plane adds the reverse path:
+//! [`ControlSender`] ships drained `η` recommendations as wire-v3
+//! control frames toward the heartbeat *senders*, and a
+//! [`ControlListener`] on the sender side decodes them into a callback
+//! (typically [`Heartbeater::recommend_eta`](fd_runtime::Heartbeater)).
+//! Control traffic is advisory and idempotent — a lost datagram just
+//! means the next control round recommends again.
 
-use crate::wire::{decode_batch, encode_batch, HeartbeatEntry, MAX_BATCH};
+use crate::backoff;
+use crate::wire::{
+    decode_batch, decode_frame, encode_batch, encode_control, ControlEntry, Frame, HeartbeatEntry,
+    MAX_BATCH, MAX_CONTROL_BATCH,
+};
 use crate::{ClusterMonitor, PeerId};
 use fd_core::Heartbeat;
 use fd_runtime::{Health, RuntimeError};
@@ -44,7 +56,7 @@ use std::net::{IpAddr, Ipv4Addr, Ipv6Addr, SocketAddr, UdpSocket};
 use std::panic::{self, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Sender-side configuration.
 pub struct ClusterSenderConfig {
@@ -459,6 +471,7 @@ fn supervised_pump(
     cfg: ClusterReceiverConfig,
 ) {
     let mut budget = cfg.max_entries_per_sec.map(EntryBudget::new);
+    let mut rng = StdRng::from_os_rng();
     let mut restarts: u64 = 0;
     loop {
         let outcome = panic::catch_unwind(AssertUnwindSafe(|| {
@@ -478,9 +491,19 @@ fn supervised_pump(
                     return;
                 }
                 *shared.health.lock() = Health::Degraded { reason };
-                // No backoff: the socket buffers while we are away, and
-                // the datagram that tripped the panic has already been
-                // consumed — resume immediately.
+                // Brief jittered backoff before resuming. The socket
+                // buffers while we are away and the datagram that
+                // tripped the panic has already been consumed, so a
+                // short pause costs little — and if the panic is
+                // persistent (poisoned input replayed by a sender), it
+                // keeps many receivers from restart-spinning in
+                // lock-step.
+                std::thread::sleep(backoff::restart_delay(
+                    &mut rng,
+                    restarts,
+                    Duration::from_millis(2),
+                    Duration::from_millis(50),
+                ));
             }
         }
     }
@@ -539,12 +562,332 @@ fn pump(
     }
 }
 
+/// Ships `η` recommendations (as drained from
+/// [`ClusterMonitor::drain_eta_recommendations`](crate::ClusterMonitor::drain_eta_recommendations))
+/// toward the heartbeat senders as wire-v3 control frames, chunked by
+/// [`MAX_CONTROL_BATCH`].
+pub struct ControlSender {
+    socket: UdpSocket,
+    datagrams_sent: u64,
+    entries_sent: u64,
+}
+
+impl std::fmt::Debug for ControlSender {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ControlSender")
+            .field("datagrams_sent", &self.datagrams_sent)
+            .finish()
+    }
+}
+
+impl ControlSender {
+    /// Binds an ephemeral local socket and connects it to the
+    /// listener's address.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::Net`] on socket errors.
+    pub fn connect(listener: SocketAddr) -> Result<Self, RuntimeError> {
+        let bind_ip: IpAddr = match listener {
+            SocketAddr::V4(_) => Ipv4Addr::UNSPECIFIED.into(),
+            SocketAddr::V6(_) => Ipv6Addr::UNSPECIFIED.into(),
+        };
+        let socket = UdpSocket::bind((bind_ip, 0))
+            .map_err(|e| RuntimeError::Net { op: "bind", source: e })?;
+        socket
+            .connect(listener)
+            .map_err(|e| RuntimeError::Net { op: "connect", source: e })?;
+        Ok(Self { socket, datagrams_sent: 0, entries_sent: 0 })
+    }
+
+    /// Sends the recommendations, packed [`MAX_CONTROL_BATCH`] per
+    /// datagram. Entries with a non-finite or non-positive `η` are
+    /// skipped (they could never be applied). Returns the number of
+    /// datagrams handed to the socket.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors; control traffic is advisory, so the
+    /// caller may simply retry at the next control round.
+    pub fn send(&mut self, recommendations: &[(PeerId, f64)]) -> io::Result<usize> {
+        let entries: Vec<ControlEntry> = recommendations
+            .iter()
+            .filter(|(_, eta)| eta.is_finite() && *eta > 0.0)
+            .map(|&(peer, eta)| ControlEntry { peer, eta })
+            .collect();
+        let mut datagrams = 0;
+        for chunk in entries.chunks(MAX_CONTROL_BATCH) {
+            self.socket.send(&encode_control(chunk))?;
+            datagrams += 1;
+            self.entries_sent += chunk.len() as u64;
+        }
+        self.datagrams_sent += datagrams as u64;
+        Ok(datagrams)
+    }
+
+    /// Datagrams handed to the socket since connect.
+    pub fn datagrams_sent(&self) -> u64 {
+        self.datagrams_sent
+    }
+
+    /// Control entries handed to the socket since connect.
+    pub fn entries_sent(&self) -> u64 {
+        self.entries_sent
+    }
+}
+
+/// Listener-side configuration.
+#[derive(Debug, Clone)]
+pub struct ControlListenerConfig {
+    /// How many times a panicking pump is restarted before the listener
+    /// gives up (reported as [`Health::Stopped`]).
+    pub max_pump_restarts: u64,
+}
+
+impl Default for ControlListenerConfig {
+    fn default() -> Self {
+        Self { max_pump_restarts: 8 }
+    }
+}
+
+/// Counters and supervision state for the control pump.
+struct CtlShared {
+    datagrams: AtomicU64,
+    entries: AtomicU64,
+    rejected: AtomicU64,
+    ignored: AtomicU64,
+    restarts: AtomicU64,
+    inject_panic: AtomicBool,
+    health: Mutex<Health>,
+}
+
+impl Default for CtlShared {
+    fn default() -> Self {
+        Self {
+            datagrams: AtomicU64::new(0),
+            entries: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            ignored: AtomicU64::new(0),
+            restarts: AtomicU64::new(0),
+            inject_panic: AtomicBool::new(false),
+            health: Mutex::new(Health::Healthy),
+        }
+    }
+}
+
+/// Receives wire-v3 control frames on the heartbeat-sender side and
+/// hands each `(peer, η)` recommendation to a callback — typically one
+/// that calls
+/// [`Heartbeater::recommend_eta`](fd_runtime::Heartbeater::recommend_eta)
+/// on the matching sender. Supervised like [`ClusterReceiver`]'s pump.
+pub struct ControlListener {
+    addr: SocketAddr,
+    shutdown: UdpSocket,
+    shared: Arc<CtlShared>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for ControlListener {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ControlListener").field("addr", &self.addr).finish()
+    }
+}
+
+impl ControlListener {
+    /// Binds `addr` with the default configuration and starts the
+    /// supervised pump, delivering every decoded recommendation to
+    /// `on_recommendation`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::Net`] on socket errors and
+    /// [`RuntimeError::Spawn`] if the pump thread cannot start.
+    pub fn bind(
+        addr: SocketAddr,
+        on_recommendation: Arc<dyn Fn(PeerId, f64) + Send + Sync>,
+    ) -> Result<Self, RuntimeError> {
+        Self::bind_with(addr, on_recommendation, ControlListenerConfig::default())
+    }
+
+    /// [`bind`](Self::bind) with explicit supervision settings.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`bind`](Self::bind).
+    pub fn bind_with(
+        addr: SocketAddr,
+        on_recommendation: Arc<dyn Fn(PeerId, f64) + Send + Sync>,
+        cfg: ControlListenerConfig,
+    ) -> Result<Self, RuntimeError> {
+        let socket = UdpSocket::bind(addr).map_err(|e| RuntimeError::Net { op: "bind", source: e })?;
+        let addr = socket
+            .local_addr()
+            .map_err(|e| RuntimeError::Net { op: "local_addr", source: e })?;
+        let shutdown = UdpSocket::bind((loopback_ip(&addr), 0))
+            .map_err(|e| RuntimeError::Net { op: "bind", source: e })?;
+        let shutdown_addr = shutdown
+            .local_addr()
+            .map_err(|e| RuntimeError::Net { op: "local_addr", source: e })?;
+        let shared = Arc::new(CtlShared::default());
+        let pump_shared = Arc::clone(&shared);
+        let handle = std::thread::Builder::new()
+            .name("fd-cluster-control-rx".into())
+            .spawn(move || {
+                supervised_control_pump(socket, on_recommendation, shutdown_addr, pump_shared, cfg)
+            })
+            .map_err(|e| RuntimeError::Spawn { thread: "fd-cluster-control-rx", source: e })?;
+        Ok(Self { addr, shutdown, shared, handle: Some(handle) })
+    }
+
+    /// The bound address control senders should connect to.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Well-formed control datagrams received.
+    pub fn datagrams_received(&self) -> u64 {
+        self.shared.datagrams.load(Ordering::Relaxed)
+    }
+
+    /// Recommendations delivered to the callback.
+    pub fn entries_received(&self) -> u64 {
+        self.shared.entries.load(Ordering::Relaxed)
+    }
+
+    /// Datagrams rejected as malformed.
+    pub fn rejected(&self) -> u64 {
+        self.shared.rejected.load(Ordering::Relaxed)
+    }
+
+    /// Well-formed datagrams of the wrong kind (heartbeat frames sent
+    /// to the control port) — decoded, counted, and dropped.
+    pub fn ignored(&self) -> u64 {
+        self.shared.ignored.load(Ordering::Relaxed)
+    }
+
+    /// Times the panicking pump was restarted by its supervisor.
+    pub fn pump_restarts(&self) -> u64 {
+        self.shared.restarts.load(Ordering::Relaxed)
+    }
+
+    /// Health of the supervised pump thread.
+    pub fn pump_health(&self) -> Health {
+        self.shared.health.lock().clone()
+    }
+
+    /// Fault-injection hook: makes the pump panic on the next datagram.
+    /// For chaos tests; never called on production paths.
+    pub fn inject_pump_panic(&self) {
+        self.shared.inject_panic.store(true, Ordering::Relaxed);
+    }
+
+    /// Stops the pump thread.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        if let Some(handle) = self.handle.take() {
+            let mut target = self.addr;
+            if target.ip().is_unspecified() {
+                target.set_ip(loopback_ip(&target));
+            }
+            let _ = self.shutdown.send_to(&SHUTDOWN_SENTINEL, target);
+            let _ = handle.join();
+            *self.shared.health.lock() = Health::Stopped;
+        }
+    }
+}
+
+impl Drop for ControlListener {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// Supervision wrapper for the control pump (same protocol as
+/// [`supervised_pump`]).
+fn supervised_control_pump(
+    socket: UdpSocket,
+    on_recommendation: Arc<dyn Fn(PeerId, f64) + Send + Sync>,
+    shutdown_addr: SocketAddr,
+    shared: Arc<CtlShared>,
+    cfg: ControlListenerConfig,
+) {
+    let mut rng = StdRng::from_os_rng();
+    let mut restarts: u64 = 0;
+    loop {
+        let outcome = panic::catch_unwind(AssertUnwindSafe(|| {
+            control_pump(&socket, &on_recommendation, shutdown_addr, &shared)
+        }));
+        match outcome {
+            Ok(()) => {
+                *shared.health.lock() = Health::Stopped;
+                return;
+            }
+            Err(payload) => {
+                let reason = panic_reason(payload.as_ref());
+                restarts += 1;
+                shared.restarts.fetch_add(1, Ordering::Relaxed);
+                if restarts > cfg.max_pump_restarts {
+                    *shared.health.lock() = Health::Stopped;
+                    return;
+                }
+                *shared.health.lock() = Health::Degraded { reason };
+                std::thread::sleep(backoff::restart_delay(
+                    &mut rng,
+                    restarts,
+                    Duration::from_millis(2),
+                    Duration::from_millis(50),
+                ));
+            }
+        }
+    }
+}
+
+fn control_pump(
+    socket: &UdpSocket,
+    on_recommendation: &Arc<dyn Fn(PeerId, f64) + Send + Sync>,
+    shutdown_addr: SocketAddr,
+    shared: &CtlShared,
+) {
+    let mut buf = [0u8; 2048];
+    loop {
+        let (n, src) = match socket.recv_from(&mut buf) {
+            Ok(r) => r,
+            Err(_) => return,
+        };
+        if n == SHUTDOWN_SENTINEL.len() && buf[..n] == SHUTDOWN_SENTINEL && src == shutdown_addr {
+            return;
+        }
+        if shared.inject_panic.swap(false, Ordering::Relaxed) {
+            panic!("injected control pump panic");
+        }
+        match decode_frame(&buf[..n]) {
+            Some(Frame::Control(entries)) => {
+                shared.datagrams.fetch_add(1, Ordering::Relaxed);
+                shared.entries.fetch_add(entries.len() as u64, Ordering::Relaxed);
+                for e in &entries {
+                    on_recommendation(e.peer, e.eta);
+                }
+            }
+            Some(Frame::Heartbeats(_)) => {
+                // Well-formed but misdirected: someone aimed heartbeat
+                // traffic at the control port. Count and drop.
+                shared.ignored.fetch_add(1, Ordering::Relaxed);
+            }
+            None => {
+                shared.rejected.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::wire::encode_batch_v1;
     use crate::{ClusterConfig, PeerConfig};
-    use std::time::Duration;
 
     fn loop_addr() -> SocketAddr {
         SocketAddr::from((Ipv4Addr::LOCALHOST, 0))
@@ -736,5 +1079,103 @@ mod tests {
         assert_eq!(monitor.stats().entries_shed, 22, "shed count surfaces in ClusterStats");
         rx.shutdown();
         monitor.shutdown();
+    }
+
+    #[test]
+    fn control_round_trip_delivers_recommendations() {
+        let got: Arc<Mutex<Vec<(PeerId, f64)>>> = Arc::new(Mutex::new(Vec::new()));
+        let sink = Arc::clone(&got);
+        let listener = ControlListener::bind(
+            loop_addr(),
+            Arc::new(move |peer, eta| sink.lock().push((peer, eta))),
+        )
+        .expect("bind");
+        let mut tx = ControlSender::connect(listener.local_addr()).expect("connect");
+
+        // Garbage η is filtered sender-side — it could never be applied.
+        let sent = tx
+            .send(&[(4, 0.125), (0, f64::NAN), (9, 2.5), (2, -1.0), (7, 0.0)])
+            .expect("send");
+        assert_eq!(sent, 1, "two valid entries fit one datagram");
+        assert_eq!(tx.entries_sent(), 2);
+
+        let deadline = std::time::Instant::now() + Duration::from_secs(2);
+        while listener.entries_received() < 2 && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(listener.datagrams_received(), 1);
+        assert_eq!(listener.entries_received(), 2);
+        assert_eq!(*got.lock(), vec![(4, 0.125), (9, 2.5)]);
+
+        // Oversize rounds chunk by MAX_CONTROL_BATCH.
+        let many: Vec<(PeerId, f64)> =
+            (0..120u64).map(|p| (p, 0.5 + p as f64 * 1e-3)).collect();
+        assert_eq!(tx.send(&many).expect("send"), 2, "120 = 91 + 29 entries");
+        let deadline = std::time::Instant::now() + Duration::from_secs(2);
+        while listener.entries_received() < 122 && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(listener.entries_received(), 122);
+        assert_eq!(listener.rejected(), 0);
+        listener.shutdown();
+    }
+
+    #[test]
+    fn control_listener_ignores_misdirected_and_rejects_noise() {
+        let listener =
+            ControlListener::bind(loop_addr(), Arc::new(|_, _| panic!("no delivery expected")))
+                .expect("bind");
+        let sock = UdpSocket::bind(loop_addr()).unwrap();
+        // A well-formed heartbeat frame aimed at the control port is
+        // decoded, counted as ignored, and dropped; noise is rejected.
+        let frame = encode_batch_v1(&[HeartbeatEntry {
+            peer: 3,
+            incarnation: 0,
+            seq: 1,
+            send_time: 0.5,
+        }]);
+        sock.send_to(&frame, listener.local_addr()).unwrap();
+        sock.send_to(b"not a control frame", listener.local_addr()).unwrap();
+        let deadline = std::time::Instant::now() + Duration::from_secs(2);
+        while (listener.ignored() < 1 || listener.rejected() < 1)
+            && std::time::Instant::now() < deadline
+        {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(listener.ignored(), 1);
+        assert_eq!(listener.rejected(), 1);
+        assert_eq!(listener.entries_received(), 0);
+        listener.shutdown();
+    }
+
+    #[test]
+    fn control_pump_panic_degrades_and_recovers() {
+        let got: Arc<Mutex<Vec<(PeerId, f64)>>> = Arc::new(Mutex::new(Vec::new()));
+        let sink = Arc::clone(&got);
+        let listener = ControlListener::bind(
+            loop_addr(),
+            Arc::new(move |peer, eta| sink.lock().push((peer, eta))),
+        )
+        .expect("bind");
+        let mut tx = ControlSender::connect(listener.local_addr()).expect("connect");
+        assert_eq!(listener.pump_health(), Health::Healthy);
+
+        listener.inject_pump_panic();
+        tx.send(&[(1, 1.0)]).expect("send"); // trips the injected panic
+        let deadline = std::time::Instant::now() + Duration::from_secs(2);
+        while listener.pump_restarts() < 1 && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(listener.pump_restarts(), 1);
+        assert!(matches!(listener.pump_health(), Health::Degraded { .. }));
+
+        // The restarted pump still delivers.
+        tx.send(&[(1, 2.0)]).expect("send");
+        let deadline = std::time::Instant::now() + Duration::from_secs(2);
+        while got.lock().is_empty() && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(*got.lock(), vec![(1, 2.0)]);
+        listener.shutdown();
     }
 }

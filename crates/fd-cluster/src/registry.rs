@@ -10,7 +10,9 @@
 
 use crate::PeerId;
 use fd_core::detectors::NfdE;
-use fd_metrics::{FdOutput, OnlineQos};
+use fd_core::estimate::{DelayMomentsEstimator, LossRateEstimator, WindowedLossRateEstimator};
+use fd_core::HysteresisGate;
+use fd_metrics::{FdOutput, OnlineQos, QosRequirements};
 use parking_lot::RwLock;
 use std::collections::HashMap;
 
@@ -38,6 +40,104 @@ pub struct PeerCounters {
     /// Times the peer's detector state was reset because a heartbeat
     /// arrived with a *higher* incarnation — i.e. observed restarts.
     pub incarnation_resets: u64,
+}
+
+/// Where the adaptive control plane has a peer: meeting its declared QoS
+/// requirements, or degraded to best-effort parameters because the
+/// configurator proved (Theorem 12) or the feasible-`η` search found
+/// that the requirements cannot currently be met.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum QosState {
+    /// Requirements are (believed) met; the configured `(η, α)` came out
+    /// of a successful `configure_nfd_u` run — or the peer declared no
+    /// requirements, in which case there is nothing to miss.
+    #[default]
+    Nominal,
+    /// The last control round found the requirements infeasible under
+    /// the current network estimate; the peer runs best-effort fallback
+    /// parameters (detection budget honored, recurrence bound dropped)
+    /// until conditions recover.
+    Degraded,
+}
+
+/// Adaptive-control state for one peer that declared QoS requirements:
+/// the §8.1.2 short/long conservative estimator pair feeding the control
+/// loop, the hysteresis gate damping it, and the degradation bookkeeping.
+/// Guarded by the peer's shard lock, like the rest of [`PeerState`].
+#[derive(Debug)]
+pub(crate) struct ControlState {
+    /// The `(T_D^U, T_MR^L, T_M^U)` tuple the control loop re-runs the
+    /// configurator against.
+    pub requirements: QosRequirements,
+    /// Short-horizon loss estimate (recent sequence-number span): reacts
+    /// to regime shifts within one window.
+    pub short_loss: WindowedLossRateEstimator,
+    /// Long-horizon loss estimate (whole lifetime): stable under noise.
+    pub long_loss: LossRateEstimator,
+    /// Short-horizon delay moments (small sliding window).
+    pub short_delay: DelayMomentsEstimator,
+    /// Long-horizon delay moments (large sliding window).
+    pub long_delay: DelayMomentsEstimator,
+    /// Deadband + min-dwell admission control for parameter changes.
+    pub gate: HysteresisGate,
+    /// Nominal vs degraded (see [`QosState`]).
+    pub qos_state: QosState,
+    /// Parameter applications (gated, forced degradations and
+    /// promotions alike).
+    pub reconfigurations: u64,
+    /// Nominal→Degraded transitions.
+    pub degradations: u64,
+    /// Degraded→Nominal transitions.
+    pub promotions: u64,
+    /// Consecutive control rounds (while degraded) whose configurator
+    /// run came back feasible; promotion fires once this reaches the
+    /// configured threshold.
+    pub feasible_streak: u32,
+    /// Sender-side `η` the last control round recommended, awaiting
+    /// delivery/confirmation (also drained cluster-wide via
+    /// `ClusterMonitor::drain_eta_recommendations`).
+    pub recommended_eta: Option<f64>,
+}
+
+impl ControlState {
+    /// Feeds one accepted heartbeat into the estimator pair.
+    /// `fresh` marks a sequence number above every previously seen one;
+    /// only fresh sequences feed the loss estimators (re-feeding a
+    /// duplicate would credit the same message twice), which makes
+    /// out-of-order late arrivals count as losses — a conservative bias,
+    /// consistent with taking the worst of the two horizons below.
+    pub fn observe(&mut self, seq: u64, send_time: f64, receipt_time: f64, fresh: bool) {
+        if fresh {
+            self.short_loss.observe(seq);
+            self.long_loss.observe(seq);
+        }
+        self.short_delay.observe(send_time, receipt_time);
+        self.long_delay.observe(send_time, receipt_time);
+    }
+
+    /// The conservative combined estimate `(p̂_L, V̂(D))` — the worse of
+    /// the short and long horizons on each axis (§8.1.2: the short
+    /// window notices a burst immediately, the long window remembers it;
+    /// a detector configured for the worst of both stays safe through
+    /// the transition). `None` until the long delay window holds at
+    /// least `min_delay_samples` observations.
+    pub fn estimate(&self, min_delay_samples: usize) -> Option<(f64, f64)> {
+        if self.long_delay.len() < min_delay_samples.max(2) {
+            return None;
+        }
+        let p_l = self.short_loss.estimate()?.max(self.long_loss.estimate()?);
+        let v = self.short_delay.delay_variance()?.max(self.long_delay.delay_variance()?);
+        Some((p_l, v))
+    }
+
+    /// Drops sequence-number-derived state after an incarnation reset:
+    /// the new life restarts sequences at 1, which the old loss windows
+    /// would discard as ancient. Delay moments survive (link latency is
+    /// a property of the path, not the incarnation).
+    pub fn reset_sequences(&mut self) {
+        self.short_loss = WindowedLossRateEstimator::new(self.short_loss.span());
+        self.long_loss = LossRateEstimator::new();
+    }
 }
 
 /// Everything the cluster tracks for one peer. Guarded by its shard's
@@ -71,6 +171,9 @@ pub(crate) struct PeerState {
     /// is still one monitored output history — and starts fresh only on
     /// remove/re-add.
     pub qos: OnlineQos,
+    /// Adaptive-control state; `None` for peers that declared no QoS
+    /// requirements (the control loop skips them entirely).
+    pub control: Option<ControlState>,
 }
 
 /// The sharded peer table.

@@ -14,7 +14,7 @@
 //! | field | size |
 //! |-------|-----:|
 //! | magic `[0xFD, 0x5C]` | 2 |
-//! | version `u16` (`2`; `1` still decodes) | 2 |
+//! | version `u16` (`3`; `1` and `2` still decode) | 2 |
 //! | `taken_at: f64` (cluster clock, seconds) | 8 |
 //! | peer count `u32` | 4 |
 //! | peer records … | var |
@@ -33,6 +33,16 @@
 //! accumulators (recurrence, duration, good) as `count u64`, `mean f64`,
 //! `m2 f64` each. A version-1 snapshot decodes with `qos: None`: the
 //! restored peer's live metrics simply start a fresh observation window.
+//!
+//! Version 3 appends to each record an adaptive-control block:
+//! `control_flag u8`, and when present the three requirement bounds
+//! (`t_d_upper f64`, `t_mr_lower f64`, `t_m_upper f64`),
+//! `degraded u8`, `reconfigurations u64`, `degradations u64`,
+//! `promotions u64`, `feasible_streak u32`, `last_change_flag u8` +
+//! `last_change f64`, `recommended_eta_flag u8` +
+//! `recommended_eta f64`, `loss_highest u64`, `loss_received u64`. A
+//! version-1 or -2 snapshot decodes with `control: None`: the restored
+//! peer keeps whatever requirements its re-registration declares.
 //!
 //! Decoding is strict — wrong magic, unknown version, truncation,
 //! trailing bytes, non-finite parameters or a checksum mismatch all
@@ -60,7 +70,7 @@ use std::path::Path;
 pub const SNAPSHOT_MAGIC: [u8; 2] = [0xFD, 0x5C];
 
 /// Current snapshot format version.
-pub const SNAPSHOT_VERSION: u16 = 2;
+pub const SNAPSHOT_VERSION: u16 = 3;
 
 /// Oldest version [`decode_snapshot`] still accepts.
 pub const SNAPSHOT_MIN_VERSION: u16 = 1;
@@ -88,6 +98,45 @@ pub struct PeerRecord {
     /// Live QoS tracker state (version ≥ 2; `None` when restored from a
     /// version-1 snapshot, in which case the tracker starts fresh).
     pub qos: Option<QosTrackerState>,
+    /// Adaptive-control state (version ≥ 3; `None` for earlier
+    /// snapshots or peers without declared requirements).
+    pub control: Option<ControlRecord>,
+}
+
+/// One peer's persisted adaptive-control state: its declared
+/// requirements, where the control plane had it (nominal/degraded), the
+/// hysteresis dwell clock, and the *lifetime* loss-estimator counters —
+/// the parts worth carrying across a restart. Windowed estimators
+/// (short-horizon loss, both delay-moment windows) deliberately restart
+/// cold: they describe the network of the last few seconds, which the
+/// downtime just invalidated.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ControlRecord {
+    /// Required detection-time upper bound `T_D^U`, seconds.
+    pub t_d_upper: f64,
+    /// Required mistake-recurrence lower bound `T_MR^L`, seconds.
+    pub t_mr_lower: f64,
+    /// Required mistake-duration upper bound `T_M^U`, seconds.
+    pub t_m_upper: f64,
+    /// Whether the peer was running best-effort (degraded) parameters.
+    pub degraded: bool,
+    /// Parameter applications so far.
+    pub reconfigurations: u64,
+    /// Nominal→Degraded transitions so far.
+    pub degradations: u64,
+    /// Degraded→Nominal transitions so far.
+    pub promotions: u64,
+    /// Consecutive feasible rounds while degraded.
+    pub feasible_streak: u32,
+    /// Hysteresis dwell clock: cluster-clock time of the last applied
+    /// parameter change, if any.
+    pub last_change: Option<f64>,
+    /// Pending sender-side `η` recommendation, if any.
+    pub recommended_eta: Option<f64>,
+    /// Lifetime loss estimator: highest sequence seen.
+    pub loss_highest: u64,
+    /// Lifetime loss estimator: fresh heartbeats received.
+    pub loss_received: u64,
 }
 
 /// A decoded snapshot: when it was taken (on the cluster clock that
@@ -197,6 +246,23 @@ pub fn encode_snapshot(snap: &ClusterStateSnapshot) -> Vec<u8> {
                 buf.extend_from_slice(&stats.m2().to_le_bytes());
             }
         }
+        buf.push(r.control.is_some() as u8);
+        if let Some(c) = &r.control {
+            buf.extend_from_slice(&c.t_d_upper.to_le_bytes());
+            buf.extend_from_slice(&c.t_mr_lower.to_le_bytes());
+            buf.extend_from_slice(&c.t_m_upper.to_le_bytes());
+            buf.push(c.degraded as u8);
+            buf.extend_from_slice(&c.reconfigurations.to_le_bytes());
+            buf.extend_from_slice(&c.degradations.to_le_bytes());
+            buf.extend_from_slice(&c.promotions.to_le_bytes());
+            buf.extend_from_slice(&c.feasible_streak.to_le_bytes());
+            buf.push(c.last_change.is_some() as u8);
+            buf.extend_from_slice(&c.last_change.unwrap_or(0.0).to_le_bytes());
+            buf.push(c.recommended_eta.is_some() as u8);
+            buf.extend_from_slice(&c.recommended_eta.unwrap_or(0.0).to_le_bytes());
+            buf.extend_from_slice(&c.loss_highest.to_le_bytes());
+            buf.extend_from_slice(&c.loss_received.to_le_bytes());
+        }
     }
     let sum = fnv1a(&buf);
     buf.extend_from_slice(&sum.to_le_bytes());
@@ -235,6 +301,67 @@ pub(crate) fn encode_snapshot_v1(snap: &ClusterStateSnapshot) -> Vec<u8> {
         buf.extend_from_slice(&(r.samples.len() as u32).to_le_bytes());
         for s in &r.samples {
             buf.extend_from_slice(&s.to_le_bytes());
+        }
+    }
+    let sum = fnv1a(&buf);
+    buf.extend_from_slice(&sum.to_le_bytes());
+    buf
+}
+
+/// Encodes a snapshot in the legacy version-2 layout (QoS blocks, no
+/// control blocks). Test-only: exercises restore from a pre-control
+/// snapshot.
+#[cfg(test)]
+pub(crate) fn encode_snapshot_v2(snap: &ClusterStateSnapshot) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(16 + snap.peers.len() * 96);
+    buf.extend_from_slice(&SNAPSHOT_MAGIC);
+    buf.extend_from_slice(&2u16.to_le_bytes());
+    buf.extend_from_slice(&snap.taken_at.to_le_bytes());
+    buf.extend_from_slice(&(snap.peers.len() as u32).to_le_bytes());
+    for r in &snap.peers {
+        buf.extend_from_slice(&r.peer.to_le_bytes());
+        buf.extend_from_slice(&r.incarnation.to_le_bytes());
+        buf.extend_from_slice(&r.eta.to_le_bytes());
+        buf.extend_from_slice(&r.alpha.to_le_bytes());
+        buf.extend_from_slice(&(r.window as u32).to_le_bytes());
+        buf.push(r.max_seq.is_some() as u8);
+        buf.extend_from_slice(&r.max_seq.unwrap_or(0).to_le_bytes());
+        let c = &r.counters;
+        for v in [
+            c.heartbeats,
+            c.stale,
+            c.suspicions,
+            c.recoveries,
+            c.stale_incarnation,
+            c.incarnation_resets,
+        ] {
+            buf.extend_from_slice(&v.to_le_bytes());
+        }
+        buf.extend_from_slice(&(r.samples.len() as u32).to_le_bytes());
+        for s in &r.samples {
+            buf.extend_from_slice(&s.to_le_bytes());
+        }
+        buf.push(r.qos.is_some() as u8);
+        if let Some(q) = &r.qos {
+            buf.push(match q.output {
+                FdOutput::Trust => 0,
+                FdOutput::Suspect => 1,
+            });
+            buf.extend_from_slice(&q.origin.to_le_bytes());
+            buf.extend_from_slice(&q.at.to_le_bytes());
+            buf.extend_from_slice(&q.segment_start.to_le_bytes());
+            buf.push(q.segment_opened_by_transition as u8);
+            buf.extend_from_slice(&q.trust_time.to_le_bytes());
+            buf.extend_from_slice(&q.suspect_time.to_le_bytes());
+            buf.push(q.last_s.is_some() as u8);
+            buf.extend_from_slice(&q.last_s.unwrap_or(0.0).to_le_bytes());
+            buf.extend_from_slice(&q.s_transitions.to_le_bytes());
+            buf.extend_from_slice(&q.t_transitions.to_le_bytes());
+            for stats in [&q.recurrence, &q.duration, &q.good] {
+                buf.extend_from_slice(&stats.count().to_le_bytes());
+                buf.extend_from_slice(&stats.mean().to_le_bytes());
+                buf.extend_from_slice(&stats.m2().to_le_bytes());
+            }
         }
     }
     let sum = fnv1a(&buf);
@@ -340,6 +467,60 @@ fn decode_qos_block(cur: &mut Cursor<'_>) -> Result<QosTrackerState, SnapshotErr
     })
 }
 
+/// Decodes one version-3 adaptive-control block. Field-level checks
+/// only (finite floats, flag bytes ∈ {0, 1}); requirement-level
+/// validity is re-checked by `QosRequirements::new` at restore time.
+fn decode_control_block(cur: &mut Cursor<'_>) -> Result<ControlRecord, SnapshotError> {
+    let t_d_upper = cur.f64("control t_d_upper")?;
+    let t_mr_lower = cur.f64("control t_mr_lower")?;
+    let t_m_upper = cur.f64("control t_m_upper")?;
+    let degraded = match cur.u8("control degraded flag")? {
+        0 => false,
+        1 => true,
+        _ => return Err(SnapshotError::Corrupt("bad control degraded flag")),
+    };
+    let reconfigurations = cur.u64("control reconfigurations")?;
+    let degradations = cur.u64("control degradations")?;
+    let promotions = cur.u64("control promotions")?;
+    let feasible_streak = cur.u32("control feasible_streak")?;
+    let has_last_change = match cur.u8("control last_change flag")? {
+        0 => false,
+        1 => true,
+        _ => return Err(SnapshotError::Corrupt("bad control last_change flag")),
+    };
+    let raw_last_change = cur.f64("control last_change")?;
+    let has_rec_eta = match cur.u8("control recommended_eta flag")? {
+        0 => false,
+        1 => true,
+        _ => return Err(SnapshotError::Corrupt("bad control recommended_eta flag")),
+    };
+    let raw_rec_eta = cur.f64("control recommended_eta")?;
+    let loss_highest = cur.u64("control loss_highest")?;
+    let loss_received = cur.u64("control loss_received")?;
+    for v in [t_d_upper, t_mr_lower, t_m_upper, raw_last_change, raw_rec_eta] {
+        if !v.is_finite() {
+            return Err(SnapshotError::Corrupt("non-finite control field"));
+        }
+    }
+    if loss_received > loss_highest {
+        return Err(SnapshotError::Corrupt("control loss counts inconsistent"));
+    }
+    Ok(ControlRecord {
+        t_d_upper,
+        t_mr_lower,
+        t_m_upper,
+        degraded,
+        reconfigurations,
+        degradations,
+        promotions,
+        feasible_streak,
+        last_change: has_last_change.then_some(raw_last_change),
+        recommended_eta: has_rec_eta.then_some(raw_rec_eta),
+        loss_highest,
+        loss_received,
+    })
+}
+
 /// Decodes a snapshot, verifying framing and checksum.
 ///
 /// # Errors
@@ -410,6 +591,15 @@ pub fn decode_snapshot(buf: &[u8]) -> Result<ClusterStateSnapshot, SnapshotError
         } else {
             None
         };
+        let control = if version >= 3 {
+            match cur.u8("control flag")? {
+                0 => None,
+                1 => Some(decode_control_block(&mut cur)?),
+                _ => return Err(SnapshotError::Corrupt("bad control flag")),
+            }
+        } else {
+            None
+        };
         peers.push(PeerRecord {
             peer,
             incarnation,
@@ -420,6 +610,7 @@ pub fn decode_snapshot(buf: &[u8]) -> Result<ClusterStateSnapshot, SnapshotError
             counters,
             samples,
             qos,
+            control,
         });
     }
     if cur.pos != body.len() {
@@ -504,6 +695,20 @@ mod tests {
                     },
                     samples: vec![0.101, 0.099, 0.1005],
                     qos: Some(sample_qos_state()),
+                    control: Some(ControlRecord {
+                        t_d_upper: 0.5,
+                        t_mr_lower: 120.0,
+                        t_m_upper: 0.2,
+                        degraded: true,
+                        reconfigurations: 4,
+                        degradations: 2,
+                        promotions: 1,
+                        feasible_streak: 1,
+                        last_change: Some(11.5),
+                        recommended_eta: Some(0.0625),
+                        loss_highest: 41,
+                        loss_received: 39,
+                    }),
                 },
                 PeerRecord {
                     peer: 9,
@@ -515,6 +720,7 @@ mod tests {
                     counters: PeerCounters::default(),
                     samples: vec![],
                     qos: None,
+                    control: None,
                 },
             ],
         }
@@ -556,6 +762,33 @@ mod tests {
             assert_eq!(got.counters, want.counters);
             assert_eq!(got.samples, want.samples);
             assert_eq!(got.max_seq, want.max_seq);
+        }
+    }
+
+    #[test]
+    fn version_2_snapshots_still_decode() {
+        let snap = sample_snapshot();
+        let v2 = encode_snapshot_v2(&snap);
+        let decoded = decode_snapshot(&v2).unwrap();
+        assert_eq!(decoded.taken_at, snap.taken_at);
+        assert_eq!(decoded.peers.len(), 2);
+        for (got, want) in decoded.peers.iter().zip(&snap.peers) {
+            assert_eq!(got.control, None, "v2 carries no control state");
+            assert_eq!(got.qos, want.qos, "v2 does carry qos state");
+            assert_eq!(got.peer, want.peer);
+            assert_eq!(got.counters, want.counters);
+            assert_eq!(got.samples, want.samples);
+            assert_eq!(got.max_seq, want.max_seq);
+        }
+    }
+
+    #[test]
+    fn inconsistent_control_loss_counts_are_rejected() {
+        let mut snap = sample_snapshot();
+        snap.peers[0].control.as_mut().unwrap().loss_received = 42; // > highest (41)
+        match decode_snapshot(&encode_snapshot(&snap)) {
+            Err(SnapshotError::Corrupt("control loss counts inconsistent")) => {}
+            other => panic!("expected loss-count rejection, got {other:?}"),
         }
     }
 

@@ -1,4 +1,4 @@
-//! Batched heartbeat wire protocol (v2, decodes v1).
+//! Batched wire protocol (v3, decodes v1/v2).
 //!
 //! The single-watch runtime ships one heartbeat per datagram
 //! (`fd-runtime::udp`, 20 bytes each). At cluster scale that is one
@@ -22,13 +22,34 @@
 //! frames — 24-byte entries without the incarnation — still decode,
 //! with incarnation pinned to `0`: a mixed-version cluster keeps
 //! working during a rolling upgrade, and v1 senders are simply treated
-//! as processes that never restart. Encoding always emits v2.
+//! as processes that never restart. Heartbeat encoding still emits v2.
+//!
+//! Version 3 introduces **frame kinds** for the adaptive control plane:
+//! a kind byte follows the version, so one magic covers both heartbeat
+//! traffic and the monitor's sender-directed control messages:
+//!
+//! | offset | size | field |
+//! |-------:|-----:|-------|
+//! | 0      | 2    | magic `[0xFD, 0xC1]` |
+//! | 2      | 1    | version (`3`) |
+//! | 3      | 1    | kind (`0` heartbeats, `1` control) |
+//! | 4      | 1    | entry count `c` |
+//! | 5 + 16·k | 8  | control entry `k`: `peer_id: u64` LE |
+//! | 13 + 16·k | 8 | control entry `k`: `eta: f64` LE |
+//!
+//! A control entry is the §8.1 loop closing over the wire: the monitor
+//! recommends a new intersending interval `η` for one peer, and the
+//! peer's heartbeater consumes it through its own hysteresis gate. v3
+//! heartbeat frames (kind 0) use the same 32-byte entries as v2.
 //!
 //! The magic differs from the single-heartbeat magic (`[0xFD, 0xB1]`), so
 //! each receiver rejects the other's traffic instead of misparsing it.
-//! Decoding is strict: exact length for the declared count and version,
-//! known version, at least one entry, finite timestamps — a stray or
-//! corrupted packet yields `None`, never a bogus heartbeat.
+//! Decoding is strict *and total*: exact length for the declared count,
+//! version and kind, known version, at least one entry, finite and
+//! positive-where-required values — a stray, truncated, or corrupted
+//! packet yields `None`, never a bogus entry and never a panic (every
+//! slice access goes through a checked cursor; there is no indexing
+//! arithmetic that can leave the buffer).
 
 use crate::PeerId;
 
@@ -38,19 +59,35 @@ pub const BATCH_MAGIC: [u8; 2] = [0xFD, 0xC1];
 /// Version of the batch wire format emitted by [`encode_batch`].
 pub const BATCH_WIRE_VERSION: u8 = 2;
 
-/// The previous wire version, still accepted by [`decode_batch`]:
+/// The oldest wire version still accepted by [`decode_batch`]:
 /// 24-byte entries with no incarnation field (decoded as incarnation 0).
 pub const BATCH_WIRE_VERSION_V1: u8 = 1;
 
-/// Size of the batch header: magic, version, entry count.
+/// The kinded wire version emitted by [`encode_control`] (and accepted
+/// for heartbeat frames).
+pub const BATCH_WIRE_VERSION_V3: u8 = 3;
+
+/// v3 frame kind: a batch of heartbeat entries (same entry layout as v2).
+pub const FRAME_KIND_HEARTBEATS: u8 = 0;
+
+/// v3 frame kind: a batch of `η`-recommendation control entries.
+pub const FRAME_KIND_CONTROL: u8 = 1;
+
+/// Size of the v1/v2 batch header: magic, version, entry count.
 pub const HEADER_LEN: usize = 4;
 
-/// Size of one encoded v2 heartbeat entry:
+/// Size of the v3 batch header: magic, version, kind, entry count.
+pub const HEADER_LEN_V3: usize = 5;
+
+/// Size of one encoded v2/v3 heartbeat entry:
 /// `peer + incarnation + seq + send_time`.
 pub const ENTRY_LEN: usize = 32;
 
 /// Size of one encoded v1 heartbeat entry: `peer + seq + send_time`.
 pub const ENTRY_LEN_V1: usize = 24;
+
+/// Size of one encoded control entry: `peer + eta`.
+pub const CONTROL_ENTRY_LEN: usize = 16;
 
 /// Most entries per datagram: `HEADER_LEN + MAX_BATCH · ENTRY_LEN`
 /// = 1444 bytes, under the 1472-byte UDP payload of a 1500-byte
@@ -60,6 +97,9 @@ pub const MAX_BATCH: usize = 45;
 /// Most entries per v1 datagram (61·24 + 4 = 1468 bytes). A v1 frame
 /// may legally carry more entries than [`MAX_BATCH`].
 pub const MAX_BATCH_V1: usize = 61;
+
+/// Most control entries per datagram (5 + 91·16 = 1461 bytes).
+pub const MAX_CONTROL_BATCH: usize = 91;
 
 /// One peer's heartbeat inside a batch: which peer, which life of that
 /// peer, which `mᵢ`, and the sender-clock timestamp `S` of §5.2 (NFD-E
@@ -76,6 +116,27 @@ pub struct HeartbeatEntry {
     pub seq: u64,
     /// Send timestamp on the sender's clock, seconds.
     pub send_time: f64,
+}
+
+/// One peer's `η` recommendation inside a v3 control frame: the
+/// monitor's configurator asks the sender for this intersending
+/// interval. Advisory — the heartbeater applies it through rate
+/// limiting and hysteresis, never blindly.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ControlEntry {
+    /// The peer whose heartbeater should retune.
+    pub peer: PeerId,
+    /// Recommended intersending interval `η`, seconds (positive, finite).
+    pub eta: f64,
+}
+
+/// A decoded datagram: which kind of traffic it carried.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Frame {
+    /// Heartbeat entries (v1, v2, or v3 kind-0 framing).
+    Heartbeats(Vec<HeartbeatEntry>),
+    /// `η`-recommendation control entries (v3 kind-1 framing).
+    Control(Vec<ControlEntry>),
 }
 
 /// Encodes a batch of heartbeat entries into one v2 datagram.
@@ -103,52 +164,153 @@ pub fn encode_batch(entries: &[HeartbeatEntry]) -> Vec<u8> {
     buf
 }
 
-/// Decodes a batch datagram (current v2 or legacy v1 framing).
+/// Encodes a batch of control entries into one v3 kind-1 datagram.
+///
+/// # Panics
+///
+/// Panics if `entries` is empty, longer than [`MAX_CONTROL_BATCH`], or
+/// contains a non-positive or non-finite `η` (the decoder would reject
+/// the frame wholesale, so encoding it is a caller bug).
+pub fn encode_control(entries: &[ControlEntry]) -> Vec<u8> {
+    assert!(
+        !entries.is_empty() && entries.len() <= MAX_CONTROL_BATCH,
+        "control batch must hold 1..={MAX_CONTROL_BATCH} entries, got {}",
+        entries.len()
+    );
+    let mut buf = Vec::with_capacity(HEADER_LEN_V3 + entries.len() * CONTROL_ENTRY_LEN);
+    buf.extend_from_slice(&BATCH_MAGIC);
+    buf.push(BATCH_WIRE_VERSION_V3);
+    buf.push(FRAME_KIND_CONTROL);
+    buf.push(entries.len() as u8);
+    for e in entries {
+        assert!(
+            e.eta > 0.0 && e.eta.is_finite(),
+            "control η must be positive and finite, got {}",
+            e.eta
+        );
+        buf.extend_from_slice(&e.peer.to_le_bytes());
+        buf.extend_from_slice(&e.eta.to_le_bytes());
+    }
+    buf
+}
+
+/// A bounds-checked little-endian reader: every access is `Option`al, so
+/// no input — however truncated or hostile — can make decoding index
+/// out of the buffer.
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    fn u8(&mut self) -> Option<u8> {
+        let b = *self.buf.get(self.pos)?;
+        self.pos += 1;
+        Some(b)
+    }
+
+    fn u64(&mut self) -> Option<u64> {
+        let end = self.pos.checked_add(8)?;
+        let bytes: [u8; 8] = self.buf.get(self.pos..end)?.try_into().ok()?;
+        self.pos = end;
+        Some(u64::from_le_bytes(bytes))
+    }
+
+    fn f64(&mut self) -> Option<f64> {
+        Some(f64::from_bits(self.u64()?))
+    }
+
+    /// Bytes not yet consumed.
+    fn remaining(&self) -> usize {
+        self.buf.len().saturating_sub(self.pos)
+    }
+}
+
+/// Decodes one batch datagram of any supported framing (v1, v2, or v3
+/// with either kind).
 ///
 /// Returns `None` for anything that is not exactly one well-formed
-/// batch: short header, wrong magic, unknown version, zero entries, a
-/// length that disagrees with the declared count for that version, or
-/// any non-finite timestamp. v1 entries decode with `incarnation: 0`.
-pub fn decode_batch(buf: &[u8]) -> Option<Vec<HeartbeatEntry>> {
-    if buf.len() < HEADER_LEN || buf[..2] != BATCH_MAGIC {
+/// frame: short header, wrong magic, unknown version or kind, zero
+/// entries, a declared entry count that exceeds (or falls short of) the
+/// bytes actually present, any non-finite timestamp, or any
+/// non-positive/non-finite control `η`. Never panics, for any input.
+pub fn decode_frame(buf: &[u8]) -> Option<Frame> {
+    let mut c = Cursor::new(buf);
+    if [c.u8()?, c.u8()?] != BATCH_MAGIC {
         return None;
     }
-    let (entry_len, max_batch, with_incarnation) = match buf[2] {
-        BATCH_WIRE_VERSION => (ENTRY_LEN, MAX_BATCH, true),
-        BATCH_WIRE_VERSION_V1 => (ENTRY_LEN_V1, MAX_BATCH_V1, false),
+    let version = c.u8()?;
+    let kind = match version {
+        BATCH_WIRE_VERSION_V1 | BATCH_WIRE_VERSION => FRAME_KIND_HEARTBEATS,
+        BATCH_WIRE_VERSION_V3 => c.u8()?,
         _ => return None,
     };
-    let count = buf[3] as usize;
-    if count == 0 || count > max_batch || buf.len() != HEADER_LEN + count * entry_len {
-        return None;
-    }
-    let mut entries = Vec::with_capacity(count);
-    for k in 0..count {
-        let mut base = HEADER_LEN + k * entry_len;
-        let mut field = || {
-            let bytes: [u8; 8] = buf[base..base + 8].try_into().unwrap();
-            base += 8;
-            bytes
-        };
-        let peer = u64::from_le_bytes(field());
-        let incarnation = if with_incarnation {
-            u64::from_le_bytes(field())
-        } else {
-            0
-        };
-        let seq = u64::from_le_bytes(field());
-        let send_time = f64::from_le_bytes(field());
-        if !send_time.is_finite() {
-            return None;
+    let count = c.u8()? as usize;
+    match kind {
+        FRAME_KIND_HEARTBEATS => {
+            let (entry_len, max_batch, with_incarnation) = match version {
+                BATCH_WIRE_VERSION_V1 => (ENTRY_LEN_V1, MAX_BATCH_V1, false),
+                _ => (ENTRY_LEN, MAX_BATCH, true),
+            };
+            // Reject both a count that exceeds the buffer and trailing
+            // garbage: the declared count must match the bytes exactly.
+            if count == 0 || count > max_batch || c.remaining() != count * entry_len {
+                return None;
+            }
+            let mut entries = Vec::with_capacity(count);
+            for _ in 0..count {
+                let peer = c.u64()?;
+                let incarnation = if with_incarnation { c.u64()? } else { 0 };
+                let seq = c.u64()?;
+                let send_time = c.f64()?;
+                if !send_time.is_finite() {
+                    return None;
+                }
+                entries.push(HeartbeatEntry {
+                    peer,
+                    incarnation,
+                    seq,
+                    send_time,
+                });
+            }
+            Some(Frame::Heartbeats(entries))
         }
-        entries.push(HeartbeatEntry {
-            peer,
-            incarnation,
-            seq,
-            send_time,
-        });
+        FRAME_KIND_CONTROL => {
+            if count == 0
+                || count > MAX_CONTROL_BATCH
+                || c.remaining() != count * CONTROL_ENTRY_LEN
+            {
+                return None;
+            }
+            let mut entries = Vec::with_capacity(count);
+            for _ in 0..count {
+                let peer = c.u64()?;
+                let eta = c.f64()?;
+                if !(eta > 0.0 && eta.is_finite()) {
+                    return None;
+                }
+                entries.push(ControlEntry { peer, eta });
+            }
+            Some(Frame::Control(entries))
+        }
+        _ => None,
     }
-    Some(entries)
+}
+
+/// Decodes a *heartbeat* batch datagram (v1, v2, or v3 kind-0 framing).
+///
+/// Control frames — valid v3 frames of the wrong kind for a heartbeat
+/// receiver — decode as `None` here, exactly like any other foreign
+/// traffic. See [`decode_frame`] for the kind-dispatching decoder.
+pub fn decode_batch(buf: &[u8]) -> Option<Vec<HeartbeatEntry>> {
+    match decode_frame(buf)? {
+        Frame::Heartbeats(entries) => Some(entries),
+        Frame::Control(_) => None,
+    }
 }
 
 /// Encodes a batch in the legacy v1 framing (no incarnation field).
@@ -178,6 +340,34 @@ pub fn encode_batch_v1(entries: &[HeartbeatEntry]) -> Vec<u8> {
     buf
 }
 
+/// Encodes a batch in the v3 kind-0 (heartbeats) framing.
+///
+/// Production senders emit v2 until every receiver understands v3; this
+/// exists so tests can verify v3 heartbeat frames decode identically.
+///
+/// # Panics
+///
+/// Panics if `entries` is empty or longer than [`MAX_BATCH`].
+pub fn encode_batch_v3(entries: &[HeartbeatEntry]) -> Vec<u8> {
+    assert!(
+        !entries.is_empty() && entries.len() <= MAX_BATCH,
+        "batch must hold 1..={MAX_BATCH} entries, got {}",
+        entries.len()
+    );
+    let mut buf = Vec::with_capacity(HEADER_LEN_V3 + entries.len() * ENTRY_LEN);
+    buf.extend_from_slice(&BATCH_MAGIC);
+    buf.push(BATCH_WIRE_VERSION_V3);
+    buf.push(FRAME_KIND_HEARTBEATS);
+    buf.push(entries.len() as u8);
+    for e in entries {
+        buf.extend_from_slice(&e.peer.to_le_bytes());
+        buf.extend_from_slice(&e.incarnation.to_le_bytes());
+        buf.extend_from_slice(&e.seq.to_le_bytes());
+        buf.extend_from_slice(&e.send_time.to_le_bytes());
+    }
+    buf
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -189,6 +379,15 @@ mod tests {
                 incarnation: k as u64 % 3,
                 seq: k as u64 + 1,
                 send_time: 0.05 * (k as f64 + 1.0),
+            })
+            .collect()
+    }
+
+    fn control_sample(n: usize) -> Vec<ControlEntry> {
+        (0..n)
+            .map(|k| ControlEntry {
+                peer: k as u64 * 11 + 1,
+                eta: 0.01 * (k as f64 + 1.0),
             })
             .collect()
     }
@@ -217,6 +416,55 @@ mod tests {
     }
 
     #[test]
+    fn v3_heartbeat_frames_decode_identically() {
+        for n in [1, 7, MAX_BATCH] {
+            let entries = sample(n);
+            let buf = encode_batch_v3(&entries);
+            assert_eq!(buf.len(), HEADER_LEN_V3 + n * ENTRY_LEN);
+            assert_eq!(buf[2], BATCH_WIRE_VERSION_V3);
+            assert_eq!(buf[3], FRAME_KIND_HEARTBEATS);
+            assert_eq!(decode_batch(&buf).as_deref(), Some(&entries[..]));
+        }
+    }
+
+    #[test]
+    fn control_frames_roundtrip() {
+        for n in [1, 5, MAX_CONTROL_BATCH] {
+            let entries = control_sample(n);
+            let buf = encode_control(&entries);
+            assert_eq!(buf.len(), HEADER_LEN_V3 + n * CONTROL_ENTRY_LEN);
+            assert_eq!(decode_frame(&buf), Some(Frame::Control(entries)));
+        }
+    }
+
+    #[test]
+    fn control_frames_are_not_heartbeats() {
+        // A heartbeat receiver must drop control traffic, not misparse it.
+        let buf = encode_control(&control_sample(3));
+        assert_eq!(decode_batch(&buf), None);
+    }
+
+    #[test]
+    fn control_rejects_bad_eta() {
+        let mut buf = encode_control(&control_sample(2));
+        let base = HEADER_LEN_V3 + CONTROL_ENTRY_LEN + 8; // second entry's η
+        for bad in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            let mut b = buf.clone();
+            b[base..base + 8].copy_from_slice(&bad.to_le_bytes());
+            assert_eq!(decode_frame(&b), None, "η = {bad} must be rejected");
+        }
+        // Unknown kind is rejected too.
+        buf[3] = 7;
+        assert_eq!(decode_frame(&buf), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "control η must be positive")]
+    fn encode_control_rejects_bad_eta() {
+        encode_control(&[ControlEntry { peer: 1, eta: 0.0 }]);
+    }
+
+    #[test]
     fn v1_length_rules_are_enforced() {
         let buf = encode_batch_v1(&sample(3));
         // Truncating to a valid *v2* length must still reject: the
@@ -225,6 +473,23 @@ mod tests {
         let mut wrong_count = buf.clone();
         wrong_count[3] = 4;
         assert_eq!(decode_batch(&wrong_count), None);
+    }
+
+    #[test]
+    fn rejects_count_exceeding_buffer() {
+        // The declared count must never exceed what the bytes can hold —
+        // for every framing.
+        for mut buf in [
+            encode_batch(&sample(2)),
+            encode_batch_v1(&sample(2)),
+            encode_batch_v3(&sample(2)),
+        ] {
+            buf[3] = 255; // count byte for v1/v2; kind byte for v3…
+            assert_eq!(decode_frame(&buf), None);
+        }
+        let mut ctl = encode_control(&control_sample(2));
+        ctl[4] = 255; // …count byte for v3
+        assert_eq!(decode_frame(&ctl), None);
     }
 
     #[test]
@@ -238,7 +503,7 @@ mod tests {
         assert_eq!(decode_batch(&other), None);
 
         let mut future = good.clone();
-        future[2] = BATCH_WIRE_VERSION + 1;
+        future[2] = BATCH_WIRE_VERSION_V3 + 1;
         assert_eq!(decode_batch(&future), None);
 
         let mut zero = good.clone();
@@ -321,6 +586,61 @@ mod tests {
             }
 
             #[test]
+            fn prop_control_roundtrip(
+                n in 1usize..MAX_CONTROL_BATCH,
+                peer0 in 0u64..u64::MAX,
+                eta0 in 1.0e-6f64..1.0e6,
+            ) {
+                let entries: Vec<_> = (0..n)
+                    .map(|k| ControlEntry {
+                        peer: peer0.wrapping_add(k as u64),
+                        eta: eta0 + k as f64 * 1e-7,
+                    })
+                    .collect();
+                let buf = encode_control(&entries);
+                prop_assert_eq!(buf.len(), HEADER_LEN_V3 + n * CONTROL_ENTRY_LEN);
+                prop_assert_eq!(decode_frame(&buf), Some(Frame::Control(entries)));
+            }
+
+            /// The hardening guarantee: the decoder is total. *Any* byte
+            /// string — random, truncated, hostile — either decodes to a
+            /// well-formed frame or returns `None`; it never panics and
+            /// never indexes out of bounds.
+            #[test]
+            fn prop_decode_never_panics_on_arbitrary_bytes(
+                raw in proptest::collection::vec(0u16..256, 0..2048),
+            ) {
+                let bytes: Vec<u8> = raw.iter().map(|&b| b as u8).collect();
+                let _ = decode_frame(&bytes);
+                let _ = decode_batch(&bytes);
+            }
+
+            /// Same guarantee when the input *looks* legitimate: a valid
+            /// frame of every framing, arbitrarily mutated and truncated,
+            /// must decode or reject — never panic.
+            #[test]
+            fn prop_decode_never_panics_on_corrupted_frames(
+                n in 1usize..8,
+                idx in 0usize..260,
+                flip in 0u16..256,
+                keep in 0usize..300,
+                which in 0usize..4,
+            ) {
+                let flip = flip as u8;
+                let mut buf = match which {
+                    0 => encode_batch(&sample(n)),
+                    1 => encode_batch_v1(&sample(n)),
+                    2 => encode_batch_v3(&sample(n)),
+                    _ => encode_control(&control_sample(n)),
+                };
+                let idx = idx % buf.len();
+                buf[idx] ^= flip;
+                buf.truncate(keep.min(buf.len()));
+                let _ = decode_frame(&buf);
+                let _ = decode_batch(&buf);
+            }
+
+            #[test]
             fn prop_header_corruption_rejected(
                 n in 1usize..MAX_BATCH,
                 ts in -1.0e6f64..1.0e6,
@@ -338,9 +658,10 @@ mod tests {
                 let mut buf = encode_batch(&entries);
                 buf[idx] ^= flip;
                 // Any header flip changes magic, version, or the count.
-                // Flipping version to v1 changes the expected entry size
-                // (32 → 24 bytes) so the length check rejects; any other
-                // flip fails magic/version/count validation outright.
+                // Flipping the version byte changes the expected framing
+                // (entry size or the kind byte's position) so the length
+                // check rejects; any other flip fails magic/version/count
+                // validation outright.
                 prop_assert_eq!(decode_batch(&buf), None);
             }
 

@@ -7,12 +7,15 @@
 //! of trusting the harness's parallelism to stay out of the way.
 
 use fd_cluster::{
-    ClusterConfig, ClusterMonitor, ClusterReceiver, ClusterSender, ClusterSenderConfig, PeerConfig,
-    PeerId,
+    ClusterConfig, ClusterMonitor, ClusterReceiver, ClusterSender, ClusterSenderConfig,
+    ControlConfig, MembershipChange, PeerConfig, PeerId, QosState,
 };
-use fd_core::Heartbeat;
+use fd_core::{Heartbeat, HysteresisConfig};
+use fd_metrics::QosRequirements;
 use fd_runtime::{LeaderElector, Leadership};
 use fd_sim::{FaultPlan, LinkFault};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 use std::net::{Ipv4Addr, SocketAddr};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
@@ -217,5 +220,114 @@ fn leader_reelection_on_peer_recovery() {
         }
         assert!(t0.elapsed() < Duration::from_secs(5), "re-election too slow");
     }
+    monitor.shutdown();
+}
+
+/// Chaos regime shift under the PR-1 fault plan: a lunch-hour delay
+/// spike drives a requirement-bearing peer through the full adaptive
+/// round trip — retune on the clean regime, graceful degradation when
+/// the spiked regime makes the QoS targets infeasible, and promotion
+/// back to nominal parameters once the spike clears — firing exactly
+/// one `Degraded` and one `Promoted` membership event.
+#[test]
+fn delay_spike_regime_shift_degrades_and_promotes() {
+    let _guard = SERIAL.lock().unwrap();
+    let monitor = ClusterMonitor::spawn(ClusterConfig {
+        control: ControlConfig {
+            // Inert background controller (first round only after a full
+            // period): the test steps rounds deterministically by hand.
+            period: 600.0,
+            short_delay_window: 8,
+            long_delay_window: 24,
+            min_delay_samples: 4,
+            min_eta: 0.5,
+            hysteresis: HysteresisConfig { min_dwell: 0.0, deadband: 0.01 },
+            promote_after: 2,
+            ..ControlConfig::default()
+        },
+        ..ClusterConfig::default()
+    })
+    .expect("spawn");
+    let req = QosRequirements::new(4.0, 1e9, 2.0).unwrap();
+    monitor.add_peer(1, PeerConfig::new(1.0, 3.0).requirements(req)).unwrap();
+
+    // The spike raises the ~0.05 s link delay to ~4 s (±0.1 jitter) for
+    // sends in [8.5, 24.5) — enough regime variance to push the
+    // feasible η below the 0.5 floor — then the link heals.
+    let plan = FaultPlan::new(7)
+        .link_fault(8.5, LinkFault::DelaySpike { extra: 3.95, jitter: 0.1 })
+        .link_fault(24.5, LinkFault::Nominal);
+    let mut injector = plan.injector();
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut fates = Vec::new();
+    let mut beat = |seq: u64, injector: &mut fd_sim::FaultInjector, rng: &mut StdRng| {
+        let send = seq as f64; // η = 1 s of simulated time
+        fates.clear();
+        injector.apply(send, Some(0.05), rng, &mut fates);
+        for &d in &fates {
+            assert!(monitor.record_at(1, send + d, Heartbeat::new(seq, send)));
+        }
+    };
+
+    // Clean warm-up: the first control round retunes toward the paper
+    // configurator's output for the clean regime (α → T_M^U = 2.0) and
+    // recommends the feasible η within that same round.
+    for seq in 1..=8 {
+        beat(seq, &mut injector, &mut rng);
+    }
+    assert_eq!(monitor.run_control_round(), 1, "clean regime retunes in one round");
+    let st = monitor.status(1).unwrap();
+    assert!((st.alpha - 2.0).abs() < 1e-6, "α retuned to 2.0, got {}", st.alpha);
+    assert_eq!(st.qos_state, QosState::Nominal);
+    let recs = monitor.drain_eta_recommendations();
+    assert_eq!(recs.len(), 1);
+    assert!((recs[0].1 - 2.0).abs() < 1e-6, "feasible η recommended");
+
+    // Subscribe after warm-up so the cold-start Trusted event (which
+    // has no matching suspicion) stays out of the churn ledger.
+    let events = monitor.subscribe();
+
+    // Spiked regime: infeasible ⇒ best-effort parameters + Degraded.
+    for seq in 9..=24 {
+        beat(seq, &mut injector, &mut rng);
+    }
+    assert_eq!(monitor.run_control_round(), 1, "spiked regime degrades in one round");
+    let st = monitor.status(1).unwrap();
+    assert_eq!(st.qos_state, QosState::Degraded);
+    assert!(st.estimator_samples > 0, "degradation keeps the tracker warm");
+    assert_eq!(monitor.stats().degraded_peers, 1);
+
+    // Healed link: a feasibility streak of `promote_after` rounds
+    // re-promotes with the nominal parameters restored.
+    for seq in 25..=54 {
+        beat(seq, &mut injector, &mut rng);
+    }
+    assert_eq!(monitor.run_control_round(), 0, "first clean round only builds the streak");
+    assert_eq!(monitor.run_control_round(), 1, "second clean round promotes");
+    let st = monitor.status(1).unwrap();
+    assert_eq!(st.qos_state, QosState::Nominal);
+    assert!((st.alpha - 2.0).abs() < 1e-6, "nominal α restored, got {}", st.alpha);
+    assert_eq!(st.counters.heartbeats, 54, "no heartbeat lost across the round trip");
+    let stats = monitor.stats();
+    assert_eq!(stats.degradations, 1);
+    assert_eq!(stats.promotions, 1);
+    assert_eq!(stats.degraded_peers, 0);
+
+    // Exactly one Degraded → Promoted pair; any Suspected churn during
+    // the spike is genuine detector output and must balance out.
+    let mut control_events = Vec::new();
+    let mut suspected = 0i64;
+    while let Ok(ev) = events.try_recv() {
+        match ev.change {
+            MembershipChange::Degraded | MembershipChange::Promoted => {
+                control_events.push(ev.change)
+            }
+            MembershipChange::Suspected => suspected += 1,
+            MembershipChange::Trusted => suspected -= 1,
+            _ => {}
+        }
+    }
+    assert_eq!(control_events, vec![MembershipChange::Degraded, MembershipChange::Promoted]);
+    assert_eq!(suspected, 0, "spike-era suspicions all recovered");
     monitor.shutdown();
 }

@@ -23,6 +23,7 @@ use crate::config::{configure_nfd_u, ConfigError, NfdUParams};
 use crate::detector::{FailureDetector, Heartbeat};
 use crate::detectors::{NfdE, ParamError};
 use crate::estimate::{DelayMomentsEstimator, WindowedLossRateEstimator};
+use crate::hysteresis::{HysteresisConfig, HysteresisGate};
 use fd_metrics::{FdOutput, QosRequirements};
 
 /// Tuning knobs for [`AdaptiveMonitor`].
@@ -36,6 +37,10 @@ pub struct AdaptiveConfig {
     pub reconfigure_every: u64,
     /// NFD-E arrival-time estimation window `n` (§6.3 suggests `n ≥ 30`).
     pub nfd_e_window: usize,
+    /// Hysteresis applied by [`AdaptiveMonitor::apply_recommendation`]:
+    /// min dwell between applied changes, deadband below which a
+    /// recommendation is discarded as immaterial.
+    pub hysteresis: HysteresisConfig,
 }
 
 impl Default for AdaptiveConfig {
@@ -45,6 +50,7 @@ impl Default for AdaptiveConfig {
             long_window: 512,
             reconfigure_every: 64,
             nfd_e_window: 32,
+            hysteresis: HysteresisConfig::default(),
         }
     }
 }
@@ -84,6 +90,7 @@ pub struct AdaptiveMonitor {
     max_seq: u64,
     pending: Option<NfdUParams>,
     current: NfdUParams,
+    gate: HysteresisGate,
 }
 
 impl AdaptiveMonitor {
@@ -121,6 +128,7 @@ impl AdaptiveMonitor {
             max_seq: 0,
             pending: None,
             current: initial,
+            gate: HysteresisGate::new(cfg.hysteresis),
         })
     }
 
@@ -147,14 +155,29 @@ impl AdaptiveMonitor {
         })
     }
 
-    /// Applies the pending recommendation at local time `now`: rebuilds
-    /// the inner NFD-E with the new `(η, α)` and returns the parameters so
-    /// the caller can retune the sender.
+    /// Applies the pending recommendation at local time `now`, subject to
+    /// the configured hysteresis: rebuilds the inner NFD-E with the new
+    /// `(η, α)` and returns the parameters so the caller can retune the
+    /// sender.
     ///
     /// Returns `None` (and changes nothing) when no recommendation is
-    /// pending.
+    /// pending, when the change is within the deadband (the pending
+    /// recommendation is discarded), or when the minimum dwell since the
+    /// last applied change has not elapsed (the recommendation stays
+    /// pending for a later attempt). Without this gate a borderline
+    /// estimate would flip parameters every `reconfigure_every`
+    /// heartbeats, each flip discarding a warm arrival window.
     pub fn apply_recommendation(&mut self, now: f64) -> Option<NfdUParams> {
-        let params = self.pending.take()?;
+        let params = *self.pending.as_ref()?;
+        let change = HysteresisGate::param_change(self.current, params);
+        if change <= self.gate.config().deadband {
+            self.pending = None; // immaterial: drop, keep the warm window
+            return None;
+        }
+        if !self.gate.admit(now, change) {
+            return None; // dwell not elapsed: stays pending
+        }
+        self.pending = None;
         self.inner.advance(now);
         let fresh = NfdE::new(params.eta, params.alpha, self.cfg.nfd_e_window)
             .expect("configurator output is valid");
@@ -228,6 +251,10 @@ mod tests {
     }
 
     fn monitor(every: u64) -> AdaptiveMonitor {
+        monitor_with_gate(every, HysteresisConfig { min_dwell: 0.0, deadband: 0.0 })
+    }
+
+    fn monitor_with_gate(every: u64, hysteresis: HysteresisConfig) -> AdaptiveMonitor {
         AdaptiveMonitor::new(
             reqs(),
             NfdUParams { eta: 1.0, alpha: 3.0 },
@@ -236,6 +263,7 @@ mod tests {
                 long_window: 64,
                 reconfigure_every: every,
                 nfd_e_window: 8,
+                hysteresis,
             },
         )
         .unwrap()
@@ -330,6 +358,40 @@ mod tests {
             noisy.eta,
             clean.eta
         );
+    }
+
+    #[test]
+    fn dwell_holds_back_a_second_reconfiguration() {
+        let mut m = monitor_with_gate(8, HysteresisConfig { min_dwell: 1e6, deadband: 0.0 });
+        let mut at = feed(&mut m, 1, 64, 0.05);
+        assert!(m.pending_recommendation().is_some());
+        // First material change passes (gate never fired before)…
+        let first = m.apply_recommendation(at as f64).expect("first change applies");
+        // …then regime-shift hard so a materially different recommendation
+        // appears, and verify the dwell blocks it while keeping it pending.
+        for i in 0..64u64 {
+            let s = at + i;
+            let jitter = if i % 2 == 0 { 1.5 } else { 0.02 };
+            m.on_heartbeat(s as f64 + jitter, Heartbeat::new(s, s as f64));
+        }
+        at += 64;
+        if m.pending_recommendation().is_some() {
+            assert!(m.apply_recommendation(at as f64).is_none(), "dwell must block");
+            assert!(m.pending_recommendation().is_some(), "blocked change stays pending");
+            assert_eq!(m.current_params(), first, "parameters unchanged while dwelling");
+        }
+    }
+
+    #[test]
+    fn deadband_discards_immaterial_recommendations() {
+        // A deadband wider than any possible change: nothing ever applies,
+        // and the pending slot is cleared rather than left to retry.
+        let mut m = monitor_with_gate(8, HysteresisConfig { min_dwell: 0.0, deadband: 1e9 });
+        let at = feed(&mut m, 1, 64, 0.05);
+        assert!(m.pending_recommendation().is_some());
+        assert!(m.apply_recommendation(at as f64).is_none());
+        assert!(m.pending_recommendation().is_none(), "immaterial change is dropped");
+        assert_eq!(m.current_params(), NfdUParams { eta: 1.0, alpha: 3.0 });
     }
 
     #[test]

@@ -274,6 +274,47 @@ pub fn configure_nfd_u(
     }
 }
 
+/// Best-effort NFD-U / NFD-E parameters for when the requirements are
+/// **infeasible** (Theorem 12 says no detector achieves them, or the
+/// feasible-`η` search failed): the largest `η` that still honors the
+/// `T_D^u` detection budget and — when one exists — the Theorem 11
+/// mistake-duration bound, with the rest of the budget as slack `α`.
+///
+/// The returned parameters deliberately drop the mistake-*recurrence*
+/// guarantee (`T_MR^L` is what made the requirements unachievable); they
+/// keep `η + α = T_D^u` so detection time stays within budget, and keep
+/// `η ≤ γ'·T_M^U` whenever `γ' > 0` so mistakes stay short. When even
+/// the duration bound is vacuous (`γ' = 0`, e.g. `p_L = 1`), the budget
+/// is split evenly — the least-bad detector under hopeless conditions.
+/// This is the graceful-degradation fallback of the cluster control
+/// plane: a peer running these parameters is *degraded*, not dead.
+///
+/// # Errors
+///
+/// Returns [`ConfigError::InvalidInput`] for out-of-domain inputs (same
+/// domain as [`configure_nfd_u`]).
+pub fn configure_nfd_u_best_effort(
+    req: &QosRequirements,
+    p_l: f64,
+    delay_variance: f64,
+) -> Result<NfdUParams, ConfigError> {
+    require((0.0..=1.0).contains(&p_l), "p_l", "in [0, 1]", p_l)?;
+    require(
+        delay_variance >= 0.0 && delay_variance.is_finite(),
+        "delay_variance",
+        ">= 0 and finite",
+        delay_variance,
+    )?;
+    let b = req.detection_time_upper();
+    let gamma_p = (1.0 - p_l) * b * b / (delay_variance + b * b);
+    let eta_max = (gamma_p * req.mistake_duration_upper()).min(b);
+    // η = η_max where that leaves positive slack; otherwise (η_max = 0:
+    // nothing bounds mistake duration, or η_max = B: the bound is slack)
+    // split the budget so both η and α stay positive.
+    let eta = if eta_max > 0.0 && eta_max < b { eta_max } else { 0.5 * b };
+    Ok(NfdUParams { eta, alpha: b - eta })
+}
+
 /// Shared §5/§6 numeric core. `slack_budget` is `T_D^U − E(D)` (§5) or
 /// `T_D^u` (§6); returns the chosen `η ≤ η_max`, or `None` if
 /// unachievable.
@@ -573,6 +614,48 @@ mod tests {
         let a = NfdSAnalysis::new(params.eta, params.delta, 0.2, &delay).unwrap();
         assert!(a.mean_recurrence() >= 1e9);
         assert!(a.mean_duration() <= 0.5 + 1e-9);
+    }
+
+    #[test]
+    fn best_effort_honors_detection_budget() {
+        // Infeasible: total loss makes any QoS unachievable (Theorem 12),
+        // yet the fallback still yields usable positive parameters that
+        // consume exactly the T_D^u budget.
+        let req = month_req();
+        assert!(configure_nfd_u(&req, 1.0, 0.02).unwrap().is_none());
+        let p = configure_nfd_u_best_effort(&req, 1.0, 0.02).unwrap();
+        assert!(p.eta > 0.0 && p.alpha > 0.0);
+        assert!((p.eta + p.alpha - req.detection_time_upper()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn best_effort_keeps_duration_bound_when_possible() {
+        // Feasibility fails on the recurrence target alone: the fallback
+        // must still respect η ≤ γ'·T_M^U (Theorem 11 duration bound).
+        let req = QosRequirements::new(0.5, 1e30, 0.01).unwrap();
+        let (p_l, v) = (0.3, 5.0);
+        let p = configure_nfd_u_best_effort(&req, p_l, v).unwrap();
+        let b = req.detection_time_upper();
+        let gamma_p = (1.0 - p_l) * b * b / (v + b * b);
+        assert!(p.eta <= gamma_p * req.mistake_duration_upper() + 1e-12);
+        assert!((p.eta + p.alpha - b).abs() < 1e-9);
+        assert!(p.alpha > 0.0);
+    }
+
+    #[test]
+    fn best_effort_matches_feasible_step1_when_bound_is_interior() {
+        // When η_max ∈ (0, B) the fallback is exactly the Step-1 cap.
+        let req = QosRequirements::new(30.0, 2_592_000.0, 0.5).unwrap();
+        let p = configure_nfd_u_best_effort(&req, 0.01, 0.02).unwrap();
+        let b = 30.0;
+        let gamma_p = (1.0 - 0.01) * b * b / (0.02 + b * b);
+        assert!((p.eta - gamma_p * 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn best_effort_rejects_invalid_inputs() {
+        assert!(configure_nfd_u_best_effort(&month_req(), -0.1, 0.02).is_err());
+        assert!(configure_nfd_u_best_effort(&month_req(), 0.5, f64::NAN).is_err());
     }
 
     #[test]

@@ -107,6 +107,42 @@ impl NfdE {
         Ok(fd)
     }
 
+    /// Changes the slack `α` in place at time `now` — the §8.1 adaptive
+    /// transition point. The estimation window, sequence high-water mark
+    /// and freshness machinery all carry over warm: the pending deadline
+    /// is recomputed as `EA_{ℓ+1} + α'`, i.e. it shifts by exactly Δα.
+    /// Any transition this causes *at `now`* is genuine under the new
+    /// parameters: a tighter slack can expire a previously fresh
+    /// deadline, and a looser one can move an expired freshness point
+    /// back into the future.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParamError`] unless `alpha > 0` and finite; the
+    /// detector is unchanged on error.
+    pub fn retune_alpha(&mut self, alpha: f64, now: f64) -> Result<(), ParamError> {
+        require(
+            alpha > 0.0 && alpha.is_finite(),
+            "alpha",
+            "> 0 and finite",
+            alpha,
+        )?;
+        self.alpha = alpha;
+        if let Some(l) = self.max_seq {
+            if let Some(ea) = self.estimator.estimate(l + 1) {
+                let tau = ea + alpha;
+                if now < tau {
+                    self.tau_next = Some(tau);
+                    self.output = FdOutput::Trust;
+                } else {
+                    self.tau_next = None;
+                    self.output = FdOutput::Suspect;
+                }
+            }
+        }
+        Ok(())
+    }
+
     /// The estimation window's normalized samples, oldest first — the
     /// serializable state [`restore`](Self::restore) consumes.
     pub fn estimator_samples(&self) -> Vec<f64> {
@@ -317,6 +353,41 @@ mod tests {
         assert_eq!(fd.estimator_len(), 2);
         // Window mean over the two newest samples: (0.4 + 0.5)/2 = 0.45.
         assert!((fd.estimated_arrival(6).unwrap() - 6.45).abs() < 1e-12);
+    }
+
+    #[test]
+    fn retune_alpha_shifts_deadline_without_losing_state() {
+        let mut fd = NfdE::new(1.0, 1.0, 4).unwrap();
+        for i in 1..=3u64 {
+            fd.on_heartbeat(i as f64 + 0.4, Heartbeat::new(i, i as f64));
+        }
+        // τ₄ = 4.4 + 1.0 = 5.4 before; retune at 3.4 to α = 2.5.
+        assert_eq!(fd.next_deadline(), Some(5.4));
+        fd.retune_alpha(2.5, 3.4).unwrap();
+        assert_eq!(fd.output(), FdOutput::Trust, "fresh peer stays trusted");
+        assert!((fd.next_deadline().unwrap() - 6.9).abs() < 1e-9, "deadline shifts by Δα");
+        assert_eq!(fd.estimator_len(), 3, "window carries over");
+        assert_eq!(fd.max_seq_received(), Some(3));
+
+        // A tighter slack that expires the deadline is a genuine
+        // suspicion; a looser one re-arms and re-trusts.
+        fd.retune_alpha(0.01, 4.5).unwrap();
+        assert_eq!(fd.output(), FdOutput::Suspect);
+        assert!(fd.next_deadline().is_none());
+        fd.retune_alpha(1.5, 4.5).unwrap();
+        assert_eq!(fd.output(), FdOutput::Trust);
+        assert_eq!(fd.next_deadline(), Some(5.9));
+
+        // Invalid α leaves the detector untouched.
+        assert!(fd.retune_alpha(0.0, 4.5).is_err());
+        assert_eq!(fd.alpha(), 1.5);
+
+        // Before any heartbeat: α changes, output stays fail-safe.
+        let mut cold = NfdE::new(1.0, 1.0, 4).unwrap();
+        cold.retune_alpha(3.0, 0.0).unwrap();
+        assert_eq!(cold.output(), FdOutput::Suspect);
+        assert!(cold.next_deadline().is_none());
+        assert_eq!(cold.alpha(), 3.0);
     }
 
     #[test]

@@ -68,8 +68,10 @@ pub mod config;
 pub mod detector;
 pub mod detectors;
 pub mod estimate;
+pub mod hysteresis;
 pub mod ping;
 
 pub use analysis::NfdSAnalysis;
 pub use config::{NfdSParams, NfdUParams};
 pub use detector::{FailureDetector, Heartbeat};
+pub use hysteresis::{HysteresisConfig, HysteresisGate};

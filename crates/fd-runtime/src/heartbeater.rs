@@ -18,7 +18,7 @@
 use crate::clock::Clock;
 use crate::error::RuntimeError;
 use crate::transport::Sender;
-use fd_core::Heartbeat;
+use fd_core::{Heartbeat, HysteresisConfig, HysteresisGate};
 use parking_lot::{Condvar, Mutex};
 use std::io;
 use std::path::{Path, PathBuf};
@@ -140,6 +140,9 @@ pub struct Heartbeater {
     /// Durable incarnation record, if this heartbeater persists one;
     /// bumped on every recovery.
     store: Option<IncarnationStore>,
+    /// Rate-limits control-plane `η` recommendations (not `set_eta`,
+    /// which is the operator's direct knob and always obeyed).
+    eta_gate: Mutex<HysteresisGate>,
 }
 
 impl Heartbeater {
@@ -217,6 +220,7 @@ impl Heartbeater {
             clock,
             handle: Mutex::new(Some(handle)),
             store,
+            eta_gate: Mutex::new(HysteresisGate::new(HysteresisConfig::default())),
         })
     }
 
@@ -243,6 +247,36 @@ impl Heartbeater {
     /// The current `η`.
     pub fn eta(&self) -> f64 {
         self.shared.control.lock().eta
+    }
+
+    /// Replaces the hysteresis policy applied to
+    /// [`recommend_eta`](Self::recommend_eta). The new gate starts with
+    /// no admitted-change history, so the next material recommendation
+    /// passes regardless of dwell.
+    pub fn set_recommendation_hysteresis(&self, cfg: HysteresisConfig) {
+        *self.eta_gate.lock() = HysteresisGate::new(cfg);
+    }
+
+    /// Applies a control-plane `η` recommendation, subject to
+    /// hysteresis: changes within the deadband of the current `η`, or
+    /// arriving before the minimum dwell since the last *applied*
+    /// recommendation, are dropped. Unlike [`set_eta`](Self::set_eta),
+    /// invalid values (non-finite or non-positive — these arrive off the
+    /// wire, not from an operator) are rejected rather than panicking.
+    /// Returns whether the recommendation was applied.
+    pub fn recommend_eta(&self, eta: f64) -> bool {
+        if !(eta > 0.0 && eta.is_finite()) {
+            return false;
+        }
+        // Hold the gate across read-compare-apply so two racing
+        // recommendations cannot both pass the deadband check.
+        let mut gate = self.eta_gate.lock();
+        let rel = HysteresisGate::rel_change(self.eta(), eta);
+        if !gate.admit(self.clock.now(), rel) {
+            return false;
+        }
+        self.set_eta(eta);
+        true
     }
 
     /// Crashes the process: heartbeats stop (crash-stop, until an
@@ -462,6 +496,32 @@ mod tests {
         let hb3 = rx.recv_timeout(Duration::from_secs(2)).unwrap();
         assert!(hb3.seq > hb2.seq);
         assert!(t0.elapsed() < Duration::from_millis(300));
+        hb.crash();
+    }
+
+    #[test]
+    fn recommend_eta_applies_hysteresis() {
+        let (tx, _rx) = channel();
+        let hb = Heartbeater::spawn(0.5, tx, WallClock::new()).unwrap();
+        // Garbage off the wire is dropped, not a panic.
+        assert!(!hb.recommend_eta(0.0));
+        assert!(!hb.recommend_eta(-1.0));
+        assert!(!hb.recommend_eta(f64::NAN));
+        assert!(!hb.recommend_eta(f64::INFINITY));
+        assert_eq!(hb.eta(), 0.5);
+        // Within the 5% deadband: ignored.
+        assert!(!hb.recommend_eta(0.51));
+        assert_eq!(hb.eta(), 0.5);
+        // First material recommendation passes (no dwell history yet).
+        assert!(hb.recommend_eta(0.25));
+        assert_eq!(hb.eta(), 0.25);
+        // A second material change inside the default 5 s dwell is held.
+        assert!(!hb.recommend_eta(0.1));
+        assert_eq!(hb.eta(), 0.25);
+        // Resetting the policy clears the dwell history.
+        hb.set_recommendation_hysteresis(HysteresisConfig { min_dwell: 0.0, deadband: 0.05 });
+        assert!(hb.recommend_eta(0.1));
+        assert_eq!(hb.eta(), 0.1);
         hb.crash();
     }
 

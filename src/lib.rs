@@ -55,7 +55,9 @@ pub mod prelude {
         NfdUParams,
     };
     pub use fd_core::detectors::{NfdE, NfdS, NfdU, PhiAccrual, SimpleFd};
-    pub use fd_core::{FailureDetector, Heartbeat, NfdSAnalysis};
+    pub use fd_core::{
+        FailureDetector, Heartbeat, HysteresisConfig, HysteresisGate, NfdSAnalysis,
+    };
     pub use fd_metrics::{
         AccuracyAnalysis, Conformance, ConformanceReport, FdOutput, ObservedQos, OnlineQos,
         QosBundle, QosRequirements, TransitionTrace,
@@ -66,8 +68,9 @@ pub mod prelude {
         StopCondition,
     };
     pub use fd_cluster::{
-        ClusterConfig, ClusterMonitor, ClusterSnapshot, ClusterStats, MembershipChange,
-        MembershipEvent, MetricsExporter, PeerConfig, PeerId, PeerQos, PeerStatus,
+        ClusterConfig, ClusterMonitor, ClusterSnapshot, ClusterStats, ControlConfig,
+        ControlListener, ControlSender, MembershipChange, MembershipEvent, MetricsExporter,
+        PeerConfig, PeerId, PeerQos, PeerStatus, QosState,
     };
     pub use fd_runtime::{Health, IncarnationStore};
     pub use fd_stats::dist::{Constant, Exponential, Gamma, LogNormal, Mixture, Pareto, Uniform};
