@@ -27,4 +27,10 @@ cargo run --release -p fd-bench --bin exp_qos_live -- --smoke
 echo "==> adaptive control plane smoke"
 cargo run --release -p fd-bench --bin exp_adaptive_cluster -- --smoke
 
+echo "==> statistical model-checking smoke (exits nonzero on any Reject)"
+cargo run --release -p fd-bench --bin exp_smc -- --smoke
+
+echo "==> perf baselines"
+cargo run --release -p fd-bench --bin bench_baseline -- --smoke
+
 echo "CI green."

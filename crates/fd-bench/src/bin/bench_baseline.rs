@@ -1,0 +1,136 @@
+//! Perf baseline: timed micro-benchmarks of the two hot paths the
+//! observability layer leans on — [`OnlineQos::observe`] (per-transition
+//! QoS accounting) and wire batch decoding ([`decode_frame`]) — emitted
+//! as machine-readable JSON (`results/BENCH_qos.json`,
+//! `results/BENCH_wire.json`) so CI archives a comparable number per
+//! commit.
+//!
+//! Methodology: each measurement runs the workload in batches against a
+//! monotonic clock until a time budget is spent, then reports the
+//! best-of-batches per-op time (least scheduler noise) alongside the
+//! mean. `--smoke` shrinks the budget for CI.
+
+use fd_cluster::wire::{decode_frame, encode_batch};
+use fd_cluster::HeartbeatEntry;
+use fd_metrics::{FdOutput, OnlineQos};
+use std::io::Write as _;
+use std::time::Instant;
+
+struct BenchResult {
+    name: &'static str,
+    ops_per_batch: u64,
+    batches: u64,
+    best_ns_per_op: f64,
+    mean_ns_per_op: f64,
+}
+
+impl BenchResult {
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"name\":\"{}\",\"ops_per_batch\":{},\"batches\":{},\
+             \"best_ns_per_op\":{:.2},\"mean_ns_per_op\":{:.2}}}",
+            self.name, self.ops_per_batch, self.batches, self.best_ns_per_op, self.mean_ns_per_op
+        )
+    }
+}
+
+/// Runs `work` (a whole batch of `ops` operations) repeatedly for
+/// roughly `budget_ms`, returning best and mean per-op nanoseconds.
+fn bench<F: FnMut()>(
+    name: &'static str,
+    ops: u64,
+    budget_ms: u64,
+    mut work: F,
+) -> BenchResult {
+    // Warm-up batch.
+    work();
+    let budget = std::time::Duration::from_millis(budget_ms);
+    let t0 = Instant::now();
+    let mut best = f64::INFINITY;
+    let mut total_ns = 0.0;
+    let mut batches = 0u64;
+    while t0.elapsed() < budget {
+        let t = Instant::now();
+        work();
+        let ns = t.elapsed().as_nanos() as f64;
+        best = best.min(ns / ops as f64);
+        total_ns += ns;
+        batches += 1;
+    }
+    BenchResult {
+        name,
+        ops_per_batch: ops,
+        batches,
+        best_ns_per_op: best,
+        mean_ns_per_op: total_ns / (batches as f64 * ops as f64),
+    }
+}
+
+fn bench_online_qos(budget_ms: u64) -> BenchResult {
+    const OPS: u64 = 100_000;
+    bench("online_qos_observe", OPS, budget_ms, || {
+        let mut q = OnlineQos::new(0.0, FdOutput::Trust);
+        let mut t = 0.0;
+        for i in 0..OPS {
+            t += 0.5;
+            // Alternate outputs so every observation exercises the
+            // transition path (the expensive one), not the no-op path.
+            let out = if i % 2 == 0 {
+                FdOutput::Suspect
+            } else {
+                FdOutput::Trust
+            };
+            q.observe(t, out);
+        }
+        assert!(q.observed(t).s_transitions > 0);
+    })
+}
+
+fn bench_wire_decode(budget_ms: u64) -> BenchResult {
+    const BATCH: usize = 45; // entries per frame (the wire MAX_BATCH)
+    const FRAMES: u64 = 2_000;
+    let entries: Vec<HeartbeatEntry> = (0..BATCH as u64)
+        .map(|i| HeartbeatEntry {
+            peer: i + 1,
+            incarnation: 1,
+            seq: 1000 + i,
+            send_time: i as f64 * 0.02,
+        })
+        .collect();
+    let frame = encode_batch(&entries);
+    bench("wire_decode_frame", FRAMES * BATCH as u64, budget_ms, || {
+        for _ in 0..FRAMES {
+            let decoded = decode_frame(&frame).expect("valid frame");
+            std::hint::black_box(&decoded);
+        }
+    })
+}
+
+fn write_json(path: &str, result: &BenchResult) -> std::io::Result<()> {
+    std::fs::create_dir_all("results")?;
+    let mut f = std::fs::File::create(path)?;
+    writeln!(f, "{}", result.to_json())
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let budget_ms = if smoke { 200 } else { 1500 };
+
+    println!("perf baseline (budget {budget_ms} ms per bench)\n");
+
+    let qos = bench_online_qos(budget_ms);
+    println!(
+        "{:22} best {:8.2} ns/op, mean {:8.2} ns/op over {} batches",
+        qos.name, qos.best_ns_per_op, qos.mean_ns_per_op, qos.batches
+    );
+    write_json("results/BENCH_qos.json", &qos).expect("write BENCH_qos.json");
+
+    let wire = bench_wire_decode(budget_ms);
+    println!(
+        "{:22} best {:8.2} ns/op, mean {:8.2} ns/op over {} batches",
+        wire.name, wire.best_ns_per_op, wire.mean_ns_per_op, wire.batches
+    );
+    write_json("results/BENCH_wire.json", &wire).expect("write BENCH_wire.json");
+
+    println!("\nbaselines written to results/BENCH_qos.json, results/BENCH_wire.json");
+}

@@ -29,6 +29,8 @@ const EXPERIMENTS: &[(&str, &str)] = &[
     ("exp_phi", "E16 φ-accrual descendant comparison (extension)"),
     ("exp_qos_live", "E18 live QoS scrape over a 100-peer cluster"),
     ("exp_adaptive_cluster", "E19 adaptive control plane: regime shift, degrade/promote"),
+    ("exp_smc", "E20 statistical model checking: chaos scenarios + SPRT"),
+    ("bench_baseline", "perf baseline: OnlineQos::observe + wire decode"),
 ];
 
 fn main() {

@@ -64,6 +64,7 @@
 #![warn(missing_docs)]
 
 mod backoff;
+pub mod events;
 pub mod exporter;
 pub mod monitor;
 mod registry;
@@ -79,6 +80,7 @@ pub use monitor::{
     ClusterConfig, ClusterError, ClusterMonitor, ClusterSnapshot, ClusterStats, ControlConfig,
     MembershipChange, MembershipEvent, PeerConfig, PeerQos, PeerStatus,
 };
+pub use events::EventLog;
 pub use exporter::{render_json, render_prometheus, MetricsExporter};
 pub use net::{
     ClusterReceiver, ClusterReceiverConfig, ClusterSender, ClusterSenderConfig, ControlListener,

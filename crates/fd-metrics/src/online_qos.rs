@@ -24,6 +24,7 @@
 //! configured for?".
 
 use crate::qos::{QosBundle, QosRequirements};
+use crate::trace::TransitionTrace;
 use crate::FdOutput;
 use fd_stats::OnlineStats;
 use std::fmt;
@@ -91,6 +92,41 @@ impl OnlineQos {
             duration: OnlineStats::new(),
             good: OnlineStats::new(),
         }
+    }
+
+    /// Builds a tracker by replaying a finished trace: start at the
+    /// trace's origin with its initial output, observe every transition,
+    /// and account time through the trace's end.
+    ///
+    /// By the completeness convention shared with the batch analysis,
+    /// the resulting [`observed`](Self::observed) metrics agree with
+    /// [`AccuracyAnalysis`](crate::AccuracyAnalysis) over the same trace
+    /// — the identity the SMC harness's Theorem 1 oracle checks run by
+    /// run.
+    pub fn of_trace(trace: &TransitionTrace) -> Self {
+        let mut q = Self::new(trace.start(), trace.initial_output());
+        q.ingest(trace);
+        q
+    }
+
+    /// Replays a trace's transitions into this tracker and advances it
+    /// to the trace's end.
+    ///
+    /// The trace must not start before the tracker's latest time;
+    /// earlier instants would be clamped by [`observe`](Self::observe)
+    /// and silently distort the interval metrics, so this panics
+    /// instead.
+    pub fn ingest(&mut self, trace: &TransitionTrace) {
+        assert!(
+            trace.start() >= self.at,
+            "trace starts at {} before tracker time {}",
+            trace.start(),
+            self.at
+        );
+        for t in trace.transitions() {
+            self.observe(t.at, t.to);
+        }
+        self.advance(trace.end());
     }
 
     /// The output as of the last observation.
@@ -655,6 +691,44 @@ mod tests {
         assert_eq!(obs.s_transitions, 1);
         assert!((obs.suspect_time - 1.0).abs() < 1e-12);
         assert!((obs.trust_time - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn of_trace_reproduces_batch_analysis() {
+        // An irregular trace starting Suspect (the NFD shape) with a
+        // trailing incomplete interval; online-over-trace must agree
+        // with the batch analyzer on every shared metric.
+        let mut rec = crate::TraceRecorder::new(0.0, FdOutput::Suspect);
+        for &(at, out) in &[
+            (1.2, FdOutput::Trust),
+            (7.5, FdOutput::Suspect),
+            (7.9, FdOutput::Trust),
+            (15.0, FdOutput::Suspect),
+            (16.5, FdOutput::Trust),
+            (30.0, FdOutput::Suspect),
+        ] {
+            rec.record(at, out);
+        }
+        let trace = rec.finish(33.0);
+        let batch = crate::AccuracyAnalysis::of_trace(&trace);
+        let obs = OnlineQos::of_trace(&trace).observed(trace.end());
+
+        assert!((obs.query_accuracy() - batch.query_accuracy_probability()).abs() < 1e-12);
+        assert!((obs.mistake_rate() - batch.mistake_rate()).abs() < 1e-12);
+        assert_eq!(obs.mean_mistake_recurrence(), batch.mean_mistake_recurrence());
+        assert_eq!(obs.mean_mistake_duration(), batch.mean_mistake_duration());
+        assert_eq!(obs.mean_good_period(), batch.mean_good_period());
+        assert_eq!(obs.s_transitions as usize, batch.mistake_count());
+    }
+
+    #[test]
+    #[should_panic(expected = "before tracker time")]
+    fn ingest_rejects_traces_starting_in_the_past() {
+        let mut rec = crate::TraceRecorder::new(0.0, FdOutput::Trust);
+        rec.record(1.0, FdOutput::Suspect);
+        let trace = rec.finish(2.0);
+        let mut q = OnlineQos::new(5.0, FdOutput::Trust);
+        q.ingest(&trace);
     }
 
     #[test]

@@ -310,18 +310,47 @@ impl FaultPlan {
     }
 
     /// Index of the segment governing time `t`.
+    ///
+    /// Time semantics, pinned by unit tests (the SMC harness relies on
+    /// them for resumable, byte-identical scenario replay):
+    ///
+    /// * a segment's fault is in force **at** its own start (`t == start`
+    ///   selects the new segment, closed-open `[start, next)` windows);
+    /// * times before the first explicit segment (including `t < 0`,
+    ///   which no transport produces) fall into the implicit initial
+    ///   nominal segment;
+    /// * `NaN` is a caller bug and panics rather than silently selecting
+    ///   the first segment (which `partition_point` would otherwise do,
+    ///   because `s <= NaN` is false for every `s`).
     fn segment_index_at(&self, t: f64) -> usize {
+        assert!(!t.is_nan(), "fault-plan lookup time must not be NaN");
         // First segment starts at 0; partition_point ≥ 1 for t ≥ 0.
         self.segments.partition_point(|&(s, _)| s <= t).max(1) - 1
     }
 
-    /// The link fault in force at time `t`.
+    /// The link fault in force at time `t`. A segment's fault applies
+    /// from exactly `t == start` (inclusive) until the next segment's
+    /// start (exclusive).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is NaN.
     pub fn link_fault_at(&self, t: f64) -> LinkFault {
         self.segments[self.segment_index_at(t)].1
     }
 
     /// Whether the monitored process is (scripted to be) crashed at `t`.
+    ///
+    /// Events scheduled at exactly `t` have already taken effect (a
+    /// crash at `t` means the process is down *at* `t`); events sharing
+    /// one timestamp apply in insertion order, so a crash and recovery
+    /// at the same instant leave the process up.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is NaN.
     pub fn is_crashed_at(&self, t: f64) -> bool {
+        assert!(!t.is_nan(), "fault-plan lookup time must not be NaN");
         let mut crashed = false;
         for ev in &self.events {
             if ev.at() > t {
@@ -334,6 +363,55 @@ impl FaultPlan {
             }
         }
         crashed
+    }
+
+    /// The time of the final crash that is never followed by a
+    /// recovery — the plan's *permanent* crash, if any. Detection-time
+    /// oracles measure `T_D` from this instant.
+    pub fn final_crash(&self) -> Option<f64> {
+        let mut down_since = None;
+        for ev in &self.events {
+            match ev {
+                ProcessEvent::Crash { at } => {
+                    if down_since.is_none() {
+                        down_since = Some(*at);
+                    }
+                }
+                ProcessEvent::Recover { .. } => down_since = None,
+                ProcessEvent::ClockJump { .. } => {}
+            }
+        }
+        down_since
+    }
+
+    /// Accumulated forward monitor-clock skew at time `t`: the sum of
+    /// all [`ProcessEvent::ClockJump`] offsets scheduled at or before
+    /// `t`. Monitor-clock readings relate to plan time as
+    /// `monitor = t + clock_skew_at(t)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is NaN.
+    pub fn clock_skew_at(&self, t: f64) -> f64 {
+        assert!(!t.is_nan(), "fault-plan lookup time must not be NaN");
+        self.events
+            .iter()
+            .take_while(|ev| ev.at() <= t)
+            .map(|ev| match ev {
+                ProcessEvent::ClockJump { offset, .. } => *offset,
+                _ => 0.0,
+            })
+            .sum()
+    }
+
+    /// The latest scheduled time in the plan (last segment start or last
+    /// process event, whichever is later); `0.0` for an empty plan.
+    /// Scenario generators use it to keep sampled timelines inside a
+    /// run's horizon.
+    pub fn last_event_time(&self) -> f64 {
+        let seg = self.segments.last().map_or(0.0, |&(s, _)| s);
+        let ev = self.events.last().map_or(0.0, |e| e.at());
+        seg.max(ev)
     }
 
     /// Builds the stateful link-fault evaluator for this plan.
@@ -369,6 +447,7 @@ impl FaultInjector {
         rng: &mut dyn RngCore,
         out: &mut Vec<f64>,
     ) {
+        assert!(!send_time.is_nan(), "fault injection time must not be NaN");
         let idx = self
             .segments
             .partition_point(|&(s, _)| s <= send_time)
@@ -749,5 +828,92 @@ mod tests {
     #[should_panic(expected = "non-decreasing")]
     fn rejects_out_of_order_events() {
         FaultPlan::new(0).crash(10.0).recover(5.0);
+    }
+
+    #[test]
+    fn boundary_time_selects_the_new_segment() {
+        // Pinned semantics: closed-open [start, next) windows — the
+        // fault at `start` is already the new one, and the instant just
+        // before (next representable f64 down) is still the old one.
+        let plan = FaultPlan::new(0)
+            .link_fault(10.0, LinkFault::Partition)
+            .link_fault(20.0, LinkFault::Nominal);
+        assert_eq!(plan.link_fault_at(10.0), LinkFault::Partition);
+        assert_eq!(plan.link_fault_at(f64::from_bits(10.0f64.to_bits() - 1)), LinkFault::Nominal);
+        assert_eq!(plan.link_fault_at(20.0), LinkFault::Nominal);
+        assert_eq!(plan.link_fault_at(f64::from_bits(20.0f64.to_bits() - 1)), LinkFault::Partition);
+        // Times before time zero (no transport produces them, but the
+        // lookup is total) fall into the implicit initial segment.
+        assert_eq!(plan.link_fault_at(-5.0), LinkFault::Nominal);
+    }
+
+    #[test]
+    #[should_panic(expected = "must not be NaN")]
+    fn link_fault_at_rejects_nan() {
+        FaultPlan::new(0).link_fault_at(f64::NAN);
+    }
+
+    #[test]
+    #[should_panic(expected = "must not be NaN")]
+    fn is_crashed_at_rejects_nan() {
+        FaultPlan::new(0).crash(1.0).is_crashed_at(f64::NAN);
+    }
+
+    #[test]
+    #[should_panic(expected = "must not be NaN")]
+    fn injector_rejects_nan_send_time() {
+        let plan = FaultPlan::new(0);
+        let mut inj = plan.injector();
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut out = Vec::new();
+        inj.apply(f64::NAN, Some(0.1), &mut rng, &mut out);
+    }
+
+    #[test]
+    fn crash_boundary_and_same_instant_pairs() {
+        // Pinned semantics: an event at exactly `t` has taken effect at
+        // `t`; same-instant events apply in insertion order.
+        let plan = FaultPlan::new(0).crash(10.0).recover(10.0);
+        assert!(!plan.is_crashed_at(10.0), "crash+recover at one instant ⇒ up");
+        let plan = FaultPlan::new(0).crash(10.0).recover(20.0);
+        assert!(plan.is_crashed_at(10.0), "down at exactly the crash instant");
+        assert!(!plan.is_crashed_at(20.0), "up at exactly the recovery instant");
+    }
+
+    #[test]
+    fn final_crash_ignores_recovered_lives() {
+        assert_eq!(FaultPlan::new(0).final_crash(), None);
+        assert_eq!(FaultPlan::new(0).crash(5.0).final_crash(), Some(5.0));
+        assert_eq!(FaultPlan::new(0).crash(5.0).recover(8.0).final_crash(), None);
+        // A storm followed by a permanent crash: the permanent one wins.
+        let plan = FaultPlan::new(0).restart_storm(1.0, 2, 0.5, 0.5).crash(30.0);
+        assert_eq!(plan.final_crash(), Some(30.0));
+        // Consecutive crashes without recovery: the *first* of the final
+        // down window starts the permanent outage.
+        let plan = FaultPlan::new(0).crash(3.0).crash(4.0);
+        assert_eq!(plan.final_crash(), Some(3.0));
+    }
+
+    #[test]
+    fn clock_skew_accumulates_forward_jumps() {
+        let plan = FaultPlan::new(0)
+            .clock_jump(10.0, 0.5)
+            .crash(15.0)
+            .recover(16.0)
+            .clock_jump(20.0, 1.5);
+        assert_eq!(plan.clock_skew_at(0.0), 0.0);
+        assert_eq!(plan.clock_skew_at(10.0), 0.5, "jump applies at its own instant");
+        assert_eq!(plan.clock_skew_at(19.99), 0.5);
+        assert_eq!(plan.clock_skew_at(20.0), 2.0);
+        assert_eq!(plan.clock_skew_at(1e9), 2.0);
+    }
+
+    #[test]
+    fn last_event_time_covers_segments_and_events() {
+        assert_eq!(FaultPlan::new(0).last_event_time(), 0.0);
+        let plan = FaultPlan::new(0).link_fault(12.0, LinkFault::Partition).crash(9.0);
+        assert_eq!(plan.last_event_time(), 12.0);
+        let plan = FaultPlan::new(0).link_fault(12.0, LinkFault::Partition).crash(40.0);
+        assert_eq!(plan.last_event_time(), 40.0);
     }
 }

@@ -64,4 +64,6 @@ pub use fault::{FaultInjector, FaultPlan, FaultyLink, LinkFault, ProcessEvent};
 pub use link::{Link, LinkError};
 pub use pattern::DelayPattern;
 pub use replicate::{measure_accuracy_replicated, ReplicatedAccuracy};
-pub use run::{run, run_with_model, run_with_pattern, RunOptions, RunOutcome, StopCondition};
+pub use run::{
+    run, run_with_model, run_with_pattern, run_with_plan, RunOptions, RunOutcome, StopCondition,
+};

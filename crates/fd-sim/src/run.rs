@@ -12,6 +12,7 @@
 //! constant memory.
 
 use crate::channel::ChannelModel;
+use crate::fault::{FaultPlan, FaultyLink, ProcessEvent};
 use crate::{DelayPattern, Link};
 use fd_core::{FailureDetector, Heartbeat};
 use fd_metrics::{FdOutput, TraceRecorder, TransitionTrace};
@@ -154,7 +155,7 @@ pub fn run(
     link: &Link,
     rng: &mut dyn RngCore,
 ) -> RunOutcome {
-    drive(fd, opts, Fate::Link(link, rng))
+    drive(fd, opts, Fate::Link(link, rng), None)
 }
 
 /// Runs `fd` against a frozen [`DelayPattern`] (identical-realization
@@ -169,7 +170,7 @@ pub fn run_with_pattern(
     opts: &RunOptions,
     pattern: &DelayPattern,
 ) -> RunOutcome {
-    drive(fd, opts, Fate::Pattern(pattern))
+    drive(fd, opts, Fate::Pattern(pattern), None)
 }
 
 /// Runs `fd` against a stateful [`ChannelModel`] (burst loss, epoch
@@ -184,10 +185,50 @@ pub fn run_with_model(
     model: &mut dyn ChannelModel,
     rng: &mut dyn RngCore,
 ) -> RunOutcome {
-    drive(fd, opts, Fate::Model(model, rng))
+    drive(fd, opts, Fate::Model(model, rng), None)
 }
 
-fn drive(fd: &mut dyn FailureDetector, opts: &RunOptions, mut fate: Fate<'_>) -> RunOutcome {
+/// Runs `fd` against `link` with the *whole* of `plan` applied by the
+/// engine — link faults (via [`FaultyLink`]) **and** process events:
+///
+/// * **crash–recover windows**: heartbeats whose send instant `σᵢ` falls
+///   inside a scripted down window are never sent; the schedule (and
+///   sequence numbering) continues, so heartbeats resume with the next
+///   `σᵢ` after recovery, like a restarted process resuming its timeline
+///   (messages already in flight are unaffected, §3.1). A final crash
+///   with no later recovery silences heartbeats permanently — combined
+///   with `opts.crash_at`, whichever comes first wins.
+/// * **forward clock jumps**: at a [`ProcessEvent::ClockJump`] the
+///   monitor's clock (the detector's `now`, and the recorded trace's
+///   time base) jumps ahead by `offset`, firing any freshness deadlines
+///   the jump passes over — the premature-timeout hazard an NTP step
+///   induces. The returned trace is therefore in **monitor clock**;
+///   convert plan times with [`FaultPlan::clock_skew_at`]
+///   (`monitor = t + skew(t)`).
+///
+/// This is the SMC harness's run primitive: one sampled scenario =
+/// `(plan, link, opts)` driven through this function.
+///
+/// # Panics
+///
+/// Panics if `opts.eta ≤ 0`.
+pub fn run_with_plan(
+    fd: &mut dyn FailureDetector,
+    opts: &RunOptions,
+    link: Link,
+    plan: &FaultPlan,
+    rng: &mut dyn RngCore,
+) -> RunOutcome {
+    let mut model = FaultyLink::new(link, plan);
+    drive(fd, opts, Fate::Model(&mut model, rng), Some(plan))
+}
+
+fn drive(
+    fd: &mut dyn FailureDetector,
+    opts: &RunOptions,
+    mut fate: Fate<'_>,
+    plan: Option<&FaultPlan>,
+) -> RunOutcome {
     assert!(opts.eta > 0.0, "eta must be positive");
     let eta = opts.eta;
     let (horizon, target_s, max_hb) = match opts.stop {
@@ -197,6 +238,27 @@ fn drive(fd: &mut dyn FailureDetector, opts: &RunOptions, mut fate: Fate<'_>) ->
             max_heartbeats,
         } => (f64::INFINITY, count, max_heartbeats),
     };
+    // The permanent silence point: the engine-level crash, the plan's
+    // final unrecovered crash, or the earlier of the two.
+    let permanent_crash = match (opts.crash_at, plan.and_then(FaultPlan::final_crash)) {
+        (Some(a), Some(b)) => Some(a.min(b)),
+        (a, b) => a.or(b),
+    };
+    // Scheduled forward monitor-clock jumps, in plan (sim-time) order.
+    let jumps: Vec<(f64, f64)> = plan
+        .map(|p| {
+            p.events()
+                .iter()
+                .filter_map(|ev| match *ev {
+                    ProcessEvent::ClockJump { at, offset } => Some((at, offset)),
+                    _ => None,
+                })
+                .collect()
+        })
+        .unwrap_or_default();
+    let mut jump_idx = 0usize;
+    // Monitor clock = sim time + skew; skew only grows (forward jumps).
+    let mut skew: f64 = 0.0;
 
     let mut pending: BinaryHeap<Reverse<InFlight>> = BinaryHeap::new();
     let mut fates: Vec<f64> = Vec::with_capacity(2);
@@ -211,20 +273,60 @@ fn drive(fd: &mut dyn FailureDetector, opts: &RunOptions, mut fate: Fate<'_>) ->
     let mut last_output = fd.output();
 
     loop {
-        let t_deadline = fd.next_deadline().unwrap_or(f64::INFINITY);
+        // Deadlines live on the monitor clock; convert to sim time for
+        // event selection. When the deadline fires, the detector is
+        // advanced to `m_deadline` itself, not the round-tripped
+        // `t_deadline + skew`: with nonzero skew, `(τ − skew) + skew`
+        // can land one ulp below τ, in which case the freshness point
+        // never fires and the deadline never moves.
+        let m_deadline = fd.next_deadline().unwrap_or(f64::INFINITY);
+        let t_deadline = m_deadline - skew;
         let t_arrival = pending
             .peek()
             .map(|Reverse(m)| m.arrival)
             .unwrap_or(f64::INFINITY);
-        let t_send = {
+        let t_jump = jumps
+            .get(jump_idx)
+            .map(|&(at, _)| at)
+            .unwrap_or(f64::INFINITY);
+        let t_send = loop {
             let sigma = next_seq as f64 * eta;
-            let crashed = opts.crash_at.is_some_and(|c| sigma > c);
-            if crashed || sent >= max_hb {
-                f64::INFINITY
-            } else {
-                sigma
+            if permanent_crash.is_some_and(|c| sigma > c) || sent >= max_hb {
+                break f64::INFINITY;
             }
+            // A scripted (recoverable) down window: this heartbeat is
+            // never sent, but the schedule and numbering move on, so
+            // sending resumes at the first σᵢ after recovery. Down
+            // windows are finite (the permanent one was handled above),
+            // so this loop terminates.
+            if plan.is_some_and(|p| p.is_crashed_at(sigma)) {
+                next_seq += 1;
+                continue;
+            }
+            break sigma;
         };
+
+        // Clock jumps apply first at ties: a jump *at* t means the
+        // monitor clock has already stepped when anything else at t is
+        // observed.
+        if t_jump <= t_send && t_jump <= t_deadline && t_jump <= t_arrival && t_jump <= horizon {
+            let (at, offset) = jumps[jump_idx];
+            jump_idx += 1;
+            skew += offset;
+            // Fire every freshness deadline the jump stepped over.
+            fd.advance(at + skew);
+            now = at;
+            let out = fd.output();
+            rec.record(at + skew, out);
+            if out == FdOutput::Suspect && last_output == FdOutput::Trust {
+                s_transitions += 1;
+            }
+            last_output = out;
+            if s_transitions >= target_s {
+                break;
+            }
+            continue;
+        }
 
         // Generate sends first at ties: an arrival can never precede its
         // own send, so materializing sends up to the next event keeps the
@@ -257,23 +359,26 @@ fn drive(fd: &mut dyn FailureDetector, opts: &RunOptions, mut fate: Fate<'_>) ->
         // Quiescence: no future sends, nothing in flight, already
         // suspecting — the output is S forever, but detectors like NFD-S
         // schedule freshness points indefinitely. Stop here instead of
-        // grinding through empty deadlines.
+        // grinding through empty deadlines. (Remaining clock jumps can't
+        // change an already-suspect output either.)
         if t_send.is_infinite() && pending.is_empty() && last_output == FdOutput::Suspect {
             break;
         }
 
-        if t_arrival <= t_deadline {
+        let t_observed = if t_arrival <= t_deadline {
             let Reverse(m) = pending.pop().expect("peeked above");
-            fd.on_heartbeat(m.arrival, Heartbeat::new(m.seq, m.send));
+            fd.on_heartbeat(m.arrival + skew, Heartbeat::new(m.seq, m.send));
             delivered += 1;
             now = m.arrival;
+            m.arrival + skew
         } else {
-            fd.advance(t_deadline);
+            fd.advance(m_deadline);
             now = t_deadline;
-        }
+            m_deadline
+        };
 
         let out = fd.output();
-        rec.record(now, out);
+        rec.record(t_observed, out);
         if out == FdOutput::Suspect && last_output == FdOutput::Trust {
             s_transitions += 1;
         }
@@ -285,9 +390,11 @@ fn drive(fd: &mut dyn FailureDetector, opts: &RunOptions, mut fate: Fate<'_>) ->
     }
 
     let end = if horizon.is_finite() {
-        horizon
+        // The trace is in monitor clock: the horizon lands at
+        // `horizon + skew` after every jump at or before it.
+        horizon + skew
     } else {
-        now.max(rec.latest_time())
+        (now + skew).max(rec.latest_time())
     };
     RunOutcome {
         trace: rec.finish(end),
@@ -506,5 +613,130 @@ mod tests {
         );
         assert_eq!(out.trace.end(), 25.25);
         assert_eq!(out.trace.start(), 0.0);
+    }
+
+    #[test]
+    fn plan_crash_recover_window_suppresses_sends_then_resumes() {
+        // η = 1, δ = 0.5, D ≡ 0.1. Down window [4.5, 7.5): σ₅ = 5, σ₆ = 6,
+        // σ₇ = 7 are swallowed; σ₈ = 8 resumes with its original number.
+        let plan = FaultPlan::new(0).crash(4.5).recover(7.5);
+        let link = lossless_constant(0.1);
+        let mut fd = NfdS::new(1.0, 0.5).unwrap();
+        let mut rng = StdRng::seed_from_u64(7);
+        let out = run_with_plan(
+            &mut fd,
+            &RunOptions::failure_free(1.0, StopCondition::Horizon(12.0)),
+            link,
+            &plan,
+            &mut rng,
+        );
+        // 11 schedule slots fall in [0, 12] (σ₁..σ₁₁, σ₁₂ exactly at the
+        // horizon also fires); 3 suppressed.
+        assert_eq!(out.heartbeats_sent, 9);
+        // Suspicion starts when m₄ goes stale (τ₅ = 5.5) and ends when
+        // m₈ arrives at 8.1.
+        assert_eq!(out.trace.output_at(5.0), FdOutput::Trust);
+        assert_eq!(out.trace.output_at(6.0), FdOutput::Suspect);
+        assert_eq!(out.trace.output_at(8.05), FdOutput::Suspect);
+        assert_eq!(out.trace.output_at(8.2), FdOutput::Trust);
+        // Detection of the scripted outage obeys the NFD-S bound
+        // T_D ≤ η + δ. (`fd_metrics::detection_time` is for permanent
+        // crashes — here p recovers, so locate the T→S edge directly.)
+        let first_suspect_after = out
+            .trace
+            .transitions()
+            .iter()
+            .find(|t| t.at >= 4.5 && t.to == FdOutput::Suspect)
+            .map(|t| t.at)
+            .expect("outage must be detected");
+        assert!((first_suspect_after - 5.5).abs() < 1e-9);
+        assert!(first_suspect_after - 4.5 <= 1.5 + 1e-9);
+    }
+
+    #[test]
+    fn plan_final_crash_silences_like_opts_crash() {
+        // Permanent crash scripted via the plan instead of RunOptions.
+        let plan = FaultPlan::new(0).crash(10.25);
+        let link = lossless_constant(0.1);
+        let mut fd = NfdS::new(1.0, 0.5).unwrap();
+        let mut rng = StdRng::seed_from_u64(8);
+        let out = run_with_plan(
+            &mut fd,
+            &RunOptions::failure_free(1.0, StopCondition::Horizon(30.0)),
+            link,
+            &plan,
+            &mut rng,
+        );
+        assert_eq!(out.heartbeats_sent, 10);
+        match fd_metrics::detection_time(&out.trace, 10.25) {
+            fd_metrics::DetectionOutcome::Detected { elapsed } => {
+                assert!((elapsed - 1.25).abs() < 1e-9, "T_D = {elapsed}");
+            }
+            other => panic!("expected detection, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn clock_jump_fires_deadlines_early_and_shifts_trace_to_monitor_time() {
+        // η = 1, δ = 0.5, D ≡ 0.1. Jump of +2.0 at sim t = 4.2: the
+        // monitor clock leaps from 4.2 to 6.2, stepping over freshness
+        // points τ₅ = 5.5 and τ₆ = 6.0, so the detector suspects at the
+        // jump even though p is alive.
+        let plan = FaultPlan::new(0).clock_jump(4.2, 2.0);
+        let link = lossless_constant(0.1);
+        let mut fd = NfdS::new(1.0, 0.5).unwrap();
+        let mut rng = StdRng::seed_from_u64(9);
+        let out = run_with_plan(
+            &mut fd,
+            &RunOptions::failure_free(1.0, StopCondition::Horizon(10.0)),
+            link,
+            &plan,
+            &mut rng,
+        );
+        // Trace is on the monitor clock: horizon 10 lands at 12.0.
+        assert_eq!(out.trace.end(), 12.0);
+        // Just before the jump (monitor 4.2): trusting m₄.
+        assert_eq!(out.trace.output_at(4.15), FdOutput::Trust);
+        // Right after the jump (monitor 6.2): τ₅, τ₆ passed with no
+        // fresh message ⇒ suspect.
+        assert_eq!(out.trace.output_at(6.3), FdOutput::Suspect);
+        // m₅ is sent at sim 5 and arrives sim 5.1 = monitor 7.1; it is
+        // fresh for τ₆ < 7.1 ≤ τ₇? No — NFD-S trusts at arrival only if
+        // the message is still fresh: m₅ fresh until τ₆ = 6.5… in
+        // monitor time τᵢ are unchanged (schedule-based), so m₅'s
+        // freshness expired before its monitor-time arrival; the first
+        // restorative arrival is m₇ (sim 7.1 = monitor 9.1, fresh until
+        // τ₈ = 8.5? also stale). Regardless of which message restores
+        // trust, the output must be Suspect immediately after the jump
+        // and the trace must stay on the monitor clock.
+        assert_eq!(out.heartbeats_sent, 10);
+    }
+
+    #[test]
+    fn run_with_plan_without_events_matches_run_with_model() {
+        // A plan with only link-fault segments must behave exactly like
+        // run_with_model over the same FaultyLink.
+        let plan = FaultPlan::new(42).link_fault(
+            3.0,
+            crate::fault::LinkFault::Loss { p: 1.0 },
+        );
+        let link = || Link::new(0.0, Box::new(Constant::new(0.1).unwrap())).unwrap();
+        let opts = RunOptions::failure_free(1.0, StopCondition::Horizon(8.0));
+
+        let mut fd_a = NfdS::new(1.0, 0.5).unwrap();
+        let mut rng_a = StdRng::seed_from_u64(11);
+        let out_a = run_with_plan(&mut fd_a, &opts, link(), &plan, &mut rng_a);
+
+        let mut fd_b = NfdS::new(1.0, 0.5).unwrap();
+        let mut rng_b = StdRng::seed_from_u64(11);
+        let mut model = FaultyLink::new(link(), &plan);
+        let out_b = run_with_model(&mut fd_b, &opts, &mut model, &mut rng_b);
+
+        assert_eq!(out_a.heartbeats_sent, out_b.heartbeats_sent);
+        assert_eq!(out_a.heartbeats_delivered, out_b.heartbeats_delivered);
+        assert_eq!(
+            out_a.trace.transitions().len(),
+            out_b.trace.transitions().len()
+        );
     }
 }

@@ -1,0 +1,460 @@
+//! Per-run property oracles.
+//!
+//! An [`Oracle`] inspects one completed run and pronounces a
+//! [`Verdict`]: the property held ([`Verdict::Accept`]), it was
+//! violated ([`Verdict::Reject`] with a reason), or this particular run
+//! simply had nothing to say about it ([`Verdict::Undecided`] — e.g. a
+//! detection-time oracle on a run with no crash). Undecided runs are
+//! excluded from the sequential test rather than counted either way.
+//!
+//! The oracles shipped here check, per run:
+//!
+//! * [`AgreementOracle`] — online/batch estimator agreement on every
+//!   run: an [`OnlineQos`] tracker replaying the trace must reproduce
+//!   the batch [`AccuracyAnalysis`] exactly (the two are independent
+//!   implementations of §2's definitions).
+//! * [`Theorem1Oracle`] — the paper's Theorem 1 identities on the
+//!   observed accuracy metrics of stationary (benign) runs.
+//! * [`DetectionOracle`] — the NFD-S detection bound `T_D ≤ η + δ`
+//!   (Theorem 5.1's worst case) on runs with a scripted permanent
+//!   crash, under *whatever* link faults and clock jumps the scenario
+//!   threw: freshness deadlines are schedule-based, so the bound is
+//!   robust, and forward clock jumps can only shorten detection.
+//! * [`ConformanceOracle`] — on benign runs carrying a requirement
+//!   tuple, the configured QoS bounds (`E(T_MR) ≥ T_MR^L` etc.) via
+//!   [`Conformance`].
+
+use crate::scenario::RunRecord;
+use fd_metrics::{
+    detection_time, AccuracyAnalysis, Conformance, DetectionOutcome, OnlineQos,
+};
+
+/// What one run said about one property.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Verdict {
+    /// The property held on this run.
+    Accept,
+    /// The property was violated; the string says how.
+    Reject(String),
+    /// This run contained no evidence either way.
+    Undecided,
+}
+
+impl Verdict {
+    /// `true` for [`Verdict::Reject`].
+    pub fn is_reject(&self) -> bool {
+        matches!(self, Verdict::Reject(_))
+    }
+}
+
+/// A per-run property judge over some run context `Ctx` (engine runs
+/// use [`RunRecord`]; the cluster harness uses its own record type).
+pub trait Oracle<Ctx>: Sync {
+    /// Stable property name (report key).
+    fn name(&self) -> &'static str;
+    /// Judges one run.
+    fn judge(&self, ctx: &Ctx) -> Verdict;
+    /// Whether the property is a *hard invariant* — one the system
+    /// guarantees on every run, so a single counterexample is a bug
+    /// regardless of how the SPRT scores the rate. Soft (statistical)
+    /// properties — tolerance-banded identities, requirement bounds
+    /// under arbitrarily sampled configurations — are expected to fail
+    /// occasionally, and only the SPRT's rate decision fails them.
+    fn hard(&self) -> bool {
+        true
+    }
+}
+
+/// Exact online/batch estimator agreement, judged on every run.
+///
+/// The streaming [`OnlineQos`] tracker and the batch
+/// [`AccuracyAnalysis`] are independent implementations of §2's metric
+/// definitions, so replaying any trace — benign or chaotic, crashed or
+/// not — through both must produce identical mistake counts, `P_A`,
+/// `λ_M` and interval means to machine precision. This is a hard
+/// invariant: one disagreement is an estimator bug.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AgreementOracle;
+
+impl Oracle<RunRecord> for AgreementOracle {
+    fn name(&self) -> &'static str {
+        "online-batch-agreement"
+    }
+
+    fn judge(&self, rec: &RunRecord) -> Verdict {
+        let trace = &rec.outcome.trace;
+        let batch = AccuracyAnalysis::of_trace(trace);
+        let online = OnlineQos::of_trace(trace).observed(trace.end());
+        if online.s_transitions as usize != batch.mistake_count() {
+            return Verdict::Reject(format!(
+                "online counted {} mistakes, batch {} (seed {})",
+                online.s_transitions,
+                batch.mistake_count(),
+                rec.scenario.seed
+            ));
+        }
+        let exact = [
+            (
+                "P_A",
+                online.query_accuracy(),
+                batch.query_accuracy_probability(),
+            ),
+            ("lambda_M", online.mistake_rate(), batch.mistake_rate()),
+        ];
+        for (name, on, off) in exact {
+            if (on - off).abs() > 1e-9 * off.abs().max(1.0) {
+                return Verdict::Reject(format!(
+                    "online {name} = {on} vs batch {off} (seed {})",
+                    rec.scenario.seed
+                ));
+            }
+        }
+        for (name, on, off) in [
+            (
+                "E(T_MR)",
+                online.mean_mistake_recurrence(),
+                batch.mean_mistake_recurrence(),
+            ),
+            (
+                "E(T_M)",
+                online.mean_mistake_duration(),
+                batch.mean_mistake_duration(),
+            ),
+            (
+                "E(T_G)",
+                online.mean_good_period(),
+                batch.mean_good_period(),
+            ),
+        ] {
+            match (on, off) {
+                (Some(a), Some(b)) if (a - b).abs() > 1e-9 * b.abs().max(1.0) => {
+                    return Verdict::Reject(format!(
+                        "online {name} = {a} vs batch {b} (seed {})",
+                        rec.scenario.seed
+                    ));
+                }
+                (Some(_), Some(_)) | (None, None) => {}
+                _ => {
+                    return Verdict::Reject(format!(
+                        "{name}: one estimator observed an interval, the other did not \
+                         (seed {})",
+                        rec.scenario.seed
+                    ));
+                }
+            }
+        }
+        Verdict::Accept
+    }
+}
+
+/// The Theorem 1 identities on the observed accuracy metrics.
+///
+/// The identities (`E(T_MR) = E(T_M) + E(T_G)`, `P_A = E(T_G)/E(T_MR)`)
+/// hold exactly in steady state; on a finite *stationary* window they
+/// hold within sampling noise, so a relative tolerance is applied and
+/// only benign (i.i.d. loss/delay) runs with at least `min_cycles`
+/// complete mistake cycles are judged — a window cut mid-partition puts
+/// one outlier mistake duration at the edge and breaks the telescoping
+/// sum, which says nothing about the theorem. A *soft* property: the
+/// tolerance band can still be exceeded by legitimate sampling noise,
+/// so the SPRT's rate decision is what fails it.
+#[derive(Debug, Clone, Copy)]
+pub struct Theorem1Oracle {
+    /// Relative tolerance for the steady-state identities.
+    pub rel_tol: f64,
+    /// Minimum complete mistake-recurrence cycles before the identities
+    /// are judged (too few cycles ⇒ [`Verdict::Undecided`]).
+    pub min_cycles: u64,
+}
+
+impl Default for Theorem1Oracle {
+    fn default() -> Self {
+        Self {
+            rel_tol: 0.15,
+            min_cycles: 8,
+        }
+    }
+}
+
+impl Oracle<RunRecord> for Theorem1Oracle {
+    fn name(&self) -> &'static str {
+        "theorem1-identities"
+    }
+
+    fn hard(&self) -> bool {
+        false
+    }
+
+    fn judge(&self, rec: &RunRecord) -> Verdict {
+        // Only stationary windows: benign runs, pre-crash portion (the
+        // accuracy metrics are defined on failure-free behavior, §2.2).
+        if !rec.scenario.benign {
+            return Verdict::Undecided;
+        }
+        let trace = match rec.crash_in_monitor_time() {
+            Some(c) => rec.outcome.trace.restrict(rec.outcome.trace.start(), c),
+            None => rec.outcome.trace.clone(),
+        };
+        let online = OnlineQos::of_trace(&trace).observed(trace.end());
+        if online.recurrence.count() < self.min_cycles {
+            return Verdict::Undecided;
+        }
+        let report = Conformance::new(self.rel_tol).report(&online);
+        if report.checks.is_empty() {
+            return Verdict::Undecided;
+        }
+        if report.passed() {
+            Verdict::Accept
+        } else {
+            Verdict::Reject(format!(
+                "{} (seed {})",
+                report
+                    .failures()
+                    .iter()
+                    .map(|c| format!("{}: expected {:.4}, observed {:.4}", c.name, c.expected, c.observed))
+                    .collect::<Vec<_>>()
+                    .join("; "),
+                rec.scenario.seed
+            ))
+        }
+    }
+}
+
+/// The NFD-S detection bound `T_D ≤ η + δ (+ slack)` on runs with a
+/// scripted permanent crash.
+#[derive(Debug, Clone, Copy)]
+pub struct DetectionOracle {
+    /// Absolute slack added to the bound (numerical headroom).
+    pub slack: f64,
+}
+
+impl Default for DetectionOracle {
+    fn default() -> Self {
+        Self { slack: 1e-9 }
+    }
+}
+
+impl Oracle<RunRecord> for DetectionOracle {
+    fn name(&self) -> &'static str {
+        "detection-bound"
+    }
+
+    fn judge(&self, rec: &RunRecord) -> Verdict {
+        let Some(crash_mon) = rec.crash_in_monitor_time() else {
+            return Verdict::Undecided;
+        };
+        let s = &rec.scenario;
+        let bound = s.spec_eta + s.delta + self.slack;
+        match detection_time(&rec.outcome.trace, crash_mon) {
+            DetectionOutcome::Detected { elapsed } => {
+                if elapsed <= bound {
+                    Verdict::Accept
+                } else {
+                    Verdict::Reject(format!(
+                        "T_D = {elapsed:.4} > η + δ = {:.4} (seed {})",
+                        s.spec_eta + s.delta,
+                        s.seed
+                    ))
+                }
+            }
+            // Suspecting at the crash instant: detected with T_D = 0.
+            DetectionOutcome::AlreadySuspecting => Verdict::Accept,
+            DetectionOutcome::NotDetected => Verdict::Reject(format!(
+                "crash at {crash_mon:.4} never detected (seed {})",
+                s.seed
+            )),
+        }
+    }
+}
+
+/// Configured-requirement conformance on benign runs.
+///
+/// Judges only runs whose scenario carries a [`QosRequirements`]
+/// (benign runs of a spec with requirements attached); everything else
+/// is [`Verdict::Undecided`]. The scenario's `(η, δ)` are *not*
+/// required to come from the paper's configuration procedure — the
+/// oracle simply reports whether the observed QoS met the bounds, and
+/// the sequential layer decides whether that happens often enough.
+///
+/// [`QosRequirements`]: fd_metrics::QosRequirements
+#[derive(Debug, Clone, Copy)]
+pub struct ConformanceOracle {
+    /// Relative tolerance band, as in [`Conformance::new`].
+    pub rel_tol: f64,
+    /// Minimum complete mistake-recurrence cycles before judging
+    /// (a benign run whose detector never erred twice satisfies every
+    /// requirement trivially — count it as an accept, not undecided,
+    /// when below this threshold but with an observation window).
+    pub min_cycles: u64,
+}
+
+impl Default for ConformanceOracle {
+    fn default() -> Self {
+        Self {
+            rel_tol: 0.1,
+            min_cycles: 1,
+        }
+    }
+}
+
+impl Oracle<RunRecord> for ConformanceOracle {
+    fn name(&self) -> &'static str {
+        "requirement-conformance"
+    }
+
+    // Soft: the sampled (η, δ) were never *configured* to meet the
+    // requirements, so an unlucky draw (high loss, heavy tail, tight δ)
+    // can legitimately miss a bound; the SPRT decides whether the rate
+    // of such misses stays within the hypothesis.
+    fn hard(&self) -> bool {
+        false
+    }
+
+    fn judge(&self, rec: &RunRecord) -> Verdict {
+        let Some(req) = rec.scenario.requirements else {
+            return Verdict::Undecided;
+        };
+        let trace = &rec.outcome.trace;
+        let online = OnlineQos::of_trace(trace).observed(trace.end());
+        if online.recurrence.count() < self.min_cycles {
+            // Fewer mistakes than needed to measure recurrence: the
+            // detector trivially beats any T_MR^L over this window.
+            return Verdict::Accept;
+        }
+        let report = Conformance::new(self.rel_tol)
+            .with_requirements(req)
+            .report(&online);
+        // Judge the requirement bounds only (names like "E(T_M) <= T_M^U");
+        // the Theorem 1 identity checks belong to [`Theorem1Oracle`],
+        // which insists on enough cycles for them to be meaningful.
+        let bound_failures: Vec<String> = report
+            .failures()
+            .iter()
+            .filter(|c| c.name.contains(">=") || c.name.contains("<="))
+            .map(|c| format!("{}: bound {:.4}, observed {:.4}", c.name, c.expected, c.observed))
+            .collect();
+        if bound_failures.is_empty() {
+            Verdict::Accept
+        } else {
+            Verdict::Reject(format!(
+                "{} (seed {})",
+                bound_failures.join("; "),
+                rec.scenario.seed
+            ))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::ScenarioSpec;
+    use fd_metrics::QosRequirements;
+
+    fn first_deciding_record(
+        spec: &ScenarioSpec,
+        oracle: &dyn Oracle<RunRecord>,
+        want_accept: bool,
+    ) -> Option<(u64, Verdict)> {
+        for seed in 0..60 {
+            let rec = spec.sample(seed).run();
+            let v = oracle.judge(&rec);
+            match (&v, want_accept) {
+                (Verdict::Accept, true) | (Verdict::Reject(_), false) => {
+                    return Some((seed, v));
+                }
+                _ => {}
+            }
+        }
+        None
+    }
+
+    #[test]
+    fn agreement_oracle_accepts_chaotic_and_crashed_runs() {
+        // The estimators must agree on *any* trace, so sweep the full
+        // chaos spec — faults, crashes, clock jumps, every regime.
+        let spec = ScenarioSpec {
+            benign_fraction: 0.1,
+            crash_fraction: 0.5,
+            ..ScenarioSpec::broad()
+        };
+        let oracle = AgreementOracle;
+        for seed in 0..40 {
+            let rec = spec.sample(seed).run();
+            assert_eq!(
+                oracle.judge(&rec),
+                Verdict::Accept,
+                "seed {seed}: online and batch estimators diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn detection_oracle_accepts_crash_runs_and_skips_others() {
+        let spec = ScenarioSpec {
+            benign_fraction: 0.0,
+            crash_fraction: 1.0,
+            ..ScenarioSpec::broad()
+        };
+        let oracle = DetectionOracle::default();
+        for seed in 0..25 {
+            let rec = spec.sample(seed).run();
+            assert_eq!(
+                oracle.judge(&rec),
+                Verdict::Accept,
+                "seed {seed}: NFD-S bound must hold under any scripted faults"
+            );
+        }
+
+        let benign = ScenarioSpec {
+            benign_fraction: 1.0,
+            ..ScenarioSpec::broad()
+        };
+        let rec = benign.sample(0).run();
+        assert_eq!(oracle.judge(&rec), Verdict::Undecided);
+    }
+
+    #[test]
+    fn theorem1_oracle_accepts_long_benign_runs() {
+        // A lossy benign environment produces plenty of mistake cycles
+        // for the identities to bite on.
+        let spec = ScenarioSpec {
+            benign_fraction: 1.0,
+            loss_range: (0.15, 0.25),
+            delta_range: (0.1, 0.3),
+            horizon: 2000.0,
+            ..ScenarioSpec::broad()
+        };
+        let oracle = Theorem1Oracle::default();
+        let hit = first_deciding_record(&spec, &oracle, true);
+        assert!(hit.is_some(), "no benign run ever decided the Theorem 1 oracle");
+    }
+
+    #[test]
+    fn conformance_oracle_needs_requirements() {
+        let spec = ScenarioSpec {
+            benign_fraction: 1.0,
+            ..ScenarioSpec::broad()
+        };
+        let oracle = ConformanceOracle::default();
+        let rec = spec.sample(1).run();
+        assert_eq!(oracle.judge(&rec), Verdict::Undecided, "no requirements attached");
+
+        // Loose requirements on a clean link: conformance holds.
+        let spec = ScenarioSpec {
+            benign_fraction: 1.0,
+            loss_range: (0.0, 0.01),
+            delta_range: (2.0, 3.0),
+            requirements: Some(QosRequirements::new(4.0, 10.0, 2.0).unwrap()),
+            ..ScenarioSpec::broad()
+        };
+        for seed in 0..10 {
+            let rec = spec.sample(seed).run();
+            assert_eq!(
+                oracle.judge(&rec),
+                Verdict::Accept,
+                "seed {seed}: loose requirements must conform"
+            );
+        }
+    }
+}

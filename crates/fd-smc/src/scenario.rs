@@ -1,0 +1,538 @@
+//! Randomized chaos-scenario generation.
+//!
+//! A [`ScenarioSpec`] is a *declarative* description of a family of
+//! adversarial environments: which delay laws the link may follow, how
+//! lossy it may be, which fault kinds may strike and with what
+//! propensity. [`ScenarioSpec::sample`] draws one concrete [`Scenario`]
+//! from the family — a fully scripted [`FaultPlan`] plus link and
+//! detector parameters — **deterministically per seed**: the same
+//! `(spec, seed)` pair always yields the same scenario, so every run the
+//! statistical model checker makes is replayable from two integers.
+//!
+//! [`Scenario::run`] executes the scenario through the discrete-event
+//! engine ([`fd_sim::run_with_plan`]) against an NFD-S detector and
+//! returns the [`RunRecord`] the property oracles judge.
+
+use fd_core::detectors::NfdS;
+use fd_metrics::QosRequirements;
+use fd_sim::{FaultPlan, Link, LinkFault, RunOptions, RunOutcome, StopCondition};
+use fd_stats::dist::{Empirical, Exponential, LogNormal, Pareto};
+use fd_stats::DelayDistribution;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A family of delay laws the scenario generator can draw from.
+///
+/// The first three are the regimes of the paper's §7 simulation study
+/// (exponential) and its heavy-tailed stress variants; `TraceReplay`
+/// resamples recorded delays (an [`Empirical`] distribution), letting
+/// the harness check the detectors against measured traces rather than
+/// closed-form laws.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DelayRegime {
+    /// `D ~ Exp(mean)` — the paper's baseline law.
+    Exponential {
+        /// Mean delay `E(D)`, seconds.
+        mean: f64,
+    },
+    /// Heavy-tailed Pareto delays with the given mean and tail index.
+    Pareto {
+        /// Mean delay `E(D)`, seconds.
+        mean: f64,
+        /// Tail index (`> 1` for a finite mean; smaller = heavier).
+        shape: f64,
+    },
+    /// Log-normal delays, `ln D ~ N(mu, sigma²)`.
+    LogNormal {
+        /// Location of `ln D`.
+        mu: f64,
+        /// Scale of `ln D`.
+        sigma: f64,
+    },
+    /// Bootstrap resampling of recorded delay samples.
+    TraceReplay {
+        /// The recorded delays (seconds, all positive).
+        samples: Vec<f64>,
+    },
+}
+
+impl DelayRegime {
+    /// Short stable name for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            DelayRegime::Exponential { .. } => "exponential",
+            DelayRegime::Pareto { .. } => "pareto",
+            DelayRegime::LogNormal { .. } => "lognormal",
+            DelayRegime::TraceReplay { .. } => "trace-replay",
+        }
+    }
+
+    /// Materializes the delay law.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the regime's parameters are invalid (negative mean,
+    /// shape ≤ 1, empty or nonpositive samples) — spec bugs, not data.
+    pub fn distribution(&self) -> Box<dyn DelayDistribution> {
+        match self {
+            DelayRegime::Exponential { mean } => {
+                Box::new(Exponential::with_mean(*mean).expect("valid exponential mean"))
+            }
+            DelayRegime::Pareto { mean, shape } => {
+                Box::new(Pareto::with_mean(*mean, *shape).expect("valid pareto parameters"))
+            }
+            DelayRegime::LogNormal { mu, sigma } => {
+                Box::new(LogNormal::new(*mu, *sigma).expect("valid log-normal parameters"))
+            }
+            DelayRegime::TraceReplay { samples } => {
+                Box::new(Empirical::from_samples(samples).expect("valid trace samples"))
+            }
+        }
+    }
+}
+
+/// Relative propensities of the fault kinds a sampled plan may contain.
+///
+/// Weights are nonnegative and need not sum to one — each episode's
+/// kind is drawn proportionally. A zero weight disables the kind.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultMix {
+    /// Extra i.i.d. loss window.
+    pub loss: f64,
+    /// Gilbert–Elliott burst-loss window.
+    pub burst_loss: f64,
+    /// Full partition window.
+    pub partition: f64,
+    /// Delay-spike window.
+    pub delay_spike: f64,
+    /// Crash–recover window (process down, then back).
+    pub crash_recover: f64,
+    /// Restart storm ([`FaultPlan::restart_storm`]).
+    pub restart_storm: f64,
+    /// Forward monitor-clock jump.
+    pub clock_jump: f64,
+}
+
+impl FaultMix {
+    /// Every kind equally likely.
+    pub fn uniform() -> Self {
+        Self {
+            loss: 1.0,
+            burst_loss: 1.0,
+            partition: 1.0,
+            delay_spike: 1.0,
+            crash_recover: 1.0,
+            restart_storm: 1.0,
+            clock_jump: 1.0,
+        }
+    }
+
+    fn weights(&self) -> [f64; 7] {
+        [
+            self.loss,
+            self.burst_loss,
+            self.partition,
+            self.delay_spike,
+            self.crash_recover,
+            self.restart_storm,
+            self.clock_jump,
+        ]
+    }
+
+    fn total(&self) -> f64 {
+        self.weights().iter().sum()
+    }
+}
+
+impl Default for FaultMix {
+    fn default() -> Self {
+        Self::uniform()
+    }
+}
+
+/// Declarative description of a family of randomized scenarios.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioSpec {
+    /// Heartbeat period `η`.
+    pub eta: f64,
+    /// Freshness slack `δ` is drawn uniformly from this range.
+    pub delta_range: (f64, f64),
+    /// Base link loss `p_L` is drawn uniformly from this range.
+    pub loss_range: (f64, f64),
+    /// The delay regimes to rotate through (one per scenario, picked
+    /// uniformly).
+    pub regimes: Vec<DelayRegime>,
+    /// Run horizon, seconds of simulated time.
+    pub horizon: f64,
+    /// Fault-kind propensities.
+    pub fault_mix: FaultMix,
+    /// Maximum number of scripted fault episodes per scenario (the
+    /// actual count is uniform in `0..=max_episodes`, and `0` yields a
+    /// benign run even outside `benign_fraction`).
+    pub max_episodes: usize,
+    /// Fraction of scenarios forced benign (no scripted faults at all)
+    /// — these are the runs the conformance-to-requirements oracle can
+    /// judge, since the paper's QoS bounds assume the modeled network.
+    pub benign_fraction: f64,
+    /// Probability that a scenario ends in a *permanent* crash (placed
+    /// so the detection-time oracle has room to observe the bound).
+    pub crash_fraction: f64,
+    /// Requirement tuple the conformance oracle checks benign runs
+    /// against, if any.
+    pub requirements: Option<QosRequirements>,
+}
+
+impl ScenarioSpec {
+    /// A broad default family: the three analytic regimes at `E(D)`
+    /// comparable to the §7 study, moderate loss, every fault kind
+    /// enabled, 20% benign runs and 30% crash runs.
+    pub fn broad() -> Self {
+        Self {
+            eta: 1.0,
+            delta_range: (0.5, 3.0),
+            loss_range: (0.0, 0.05),
+            regimes: vec![
+                DelayRegime::Exponential { mean: 0.02 },
+                DelayRegime::Pareto {
+                    mean: 0.02,
+                    shape: 2.5,
+                },
+                // mu chosen so E(D) = exp(mu + sigma²/2) ≈ 0.02.
+                DelayRegime::LogNormal {
+                    mu: -4.412,
+                    sigma: 0.75,
+                },
+                DelayRegime::TraceReplay {
+                    samples: vec![
+                        0.011, 0.013, 0.014, 0.016, 0.018, 0.019, 0.021, 0.024, 0.028, 0.035,
+                        0.046, 0.072,
+                    ],
+                },
+            ],
+            horizon: 400.0,
+            fault_mix: FaultMix::uniform(),
+            max_episodes: 3,
+            benign_fraction: 0.2,
+            crash_fraction: 0.3,
+            requirements: None,
+        }
+    }
+
+    /// Draws one concrete scenario. Deterministic: the same
+    /// `(self, seed)` always produces the same scenario.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a malformed spec (empty regime list, inverted ranges,
+    /// nonpositive horizon or `η`, all-zero fault mix with
+    /// `max_episodes > 0`).
+    pub fn sample(&self, seed: u64) -> Scenario {
+        assert!(!self.regimes.is_empty(), "spec needs at least one delay regime");
+        assert!(self.eta > 0.0, "eta must be positive");
+        assert!(self.horizon > 0.0, "horizon must be positive");
+        assert!(
+            self.delta_range.0 > 0.0 && self.delta_range.1 >= self.delta_range.0,
+            "invalid delta range"
+        );
+        assert!(
+            (0.0..=1.0).contains(&self.loss_range.0)
+                && self.loss_range.1 >= self.loss_range.0
+                && self.loss_range.1 <= 1.0,
+            "invalid loss range"
+        );
+
+        let mut rng = StdRng::seed_from_u64(seed);
+        let regime = self.regimes[rng.random_range(0..self.regimes.len())].clone();
+        let delta = sample_range(&mut rng, self.delta_range);
+        let p_loss = sample_range(&mut rng, self.loss_range);
+
+        let benign = rng.random_bool(self.benign_fraction);
+        let crash = !benign && rng.random_bool(self.crash_fraction);
+
+        // The crash (if any) lands in the middle half of the horizon so
+        // the detection oracle always has ≥ η + δ of post-crash room,
+        // and fault episodes are confined to before it.
+        let crash_at = crash.then(|| sample_range(&mut rng, (0.25 * self.horizon, 0.6 * self.horizon)));
+        let fault_window_end = crash_at.unwrap_or(0.9 * self.horizon);
+
+        let mut plan = FaultPlan::new(seed);
+        if !benign {
+            let episodes = rng.random_range(0..=self.max_episodes);
+            if episodes > 0 {
+                assert!(self.fault_mix.total() > 0.0, "fault mix has no enabled kinds");
+                // Episodes live in disjoint, ordered slots of the fault
+                // window, so the plan builder's monotonicity invariants
+                // (strictly increasing segment starts, non-decreasing
+                // event times) hold by construction, and everything ends
+                // strictly before the permanent crash.
+                let lo = 0.05 * self.horizon;
+                let hi = fault_window_end - 2.0 * self.eta;
+                if hi > lo {
+                    let w = (hi - lo) / episodes as f64;
+                    if w >= 6.0 * self.eta {
+                        for k in 0..episodes {
+                            let s0 = lo + k as f64 * w;
+                            plan = sample_episode(
+                                plan,
+                                &mut rng,
+                                &self.fault_mix,
+                                s0,
+                                s0 + w,
+                                self.eta,
+                            );
+                        }
+                    }
+                }
+            }
+        }
+        if let Some(c) = crash_at {
+            plan = plan.crash(c);
+        }
+
+        Scenario {
+            seed,
+            spec_eta: self.eta,
+            delta,
+            p_loss,
+            regime,
+            horizon: self.horizon,
+            benign,
+            plan,
+            requirements: if benign { self.requirements } else { None },
+        }
+    }
+}
+
+fn sample_range(rng: &mut StdRng, (lo, hi): (f64, f64)) -> f64 {
+    if hi <= lo {
+        return lo;
+    }
+    rng.random_range(lo..hi)
+}
+
+/// Appends one fault episode of a kind drawn from `mix` to the plan,
+/// entirely inside the slot `[s0, s1)` (the caller guarantees
+/// `s1 − s0 ≥ 6η`, enough room for every kind).
+///
+/// Link-fault episodes occupy a window inside the slot and hand the
+/// link back to nominal before the slot ends; process-event episodes
+/// script crash–recover windows, restart storms or clock jumps that
+/// likewise finish inside the slot.
+fn sample_episode(
+    plan: FaultPlan,
+    rng: &mut StdRng,
+    mix: &FaultMix,
+    s0: f64,
+    s1: f64,
+    eta: f64,
+) -> FaultPlan {
+    let weights = mix.weights();
+    let mut pick = rng.random::<f64>() * mix.total();
+    let mut kind = 0;
+    for (i, w) in weights.iter().enumerate() {
+        if pick < *w {
+            kind = i;
+            break;
+        }
+        pick -= w;
+    }
+    let start = sample_range(rng, (s0, s0 + 0.25 * (s1 - s0)));
+    let max_end = s1 - 0.5 * eta;
+    let len = sample_range(rng, (2.0 * eta, max_end - start));
+    let end = (start + len).min(max_end);
+    match kind {
+        0 => plan
+            .link_fault(
+                start,
+                LinkFault::Loss {
+                    p: sample_range(rng, (0.1, 0.9)),
+                },
+            )
+            .link_fault(end, LinkFault::Nominal),
+        1 => plan
+            .link_fault(
+                start,
+                LinkFault::BurstLoss {
+                    p_gb: sample_range(rng, (0.1, 0.6)),
+                    p_bg: sample_range(rng, (0.1, 0.6)),
+                    loss_good: 0.0,
+                    loss_bad: sample_range(rng, (0.5, 1.0)),
+                },
+            )
+            .link_fault(end, LinkFault::Nominal),
+        2 => plan
+            .link_fault(start, LinkFault::Partition)
+            .link_fault(end, LinkFault::Nominal),
+        3 => plan
+            .link_fault(
+                start,
+                LinkFault::DelaySpike {
+                    extra: sample_range(rng, (0.1, 2.0)) * eta,
+                    jitter: sample_range(rng, (0.0, 0.5)) * eta,
+                },
+            )
+            .link_fault(end, LinkFault::Nominal),
+        4 => {
+            // Crash–recover: down for a stretch inside the slot, then
+            // back (slot width ≥ 6η keeps the window positive).
+            let down = sample_range(rng, (1.5 * eta, (end - start).max(2.0 * eta)))
+                .min(max_end - start);
+            plan.crash(start).recover(start + down)
+        }
+        5 => {
+            // Restart storm, with the cycle count cut to what fits
+            // before `max_end`; at least one cycle always fits.
+            let down = sample_range(rng, (eta, 2.0 * eta));
+            let up = sample_range(rng, (2.0 * eta, 3.0 * eta));
+            let fit = ((max_end - start) / (down + up)).floor() as usize;
+            let cycles = rng.random_range(1..=4usize).min(fit.max(1));
+            plan.restart_storm(start, cycles, down, up)
+        }
+        _ => plan.clock_jump(start, sample_range(rng, (0.5, 3.0)) * eta),
+    }
+}
+
+/// One fully concrete, replayable scenario.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// The seed it was drawn from.
+    pub seed: u64,
+    /// Heartbeat period `η` (from the spec).
+    pub spec_eta: f64,
+    /// Sampled freshness slack `δ`.
+    pub delta: f64,
+    /// Sampled base link loss `p_L`.
+    pub p_loss: f64,
+    /// The delay regime in force.
+    pub regime: DelayRegime,
+    /// Run horizon, seconds.
+    pub horizon: f64,
+    /// Whether the scenario was forced benign (no scripted faults).
+    pub benign: bool,
+    /// The scripted fault timeline.
+    pub plan: FaultPlan,
+    /// Requirements attached for conformance judgment (benign runs
+    /// only).
+    pub requirements: Option<QosRequirements>,
+}
+
+impl Scenario {
+    /// The permanent-crash time, if the plan scripts one.
+    pub fn final_crash(&self) -> Option<f64> {
+        self.plan.final_crash()
+    }
+
+    /// Executes the scenario: an NFD-S at `(η, δ)` monitored over the
+    /// faulty link for `horizon` seconds of simulated time.
+    pub fn run(&self) -> RunRecord {
+        let link = Link::new(self.p_loss, self.regime.distribution()).expect("valid link");
+        let mut fd = NfdS::new(self.spec_eta, self.delta).expect("valid NFD-S parameters");
+        let mut rng = StdRng::seed_from_u64(self.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let outcome = fd_sim::run_with_plan(
+            &mut fd,
+            &RunOptions::failure_free(self.spec_eta, StopCondition::Horizon(self.horizon)),
+            link,
+            &self.plan,
+            &mut rng,
+        );
+        RunRecord {
+            scenario: self.clone(),
+            outcome,
+        }
+    }
+}
+
+/// A completed scenario execution: what the oracles judge.
+#[derive(Debug, Clone)]
+pub struct RunRecord {
+    /// The scenario that produced it.
+    pub scenario: Scenario,
+    /// The engine's output: the monitor-clock transition trace plus
+    /// heartbeat accounting.
+    pub outcome: RunOutcome,
+}
+
+impl RunRecord {
+    /// The scripted permanent crash converted to the monitor clock
+    /// (the trace's time base): `c + skew(c)`.
+    pub fn crash_in_monitor_time(&self) -> Option<f64> {
+        self.scenario
+            .final_crash()
+            .map(|c| c + self.scenario.plan.clock_skew_at(c))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let spec = ScenarioSpec::broad();
+        for seed in [0u64, 1, 7, 1234, u64::MAX] {
+            let a = spec.sample(seed);
+            let b = spec.sample(seed);
+            assert_eq!(format!("{:?}", a.plan), format!("{:?}", b.plan));
+            assert_eq!(a.delta, b.delta);
+            assert_eq!(a.p_loss, b.p_loss);
+            assert_eq!(a.regime, b.regime);
+            assert_eq!(a.benign, b.benign);
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let spec = ScenarioSpec::broad();
+        let a = spec.sample(1);
+        let b = spec.sample(2);
+        // δ is a fresh uniform draw per seed; collision would be a
+        // seeding bug.
+        assert_ne!(a.delta, b.delta);
+    }
+
+    #[test]
+    fn benign_fraction_one_means_no_faults() {
+        let spec = ScenarioSpec {
+            benign_fraction: 1.0,
+            ..ScenarioSpec::broad()
+        };
+        for seed in 0..20 {
+            let s = spec.sample(seed);
+            assert!(s.benign);
+            assert!(s.plan.events().is_empty());
+            // Only the implicit nominal timeline remains.
+            assert!(s
+                .plan
+                .segments()
+                .iter()
+                .all(|(_, f)| *f == LinkFault::Nominal));
+        }
+    }
+
+    #[test]
+    fn crash_leaves_detection_room() {
+        let spec = ScenarioSpec {
+            benign_fraction: 0.0,
+            crash_fraction: 1.0,
+            ..ScenarioSpec::broad()
+        };
+        for seed in 0..30 {
+            let s = spec.sample(seed);
+            let c = s.final_crash().expect("crash forced");
+            assert!(
+                c + s.spec_eta + s.delta < s.horizon,
+                "seed {seed}: crash at {c} too close to horizon"
+            );
+        }
+    }
+
+    #[test]
+    fn run_executes_and_traces_in_monitor_time() {
+        let spec = ScenarioSpec::broad();
+        let rec = spec.sample(3).run();
+        let s = &rec.scenario;
+        let end_skew = s.plan.clock_skew_at(s.horizon);
+        assert!((rec.outcome.trace.end() - (s.horizon + end_skew)).abs() < 1e-9);
+        assert!(rec.outcome.heartbeats_sent > 0);
+    }
+}

@@ -24,6 +24,8 @@
 //!   quantiles, confidence intervals) used to report experiment results.
 //! * [`histogram`] — fixed-bin histograms for delay/metric distributions.
 //! * [`inequality`] — the one-sided (Cantelli) inequality, Eq. (5.1).
+//! * [`seq`] — Wald's SPRT and Clopper–Pearson intervals, the sequential
+//!   decision layer of the statistical model-checking harness (`fd-smc`).
 //! * [`integrate`] — adaptive Simpson quadrature, used to evaluate
 //!   `∫₀^η u(x) dx` in Theorem 5.3 for arbitrary delay distributions.
 //! * [`special`] — `erf`, `ln_gamma` and friends backing the log-normal and
@@ -56,6 +58,7 @@ pub mod histogram;
 pub mod inequality;
 pub mod integrate;
 pub mod online;
+pub mod seq;
 pub mod special;
 pub mod summary;
 
@@ -68,4 +71,5 @@ pub use histogram::Histogram;
 pub use inequality::cantelli_upper_bound;
 pub use integrate::integrate_adaptive_simpson;
 pub use online::{OnlineStats, WindowedStats};
+pub use seq::{clopper_pearson, Sprt, SprtConfig, SprtDecision};
 pub use summary::Summary;

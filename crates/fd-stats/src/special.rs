@@ -214,6 +214,116 @@ pub fn regularized_gamma_p(a: f64, x: f64) -> f64 {
     }
 }
 
+/// Regularized incomplete beta function `I_x(a, b)` for `a, b > 0` and
+/// `x ∈ [0, 1]` — the CDF of the Beta(a, b) distribution, and the
+/// backbone of the binomial tail probabilities behind Clopper–Pearson
+/// confidence intervals (`P[X ≤ k] = I_{1−p}(n−k, k+1)`).
+///
+/// Modified-Lentz continued fraction (Numerical Recipes `betacf`),
+/// applied to whichever of `I_x(a,b)` / `1 − I_{1−x}(b,a)` converges
+/// fastest.
+///
+/// # Panics
+///
+/// Panics if `a ≤ 0`, `b ≤ 0`, or `x ∉ [0, 1]`.
+pub fn regularized_beta(a: f64, b: f64, x: f64) -> f64 {
+    assert!(a > 0.0 && a.is_finite(), "regularized_beta requires a > 0, got {a}");
+    assert!(b > 0.0 && b.is_finite(), "regularized_beta requires b > 0, got {b}");
+    assert!((0.0..=1.0).contains(&x), "regularized_beta requires x in [0, 1], got {x}");
+    if x == 0.0 {
+        return 0.0;
+    }
+    if x == 1.0 {
+        return 1.0;
+    }
+    // Prefactor x^a (1−x)^b / (a B(a, b)), in logs for stability.
+    let ln_front =
+        ln_gamma(a + b) - ln_gamma(a) - ln_gamma(b) + a * x.ln() + b * (1.0 - x).ln();
+    if x < (a + 1.0) / (a + b + 2.0) {
+        (ln_front.exp() * beta_cf(a, b, x) / a).clamp(0.0, 1.0)
+    } else {
+        (1.0 - ln_front.exp() * beta_cf(b, a, 1.0 - x) / b).clamp(0.0, 1.0)
+    }
+}
+
+/// Continued fraction for the incomplete beta (modified Lentz).
+fn beta_cf(a: f64, b: f64, x: f64) -> f64 {
+    const TINY: f64 = 1e-300;
+    let qab = a + b;
+    let qap = a + 1.0;
+    let qam = a - 1.0;
+    let mut c = 1.0;
+    let mut d = 1.0 - qab * x / qap;
+    if d.abs() < TINY {
+        d = TINY;
+    }
+    d = 1.0 / d;
+    let mut h = d;
+    for m in 1..500 {
+        let m = m as f64;
+        let m2 = 2.0 * m;
+        // Even step.
+        let aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < TINY {
+            d = TINY;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < TINY {
+            c = TINY;
+        }
+        d = 1.0 / d;
+        h *= d * c;
+        // Odd step.
+        let aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < TINY {
+            d = TINY;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < TINY {
+            c = TINY;
+        }
+        d = 1.0 / d;
+        let delta = d * c;
+        h *= delta;
+        if (delta - 1.0).abs() < 1e-15 {
+            break;
+        }
+    }
+    h
+}
+
+/// Inverse of [`regularized_beta`] in `x`: the `p`-quantile of the
+/// Beta(a, b) distribution, via bisection (I_x is monotone in `x`).
+///
+/// # Panics
+///
+/// Panics if `a ≤ 0`, `b ≤ 0`, or `p ∉ [0, 1]`.
+pub fn inverse_regularized_beta(a: f64, b: f64, p: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&p), "inverse_regularized_beta requires p in [0, 1], got {p}");
+    if p == 0.0 {
+        return 0.0;
+    }
+    if p == 1.0 {
+        return 1.0;
+    }
+    let (mut lo, mut hi) = (0.0f64, 1.0f64);
+    // 200 halvings take the bracket below f64 resolution everywhere.
+    for _ in 0..200 {
+        let mid = 0.5 * (lo + hi);
+        if regularized_beta(a, b, mid) < p {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+        if hi - lo <= f64::EPSILON * mid.max(1e-12) {
+            break;
+        }
+    }
+    0.5 * (lo + hi)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -343,5 +453,60 @@ mod tests {
     #[should_panic(expected = "requires a > 0")]
     fn regularized_gamma_p_rejects_bad_a() {
         regularized_gamma_p(0.0, 1.0);
+    }
+
+    #[test]
+    fn regularized_beta_known_values() {
+        // I_x(1, 1) = x (uniform CDF).
+        for &x in &[0.0, 0.2, 0.5, 0.9, 1.0] {
+            assert!((regularized_beta(1.0, 1.0, x) - x).abs() < 1e-12, "I_{x}(1,1)");
+        }
+        // I_x(1, b) = 1 − (1−x)^b.
+        for &(b, x) in &[(2.0, 0.3), (5.0, 0.7), (0.5, 0.4)] {
+            let want = 1.0 - (1.0 - x as f64).powf(b);
+            assert!(
+                (regularized_beta(1.0, b, x) - want).abs() < 1e-10,
+                "I_{x}(1,{b})"
+            );
+        }
+        // Symmetry: I_x(a, b) = 1 − I_{1−x}(b, a).
+        for &(a, b, x) in &[(2.5, 3.5, 0.4), (0.7, 1.9, 0.8), (10.0, 2.0, 0.95)] {
+            let lhs = regularized_beta(a, b, x);
+            let rhs = 1.0 - regularized_beta(b, a, 1.0 - x);
+            assert!((lhs - rhs).abs() < 1e-10, "symmetry at ({a},{b},{x})");
+        }
+        // Binomial tail identity: P[Bin(n,p) ≤ k] = I_{1−p}(n−k, k+1).
+        let (n, k, p) = (10u32, 3u32, 0.3f64);
+        let mut tail = 0.0;
+        for j in 0..=k {
+            let mut comb = 1.0;
+            for i in 0..j {
+                comb *= (n - i) as f64 / (i + 1) as f64;
+            }
+            tail += comb * p.powi(j as i32) * (1.0 - p).powi((n - j) as i32);
+        }
+        let via_beta = regularized_beta((n - k) as f64, (k + 1) as f64, 1.0 - p);
+        assert!((tail - via_beta).abs() < 1e-10, "binomial tail {tail} vs {via_beta}");
+    }
+
+    #[test]
+    fn inverse_regularized_beta_round_trips() {
+        for &(a, b) in &[(1.0, 1.0), (2.5, 7.0), (30.0, 3.0), (0.5, 0.5)] {
+            for &p in &[0.01, 0.2, 0.5, 0.8, 0.99] {
+                let x = inverse_regularized_beta(a, b, p);
+                assert!(
+                    (regularized_beta(a, b, x) - p).abs() < 1e-9,
+                    "round trip at ({a},{b},{p})"
+                );
+            }
+        }
+        assert_eq!(inverse_regularized_beta(2.0, 2.0, 0.0), 0.0);
+        assert_eq!(inverse_regularized_beta(2.0, 2.0, 1.0), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "x in [0, 1]")]
+    fn regularized_beta_rejects_bad_x() {
+        regularized_beta(1.0, 1.0, 1.5);
     }
 }

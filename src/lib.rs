@@ -12,7 +12,8 @@
 //! | [`fd_sim`] | discrete-event simulator and §7 measurement harnesses |
 //! | [`fd_runtime`] | real-time threaded runtime and multi-process service |
 //! | [`fd_cluster`] | many-peer membership layer: sharded registry, timer-wheel expiry, batched heartbeat transport |
-//! | [`fd_stats`] | delay distributions, online statistics, quadrature |
+//! | [`fd_stats`] | delay distributions, online statistics, quadrature, sequential tests |
+//! | [`fd_smc`] | statistical model checking: randomized chaos scenarios, QoS oracles, SPRT verifier |
 //!
 //! ## Quickstart
 //!
@@ -45,6 +46,7 @@ pub use fd_core;
 pub use fd_metrics;
 pub use fd_runtime;
 pub use fd_sim;
+pub use fd_smc;
 pub use fd_stats;
 
 /// One-stop imports for the most common API surface.
@@ -73,6 +75,9 @@ pub mod prelude {
         PeerConfig, PeerId, PeerQos, PeerStatus, QosState,
     };
     pub use fd_runtime::{Health, IncarnationStore};
+    pub use fd_smc::{
+        run_smc, DelayRegime, Oracle, ScenarioSpec, SmcConfig, SmcReport, Verdict,
+    };
     pub use fd_stats::dist::{Constant, Exponential, Gamma, LogNormal, Mixture, Pareto, Uniform};
-    pub use fd_stats::DelayDistribution;
+    pub use fd_stats::{DelayDistribution, Sprt, SprtConfig, SprtDecision};
 }
