@@ -30,6 +30,9 @@ cargo run --release -p fd-bench --bin exp_adaptive_cluster -- --smoke
 echo "==> statistical model-checking smoke (exits nonzero on any Reject)"
 cargo run --release -p fd-bench --bin exp_smc -- --smoke
 
+echo "==> federation failover smoke (takeover bound, coverage, fd_fed_* series)"
+cargo run --release -p fd-bench --bin exp_federation -- --smoke
+
 echo "==> perf baselines"
 cargo run --release -p fd-bench --bin bench_baseline -- --smoke
 

@@ -1,17 +1,22 @@
-//! Perf baseline: timed micro-benchmarks of the two hot paths the
-//! observability layer leans on — [`OnlineQos::observe`] (per-transition
-//! QoS accounting) and wire batch decoding ([`decode_frame`]) — emitted
-//! as machine-readable JSON (`results/BENCH_qos.json`,
-//! `results/BENCH_wire.json`) so CI archives a comparable number per
-//! commit.
+//! Perf baseline: timed micro-benchmarks of the hot paths the
+//! observability and membership layers lean on — [`OnlineQos::observe`]
+//! (per-transition QoS accounting), wire batch decoding
+//! ([`decode_frame`]), the registry's shard-locked warm `α` swap
+//! ([`ClusterMonitor::apply_alpha`], the control plane's transition
+//! point), and the timer wheel's tick/rearm cycle — emitted as
+//! machine-readable JSON (`results/BENCH_qos.json`,
+//! `results/BENCH_wire.json`, `results/BENCH_cluster.json`) so CI
+//! archives a comparable number per commit.
 //!
 //! Methodology: each measurement runs the workload in batches against a
 //! monotonic clock until a time budget is spent, then reports the
 //! best-of-batches per-op time (least scheduler noise) alongside the
 //! mean. `--smoke` shrinks the budget for CI.
 
+use fd_cluster::wheel::TimerWheel;
 use fd_cluster::wire::{decode_frame, encode_batch};
-use fd_cluster::HeartbeatEntry;
+use fd_cluster::{ClusterConfig, ClusterMonitor, ControlConfig, HeartbeatEntry, PeerConfig};
+use fd_core::Heartbeat;
 use fd_metrics::{FdOutput, OnlineQos};
 use std::io::Write as _;
 use std::time::Instant;
@@ -106,6 +111,67 @@ fn bench_wire_decode(budget_ms: u64) -> BenchResult {
     })
 }
 
+/// The control plane's transition point: a warm `α` swap under the
+/// shard locks, against a registry of 256 live peers. Two alternating
+/// `α` values keep every call on the real mutation path (no same-value
+/// short-circuit could hide the cost).
+fn bench_registry_alpha_swap(budget_ms: u64) -> BenchResult {
+    const PEERS: u64 = 256;
+    let monitor = ClusterMonitor::spawn(ClusterConfig {
+        // Park the background threads; the bench drives everything.
+        tick: 3600.0,
+        control: ControlConfig { period: 1e9, ..ControlConfig::default() },
+        ..ClusterConfig::default()
+    })
+    .expect("spawn monitor");
+    for p in 1..=PEERS {
+        monitor.add_peer(p, PeerConfig::new(1.0, 3.0)).expect("register peer");
+    }
+    // A few heartbeats per peer so the swap carries real estimator
+    // state, as it does under the control plane.
+    for seq in 1..=4u64 {
+        for p in 1..=PEERS {
+            monitor.record_at(p, seq as f64, Heartbeat::new(seq, seq as f64));
+        }
+    }
+    let mut flip = false;
+    let result = bench("registry_alpha_swap", PEERS, budget_ms, || {
+        flip = !flip;
+        let alpha = if flip { 2.5 } else { 3.0 };
+        for p in 1..=PEERS {
+            assert!(monitor.apply_alpha(p, alpha));
+        }
+    });
+    monitor.shutdown();
+    result
+}
+
+/// One timer-wheel duty cycle per entry: sweep a window that expires
+/// ~1024 scheduled freshness points, then rearm each — the per-beat
+/// work pattern of the cluster ticker at scale.
+fn bench_wheel_tick_rearm(budget_ms: u64) -> BenchResult {
+    const ENTRIES: u64 = 1024;
+    let mut wheel = TimerWheel::new(256, 0.01);
+    let mut expired = Vec::with_capacity(ENTRIES as usize);
+    let mut now = 0.0;
+    let mut generation = 0u64;
+    for p in 0..ENTRIES {
+        wheel.schedule(now + 0.02 + (p % 7) as f64 * 0.01, p, generation);
+    }
+    bench("wheel_tick_rearm", ENTRIES, budget_ms, || {
+        // Every scheduled deadline lies within (now, now + 0.09], so one
+        // 0.1 s sweep expires the full population, which is then rearmed
+        // under a fresh generation.
+        now += 0.1;
+        generation += 1;
+        wheel.advance(now, &mut expired);
+        assert_eq!(expired.len(), ENTRIES as usize);
+        for e in expired.drain(..) {
+            wheel.schedule(now + 0.02 + (e.peer % 7) as f64 * 0.01, e.peer, generation);
+        }
+    })
+}
+
 fn write_json(path: &str, result: &BenchResult) -> std::io::Result<()> {
     std::fs::create_dir_all("results")?;
     let mut f = std::fs::File::create(path)?;
@@ -132,5 +198,23 @@ fn main() {
     );
     write_json("results/BENCH_wire.json", &wire).expect("write BENCH_wire.json");
 
-    println!("\nbaselines written to results/BENCH_qos.json, results/BENCH_wire.json");
+    let alpha = bench_registry_alpha_swap(budget_ms);
+    println!(
+        "{:22} best {:8.2} ns/op, mean {:8.2} ns/op over {} batches",
+        alpha.name, alpha.best_ns_per_op, alpha.mean_ns_per_op, alpha.batches
+    );
+    let wheel = bench_wheel_tick_rearm(budget_ms);
+    println!(
+        "{:22} best {:8.2} ns/op, mean {:8.2} ns/op over {} batches",
+        wheel.name, wheel.best_ns_per_op, wheel.mean_ns_per_op, wheel.batches
+    );
+    std::fs::create_dir_all("results").expect("create results dir");
+    let mut f = std::fs::File::create("results/BENCH_cluster.json")
+        .expect("create BENCH_cluster.json");
+    writeln!(f, "[{},{}]", alpha.to_json(), wheel.to_json()).expect("write BENCH_cluster.json");
+
+    println!(
+        "\nbaselines written to results/BENCH_qos.json, results/BENCH_wire.json, \
+         results/BENCH_cluster.json"
+    );
 }

@@ -69,6 +69,13 @@ impl EventLog {
         self.events.iter().filter(|e| e.peer == peer).collect()
     }
 
+    /// The first event for `peer` with the given change, if any — the
+    /// natural query for takeover bounds ("when was the peer first
+    /// re-trusted on the adopting node?").
+    pub fn first(&self, peer: PeerId, change: MembershipChange) -> Option<&MembershipEvent> {
+        self.events.iter().find(|e| e.peer == peer && e.change == change)
+    }
+
     /// Events for `peer` observed *after* its first `Removed` event.
     /// A non-empty result is the "ghost event" lifecycle violation.
     pub fn ghost_events_after_remove(&self, peer: PeerId) -> Vec<&MembershipEvent> {

@@ -44,8 +44,25 @@ const MAX_REQUEST_HEAD: usize = 4096;
 /// Restart budget for the supervised accept loop.
 const MAX_ACCEPT_RESTARTS: u64 = 8;
 
+/// An extra producer of metrics mounted on the same endpoint: the
+/// federation tier (and anything else living alongside a monitor)
+/// appends its own Prometheus families and JSON fields to every scrape
+/// without the exporter knowing its type. Implementations must be
+/// cheap and non-blocking — they run on the accept thread.
+pub trait MetricsSource: Send + Sync {
+    /// Appends Prometheus text-format families to `out` (use
+    /// [`family`] for correct HELP/TYPE framing).
+    fn prometheus(&self, out: &mut String);
+
+    /// Extra top-level JSON fields as `(key, rendered-value)` pairs;
+    /// values must already be valid JSON (a number, `"string"`, or an
+    /// object).
+    fn json_fields(&self) -> Vec<(String, String)>;
+}
+
 struct ExporterInner {
     monitor: ClusterMonitor,
+    sources: Vec<Arc<dyn MetricsSource>>,
     listener: TcpListener,
     addr: SocketAddr,
     stop: AtomicBool,
@@ -84,6 +101,22 @@ impl MetricsExporter {
     /// [`RuntimeError::Net`] if the listener cannot bind,
     /// [`RuntimeError::Spawn`] if the accept thread cannot start.
     pub fn bind(addr: impl ToSocketAddrs, monitor: ClusterMonitor) -> Result<Self, RuntimeError> {
+        Self::bind_with_sources(addr, monitor, Vec::new())
+    }
+
+    /// [`bind`](Self::bind), plus extra [`MetricsSource`]s whose output
+    /// is appended to every `/metrics` and `/metrics.json` response —
+    /// how the federation tier surfaces its `fd_fed_*` series through
+    /// the same endpoint as the embedded monitor.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`bind`](Self::bind).
+    pub fn bind_with_sources(
+        addr: impl ToSocketAddrs,
+        monitor: ClusterMonitor,
+        sources: Vec<Arc<dyn MetricsSource>>,
+    ) -> Result<Self, RuntimeError> {
         let listener = TcpListener::bind(addr)
             .map_err(|source| RuntimeError::Net { op: "bind", source })?;
         let local = listener
@@ -91,6 +124,7 @@ impl MetricsExporter {
             .map_err(|source| RuntimeError::Net { op: "local_addr", source })?;
         let inner = Arc::new(ExporterInner {
             monitor,
+            sources,
             listener,
             addr: local,
             stop: AtomicBool::new(false),
@@ -219,12 +253,25 @@ fn serve_one(inner: &ExporterInner, mut stream: TcpStream) -> std::io::Result<()
         ("405 Method Not Allowed", "text/plain; charset=utf-8", "method not allowed\n".to_string())
     } else {
         match path {
-            "/metrics" => (
-                "200 OK",
-                "text/plain; version=0.0.4; charset=utf-8",
-                render_prometheus(&inner.monitor),
-            ),
-            "/metrics.json" => ("200 OK", "application/json", render_json(&inner.monitor)),
+            "/metrics" => {
+                let mut body = render_prometheus(&inner.monitor);
+                for source in &inner.sources {
+                    source.prometheus(&mut body);
+                }
+                ("200 OK", "text/plain; version=0.0.4; charset=utf-8", body)
+            }
+            "/metrics.json" => {
+                let mut body = render_json(&inner.monitor);
+                for source in &inner.sources {
+                    for (key, value) in source.json_fields() {
+                        // Splice each extra field before the document's
+                        // closing brace; the render always ends in "]}".
+                        body.pop();
+                        let _ = write!(body, ",\"{key}\":{value}}}");
+                    }
+                }
+                ("200 OK", "application/json", body)
+            }
             _ => ("404 Not Found", "text/plain; charset=utf-8", "not found\n".to_string()),
         }
     };
@@ -237,7 +284,10 @@ fn serve_one(inner: &ExporterInner, mut stream: TcpStream) -> std::io::Result<()
 }
 
 /// One Prometheus metric family: HELP/TYPE header plus its series.
-fn family(out: &mut String, name: &str, help: &str, kind: &str, series: &[(Option<u64>, f64)]) {
+/// Series entries label their value with `{peer="<id>"}` when the id is
+/// `Some` (federation sources reuse the label position for node ids).
+/// Public so [`MetricsSource`] implementations emit well-formed text.
+pub fn family(out: &mut String, name: &str, help: &str, kind: &str, series: &[(Option<u64>, f64)]) {
     if series.is_empty() {
         return;
     }
@@ -583,6 +633,35 @@ mod tests {
         assert!(body.contains("\"degraded_peers\":0"));
         assert!(body.contains("\"mean_mistake_duration\":null"));
         assert!(body.ends_with("]}"));
+        exporter.shutdown();
+        m.shutdown();
+    }
+
+    struct FakeSource;
+
+    impl MetricsSource for FakeSource {
+        fn prometheus(&self, out: &mut String) {
+            family(out, "fd_fed_fake", "Fake federation gauge.", "gauge", &[(None, 7.0)]);
+        }
+
+        fn json_fields(&self) -> Vec<(String, String)> {
+            vec![("federation".into(), "{\"nodes\":4}".into())]
+        }
+    }
+
+    #[test]
+    fn extra_sources_appear_in_both_formats() {
+        let m = monitor_with_peers(1);
+        let exporter =
+            MetricsExporter::bind_with_sources("127.0.0.1:0", m.clone(), vec![Arc::new(FakeSource)])
+                .expect("bind");
+        let (_, text) = http_get(exporter.local_addr(), "/metrics");
+        assert!(text.contains("# TYPE fd_fed_fake gauge"));
+        assert!(text.contains("fd_fed_fake 7"));
+        assert!(text.contains("fd_cluster_peers 1"), "monitor families must survive");
+        let (_, json) = http_get(exporter.local_addr(), "/metrics.json");
+        assert!(json.contains(",\"federation\":{\"nodes\":4}}"), "{json}");
+        assert!(json.starts_with("{\"now\":") && json.ends_with('}'));
         exporter.shutdown();
         m.shutdown();
     }

@@ -20,7 +20,7 @@
 //!   expirations for *all* peers are bucketed into coarse time slots and
 //!   driven by a single ticker thread, instead of one timer thread per
 //!   peer;
-//! * a batched [`wire`] protocol (v3, decoding v1/v2) — many
+//! * a batched [`wire`] protocol (v4, decoding v1–v3) — many
 //!   `(peer_id, incarnation, seq, send_ts)` heartbeat entries per
 //!   datagram, multiplexed by [`ClusterSender`]/[`ClusterReceiver`] over
 //!   a single UDP socket, plus v3 *control* frames carrying
@@ -81,15 +81,20 @@ pub use monitor::{
     MembershipChange, MembershipEvent, PeerConfig, PeerQos, PeerStatus,
 };
 pub use events::EventLog;
-pub use exporter::{render_json, render_prometheus, MetricsExporter};
+pub use exporter::{family, render_json, render_prometheus, MetricsExporter, MetricsSource};
 pub use net::{
     ClusterReceiver, ClusterReceiverConfig, ClusterSender, ClusterSenderConfig, ControlListener,
     ControlListenerConfig, ControlSender,
 };
 pub use registry::{PeerCounters, QosState};
-pub use snapshot::{ClusterStateSnapshot, ControlRecord, PeerRecord, SnapshotError};
+pub use snapshot::{
+    ClusterStateSnapshot, ControlRecord, PeerRecord, SnapshotError, SnapshotOrigin,
+};
 pub use wire::{
-    ControlEntry, Frame, HeartbeatEntry, BATCH_MAGIC, BATCH_WIRE_VERSION, BATCH_WIRE_VERSION_V1,
-    BATCH_WIRE_VERSION_V3, CONTROL_ENTRY_LEN, ENTRY_LEN, ENTRY_LEN_V1, HEADER_LEN, HEADER_LEN_V3,
-    MAX_BATCH, MAX_BATCH_V1, MAX_CONTROL_BATCH,
+    decode_batch, decode_frame, encode_digest, ControlEntry, DigestEntry, DigestFrame,
+    DigestSummary, Frame, HeartbeatEntry,
+    BATCH_MAGIC, BATCH_WIRE_VERSION, BATCH_WIRE_VERSION_V1, BATCH_WIRE_VERSION_V3,
+    BATCH_WIRE_VERSION_V4, CONTROL_ENTRY_LEN, DIGEST_ENTRY_LEN, ENTRY_LEN, ENTRY_LEN_V1,
+    FRAME_KIND_DIGEST, HEADER_LEN, HEADER_LEN_DIGEST, HEADER_LEN_V3, MAX_BATCH, MAX_BATCH_V1,
+    MAX_CONTROL_BATCH, MAX_DIGEST_BATCH,
 };

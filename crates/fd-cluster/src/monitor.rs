@@ -54,7 +54,7 @@
 
 use crate::backoff;
 use crate::registry::{ControlState, PeerCounters, PeerRegistry, PeerState, QosState};
-use crate::snapshot::{self, ClusterStateSnapshot, ControlRecord, PeerRecord};
+use crate::snapshot::{self, ClusterStateSnapshot, ControlRecord, PeerRecord, SnapshotOrigin};
 use crate::wheel::TimerWheel;
 use crate::PeerId;
 use crossbeam::channel::{self, RecvTimeoutError, TrySendError};
@@ -108,6 +108,11 @@ pub struct ClusterConfig {
     /// Adaptive control-plane knobs (see [`ControlConfig`]). Only peers
     /// registered with [`PeerConfig::requirements`] participate.
     pub control: ControlConfig,
+    /// Provenance stamped into every snapshot this monitor writes
+    /// (federation nodes set their node id + incarnation so a takeover
+    /// can verify whose state it is warm-starting from). `None` —
+    /// the default — writes snapshots without an origin block.
+    pub origin: Option<SnapshotOrigin>,
 }
 
 impl Default for ClusterConfig {
@@ -123,6 +128,7 @@ impl Default for ClusterConfig {
             snapshot_interval: 1.0,
             gen_origin: 0,
             control: ControlConfig::default(),
+            origin: None,
         }
     }
 }
@@ -456,6 +462,9 @@ struct Inner {
     max_ticker_restarts: u64,
     snapshot_path: Option<PathBuf>,
     snapshot_interval: f64,
+    /// Provenance stamped into written snapshots (see
+    /// [`ClusterConfig::origin`]).
+    origin: Option<SnapshotOrigin>,
     last_snapshot: Mutex<f64>,
     ticker_health: Mutex<Health>,
     inject_ticker_panic: AtomicBool,
@@ -578,6 +587,7 @@ impl ClusterMonitor {
             max_ticker_restarts: cfg.max_ticker_restarts,
             snapshot_path: cfg.snapshot_path.clone(),
             snapshot_interval: cfg.snapshot_interval.max(cfg.tick),
+            origin: cfg.origin,
             last_snapshot: Mutex::new(time_base),
             ticker_health: Mutex::new(Health::Healthy),
             inject_ticker_panic: AtomicBool::new(false),
@@ -728,6 +738,35 @@ impl ClusterMonitor {
     /// [`ClusterError::DuplicatePeer`] if already registered,
     /// [`ClusterError::Params`] if `cfg` is invalid.
     pub fn add_peer(&self, peer: PeerId, cfg: PeerConfig) -> Result<(), ClusterError> {
+        self.add_peer_inner(peer, cfg, 0)
+    }
+
+    /// Registers a peer whose incarnation high-water mark starts at
+    /// `incarnation` instead of 0 — the federation takeover path: a node
+    /// adopting an orphaned partition seeds each peer with the highest
+    /// incarnation the dead node had gossiped, so heartbeats delayed in
+    /// flight from a *previous life* of the peer cannot refresh trust in
+    /// it under its new owner. The peer still starts suspected
+    /// (fail-safe) and is trusted on its first fresh heartbeat.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`add_peer`](Self::add_peer).
+    pub fn add_peer_warm(
+        &self,
+        peer: PeerId,
+        cfg: PeerConfig,
+        incarnation: u64,
+    ) -> Result<(), ClusterError> {
+        self.add_peer_inner(peer, cfg, incarnation)
+    }
+
+    fn add_peer_inner(
+        &self,
+        peer: PeerId,
+        cfg: PeerConfig,
+        incarnation: u64,
+    ) -> Result<(), ClusterError> {
         let detector = NfdE::new(cfg.eta, cfg.alpha, cfg.window)?;
         let inner = &*self.inner;
         let now = inner.now();
@@ -756,7 +795,7 @@ impl ClusterMonitor {
             let mut state = PeerState {
                 detector,
                 last_output: FdOutput::Suspect,
-                incarnation: 0,
+                incarnation,
                 gen,
                 armed: false,
                 last_seen: now,
@@ -848,6 +887,40 @@ impl ClusterMonitor {
         hb: Heartbeat,
     ) -> bool {
         self.record_inner(peer, now, incarnation, hb)
+    }
+
+    /// Advances every peer's detector to the explicit cluster-clock
+    /// time `now`, applying any freshness expirations immediately — the
+    /// deterministic counterpart of the wall-clock ticker sweep, for
+    /// drivers (simulation, federation harness, fd-smc scenarios) that
+    /// feed [`record_at`](Self::record_at) with scripted timestamps and
+    /// need suspicion transitions at exactly those times rather than at
+    /// the mercy of a real ticker. Times earlier than a peer's latest
+    /// are clamped per peer (detector time is monotone). Membership
+    /// events are emitted after all shard locks are released; returns
+    /// how many were emitted. A non-finite `now` is ignored.
+    pub fn advance_to(&self, now: f64) -> usize {
+        if !now.is_finite() {
+            return 0;
+        }
+        let inner = &*self.inner;
+        let mut events = Vec::new();
+        for shard in inner.registry.shards() {
+            let mut guard = shard.write();
+            for (peer, state) in guard.iter_mut() {
+                let t = now.max(state.last_seen);
+                state.last_seen = t;
+                state.detector.advance(t);
+                if let Some(ev) = apply_transition(state, *peer, t) {
+                    events.push(ev);
+                }
+            }
+        }
+        let n = events.len();
+        for ev in events {
+            inner.emit(ev);
+        }
+        n
     }
 
     fn record_inner(&self, peer: PeerId, now: f64, incarnation: u64, hb: Heartbeat) -> bool {
@@ -1301,7 +1374,7 @@ impl Inner {
             }
         }
         peers.sort_by_key(|r| r.peer);
-        ClusterStateSnapshot { taken_at, peers }
+        ClusterStateSnapshot { taken_at, origin: self.origin, peers }
     }
 
     fn save_snapshot_if_configured(&self) -> bool {
@@ -2280,6 +2353,7 @@ mod tests {
         // Hand-write a version-1 snapshot (pre-qos layout).
         let snap = crate::snapshot::ClusterStateSnapshot {
             taken_at: 5.0,
+            origin: None,
             peers: vec![crate::snapshot::PeerRecord {
                 peer: 3,
                 incarnation: 2,

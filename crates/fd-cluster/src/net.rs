@@ -871,9 +871,10 @@ fn control_pump(
                     on_recommendation(e.peer, e.eta);
                 }
             }
-            Some(Frame::Heartbeats(_)) => {
+            Some(Frame::Heartbeats(_)) | Some(Frame::Digest(_)) => {
                 // Well-formed but misdirected: someone aimed heartbeat
-                // traffic at the control port. Count and drop.
+                // or federation gossip traffic at the control port.
+                // Count and drop.
                 shared.ignored.fetch_add(1, Ordering::Relaxed);
             }
             None => {

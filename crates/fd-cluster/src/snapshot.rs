@@ -14,8 +14,9 @@
 //! | field | size |
 //! |-------|-----:|
 //! | magic `[0xFD, 0x5C]` | 2 |
-//! | version `u16` (`3`; `1` and `2` still decode) | 2 |
+//! | version `u16` (`4`; `1`–`3` still decode) | 2 |
 //! | `taken_at: f64` (cluster clock, seconds) | 8 |
+//! | origin block (version ≥ 4): flag `u8` + `node u64` + `incarnation u64` | 17 |
 //! | peer count `u32` | 4 |
 //! | peer records … | var |
 //! | FNV-1a 64 checksum of everything above | 8 |
@@ -44,6 +45,14 @@
 //! version-1 or -2 snapshot decodes with `control: None`: the restored
 //! peer keeps whatever requirements its re-registration declares.
 //!
+//! Version 4 inserts a *provenance* block right after `taken_at`: a
+//! flag byte and, when set, the [`SnapshotOrigin`] — the federation
+//! node id and node incarnation that wrote the snapshot, so a surviving
+//! node taking over a dead node's partition can verify whose state it
+//! is warm-starting from. Version 1–3 snapshots decode with
+//! `origin: None`, as do version-4 snapshots written by a standalone
+//! monitor.
+//!
 //! Decoding is strict — wrong magic, unknown version, truncation,
 //! trailing bytes, non-finite parameters or a checksum mismatch all
 //! yield [`SnapshotError::Corrupt`]. Corruption is *safe* to reject
@@ -70,7 +79,7 @@ use std::path::Path;
 pub const SNAPSHOT_MAGIC: [u8; 2] = [0xFD, 0x5C];
 
 /// Current snapshot format version.
-pub const SNAPSHOT_VERSION: u16 = 3;
+pub const SNAPSHOT_VERSION: u16 = 4;
 
 /// Oldest version [`decode_snapshot`] still accepts.
 pub const SNAPSHOT_MIN_VERSION: u16 = 1;
@@ -139,12 +148,29 @@ pub struct ControlRecord {
     pub loss_received: u64,
 }
 
+/// Which federation node (and which life of it) wrote a snapshot —
+/// version-4 provenance, stamped by monitors embedded in an
+/// `fd-federation` node so partition takeover can tell whose warm state
+/// a snapshot file holds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SnapshotOrigin {
+    /// The federation node id.
+    pub node: u64,
+    /// That node's incarnation when the snapshot was written.
+    pub incarnation: u64,
+}
+
 /// A decoded snapshot: when it was taken (on the cluster clock that
-/// wrote it) and every peer's state.
+/// wrote it), who wrote it (version ≥ 4, federation nodes only), and
+/// every peer's state.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ClusterStateSnapshot {
     /// Cluster-clock time the snapshot was taken, seconds.
     pub taken_at: f64,
+    /// Provenance of the writing monitor, when it declared one
+    /// ([`crate::ClusterConfig::origin`]). `None` for standalone
+    /// monitors and every pre-v4 snapshot.
+    pub origin: Option<SnapshotOrigin>,
     /// Per-peer records.
     pub peers: Vec<PeerRecord>,
 }
@@ -194,12 +220,21 @@ fn fnv1a(bytes: &[u8]) -> u64 {
     h
 }
 
-/// Encodes a snapshot to its binary form (checksum included).
-pub fn encode_snapshot(snap: &ClusterStateSnapshot) -> Vec<u8> {
-    let mut buf = Vec::with_capacity(16 + snap.peers.len() * 96);
+/// Encodes a snapshot at a given format version — the single body
+/// behind [`encode_snapshot`] and the test-only legacy encoders, so the
+/// per-record layout lives in one place and each version gates the
+/// blocks it introduced.
+fn encode_snapshot_at(snap: &ClusterStateSnapshot, version: u16) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(33 + snap.peers.len() * 96);
     buf.extend_from_slice(&SNAPSHOT_MAGIC);
-    buf.extend_from_slice(&SNAPSHOT_VERSION.to_le_bytes());
+    buf.extend_from_slice(&version.to_le_bytes());
     buf.extend_from_slice(&snap.taken_at.to_le_bytes());
+    if version >= 4 {
+        buf.push(snap.origin.is_some() as u8);
+        let o = snap.origin.unwrap_or(SnapshotOrigin { node: 0, incarnation: 0 });
+        buf.extend_from_slice(&o.node.to_le_bytes());
+        buf.extend_from_slice(&o.incarnation.to_le_bytes());
+    }
     buf.extend_from_slice(&(snap.peers.len() as u32).to_le_bytes());
     for r in &snap.peers {
         buf.extend_from_slice(&r.peer.to_le_bytes());
@@ -224,49 +259,58 @@ pub fn encode_snapshot(snap: &ClusterStateSnapshot) -> Vec<u8> {
         for s in &r.samples {
             buf.extend_from_slice(&s.to_le_bytes());
         }
-        buf.push(r.qos.is_some() as u8);
-        if let Some(q) = &r.qos {
-            buf.push(match q.output {
-                FdOutput::Trust => 0,
-                FdOutput::Suspect => 1,
-            });
-            buf.extend_from_slice(&q.origin.to_le_bytes());
-            buf.extend_from_slice(&q.at.to_le_bytes());
-            buf.extend_from_slice(&q.segment_start.to_le_bytes());
-            buf.push(q.segment_opened_by_transition as u8);
-            buf.extend_from_slice(&q.trust_time.to_le_bytes());
-            buf.extend_from_slice(&q.suspect_time.to_le_bytes());
-            buf.push(q.last_s.is_some() as u8);
-            buf.extend_from_slice(&q.last_s.unwrap_or(0.0).to_le_bytes());
-            buf.extend_from_slice(&q.s_transitions.to_le_bytes());
-            buf.extend_from_slice(&q.t_transitions.to_le_bytes());
-            for stats in [&q.recurrence, &q.duration, &q.good] {
-                buf.extend_from_slice(&stats.count().to_le_bytes());
-                buf.extend_from_slice(&stats.mean().to_le_bytes());
-                buf.extend_from_slice(&stats.m2().to_le_bytes());
+        if version >= 2 {
+            buf.push(r.qos.is_some() as u8);
+            if let Some(q) = &r.qos {
+                buf.push(match q.output {
+                    FdOutput::Trust => 0,
+                    FdOutput::Suspect => 1,
+                });
+                buf.extend_from_slice(&q.origin.to_le_bytes());
+                buf.extend_from_slice(&q.at.to_le_bytes());
+                buf.extend_from_slice(&q.segment_start.to_le_bytes());
+                buf.push(q.segment_opened_by_transition as u8);
+                buf.extend_from_slice(&q.trust_time.to_le_bytes());
+                buf.extend_from_slice(&q.suspect_time.to_le_bytes());
+                buf.push(q.last_s.is_some() as u8);
+                buf.extend_from_slice(&q.last_s.unwrap_or(0.0).to_le_bytes());
+                buf.extend_from_slice(&q.s_transitions.to_le_bytes());
+                buf.extend_from_slice(&q.t_transitions.to_le_bytes());
+                for stats in [&q.recurrence, &q.duration, &q.good] {
+                    buf.extend_from_slice(&stats.count().to_le_bytes());
+                    buf.extend_from_slice(&stats.mean().to_le_bytes());
+                    buf.extend_from_slice(&stats.m2().to_le_bytes());
+                }
             }
         }
-        buf.push(r.control.is_some() as u8);
-        if let Some(c) = &r.control {
-            buf.extend_from_slice(&c.t_d_upper.to_le_bytes());
-            buf.extend_from_slice(&c.t_mr_lower.to_le_bytes());
-            buf.extend_from_slice(&c.t_m_upper.to_le_bytes());
-            buf.push(c.degraded as u8);
-            buf.extend_from_slice(&c.reconfigurations.to_le_bytes());
-            buf.extend_from_slice(&c.degradations.to_le_bytes());
-            buf.extend_from_slice(&c.promotions.to_le_bytes());
-            buf.extend_from_slice(&c.feasible_streak.to_le_bytes());
-            buf.push(c.last_change.is_some() as u8);
-            buf.extend_from_slice(&c.last_change.unwrap_or(0.0).to_le_bytes());
-            buf.push(c.recommended_eta.is_some() as u8);
-            buf.extend_from_slice(&c.recommended_eta.unwrap_or(0.0).to_le_bytes());
-            buf.extend_from_slice(&c.loss_highest.to_le_bytes());
-            buf.extend_from_slice(&c.loss_received.to_le_bytes());
+        if version >= 3 {
+            buf.push(r.control.is_some() as u8);
+            if let Some(c) = &r.control {
+                buf.extend_from_slice(&c.t_d_upper.to_le_bytes());
+                buf.extend_from_slice(&c.t_mr_lower.to_le_bytes());
+                buf.extend_from_slice(&c.t_m_upper.to_le_bytes());
+                buf.push(c.degraded as u8);
+                buf.extend_from_slice(&c.reconfigurations.to_le_bytes());
+                buf.extend_from_slice(&c.degradations.to_le_bytes());
+                buf.extend_from_slice(&c.promotions.to_le_bytes());
+                buf.extend_from_slice(&c.feasible_streak.to_le_bytes());
+                buf.push(c.last_change.is_some() as u8);
+                buf.extend_from_slice(&c.last_change.unwrap_or(0.0).to_le_bytes());
+                buf.push(c.recommended_eta.is_some() as u8);
+                buf.extend_from_slice(&c.recommended_eta.unwrap_or(0.0).to_le_bytes());
+                buf.extend_from_slice(&c.loss_highest.to_le_bytes());
+                buf.extend_from_slice(&c.loss_received.to_le_bytes());
+            }
         }
     }
     let sum = fnv1a(&buf);
     buf.extend_from_slice(&sum.to_le_bytes());
     buf
+}
+
+/// Encodes a snapshot to its binary form (checksum included).
+pub fn encode_snapshot(snap: &ClusterStateSnapshot) -> Vec<u8> {
+    encode_snapshot_at(snap, SNAPSHOT_VERSION)
 }
 
 /// Encodes a snapshot in the legacy version-1 layout (no QoS blocks).
@@ -274,38 +318,7 @@ pub fn encode_snapshot(snap: &ClusterStateSnapshot) -> Vec<u8> {
 /// monitor cold-starts from a pre-bump snapshot.
 #[cfg(test)]
 pub(crate) fn encode_snapshot_v1(snap: &ClusterStateSnapshot) -> Vec<u8> {
-    let mut buf = Vec::with_capacity(16 + snap.peers.len() * 96);
-    buf.extend_from_slice(&SNAPSHOT_MAGIC);
-    buf.extend_from_slice(&1u16.to_le_bytes());
-    buf.extend_from_slice(&snap.taken_at.to_le_bytes());
-    buf.extend_from_slice(&(snap.peers.len() as u32).to_le_bytes());
-    for r in &snap.peers {
-        buf.extend_from_slice(&r.peer.to_le_bytes());
-        buf.extend_from_slice(&r.incarnation.to_le_bytes());
-        buf.extend_from_slice(&r.eta.to_le_bytes());
-        buf.extend_from_slice(&r.alpha.to_le_bytes());
-        buf.extend_from_slice(&(r.window as u32).to_le_bytes());
-        buf.push(r.max_seq.is_some() as u8);
-        buf.extend_from_slice(&r.max_seq.unwrap_or(0).to_le_bytes());
-        let c = &r.counters;
-        for v in [
-            c.heartbeats,
-            c.stale,
-            c.suspicions,
-            c.recoveries,
-            c.stale_incarnation,
-            c.incarnation_resets,
-        ] {
-            buf.extend_from_slice(&v.to_le_bytes());
-        }
-        buf.extend_from_slice(&(r.samples.len() as u32).to_le_bytes());
-        for s in &r.samples {
-            buf.extend_from_slice(&s.to_le_bytes());
-        }
-    }
-    let sum = fnv1a(&buf);
-    buf.extend_from_slice(&sum.to_le_bytes());
-    buf
+    encode_snapshot_at(snap, 1)
 }
 
 /// Encodes a snapshot in the legacy version-2 layout (QoS blocks, no
@@ -313,60 +326,15 @@ pub(crate) fn encode_snapshot_v1(snap: &ClusterStateSnapshot) -> Vec<u8> {
 /// snapshot.
 #[cfg(test)]
 pub(crate) fn encode_snapshot_v2(snap: &ClusterStateSnapshot) -> Vec<u8> {
-    let mut buf = Vec::with_capacity(16 + snap.peers.len() * 96);
-    buf.extend_from_slice(&SNAPSHOT_MAGIC);
-    buf.extend_from_slice(&2u16.to_le_bytes());
-    buf.extend_from_slice(&snap.taken_at.to_le_bytes());
-    buf.extend_from_slice(&(snap.peers.len() as u32).to_le_bytes());
-    for r in &snap.peers {
-        buf.extend_from_slice(&r.peer.to_le_bytes());
-        buf.extend_from_slice(&r.incarnation.to_le_bytes());
-        buf.extend_from_slice(&r.eta.to_le_bytes());
-        buf.extend_from_slice(&r.alpha.to_le_bytes());
-        buf.extend_from_slice(&(r.window as u32).to_le_bytes());
-        buf.push(r.max_seq.is_some() as u8);
-        buf.extend_from_slice(&r.max_seq.unwrap_or(0).to_le_bytes());
-        let c = &r.counters;
-        for v in [
-            c.heartbeats,
-            c.stale,
-            c.suspicions,
-            c.recoveries,
-            c.stale_incarnation,
-            c.incarnation_resets,
-        ] {
-            buf.extend_from_slice(&v.to_le_bytes());
-        }
-        buf.extend_from_slice(&(r.samples.len() as u32).to_le_bytes());
-        for s in &r.samples {
-            buf.extend_from_slice(&s.to_le_bytes());
-        }
-        buf.push(r.qos.is_some() as u8);
-        if let Some(q) = &r.qos {
-            buf.push(match q.output {
-                FdOutput::Trust => 0,
-                FdOutput::Suspect => 1,
-            });
-            buf.extend_from_slice(&q.origin.to_le_bytes());
-            buf.extend_from_slice(&q.at.to_le_bytes());
-            buf.extend_from_slice(&q.segment_start.to_le_bytes());
-            buf.push(q.segment_opened_by_transition as u8);
-            buf.extend_from_slice(&q.trust_time.to_le_bytes());
-            buf.extend_from_slice(&q.suspect_time.to_le_bytes());
-            buf.push(q.last_s.is_some() as u8);
-            buf.extend_from_slice(&q.last_s.unwrap_or(0.0).to_le_bytes());
-            buf.extend_from_slice(&q.s_transitions.to_le_bytes());
-            buf.extend_from_slice(&q.t_transitions.to_le_bytes());
-            for stats in [&q.recurrence, &q.duration, &q.good] {
-                buf.extend_from_slice(&stats.count().to_le_bytes());
-                buf.extend_from_slice(&stats.mean().to_le_bytes());
-                buf.extend_from_slice(&stats.m2().to_le_bytes());
-            }
-        }
-    }
-    let sum = fnv1a(&buf);
-    buf.extend_from_slice(&sum.to_le_bytes());
-    buf
+    encode_snapshot_at(snap, 2)
+}
+
+/// Encodes a snapshot in the legacy version-3 layout (QoS + control
+/// blocks, no origin block). Test-only: exercises restore from a
+/// pre-federation snapshot.
+#[cfg(test)]
+pub(crate) fn encode_snapshot_v3(snap: &ClusterStateSnapshot) -> Vec<u8> {
+    encode_snapshot_at(snap, 3)
 }
 
 /// Sequential little-endian reader over a byte slice.
@@ -547,6 +515,18 @@ pub fn decode_snapshot(buf: &[u8]) -> Result<ClusterStateSnapshot, SnapshotError
     if !taken_at.is_finite() || taken_at < 0.0 {
         return Err(SnapshotError::Corrupt("non-finite or negative taken_at"));
     }
+    let origin = if version >= 4 {
+        let has_origin = match cur.u8("origin flag")? {
+            0 => false,
+            1 => true,
+            _ => return Err(SnapshotError::Corrupt("bad origin flag")),
+        };
+        let node = cur.u64("origin node")?;
+        let incarnation = cur.u64("origin incarnation")?;
+        has_origin.then_some(SnapshotOrigin { node, incarnation })
+    } else {
+        None
+    };
     let count = cur.u32("peer count")? as usize;
     let mut peers = Vec::with_capacity(count.min(4096));
     for _ in 0..count {
@@ -616,7 +596,7 @@ pub fn decode_snapshot(buf: &[u8]) -> Result<ClusterStateSnapshot, SnapshotError
     if cur.pos != body.len() {
         return Err(SnapshotError::Corrupt("trailing bytes"));
     }
-    Ok(ClusterStateSnapshot { taken_at, peers })
+    Ok(ClusterStateSnapshot { taken_at, origin, peers })
 }
 
 /// Writes a snapshot atomically: encode, write to `<path>.tmp`, rename.
@@ -677,6 +657,7 @@ mod tests {
     fn sample_snapshot() -> ClusterStateSnapshot {
         ClusterStateSnapshot {
             taken_at: 12.25,
+            origin: Some(SnapshotOrigin { node: 2, incarnation: 5 }),
             peers: vec![
                 PeerRecord {
                     peer: 7,
@@ -735,7 +716,7 @@ mod tests {
 
     #[test]
     fn empty_snapshot_roundtrips() {
-        let snap = ClusterStateSnapshot { taken_at: 0.0, peers: vec![] };
+        let snap = ClusterStateSnapshot { taken_at: 0.0, origin: None, peers: vec![] };
         assert_eq!(decode_snapshot(&encode_snapshot(&snap)).unwrap(), snap);
     }
 
@@ -779,6 +760,38 @@ mod tests {
             assert_eq!(got.counters, want.counters);
             assert_eq!(got.samples, want.samples);
             assert_eq!(got.max_seq, want.max_seq);
+        }
+    }
+
+    #[test]
+    fn version_3_snapshots_still_decode() {
+        let snap = sample_snapshot();
+        let v3 = encode_snapshot_v3(&snap);
+        let decoded = decode_snapshot(&v3).unwrap();
+        assert_eq!(decoded.taken_at, snap.taken_at);
+        assert_eq!(decoded.origin, None, "v3 carries no origin block");
+        assert_eq!(decoded.peers, snap.peers, "v3 carries everything else");
+    }
+
+    #[test]
+    fn origin_roundtrips_present_and_absent() {
+        let with = sample_snapshot();
+        assert_eq!(decode_snapshot(&encode_snapshot(&with)).unwrap().origin, with.origin);
+        let mut without = sample_snapshot();
+        without.origin = None;
+        assert_eq!(decode_snapshot(&encode_snapshot(&without)).unwrap(), without);
+    }
+
+    #[test]
+    fn bad_origin_flag_is_rejected() {
+        let mut buf = encode_snapshot(&sample_snapshot());
+        buf[12] = 2; // origin flag follows magic+version+taken_at
+        let body_len = buf.len() - 8;
+        let sum = fnv1a(&buf[..body_len]);
+        buf[body_len..].copy_from_slice(&sum.to_le_bytes());
+        match decode_snapshot(&buf) {
+            Err(SnapshotError::Corrupt("bad origin flag")) => {}
+            other => panic!("expected bad origin flag, got {other:?}"),
         }
     }
 
@@ -846,10 +859,182 @@ mod tests {
         write_snapshot_file(&path, &snap).unwrap();
         assert_eq!(read_snapshot_file(&path).unwrap(), Some(snap.clone()));
         // Overwrite is atomic-by-rename; the second write replaces the first.
-        let snap2 = ClusterStateSnapshot { taken_at: 99.0, peers: vec![] };
+        let snap2 = ClusterStateSnapshot { taken_at: 99.0, origin: None, peers: vec![] };
         write_snapshot_file(&path, &snap2).unwrap();
         assert_eq!(read_snapshot_file(&path).unwrap(), Some(snap2));
         fs::remove_file(&path).unwrap();
+    }
+
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
+
+        /// A valid-by-construction QoS tracker state: drive a real
+        /// tracker through a generated output schedule, so every
+        /// invariant `OnlineQos::from_state` checks holds by
+        /// construction rather than by filtering.
+        fn arb_qos_state() -> impl Strategy<Value = QosTrackerState> {
+            (
+                0.0f64..10.0,
+                proptest::collection::vec(0.01f64..5.0, 0..12),
+                proptest::bool::ANY,
+            )
+                .prop_map(|(origin, gaps, start_trust)| {
+                    let first =
+                        if start_trust { FdOutput::Trust } else { FdOutput::Suspect };
+                    let mut q = OnlineQos::new(origin, first);
+                    let mut t = origin;
+                    let mut out = first;
+                    for gap in gaps {
+                        t += gap;
+                        out = match out {
+                            FdOutput::Trust => FdOutput::Suspect,
+                            FdOutput::Suspect => FdOutput::Trust,
+                        };
+                        q.observe(t, out);
+                    }
+                    q.advance(t + 0.5);
+                    q.state()
+                })
+        }
+
+        fn arb_control_record() -> impl Strategy<Value = ControlRecord> {
+            (
+                (0.1f64..100.0, 1.0f64..1.0e6, 0.1f64..100.0),
+                proptest::bool::ANY,
+                (0u64..1000, 0u64..1000, 0u64..1000, 0u32..100),
+                proptest::option::of(0.0f64..1000.0),
+                proptest::option::of(0.001f64..10.0),
+                (0u64..10_000, 0u64..10_000),
+            )
+                .prop_map(
+                    |(req, degraded, counts, last_change, recommended_eta, loss)| {
+                        ControlRecord {
+                            t_d_upper: req.0,
+                            t_mr_lower: req.1,
+                            t_m_upper: req.2,
+                            degraded,
+                            reconfigurations: counts.0,
+                            degradations: counts.1,
+                            promotions: counts.2,
+                            feasible_streak: counts.3,
+                            last_change,
+                            recommended_eta,
+                            loss_highest: loss.0.max(loss.1),
+                            loss_received: loss.0.min(loss.1),
+                        }
+                    },
+                )
+        }
+
+        fn arb_peer_record() -> impl Strategy<Value = PeerRecord> {
+            (
+                (0u64..u64::MAX, 0u64..100),
+                (0.001f64..10.0, 0.001f64..10.0, 2usize..128),
+                proptest::option::of(1u64..100_000),
+                proptest::collection::vec(-1.0f64..1.0, 0..16),
+                proptest::option::of(arb_qos_state()),
+                proptest::option::of(arb_control_record()),
+                proptest::collection::vec(0u64..1_000_000, 6),
+            )
+                .prop_map(|(ids, params, max_seq, samples, qos, control, c)| PeerRecord {
+                    peer: ids.0,
+                    incarnation: ids.1,
+                    eta: params.0,
+                    alpha: params.1,
+                    window: params.2,
+                    max_seq,
+                    counters: PeerCounters {
+                        heartbeats: c[0],
+                        stale: c[1],
+                        suspicions: c[2],
+                        recoveries: c[3],
+                        stale_incarnation: c[4],
+                        incarnation_resets: c[5],
+                    },
+                    samples,
+                    qos,
+                    control,
+                })
+        }
+
+        fn arb_snapshot() -> impl Strategy<Value = ClusterStateSnapshot> {
+            (
+                0.0f64..1.0e6,
+                proptest::option::of((0u64..64, 0u64..32)),
+                proptest::collection::vec(arb_peer_record(), 0..6),
+            )
+                .prop_map(|(taken_at, origin, peers)| ClusterStateSnapshot {
+                    taken_at,
+                    origin: origin
+                        .map(|(node, incarnation)| SnapshotOrigin { node, incarnation }),
+                    peers,
+                })
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(64))]
+
+            /// The full back-compat matrix: any generated snapshot,
+            /// encoded at each legacy version, must restore under the
+            /// v4-aware decoder with exactly the fields that version
+            /// carried — and the current encoding must roundtrip
+            /// losslessly.
+            #[test]
+            fn prop_snapshot_backcompat_matrix(snap in arb_snapshot()) {
+                // v4 (current): lossless.
+                prop_assert_eq!(
+                    decode_snapshot(&encode_snapshot(&snap)).unwrap(),
+                    snap.clone()
+                );
+
+                for version in [1u16, 2, 3] {
+                    let buf = encode_snapshot_at(&snap, version);
+                    let got = decode_snapshot(&buf).unwrap();
+                    prop_assert_eq!(got.taken_at, snap.taken_at);
+                    prop_assert_eq!(got.origin, None, "pre-v4 has no origin");
+                    prop_assert_eq!(got.peers.len(), snap.peers.len());
+                    for (g, w) in got.peers.iter().zip(&snap.peers) {
+                        prop_assert_eq!(g.peer, w.peer);
+                        prop_assert_eq!(g.incarnation, w.incarnation);
+                        prop_assert_eq!(g.eta, w.eta);
+                        prop_assert_eq!(g.alpha, w.alpha);
+                        prop_assert_eq!(g.window, w.window);
+                        prop_assert_eq!(g.max_seq, w.max_seq);
+                        prop_assert_eq!(g.counters, w.counters);
+                        prop_assert_eq!(&g.samples, &w.samples);
+                        if version >= 2 {
+                            prop_assert_eq!(g.qos, w.qos);
+                        } else {
+                            prop_assert_eq!(g.qos, None);
+                        }
+                        if version >= 3 {
+                            prop_assert_eq!(g.control, w.control);
+                        } else {
+                            prop_assert_eq!(g.control, None);
+                        }
+                    }
+                }
+            }
+
+            /// Every legacy encoding survives truncation and bit flips
+            /// without panicking — the decoder stays total across the
+            /// whole version range.
+            #[test]
+            fn prop_legacy_corruption_never_panics(
+                snap in arb_snapshot(),
+                version in 1u16..=4,
+                idx in 0usize..4096,
+                flip in 1u8..255,
+                cut in 0usize..64,
+            ) {
+                let mut buf = encode_snapshot_at(&snap, version);
+                let idx = idx % buf.len();
+                buf[idx] ^= flip;
+                buf.truncate(buf.len() - cut.min(buf.len()));
+                let _ = decode_snapshot(&buf);
+            }
+        }
     }
 
     #[test]

@@ -1,4 +1,4 @@
-//! Batched wire protocol (v3, decodes v1/v2).
+//! Batched wire protocol (v4, decodes v1/v2/v3).
 //!
 //! The single-watch runtime ships one heartbeat per datagram
 //! (`fd-runtime::udp`, 20 bytes each). At cluster scale that is one
@@ -42,6 +42,37 @@
 //! peer's heartbeater consumes it through its own hysteresis gate. v3
 //! heartbeat frames (kind 0) use the same 32-byte entries as v2.
 //!
+//! Version 4 adds the **federation digest** frame kind (`2`): the
+//! compressed per-partition membership + QoS summary that monitor nodes
+//! exchange in the anti-entropy gossip tier (`fd-federation`). A digest
+//! frame carries a fixed header identifying the origin node, its
+//! incarnation, the gossip round and the partition-level roll-up,
+//! followed by zero or more compact per-peer state entries:
+//!
+//! | offset | size | field |
+//! |-------:|-----:|-------|
+//! | 0      | 2    | magic `[0xFD, 0xC1]` |
+//! | 2      | 1    | version (`4`) |
+//! | 3      | 1    | kind (`2` digest) |
+//! | 4      | 8    | `origin: u64` — sending monitor node id |
+//! | 12     | 8    | `node_incarnation: u64` — the node's own life |
+//! | 20     | 8    | `round: u64` — gossip round, starts at 1 |
+//! | 28     | 8    | `at: f64` — sender cluster-clock seconds |
+//! | 36     | 4    | `peers: u32` — owned-partition size |
+//! | 40     | 4    | `suspected: u32` — of which currently suspected |
+//! | 44     | 4    | `degraded: u32` — of which QoS-degraded |
+//! | 48     | 1    | flags: bit 0 full refresh, bit 1 conformance ok |
+//! | 49     | 1    | entry count `c` (0..=[`MAX_DIGEST_BATCH`]) |
+//! | 50+17·k| 17   | entry `k`: `peer u64`, `incarnation u64`, state `u8` |
+//!
+//! The entry state byte uses bit 0 for trusted and bit 1 for degraded;
+//! all other bits (in both flag bytes) must be zero. Unlike heartbeat
+//! and control frames a digest may legally carry **zero** entries — a
+//! delta round in which nothing changed still ships the header as the
+//! node-level heartbeat and partition roll-up. v1–v3 frames decode
+//! unchanged; a v3 frame claiming the digest kind is rejected (digests
+//! exist only from v4 on).
+//!
 //! The magic differs from the single-heartbeat magic (`[0xFD, 0xB1]`), so
 //! each receiver rejects the other's traffic instead of misparsing it.
 //! Decoding is strict *and total*: exact length for the declared count,
@@ -67,17 +98,35 @@ pub const BATCH_WIRE_VERSION_V1: u8 = 1;
 /// for heartbeat frames).
 pub const BATCH_WIRE_VERSION_V3: u8 = 3;
 
+/// The federation wire version emitted by [`encode_digest`]. v4 frames
+/// of kind 0/1 use the v3 layouts unchanged; kind 2 is the digest.
+pub const BATCH_WIRE_VERSION_V4: u8 = 4;
+
 /// v3 frame kind: a batch of heartbeat entries (same entry layout as v2).
 pub const FRAME_KIND_HEARTBEATS: u8 = 0;
 
 /// v3 frame kind: a batch of `η`-recommendation control entries.
 pub const FRAME_KIND_CONTROL: u8 = 1;
 
+/// v4 frame kind: a federation gossip digest.
+pub const FRAME_KIND_DIGEST: u8 = 2;
+
 /// Size of the v1/v2 batch header: magic, version, entry count.
 pub const HEADER_LEN: usize = 4;
 
 /// Size of the v3 batch header: magic, version, kind, entry count.
 pub const HEADER_LEN_V3: usize = 5;
+
+/// Size of the v4 digest header: magic, version, kind, origin,
+/// node incarnation, round, timestamp, three roll-up counts, flags,
+/// entry count.
+pub const HEADER_LEN_DIGEST: usize = 50;
+
+/// Size of one encoded digest entry: `peer + incarnation + state`.
+pub const DIGEST_ENTRY_LEN: usize = 17;
+
+/// Most digest entries per datagram (50 + 83·17 = 1461 bytes).
+pub const MAX_DIGEST_BATCH: usize = 83;
 
 /// Size of one encoded v2/v3 heartbeat entry:
 /// `peer + incarnation + seq + send_time`.
@@ -130,13 +179,68 @@ pub struct ControlEntry {
     pub eta: f64,
 }
 
+/// One peer's compressed state inside a federation digest: which peer,
+/// which life of it, and its membership/QoS verdict at the origin node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DigestEntry {
+    /// The monitored peer this entry describes.
+    pub peer: PeerId,
+    /// The highest incarnation the origin node has accepted for it.
+    pub incarnation: u64,
+    /// `true` if the origin's detector currently trusts the peer.
+    pub trusted: bool,
+    /// `true` if the peer's adaptive control loop is in `Degraded`.
+    pub degraded: bool,
+}
+
+/// The partition-level roll-up carried by every digest frame, entries
+/// or not: how many peers the origin owns and how many of them are in
+/// each bad state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DigestSummary {
+    /// Peers in the origin's owned partition.
+    pub peers: u32,
+    /// Of those, currently suspected (must be ≤ `peers`).
+    pub suspected: u32,
+    /// Of those, QoS-degraded (must be ≤ `peers`).
+    pub degraded: u32,
+    /// `true` if the origin's latest Conformance check passed.
+    pub conformance_ok: bool,
+}
+
+/// One federation gossip digest: the origin node's identity and life,
+/// the gossip round, its partition roll-up, and zero or more per-peer
+/// state entries (a delta, or a chunk of a full refresh).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DigestFrame {
+    /// The sending monitor node.
+    pub origin: u64,
+    /// The sender's own incarnation — receivers reject digests from a
+    /// previous life of the node and reset partition state on a newer.
+    pub node_incarnation: u64,
+    /// Gossip round at the origin, starting at 1 within an incarnation.
+    pub round: u64,
+    /// Origin cluster-clock timestamp, seconds (finite).
+    pub at: f64,
+    /// Partition-level counts.
+    pub summary: DigestSummary,
+    /// `true` if this frame belongs to a full anti-entropy refresh (the
+    /// receiver replaces, rather than merges, its view of the origin's
+    /// partition once the refresh round completes).
+    pub full: bool,
+    /// Per-peer state deltas (may be empty for a summary-only round).
+    pub entries: Vec<DigestEntry>,
+}
+
 /// A decoded datagram: which kind of traffic it carried.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Frame {
-    /// Heartbeat entries (v1, v2, or v3 kind-0 framing).
+    /// Heartbeat entries (v1, v2, or v3/v4 kind-0 framing).
     Heartbeats(Vec<HeartbeatEntry>),
-    /// `η`-recommendation control entries (v3 kind-1 framing).
+    /// `η`-recommendation control entries (v3/v4 kind-1 framing).
     Control(Vec<ControlEntry>),
+    /// A federation gossip digest (v4 kind-2 framing).
+    Digest(DigestFrame),
 }
 
 /// Encodes a batch of heartbeat entries into one v2 datagram.
@@ -194,6 +298,66 @@ pub fn encode_control(entries: &[ControlEntry]) -> Vec<u8> {
     buf
 }
 
+/// Encodes one federation digest into a v4 kind-2 datagram.
+///
+/// # Panics
+///
+/// Panics if the frame holds more than [`MAX_DIGEST_BATCH`] entries,
+/// the summary counts are inconsistent (`suspected` or `degraded`
+/// exceeding `peers`), or `at` is not finite — the decoder would reject
+/// the frame wholesale, so encoding it is a caller bug. Zero entries
+/// are legal: a quiet delta round still ships the header.
+pub fn encode_digest(frame: &DigestFrame) -> Vec<u8> {
+    assert!(
+        frame.entries.len() <= MAX_DIGEST_BATCH,
+        "digest must hold 0..={MAX_DIGEST_BATCH} entries, got {}",
+        frame.entries.len()
+    );
+    assert!(
+        frame.at.is_finite(),
+        "digest timestamp must be finite, got {}",
+        frame.at
+    );
+    assert!(
+        frame.summary.suspected <= frame.summary.peers
+            && frame.summary.degraded <= frame.summary.peers,
+        "digest summary counts must not exceed the partition size"
+    );
+    let mut buf = Vec::with_capacity(HEADER_LEN_DIGEST + frame.entries.len() * DIGEST_ENTRY_LEN);
+    buf.extend_from_slice(&BATCH_MAGIC);
+    buf.push(BATCH_WIRE_VERSION_V4);
+    buf.push(FRAME_KIND_DIGEST);
+    buf.extend_from_slice(&frame.origin.to_le_bytes());
+    buf.extend_from_slice(&frame.node_incarnation.to_le_bytes());
+    buf.extend_from_slice(&frame.round.to_le_bytes());
+    buf.extend_from_slice(&frame.at.to_le_bytes());
+    buf.extend_from_slice(&frame.summary.peers.to_le_bytes());
+    buf.extend_from_slice(&frame.summary.suspected.to_le_bytes());
+    buf.extend_from_slice(&frame.summary.degraded.to_le_bytes());
+    let mut flags = 0u8;
+    if frame.full {
+        flags |= 0b01;
+    }
+    if frame.summary.conformance_ok {
+        flags |= 0b10;
+    }
+    buf.push(flags);
+    buf.push(frame.entries.len() as u8);
+    for e in &frame.entries {
+        buf.extend_from_slice(&e.peer.to_le_bytes());
+        buf.extend_from_slice(&e.incarnation.to_le_bytes());
+        let mut state = 0u8;
+        if e.trusted {
+            state |= 0b01;
+        }
+        if e.degraded {
+            state |= 0b10;
+        }
+        buf.push(state);
+    }
+    buf
+}
+
 /// A bounds-checked little-endian reader: every access is `Option`al, so
 /// no input — however truncated or hostile — can make decoding index
 /// out of the buffer.
@@ -213,6 +377,13 @@ impl<'a> Cursor<'a> {
         Some(b)
     }
 
+    fn u32(&mut self) -> Option<u32> {
+        let end = self.pos.checked_add(4)?;
+        let bytes: [u8; 4] = self.buf.get(self.pos..end)?.try_into().ok()?;
+        self.pos = end;
+        Some(u32::from_le_bytes(bytes))
+    }
+
     fn u64(&mut self) -> Option<u64> {
         let end = self.pos.checked_add(8)?;
         let bytes: [u8; 8] = self.buf.get(self.pos..end)?.try_into().ok()?;
@@ -230,14 +401,17 @@ impl<'a> Cursor<'a> {
     }
 }
 
-/// Decodes one batch datagram of any supported framing (v1, v2, or v3
-/// with either kind).
+/// Decodes one batch datagram of any supported framing (v1, v2, v3, or
+/// v4 with any known kind).
 ///
 /// Returns `None` for anything that is not exactly one well-formed
 /// frame: short header, wrong magic, unknown version or kind, zero
-/// entries, a declared entry count that exceeds (or falls short of) the
-/// bytes actually present, any non-finite timestamp, or any
-/// non-positive/non-finite control `η`. Never panics, for any input.
+/// entries (digests excepted), a declared entry count that exceeds (or
+/// falls short of) the bytes actually present, any non-finite
+/// timestamp, any non-positive/non-finite control `η`, inconsistent
+/// digest summary counts, or unknown digest flag/state bits. A v3 frame
+/// claiming the digest kind is rejected — digests exist only from v4
+/// on. Never panics, for any input.
 pub fn decode_frame(buf: &[u8]) -> Option<Frame> {
     let mut c = Cursor::new(buf);
     if [c.u8()?, c.u8()?] != BATCH_MAGIC {
@@ -246,12 +420,12 @@ pub fn decode_frame(buf: &[u8]) -> Option<Frame> {
     let version = c.u8()?;
     let kind = match version {
         BATCH_WIRE_VERSION_V1 | BATCH_WIRE_VERSION => FRAME_KIND_HEARTBEATS,
-        BATCH_WIRE_VERSION_V3 => c.u8()?,
+        BATCH_WIRE_VERSION_V3 | BATCH_WIRE_VERSION_V4 => c.u8()?,
         _ => return None,
     };
-    let count = c.u8()? as usize;
     match kind {
         FRAME_KIND_HEARTBEATS => {
+            let count = c.u8()? as usize;
             let (entry_len, max_batch, with_incarnation) = match version {
                 BATCH_WIRE_VERSION_V1 => (ENTRY_LEN_V1, MAX_BATCH_V1, false),
                 _ => (ENTRY_LEN, MAX_BATCH, true),
@@ -280,6 +454,7 @@ pub fn decode_frame(buf: &[u8]) -> Option<Frame> {
             Some(Frame::Heartbeats(entries))
         }
         FRAME_KIND_CONTROL => {
+            let count = c.u8()? as usize;
             if count == 0
                 || count > MAX_CONTROL_BATCH
                 || c.remaining() != count * CONTROL_ENTRY_LEN
@@ -297,19 +472,76 @@ pub fn decode_frame(buf: &[u8]) -> Option<Frame> {
             }
             Some(Frame::Control(entries))
         }
+        FRAME_KIND_DIGEST => {
+            if version != BATCH_WIRE_VERSION_V4 {
+                return None;
+            }
+            let origin = c.u64()?;
+            let node_incarnation = c.u64()?;
+            let round = c.u64()?;
+            let at = c.f64()?;
+            if !at.is_finite() {
+                return None;
+            }
+            let peers = c.u32()?;
+            let suspected = c.u32()?;
+            let degraded = c.u32()?;
+            if suspected > peers || degraded > peers {
+                return None;
+            }
+            let flags = c.u8()?;
+            if flags & !0b11 != 0 {
+                return None;
+            }
+            let count = c.u8()? as usize;
+            if count > MAX_DIGEST_BATCH || c.remaining() != count * DIGEST_ENTRY_LEN {
+                return None;
+            }
+            let mut entries = Vec::with_capacity(count);
+            for _ in 0..count {
+                let peer = c.u64()?;
+                let incarnation = c.u64()?;
+                let state = c.u8()?;
+                if state & !0b11 != 0 {
+                    return None;
+                }
+                entries.push(DigestEntry {
+                    peer,
+                    incarnation,
+                    trusted: state & 0b01 != 0,
+                    degraded: state & 0b10 != 0,
+                });
+            }
+            Some(Frame::Digest(DigestFrame {
+                origin,
+                node_incarnation,
+                round,
+                at,
+                summary: DigestSummary {
+                    peers,
+                    suspected,
+                    degraded,
+                    conformance_ok: flags & 0b10 != 0,
+                },
+                full: flags & 0b01 != 0,
+                entries,
+            }))
+        }
         _ => None,
     }
 }
 
-/// Decodes a *heartbeat* batch datagram (v1, v2, or v3 kind-0 framing).
+/// Decodes a *heartbeat* batch datagram (v1, v2, or v3/v4 kind-0
+/// framing).
 ///
-/// Control frames — valid v3 frames of the wrong kind for a heartbeat
-/// receiver — decode as `None` here, exactly like any other foreign
-/// traffic. See [`decode_frame`] for the kind-dispatching decoder.
+/// Control and digest frames — valid frames of the wrong kind for a
+/// heartbeat receiver — decode as `None` here, exactly like any other
+/// foreign traffic (the receiver pump counts them rejected). See
+/// [`decode_frame`] for the kind-dispatching decoder.
 pub fn decode_batch(buf: &[u8]) -> Option<Vec<HeartbeatEntry>> {
     match decode_frame(buf)? {
         Frame::Heartbeats(entries) => Some(entries),
-        Frame::Control(_) => None,
+        Frame::Control(_) | Frame::Digest(_) => None,
     }
 }
 
@@ -390,6 +622,119 @@ mod tests {
                 eta: 0.01 * (k as f64 + 1.0),
             })
             .collect()
+    }
+
+    fn digest_sample(n: usize) -> DigestFrame {
+        DigestFrame {
+            origin: 3,
+            node_incarnation: 2,
+            round: 41,
+            at: 123.5,
+            summary: DigestSummary {
+                peers: (n as u32).max(10),
+                suspected: 2,
+                degraded: 1,
+                conformance_ok: true,
+            },
+            full: n % 2 == 0,
+            entries: (0..n)
+                .map(|k| DigestEntry {
+                    peer: k as u64 * 13 + 5,
+                    incarnation: k as u64 % 4,
+                    trusted: k % 3 != 0,
+                    degraded: k % 5 == 0,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn digest_roundtrips_including_empty() {
+        for n in [0, 1, 7, MAX_DIGEST_BATCH] {
+            let frame = digest_sample(n);
+            let buf = encode_digest(&frame);
+            assert_eq!(buf.len(), HEADER_LEN_DIGEST + n * DIGEST_ENTRY_LEN);
+            assert_eq!(buf[2], BATCH_WIRE_VERSION_V4);
+            assert_eq!(buf[3], FRAME_KIND_DIGEST);
+            assert_eq!(decode_frame(&buf), Some(Frame::Digest(frame)));
+        }
+    }
+
+    #[test]
+    fn digest_frames_are_not_heartbeats() {
+        // A heartbeat receiver must drop gossip traffic, not misparse it.
+        let buf = encode_digest(&digest_sample(3));
+        assert_eq!(decode_batch(&buf), None);
+    }
+
+    #[test]
+    fn digest_requires_v4() {
+        // Digests exist only from v4 on: a v3 frame claiming the digest
+        // kind is rejected even when the rest of the bytes are valid.
+        let mut buf = encode_digest(&digest_sample(2));
+        buf[2] = BATCH_WIRE_VERSION_V3;
+        assert_eq!(decode_frame(&buf), None);
+    }
+
+    #[test]
+    fn v4_heartbeat_and_control_use_v3_layouts() {
+        // v4 frames of kind 0/1 reuse the v3 layouts unchanged.
+        let entries = sample(4);
+        let mut hb = encode_batch_v3(&entries);
+        hb[2] = BATCH_WIRE_VERSION_V4;
+        assert_eq!(decode_batch(&hb).as_deref(), Some(&entries[..]));
+
+        let ctl = control_sample(4);
+        let mut cf = encode_control(&ctl);
+        cf[2] = BATCH_WIRE_VERSION_V4;
+        assert_eq!(decode_frame(&cf), Some(Frame::Control(ctl)));
+    }
+
+    #[test]
+    fn digest_rejects_malformed() {
+        let good = encode_digest(&digest_sample(2));
+        assert!(decode_frame(&good).is_some());
+
+        // Unknown header flag bits.
+        let mut flags = good.clone();
+        flags[48] |= 0b100;
+        assert_eq!(decode_frame(&flags), None);
+
+        // Unknown entry state bits.
+        let mut state = good.clone();
+        state[HEADER_LEN_DIGEST + DIGEST_ENTRY_LEN - 1] |= 0b1000;
+        assert_eq!(decode_frame(&state), None);
+
+        // Non-finite timestamp.
+        let mut ts = good.clone();
+        ts[28..36].copy_from_slice(&f64::NAN.to_le_bytes());
+        assert_eq!(decode_frame(&ts), None);
+
+        // Summary inconsistency: suspected > peers.
+        let mut sus = good.clone();
+        sus[40..44].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert_eq!(decode_frame(&sus), None);
+
+        // Count exceeding the buffer, and trailing garbage.
+        let mut count = good.clone();
+        count[49] = 255;
+        assert_eq!(decode_frame(&count), None);
+        let mut trailing = good.clone();
+        trailing.push(0);
+        assert_eq!(decode_frame(&trailing), None);
+
+        // Truncation anywhere — header or entries.
+        for cut in 1..good.len() {
+            assert_eq!(decode_frame(&good[..good.len() - cut]), None);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "digest summary counts")]
+    fn encode_digest_rejects_inconsistent_summary() {
+        let mut frame = digest_sample(1);
+        frame.summary.suspected = frame.summary.peers + 1;
+        encode_digest(&frame);
     }
 
     #[test]
@@ -602,6 +947,45 @@ mod tests {
                 prop_assert_eq!(decode_frame(&buf), Some(Frame::Control(entries)));
             }
 
+            #[test]
+            fn prop_digest_roundtrip(
+                n in 0usize..MAX_DIGEST_BATCH,
+                origin in 0u64..u64::MAX,
+                node_inc in 0u64..u64::MAX,
+                round in 0u64..u64::MAX,
+                at in -1.0e12f64..1.0e12,
+                peers in 0u32..u32::MAX / 2,
+                full in proptest::bool::ANY,
+                conformance_ok in proptest::bool::ANY,
+            ) {
+                let frame = DigestFrame {
+                    origin,
+                    node_incarnation: node_inc,
+                    round,
+                    at,
+                    summary: DigestSummary {
+                        peers,
+                        suspected: peers / 3,
+                        degraded: peers / 7,
+                        conformance_ok,
+                    },
+                    full,
+                    entries: (0..n)
+                        .map(|k| DigestEntry {
+                            peer: origin.wrapping_add(k as u64),
+                            incarnation: node_inc.wrapping_add(k as u64),
+                            trusted: k % 2 == 0,
+                            degraded: k % 3 == 0,
+                        })
+                        .collect(),
+                };
+                let buf = encode_digest(&frame);
+                prop_assert_eq!(buf.len(), HEADER_LEN_DIGEST + n * DIGEST_ENTRY_LEN);
+                prop_assert_eq!(decode_frame(&buf), Some(Frame::Digest(frame)));
+                // A heartbeat receiver rejects (and counts) gossip frames.
+                prop_assert_eq!(decode_batch(&buf), None);
+            }
+
             /// The hardening guarantee: the decoder is total. *Any* byte
             /// string — random, truncated, hostile — either decodes to a
             /// well-formed frame or returns `None`; it never panics and
@@ -624,14 +1008,15 @@ mod tests {
                 idx in 0usize..260,
                 flip in 0u16..256,
                 keep in 0usize..300,
-                which in 0usize..4,
+                which in 0usize..5,
             ) {
                 let flip = flip as u8;
                 let mut buf = match which {
                     0 => encode_batch(&sample(n)),
                     1 => encode_batch_v1(&sample(n)),
                     2 => encode_batch_v3(&sample(n)),
-                    _ => encode_control(&control_sample(n)),
+                    3 => encode_control(&control_sample(n)),
+                    _ => encode_digest(&digest_sample(n)),
                 };
                 let idx = idx % buf.len();
                 buf[idx] ^= flip;

@@ -1,0 +1,493 @@
+//! The federation harness: N [`FederationNode`]s, a deterministic
+//! gossip fabric between them, kill/restart of whole monitor nodes, and
+//! global coverage/convergence queries.
+//!
+//! The harness is single-threaded and explicitly clocked — every call
+//! takes a harness-clock `now` — so an entire multi-node failover
+//! scenario is a pure function of its inputs (the fd-smc federation
+//! scenarios and experiment E21 rely on this for seed-exact replay).
+//! Gossip frames really are encoded to wire-v4 bytes and decoded on
+//! receipt, so the fabric exercises the same code path a UDP transport
+//! would.
+
+use crate::hash::{owner, NodeId};
+use crate::metrics::FedMetrics;
+use crate::node::{FederationNode, NodeConfig};
+use crate::view::{FedEvent, FederationView};
+use fd_cluster::{decode_frame, Frame, PeerConfig, PeerId};
+use fd_core::Heartbeat;
+use fd_runtime::RuntimeError;
+use std::collections::BTreeMap;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+/// Federation-wide configuration.
+#[derive(Debug, Clone)]
+pub struct FederationConfig {
+    /// The monitor node ids (at least one; deduplicated, sorted).
+    pub nodes: Vec<NodeId>,
+    /// Detector parameters for monitored peers.
+    pub peer: PeerConfig,
+    /// Detector parameters for the monitor-of-monitors tier; `eta`
+    /// should equal the gossip interval.
+    pub node_watch: PeerConfig,
+    /// Harness-clock seconds during which never-heard-from nodes are
+    /// presumed alive (see [`NodeConfig::bootstrap_grace`]).
+    pub bootstrap_grace: f64,
+    /// Gossip a full refresh every this many rounds.
+    pub full_refresh_every: u64,
+}
+
+impl Default for FederationConfig {
+    fn default() -> Self {
+        Self {
+            nodes: vec![0, 1, 2, 3],
+            peer: PeerConfig::new(1.0, 3.0),
+            node_watch: PeerConfig::new(1.0, 3.0),
+            bootstrap_grace: 10.0,
+            full_refresh_every: 8,
+        }
+    }
+}
+
+/// Who owns what, federation-wide: the coverage report the "no peer
+/// left unmonitored" oracle judges.
+#[derive(Debug, Clone)]
+pub struct Coverage {
+    /// Every registered peer with the alive nodes that own it.
+    pub owners: BTreeMap<PeerId, Vec<NodeId>>,
+    /// Registered peers no alive node owns.
+    pub orphans: Vec<PeerId>,
+    /// Registered peers owned by more than one alive node (transient
+    /// during a restart-healing window).
+    pub duplicated: Vec<PeerId>,
+}
+
+impl Coverage {
+    /// Every peer is owned by exactly one alive node.
+    pub fn is_clean(&self) -> bool {
+        self.orphans.is_empty() && self.duplicated.is_empty()
+    }
+}
+
+struct NodeSlot {
+    node: Option<FederationNode>,
+    incarnation: u64,
+    killed_at: Option<f64>,
+}
+
+/// A running federation of monitor nodes.
+pub struct Federation {
+    cfg: FederationConfig,
+    slots: BTreeMap<NodeId, NodeSlot>,
+    peers: Vec<PeerId>,
+    metrics: Arc<FedMetrics>,
+    events: Vec<FedEvent>,
+}
+
+impl std::fmt::Debug for Federation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Federation")
+            .field("nodes", &self.slots.len())
+            .field("peers", &self.peers.len())
+            .finish()
+    }
+}
+
+impl Federation {
+    /// Spawns every configured node at incarnation 1.
+    ///
+    /// # Errors
+    ///
+    /// Propagates monitor spawn failures.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty node set.
+    pub fn spawn(mut cfg: FederationConfig) -> Result<Self, RuntimeError> {
+        cfg.nodes.sort_unstable();
+        cfg.nodes.dedup();
+        assert!(!cfg.nodes.is_empty(), "a federation needs at least one node");
+        let metrics = Arc::new(FedMetrics::new());
+        let node_cfg = NodeConfig {
+            peer: cfg.peer,
+            node_watch: cfg.node_watch,
+            bootstrap_grace: cfg.bootstrap_grace,
+            full_refresh_every: cfg.full_refresh_every,
+        };
+        let mut slots = BTreeMap::new();
+        for &id in &cfg.nodes {
+            let node = FederationNode::spawn(id, 1, &cfg.nodes, node_cfg, Arc::clone(&metrics))?;
+            slots.insert(id, NodeSlot { node: Some(node), incarnation: 1, killed_at: None });
+        }
+        metrics.nodes.store(cfg.nodes.len() as u64, Ordering::Relaxed);
+        metrics.nodes_alive.store(cfg.nodes.len() as u64, Ordering::Relaxed);
+        Ok(Self { cfg, slots, peers: Vec::new(), metrics, events: Vec::new() })
+    }
+
+    /// The shared federation metrics (mount on a
+    /// [`MetricsExporter`](fd_cluster::MetricsExporter) via
+    /// `bind_with_sources`).
+    pub fn metrics(&self) -> Arc<FedMetrics> {
+        Arc::clone(&self.metrics)
+    }
+
+    /// Node ids currently alive (harness accounting, not suspicion).
+    pub fn alive(&self) -> Vec<NodeId> {
+        self.slots.iter().filter(|(_, s)| s.node.is_some()).map(|(id, _)| *id).collect()
+    }
+
+    /// Immutable access to a live node.
+    pub fn node(&self, id: NodeId) -> Option<&FederationNode> {
+        self.slots.get(&id).and_then(|s| s.node.as_ref())
+    }
+
+    /// All registered peers, ascending.
+    pub fn peers(&self) -> &[PeerId] {
+        &self.peers
+    }
+
+    /// Every federation event so far (adoptions, releases), in order.
+    pub fn events(&self) -> &[FedEvent] {
+        &self.events
+    }
+
+    /// Registers `peer`, placing it on its rendezvous owner among the
+    /// currently-alive nodes. Returns the owning node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no node is alive or the peer is already registered.
+    pub fn register(&mut self, peer: PeerId) -> NodeId {
+        let alive = self.alive();
+        let target = owner(&alive, peer).expect("at least one alive node");
+        let node = self
+            .slots
+            .get_mut(&target)
+            .and_then(|s| s.node.as_mut())
+            .expect("owner() only returns alive nodes");
+        node.assign_peer(peer).expect("peer not already registered");
+        match self.peers.binary_search(&peer) {
+            Ok(_) => panic!("peer {peer} already registered"),
+            Err(idx) => self.peers.insert(idx, peer),
+        }
+        self.metrics.peers_registered.store(self.peers.len() as u64, Ordering::Relaxed);
+        target
+    }
+
+    /// Routes a heartbeat from `peer` to every alive node that owns it.
+    /// Returns how many owners recorded it.
+    pub fn deliver(&mut self, peer: PeerId, now: f64, incarnation: u64, hb: Heartbeat) -> usize {
+        self.slots
+            .values_mut()
+            .filter_map(|s| s.node.as_mut())
+            .map(|n| usize::from(n.deliver(peer, now, incarnation, hb)))
+            .sum()
+    }
+
+    /// Advances every alive node's detectors to `now`.
+    pub fn advance(&mut self, now: f64) -> usize {
+        self.slots.values_mut().filter_map(|s| s.node.as_mut()).map(|n| n.advance(now)).sum()
+    }
+
+    /// One full anti-entropy round at `now`: every alive node digests
+    /// its partition and the frames travel (as encoded wire-v4 bytes)
+    /// to every other alive node. `blocked(a, b)` vetoes individual
+    /// directed deliveries — hook for [`MultiNodePlan`]
+    /// (fd_sim::multi::MultiNodePlan) link partitions.
+    pub fn gossip_where(&mut self, now: f64, blocked: impl Fn(NodeId, NodeId) -> bool) {
+        let senders = self.alive();
+        let mut wires: Vec<(NodeId, Vec<Vec<u8>>)> = Vec::new();
+        for &id in &senders {
+            let node = self.slots.get_mut(&id).and_then(|s| s.node.as_mut()).expect("alive");
+            let bytes = node.gossip_digest(now).encode();
+            self.metrics
+                .digests_sent
+                .fetch_add((bytes.len() * (senders.len() - 1)) as u64, Ordering::Relaxed);
+            wires.push((id, bytes));
+        }
+        for (from, frames) in &wires {
+            for (&to, slot) in self.slots.iter_mut() {
+                let Some(node) = slot.node.as_mut() else { continue };
+                if to == *from || blocked(*from, to) {
+                    continue;
+                }
+                for bytes in frames {
+                    match decode_frame(bytes) {
+                        Some(Frame::Digest(frame)) => {
+                            node.receive_digest(&frame, now);
+                        }
+                        other => panic!("gossip fabric produced a non-digest frame: {other:?}"),
+                    }
+                }
+            }
+        }
+    }
+
+    /// [`gossip_where`](Self::gossip_where) with no link faults.
+    pub fn gossip(&mut self, now: f64) {
+        self.gossip_where(now, |_, _| false);
+    }
+
+    /// Runs every alive node's failover rule at `now`, collecting the
+    /// resulting events. Takeover latency (kill → first adoption of one
+    /// of the dead node's peers) is recorded into the metrics.
+    pub fn rebalance(&mut self, now: f64) -> Vec<FedEvent> {
+        let mut all = Vec::new();
+        let ids = self.alive();
+        for id in ids {
+            let node = self.slots.get_mut(&id).and_then(|s| s.node.as_mut()).expect("alive");
+            all.extend(node.rebalance(now));
+        }
+        // First adoption from any killed node closes its takeover clock.
+        for ev in &all {
+            if let crate::view::FedChange::PeerAdopted { from, .. } = ev.change {
+                if let Some(slot) = self.slots.get_mut(&from) {
+                    if let Some(killed_at) = slot.killed_at.take() {
+                        self.metrics.takeovers.fetch_add(1, Ordering::Relaxed);
+                        self.metrics.set_takeover_latency(now - killed_at);
+                    }
+                }
+            }
+        }
+        let owned: usize = self
+            .slots
+            .values()
+            .filter_map(|s| s.node.as_ref())
+            .map(|n| n.owned_peers().len())
+            .sum();
+        self.metrics.peers_owned.store(owned as u64, Ordering::Relaxed);
+        self.events.extend(all.iter().copied());
+        all
+    }
+
+    /// Kills `node` at harness-clock `now`: its monitors stop and it
+    /// falls silent — surviving nodes must detect and fail over.
+    /// Returns `false` if it was already dead or unknown.
+    pub fn kill(&mut self, node: NodeId, now: f64) -> bool {
+        let Some(slot) = self.slots.get_mut(&node) else { return false };
+        let Some(n) = slot.node.take() else { return false };
+        n.shutdown();
+        slot.killed_at = Some(now);
+        self.metrics.nodes_alive.store(self.alive().len() as u64, Ordering::Relaxed);
+        true
+    }
+
+    /// Restarts a killed node with a fresh incarnation and an empty
+    /// partition; it re-earns its peers through gossip + rebalance.
+    ///
+    /// # Errors
+    ///
+    /// Propagates monitor spawn failures.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node is unknown or still alive.
+    pub fn restart(&mut self, node: NodeId) -> Result<(), RuntimeError> {
+        let all = self.cfg.nodes.clone();
+        let node_cfg = NodeConfig {
+            peer: self.cfg.peer,
+            node_watch: self.cfg.node_watch,
+            bootstrap_grace: self.cfg.bootstrap_grace,
+            full_refresh_every: self.cfg.full_refresh_every,
+        };
+        let slot = self.slots.get_mut(&node).expect("known node");
+        assert!(slot.node.is_none(), "restart of a node that is still alive");
+        slot.incarnation += 1;
+        let fresh =
+            FederationNode::spawn(node, slot.incarnation, &all, node_cfg, Arc::clone(&self.metrics))?;
+        slot.node = Some(fresh);
+        slot.killed_at = None;
+        self.metrics.nodes_alive.store(self.alive().len() as u64, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Who owns what right now, judged against the registered universe.
+    pub fn coverage(&self) -> Coverage {
+        let mut owners: BTreeMap<PeerId, Vec<NodeId>> =
+            self.peers.iter().map(|&p| (p, Vec::new())).collect();
+        for (&id, slot) in &self.slots {
+            let Some(node) = slot.node.as_ref() else { continue };
+            for peer in node.owned_peers() {
+                owners.entry(peer).or_default().push(id);
+            }
+        }
+        let orphans = owners.iter().filter(|(_, o)| o.is_empty()).map(|(p, _)| *p).collect();
+        let duplicated = owners.iter().filter(|(_, o)| o.len() > 1).map(|(p, _)| *p).collect();
+        Coverage { owners, orphans, duplicated }
+    }
+
+    /// The merged federation-wide trust view at `now`.
+    pub fn view(&self, now: f64) -> FederationView {
+        let mut reports = Vec::new();
+        for (&id, slot) in &self.slots {
+            let Some(node) = slot.node.as_ref() else { continue };
+            let snap = node.local_snapshot();
+            for peer in node.owned_peers() {
+                if let Some(output) = snap.output(peer) {
+                    reports.push((peer, id, output));
+                }
+            }
+        }
+        FederationView::from_reports(now, reports)
+    }
+
+    /// Whether every alive node's picture of the federation has
+    /// converged: each knows every *other* alive node's partition at
+    /// that node's current incarnation, and the known claim sets cover
+    /// the registered universe.
+    pub fn views_converged(&self) -> bool {
+        let alive = self.alive();
+        for &id in &alive {
+            let node = self.node(id).expect("alive");
+            let mut known: Vec<PeerId> = node.owned_peers();
+            for &other in &alive {
+                if other == id {
+                    continue;
+                }
+                let Some(part) = node.remote_partition(other) else { return false };
+                let expected_inc = self.slots[&other].incarnation;
+                if part.node_incarnation != expected_inc {
+                    return false;
+                }
+                known.extend(part.claims.keys().copied());
+            }
+            known.sort_unstable();
+            known.dedup();
+            if known != self.peers {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Stops every alive node.
+    pub fn shutdown(&mut self) {
+        for slot in self.slots.values_mut() {
+            if let Some(node) = slot.node.take() {
+                node.shutdown();
+            }
+        }
+        self.metrics.nodes_alive.store(0, Ordering::Relaxed);
+    }
+}
+
+impl Drop for Federation {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_cfg() -> FederationConfig {
+        FederationConfig { nodes: vec![1, 2, 3], ..FederationConfig::default() }
+    }
+
+    /// One scripted tick: heartbeats from all live peers, gossip,
+    /// advance, rebalance.
+    fn tick(fed: &mut Federation, now: f64, seq: u64) {
+        for peer in fed.peers().to_vec() {
+            fed.deliver(peer, now, 1, Heartbeat::new(seq, now));
+        }
+        fed.gossip(now);
+        fed.advance(now);
+        fed.rebalance(now);
+    }
+
+    #[test]
+    fn steady_state_covers_and_converges() {
+        let mut fed = Federation::spawn(small_cfg()).expect("spawn");
+        for peer in 100..130 {
+            fed.register(peer);
+        }
+        for step in 1..=4 {
+            tick(&mut fed, step as f64, step);
+        }
+        let cov = fed.coverage();
+        assert!(cov.is_clean(), "orphans {:?} dup {:?}", cov.orphans, cov.duplicated);
+        assert!(fed.views_converged());
+        let view = fed.view(4.0);
+        assert_eq!(view.trusted().len(), 30, "all peers beat recently");
+        fed.shutdown();
+    }
+
+    #[test]
+    fn kill_fails_over_and_restart_heals_back() {
+        let mut fed = Federation::spawn(small_cfg()).expect("spawn");
+        for peer in 0..60 {
+            fed.register(peer);
+        }
+        let victim = 2u64;
+        let victims_peers = fed.node(victim).unwrap().owned_peers();
+        assert!(!victims_peers.is_empty(), "hash balance gives node 2 some peers");
+        for step in 1..=3 {
+            tick(&mut fed, step as f64, step);
+        }
+        assert!(fed.kill(victim, 3.5));
+        assert!(!fed.kill(victim, 3.5), "double kill is a no-op");
+        // Keep the survivors running until the victim's freshness
+        // expires and rebalance adopts its partition.
+        for step in 4..=12 {
+            tick(&mut fed, step as f64, step);
+        }
+        let cov = fed.coverage();
+        assert!(cov.orphans.is_empty(), "orphans after settle: {:?}", cov.orphans);
+        for p in &victims_peers {
+            let owners = &cov.owners[p];
+            assert_eq!(owners.len(), 1, "peer {p} owned by {owners:?}");
+            assert_ne!(owners[0], victim);
+        }
+        assert_eq!(fed.metrics().takeovers.load(Ordering::Relaxed), 1);
+        assert!(fed.metrics().takeover_latency() > 0.0);
+
+        // Restart: the node returns at incarnation 2 and reclaims
+        // exactly its old partition.
+        fed.restart(victim).expect("restart");
+        for step in 13..=20 {
+            tick(&mut fed, step as f64, step);
+        }
+        let cov = fed.coverage();
+        assert!(cov.is_clean(), "after heal: orphans {:?} dup {:?}", cov.orphans, cov.duplicated);
+        for p in &victims_peers {
+            assert_eq!(cov.owners[p], vec![victim], "peer {p} must return home");
+        }
+        assert!(fed.views_converged());
+        fed.shutdown();
+    }
+
+    #[test]
+    fn partitioned_gossip_link_defers_convergence() {
+        let mut fed = Federation::spawn(small_cfg()).expect("spawn");
+        for peer in 0..20 {
+            fed.register(peer);
+        }
+        // 1–2 link down: they learn of each other only via node 3's
+        // relayed... nothing — digests are not transitive, so the two
+        // sides' views of each other stay empty.
+        for step in 1..=3 {
+            let now = step as f64;
+            for peer in fed.peers().to_vec() {
+                fed.deliver(peer, now, 1, Heartbeat::new(step, now));
+            }
+            fed.gossip_where(now, |a, b| (a, b) == (1, 2) || (a, b) == (2, 1));
+            fed.advance(now);
+        }
+        assert!(!fed.views_converged());
+        // Heal. Deltas sent while the link was down are gone for good —
+        // anti-entropy repairs via the periodic full refresh, so
+        // convergence returns by the full_refresh_every-th round.
+        for step in 4..=8 {
+            let now = step as f64;
+            for peer in fed.peers().to_vec() {
+                fed.deliver(peer, now, 1, Heartbeat::new(step, now));
+            }
+            fed.gossip(now);
+            fed.advance(now);
+        }
+        assert!(fed.views_converged(), "full refresh at round 8 must repair the gap");
+        fed.shutdown();
+    }
+}

@@ -1,0 +1,121 @@
+//! Rendezvous (highest-random-weight) hashing of peers onto monitor
+//! nodes.
+//!
+//! Every node computes the same pure function of `(node, peer)`, so
+//! partition ownership needs no coordination: the peer belongs to the
+//! live node with the highest weight. When a node dies, only *its*
+//! peers move (each to the runner-up in its ranking); every other
+//! assignment is untouched — the minimal-disruption property that makes
+//! failover O(dead node's partition) instead of a full reshuffle.
+//!
+//! Weights come from splitmix64 over the mixed pair, the same finalizer
+//! `fd-sim`'s [`MultiNodePlan`](fd_sim::multi::MultiNodePlan) uses for
+//! sub-seeds: cheap, stateless, and well-distributed.
+
+use fd_cluster::PeerId;
+
+/// Identifier of a federation monitor node (shares the peer id space —
+/// monitors watch each other through the same machinery).
+pub type NodeId = u64;
+
+/// splitmix64 finalizer: the standard 64-bit avalanche mix.
+pub fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// The rendezvous weight of `node` for `peer`. Pure and stateless:
+/// every node in the federation computes identical weights.
+pub fn weight(node: NodeId, peer: PeerId) -> u64 {
+    splitmix64(splitmix64(peer).wrapping_add(node ^ 0xa076_1d64_78bd_642f))
+}
+
+/// The owner of `peer` among `nodes`: highest weight wins, ties broken
+/// by the lower node id (ties are astronomically rare but the order
+/// must still be total). `None` for an empty node set.
+pub fn owner(nodes: &[NodeId], peer: PeerId) -> Option<NodeId> {
+    nodes.iter().copied().max_by_key(|&n| (weight(n, peer), std::cmp::Reverse(n)))
+}
+
+/// All of `nodes` ranked for `peer`, best first — index 0 is the owner,
+/// index 1 the deterministic failover target, and so on.
+pub fn ranking(nodes: &[NodeId], peer: PeerId) -> Vec<NodeId> {
+    let mut ranked: Vec<NodeId> = nodes.to_vec();
+    ranked.sort_by_key(|&n| (std::cmp::Reverse(weight(n, peer)), n));
+    ranked.dedup();
+    ranked
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn owner_is_deterministic_and_total() {
+        let nodes = [1, 2, 3, 4];
+        for peer in 0..1000 {
+            let a = owner(&nodes, peer);
+            let b = owner(&nodes, peer);
+            assert_eq!(a, b);
+            assert!(nodes.contains(&a.unwrap()));
+            assert_eq!(ranking(&nodes, peer)[0], a.unwrap());
+        }
+        assert_eq!(owner(&[], 7), None);
+    }
+
+    #[test]
+    fn assignment_is_roughly_balanced() {
+        let nodes = [10, 20, 30, 40];
+        let mut counts = std::collections::HashMap::new();
+        for peer in 0..8000 {
+            *counts.entry(owner(&nodes, peer).unwrap()).or_insert(0usize) += 1;
+        }
+        for &n in &nodes {
+            let c = counts[&n];
+            // Expected 2000 each; a 4-way splitmix64 split stays well
+            // within ±20%.
+            assert!((1600..=2400).contains(&c), "node {n} owns {c} of 8000");
+        }
+    }
+
+    #[test]
+    fn removing_a_node_only_moves_its_peers() {
+        let all = [1u64, 2, 3, 4];
+        let survivors = [1u64, 2, 4];
+        for peer in 0..4000 {
+            let before = owner(&all, peer).unwrap();
+            let after = owner(&survivors, peer).unwrap();
+            if before != 3 {
+                assert_eq!(before, after, "peer {peer} moved although its owner survived");
+            } else {
+                // Orphans land on their ranking's runner-up.
+                assert_eq!(after, ranking(&all, peer)[1], "peer {peer} skipped its runner-up");
+            }
+        }
+    }
+
+    #[test]
+    fn rejoining_restores_exactly_the_old_assignment() {
+        let all = [5u64, 6, 7];
+        let down = [5u64, 7];
+        for peer in 0..2000 {
+            let original = owner(&all, peer).unwrap();
+            let _ = owner(&down, peer).unwrap();
+            assert_eq!(owner(&all, peer).unwrap(), original);
+        }
+    }
+
+    #[test]
+    fn ranking_is_a_permutation() {
+        let nodes = [9u64, 8, 7, 6, 5];
+        for peer in [0u64, 1, 999, u64::MAX] {
+            let mut r = ranking(&nodes, peer);
+            r.sort_unstable();
+            let mut n = nodes.to_vec();
+            n.sort_unstable();
+            assert_eq!(r, n);
+        }
+    }
+}

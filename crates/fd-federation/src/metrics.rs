@@ -1,0 +1,207 @@
+//! Federation-tier metrics: `fd_fed_*` series mounted on the existing
+//! [`MetricsExporter`](fd_cluster::MetricsExporter) endpoint.
+//!
+//! [`FedMetrics`] is a bundle of atomics updated by the
+//! [`Federation`](crate::Federation) harness and its nodes, and an
+//! implementation of [`MetricsSource`] so one
+//! `MetricsExporter::bind_with_sources` call surfaces the federation
+//! next to the embedded monitor's `fd_cluster_*`/`fd_peer_*` families,
+//! in both Prometheus text format and the JSON document.
+
+use fd_cluster::{family, MetricsSource};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Shared federation counters and gauges. All operations are relaxed —
+/// these are monitoring data, not synchronization.
+#[derive(Debug, Default)]
+pub struct FedMetrics {
+    /// Configured monitor nodes (gauge).
+    pub nodes: AtomicU64,
+    /// Nodes currently alive by the harness's own accounting (gauge).
+    pub nodes_alive: AtomicU64,
+    /// Peers currently owned across all alive nodes (gauge; during a
+    /// failover window a peer may be counted on two nodes).
+    pub peers_owned: AtomicU64,
+    /// Registered peers in the federation universe (gauge).
+    pub peers_registered: AtomicU64,
+    /// Gossip rounds completed.
+    pub gossip_rounds: AtomicU64,
+    /// Digest frames sent (after chunking).
+    pub digests_sent: AtomicU64,
+    /// Digest frames accepted by a receiver.
+    pub digests_received: AtomicU64,
+    /// Digest entries merged into remote partition state.
+    pub digest_entries: AtomicU64,
+    /// Digest frames rejected as stale (old node incarnation or old
+    /// round).
+    pub stale_digests: AtomicU64,
+    /// Rebalance passes run.
+    pub rebalances: AtomicU64,
+    /// Node failures that triggered at least one partition takeover.
+    pub takeovers: AtomicU64,
+    /// Peers adopted by a surviving node during failover.
+    pub peers_adopted: AtomicU64,
+    /// Peers released back when ownership moved away (e.g. the original
+    /// owner restarted).
+    pub peers_released: AtomicU64,
+    /// Latency of the most recent takeover, seconds from the kill to
+    /// the first adoption of one of the dead node's peers (f64 bits).
+    last_takeover_latency_bits: AtomicU64,
+}
+
+impl FedMetrics {
+    /// Fresh, all-zero metrics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records the latency of a completed takeover, seconds.
+    pub fn set_takeover_latency(&self, seconds: f64) {
+        self.last_takeover_latency_bits.store(seconds.to_bits(), Ordering::Relaxed);
+    }
+
+    /// The most recent takeover latency, seconds (`0.0` before any
+    /// takeover happened).
+    pub fn takeover_latency(&self) -> f64 {
+        f64::from_bits(self.last_takeover_latency_bits.load(Ordering::Relaxed))
+    }
+
+    fn g(&self, a: &AtomicU64) -> f64 {
+        a.load(Ordering::Relaxed) as f64
+    }
+}
+
+impl MetricsSource for FedMetrics {
+    fn prometheus(&self, out: &mut String) {
+        let gauges: [(&str, &str, f64); 4] = [
+            ("fd_fed_nodes", "Configured federation monitor nodes.", self.g(&self.nodes)),
+            (
+                "fd_fed_nodes_alive",
+                "Federation nodes currently alive.",
+                self.g(&self.nodes_alive),
+            ),
+            (
+                "fd_fed_peers_owned",
+                "Peers owned across alive nodes (may double-count during failover).",
+                self.g(&self.peers_owned),
+            ),
+            (
+                "fd_fed_peers_registered",
+                "Peers registered in the federation universe.",
+                self.g(&self.peers_registered),
+            ),
+        ];
+        for (name, help, v) in gauges {
+            family(out, name, help, "gauge", &[(None, v)]);
+        }
+        let counters: [(&str, &str, f64); 9] = [
+            (
+                "fd_fed_gossip_rounds_total",
+                "Anti-entropy gossip rounds completed.",
+                self.g(&self.gossip_rounds),
+            ),
+            (
+                "fd_fed_digests_sent_total",
+                "Wire-v4 digest frames sent.",
+                self.g(&self.digests_sent),
+            ),
+            (
+                "fd_fed_digests_received_total",
+                "Wire-v4 digest frames accepted.",
+                self.g(&self.digests_received),
+            ),
+            (
+                "fd_fed_digest_entries_total",
+                "Digest entries merged into remote partition state.",
+                self.g(&self.digest_entries),
+            ),
+            (
+                "fd_fed_stale_digests_total",
+                "Digest frames rejected as stale (old incarnation or round).",
+                self.g(&self.stale_digests),
+            ),
+            ("fd_fed_rebalances_total", "Partition rebalance passes.", self.g(&self.rebalances)),
+            (
+                "fd_fed_takeovers_total",
+                "Node failures that triggered a partition takeover.",
+                self.g(&self.takeovers),
+            ),
+            (
+                "fd_fed_peers_adopted_total",
+                "Peers adopted by surviving nodes during failover.",
+                self.g(&self.peers_adopted),
+            ),
+            (
+                "fd_fed_peers_released_total",
+                "Peers released when ownership moved back.",
+                self.g(&self.peers_released),
+            ),
+        ];
+        for (name, help, v) in counters {
+            family(out, name, help, "counter", &[(None, v)]);
+        }
+        family(
+            out,
+            "fd_fed_last_takeover_latency_seconds",
+            "Kill-to-first-adoption latency of the most recent takeover.",
+            "gauge",
+            &[(None, self.takeover_latency())],
+        );
+    }
+
+    fn json_fields(&self) -> Vec<(String, String)> {
+        let obj = format!(
+            "{{\"nodes\":{},\"nodes_alive\":{},\"peers_owned\":{},\"peers_registered\":{},\
+             \"gossip_rounds\":{},\"digests_sent\":{},\"digests_received\":{},\
+             \"digest_entries\":{},\"stale_digests\":{},\"rebalances\":{},\"takeovers\":{},\
+             \"peers_adopted\":{},\"peers_released\":{},\"last_takeover_latency_seconds\":{}}}",
+            self.nodes.load(Ordering::Relaxed),
+            self.nodes_alive.load(Ordering::Relaxed),
+            self.peers_owned.load(Ordering::Relaxed),
+            self.peers_registered.load(Ordering::Relaxed),
+            self.gossip_rounds.load(Ordering::Relaxed),
+            self.digests_sent.load(Ordering::Relaxed),
+            self.digests_received.load(Ordering::Relaxed),
+            self.digest_entries.load(Ordering::Relaxed),
+            self.stale_digests.load(Ordering::Relaxed),
+            self.rebalances.load(Ordering::Relaxed),
+            self.takeovers.load(Ordering::Relaxed),
+            self.peers_adopted.load(Ordering::Relaxed),
+            self.peers_released.load(Ordering::Relaxed),
+            self.takeover_latency(),
+        );
+        vec![("federation".to_string(), obj)]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prometheus_renders_all_families() {
+        let m = FedMetrics::new();
+        m.nodes.store(4, Ordering::Relaxed);
+        m.takeovers.store(1, Ordering::Relaxed);
+        m.set_takeover_latency(2.5);
+        let mut out = String::new();
+        m.prometheus(&mut out);
+        assert!(out.contains("# TYPE fd_fed_nodes gauge"));
+        assert!(out.contains("fd_fed_nodes 4"));
+        assert!(out.contains("# TYPE fd_fed_takeovers_total counter"));
+        assert!(out.contains("fd_fed_takeovers_total 1"));
+        assert!(out.contains("fd_fed_last_takeover_latency_seconds 2.5"));
+    }
+
+    #[test]
+    fn json_is_one_object_field() {
+        let m = FedMetrics::new();
+        m.peers_registered.store(9, Ordering::Relaxed);
+        let fields = m.json_fields();
+        assert_eq!(fields.len(), 1);
+        assert_eq!(fields[0].0, "federation");
+        assert!(fields[0].1.starts_with('{') && fields[0].1.ends_with('}'));
+        assert!(fields[0].1.contains("\"peers_registered\":9"));
+        assert!(fields[0].1.contains("\"last_takeover_latency_seconds\":0"));
+    }
+}

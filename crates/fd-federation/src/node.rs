@@ -1,0 +1,565 @@
+//! One federation monitor node: an embedded [`ClusterMonitor`] over its
+//! owned peer partition, a second monitor watching the *other monitor
+//! nodes* through the same NFD-E machinery, per-remote digest state,
+//! and the deterministic rendezvous failover rule.
+//!
+//! The design reuses the paper's single pairwise abstraction twice:
+//! peers are watched by their owning node exactly as in `fd-cluster`,
+//! and monitor nodes watch each other by treating *digest receipt* as a
+//! heartbeat — every accepted gossip frame from node `n` is recorded
+//! into the node-watch monitor as `(peer = n, incarnation =
+//! node_incarnation, seq = round)`. A node that stops gossiping runs
+//! out of freshness like any crashed process, and NFD-E's `T_D` bound
+//! applies to *node* failure detection with the gossip interval as `η`.
+
+use crate::digest::{claims_of, digest_from_claims, PartitionDigest, PeerClaim};
+use crate::hash::{owner, NodeId};
+use crate::metrics::FedMetrics;
+use crate::view::{FedChange, FedEvent};
+use fd_cluster::{
+    ClusterConfig, ClusterMonitor, ClusterSnapshot, ControlConfig, DigestFrame, DigestSummary,
+    PeerConfig, PeerId, SnapshotOrigin,
+};
+use fd_core::Heartbeat;
+use fd_runtime::RuntimeError;
+use std::collections::BTreeMap;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+/// A remote node's partition as last gossiped: identity, freshness and
+/// per-peer claims.
+#[derive(Debug, Clone, Default)]
+pub struct RemotePartition {
+    /// The remote's incarnation when it sent the digest.
+    pub node_incarnation: u64,
+    /// Highest gossip round merged.
+    pub round: u64,
+    /// Remote's clock when the digest was taken.
+    pub at: f64,
+    /// The remote's aggregate summary.
+    pub summary: DigestSummary,
+    /// Per-peer claims merged from its digests.
+    pub claims: BTreeMap<PeerId, PeerClaim>,
+}
+
+/// Per-node knobs (the federation harness fills these from its
+/// [`FederationConfig`](crate::FederationConfig)).
+#[derive(Debug, Clone, Copy)]
+pub struct NodeConfig {
+    /// Detector parameters for owned/adopted peers.
+    pub peer: PeerConfig,
+    /// Detector parameters for watching other monitor nodes; `eta`
+    /// should match the gossip interval.
+    pub node_watch: PeerConfig,
+    /// Until this harness-clock time, nodes never gossiped from are
+    /// still presumed alive — failover must not fire before first
+    /// contact had a chance (the bootstrap-grace rule).
+    pub bootstrap_grace: f64,
+    /// Every this many rounds, gossip a full refresh instead of a delta.
+    pub full_refresh_every: u64,
+}
+
+/// One monitor node of the federation tier.
+pub struct FederationNode {
+    id: NodeId,
+    incarnation: u64,
+    cfg: NodeConfig,
+    /// The owned-partition monitor.
+    monitor: ClusterMonitor,
+    /// Monitor-of-monitors: watches the *other* node ids.
+    node_watch: ClusterMonitor,
+    /// All node ids in the federation (including self), ascending.
+    membership: Vec<NodeId>,
+    /// Peers this node currently owns.
+    owned: BTreeMap<PeerId, PeerClaim>,
+    /// Claims as of the last digest sent (delta baseline).
+    last_sent: BTreeMap<PeerId, PeerClaim>,
+    /// Gossip round counter.
+    round: u64,
+    /// Last merged digest per remote node.
+    remote: BTreeMap<NodeId, RemotePartition>,
+    metrics: Arc<FedMetrics>,
+}
+
+impl std::fmt::Debug for FederationNode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FederationNode")
+            .field("id", &self.id)
+            .field("incarnation", &self.incarnation)
+            .field("owned", &self.owned.len())
+            .field("round", &self.round)
+            .finish()
+    }
+}
+
+impl FederationNode {
+    /// Spawns the node's two monitors. `membership` is the full node id
+    /// set (self included); the node-watch monitor registers every
+    /// *other* id immediately, so an unreachable node is eventually
+    /// suspected even if it never says a word.
+    pub fn spawn(
+        id: NodeId,
+        incarnation: u64,
+        membership: &[NodeId],
+        cfg: NodeConfig,
+        metrics: Arc<FedMetrics>,
+    ) -> Result<Self, RuntimeError> {
+        let mut membership: Vec<NodeId> = membership.to_vec();
+        membership.sort_unstable();
+        membership.dedup();
+        assert!(membership.contains(&id), "membership must include the node itself");
+        // Explicitly driven monitors: all timing flows through
+        // record_at/advance_to on the harness clock, so both the
+        // wall-clock ticker (tick = 1 h) and the control thread
+        // (period ≈ 1e9 s) are parked and every transition is a
+        // deterministic function of the scripted inputs — what lets
+        // fd-smc replay federation scenarios seed-exactly.
+        let monitor_cfg = || ClusterConfig {
+            tick: 3600.0,
+            control: ControlConfig { period: 1e9, ..ControlConfig::default() },
+            event_capacity: 8192,
+            origin: Some(SnapshotOrigin { node: id, incarnation }),
+            ..ClusterConfig::default()
+        };
+        let monitor = ClusterMonitor::spawn(monitor_cfg())?;
+        let node_watch = ClusterMonitor::spawn(monitor_cfg())?;
+        for &n in membership.iter().filter(|&&n| n != id) {
+            node_watch
+                .add_peer(n, cfg.node_watch)
+                .expect("deduplicated membership cannot collide");
+        }
+        Ok(Self {
+            id,
+            incarnation,
+            cfg,
+            monitor,
+            node_watch,
+            membership,
+            owned: BTreeMap::new(),
+            last_sent: BTreeMap::new(),
+            round: 0,
+            remote: BTreeMap::new(),
+            metrics,
+        })
+    }
+
+    /// This node's id.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// This node's incarnation.
+    pub fn incarnation(&self) -> u64 {
+        self.incarnation
+    }
+
+    /// The owned-partition monitor (for exporter mounting and QoS
+    /// queries).
+    pub fn monitor(&self) -> &ClusterMonitor {
+        &self.monitor
+    }
+
+    /// The monitor-of-monitors.
+    pub fn node_watch(&self) -> &ClusterMonitor {
+        &self.node_watch
+    }
+
+    /// Peers this node currently owns, ascending.
+    pub fn owned_peers(&self) -> Vec<PeerId> {
+        self.owned.keys().copied().collect()
+    }
+
+    /// Whether this node currently owns `peer`.
+    pub fn owns(&self, peer: PeerId) -> bool {
+        self.owned.contains_key(&peer)
+    }
+
+    /// The last merged digest state for `node`, if any was accepted.
+    pub fn remote_partition(&self, node: NodeId) -> Option<&RemotePartition> {
+        self.remote.get(&node)
+    }
+
+    /// Takes cold ownership of `peer` (initial registration placement).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`fd_cluster::ClusterError`] (duplicate peer, bad
+    /// parameters).
+    pub fn assign_peer(&mut self, peer: PeerId) -> Result<(), fd_cluster::ClusterError> {
+        self.monitor.add_peer(peer, self.cfg.peer)?;
+        self.owned.insert(peer, PeerClaim { incarnation: 0, trusted: false, degraded: false });
+        Ok(())
+    }
+
+    /// Records a heartbeat from an owned peer at harness-clock `now`.
+    /// Returns `false` (and does nothing) for peers this node does not
+    /// own — the router's misdelivery, not the peer's traffic.
+    pub fn deliver(&mut self, peer: PeerId, now: f64, incarnation: u64, hb: Heartbeat) -> bool {
+        if !self.owned.contains_key(&peer) {
+            return false;
+        }
+        self.monitor.record_at_incarnated(peer, now, incarnation, hb)
+    }
+
+    /// Advances both monitors to harness-clock `now`, expiring freshness
+    /// deterministically. Returns how many membership events fired.
+    pub fn advance(&mut self, now: f64) -> usize {
+        self.monitor.advance_to(now) + self.node_watch.advance_to(now)
+    }
+
+    /// Produces this round's digest of the owned partition: a delta
+    /// against the last round, or a full refresh every
+    /// [`NodeConfig::full_refresh_every`] rounds (and always on round 1,
+    /// so a fresh incarnation re-announces everything it owns).
+    pub fn gossip_digest(&mut self, now: f64) -> PartitionDigest {
+        self.round += 1;
+        let refresh = self.cfg.full_refresh_every.max(1);
+        let full = self.round == 1 || self.round.is_multiple_of(refresh);
+        let claims = claims_of(&self.monitor);
+        let digest = digest_from_claims(
+            self.id,
+            self.incarnation,
+            self.round,
+            now,
+            &claims,
+            &self.last_sent,
+            full,
+        );
+        self.last_sent = claims.clone();
+        self.owned = claims;
+        self.metrics.gossip_rounds.fetch_add(1, Ordering::Relaxed);
+        digest
+    }
+
+    /// Merges a received digest frame. Acceptance doubles as a *node
+    /// heartbeat*: the frame's round number is the sequence and the
+    /// sender's incarnation rides the wire-v2 incarnation machinery, so
+    /// a restarted node resets its watch state exactly like a restarted
+    /// peer. Frames from an older incarnation or an already-merged round
+    /// of the same incarnation are rejected (`false`) and counted,
+    /// except same-round frames — chunked digests legitimately span
+    /// several frames of one round.
+    pub fn receive_digest(&mut self, frame: &DigestFrame, now: f64) -> bool {
+        if frame.origin == self.id {
+            return false;
+        }
+        let slot = self.remote.entry(frame.origin).or_default();
+        let stale = frame.node_incarnation < slot.node_incarnation
+            || (frame.node_incarnation == slot.node_incarnation && frame.round < slot.round);
+        if stale {
+            self.metrics.stale_digests.fetch_add(1, Ordering::Relaxed);
+            return false;
+        }
+        if frame.node_incarnation > slot.node_incarnation {
+            // New life of the remote: everything it claimed before died
+            // with it.
+            slot.claims.clear();
+        } else if frame.full && frame.round > slot.round {
+            // A full refresh starts a new authoritative claim set; same
+            // round chunks then accumulate into it.
+            slot.claims.clear();
+        }
+        slot.node_incarnation = frame.node_incarnation;
+        slot.round = frame.round;
+        slot.at = frame.at;
+        slot.summary = frame.summary;
+        for e in &frame.entries {
+            slot.claims.insert(e.peer, PeerClaim::from(e));
+        }
+        self.metrics.digests_received.fetch_add(1, Ordering::Relaxed);
+        self.metrics.digest_entries.fetch_add(frame.entries.len() as u64, Ordering::Relaxed);
+        self.node_watch.record_at_incarnated(
+            frame.origin,
+            now,
+            frame.node_incarnation,
+            Heartbeat::new(frame.round, frame.at),
+        );
+        true
+    }
+
+    /// The node ids this node currently believes alive (self always
+    /// included): a node is dead only when the node-watch detector
+    /// suspects it *and* the bootstrap-grace rule allows the verdict —
+    /// a node never heard from is presumed alive until
+    /// [`NodeConfig::bootstrap_grace`], because "no digest yet" at
+    /// startup is indistinguishable from "gossip not wired up yet".
+    pub fn alive_nodes(&self, now: f64) -> Vec<NodeId> {
+        self.membership
+            .iter()
+            .copied()
+            .filter(|&n| {
+                if n == self.id {
+                    return true;
+                }
+                match self.node_watch.status(n) {
+                    None => false,
+                    Some(st) => {
+                        if st.output.is_trust() {
+                            true
+                        } else {
+                            st.counters.heartbeats == 0 && now < self.cfg.bootstrap_grace
+                        }
+                    }
+                }
+            })
+            .collect()
+    }
+
+    /// Re-derives partition ownership over the currently-alive node set
+    /// and applies the difference:
+    ///
+    /// * **adopt** — every peer known from remote digests whose
+    ///   rendezvous owner among the alive nodes is *this* node and that
+    ///   this node does not own yet is registered warm via
+    ///   [`ClusterMonitor::add_peer_warm`], seeded with the highest
+    ///   gossiped incarnation so heartbeats from the peer's previous
+    ///   life cannot refresh trust under the new owner;
+    /// * **release** — an owned peer whose rendezvous owner is some
+    ///   other alive node (its original owner restarted, or membership
+    ///   healed) is removed here, but only once that owner's latest
+    ///   digest *claims* the peer. Adopt eagerly, release
+    ///   conservatively: the handoff briefly double-monitors the peer
+    ///   instead of ever leaving it unmonitored, and since deltas
+    ///   cannot retract, the rightful owner can only learn of the peer
+    ///   while someone still gossips it.
+    ///
+    /// Returns the federation events describing what moved.
+    pub fn rebalance(&mut self, now: f64) -> Vec<FedEvent> {
+        let alive = self.alive_nodes(now);
+        let mut events = Vec::new();
+
+        // Adoption: scan remote claims (sorted: deterministic order).
+        let mut to_adopt: BTreeMap<PeerId, (u64, NodeId)> = BTreeMap::new();
+        for (&origin, part) in &self.remote {
+            for (&peer, claim) in &part.claims {
+                if self.owned.contains_key(&peer) {
+                    continue;
+                }
+                if owner(&alive, peer) != Some(self.id) {
+                    continue;
+                }
+                let slot = to_adopt.entry(peer).or_insert((claim.incarnation, origin));
+                if claim.incarnation >= slot.0 {
+                    *slot = (claim.incarnation, origin);
+                }
+            }
+        }
+        for (peer, (incarnation, from)) in to_adopt {
+            if self.monitor.add_peer_warm(peer, self.cfg.peer, incarnation).is_ok() {
+                self.owned
+                    .insert(peer, PeerClaim { incarnation, trusted: false, degraded: false });
+                self.metrics.peers_adopted.fetch_add(1, Ordering::Relaxed);
+                events.push(FedEvent {
+                    at: now,
+                    node: self.id,
+                    change: FedChange::PeerAdopted { peer, from },
+                });
+            }
+        }
+
+        // Release: ownership moved to another alive node AND that node
+        // already claims the peer in its gossiped digest.
+        let released: Vec<(PeerId, NodeId)> = self
+            .owned
+            .keys()
+            .filter_map(|&peer| match owner(&alive, peer) {
+                Some(to)
+                    if to != self.id
+                        && self
+                            .remote
+                            .get(&to)
+                            .is_some_and(|p| p.claims.contains_key(&peer)) =>
+                {
+                    Some((peer, to))
+                }
+                _ => None,
+            })
+            .collect();
+        for (peer, to) in released {
+            if self.monitor.remove_peer(peer) {
+                self.owned.remove(&peer);
+                self.metrics.peers_released.fetch_add(1, Ordering::Relaxed);
+                events.push(FedEvent {
+                    at: now,
+                    node: self.id,
+                    change: FedChange::PeerReleased { peer, to },
+                });
+            }
+        }
+        self.metrics.rebalances.fetch_add(1, Ordering::Relaxed);
+        events
+    }
+
+    /// Point-in-time view of the owned partition.
+    pub fn local_snapshot(&self) -> ClusterSnapshot {
+        self.monitor.snapshot()
+    }
+
+    /// Stops both monitors' background threads.
+    pub fn shutdown(&self) {
+        self.monitor.shutdown();
+        self.node_watch.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_cfg() -> NodeConfig {
+        NodeConfig {
+            peer: PeerConfig::new(1.0, 3.0),
+            node_watch: PeerConfig::new(1.0, 3.0),
+            bootstrap_grace: 10.0,
+            full_refresh_every: 4,
+        }
+    }
+
+    fn spawn_node(id: NodeId, membership: &[NodeId]) -> FederationNode {
+        FederationNode::spawn(id, 1, membership, test_cfg(), Arc::new(FedMetrics::new()))
+            .expect("spawn")
+    }
+
+    #[test]
+    fn digest_receipt_is_a_node_heartbeat() {
+        let mut a = spawn_node(1, &[1, 2]);
+        let mut b = spawn_node(2, &[1, 2]);
+        // Before any gossip: bootstrap grace keeps both alive.
+        assert_eq!(a.alive_nodes(1.0), vec![1, 2]);
+        let digest = b.gossip_digest(1.0);
+        for frame in digest.frames() {
+            assert!(a.receive_digest(&frame, 1.0));
+        }
+        assert!(a.node_watch().status(2).unwrap().output.is_trust());
+        // Re-sending the same round is not stale (chunking), an older
+        // round is.
+        let frames = digest.frames();
+        assert!(a.receive_digest(&frames[0], 1.1));
+        let old = DigestFrame { round: 0, ..frames[0].clone() };
+        assert!(!a.receive_digest(&old, 1.2));
+        a.shutdown();
+        b.shutdown();
+    }
+
+    #[test]
+    fn silent_node_dies_after_grace_and_freshness() {
+        let mut a = spawn_node(1, &[1, 2]);
+        // Past bootstrap grace with zero heartbeats: node 2 is dead.
+        a.advance(11.0);
+        assert_eq!(a.alive_nodes(11.0), vec![1]);
+        a.shutdown();
+    }
+
+    #[test]
+    fn failover_adopts_orphans_warm_and_returns_them() {
+        let membership = [1u64, 2, 3];
+        let mut a = spawn_node(1, &membership);
+        let mut b = spawn_node(2, &membership);
+        let mut c = spawn_node(3, &membership);
+
+        // Find peers owned by node 3 under full membership.
+        let orphan = (0..1000)
+            .find(|&p| owner(&membership, p) == Some(3))
+            .expect("some peer hashes to node 3");
+        c.assign_peer(orphan).unwrap();
+        assert!(c.deliver(orphan, 1.0, 5, Heartbeat::new(1, 1.0)));
+
+        // Gossip c's digest to a and b; all three heartbeat each other.
+        for t in [1.0, 2.0, 3.0] {
+            let da = a.gossip_digest(t);
+            let db = b.gossip_digest(t);
+            let dc = c.gossip_digest(t);
+            for f in da.frames() {
+                b.receive_digest(&f, t);
+                c.receive_digest(&f, t);
+            }
+            for f in db.frames() {
+                a.receive_digest(&f, t);
+                c.receive_digest(&f, t);
+            }
+            for f in dc.frames() {
+                a.receive_digest(&f, t);
+                b.receive_digest(&f, t);
+            }
+        }
+        // Node 3 dies (stops gossiping); a and b keep gossiping each
+        // other (so they stay mutually alive) until 3's freshness runs
+        // out on both.
+        for t in 4..=12 {
+            let t = t as f64;
+            let da = a.gossip_digest(t);
+            let db = b.gossip_digest(t);
+            for f in da.frames() {
+                b.receive_digest(&f, t);
+            }
+            for f in db.frames() {
+                a.receive_digest(&f, t);
+            }
+            a.advance(t);
+            b.advance(t);
+        }
+        assert_eq!(a.alive_nodes(12.0), vec![1, 2]);
+        let new_owner = owner(&[1, 2], orphan).unwrap();
+        let (adopter, other) = if new_owner == 1 { (&mut a, &mut b) } else { (&mut b, &mut a) };
+        let evs = adopter.rebalance(12.0);
+        assert!(
+            evs.iter().any(|e| matches!(
+                e.change,
+                FedChange::PeerAdopted { peer, from: 3 } if peer == orphan
+            )),
+            "adopter must take the orphan: {evs:?}"
+        );
+        assert!(adopter.owns(orphan));
+        assert!(other.rebalance(12.0).is_empty(), "non-owner must not adopt");
+        // Warm start: the gossiped incarnation is the floor — a stale
+        // heartbeat from the peer's old life must be rejected.
+        assert!(!adopter.deliver(orphan, 12.5, 4, Heartbeat::new(9, 12.4)));
+        assert!(adopter.deliver(orphan, 12.6, 5, Heartbeat::new(10, 12.5)));
+
+        // Node 3 restarts with a fresh incarnation and re-announces.
+        let mut c2 = FederationNode::spawn(3, 2, &membership, test_cfg(), Arc::new(FedMetrics::new()))
+            .expect("respawn");
+        let d = c2.gossip_digest(13.0);
+        for f in d.frames() {
+            adopter.receive_digest(&f, 13.0);
+            other.receive_digest(&f, 13.0);
+        }
+        // The rightful owner is back but claims nothing yet: the
+        // conservative handoff keeps the peer here — releasing now
+        // would orphan it, since deltas cannot retract.
+        let evs = adopter.rebalance(13.0);
+        assert!(!evs.iter().any(|e| matches!(e.change, FedChange::PeerReleased { .. })), "{evs:?}");
+        assert!(adopter.owns(orphan));
+        // c2 learns the peer from the adopter's digest and adopts it
+        // (briefly double-owned)...
+        let d = adopter.gossip_digest(13.5);
+        for f in d.frames() {
+            c2.receive_digest(&f, 13.5);
+        }
+        let evs = c2.rebalance(14.0);
+        assert!(
+            evs.iter()
+                .any(|e| matches!(e.change, FedChange::PeerAdopted { peer, .. } if peer == orphan)),
+            "restarted owner must re-adopt: {evs:?}"
+        );
+        assert!(c2.owns(orphan));
+        // ...and once c2's digest claims it, the adopter hands it back.
+        let d = c2.gossip_digest(14.5);
+        for f in d.frames() {
+            adopter.receive_digest(&f, 14.5);
+        }
+        let evs = adopter.rebalance(15.0);
+        assert!(
+            evs.iter().any(|e| matches!(
+                e.change,
+                FedChange::PeerReleased { peer, to: 3 } if peer == orphan
+            )),
+            "adopter must hand the peer back: {evs:?}"
+        );
+        assert!(!adopter.owns(orphan));
+        a.shutdown();
+        b.shutdown();
+        c.shutdown();
+        c2.shutdown();
+    }
+}

@@ -55,6 +55,7 @@ pub mod channel;
 pub mod fault;
 pub mod harness;
 pub mod link;
+pub mod multi;
 pub mod pattern;
 pub mod replicate;
 pub mod run;
@@ -62,6 +63,7 @@ pub mod run;
 pub use channel::{ChannelModel, EpochChannel, GilbertElliott};
 pub use fault::{FaultInjector, FaultPlan, FaultyLink, LinkFault, ProcessEvent};
 pub use link::{Link, LinkError};
+pub use multi::MultiNodePlan;
 pub use pattern::DelayPattern;
 pub use replicate::{measure_accuracy_replicated, ReplicatedAccuracy};
 pub use run::{

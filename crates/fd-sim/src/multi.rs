@@ -1,0 +1,283 @@
+//! Multi-node fault plans: one scripted timeline across a *set* of
+//! monitor nodes and the links between them.
+//!
+//! The paper's model is pairwise — one monitor, one monitored process,
+//! one link — and a [`FaultPlan`](crate::fault::FaultPlan) scripts
+//! exactly that pair. A federation of monitor nodes (the `fd-federation`
+//! crate) needs the same determinism one level up: *which node is down
+//! when*, and *which inter-node link misbehaves when*, so that a
+//! cross-node failover scenario replays byte-identically from a seed.
+//!
+//! A [`MultiNodePlan`] is a thin composition: a per-node
+//! [`FaultPlan`] scripting that node's crash/restart schedule, plus a
+//! per-link `FaultPlan` scripting gossip-link faults. Links are
+//! undirected and normalized (`(a, b)` with `a < b`), matching the
+//! anti-entropy gossip exchange which is symmetric. Every embedded plan
+//! gets its own seed derived from the plan seed by splitmix64, so two
+//! nodes' fault realizations are decorrelated yet fully reproducible.
+
+use crate::fault::{FaultPlan, LinkFault};
+use std::collections::BTreeMap;
+
+/// Identifier of a federation monitor node in a plan.
+pub type NodeId = u64;
+
+/// splitmix64 — the standard 64-bit finalizer used to derive per-node
+/// and per-link sub-seeds from the plan seed.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Normalizes an undirected link key.
+fn link_key(a: NodeId, b: NodeId) -> (NodeId, NodeId) {
+    assert!(a != b, "a link connects two distinct nodes, got {a}-{a}");
+    if a < b {
+        (a, b)
+    } else {
+        (b, a)
+    }
+}
+
+/// A deterministic fault script for a whole monitor federation: node
+/// crash/restart schedules plus inter-node link faults, all on one
+/// shared timeline (seconds from scenario start).
+///
+/// # Example
+///
+/// ```
+/// use fd_sim::multi::MultiNodePlan;
+///
+/// // Node 2 dies at 30 s and returns at 60 s; meanwhile the 0–1 gossip
+/// // link suffers a delay spike.
+/// let plan = MultiNodePlan::new(7)
+///     .kill_node(2, 30.0)
+///     .restart_node(2, 60.0)
+///     .delay_spike_link(0, 1, 25.0, 45.0, 0.5, 0.1);
+/// assert!(plan.is_node_crashed_at(2, 40.0));
+/// assert!(!plan.is_node_crashed_at(2, 70.0));
+/// assert!(!plan.link_blocked_at(0, 1, 30.0)); // delayed, not dropped
+/// ```
+#[derive(Debug, Clone)]
+pub struct MultiNodePlan {
+    seed: u64,
+    nodes: BTreeMap<NodeId, FaultPlan>,
+    links: BTreeMap<(NodeId, NodeId), FaultPlan>,
+}
+
+impl MultiNodePlan {
+    /// An empty plan (every node up, every link nominal, forever).
+    pub fn new(seed: u64) -> Self {
+        Self {
+            seed,
+            nodes: BTreeMap::new(),
+            links: BTreeMap::new(),
+        }
+    }
+
+    /// The plan's root seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The sub-seed a consumer should use for randomness attributed to
+    /// `node` (heartbeat jitter, gossip peer sampling, …). Stable across
+    /// runs, decorrelated across nodes.
+    pub fn node_seed(&self, node: NodeId) -> u64 {
+        splitmix64(self.seed ^ splitmix64(node))
+    }
+
+    fn with_node_plan(mut self, node: NodeId, f: impl FnOnce(FaultPlan) -> FaultPlan) -> Self {
+        let seed = self.node_seed(node);
+        let plan = self.nodes.remove(&node).unwrap_or_else(|| FaultPlan::new(seed));
+        self.nodes.insert(node, f(plan));
+        self
+    }
+
+    fn with_link_plan(
+        mut self,
+        a: NodeId,
+        b: NodeId,
+        f: impl FnOnce(FaultPlan) -> FaultPlan,
+    ) -> Self {
+        let key = link_key(a, b);
+        let seed = splitmix64(self.seed ^ splitmix64(key.0 ^ splitmix64(key.1)));
+        let plan = self.links.remove(&key).unwrap_or_else(|| FaultPlan::new(seed));
+        self.links.insert(key, f(plan));
+        self
+    }
+
+    /// Schedules a crash of monitor `node` at `at`. Per-node events must
+    /// be appended in non-decreasing time order (the underlying
+    /// [`FaultPlan`] enforces this).
+    pub fn kill_node(self, node: NodeId, at: f64) -> Self {
+        self.with_node_plan(node, |p| p.crash(at))
+    }
+
+    /// Schedules a restart of monitor `node` at `at`.
+    pub fn restart_node(self, node: NodeId, at: f64) -> Self {
+        self.with_node_plan(node, |p| p.recover(at))
+    }
+
+    /// Partitions the undirected gossip link `a`–`b` over `[start, heal)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a == b`, `heal <= start`, or times are invalid.
+    pub fn partition_link(self, a: NodeId, b: NodeId, start: f64, heal: f64) -> Self {
+        assert!(heal > start, "link fault must heal after it starts ({heal} <= {start})");
+        self.with_link_plan(a, b, |p| {
+            p.link_fault(start, LinkFault::Partition).link_fault(heal, LinkFault::Nominal)
+        })
+    }
+
+    /// Overlays a delay spike (`extra` seconds plus uniform jitter in
+    /// `[0, jitter)`) on the gossip link `a`–`b` over `[start, heal)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a == b`, `heal <= start`, or parameters are invalid.
+    pub fn delay_spike_link(
+        self,
+        a: NodeId,
+        b: NodeId,
+        start: f64,
+        heal: f64,
+        extra: f64,
+        jitter: f64,
+    ) -> Self {
+        assert!(heal > start, "link fault must heal after it starts ({heal} <= {start})");
+        self.with_link_plan(a, b, |p| {
+            p.link_fault(start, LinkFault::DelaySpike { extra, jitter })
+                .link_fault(heal, LinkFault::Nominal)
+        })
+    }
+
+    /// Whether monitor `node` is scripted down at `t`. Nodes never
+    /// mentioned in the plan are always up.
+    pub fn is_node_crashed_at(&self, node: NodeId, t: f64) -> bool {
+        self.nodes.get(&node).is_some_and(|p| p.is_crashed_at(t))
+    }
+
+    /// The link fault in force on `a`–`b` at `t` (either direction).
+    pub fn link_fault_at(&self, a: NodeId, b: NodeId, t: f64) -> LinkFault {
+        self.links
+            .get(&link_key(a, b))
+            .map_or(LinkFault::Nominal, |p| p.link_fault_at(t))
+    }
+
+    /// Whether gossip on `a`–`b` is fully blocked at `t` (a scripted
+    /// [`LinkFault::Partition`]). Delay and loss overlays do not block.
+    pub fn link_blocked_at(&self, a: NodeId, b: NodeId, t: f64) -> bool {
+        matches!(self.link_fault_at(a, b, t), LinkFault::Partition)
+    }
+
+    /// The per-node fault plan, if the node is mentioned in the script.
+    pub fn node_plan(&self, node: NodeId) -> Option<&FaultPlan> {
+        self.nodes.get(&node)
+    }
+
+    /// Every node with a scripted fault, ascending.
+    pub fn scripted_nodes(&self) -> Vec<NodeId> {
+        self.nodes.keys().copied().collect()
+    }
+
+    /// The latest scheduled time across all node and link timelines;
+    /// `0.0` for an empty plan. Scenario horizons must exceed this for
+    /// the full script to play out.
+    pub fn last_event_time(&self) -> f64 {
+        let nodes = self.nodes.values().map(FaultPlan::last_event_time).fold(0.0, f64::max);
+        let links = self.links.values().map(FaultPlan::last_event_time).fold(0.0, f64::max);
+        nodes.max(links)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_crash_windows_are_independent() {
+        let plan = MultiNodePlan::new(1)
+            .kill_node(2, 10.0)
+            .restart_node(2, 20.0)
+            .kill_node(3, 15.0);
+        assert!(!plan.is_node_crashed_at(2, 9.0));
+        assert!(plan.is_node_crashed_at(2, 10.0));
+        assert!(!plan.is_node_crashed_at(2, 25.0));
+        assert!(plan.is_node_crashed_at(3, 1e6));
+        assert!(!plan.is_node_crashed_at(0, 1e6), "unscripted nodes stay up");
+        assert_eq!(plan.scripted_nodes(), vec![2, 3]);
+        assert_eq!(plan.node_plan(2).unwrap().final_crash(), None);
+        assert_eq!(plan.node_plan(3).unwrap().final_crash(), Some(15.0));
+    }
+
+    #[test]
+    fn links_are_undirected_and_normalized() {
+        let plan = MultiNodePlan::new(1).partition_link(5, 1, 10.0, 20.0);
+        for (a, b) in [(1, 5), (5, 1)] {
+            assert!(!plan.link_blocked_at(a, b, 9.0));
+            assert!(plan.link_blocked_at(a, b, 10.0));
+            assert!(!plan.link_blocked_at(a, b, 20.0));
+        }
+        assert!(!plan.link_blocked_at(1, 2, 15.0), "other links unaffected");
+    }
+
+    #[test]
+    fn delay_spike_is_not_a_block() {
+        let plan = MultiNodePlan::new(1).delay_spike_link(0, 1, 5.0, 15.0, 0.5, 0.0);
+        assert!(!plan.link_blocked_at(0, 1, 10.0));
+        assert_eq!(
+            plan.link_fault_at(1, 0, 10.0),
+            LinkFault::DelaySpike { extra: 0.5, jitter: 0.0 }
+        );
+        assert_eq!(plan.link_fault_at(0, 1, 20.0), LinkFault::Nominal);
+    }
+
+    #[test]
+    fn successive_builders_extend_one_timeline() {
+        // kill → restart → kill again on one node flows through the same
+        // underlying FaultPlan, so ordering is checked.
+        let plan = MultiNodePlan::new(1)
+            .kill_node(7, 1.0)
+            .restart_node(7, 2.0)
+            .kill_node(7, 3.0);
+        assert_eq!(plan.node_plan(7).unwrap().events().len(), 3);
+        assert_eq!(plan.last_event_time(), 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-decreasing")]
+    fn out_of_order_node_events_are_rejected() {
+        let _ = MultiNodePlan::new(1).kill_node(7, 5.0).restart_node(7, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "two distinct nodes")]
+    fn self_links_are_rejected() {
+        let _ = MultiNodePlan::new(1).partition_link(3, 3, 0.0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "heal after it starts")]
+    fn degenerate_link_windows_are_rejected() {
+        let _ = MultiNodePlan::new(1).partition_link(0, 1, 5.0, 5.0);
+    }
+
+    #[test]
+    fn seeds_are_stable_and_decorrelated() {
+        let plan = MultiNodePlan::new(42);
+        assert_eq!(plan.node_seed(0), MultiNodePlan::new(42).node_seed(0));
+        assert_ne!(plan.node_seed(0), plan.node_seed(1));
+        assert_ne!(plan.node_seed(0), MultiNodePlan::new(43).node_seed(0));
+    }
+
+    #[test]
+    fn last_event_time_spans_nodes_and_links() {
+        let plan = MultiNodePlan::new(1).kill_node(0, 30.0).partition_link(1, 2, 10.0, 50.0);
+        assert_eq!(plan.last_event_time(), 50.0);
+        assert_eq!(MultiNodePlan::new(1).last_event_time(), 0.0);
+    }
+}

@@ -47,11 +47,15 @@
 #![warn(missing_docs)]
 
 pub mod cluster;
+pub mod federation;
 pub mod oracle;
 pub mod scenario;
 pub mod verifier;
 
 pub use cluster::{run_cluster_scenario, ClusterRecord, DegradePromoteOracle, GhostEventOracle};
+pub use federation::{
+    run_federation_scenario, FedConvergenceOracle, FedCoverageOracle, FedRecord,
+};
 pub use oracle::{
     AgreementOracle, ConformanceOracle, DetectionOracle, Oracle, Theorem1Oracle, Verdict,
 };

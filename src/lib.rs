@@ -12,6 +12,7 @@
 //! | [`fd_sim`] | discrete-event simulator and §7 measurement harnesses |
 //! | [`fd_runtime`] | real-time threaded runtime and multi-process service |
 //! | [`fd_cluster`] | many-peer membership layer: sharded registry, timer-wheel expiry, batched heartbeat transport |
+//! | [`fd_federation`] | multi-node monitor tier: rendezvous partitions, digest gossip, cross-node failover |
 //! | [`fd_stats`] | delay distributions, online statistics, quadrature, sequential tests |
 //! | [`fd_smc`] | statistical model checking: randomized chaos scenarios, QoS oracles, SPRT verifier |
 //!
@@ -43,6 +44,7 @@
 
 pub use fd_cluster;
 pub use fd_core;
+pub use fd_federation;
 pub use fd_metrics;
 pub use fd_runtime;
 pub use fd_sim;
@@ -73,6 +75,10 @@ pub mod prelude {
         ClusterConfig, ClusterMonitor, ClusterSnapshot, ClusterStats, ControlConfig,
         ControlListener, ControlSender, MembershipChange, MembershipEvent, MetricsExporter,
         PeerConfig, PeerId, PeerQos, PeerStatus, QosState,
+    };
+    pub use fd_federation::{
+        Coverage, FedChange, FedEvent, FedMetrics, Federation, FederationConfig,
+        FederationNode, FederationView, NodeId,
     };
     pub use fd_runtime::{Health, IncarnationStore};
     pub use fd_smc::{
