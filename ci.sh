@@ -33,6 +33,9 @@ cargo run --release -p fd-bench --bin exp_smc -- --smoke
 echo "==> federation failover smoke (takeover bound, coverage, fd_fed_* series)"
 cargo run --release -p fd-bench --bin exp_federation -- --smoke
 
+echo "==> federation-over-UDP smoke (one-way cut, relay routing, NACK repair)"
+cargo run --release -p fd-bench --bin exp_fed_udp -- --smoke
+
 echo "==> perf baselines"
 cargo run --release -p fd-bench --bin bench_baseline -- --smoke
 

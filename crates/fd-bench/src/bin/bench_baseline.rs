@@ -3,8 +3,10 @@
 //! (per-transition QoS accounting), wire batch decoding
 //! ([`decode_frame`]), the registry's shard-locked warm `α` swap
 //! ([`ClusterMonitor::apply_alpha`], the control plane's transition
-//! point), and the timer wheel's tick/rearm cycle — emitted as
-//! machine-readable JSON (`results/BENCH_qos.json`,
+//! point), the timer wheel's tick/rearm cycle, and the warm-restart
+//! snapshot codec ([`encode_snapshot`]/[`decode_snapshot`] over a
+//! 1024-peer state) — emitted as machine-readable JSON
+//! (`results/BENCH_qos.json`,
 //! `results/BENCH_wire.json`, `results/BENCH_cluster.json`) so CI
 //! archives a comparable number per commit.
 //!
@@ -13,9 +15,13 @@
 //! best-of-batches per-op time (least scheduler noise) alongside the
 //! mean. `--smoke` shrinks the budget for CI.
 
+use fd_cluster::snapshot::{decode_snapshot, encode_snapshot};
 use fd_cluster::wheel::TimerWheel;
 use fd_cluster::wire::{decode_frame, encode_batch};
-use fd_cluster::{ClusterConfig, ClusterMonitor, ControlConfig, HeartbeatEntry, PeerConfig};
+use fd_cluster::{
+    ClusterConfig, ClusterMonitor, ClusterStateSnapshot, ControlConfig, HeartbeatEntry,
+    PeerConfig, PeerCounters, PeerRecord, SnapshotOrigin,
+};
 use fd_core::Heartbeat;
 use fd_metrics::{FdOutput, OnlineQos};
 use std::io::Write as _;
@@ -172,6 +178,76 @@ fn bench_wheel_tick_rearm(budget_ms: u64) -> BenchResult {
     })
 }
 
+/// A restart-sized snapshot: 1024 peers, each carrying a full 64-sample
+/// estimator window and live counters — the state a federation node
+/// persists on its checkpoint cadence and replays on warm takeover.
+fn synthetic_snapshot() -> ClusterStateSnapshot {
+    const PEERS: u64 = 1024;
+    const WINDOW: usize = 64;
+    let peers = (1..=PEERS)
+        .map(|p| PeerRecord {
+            peer: p,
+            incarnation: 1 + p % 3,
+            eta: 1.0,
+            alpha: 3.0,
+            window: WINDOW,
+            max_seq: Some(5_000 + p),
+            counters: PeerCounters {
+                heartbeats: 5_000 + p,
+                stale: p % 17,
+                suspicions: p % 5,
+                recoveries: 1 + p % 5,
+                stale_incarnation: p % 3,
+                incarnation_resets: p % 3,
+            },
+            // Plausible normalized arrival terms (A'ᵢ − η·sᵢ): small
+            // jittered positives, varied per peer so runs aren't
+            // trivially compressible.
+            samples: (0..WINDOW)
+                .map(|i| 0.05 + ((p as usize * 31 + i * 7) % 100) as f64 * 0.002)
+                .collect(),
+            qos: None,
+            control: None,
+        })
+        .collect();
+    ClusterStateSnapshot {
+        taken_at: 1234.5,
+        origin: Some(SnapshotOrigin { node: 7, incarnation: 2 }),
+        peers,
+    }
+}
+
+/// Checkpoint write path: serialize the full 1024-peer snapshot. Per-op
+/// = one whole snapshot encode (the unit the checkpoint cadence pays).
+fn bench_snapshot_encode(budget_ms: u64) -> BenchResult {
+    const ENCODES: u64 = 4;
+    let snap = synthetic_snapshot();
+    bench("snapshot_encode", ENCODES, budget_ms, || {
+        for _ in 0..ENCODES {
+            let bytes = encode_snapshot(&snap);
+            std::hint::black_box(&bytes);
+        }
+    })
+}
+
+/// Warm-restart read path: decode + validate the same snapshot — the
+/// latency a takeover pays before it can serve with warm estimators.
+fn bench_snapshot_restore(budget_ms: u64) -> BenchResult {
+    const DECODES: u64 = 4;
+    let snap = synthetic_snapshot();
+    let bytes = encode_snapshot(&snap);
+    {
+        let decoded = decode_snapshot(&bytes).expect("round-trip decodes");
+        assert_eq!(decoded, snap, "snapshot round-trip must be lossless");
+    }
+    bench("snapshot_restore", DECODES, budget_ms, || {
+        for _ in 0..DECODES {
+            let decoded = decode_snapshot(&bytes).expect("valid snapshot");
+            std::hint::black_box(&decoded);
+        }
+    })
+}
+
 fn write_json(path: &str, result: &BenchResult) -> std::io::Result<()> {
     std::fs::create_dir_all("results")?;
     let mut f = std::fs::File::create(path)?;
@@ -208,10 +284,28 @@ fn main() {
         "{:22} best {:8.2} ns/op, mean {:8.2} ns/op over {} batches",
         wheel.name, wheel.best_ns_per_op, wheel.mean_ns_per_op, wheel.batches
     );
+    let enc = bench_snapshot_encode(budget_ms);
+    println!(
+        "{:22} best {:8.2} ns/op, mean {:8.2} ns/op over {} batches",
+        enc.name, enc.best_ns_per_op, enc.mean_ns_per_op, enc.batches
+    );
+    let dec = bench_snapshot_restore(budget_ms);
+    println!(
+        "{:22} best {:8.2} ns/op, mean {:8.2} ns/op over {} batches",
+        dec.name, dec.best_ns_per_op, dec.mean_ns_per_op, dec.batches
+    );
     std::fs::create_dir_all("results").expect("create results dir");
     let mut f = std::fs::File::create("results/BENCH_cluster.json")
         .expect("create BENCH_cluster.json");
-    writeln!(f, "[{},{}]", alpha.to_json(), wheel.to_json()).expect("write BENCH_cluster.json");
+    writeln!(
+        f,
+        "[{},{},{},{}]",
+        alpha.to_json(),
+        wheel.to_json(),
+        enc.to_json(),
+        dec.to_json()
+    )
+    .expect("write BENCH_cluster.json");
 
     println!(
         "\nbaselines written to results/BENCH_qos.json, results/BENCH_wire.json, \

@@ -9,7 +9,10 @@
 //! rates), reporting exact Clopper–Pearson intervals. A second, smaller
 //! sweep drives the cluster membership layer deterministically and
 //! checks its lifecycle invariants (no ghost events after removal,
-//! degrade/promote alternation).
+//! degrade/promote alternation). A third drives federation relay
+//! routing: one directed gossip link stays cut while every node lives,
+//! and the relay-coverage oracle rejects any false suspicion,
+//! non-convergence, or a run where nothing was ever relayed.
 //!
 //! `--smoke` shrinks both sweeps to CI size (≤ 200 engine runs, fixed
 //! seeds) without touching the hypotheses.
@@ -21,9 +24,9 @@
 use fd_bench::Settings;
 use fd_metrics::QosRequirements;
 use fd_smc::{
-    run_cluster_scenario, run_smc, AgreementOracle, ClusterRecord, ConformanceOracle,
-    DegradePromoteOracle, DetectionOracle, GhostEventOracle, Oracle, RunRecord, ScenarioSpec,
-    SmcConfig, SmcReport, Theorem1Oracle,
+    run_cluster_scenario, run_relay_scenario, run_smc, AgreementOracle, ClusterRecord,
+    ConformanceOracle, DegradePromoteOracle, DetectionOracle, FedRelayOracle, FedRelayRecord,
+    GhostEventOracle, Oracle, RunRecord, ScenarioSpec, SmcConfig, SmcReport, Theorem1Oracle,
 };
 use std::io::Write as _;
 
@@ -77,19 +80,26 @@ fn run_cluster_sweep(cfg: &SmcConfig) -> SmcReport {
     run_smc(cfg, |seed| run_cluster_scenario(seed, 3), &oracles)
 }
 
+fn run_relay_sweep(cfg: &SmcConfig) -> SmcReport {
+    let oracles: Vec<Box<dyn Oracle<FedRelayRecord>>> = vec![Box::new(FedRelayOracle)];
+    run_smc(cfg, run_relay_scenario, &oracles)
+}
+
 fn write_report(
     engine: &SmcReport,
     identity: &SmcReport,
     cluster: &SmcReport,
+    relay: &SmcReport,
 ) -> std::io::Result<()> {
     std::fs::create_dir_all("results")?;
     let mut f = std::fs::File::create("results/SMC_report.json")?;
     writeln!(
         f,
-        "{{\"experiment\":\"E20\",\"engine\":{},\"identity\":{},\"cluster\":{}}}",
+        "{{\"experiment\":\"E20\",\"engine\":{},\"identity\":{},\"cluster\":{},\"relay\":{}}}",
         engine.to_json(),
         identity.to_json(),
-        cluster.to_json()
+        cluster.to_json(),
+        relay.to_json()
     )
 }
 
@@ -99,7 +109,7 @@ fn main() {
 
     // The identity sweep draws from its own seed block so growing one
     // sweep never reshuffles another's scenarios.
-    let (engine_cfg, identity_cfg, cluster_cfg) = if smoke {
+    let (engine_cfg, identity_cfg, cluster_cfg, relay_cfg) = if smoke {
         (
             SmcConfig {
                 seed0: settings.seed,
@@ -115,6 +125,11 @@ fn main() {
                 seed0: settings.seed,
                 threads: 2,
                 ..SmcConfig::smoke(8)
+            },
+            SmcConfig {
+                seed0: settings.seed + 2_000_000,
+                threads: 2,
+                ..SmcConfig::smoke(6)
             },
         )
     } else {
@@ -138,6 +153,13 @@ fn main() {
                 threads: 2,
                 min_runs: 0,
                 max_runs: 250,
+                ..SmcConfig::standard()
+            },
+            SmcConfig {
+                seed0: settings.seed + 2_000_000,
+                threads: 2,
+                min_runs: 0,
+                max_runs: 120,
                 ..SmcConfig::standard()
             },
         )
@@ -165,10 +187,14 @@ fn main() {
     let cluster = run_cluster_sweep(&cluster_cfg);
     print!("{cluster}");
 
-    write_report(&engine, &identity, &cluster).expect("write results/SMC_report.json");
+    println!("\nrelay sweep (one-way link cuts routed around by relays):");
+    let relay = run_relay_sweep(&relay_cfg);
+    print!("{relay}");
+
+    write_report(&engine, &identity, &cluster, &relay).expect("write results/SMC_report.json");
     println!("\nreport written to results/SMC_report.json");
 
-    if engine.any_reject() || identity.any_reject() || cluster.any_reject() {
+    if engine.any_reject() || identity.any_reject() || cluster.any_reject() || relay.any_reject() {
         println!("VERDICT: REJECT — at least one property failed");
         std::process::exit(1);
     }

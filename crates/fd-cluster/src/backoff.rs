@@ -1,5 +1,10 @@
 //! Restart-backoff policy shared by every supervised thread in this
-//! crate (ticker, control loop, receive pump, metrics accept loop).
+//! crate (ticker, control loop, receive pump, metrics accept loop) and,
+//! since the federation gossip tier moved onto real UDP, by
+//! `fd-federation`'s NACK repair pacing — a receiver re-requesting a
+//! full refresh backs off by the same bounded-exponential-plus-jitter
+//! rule a crashed pump does, for the same reason: a fleet of receivers
+//! that all lost the same frame must not re-request in lock-step.
 //!
 //! Two ingredients:
 //!
@@ -20,7 +25,7 @@ use std::time::Duration;
 /// The delay before restart number `restarts` (1-based): `base · 2ⁿ⁻¹`
 /// capped at `cap`, then jittered by a uniform factor in `[0.5, 1.5)`.
 /// The jitter is applied after the cap, so the worst case is `1.5 · cap`.
-pub(crate) fn restart_delay(
+pub fn restart_delay(
     rng: &mut StdRng,
     restarts: u64,
     base: Duration,

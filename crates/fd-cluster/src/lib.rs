@@ -63,7 +63,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-mod backoff;
+pub mod backoff;
 pub mod events;
 pub mod exporter;
 pub mod monitor;
@@ -91,10 +91,11 @@ pub use snapshot::{
     ClusterStateSnapshot, ControlRecord, PeerRecord, SnapshotError, SnapshotOrigin,
 };
 pub use wire::{
-    decode_batch, decode_frame, encode_digest, ControlEntry, DigestEntry, DigestFrame,
-    DigestSummary, Frame, HeartbeatEntry,
+    decode_batch, decode_frame, encode_digest, encode_relay, encode_repair, ControlEntry,
+    DigestEntry, DigestFrame, DigestSummary, Frame, HeartbeatEntry, RelayedDigest, RepairRequest,
     BATCH_MAGIC, BATCH_WIRE_VERSION, BATCH_WIRE_VERSION_V1, BATCH_WIRE_VERSION_V3,
     BATCH_WIRE_VERSION_V4, CONTROL_ENTRY_LEN, DIGEST_ENTRY_LEN, ENTRY_LEN, ENTRY_LEN_V1,
-    FRAME_KIND_DIGEST, HEADER_LEN, HEADER_LEN_DIGEST, HEADER_LEN_V3, MAX_BATCH, MAX_BATCH_V1,
-    MAX_CONTROL_BATCH, MAX_DIGEST_BATCH,
+    FRAME_KIND_DIGEST, FRAME_KIND_RELAY, FRAME_KIND_REPAIR, HEADER_LEN, HEADER_LEN_DIGEST,
+    HEADER_LEN_V3, MAX_BATCH, MAX_BATCH_V1, MAX_CONTROL_BATCH, MAX_DIGEST_BATCH,
+    RELAY_HEADER_LEN, REPAIR_FRAME_LEN,
 };

@@ -871,7 +871,9 @@ fn control_pump(
                     on_recommendation(e.peer, e.eta);
                 }
             }
-            Some(Frame::Heartbeats(_)) | Some(Frame::Digest(_)) => {
+            Some(
+                Frame::Heartbeats(_) | Frame::Digest(_) | Frame::Repair(_) | Frame::Relayed(_),
+            ) => {
                 // Well-formed but misdirected: someone aimed heartbeat
                 // or federation gossip traffic at the control port.
                 // Count and drop.

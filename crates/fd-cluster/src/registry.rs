@@ -234,7 +234,7 @@ mod tests {
     #[test]
     fn sequential_ids_spread_across_shards() {
         let reg = PeerRegistry::new(16);
-        let mut per_shard = vec![0usize; 16];
+        let mut per_shard = [0usize; 16];
         for peer in 0..1600u64 {
             per_shard[reg.shard_index(peer)] += 1;
         }

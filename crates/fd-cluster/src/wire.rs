@@ -73,6 +73,40 @@
 //! unchanged; a v3 frame claiming the digest kind is rejected (digests
 //! exist only from v4 on).
 //!
+//! Moving the gossip tier onto real, lossy UDP adds two more v4 kinds.
+//! Kind `3` is the **repair request** (NACK): a receiver that observed
+//! a gap in an origin's digest round sequence asks that origin for a
+//! full refresh:
+//!
+//! | offset | size | field |
+//! |-------:|-----:|-------|
+//! | 0      | 2    | magic `[0xFD, 0xC1]` |
+//! | 2      | 1    | version (`4`) |
+//! | 3      | 1    | kind (`3` repair request) |
+//! | 4      | 8    | `requester: u64` — the node asking |
+//! | 12     | 8    | `target: u64` — whose digest stream has the gap |
+//! | 20     | 8    | `target_incarnation: u64` — the life the gap is in |
+//! | 28     | 8    | `have_round: u64` — highest round merged so far |
+//! | 36     | 8    | `at: f64` — requester clock seconds |
+//!
+//! Kind `4` is the **relayed digest**: a complete kind-2 digest frame
+//! forwarded verbatim on behalf of an origin the receiver may not be
+//! able to reach directly, prefixed with the relaying node and a hop
+//! count so routing stays loop-bounded:
+//!
+//! | offset | size | field |
+//! |-------:|-----:|-------|
+//! | 0      | 2    | magic `[0xFD, 0xC1]` |
+//! | 2      | 1    | version (`4`) |
+//! | 3      | 1    | kind (`4` relayed digest) |
+//! | 4      | 8    | `relayer: u64` — the forwarding node |
+//! | 12     | 1    | `hop: u8` — ≥ 1; receivers enforce their cap |
+//! | 13     | …    | one complete, well-formed kind-2 digest frame |
+//!
+//! The embedded bytes must decode as exactly one digest frame (the
+//! embedded decode is the same strict [`decode_frame`] path), so a
+//! relay can never smuggle malformed digests past the ingest checks.
+//!
 //! The magic differs from the single-heartbeat magic (`[0xFD, 0xB1]`), so
 //! each receiver rejects the other's traffic instead of misparsing it.
 //! Decoding is strict *and total*: exact length for the declared count,
@@ -111,6 +145,14 @@ pub const FRAME_KIND_CONTROL: u8 = 1;
 /// v4 frame kind: a federation gossip digest.
 pub const FRAME_KIND_DIGEST: u8 = 2;
 
+/// v4 frame kind: a digest repair request (NACK) — "your round sequence
+/// has a gap here, send me a full refresh".
+pub const FRAME_KIND_REPAIR: u8 = 3;
+
+/// v4 frame kind: a digest relayed on behalf of its origin by a third
+/// node, hop-counted.
+pub const FRAME_KIND_RELAY: u8 = 4;
+
 /// Size of the v1/v2 batch header: magic, version, entry count.
 pub const HEADER_LEN: usize = 4;
 
@@ -124,6 +166,13 @@ pub const HEADER_LEN_DIGEST: usize = 50;
 
 /// Size of one encoded digest entry: `peer + incarnation + state`.
 pub const DIGEST_ENTRY_LEN: usize = 17;
+
+/// Exact size of a v4 repair-request frame.
+pub const REPAIR_FRAME_LEN: usize = 44;
+
+/// Size of the relay prefix (magic, version, kind, relayer, hop) that
+/// precedes the embedded digest frame.
+pub const RELAY_HEADER_LEN: usize = 13;
 
 /// Most digest entries per datagram (50 + 83·17 = 1461 bytes).
 pub const MAX_DIGEST_BATCH: usize = 83;
@@ -232,6 +281,41 @@ pub struct DigestFrame {
     pub entries: Vec<DigestEntry>,
 }
 
+/// A digest repair request (NACK): the requester noticed a gap in the
+/// target's digest round sequence — deltas lost on the wire that no
+/// later delta will repeat — and asks for a full refresh. Bounded,
+/// jittered resend pacing is the *requester's* job (see
+/// `fd-federation`); the frame itself is stateless.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RepairRequest {
+    /// The node asking for the refresh.
+    pub requester: u64,
+    /// The node whose digest stream has the gap.
+    pub target: u64,
+    /// The target incarnation the requester holds state for.
+    pub target_incarnation: u64,
+    /// Highest round the requester has merged (0 = nothing yet).
+    pub have_round: u64,
+    /// Requester clock when the gap was noticed, seconds (finite).
+    pub at: f64,
+}
+
+/// A digest forwarded on behalf of its origin by a third node: the
+/// transitive-reachability path that keeps an asymmetric partition from
+/// looking like a node crash. `hop` counts forwarding steps (1 = the
+/// relayer heard the origin directly).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RelayedDigest {
+    /// The node that forwarded the digest (not its origin).
+    pub relayer: u64,
+    /// Forwarding steps taken, ≥ 1; receivers drop frames beyond their
+    /// configured hop cap.
+    pub hop: u8,
+    /// The relayed digest, decoded through the same strict path as a
+    /// directly-received one.
+    pub digest: DigestFrame,
+}
+
 /// A decoded datagram: which kind of traffic it carried.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Frame {
@@ -241,6 +325,10 @@ pub enum Frame {
     Control(Vec<ControlEntry>),
     /// A federation gossip digest (v4 kind-2 framing).
     Digest(DigestFrame),
+    /// A digest repair request (v4 kind-3 framing).
+    Repair(RepairRequest),
+    /// A relayed digest (v4 kind-4 framing).
+    Relayed(RelayedDigest),
 }
 
 /// Encodes a batch of heartbeat entries into one v2 datagram.
@@ -355,6 +443,51 @@ pub fn encode_digest(frame: &DigestFrame) -> Vec<u8> {
         }
         buf.push(state);
     }
+    buf
+}
+
+/// Encodes one repair request into a v4 kind-3 datagram.
+///
+/// # Panics
+///
+/// Panics if `at` is not finite — the decoder would reject the frame
+/// wholesale, so encoding it is a caller bug.
+pub fn encode_repair(req: &RepairRequest) -> Vec<u8> {
+    assert!(req.at.is_finite(), "repair timestamp must be finite, got {}", req.at);
+    let mut buf = Vec::with_capacity(REPAIR_FRAME_LEN);
+    buf.extend_from_slice(&BATCH_MAGIC);
+    buf.push(BATCH_WIRE_VERSION_V4);
+    buf.push(FRAME_KIND_REPAIR);
+    buf.extend_from_slice(&req.requester.to_le_bytes());
+    buf.extend_from_slice(&req.target.to_le_bytes());
+    buf.extend_from_slice(&req.target_incarnation.to_le_bytes());
+    buf.extend_from_slice(&req.have_round.to_le_bytes());
+    buf.extend_from_slice(&req.at.to_le_bytes());
+    buf
+}
+
+/// Wraps an already-encoded digest frame for relay: prefixes the
+/// relayer id and hop count. The inner bytes are forwarded verbatim, so
+/// what the final receiver decodes is bit-identical to what the origin
+/// sent.
+///
+/// # Panics
+///
+/// Panics if `hop == 0` (a zero-hop relay is a direct send — encode the
+/// digest itself) or if `digest_bytes` is not a valid digest frame.
+pub fn encode_relay(relayer: u64, hop: u8, digest_bytes: &[u8]) -> Vec<u8> {
+    assert!(hop >= 1, "a relayed digest has taken at least one hop");
+    assert!(
+        matches!(decode_frame(digest_bytes), Some(Frame::Digest(_))),
+        "relay payload must be one well-formed digest frame"
+    );
+    let mut buf = Vec::with_capacity(RELAY_HEADER_LEN + digest_bytes.len());
+    buf.extend_from_slice(&BATCH_MAGIC);
+    buf.push(BATCH_WIRE_VERSION_V4);
+    buf.push(FRAME_KIND_RELAY);
+    buf.extend_from_slice(&relayer.to_le_bytes());
+    buf.push(hop);
+    buf.extend_from_slice(digest_bytes);
     buf
 }
 
@@ -527,6 +660,46 @@ pub fn decode_frame(buf: &[u8]) -> Option<Frame> {
                 entries,
             }))
         }
+        FRAME_KIND_REPAIR => {
+            if version != BATCH_WIRE_VERSION_V4 || buf.len() != REPAIR_FRAME_LEN {
+                return None;
+            }
+            let requester = c.u64()?;
+            let target = c.u64()?;
+            let target_incarnation = c.u64()?;
+            let have_round = c.u64()?;
+            let at = c.f64()?;
+            if !at.is_finite() {
+                return None;
+            }
+            Some(Frame::Repair(RepairRequest {
+                requester,
+                target,
+                target_incarnation,
+                have_round,
+                at,
+            }))
+        }
+        FRAME_KIND_RELAY => {
+            if version != BATCH_WIRE_VERSION_V4 {
+                return None;
+            }
+            let relayer = c.u64()?;
+            let hop = c.u8()?;
+            if hop == 0 {
+                return None;
+            }
+            // The payload must be exactly one well-formed digest frame;
+            // the recursive decode is depth-1 by construction (a relayed
+            // relay fails the Digest match below).
+            let inner = buf.get(c.pos..)?;
+            match decode_frame(inner)? {
+                Frame::Digest(digest) => {
+                    Some(Frame::Relayed(RelayedDigest { relayer, hop, digest }))
+                }
+                _ => None,
+            }
+        }
         _ => None,
     }
 }
@@ -541,7 +714,7 @@ pub fn decode_frame(buf: &[u8]) -> Option<Frame> {
 pub fn decode_batch(buf: &[u8]) -> Option<Vec<HeartbeatEntry>> {
     match decode_frame(buf)? {
         Frame::Heartbeats(entries) => Some(entries),
-        Frame::Control(_) | Frame::Digest(_) => None,
+        Frame::Control(_) | Frame::Digest(_) | Frame::Repair(_) | Frame::Relayed(_) => None,
     }
 }
 
@@ -636,7 +809,7 @@ mod tests {
                 degraded: 1,
                 conformance_ok: true,
             },
-            full: n % 2 == 0,
+            full: n.is_multiple_of(2),
             entries: (0..n)
                 .map(|k| DigestEntry {
                     peer: k as u64 * 13 + 5,
@@ -883,6 +1056,128 @@ mod tests {
         encode_batch(&sample(MAX_BATCH + 1));
     }
 
+    fn repair_sample() -> RepairRequest {
+        RepairRequest {
+            requester: 7,
+            target: 3,
+            target_incarnation: 2,
+            have_round: 41,
+            at: 19.25,
+        }
+    }
+
+    #[test]
+    fn repair_roundtrips() {
+        let req = repair_sample();
+        let buf = encode_repair(&req);
+        assert_eq!(buf.len(), REPAIR_FRAME_LEN);
+        assert_eq!(buf[2], BATCH_WIRE_VERSION_V4);
+        assert_eq!(buf[3], FRAME_KIND_REPAIR);
+        assert_eq!(decode_frame(&buf), Some(Frame::Repair(req)));
+        // Repair frames are control-plane traffic: a heartbeat receiver
+        // rejects (and counts) them like any other foreign datagram.
+        assert_eq!(decode_batch(&buf), None);
+    }
+
+    #[test]
+    fn repair_rejects_truncation_padding_and_old_versions() {
+        let buf = encode_repair(&repair_sample());
+        for cut in 1..buf.len() {
+            assert_eq!(decode_frame(&buf[..buf.len() - cut]), None, "cut={cut}");
+        }
+        let mut padded = buf.clone();
+        padded.push(0);
+        assert_eq!(decode_frame(&padded), None);
+        // Repair exists only from v4 on: a v3 frame claiming kind 3 is
+        // rejected even though the body would parse.
+        let mut v3 = buf.clone();
+        v3[2] = BATCH_WIRE_VERSION_V3;
+        assert_eq!(decode_frame(&v3), None);
+        let mut nan_at = buf;
+        nan_at[REPAIR_FRAME_LEN - 8..].copy_from_slice(&f64::NAN.to_le_bytes());
+        assert_eq!(decode_frame(&nan_at), None);
+    }
+
+    #[test]
+    fn relay_roundtrips_with_bit_identical_inner_digest() {
+        for n in [0, 3, MAX_DIGEST_BATCH] {
+            let digest = digest_sample(n);
+            let inner = encode_digest(&digest);
+            let buf = encode_relay(9, 2, &inner);
+            assert_eq!(buf.len(), RELAY_HEADER_LEN + inner.len());
+            assert_eq!(buf[3], FRAME_KIND_RELAY);
+            assert_eq!(&buf[RELAY_HEADER_LEN..], &inner[..]);
+            match decode_frame(&buf) {
+                Some(Frame::Relayed(r)) => {
+                    assert_eq!(r.relayer, 9);
+                    assert_eq!(r.hop, 2);
+                    assert_eq!(r.digest, digest);
+                }
+                other => panic!("expected relayed digest, got {other:?}"),
+            }
+            assert_eq!(decode_batch(&buf), None);
+        }
+    }
+
+    #[test]
+    fn relay_rejects_zero_hop_old_version_and_non_digest_payload() {
+        let inner = encode_digest(&digest_sample(2));
+        let mut zero_hop = encode_relay(9, 1, &inner);
+        zero_hop[RELAY_HEADER_LEN - 1] = 0;
+        assert_eq!(decode_frame(&zero_hop), None);
+
+        let mut v3 = encode_relay(9, 1, &inner);
+        v3[2] = BATCH_WIRE_VERSION_V3;
+        assert_eq!(decode_frame(&v3), None);
+
+        // A relayed relay must not decode: relaying is depth-1 on the
+        // wire; forwarding re-wraps the original digest bytes instead.
+        let relayed = encode_relay(9, 1, &inner);
+        let mut nested = Vec::new();
+        nested.extend_from_slice(&BATCH_MAGIC);
+        nested.push(BATCH_WIRE_VERSION_V4);
+        nested.push(FRAME_KIND_RELAY);
+        nested.extend_from_slice(&11u64.to_le_bytes());
+        nested.push(2);
+        nested.extend_from_slice(&relayed);
+        assert_eq!(decode_frame(&nested), None);
+
+        // Same for heartbeat and repair payloads behind a relay header.
+        for payload in [encode_batch(&sample(2)), encode_repair(&repair_sample())] {
+            let mut frame = Vec::new();
+            frame.extend_from_slice(&BATCH_MAGIC);
+            frame.push(BATCH_WIRE_VERSION_V4);
+            frame.push(FRAME_KIND_RELAY);
+            frame.extend_from_slice(&11u64.to_le_bytes());
+            frame.push(1);
+            frame.extend_from_slice(&payload);
+            assert_eq!(decode_frame(&frame), None);
+        }
+    }
+
+    #[test]
+    fn relay_rejects_truncation_anywhere() {
+        let buf = encode_relay(4, 1, &encode_digest(&digest_sample(5)));
+        for cut in 1..buf.len() {
+            assert_eq!(decode_frame(&buf[..buf.len() - cut]), None, "cut={cut}");
+        }
+        let mut padded = buf;
+        padded.push(0);
+        assert_eq!(decode_frame(&padded), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one hop")]
+    fn encode_relay_rejects_zero_hop() {
+        encode_relay(1, 0, &encode_digest(&digest_sample(1)));
+    }
+
+    #[test]
+    #[should_panic(expected = "well-formed digest frame")]
+    fn encode_relay_rejects_non_digest_payload() {
+        encode_relay(1, 1, &encode_batch(&sample(1)));
+    }
+
     mod props {
         use super::*;
         use proptest::prelude::*;
@@ -1008,7 +1303,7 @@ mod tests {
                 idx in 0usize..260,
                 flip in 0u16..256,
                 keep in 0usize..300,
-                which in 0usize..5,
+                which in 0usize..7,
             ) {
                 let flip = flip as u8;
                 let mut buf = match which {
@@ -1016,6 +1311,8 @@ mod tests {
                     1 => encode_batch_v1(&sample(n)),
                     2 => encode_batch_v3(&sample(n)),
                     3 => encode_control(&control_sample(n)),
+                    4 => encode_repair(&repair_sample()),
+                    5 => encode_relay(7, 1, &encode_digest(&digest_sample(n))),
                     _ => encode_digest(&digest_sample(n)),
                 };
                 let idx = idx % buf.len();

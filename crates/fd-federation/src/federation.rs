@@ -36,6 +36,15 @@ pub struct FederationConfig {
     pub bootstrap_grace: f64,
     /// Gossip a full refresh every this many rounds.
     pub full_refresh_every: u64,
+    /// Maximum hops for partition-relay routing; `0` disables relaying.
+    pub max_relay_hops: u8,
+    /// Seconds without a digest before a link drops a freshness tier
+    /// (see [`NodeConfig::link_timeout`]).
+    pub link_timeout: f64,
+    /// NACK repair backoff base, seconds.
+    pub repair_backoff_base: f64,
+    /// NACK repair backoff cap, seconds.
+    pub repair_backoff_cap: f64,
 }
 
 impl Default for FederationConfig {
@@ -46,6 +55,26 @@ impl Default for FederationConfig {
             node_watch: PeerConfig::new(1.0, 3.0),
             bootstrap_grace: 10.0,
             full_refresh_every: 8,
+            max_relay_hops: 2,
+            link_timeout: 2.5,
+            repair_backoff_base: 1.0,
+            repair_backoff_cap: 4.0,
+        }
+    }
+}
+
+impl FederationConfig {
+    /// The per-node knobs this federation-wide config induces.
+    pub fn node_config(&self) -> NodeConfig {
+        NodeConfig {
+            peer: self.peer,
+            node_watch: self.node_watch,
+            bootstrap_grace: self.bootstrap_grace,
+            full_refresh_every: self.full_refresh_every,
+            max_relay_hops: self.max_relay_hops,
+            link_timeout: self.link_timeout,
+            repair_backoff_base: self.repair_backoff_base,
+            repair_backoff_cap: self.repair_backoff_cap,
         }
     }
 }
@@ -109,12 +138,7 @@ impl Federation {
         cfg.nodes.dedup();
         assert!(!cfg.nodes.is_empty(), "a federation needs at least one node");
         let metrics = Arc::new(FedMetrics::new());
-        let node_cfg = NodeConfig {
-            peer: cfg.peer,
-            node_watch: cfg.node_watch,
-            bootstrap_grace: cfg.bootstrap_grace,
-            full_refresh_every: cfg.full_refresh_every,
-        };
+        let node_cfg = cfg.node_config();
         let mut slots = BTreeMap::new();
         for &id in &cfg.nodes {
             let node = FederationNode::spawn(id, 1, &cfg.nodes, node_cfg, Arc::clone(&metrics))?;
@@ -195,6 +219,15 @@ impl Federation {
     /// to every other alive node. `blocked(a, b)` vetoes individual
     /// directed deliveries — hook for [`MultiNodePlan`]
     /// (fd_sim::multi::MultiNodePlan) link partitions.
+    ///
+    /// After the direct exchange, two robustness passes run over the
+    /// same blocked-link topology: a **relay pass** (each node forwards
+    /// its fresh knowledge of other partitions as wire kind-4 frames,
+    /// hop-capped, so a node cut off from an origin still converges
+    /// transitively) and a **repair pass** (NACK repair requests due at
+    /// `now` travel as wire kind-3 frames; a reachable target answers
+    /// with a full refresh). Per-link [`LinkState`]
+    /// (crate::view::LinkState) gauges refresh at the end.
     pub fn gossip_where(&mut self, now: f64, blocked: impl Fn(NodeId, NodeId) -> bool) {
         let senders = self.alive();
         let mut wires: Vec<(NodeId, Vec<Vec<u8>>)> = Vec::new();
@@ -222,6 +255,126 @@ impl Federation {
                 }
             }
         }
+        self.relay_pass(now, &senders, &blocked);
+        self.repair_pass(now, &senders, &blocked);
+        self.refresh_link_metrics(now);
+    }
+
+    /// Relay pass: every alive node re-encodes its fresh remote
+    /// knowledge as kind-4 relay frames and forwards them over every
+    /// unblocked link (skipping the origin itself — it knows its own
+    /// partition). Receivers enforce the hop cap and merge additively.
+    fn relay_pass(&mut self, now: f64, senders: &[NodeId], blocked: &impl Fn(NodeId, NodeId) -> bool) {
+        if self.cfg.max_relay_hops == 0 {
+            return;
+        }
+        // (relayer, [(origin, encoded kind-4 frame)]) per alive node.
+        type RelayBatch = Vec<(NodeId, Vec<u8>)>;
+        let mut relays: Vec<(NodeId, RelayBatch)> = Vec::new();
+        for &id in senders {
+            let node = self.slots.get(&id).and_then(|s| s.node.as_ref()).expect("alive");
+            let encoded: Vec<(NodeId, Vec<u8>)> = node
+                .relay_frames(now)
+                .into_iter()
+                .map(|(hop, frame)| {
+                    let bytes =
+                        fd_cluster::encode_relay(id, hop, &fd_cluster::encode_digest(&frame));
+                    (frame.origin, bytes)
+                })
+                .collect();
+            if !encoded.is_empty() {
+                relays.push((id, encoded));
+            }
+        }
+        for (from, frames) in &relays {
+            for (&to, slot) in self.slots.iter_mut() {
+                let Some(node) = slot.node.as_mut() else { continue };
+                if to == *from || blocked(*from, to) {
+                    continue;
+                }
+                for (origin, bytes) in frames {
+                    if *origin == to {
+                        continue;
+                    }
+                    match decode_frame(bytes) {
+                        Some(Frame::Relayed(r)) => {
+                            node.receive_digest_via(
+                                &r.digest,
+                                now,
+                                crate::node::Via::Relayed { relayer: r.relayer, hop: r.hop },
+                            );
+                        }
+                        other => panic!("relay pass produced a non-relay frame: {other:?}"),
+                    }
+                }
+            }
+        }
+    }
+
+    /// Repair pass: due NACK requests travel as kind-3 frames; an alive,
+    /// reachable target serves a full refresh straight back (subject to
+    /// the return link being up).
+    fn repair_pass(&mut self, now: f64, senders: &[NodeId], blocked: &impl Fn(NodeId, NodeId) -> bool) {
+        let mut requests: Vec<Vec<u8>> = Vec::new();
+        for &id in senders {
+            let node = self.slots.get_mut(&id).and_then(|s| s.node.as_mut()).expect("alive");
+            for req in node.due_repairs(now) {
+                requests.push(fd_cluster::encode_repair(&req));
+            }
+        }
+        for bytes in requests {
+            let Some(Frame::Repair(req)) = decode_frame(&bytes) else {
+                panic!("repair pass produced a non-repair frame")
+            };
+            if blocked(req.requester, req.target) || blocked(req.target, req.requester) {
+                continue;
+            }
+            let Some(target) = self.slots.get_mut(&req.target).and_then(|s| s.node.as_mut())
+            else {
+                continue;
+            };
+            let Some(refresh) = target.receive_repair(&req, now) else { continue };
+            let frames = refresh.encode();
+            let Some(requester) =
+                self.slots.get_mut(&req.requester).and_then(|s| s.node.as_mut())
+            else {
+                continue;
+            };
+            for bytes in &frames {
+                match decode_frame(bytes) {
+                    Some(Frame::Digest(frame)) => {
+                        requester.receive_digest(&frame, now);
+                    }
+                    other => panic!("repair response was not a digest: {other:?}"),
+                }
+            }
+        }
+    }
+
+    /// Recomputes every alive node's per-link judgement and publishes
+    /// the aggregate and per-link gauges.
+    fn refresh_link_metrics(&mut self, now: f64) {
+        let mut states = Vec::new();
+        for (&id, slot) in &self.slots {
+            let Some(node) = slot.node.as_ref() else { continue };
+            for (target, state) in node.link_states(now) {
+                states.push(((id, target), state));
+            }
+        }
+        self.metrics.set_link_states(states);
+    }
+
+    /// Every alive node's directed link judgements at `now`,
+    /// `(observer, target) → state`.
+    pub fn link_states(&self, now: f64) -> BTreeMap<(NodeId, NodeId), crate::view::LinkState> {
+        let mut out = BTreeMap::new();
+        for (&id, slot) in &self.slots {
+            let Some(node) = slot.node.as_ref() else { continue };
+            for (target, state) in node.link_states(now) {
+                out.insert((id, target), state);
+            }
+        }
+        out
     }
 
     /// [`gossip_where`](Self::gossip_where) with no link faults.
@@ -285,12 +438,7 @@ impl Federation {
     /// Panics if the node is unknown or still alive.
     pub fn restart(&mut self, node: NodeId) -> Result<(), RuntimeError> {
         let all = self.cfg.nodes.clone();
-        let node_cfg = NodeConfig {
-            peer: self.cfg.peer,
-            node_watch: self.cfg.node_watch,
-            bootstrap_grace: self.cfg.bootstrap_grace,
-            full_refresh_every: self.cfg.full_refresh_every,
-        };
+        let node_cfg = self.cfg.node_config();
         let slot = self.slots.get_mut(&node).expect("known node");
         assert!(slot.node.is_none(), "restart of a node that is still alive");
         slot.incarnation += 1;
@@ -329,7 +477,7 @@ impl Federation {
                 }
             }
         }
-        FederationView::from_reports(now, reports)
+        FederationView::from_reports(now, reports).with_links(self.link_states(now))
     }
 
     /// Whether every alive node's picture of the federation has
@@ -460,13 +608,15 @@ mod tests {
 
     #[test]
     fn partitioned_gossip_link_defers_convergence() {
-        let mut fed = Federation::spawn(small_cfg()).expect("spawn");
+        // Relaying off: this test pins the *full-refresh* repair path,
+        // which must work even with no relay-capable third node.
+        let mut fed =
+            Federation::spawn(FederationConfig { max_relay_hops: 0, ..small_cfg() }).expect("spawn");
         for peer in 0..20 {
             fed.register(peer);
         }
-        // 1–2 link down: they learn of each other only via node 3's
-        // relayed... nothing — digests are not transitive, so the two
-        // sides' views of each other stay empty.
+        // 1–2 link down and no relaying: digests are not transitive, so
+        // the two sides' views of each other stay empty.
         for step in 1..=3 {
             let now = step as f64;
             for peer in fed.peers().to_vec() {

@@ -54,11 +54,13 @@ pub mod federation;
 pub mod hash;
 pub mod metrics;
 pub mod node;
+pub mod transport;
 pub mod view;
 
 pub use digest::{claims_of, digest_from_claims, PartitionDigest, PeerClaim};
 pub use federation::{Coverage, Federation, FederationConfig};
 pub use hash::{owner, ranking, splitmix64, weight, NodeId};
 pub use metrics::FedMetrics;
-pub use node::{FederationNode, NodeConfig, RemotePartition};
-pub use view::{FedChange, FedEvent, FederationView};
+pub use node::{DigestOutcome, FederationNode, NodeConfig, RemotePartition, Via};
+pub use transport::{GossipTransport, SendFate};
+pub use view::{FedChange, FedEvent, FederationView, LinkState};

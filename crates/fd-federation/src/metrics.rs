@@ -8,8 +8,11 @@
 //! next to the embedded monitor's `fd_cluster_*`/`fd_peer_*` families,
 //! in both Prometheus text format and the JSON document.
 
+use crate::view::LinkState;
 use fd_cluster::{family, MetricsSource};
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 
 /// Shared federation counters and gauges. All operations are relaxed —
 /// these are monitoring data, not synchronization.
@@ -44,6 +47,43 @@ pub struct FedMetrics {
     /// Peers released back when ownership moved away (e.g. the original
     /// owner restarted).
     pub peers_released: AtomicU64,
+    /// Digest frames rejected because the summary's entry count
+    /// disagrees with the decoded body (wire damage or a buggy sender).
+    pub summary_rejects: AtomicU64,
+    /// Digest frames whose content was already merged (duplicated
+    /// delivery; the view did not change).
+    pub dup_digests: AtomicU64,
+    /// Round-number gaps detected on the direct ingest path (each arms
+    /// a NACK repair).
+    pub seq_gap_repairs: AtomicU64,
+    /// NACK repair requests sent (after backoff pacing).
+    pub repair_requests: AtomicU64,
+    /// Full-refresh digests served in response to a repair request.
+    pub repairs_served: AtomicU64,
+    /// Relayed digest frames accepted (origin reachable only
+    /// transitively, or redundant relay copies).
+    pub relayed_digests: AtomicU64,
+    /// Relayed frames dropped (hop cap exceeded, self-origin echo, or
+    /// self-relayed).
+    pub relay_drops: AtomicU64,
+    /// Datagrams handed to the UDP socket by the gossip transport.
+    pub udp_frames_sent: AtomicU64,
+    /// Datagrams dropped by scripted link-fault injection before the
+    /// socket.
+    pub udp_frames_dropped: AtomicU64,
+    /// Datagrams held back by scripted delay injection (sent later by
+    /// `flush_due`).
+    pub udp_frames_delayed: AtomicU64,
+    /// Received datagrams that failed wire decoding.
+    pub udp_decode_rejects: AtomicU64,
+    /// Directed links currently judged `Direct` (gauge).
+    pub links_direct: AtomicU64,
+    /// Directed links currently judged `Relayed` (gauge).
+    pub links_relayed: AtomicU64,
+    /// Directed links currently judged `Cut` (gauge).
+    pub links_cut: AtomicU64,
+    /// Latest per-link judgement: `(observer, target) → state`.
+    link_states: Mutex<BTreeMap<(u64, u64), LinkState>>,
     /// Latency of the most recent takeover, seconds from the kill to
     /// the first adoption of one of the dead node's peers (f64 bits).
     last_takeover_latency_bits: AtomicU64,
@@ -64,6 +104,23 @@ impl FedMetrics {
     /// takeover happened).
     pub fn takeover_latency(&self) -> f64 {
         f64::from_bits(self.last_takeover_latency_bits.load(Ordering::Relaxed))
+    }
+
+    /// Replaces the per-link health map and refreshes the three
+    /// aggregate link gauges. Call with every directed link the
+    /// federation currently judges.
+    pub fn set_link_states(&self, states: impl IntoIterator<Item = ((u64, u64), LinkState)>) {
+        let map: BTreeMap<(u64, u64), LinkState> = states.into_iter().collect();
+        let count = |want: LinkState| map.values().filter(|&&s| s == want).count() as u64;
+        self.links_direct.store(count(LinkState::Direct), Ordering::Relaxed);
+        self.links_relayed.store(count(LinkState::Relayed), Ordering::Relaxed);
+        self.links_cut.store(count(LinkState::Cut), Ordering::Relaxed);
+        *self.link_states.lock().expect("link-state lock") = map;
+    }
+
+    /// The latest per-link judgements, `(observer, target) → state`.
+    pub fn link_states(&self) -> BTreeMap<(u64, u64), LinkState> {
+        self.link_states.lock().expect("link-state lock").clone()
     }
 
     fn g(&self, a: &AtomicU64) -> f64 {
@@ -94,7 +151,27 @@ impl MetricsSource for FedMetrics {
         for (name, help, v) in gauges {
             family(out, name, help, "gauge", &[(None, v)]);
         }
-        let counters: [(&str, &str, f64); 9] = [
+        let link_gauges: [(&str, &str, f64); 3] = [
+            (
+                "fd_fed_links_direct",
+                "Directed gossip links currently judged Direct.",
+                self.g(&self.links_direct),
+            ),
+            (
+                "fd_fed_links_relayed",
+                "Directed gossip links currently judged Relayed.",
+                self.g(&self.links_relayed),
+            ),
+            (
+                "fd_fed_links_cut",
+                "Directed gossip links currently judged Cut.",
+                self.g(&self.links_cut),
+            ),
+        ];
+        for (name, help, v) in link_gauges {
+            family(out, name, help, "gauge", &[(None, v)]);
+        }
+        let counters: [(&str, &str, f64); 20] = [
             (
                 "fd_fed_gossip_rounds_total",
                 "Anti-entropy gossip rounds completed.",
@@ -136,6 +213,61 @@ impl MetricsSource for FedMetrics {
                 "Peers released when ownership moved back.",
                 self.g(&self.peers_released),
             ),
+            (
+                "fd_fed_summary_rejects_total",
+                "Digest frames rejected for summary/body entry-count disagreement.",
+                self.g(&self.summary_rejects),
+            ),
+            (
+                "fd_fed_dup_digests_total",
+                "Digest frames whose content was already merged (duplicate delivery).",
+                self.g(&self.dup_digests),
+            ),
+            (
+                "fd_fed_seq_gap_repairs_total",
+                "Round-number gaps detected on direct ingest (each arms a NACK repair).",
+                self.g(&self.seq_gap_repairs),
+            ),
+            (
+                "fd_fed_repair_requests_total",
+                "NACK full-refresh requests sent after backoff pacing.",
+                self.g(&self.repair_requests),
+            ),
+            (
+                "fd_fed_repairs_served_total",
+                "Full-refresh digests served in response to repair requests.",
+                self.g(&self.repairs_served),
+            ),
+            (
+                "fd_fed_relayed_digests_total",
+                "Relayed digest frames accepted.",
+                self.g(&self.relayed_digests),
+            ),
+            (
+                "fd_fed_relay_drops_total",
+                "Relayed frames dropped (hop cap, self-origin, or self-relay).",
+                self.g(&self.relay_drops),
+            ),
+            (
+                "fd_fed_udp_frames_sent_total",
+                "Datagrams handed to the UDP socket by the gossip transport.",
+                self.g(&self.udp_frames_sent),
+            ),
+            (
+                "fd_fed_udp_frames_dropped_total",
+                "Datagrams dropped by scripted link-fault injection.",
+                self.g(&self.udp_frames_dropped),
+            ),
+            (
+                "fd_fed_udp_frames_delayed_total",
+                "Datagrams held back by scripted delay injection.",
+                self.g(&self.udp_frames_delayed),
+            ),
+            (
+                "fd_fed_udp_decode_rejects_total",
+                "Received datagrams that failed wire decoding.",
+                self.g(&self.udp_decode_rejects),
+            ),
         ];
         for (name, help, v) in counters {
             family(out, name, help, "counter", &[(None, v)]);
@@ -147,14 +279,42 @@ impl MetricsSource for FedMetrics {
             "gauge",
             &[(None, self.takeover_latency())],
         );
+        // Per-link health: one labelled sample per judged directed link
+        // (0 = Direct, 1 = Relayed, 2 = Cut). `family` only renders a
+        // single optional `peer` label, so these lines are written
+        // directly.
+        let links = self.link_states.lock().expect("link-state lock");
+        if !links.is_empty() {
+            out.push_str(
+                "# HELP fd_fed_link_state Directed link health: 0 Direct, 1 Relayed, 2 Cut.\n",
+            );
+            out.push_str("# TYPE fd_fed_link_state gauge\n");
+            for (&(from, to), &state) in links.iter() {
+                out.push_str(&format!(
+                    "fd_fed_link_state{{from=\"{from}\",to=\"{to}\"}} {}\n",
+                    state.as_u8()
+                ));
+            }
+        }
     }
 
     fn json_fields(&self) -> Vec<(String, String)> {
+        let links = self.link_states.lock().expect("link-state lock");
+        let links_json: String = links
+            .iter()
+            .map(|(&(from, to), &state)| format!("\"{from}-{to}\":{}", state.as_u8()))
+            .collect::<Vec<_>>()
+            .join(",");
         let obj = format!(
             "{{\"nodes\":{},\"nodes_alive\":{},\"peers_owned\":{},\"peers_registered\":{},\
              \"gossip_rounds\":{},\"digests_sent\":{},\"digests_received\":{},\
              \"digest_entries\":{},\"stale_digests\":{},\"rebalances\":{},\"takeovers\":{},\
-             \"peers_adopted\":{},\"peers_released\":{},\"last_takeover_latency_seconds\":{}}}",
+             \"peers_adopted\":{},\"peers_released\":{},\"summary_rejects\":{},\
+             \"dup_digests\":{},\"seq_gap_repairs\":{},\"repair_requests\":{},\
+             \"repairs_served\":{},\"relayed_digests\":{},\"relay_drops\":{},\
+             \"udp_frames_sent\":{},\"udp_frames_dropped\":{},\"udp_frames_delayed\":{},\
+             \"udp_decode_rejects\":{},\"links_direct\":{},\"links_relayed\":{},\
+             \"links_cut\":{},\"link_states\":{{{}}},\"last_takeover_latency_seconds\":{}}}",
             self.nodes.load(Ordering::Relaxed),
             self.nodes_alive.load(Ordering::Relaxed),
             self.peers_owned.load(Ordering::Relaxed),
@@ -168,6 +328,21 @@ impl MetricsSource for FedMetrics {
             self.takeovers.load(Ordering::Relaxed),
             self.peers_adopted.load(Ordering::Relaxed),
             self.peers_released.load(Ordering::Relaxed),
+            self.summary_rejects.load(Ordering::Relaxed),
+            self.dup_digests.load(Ordering::Relaxed),
+            self.seq_gap_repairs.load(Ordering::Relaxed),
+            self.repair_requests.load(Ordering::Relaxed),
+            self.repairs_served.load(Ordering::Relaxed),
+            self.relayed_digests.load(Ordering::Relaxed),
+            self.relay_drops.load(Ordering::Relaxed),
+            self.udp_frames_sent.load(Ordering::Relaxed),
+            self.udp_frames_dropped.load(Ordering::Relaxed),
+            self.udp_frames_delayed.load(Ordering::Relaxed),
+            self.udp_decode_rejects.load(Ordering::Relaxed),
+            self.links_direct.load(Ordering::Relaxed),
+            self.links_relayed.load(Ordering::Relaxed),
+            self.links_cut.load(Ordering::Relaxed),
+            links_json,
             self.takeover_latency(),
         );
         vec![("federation".to_string(), obj)]
@@ -203,5 +378,34 @@ mod tests {
         assert!(fields[0].1.starts_with('{') && fields[0].1.ends_with('}'));
         assert!(fields[0].1.contains("\"peers_registered\":9"));
         assert!(fields[0].1.contains("\"last_takeover_latency_seconds\":0"));
+    }
+
+    #[test]
+    fn link_states_render_in_both_forms() {
+        let m = FedMetrics::new();
+        m.summary_rejects.store(3, Ordering::Relaxed);
+        m.set_link_states([
+            ((1, 2), LinkState::Direct),
+            ((2, 1), LinkState::Relayed),
+            ((1, 3), LinkState::Cut),
+            ((3, 1), LinkState::Cut),
+        ]);
+        assert_eq!(m.links_direct.load(Ordering::Relaxed), 1);
+        assert_eq!(m.links_relayed.load(Ordering::Relaxed), 1);
+        assert_eq!(m.links_cut.load(Ordering::Relaxed), 2);
+        let mut out = String::new();
+        m.prometheus(&mut out);
+        assert!(out.contains("# TYPE fd_fed_link_state gauge"));
+        assert!(out.contains("fd_fed_link_state{from=\"1\",to=\"2\"} 0"));
+        assert!(out.contains("fd_fed_link_state{from=\"2\",to=\"1\"} 1"));
+        assert!(out.contains("fd_fed_link_state{from=\"1\",to=\"3\"} 2"));
+        assert!(out.contains("fd_fed_links_cut 2"));
+        assert!(out.contains("fd_fed_summary_rejects_total 3"));
+        assert!(out.contains("fd_fed_repair_requests_total 0"));
+        assert!(out.contains("fd_fed_relayed_digests_total 0"));
+        let json = &m.json_fields()[0].1;
+        assert!(json.contains("\"link_states\":{\"1-2\":0,\"1-3\":2,\"2-1\":1,\"3-1\":2}"));
+        assert!(json.contains("\"summary_rejects\":3"));
+        assert!(json.contains("\"links_cut\":2"));
     }
 }

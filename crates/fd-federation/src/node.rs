@@ -13,22 +13,26 @@
 //! applies to *node* failure detection with the gossip interval as `η`.
 
 use crate::digest::{claims_of, digest_from_claims, PartitionDigest, PeerClaim};
-use crate::hash::{owner, NodeId};
+use crate::hash::{owner, splitmix64, NodeId};
 use crate::metrics::FedMetrics;
-use crate::view::{FedChange, FedEvent};
+use crate::view::{FedChange, FedEvent, LinkState};
+use fd_cluster::backoff::restart_delay;
 use fd_cluster::{
-    ClusterConfig, ClusterMonitor, ClusterSnapshot, ControlConfig, DigestFrame, DigestSummary,
-    PeerConfig, PeerId, SnapshotOrigin,
+    ClusterConfig, ClusterMonitor, ClusterSnapshot, ControlConfig, DigestEntry, DigestFrame,
+    DigestSummary, PeerConfig, PeerId, RepairRequest, SnapshotOrigin, MAX_DIGEST_BATCH,
 };
 use fd_core::Heartbeat;
 use fd_runtime::RuntimeError;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 use std::collections::BTreeMap;
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
+use std::time::Duration;
 
 /// A remote node's partition as last gossiped: identity, freshness and
 /// per-peer claims.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct RemotePartition {
     /// The remote's incarnation when it sent the digest.
     pub node_incarnation: u64,
@@ -40,6 +44,82 @@ pub struct RemotePartition {
     pub summary: DigestSummary,
     /// Per-peer claims merged from its digests.
     pub claims: BTreeMap<PeerId, PeerClaim>,
+    /// Receiver-clock time a digest last arrived straight from the
+    /// origin (`-∞` before first direct contact).
+    pub last_direct: f64,
+    /// Receiver-clock time a relayed copy last arrived (`-∞` before any
+    /// relay).
+    pub last_relayed: f64,
+    /// Hops the freshest merged information travelled (0 = direct).
+    pub hop: u8,
+}
+
+impl Default for RemotePartition {
+    fn default() -> Self {
+        Self {
+            node_incarnation: 0,
+            round: 0,
+            at: 0.0,
+            summary: DigestSummary::default(),
+            claims: BTreeMap::new(),
+            last_direct: f64::NEG_INFINITY,
+            last_relayed: f64::NEG_INFINITY,
+            hop: 0,
+        }
+    }
+}
+
+/// How a digest frame reached this node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Via {
+    /// Straight from the origin's transport.
+    Direct,
+    /// Forwarded by `relayer` after `hop` hops (≥ 1).
+    Relayed {
+        /// The node that forwarded the frame.
+        relayer: NodeId,
+        /// Hops the frame has travelled.
+        hop: u8,
+    },
+}
+
+/// What the ingest path did with one digest frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DigestOutcome {
+    /// New information merged into the remote partition view.
+    Merged,
+    /// Merged, but a round-number gap on the direct path revealed
+    /// missed deltas — a NACK repair is now armed.
+    MergedNeedsRepair,
+    /// Everything in the frame was already known; the view is
+    /// unchanged (duplicate or reordered re-delivery).
+    Duplicate,
+    /// Older incarnation or round than already merged — discarded so a
+    /// late frame can never regress the view.
+    Stale,
+    /// The summary's entry count disagrees with the decoded body —
+    /// wire damage or a buggy sender; discarded and counted.
+    Inconsistent,
+    /// The node's own frame echoed back; ignored.
+    SelfFrame,
+    /// A relayed frame dropped by policy: hop cap exceeded, relaying
+    /// disabled, self-relayed, or an echo of this node's own digest.
+    RelayDropped,
+}
+
+impl DigestOutcome {
+    /// Whether the frame was accepted (merged or already known).
+    pub fn accepted(self) -> bool {
+        matches!(self, Self::Merged | Self::MergedNeedsRepair | Self::Duplicate)
+    }
+}
+
+/// Per-origin NACK repair state: armed by a detected gap, paced by the
+/// shared supervision backoff, disarmed by the next full refresh.
+#[derive(Debug, Clone, Copy)]
+struct RepairState {
+    attempts: u64,
+    next_at: f64,
 }
 
 /// Per-node knobs (the federation harness fills these from its
@@ -57,6 +137,16 @@ pub struct NodeConfig {
     pub bootstrap_grace: f64,
     /// Every this many rounds, gossip a full refresh instead of a delta.
     pub full_refresh_every: u64,
+    /// Maximum hops a relayed digest may travel; `0` disables relaying
+    /// entirely (both forwarding and accepting).
+    pub max_relay_hops: u8,
+    /// Seconds without a digest before a link drops a freshness tier
+    /// (Direct → Relayed → Cut); sensibly ~2–3 × the gossip interval.
+    pub link_timeout: f64,
+    /// Base delay of the NACK repair backoff, seconds.
+    pub repair_backoff_base: f64,
+    /// Cap of the NACK repair backoff, seconds.
+    pub repair_backoff_cap: f64,
 }
 
 /// One monitor node of the federation tier.
@@ -78,6 +168,12 @@ pub struct FederationNode {
     round: u64,
     /// Last merged digest per remote node.
     remote: BTreeMap<NodeId, RemotePartition>,
+    /// Armed NACK repairs, by origin.
+    repair: BTreeMap<NodeId, RepairState>,
+    /// Jitter source for repair backoff, seeded from the node id so
+    /// a fleet of receivers that lost the same frame de-correlates
+    /// deterministically.
+    repair_rng: StdRng,
     metrics: Arc<FedMetrics>,
 }
 
@@ -139,6 +235,8 @@ impl FederationNode {
             last_sent: BTreeMap::new(),
             round: 0,
             remote: BTreeMap::new(),
+            repair: BTreeMap::new(),
+            repair_rng: StdRng::seed_from_u64(splitmix64(id ^ 0x5eed_9e37_79b9_7f4a)),
             metrics,
         })
     }
@@ -212,9 +310,21 @@ impl FederationNode {
     /// [`NodeConfig::full_refresh_every`] rounds (and always on round 1,
     /// so a fresh incarnation re-announces everything it owns).
     pub fn gossip_digest(&mut self, now: f64) -> PartitionDigest {
-        self.round += 1;
         let refresh = self.cfg.full_refresh_every.max(1);
-        let full = self.round == 1 || self.round.is_multiple_of(refresh);
+        let full = self.round == 0 || (self.round + 1).is_multiple_of(refresh);
+        let digest = self.digest_now(now, full);
+        self.metrics.gossip_rounds.fetch_add(1, Ordering::Relaxed);
+        digest
+    }
+
+    /// Produces an unconditional full-refresh digest (a new round) —
+    /// the anti-entropy answer to a NACK repair request.
+    pub fn full_refresh_digest(&mut self, now: f64) -> PartitionDigest {
+        self.digest_now(now, true)
+    }
+
+    fn digest_now(&mut self, now: f64, full: bool) -> PartitionDigest {
+        self.round += 1;
         let claims = claims_of(&self.monitor);
         let digest = digest_from_claims(
             self.id,
@@ -227,7 +337,6 @@ impl FederationNode {
         );
         self.last_sent = claims.clone();
         self.owned = claims;
-        self.metrics.gossip_rounds.fetch_add(1, Ordering::Relaxed);
         digest
     }
 
@@ -240,41 +349,261 @@ impl FederationNode {
     /// except same-round frames — chunked digests legitimately span
     /// several frames of one round.
     pub fn receive_digest(&mut self, frame: &DigestFrame, now: f64) -> bool {
+        self.receive_digest_via(frame, now, Via::Direct).accepted()
+    }
+
+    /// [`receive_digest`](Self::receive_digest) with an explicit arrival
+    /// path and a full outcome report. Relayed frames obey the hop cap
+    /// and may not be this node's own digest echoed back; accepted ones
+    /// still count as a node heartbeat for the *origin* — the property
+    /// that keeps a relay-reachable node out of false suspicion.
+    pub fn receive_digest_via(&mut self, frame: &DigestFrame, now: f64, via: Via) -> DigestOutcome {
         if frame.origin == self.id {
-            return false;
+            if let Via::Relayed { .. } = via {
+                self.metrics.relay_drops.fetch_add(1, Ordering::Relaxed);
+                return DigestOutcome::RelayDropped;
+            }
+            return DigestOutcome::SelfFrame;
+        }
+        if let Via::Relayed { relayer, hop } = via {
+            if relayer == self.id || hop == 0 || hop > self.cfg.max_relay_hops {
+                self.metrics.relay_drops.fetch_add(1, Ordering::Relaxed);
+                return DigestOutcome::RelayDropped;
+            }
+        }
+        // Summary/body consistency: the entry count may never exceed the
+        // declared partition size, and an unchunked full refresh must
+        // carry exactly its declared partition. (A *chunked* full
+        // refresh — summary.peers > MAX_DIGEST_BATCH — legitimately
+        // splits its entries across frames, so only per-frame bounds
+        // apply there.)
+        let n = frame.entries.len() as u32;
+        if n > frame.summary.peers
+            || (frame.full
+                && frame.summary.peers <= MAX_DIGEST_BATCH as u32
+                && n != frame.summary.peers)
+        {
+            self.metrics.summary_rejects.fetch_add(1, Ordering::Relaxed);
+            return DigestOutcome::Inconsistent;
         }
         let slot = self.remote.entry(frame.origin).or_default();
         let stale = frame.node_incarnation < slot.node_incarnation
             || (frame.node_incarnation == slot.node_incarnation && frame.round < slot.round);
         if stale {
             self.metrics.stale_digests.fetch_add(1, Ordering::Relaxed);
-            return false;
+            return DigestOutcome::Stale;
         }
-        if frame.node_incarnation > slot.node_incarnation {
-            // New life of the remote: everything it claimed before died
-            // with it.
-            slot.claims.clear();
-        } else if frame.full && frame.round > slot.round {
-            // A full refresh starts a new authoritative claim set; same
-            // round chunks then accumulate into it.
-            slot.claims.clear();
+        let duplicate = frame.node_incarnation == slot.node_incarnation
+            && frame.round == slot.round
+            && frame
+                .entries
+                .iter()
+                .all(|e| slot.claims.get(&e.peer) == Some(&PeerClaim::from(e)));
+        // A direct delta whose round number skips past what was merged
+        // reveals lost frames: the skipped rounds' changes are gone for
+        // good until a full refresh — arm a NACK repair. Relayed frames
+        // never arm repair: the origin may be unreachable directly, and
+        // that is the relay path's job to cover.
+        let gap = via == Via::Direct
+            && !frame.full
+            && !duplicate
+            && (frame.node_incarnation != slot.node_incarnation
+                || frame.round > slot.round + 1);
+        if duplicate {
+            self.metrics.dup_digests.fetch_add(1, Ordering::Relaxed);
+        } else {
+            if frame.node_incarnation > slot.node_incarnation {
+                // New life of the remote: everything it claimed before
+                // died with it.
+                slot.claims.clear();
+            } else if frame.full && frame.round > slot.round && via == Via::Direct {
+                // A full refresh starts a new authoritative claim set;
+                // same-round chunks then accumulate into it. Relayed
+                // frames only ever *add* knowledge (freshest-wins
+                // union): a relayer may know less than this node does,
+                // and forgetting on its account would regress the view.
+                slot.claims.clear();
+            }
+            slot.node_incarnation = frame.node_incarnation;
+            slot.round = frame.round;
+            slot.at = frame.at;
+            slot.summary = frame.summary;
+            for e in &frame.entries {
+                slot.claims.insert(e.peer, PeerClaim::from(e));
+            }
+            self.metrics.digests_received.fetch_add(1, Ordering::Relaxed);
+            self.metrics.digest_entries.fetch_add(frame.entries.len() as u64, Ordering::Relaxed);
         }
-        slot.node_incarnation = frame.node_incarnation;
-        slot.round = frame.round;
-        slot.at = frame.at;
-        slot.summary = frame.summary;
-        for e in &frame.entries {
-            slot.claims.insert(e.peer, PeerClaim::from(e));
+        match via {
+            Via::Direct => {
+                slot.last_direct = now;
+                slot.hop = 0;
+            }
+            Via::Relayed { hop, .. } => {
+                slot.last_relayed = now;
+                if !duplicate || hop < slot.hop {
+                    slot.hop = hop;
+                }
+                self.metrics.relayed_digests.fetch_add(1, Ordering::Relaxed);
+            }
         }
-        self.metrics.digests_received.fetch_add(1, Ordering::Relaxed);
-        self.metrics.digest_entries.fetch_add(frame.entries.len() as u64, Ordering::Relaxed);
+        // Digest receipt is a node heartbeat — relayed receipt too. The
+        // underlying detector only refreshes on a strictly increasing
+        // round, so re-relayed copies of a dead node's final round can
+        // never forge its liveness.
         self.node_watch.record_at_incarnated(
             frame.origin,
             now,
             frame.node_incarnation,
             Heartbeat::new(frame.round, frame.at),
         );
-        true
+        if via == Via::Direct {
+            if frame.full {
+                // A full refresh repairs everything: disarm.
+                self.repair.remove(&frame.origin);
+            } else if gap {
+                self.metrics.seq_gap_repairs.fetch_add(1, Ordering::Relaxed);
+                self.repair
+                    .entry(frame.origin)
+                    .or_insert(RepairState { attempts: 0, next_at: now });
+                return DigestOutcome::MergedNeedsRepair;
+            }
+        }
+        if duplicate {
+            DigestOutcome::Duplicate
+        } else {
+            DigestOutcome::Merged
+        }
+    }
+
+    /// NACK repair requests due at `now`: one per origin with an armed
+    /// gap whose backoff delay has elapsed. Each emission re-arms the
+    /// next attempt further out (bounded exponential + jitter via the
+    /// shared supervision backoff), so a cut link cannot trigger a
+    /// repair storm.
+    pub fn due_repairs(&mut self, now: f64) -> Vec<RepairRequest> {
+        let mut out = Vec::new();
+        for (&origin, st) in self.repair.iter_mut() {
+            if now < st.next_at {
+                continue;
+            }
+            let (inc, round) = self
+                .remote
+                .get(&origin)
+                .map(|s| (s.node_incarnation, s.round))
+                .unwrap_or((0, 0));
+            out.push(RepairRequest {
+                requester: self.id,
+                target: origin,
+                target_incarnation: inc,
+                have_round: round,
+                at: now,
+            });
+            st.attempts += 1;
+            let delay = restart_delay(
+                &mut self.repair_rng,
+                st.attempts,
+                Duration::from_secs_f64(self.cfg.repair_backoff_base.max(1e-3)),
+                Duration::from_secs_f64(
+                    self.cfg.repair_backoff_cap.max(self.cfg.repair_backoff_base.max(1e-3)),
+                ),
+            );
+            st.next_at = now + delay.as_secs_f64();
+            self.metrics.repair_requests.fetch_add(1, Ordering::Relaxed);
+        }
+        out
+    }
+
+    /// Answers a repair request addressed to this node with a fresh
+    /// full-refresh digest; requests for other targets return `None`
+    /// (misrouted traffic).
+    pub fn receive_repair(&mut self, req: &RepairRequest, now: f64) -> Option<PartitionDigest> {
+        if req.target != self.id {
+            return None;
+        }
+        self.metrics.repairs_served.fetch_add(1, Ordering::Relaxed);
+        Some(self.full_refresh_digest(now))
+    }
+
+    /// Digests this node can forward on behalf of origins it has fresh
+    /// knowledge of, as `(hop, frame)` pairs — hop already incremented
+    /// for the forwarded leg. Knowledge older than the link timeout is
+    /// not relayed (a dead origin's last words must age out, not echo
+    /// around the federation), and the hop cap bounds transitive chains.
+    pub fn relay_frames(&self, now: f64) -> Vec<(u8, DigestFrame)> {
+        if self.cfg.max_relay_hops == 0 {
+            return Vec::new();
+        }
+        let mut out = Vec::new();
+        for (&origin, slot) in &self.remote {
+            if slot.node_incarnation == 0 && slot.round == 0 {
+                continue;
+            }
+            let freshest = slot.last_direct.max(slot.last_relayed);
+            if now - freshest > self.cfg.link_timeout {
+                continue;
+            }
+            let hop = slot.hop.saturating_add(1);
+            if hop > self.cfg.max_relay_hops {
+                continue;
+            }
+            // Rebuild a self-consistent digest of everything this node
+            // knows about the origin's partition. `full` stays false:
+            // relayed knowledge merges additively at the receiver.
+            let entries: Vec<DigestEntry> = slot
+                .claims
+                .iter()
+                .map(|(&peer, c)| DigestEntry {
+                    peer,
+                    incarnation: c.incarnation,
+                    trusted: c.trusted,
+                    degraded: c.degraded,
+                })
+                .collect();
+            let suspected = entries.iter().filter(|e| !e.trusted).count() as u32;
+            let degraded = entries.iter().filter(|e| e.degraded).count() as u32;
+            let digest = PartitionDigest {
+                origin,
+                node_incarnation: slot.node_incarnation,
+                round: slot.round,
+                at: slot.at,
+                summary: DigestSummary {
+                    peers: entries.len() as u32,
+                    suspected,
+                    degraded,
+                    conformance_ok: degraded == 0,
+                },
+                full: false,
+                entries,
+            };
+            for frame in digest.frames() {
+                out.push((hop, frame));
+            }
+        }
+        out
+    }
+
+    /// This node's judgement of its gossip link to `target`: fed
+    /// directly within the timeout → `Direct`; only relayed copies
+    /// arriving → `Relayed`; neither → `Cut`.
+    pub fn link_state(&self, target: NodeId, now: f64) -> LinkState {
+        if target == self.id {
+            return LinkState::Direct;
+        }
+        match self.remote.get(&target) {
+            Some(slot) if now - slot.last_direct <= self.cfg.link_timeout => LinkState::Direct,
+            Some(slot) if now - slot.last_relayed <= self.cfg.link_timeout => LinkState::Relayed,
+            _ => LinkState::Cut,
+        }
+    }
+
+    /// Link judgements toward every *other* member, ascending by id.
+    pub fn link_states(&self, now: f64) -> Vec<(NodeId, LinkState)> {
+        self.membership
+            .iter()
+            .filter(|&&n| n != self.id)
+            .map(|&n| (n, self.link_state(n, now)))
+            .collect()
     }
 
     /// The node ids this node currently believes alive (self always
@@ -412,12 +741,23 @@ mod tests {
             node_watch: PeerConfig::new(1.0, 3.0),
             bootstrap_grace: 10.0,
             full_refresh_every: 4,
+            max_relay_hops: 2,
+            link_timeout: 2.5,
+            repair_backoff_base: 1.0,
+            repair_backoff_cap: 4.0,
         }
     }
 
     fn spawn_node(id: NodeId, membership: &[NodeId]) -> FederationNode {
         FederationNode::spawn(id, 1, membership, test_cfg(), Arc::new(FedMetrics::new()))
             .expect("spawn")
+    }
+
+    fn spawn_with_metrics(id: NodeId, membership: &[NodeId]) -> (FederationNode, Arc<FedMetrics>) {
+        let metrics = Arc::new(FedMetrics::new());
+        let node = FederationNode::spawn(id, 1, membership, test_cfg(), Arc::clone(&metrics))
+            .expect("spawn");
+        (node, metrics)
     }
 
     #[test]
@@ -561,5 +901,142 @@ mod tests {
         b.shutdown();
         c.shutdown();
         c2.shutdown();
+    }
+
+    #[test]
+    fn inconsistent_summary_count_is_rejected_and_counted() {
+        let (mut a, metrics) = spawn_with_metrics(1, &[1, 2]);
+        let mut b = spawn_node(2, &[1, 2]);
+        let frames = b.gossip_digest(1.0).frames();
+        let mut bad = frames[0].clone();
+        assert!(bad.full, "round-0 digest must be a full refresh");
+        bad.summary.peers += 1;
+        assert_eq!(a.receive_digest_via(&bad, 1.0, Via::Direct), DigestOutcome::Inconsistent);
+        assert_eq!(metrics.summary_rejects.load(Ordering::Relaxed), 1);
+        // The poisoned frame must not have touched the slot...
+        assert!(a.remote_partition(2).is_none_or(|r| r.node_incarnation == 0 && r.round == 0));
+        // ...and the pristine copy still merges.
+        assert_eq!(a.receive_digest_via(&frames[0], 1.1, Via::Direct), DigestOutcome::Merged);
+        a.shutdown();
+        b.shutdown();
+    }
+
+    #[test]
+    fn redelivered_frames_are_deduped_without_view_change() {
+        let (mut a, metrics) = spawn_with_metrics(1, &[1, 2]);
+        let mut b = spawn_node(2, &[1, 2]);
+        let frames = b.gossip_digest(1.0).frames();
+        assert_eq!(a.receive_digest_via(&frames[0], 1.0, Via::Direct), DigestOutcome::Merged);
+        let before = a.remote_partition(2).expect("merged").round;
+        let out = a.receive_digest_via(&frames[0], 1.2, Via::Direct);
+        assert_eq!(out, DigestOutcome::Duplicate);
+        assert!(out.accepted(), "a duplicate is not an error");
+        assert_eq!(metrics.dup_digests.load(Ordering::Relaxed), 1);
+        assert_eq!(a.remote_partition(2).expect("still merged").round, before);
+        a.shutdown();
+        b.shutdown();
+    }
+
+    #[test]
+    fn round_gap_arms_nack_repair_and_full_refresh_disarms_it() {
+        let (mut a, metrics) = spawn_with_metrics(1, &[1, 2]);
+        let (mut b, b_metrics) = spawn_with_metrics(2, &[1, 2]);
+        // Round 1 (full) lands; round 2 (delta) is lost; round 3 (delta)
+        // reveals the gap.
+        for f in b.gossip_digest(1.0).frames() {
+            assert_eq!(a.receive_digest_via(&f, 1.0, Via::Direct), DigestOutcome::Merged);
+        }
+        let _lost = b.gossip_digest(2.0);
+        let frames = b.gossip_digest(3.0).frames();
+        assert!(!frames[0].full);
+        assert_eq!(
+            a.receive_digest_via(&frames[0], 3.0, Via::Direct),
+            DigestOutcome::MergedNeedsRepair
+        );
+        assert_eq!(metrics.seq_gap_repairs.load(Ordering::Relaxed), 1);
+        // The NACK fires immediately on the first attempt...
+        let reqs = a.due_repairs(3.0);
+        assert_eq!(reqs.len(), 1);
+        assert_eq!((reqs[0].requester, reqs[0].target), (1, 2));
+        assert_eq!(metrics.repair_requests.load(Ordering::Relaxed), 1);
+        // ...the origin serves a full refresh...
+        let refresh = b.receive_repair(&reqs[0], 3.5).expect("b serves its own refresh");
+        assert_eq!(b_metrics.repairs_served.load(Ordering::Relaxed), 1);
+        // ...a request naming someone else is not ours to serve...
+        let misdirected = fd_cluster::RepairRequest { target: 9, ..reqs[0] };
+        assert!(b.receive_repair(&misdirected, 3.5).is_none());
+        // ...and merging the refresh disarms the repair loop.
+        for f in refresh.frames() {
+            assert!(f.full);
+            assert!(a.receive_digest_via(&f, 3.6, Via::Direct).accepted());
+        }
+        assert!(a.due_repairs(10.0).is_empty(), "full refresh must disarm the NACK");
+        a.shutdown();
+        b.shutdown();
+    }
+
+    #[test]
+    fn relayed_digests_merge_under_the_hop_cap_and_shape_link_state() {
+        let membership = [1u64, 2, 3];
+        let (mut a, metrics) = spawn_with_metrics(1, &membership);
+        let mut b = spawn_node(2, &membership);
+        let mut c = spawn_node(3, &membership);
+        // c gossips straight to b; a never hears c directly.
+        for f in c.gossip_digest(1.0).frames() {
+            assert!(b.receive_digest_via(&f, 1.0, Via::Direct).accepted());
+        }
+        // b relays its fresh knowledge of c's partition on to a.
+        let relays = b.relay_frames(1.5);
+        assert!(
+            relays.iter().any(|(hop, f)| *hop == 1 && f.origin == 3 && !f.full),
+            "b must forward c's partition as a hop-1, merge-only frame: {relays:?}"
+        );
+        for (hop, f) in &relays {
+            let out = a.receive_digest_via(f, 1.6, Via::Relayed { relayer: 2, hop: *hop });
+            assert!(out.accepted(), "{out:?}");
+        }
+        assert!(metrics.relayed_digests.load(Ordering::Relaxed) >= 1);
+        // Link states: c is reachable only through the relay; b never
+        // spoke to a at all.
+        assert_eq!(a.link_state(3, 1.7), LinkState::Relayed);
+        assert_eq!(a.link_state(2, 1.7), LinkState::Cut);
+        assert_eq!(a.link_state(1, 1.7), LinkState::Direct, "self link is always direct");
+        // Policy drops: over the hop cap, zero hops, and echoes of our
+        // own digest are all rejected and counted.
+        let (_, cf) = &relays[0];
+        assert_eq!(
+            a.receive_digest_via(cf, 1.8, Via::Relayed { relayer: 2, hop: 3 }),
+            DigestOutcome::RelayDropped
+        );
+        assert_eq!(
+            a.receive_digest_via(cf, 1.8, Via::Relayed { relayer: 2, hop: 0 }),
+            DigestOutcome::RelayDropped
+        );
+        let echo = a.gossip_digest(1.9).frames();
+        assert_eq!(
+            a.receive_digest_via(&echo[0], 2.0, Via::Relayed { relayer: 2, hop: 1 }),
+            DigestOutcome::RelayDropped
+        );
+        assert!(metrics.relay_drops.load(Ordering::Relaxed) >= 3);
+        a.shutdown();
+        b.shutdown();
+        c.shutdown();
+    }
+
+    #[test]
+    fn stale_knowledge_is_never_relayed() {
+        let membership = [1u64, 2, 3];
+        let mut b = spawn_node(2, &membership);
+        let mut c = spawn_node(3, &membership);
+        for f in c.gossip_digest(1.0).frames() {
+            assert!(b.receive_digest_via(&f, 1.0, Via::Direct).accepted());
+        }
+        assert!(!b.relay_frames(2.0).is_empty(), "fresh knowledge relays");
+        // Past link_timeout with no refresh, the last word from c is too
+        // old to forward — a dead origin's final round must not echo
+        // around the federation forever.
+        assert!(b.relay_frames(10.0).is_empty(), "stale knowledge must not relay");
+        b.shutdown();
+        c.shutdown();
     }
 }

@@ -7,6 +7,33 @@ use fd_metrics::FdOutput;
 use fd_runtime::TrustView;
 use std::collections::BTreeMap;
 
+/// Health of one directed gossip link, as judged by the observing node
+/// from digest arrival freshness (see
+/// [`FederationNode::link_state`](crate::FederationNode::link_state)).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum LinkState {
+    /// Digests from the target arrive directly within the link timeout.
+    Direct,
+    /// Direct digests have stopped, but relayed copies still arrive —
+    /// the target is alive and reachable transitively.
+    Relayed,
+    /// Neither direct nor relayed digests arrive: the link (or the
+    /// target) is gone.
+    Cut,
+}
+
+impl LinkState {
+    /// Stable numeric encoding for metrics export: 0 = Direct,
+    /// 1 = Relayed, 2 = Cut.
+    pub fn as_u8(self) -> u8 {
+        match self {
+            LinkState::Direct => 0,
+            LinkState::Relayed => 1,
+            LinkState::Cut => 2,
+        }
+    }
+}
+
 /// What changed at the federation tier.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum FedChange {
@@ -59,6 +86,7 @@ pub struct FedEvent {
 pub struct FederationView {
     at: f64,
     outputs: BTreeMap<PeerId, (NodeId, FdOutput)>,
+    links: BTreeMap<(NodeId, NodeId), LinkState>,
 }
 
 impl FederationView {
@@ -76,7 +104,28 @@ impl FederationView {
                 }
             }
         }
-        Self { at, outputs }
+        Self { at, outputs, links: BTreeMap::new() }
+    }
+
+    /// Attaches per-link health: `(observer, target) → state` for every
+    /// directed gossip link the observing nodes judge.
+    pub fn with_links(
+        mut self,
+        links: impl IntoIterator<Item = ((NodeId, NodeId), LinkState)>,
+    ) -> Self {
+        self.links = links.into_iter().collect();
+        self
+    }
+
+    /// The observing node's judgement of its link to `target`, if the
+    /// view carries link health.
+    pub fn link(&self, observer: NodeId, target: NodeId) -> Option<LinkState> {
+        self.links.get(&(observer, target)).copied()
+    }
+
+    /// All judged links, `(observer, target) → state`, ascending.
+    pub fn links(&self) -> &BTreeMap<(NodeId, NodeId), LinkState> {
+        &self.links
     }
 
     /// Harness-clock time the view was assembled.
@@ -146,6 +195,19 @@ mod tests {
         assert_eq!(view.len(), 3);
         assert!(!view.is_empty());
         assert!(view.is_trusted(&1) && !view.is_trusted(&3) && !view.is_trusted(&99));
+    }
+
+    #[test]
+    fn link_health_rides_the_view() {
+        let view = FederationView::from_reports(1.0, [(7, 1, FdOutput::Trust)])
+            .with_links([((1, 2), LinkState::Direct), ((2, 1), LinkState::Relayed)]);
+        assert_eq!(view.link(1, 2), Some(LinkState::Direct));
+        assert_eq!(view.link(2, 1), Some(LinkState::Relayed));
+        assert_eq!(view.link(1, 3), None);
+        assert_eq!(view.links().len(), 2);
+        assert_eq!(LinkState::Direct.as_u8(), 0);
+        assert_eq!(LinkState::Relayed.as_u8(), 1);
+        assert_eq!(LinkState::Cut.as_u8(), 2);
     }
 
     #[test]

@@ -175,8 +175,11 @@ fn chaos_failover_is_bounded_ghost_free_and_heals() {
     // The event stream tells the whole story: adoptions away from the
     // victim, then (after restart) adoptions by the victim and releases
     // toward it.
+    // `>=`: NACK repair and relay routing deliver the survivors'
+    // partition knowledge within the very tick the victim restarts, so
+    // its re-adoptions legitimately land at exactly `RESTART_AT`.
     assert!(out.events.iter().any(
-        |e| matches!(e.change, FedChange::PeerAdopted { .. }) && e.node == VICTIM && e.at > RESTART_AT
+        |e| matches!(e.change, FedChange::PeerAdopted { .. }) && e.node == VICTIM && e.at >= RESTART_AT
     ));
     assert!(out
         .events

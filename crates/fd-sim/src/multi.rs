@@ -11,10 +11,16 @@
 //! A [`MultiNodePlan`] is a thin composition: a per-node
 //! [`FaultPlan`] scripting that node's crash/restart schedule, plus a
 //! per-link `FaultPlan` scripting gossip-link faults. Links are
-//! undirected and normalized (`(a, b)` with `a < b`), matching the
-//! anti-entropy gossip exchange which is symmetric. Every embedded plan
-//! gets its own seed derived from the plan seed by splitmix64, so two
-//! nodes' fault realizations are decorrelated yet fully reproducible.
+//! undirected and normalized (`(a, b)` with `a < b`) by default,
+//! matching the anti-entropy gossip exchange which is symmetric; a
+//! *directed* overlay (`cut_link_oneway`, `delay_spike_link_oneway`,
+//! `loss_link_oneway`) scripts asymmetric faults — `a → b` cut while
+//! `b → a` stays alive — which is what real routing failures look like
+//! and what the federation's relay/repair machinery must survive. A
+//! directed overlay, when present, takes precedence over the undirected
+//! script for that direction. Every embedded plan gets its own seed
+//! derived from the plan seed by splitmix64, so two nodes' fault
+//! realizations are decorrelated yet fully reproducible.
 
 use crate::fault::{FaultPlan, LinkFault};
 use std::collections::BTreeMap;
@@ -65,6 +71,9 @@ pub struct MultiNodePlan {
     seed: u64,
     nodes: BTreeMap<NodeId, FaultPlan>,
     links: BTreeMap<(NodeId, NodeId), FaultPlan>,
+    /// Directed `from → to` overlays; when present for a direction they
+    /// replace the undirected script on that direction entirely.
+    dlinks: BTreeMap<(NodeId, NodeId), FaultPlan>,
 }
 
 impl MultiNodePlan {
@@ -74,6 +83,7 @@ impl MultiNodePlan {
             seed,
             nodes: BTreeMap::new(),
             links: BTreeMap::new(),
+            dlinks: BTreeMap::new(),
         }
     }
 
@@ -107,6 +117,27 @@ impl MultiNodePlan {
         let plan = self.links.remove(&key).unwrap_or_else(|| FaultPlan::new(seed));
         self.links.insert(key, f(plan));
         self
+    }
+
+    fn with_dlink_plan(
+        mut self,
+        from: NodeId,
+        to: NodeId,
+        f: impl FnOnce(FaultPlan) -> FaultPlan,
+    ) -> Self {
+        assert!(from != to, "a link connects two distinct nodes, got {from}-{to}");
+        let seed = self.link_seed(from, to);
+        let plan = self.dlinks.remove(&(from, to)).unwrap_or_else(|| FaultPlan::new(seed));
+        self.dlinks.insert((from, to), f(plan));
+        self
+    }
+
+    /// The sub-seed a consumer should use for fault randomness on the
+    /// *directed* link `from → to` (loss coins, delay jitter). Unlike
+    /// the undirected link seed it distinguishes the two directions, so
+    /// an asymmetric realization never mirrors itself.
+    pub fn link_seed(&self, from: NodeId, to: NodeId) -> u64 {
+        splitmix64(self.seed ^ splitmix64(from ^ splitmix64(to).rotate_left(1)))
     }
 
     /// Schedules a crash of monitor `node` at `at`. Per-node events must
@@ -155,6 +186,78 @@ impl MultiNodePlan {
         })
     }
 
+    /// Overlays an i.i.d. loss rate `p` on the undirected gossip link
+    /// `a`–`b` over `[start, heal)` — the lossy-link case the digest
+    /// NACK/anti-entropy repair machinery exists for.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a == b`, `heal <= start`, or `p` is not in `[0, 1]`.
+    pub fn loss_link(self, a: NodeId, b: NodeId, start: f64, heal: f64, p: f64) -> Self {
+        assert!(heal > start, "link fault must heal after it starts ({heal} <= {start})");
+        self.with_link_plan(a, b, |plan| {
+            plan.link_fault(start, LinkFault::Loss { p }).link_fault(heal, LinkFault::Nominal)
+        })
+    }
+
+    /// Cuts only the `from → to` direction of a link over `[start,
+    /// heal)`: frames from `from` never reach `to`, while the reverse
+    /// direction keeps whatever the undirected script says (nominal by
+    /// default). The asymmetric partition of a broken route.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `from == to`, `heal <= start`, or times are invalid.
+    pub fn cut_link_oneway(self, from: NodeId, to: NodeId, start: f64, heal: f64) -> Self {
+        assert!(heal > start, "link fault must heal after it starts ({heal} <= {start})");
+        self.with_dlink_plan(from, to, |p| {
+            p.link_fault(start, LinkFault::Partition).link_fault(heal, LinkFault::Nominal)
+        })
+    }
+
+    /// Overlays a delay spike on only the `from → to` direction over
+    /// `[start, heal)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `from == to`, `heal <= start`, or parameters are
+    /// invalid.
+    pub fn delay_spike_link_oneway(
+        self,
+        from: NodeId,
+        to: NodeId,
+        start: f64,
+        heal: f64,
+        extra: f64,
+        jitter: f64,
+    ) -> Self {
+        assert!(heal > start, "link fault must heal after it starts ({heal} <= {start})");
+        self.with_dlink_plan(from, to, |p| {
+            p.link_fault(start, LinkFault::DelaySpike { extra, jitter })
+                .link_fault(heal, LinkFault::Nominal)
+        })
+    }
+
+    /// Overlays an i.i.d. loss rate on only the `from → to` direction
+    /// over `[start, heal)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `from == to`, `heal <= start`, or `p` is invalid.
+    pub fn loss_link_oneway(
+        self,
+        from: NodeId,
+        to: NodeId,
+        start: f64,
+        heal: f64,
+        p: f64,
+    ) -> Self {
+        assert!(heal > start, "link fault must heal after it starts ({heal} <= {start})");
+        self.with_dlink_plan(from, to, |plan| {
+            plan.link_fault(start, LinkFault::Loss { p }).link_fault(heal, LinkFault::Nominal)
+        })
+    }
+
     /// Whether monitor `node` is scripted down at `t`. Nodes never
     /// mentioned in the plan are always up.
     pub fn is_node_crashed_at(&self, node: NodeId, t: f64) -> bool {
@@ -174,6 +277,32 @@ impl MultiNodePlan {
         matches!(self.link_fault_at(a, b, t), LinkFault::Partition)
     }
 
+    /// The link fault in force on the *directed* path `from → to` at
+    /// `t`: the directed overlay if one is scripted for that direction,
+    /// else the undirected link's fault.
+    pub fn link_fault_from_to(&self, from: NodeId, to: NodeId, t: f64) -> LinkFault {
+        match self.dlinks.get(&(from, to)) {
+            Some(p) => p.link_fault_at(t),
+            None => self.link_fault_at(from, to, t),
+        }
+    }
+
+    /// Whether frames from `from` to `to` are fully blocked at `t`.
+    pub fn link_blocked_from_to(&self, from: NodeId, to: NodeId, t: f64) -> bool {
+        matches!(self.link_fault_from_to(from, to, t), LinkFault::Partition)
+    }
+
+    /// The fault script governing the directed path `from → to`, if any
+    /// is scripted: the directed overlay wins, else the undirected link
+    /// plan. Transports build a
+    /// [`FaultInjector`](crate::fault::FaultInjector) per destination
+    /// from this.
+    pub fn link_plan_from_to(&self, from: NodeId, to: NodeId) -> Option<&FaultPlan> {
+        self.dlinks
+            .get(&(from, to))
+            .or_else(|| (from != to).then(|| self.links.get(&link_key(from, to))).flatten())
+    }
+
     /// The per-node fault plan, if the node is mentioned in the script.
     pub fn node_plan(&self, node: NodeId) -> Option<&FaultPlan> {
         self.nodes.get(&node)
@@ -190,7 +319,8 @@ impl MultiNodePlan {
     pub fn last_event_time(&self) -> f64 {
         let nodes = self.nodes.values().map(FaultPlan::last_event_time).fold(0.0, f64::max);
         let links = self.links.values().map(FaultPlan::last_event_time).fold(0.0, f64::max);
-        nodes.max(links)
+        let dlinks = self.dlinks.values().map(FaultPlan::last_event_time).fold(0.0, f64::max);
+        nodes.max(links).max(dlinks)
     }
 }
 
@@ -264,6 +394,65 @@ mod tests {
     #[should_panic(expected = "heal after it starts")]
     fn degenerate_link_windows_are_rejected() {
         let _ = MultiNodePlan::new(1).partition_link(0, 1, 5.0, 5.0);
+    }
+
+    #[test]
+    fn oneway_cut_blocks_exactly_one_direction() {
+        let plan = MultiNodePlan::new(1).cut_link_oneway(0, 1, 10.0, 20.0);
+        assert!(!plan.link_blocked_from_to(0, 1, 9.0));
+        assert!(plan.link_blocked_from_to(0, 1, 10.0));
+        assert!(plan.link_blocked_from_to(0, 1, 19.0));
+        assert!(!plan.link_blocked_from_to(0, 1, 20.0));
+        // The reverse direction never blocks.
+        for t in [9.0, 15.0, 25.0] {
+            assert!(!plan.link_blocked_from_to(1, 0, t), "1→0 must stay alive at {t}");
+        }
+        // The undirected query knows nothing of the overlay.
+        assert!(!plan.link_blocked_at(0, 1, 15.0));
+    }
+
+    #[test]
+    fn directed_overlay_takes_precedence_over_undirected_script() {
+        let plan = MultiNodePlan::new(3)
+            .delay_spike_link(2, 3, 0.0, 100.0, 0.5, 0.0)
+            .cut_link_oneway(2, 3, 10.0, 20.0);
+        // 2→3 is governed by the overlay: nominal before the cut, cut
+        // during, nominal after (the overlay replaces, not merges).
+        assert_eq!(plan.link_fault_from_to(2, 3, 5.0), LinkFault::Nominal);
+        assert!(plan.link_blocked_from_to(2, 3, 15.0));
+        // 3→2 still sees the undirected spike.
+        assert_eq!(
+            plan.link_fault_from_to(3, 2, 15.0),
+            LinkFault::DelaySpike { extra: 0.5, jitter: 0.0 }
+        );
+        assert!(plan.link_plan_from_to(2, 3).is_some());
+        assert!(plan.link_plan_from_to(3, 2).is_some());
+        assert!(plan.link_plan_from_to(0, 9).is_none());
+    }
+
+    #[test]
+    fn loss_overlays_neither_block_nor_leak_across_directions() {
+        let plan = MultiNodePlan::new(5)
+            .loss_link(0, 1, 0.0, 50.0, 0.3)
+            .loss_link_oneway(4, 5, 0.0, 50.0, 0.9);
+        assert_eq!(plan.link_fault_from_to(0, 1, 10.0), LinkFault::Loss { p: 0.3 });
+        assert_eq!(plan.link_fault_from_to(1, 0, 10.0), LinkFault::Loss { p: 0.3 });
+        assert!(!plan.link_blocked_from_to(0, 1, 10.0));
+        assert_eq!(plan.link_fault_from_to(4, 5, 10.0), LinkFault::Loss { p: 0.9 });
+        assert_eq!(plan.link_fault_from_to(5, 4, 10.0), LinkFault::Nominal);
+    }
+
+    #[test]
+    fn directed_seeds_distinguish_directions() {
+        let plan = MultiNodePlan::new(42);
+        assert_eq!(plan.link_seed(0, 1), MultiNodePlan::new(42).link_seed(0, 1));
+        assert_ne!(plan.link_seed(0, 1), plan.link_seed(1, 0));
+    }
+
+    #[test]
+    fn last_event_time_spans_directed_overlays() {
+        let plan = MultiNodePlan::new(1).kill_node(0, 30.0).cut_link_oneway(1, 2, 10.0, 70.0);
+        assert_eq!(plan.last_event_time(), 70.0);
     }
 
     #[test]

@@ -171,6 +171,121 @@ pub fn run_federation_scenario(seed: u64) -> FedRecord {
     record
 }
 
+/// One completed relay-routing drive: a persistent one-way link cut
+/// with every node alive throughout.
+#[derive(Debug)]
+pub struct FedRelayRecord {
+    /// The seed it was generated from.
+    pub seed: u64,
+    /// Monitor node ids (all alive for the whole run).
+    pub nodes: Vec<NodeId>,
+    /// The severed direction: datagrams `cut.0 → cut.1` never arrive.
+    pub cut: (NodeId, NodeId),
+    /// When the one-way cut starts.
+    pub cut_at: f64,
+    /// Ticks (past bootstrap grace + detection bound) on which some
+    /// alive node's view missed another alive node — with no real
+    /// failure in the run, every one is a false suspicion.
+    pub false_suspicions: u64,
+    /// Whether every node's view had converged at the horizon.
+    pub converged: bool,
+    /// Relayed digests accepted federation-wide (`fd_fed_relayed_digests`).
+    pub relayed_digests: u64,
+}
+
+/// Drives one randomized relay-routing scenario, deterministically per
+/// seed: 4–5 nodes, 24–48 peers, nobody dies, but one directed gossip
+/// link is cut early and stays cut to the horizon. The cut node stays
+/// reachable through the other survivors' relays, so the observer on
+/// the broken end must keep trusting it (anything else is a false
+/// suspicion) and every view must still converge.
+pub fn run_relay_scenario(seed: u64) -> FedRelayRecord {
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    let n_nodes = rng.random_range(4..=5u64);
+    let nodes: Vec<NodeId> = (0..n_nodes).collect();
+    let n_peers = rng.random_range(24..=48u64);
+    // Sever one directed link: `from`'s datagrams toward `to` vanish.
+    let from = rng.random_range(0..n_nodes);
+    let to = (from + 1 + rng.random_range(0..n_nodes - 1)) % n_nodes;
+    let cut_at = rng.random_range(4..=8u64) as f64;
+
+    let cfg = FederationConfig { nodes: nodes.clone(), ..FederationConfig::default() };
+    let grace = cfg.bootstrap_grace;
+    let bound = cfg.node_watch.eta + cfg.node_watch.alpha + 2.0;
+    let horizon = ((grace + bound) as u64 + 16).max(32);
+    let plan = MultiNodePlan::new(seed).cut_link_oneway(from, to, cut_at, horizon as f64 + 16.0);
+
+    let mut fed = Federation::spawn(cfg).expect("spawn federation");
+    for peer in 0..n_peers {
+        fed.register(2000 + peer);
+    }
+    let mut false_suspicions = 0u64;
+    for step in 1..=horizon {
+        let now = step as f64;
+        for peer in fed.peers().to_vec() {
+            fed.deliver(peer, now, 1, Heartbeat::new(step, now));
+        }
+        fed.gossip_where(now, |a, b| plan.link_blocked_from_to(a, b, now));
+        fed.advance(now);
+        fed.rebalance(now);
+        if now > grace + bound {
+            for &id in &nodes {
+                let alive = fed.node(id).expect("alive").alive_nodes(now);
+                false_suspicions += nodes.iter().filter(|n| !alive.contains(n)).count() as u64;
+            }
+        }
+    }
+
+    let record = FedRelayRecord {
+        seed,
+        cut: (from, to),
+        cut_at,
+        false_suspicions,
+        converged: fed.views_converged(),
+        relayed_digests: fed
+            .metrics()
+            .relayed_digests
+            .load(std::sync::atomic::Ordering::Relaxed),
+        nodes,
+    };
+    fed.shutdown();
+    record
+}
+
+/// Relay coverage: a one-way-cut link must be routed around, never
+/// detected as a node failure.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FedRelayOracle;
+
+impl Oracle<FedRelayRecord> for FedRelayOracle {
+    fn name(&self) -> &'static str {
+        "fed-relay-coverage"
+    }
+
+    fn judge(&self, rec: &FedRelayRecord) -> Verdict {
+        if rec.false_suspicions > 0 {
+            return Verdict::Reject(format!(
+                "{} false suspicions despite relay reachability (cut {:?} at {}, seed {})",
+                rec.false_suspicions, rec.cut, rec.cut_at, rec.seed
+            ));
+        }
+        if !rec.converged {
+            return Verdict::Reject(format!(
+                "views had not converged by the horizon under the {:?} cut (seed {})",
+                rec.cut, rec.seed
+            ));
+        }
+        if rec.relayed_digests == 0 {
+            return Verdict::Reject(format!(
+                "no digest was ever relayed — the cut {:?} was never routed around (seed {})",
+                rec.cut, rec.seed
+            ));
+        }
+        Verdict::Accept
+    }
+}
+
 /// No peer left unmonitored after the failover settle time.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct FedCoverageOracle;
@@ -257,6 +372,27 @@ mod tests {
         // The sweep must exercise both the restart and the
         // kill-without-return arm, or half the failover logic is idle.
         assert!(restarted > 0 && restarted < 8, "{restarted}/8 scenarios restarted");
+    }
+
+    #[test]
+    fn relay_scenarios_satisfy_the_relay_oracle() {
+        let oracle = FedRelayOracle;
+        for seed in 0..6 {
+            let rec = run_relay_scenario(seed);
+            let v = oracle.judge(&rec);
+            assert!(!v.is_reject(), "seed {seed}: {v:?}");
+            assert!(rec.relayed_digests > 0, "seed {seed} never relayed");
+        }
+    }
+
+    #[test]
+    fn relay_scenarios_are_deterministic() {
+        let a = run_relay_scenario(3);
+        let b = run_relay_scenario(3);
+        assert_eq!(a.cut, b.cut);
+        assert_eq!(a.false_suspicions, b.false_suspicions);
+        assert_eq!(a.converged, b.converged);
+        assert_eq!(a.relayed_digests, b.relayed_digests);
     }
 
     #[test]

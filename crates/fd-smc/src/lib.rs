@@ -54,7 +54,8 @@ pub mod verifier;
 
 pub use cluster::{run_cluster_scenario, ClusterRecord, DegradePromoteOracle, GhostEventOracle};
 pub use federation::{
-    run_federation_scenario, FedConvergenceOracle, FedCoverageOracle, FedRecord,
+    run_federation_scenario, run_relay_scenario, FedConvergenceOracle, FedCoverageOracle,
+    FedRecord, FedRelayOracle, FedRelayRecord,
 };
 pub use oracle::{
     AgreementOracle, ConformanceOracle, DetectionOracle, Oracle, Theorem1Oracle, Verdict,

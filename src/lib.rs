@@ -78,7 +78,8 @@ pub mod prelude {
     };
     pub use fd_federation::{
         Coverage, FedChange, FedEvent, FedMetrics, Federation, FederationConfig,
-        FederationNode, FederationView, NodeId,
+        FederationNode, FederationView, GossipTransport, LinkState, NodeConfig, NodeId,
+        SendFate, Via,
     };
     pub use fd_runtime::{Health, IncarnationStore};
     pub use fd_smc::{
